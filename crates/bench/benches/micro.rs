@@ -1,0 +1,117 @@
+//! Criterion micro-benchmarks for the performance-critical kernels:
+//! simulator stepping, forecaster training/prediction, GP fitting, one
+//! full Bayesian-optimizer decision, and the ensemble learners.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use tesla_bo::{BayesianOptimizer, BoConfig};
+use tesla_core::dataset::{generate_sweep_trace, DatasetConfig};
+use tesla_forecast::{DcTimeSeriesModel, ModelConfig};
+use tesla_gp::{qmc_normal, FixedNoiseGp, Matern52};
+use tesla_ml::{Dataset, ForestConfig, RandomForest};
+use tesla_sim::{SimConfig, Testbed};
+
+fn bench_sim_step(c: &mut Criterion) {
+    let sim = SimConfig::default();
+    let utils = vec![0.3; sim.n_servers];
+    c.bench_function("sim/step_one_minute", |b| {
+        let mut tb = Testbed::new(sim.clone(), 1).unwrap();
+        tb.write_setpoint(23.0);
+        b.iter(|| black_box(tb.step_sample(&utils).unwrap()));
+    });
+}
+
+fn bench_forecast(c: &mut Criterion) {
+    let trace = generate_sweep_trace(&DatasetConfig {
+        days: 0.5,
+        seed: 1,
+        ..DatasetConfig::default()
+    })
+    .unwrap();
+    let cfg = ModelConfig { horizon: 10, ..ModelConfig::default() };
+    c.bench_function("forecast/fit_half_day_L10", |b| {
+        b.iter(|| black_box(DcTimeSeriesModel::fit(&trace, cfg.clone()).unwrap()));
+    });
+    let model = DcTimeSeriesModel::fit(&trace, cfg).unwrap();
+    let window = trace.window_at(trace.len() - 12, 10).unwrap();
+    c.bench_function("forecast/predict_horizon", |b| {
+        b.iter(|| black_box(model.predict(&window, 24.0).unwrap()));
+    });
+}
+
+fn bench_gp(c: &mut Criterion) {
+    let xs: Vec<Vec<f64>> = (0..16).map(|i| vec![20.0 + i as f64]).collect();
+    let ys: Vec<f64> = xs.iter().map(|p| (p[0] / 3.0).sin()).collect();
+    let noise = vec![1e-3; xs.len()];
+    c.bench_function("gp/fit_16_points", |b| {
+        b.iter(|| {
+            black_box(
+                FixedNoiseGp::fit(Matern52::new(2.0, 1.0), xs.clone(), &ys, &noise).unwrap(),
+            )
+        });
+    });
+    let gp = FixedNoiseGp::fit(Matern52::new(2.0, 1.0), xs, &ys, &noise).unwrap();
+    let queries: Vec<Vec<f64>> = (0..61).map(|i| vec![20.0 + i as f64 * 0.25]).collect();
+    c.bench_function("gp/posterior_61_queries", |b| {
+        b.iter(|| black_box(gp.posterior(&queries)));
+    });
+    let normals = qmc_normal(64, 8);
+    let q8: Vec<Vec<f64>> = (0..8).map(|i| vec![21.0 + i as f64]).collect();
+    c.bench_function("gp/sample_posterior_64x8", |b| {
+        b.iter(|| black_box(gp.sample_posterior(&q8, &normals).unwrap()));
+    });
+}
+
+fn bench_bo_decision(c: &mut Criterion) {
+    let opt = BayesianOptimizer::new(BoConfig {
+        n_init: 6,
+        n_iter: 3,
+        n_mc: 32,
+        n_grid: 31,
+        ..BoConfig::default()
+    })
+    .unwrap();
+    c.bench_function("bo/full_decision", |b| {
+        b.iter(|| {
+            black_box(
+                opt.optimize(
+                    |s| (-(s - 26.0) * (s - 26.0), s - 28.0),
+                    (0.01, 0.01),
+                    7,
+                )
+                .unwrap(),
+            )
+        });
+    });
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for i in 0..400 {
+        let a = (i % 20) as f64 / 19.0;
+        let b = (i / 20) as f64 / 19.0;
+        x.push(vec![a, b, a * b, a - b]);
+        y.push((a * 3.0).sin() + b);
+    }
+    let data = Dataset::new(x, y).unwrap();
+    c.bench_function("ml/random_forest_40_trees", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |d| {
+                black_box(
+                    RandomForest::fit(&d, ForestConfig { n_trees: 40, ..Default::default() })
+                        .unwrap(),
+                )
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sim_step, bench_forecast, bench_gp, bench_bo_decision, bench_forest
+);
+criterion_main!(benches);

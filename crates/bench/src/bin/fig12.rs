@@ -1,0 +1,20 @@
+//! Figure 12: TSRL \[8\] riding the constraint boundary.
+//!
+//! §6.3: the offline-RL policy also treats cooling energy as its reward
+//! with no interruption awareness, so it gradually walks the cold aisle
+//! up to the 22 °C limit and cannot curb the resulting rises in time.
+
+use tesla_bench::{arg_f64, run_trace_figure, train_test_traces, trained_tsrl};
+
+fn main() {
+    let train_days = arg_f64("train-days", 3.0);
+    eprintln!("training the TSRL baseline on a {train_days}-day sweep …");
+    let (train, _) = train_test_traces(train_days, 0.1, 99);
+    let mut tsrl = trained_tsrl(&train);
+    run_trace_figure(
+        "Figure 12",
+        &mut tsrl,
+        "the max cold-aisle temperature rides at the 22 C limit and overshoots it\n\
+         repeatedly (paper: 23.2% TSV at medium load).",
+    );
+}

@@ -1,0 +1,78 @@
+//! Figure 3: ACU power and max cold-aisle temperature around a cooling
+//! interruption.
+//!
+//! The paper's measurement: ~1 °C/min rise while cold air is interrupted,
+//! and roughly *half* that rate during recovery — the asymmetry that
+//! makes boundary-riding controllers unsafe (§2.2).
+
+use tesla_bench::{export_csv, print_table};
+use tesla_sim::{SimConfig, Testbed};
+
+fn main() {
+    let sim = SimConfig::default();
+    let mut tb = Testbed::new(sim.clone(), 11).expect("testbed");
+    let utils = vec![0.35; sim.n_servers]; // steady load, ~6 kW of heat
+
+    tb.write_setpoint(23.0);
+    tb.warm_up(&utils, 240).expect("warm-up");
+
+    let mut minutes = Vec::new();
+    let mut power = Vec::new();
+    let mut cold_max = Vec::new();
+
+    // Interruption: set-point far above the return temperature for 10 min,
+    // then recovery at 23 °C for 20 min.
+    tb.write_setpoint(35.0);
+    let peak_idx = 9;
+    for m in 0..30 {
+        if m == 10 {
+            tb.write_setpoint(23.0);
+        }
+        let obs = tb.step_sample(&utils).expect("step");
+        minutes.push(m as f64);
+        power.push(obs.acu_power_kw);
+        cold_max.push(obs.cold_aisle_max);
+    }
+
+    let start_temp = cold_max[0];
+    let peak_temp = cold_max[peak_idx];
+    let rise_rate = (peak_temp - start_temp) / 10.0;
+    // Recovery rate: slope over the time it takes to give back the rise.
+    let mut recovered_at = None;
+    for (i, &c) in cold_max.iter().enumerate().skip(peak_idx + 1) {
+        if c <= start_temp + 0.2 {
+            recovered_at = Some(i);
+            break;
+        }
+    }
+    let recovery_rate = recovered_at
+        .map(|i| (peak_temp - cold_max[i]) / (i - peak_idx) as f64)
+        .unwrap_or((peak_temp - cold_max[cold_max.len() - 1]) / 20.0);
+
+    print_table(
+        "Figure 3: cooling interruption (first 10 min) and recovery",
+        &["metric", "value"],
+        &[
+            vec!["power during interruption (kW)".into(), format!("{:.3}", power[5])],
+            vec!["power during recovery (kW)".into(), format!("{:.3}", power[15])],
+            vec!["cold-aisle max at start (C)".into(), format!("{start_temp:.2}")],
+            vec!["cold-aisle max at peak (C)".into(), format!("{peak_temp:.2}")],
+            vec!["rise rate (C/min)".into(), format!("{rise_rate:.2}")],
+            vec!["recovery rate (C/min)".into(), format!("{recovery_rate:.2}")],
+            vec![
+                "recovery/rise ratio".into(),
+                format!("{:.2}", recovery_rate / rise_rate.max(1e-9)),
+            ],
+        ],
+    );
+    println!(
+        "\npaper: ~1 C/min rise, ~0.5 C/min recovery (ratio ~0.5);\n\
+         reproduction target: rise rate near 1 C/min and recovery slower than the rise."
+    );
+    let path = export_csv(
+        "fig3_interruption",
+        &["minute", "acu_power_kw", "cold_aisle_max_c"],
+        &[&minutes, &power, &cold_max],
+    );
+    println!("series written to {}", path.display());
+}

@@ -1,0 +1,64 @@
+//! Figure 4: the energy cost of set-point variation.
+//!
+//! The paper dips the set-point from ~28.5 °C to ~27.5 °C for two minutes
+//! and back; the lower value is never reached, yet ACU power rises ~30%
+//! (2.0 → 2.6 kW) during the transient. This motivates both the shared
+//! set-point over the horizon (Eq. 5) and the smoothing buffer (§3.4).
+
+use tesla_bench::{export_csv, print_table};
+use tesla_sim::{SimConfig, Testbed};
+
+fn main() {
+    let sim = SimConfig::default();
+    let mut tb = Testbed::new(sim.clone(), 4).expect("testbed");
+    let utils = vec![0.30; sim.n_servers];
+
+    // Settle at a set-point the plant can hold.
+    tb.write_setpoint(28.5);
+    tb.warm_up(&utils, 600).expect("warm-up");
+
+    let mut minutes = Vec::new();
+    let mut setpoint = Vec::new();
+    let mut inlet = Vec::new();
+    let mut power = Vec::new();
+    // Minute 0 at 28.5 °C, dip to 27.5 °C for minutes 1-2, back to 28.6 °C.
+    for m in 0..5 {
+        if m == 1 {
+            tb.write_setpoint(27.5);
+        } else if m == 3 {
+            tb.write_setpoint(28.6);
+        }
+        let obs = tb.step_sample(&utils).expect("step");
+        minutes.push(m as f64);
+        setpoint.push(obs.setpoint);
+        inlet.push(obs.acu_inlet_temps.iter().sum::<f64>() / obs.acu_inlet_temps.len() as f64);
+        power.push(obs.acu_power_kw);
+    }
+    let settled = power[0];
+
+    let peak = power.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min_inlet = inlet.iter().cloned().fold(f64::INFINITY, f64::min);
+
+    print_table(
+        "Figure 4: transient power cost of a 1 C set-point dip",
+        &["metric", "value"],
+        &[
+            vec!["settled power (kW)".into(), format!("{settled:.3}")],
+            vec!["peak power during dip (kW)".into(), format!("{peak:.3}")],
+            vec!["power increase (%)".into(), format!("{:.1}", 100.0 * (peak / settled - 1.0))],
+            vec!["lowest inlet reached (C)".into(), format!("{min_inlet:.2}")],
+            vec!["dip target (C)".into(), "27.5".into()],
+        ],
+    );
+    println!(
+        "\npaper: ~30% power increase (2.0 -> 2.6 kW) even though 27.5 C is never achieved;\n\
+         reproduction target: a double-digit-percent transient power rise with the\n\
+         inlet staying above the dipped set-point."
+    );
+    let path = export_csv(
+        "fig4_setpoint_dip",
+        &["minute", "setpoint_c", "inlet_c", "acu_power_kw"],
+        &[&minutes, &setpoint, &inlet, &power],
+    );
+    println!("series written to {}", path.display());
+}

@@ -1,0 +1,47 @@
+//! Convenience runner: regenerates every table and figure in sequence
+//! with shared (cached) datasets — the one-command reproduction.
+//!
+//! ```bash
+//! cargo run -p tesla-bench --release --bin reproduce_all -- --train-days 3 --minutes 720
+//! ```
+//!
+//! Each experiment is also available as its own binary (`table3`, `fig9`,
+//! …) when you only need one.
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.to_path_buf()))
+        .expect("locate binary directory");
+
+    let binaries = [
+        "fig2", "fig3", "fig4", "table3", "table4", "table5", "fig8", "fig9", "fig10",
+        "fig11", "fig12", "ablation_kappa", "ablation_smoothing", "ablation_horizon",
+    ];
+    let mut failures = Vec::new();
+    for bin in binaries {
+        println!("\n================ {bin} ================");
+        let path = exe_dir.join(bin);
+        let status = Command::new(&path).args(&args).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                failures.push(bin);
+            }
+            Err(e) => {
+                eprintln!("failed to launch {bin}: {e} (build with `cargo build -p tesla-bench --release` first)");
+                failures.push(bin);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall {} experiments regenerated; CSVs in bench_results/", binaries.len());
+    } else {
+        eprintln!("\nfailed: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,111 @@
+//! Table 4: cooling-energy prediction MAPE.
+//!
+//! Paper: TESLA's linear energy sub-module 7.90% < XGBoost 13.41% <
+//! MLP 14.33% < Random Forest 15.11%. All models see the same features
+//! (future set-points + future inlet temperatures over the horizon,
+//! Eq. 4) and the same horizon-energy target.
+
+use tesla_bench::{arg_f64, energy_dataset, print_table, train_test_traces};
+use tesla_linalg::stats::mape;
+use tesla_ml::{
+    Dataset, ForestConfig, GbtConfig, GradientBoosting, Mlp, MlpConfig, RandomForest,
+};
+
+fn main() {
+    let train_days = arg_f64("train-days", 3.0);
+    let test_days = arg_f64("test-days", 1.0);
+    let l = 20;
+    eprintln!("generating sweep traces: {train_days} train days, {test_days} test days …");
+    let (train, test) = train_test_traces(train_days, test_days, 4242);
+    let (x_train, y_train) = energy_dataset(&train, l, 3);
+    let (x_test, y_test) = energy_dataset(&test, l, 3);
+    eprintln!("{} training examples, {} test examples", x_train.len(), x_test.len());
+
+    // TESLA: the ridge energy sub-module trained through the real path.
+    eprintln!("training TESLA energy sub-module (ridge, alpha = 1) …");
+    let tesla_model =
+        tesla_forecast::energy::EnergyModel::fit(&train, l, 1.0).expect("energy sub-module");
+    let n_a = train.n_acu_sensors();
+    let tesla_pred: Vec<f64> = x_test
+        .iter()
+        .map(|row| {
+            let setpoints = &row[..l];
+            let inlet: Vec<Vec<f64>> =
+                (0..n_a).map(|na| row[l + na * l..l + (na + 1) * l].to_vec()).collect();
+            tesla_model.predict(setpoints, &inlet).expect("predict")
+        })
+        .collect();
+
+    eprintln!("training MLP baseline …");
+    let mlp = Mlp::fit(
+        &x_train,
+        &y_train,
+        MlpConfig { hidden: vec![64, 64], epochs: 50, seed: 3, ..MlpConfig::default() },
+    )
+    .expect("MLP");
+    let mlp_pred: Vec<f64> = x_test.iter().map(|r| mlp.predict(r)).collect();
+
+    eprintln!("training gradient boosting (XGBoost stand-in) …");
+    let data = Dataset::new(x_train.clone(), y_train.clone()).expect("dataset");
+    let gbt = GradientBoosting::fit(&data, GbtConfig::default()).expect("GBT");
+    let gbt_pred: Vec<f64> = x_test.iter().map(|r| gbt.predict(r)).collect();
+
+    eprintln!("training random forest …");
+    let rf = RandomForest::fit(&data, ForestConfig::default()).expect("RF");
+    let rf_pred: Vec<f64> = x_test.iter().map(|r| rf.predict(r)).collect();
+
+    // Diagnostic: the same ridge regression with the horizon's true
+    // average-server-power sequence appended to Eq. 4's features. On the
+    // paper's testbed the inlet temperatures carried the load information
+    // linearly; on this substrate they do not, which is why the plain
+    // linear model trails the nonlinear baselines (see EXPERIMENTS.md).
+    eprintln!("fitting the +load oracle ridge …");
+    let augment = |trace: &tesla_forecast::Trace, x: &[Vec<f64>], stride: usize| {
+        let mut rows = Vec::with_capacity(x.len());
+        let mut t = l - 1;
+        let mut i = 0;
+        while t + l < trace.len() && i < x.len() {
+            let mut row = x[i].clone();
+            for s in 1..=l {
+                row.push(trace.avg_power[t + s]);
+            }
+            rows.push(row);
+            t += stride;
+            i += 1;
+        }
+        rows
+    };
+    let x_train_aug = augment(&train, &x_train, 3);
+    let x_test_aug = augment(&test, &x_test, 3);
+    let xm = tesla_linalg::Matrix::from_rows(&x_train_aug).expect("augmented design");
+    let oracle = tesla_linalg::fit_ridge(&xm, &y_train, 1.0).expect("oracle ridge");
+    let oracle_pred: Vec<f64> = x_test_aug.iter().map(|r| oracle.predict(r)).collect();
+
+    let m_tesla = mape(&y_test, &tesla_pred);
+    let m_mlp = mape(&y_test, &mlp_pred);
+    let m_gbt = mape(&y_test, &gbt_pred);
+    let m_rf = mape(&y_test, &rf_pred);
+    let m_oracle = mape(&y_test, &oracle_pred);
+
+    print_table(
+        "Table 4: cooling energy MAPE (%)",
+        &["model", "MAPE (%)", "paper (%)"],
+        &[
+            vec!["TESLA (ours)".into(), format!("{m_tesla:.2}"), "7.90".into()],
+            vec!["MLP [38]".into(), format!("{m_mlp:.2}"), "14.33".into()],
+            vec!["XGBoost [7] (GBT)".into(), format!("{m_gbt:.2}"), "13.41".into()],
+            vec!["Random Forest [26]".into(), format!("{m_rf:.2}"), "15.11".into()],
+            vec!["ridge + load futures (diagnostic)".into(), format!("{m_oracle:.2}"), "-".into()],
+        ],
+    );
+    let best = m_tesla < m_mlp && m_tesla < m_gbt && m_tesla < m_rf;
+    println!(
+        "\nreproduction target: TESLA's linear sub-module beats every nonlinear baseline — {}",
+        if best { "HOLDS" } else { "ordering differs (see EXPERIMENTS.md)" }
+    );
+    println!(
+        "the diagnostic row shows a linear model with explicit load features reaches the\n\
+         paper's accuracy band, locating the gap in the substrate's feature-energy map\n\
+         rather than the ridge machinery."
+    );
+}

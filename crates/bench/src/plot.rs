@@ -1,0 +1,108 @@
+//! Terminal plotting: render a time series as a Unicode braille-free
+//! block chart so the figure binaries show their shape without leaving
+//! the terminal (the CSVs remain the plottable artifact).
+
+/// Renders `series` as an ASCII chart of `height` rows, downsampled to at
+/// most `width` columns. Returns the multi-line string.
+pub fn ascii_chart(series: &[f64], width: usize, height: usize) -> String {
+    let width = width.clamp(8, 240);
+    let height = height.clamp(2, 40);
+    if series.is_empty() {
+        return String::from("(empty series)");
+    }
+    // Downsample by bucket mean.
+    let cols = width.min(series.len());
+    let bucket = series.len() as f64 / cols as f64;
+    let sampled: Vec<f64> = (0..cols)
+        .map(|c| {
+            let lo = (c as f64 * bucket) as usize;
+            let hi = (((c + 1) as f64 * bucket) as usize).clamp(lo + 1, series.len());
+            series[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect();
+
+    let min = sampled.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = sampled.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = if (max - min).abs() < 1e-12 { 1.0 } else { max - min };
+
+    let mut rows = vec![vec![' '; cols]; height];
+    for (c, &v) in sampled.iter().enumerate() {
+        let level = ((v - min) / span * (height - 1) as f64).round() as usize;
+        // Fill from the bottom to the level for a solid silhouette.
+        for (r, row) in rows.iter_mut().enumerate() {
+            let from_bottom = height - 1 - r;
+            if from_bottom < level {
+                row[c] = '░';
+            } else if from_bottom == level {
+                row[c] = '█';
+            }
+        }
+    }
+
+    let mut out = String::new();
+    for (r, row) in rows.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{max:>8.2} ┤")
+        } else if r == height - 1 {
+            format!("{min:>8.2} ┤")
+        } else {
+            format!("{:>8} │", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders two aligned series one above the other with titles.
+pub fn ascii_chart_titled(title: &str, series: &[f64], width: usize, height: usize) -> String {
+    format!("{title}\n{}", ascii_chart(series, width, height))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_has_requested_rows() {
+        let s: Vec<f64> = (0..100).map(|i| (i as f64 / 10.0).sin()).collect();
+        let chart = ascii_chart(&s, 60, 8);
+        assert_eq!(chart.lines().count(), 8);
+        for line in chart.lines() {
+            assert!(line.chars().count() <= 60 + 10);
+        }
+    }
+
+    #[test]
+    fn extremes_appear_in_labels() {
+        let s = vec![1.0, 5.0, 3.0, 2.0];
+        let chart = ascii_chart(&s, 20, 4);
+        assert!(chart.contains("5.00"));
+        assert!(chart.contains("1.00"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let chart = ascii_chart(&[2.0; 50], 20, 4);
+        assert!(chart.contains('█'));
+    }
+
+    #[test]
+    fn empty_series_is_graceful() {
+        assert_eq!(ascii_chart(&[], 20, 4), "(empty series)");
+    }
+
+    #[test]
+    fn long_series_downsamples() {
+        let s: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let chart = ascii_chart(&s, 40, 6);
+        assert_eq!(chart.lines().count(), 6);
+    }
+
+    #[test]
+    fn titled_variant_prepends_title() {
+        let out = ascii_chart_titled("ACU power", &[1.0, 2.0], 10, 3);
+        assert!(out.starts_with("ACU power\n"));
+    }
+}

@@ -1,0 +1,54 @@
+//! Modeling-error-aware constrained Bayesian optimization (§3.3, Fig. 7).
+//!
+//! At every control step TESLA must pick the set-point that maximizes a
+//! predicted objective (negative cooling energy minus the cooling-
+//! interruption penalty) subject to a predicted thermal constraint — but
+//! both functions come from the DC time-series model and carry modeling
+//! error. The paper's answer:
+//!
+//! * an online [`monitor::PredictionErrorMonitor`] keeps the last day of
+//!   prediction errors and estimates their variance by bootstrapping
+//!   (`N_b = 500` resamples, Table 2);
+//! * *separate fixed-noise GPs* fit the observed (set-point → objective)
+//!   and (set-point → constraint) pairs with that variance as the
+//!   per-point noise;
+//! * the acquisition function is [`acquisition::constrained_nei`] —
+//!   constrained Noisy Expected Improvement \[21\] integrated with
+//!   quasi-Monte Carlo;
+//! * if no candidate satisfies the constraint, the optimizer falls back
+//!   to `S_min` "and it will re-calibrate itself later".
+//!
+//! [`optimizer::BayesianOptimizer`] wires these together.
+
+pub mod acquisition;
+pub mod monitor;
+pub mod optimizer;
+
+pub use monitor::PredictionErrorMonitor;
+pub use optimizer::{BayesianOptimizer, BoConfig, BoOutcome};
+
+/// Errors from the optimizer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoError {
+    /// Invalid configuration.
+    BadConfig(String),
+    /// Underlying GP failure.
+    Gp(String),
+}
+
+impl std::fmt::Display for BoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BoError::BadConfig(m) => write!(f, "bad BO config: {m}"),
+            BoError::Gp(m) => write!(f, "GP failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BoError {}
+
+impl From<tesla_gp::GpError> for BoError {
+    fn from(e: tesla_gp::GpError) -> Self {
+        BoError::Gp(e.to_string())
+    }
+}

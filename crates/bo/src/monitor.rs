@@ -1,0 +1,166 @@
+//! Online prediction-error monitor with bootstrap uncertainty estimation.
+//!
+//! §3.3: "TESLA uses an online prediction error monitor that keeps track
+//! of the prediction error made by the DC time-series model within the
+//! past day, which is a typical period where the data center load rises
+//! and falls. The uncertainty estimates are obtained from the monitor
+//! using bootstrapping."
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::VecDeque;
+
+/// Rolling store of (objective, constraint) prediction errors.
+#[derive(Debug, Clone)]
+pub struct PredictionErrorMonitor {
+    capacity: usize,
+    obj_errors: VecDeque<f64>,
+    con_errors: VecDeque<f64>,
+    /// Variance returned before enough errors have been observed.
+    prior_var: (f64, f64),
+}
+
+impl PredictionErrorMonitor {
+    /// One day of 1-minute samples — the paper's window.
+    pub const ONE_DAY_MINUTES: usize = 24 * 60;
+
+    /// Creates a monitor holding up to `capacity` error pairs, with prior
+    /// variances used until at least a handful of errors arrive.
+    pub fn new(capacity: usize, prior_var: (f64, f64)) -> Self {
+        PredictionErrorMonitor {
+            capacity: capacity.max(1),
+            obj_errors: VecDeque::new(),
+            con_errors: VecDeque::new(),
+            prior_var,
+        }
+    }
+
+    /// Records the realized errors of a past prediction (predicted −
+    /// actual, any consistent sign convention).
+    pub fn record(&mut self, obj_error: f64, con_error: f64) {
+        if !obj_error.is_finite() || !con_error.is_finite() {
+            return; // never poison the monitor
+        }
+        if self.obj_errors.len() == self.capacity {
+            self.obj_errors.pop_front();
+            self.con_errors.pop_front();
+        }
+        self.obj_errors.push_back(obj_error);
+        self.con_errors.push_back(con_error);
+    }
+
+    /// Number of stored error pairs.
+    pub fn len(&self) -> usize {
+        self.obj_errors.len()
+    }
+
+    /// True when no errors are stored.
+    pub fn is_empty(&self) -> bool {
+        self.obj_errors.is_empty()
+    }
+
+    /// Bootstrap variance estimates `(σ²_obj, σ²_con)`: draw `n_bootstrap`
+    /// samples with replacement from the stored errors and take the
+    /// variance of the draws (this is the spread a "noisy version" of the
+    /// predicted objective/constraint would have, per Fig. 7).
+    pub fn bootstrap_variances(&self, n_bootstrap: usize, seed: u64) -> (f64, f64) {
+        if self.obj_errors.len() < 8 {
+            return self.prior_var;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let obj: Vec<f64> = self.obj_errors.iter().copied().collect();
+        let con: Vec<f64> = self.con_errors.iter().copied().collect();
+        let var_of_draws = |data: &[f64], rng: &mut StdRng| -> f64 {
+            let n = n_bootstrap.max(2);
+            let mut sum = 0.0;
+            let mut sumsq = 0.0;
+            for _ in 0..n {
+                let v = data[rng.random_range(0..data.len())];
+                sum += v;
+                sumsq += v * v;
+            }
+            let mean = sum / n as f64;
+            (sumsq / n as f64 - mean * mean).max(1e-12)
+        };
+        (var_of_draws(&obj, &mut rng), var_of_draws(&con, &mut rng))
+    }
+
+    /// Mean errors (bias diagnostics).
+    pub fn mean_errors(&self) -> (f64, f64) {
+        if self.is_empty() {
+            return (0.0, 0.0);
+        }
+        let n = self.len() as f64;
+        (
+            self.obj_errors.iter().sum::<f64>() / n,
+            self.con_errors.iter().sum::<f64>() / n,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_monitor_returns_prior() {
+        let m = PredictionErrorMonitor::new(100, (0.5, 0.25));
+        assert_eq!(m.bootstrap_variances(500, 1), (0.5, 0.25));
+    }
+
+    #[test]
+    fn bootstrap_variance_tracks_true_spread() {
+        let mut m = PredictionErrorMonitor::new(2000, (1.0, 1.0));
+        // Errors alternating ±2 → variance 4; constraint ±0.5 → 0.25.
+        for i in 0..1000 {
+            let s = if i % 2 == 0 { 1.0 } else { -1.0 };
+            m.record(2.0 * s, 0.5 * s);
+        }
+        let (vo, vc) = m.bootstrap_variances(2000, 7);
+        assert!((vo - 4.0).abs() < 0.5, "objective var {vo}");
+        assert!((vc - 0.25).abs() < 0.05, "constraint var {vc}");
+    }
+
+    #[test]
+    fn window_evicts_old_errors() {
+        let mut m = PredictionErrorMonitor::new(10, (1.0, 1.0));
+        for _ in 0..10 {
+            m.record(100.0, 100.0); // huge early errors
+        }
+        for _ in 0..10 {
+            m.record(0.1, 0.1); // then small ones fill the window
+        }
+        assert_eq!(m.len(), 10);
+        let (vo, _) = m.bootstrap_variances(500, 3);
+        assert!(vo < 1.0, "old errors must be gone, var {vo}");
+    }
+
+    #[test]
+    fn nonfinite_errors_are_rejected() {
+        let mut m = PredictionErrorMonitor::new(10, (1.0, 1.0));
+        m.record(f64::NAN, 0.0);
+        m.record(0.0, f64::INFINITY);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut m = PredictionErrorMonitor::new(100, (1.0, 1.0));
+        for i in 0..50 {
+            m.record((i as f64).sin(), (i as f64).cos());
+        }
+        assert_eq!(m.bootstrap_variances(500, 9), m.bootstrap_variances(500, 9));
+        assert_ne!(m.bootstrap_variances(500, 9), m.bootstrap_variances(500, 10));
+    }
+
+    #[test]
+    fn mean_errors_reports_bias() {
+        let mut m = PredictionErrorMonitor::new(100, (1.0, 1.0));
+        for _ in 0..20 {
+            m.record(1.5, -0.5);
+        }
+        let (bo, bc) = m.mean_errors();
+        assert!((bo - 1.5).abs() < 1e-12);
+        assert!((bc + 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,375 @@
+//! The modeling-error-aware Bayesian optimizer (Fig. 7's center box).
+
+use crate::acquisition::constrained_nei;
+use crate::BoError;
+use tesla_gp::{fit_matern_hypers, normal_cdf, FixedNoiseGp, Matern52, SobolSequence};
+
+/// Optimizer configuration.
+#[derive(Debug, Clone)]
+pub struct BoConfig {
+    /// Search bounds `[S_min, S_max]` (the ACU specification range).
+    pub bounds: (f64, f64),
+    /// Initial Sobol design size.
+    pub n_init: usize,
+    /// BO iterations after the initial design.
+    pub n_iter: usize,
+    /// QMC samples for the NEI integral.
+    pub n_mc: usize,
+    /// Grid resolution for candidate scoring and final selection.
+    pub n_grid: usize,
+    /// Required posterior probability that the constraint holds.
+    pub feasibility_threshold: f64,
+    /// Lengthscale grid for the GP hyper-fit (°C units of set-point).
+    pub lengthscales: Vec<f64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BoConfig {
+    fn default() -> Self {
+        BoConfig {
+            bounds: (20.0, 35.0),
+            n_init: 8,
+            n_iter: 5,
+            n_mc: 64,
+            n_grid: 61,
+            feasibility_threshold: 0.85,
+            lengthscales: vec![0.3, 1.0, 3.0, 8.0],
+            seed: 0,
+        }
+    }
+}
+
+/// Result of one optimizer decision.
+#[derive(Debug, Clone)]
+pub struct BoOutcome {
+    /// Chosen set-point, °C.
+    pub setpoint: f64,
+    /// True when no candidate met the feasibility threshold and the
+    /// optimizer fell back to `S_min` (§3.3's backup strategy).
+    pub fallback: bool,
+    /// Every evaluated `(setpoint, objective, constraint)` triple.
+    pub evaluated: Vec<(f64, f64, f64)>,
+    /// Posterior-mean objective over the final grid (for Fig. 8b).
+    pub grid: Vec<f64>,
+    /// Posterior mean of the objective at each grid point.
+    pub objective_mean: Vec<f64>,
+    /// Posterior mean of the constraint at each grid point.
+    pub constraint_mean: Vec<f64>,
+}
+
+/// The modeling-error-aware constrained Bayesian optimizer.
+#[derive(Debug, Clone)]
+pub struct BayesianOptimizer {
+    config: BoConfig,
+}
+
+impl BayesianOptimizer {
+    /// Creates an optimizer after validating the configuration.
+    pub fn new(config: BoConfig) -> Result<Self, BoError> {
+        if config.bounds.0 >= config.bounds.1 {
+            return Err(BoError::BadConfig("bounds must satisfy min < max".into()));
+        }
+        if config.n_init < 2 || config.n_grid < 4 {
+            return Err(BoError::BadConfig("need n_init >= 2 and n_grid >= 4".into()));
+        }
+        if !(0.0..=1.0).contains(&config.feasibility_threshold) {
+            return Err(BoError::BadConfig("feasibility_threshold must be in [0,1]".into()));
+        }
+        if config.lengthscales.is_empty() {
+            return Err(BoError::BadConfig("lengthscale grid must be non-empty".into()));
+        }
+        Ok(BayesianOptimizer { config })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BoConfig {
+        &self.config
+    }
+
+    /// Runs one decision. `eval(s)` returns the *predicted* `(objective,
+    /// constraint)` at set-point `s` — objective maximized, constraint
+    /// feasible iff ≤ 0 (Eq. 5). `noise_var` is the bootstrap variance
+    /// pair from the prediction-error monitor.
+    pub fn optimize(
+        &self,
+        eval: impl FnMut(f64) -> (f64, f64),
+        noise_var: (f64, f64),
+        seed: u64,
+    ) -> Result<BoOutcome, BoError> {
+        self.optimize_with_hints(eval, noise_var, seed, &[])
+    }
+
+    /// Like [`Self::optimize`], with extra warm-start candidates included
+    /// in the initial design. TESLA seeds these with points around the
+    /// current inlet temperature: the energy-optimal set-point always sits
+    /// near the interruption kink at `inlet + κ`, and evaluating there
+    /// directly saves acquisition rounds.
+    pub fn optimize_with_hints(
+        &self,
+        mut eval: impl FnMut(f64) -> (f64, f64),
+        noise_var: (f64, f64),
+        seed: u64,
+        hints: &[f64],
+    ) -> Result<BoOutcome, BoError> {
+        let (lo, hi) = self.config.bounds;
+        let span = hi - lo;
+
+        // Initial design: bounds + warm-start hints + Sobol interior.
+        let mut seq = SobolSequence::new(1);
+        let mut xs: Vec<f64> = Vec::with_capacity(self.config.n_init + hints.len());
+        let push_unique = |xs: &mut Vec<f64>, s: f64| {
+            let s = s.clamp(lo, hi);
+            if xs.iter().all(|&e| (e - s).abs() > span * 1e-6) {
+                xs.push(s);
+            }
+        };
+        push_unique(&mut xs, lo);
+        push_unique(&mut xs, hi);
+        for &h in hints {
+            if h.is_finite() {
+                push_unique(&mut xs, h);
+            }
+        }
+        while xs.len() < self.config.n_init + hints.len() {
+            let p = seq.next_point()[0];
+            push_unique(&mut xs, lo + p * span);
+            if seq.dims() == 1 && xs.len() >= 64 {
+                break; // safety against duplicate-saturated ranges
+            }
+        }
+        let mut ys_obj = Vec::with_capacity(xs.len());
+        let mut ys_con = Vec::with_capacity(xs.len());
+        for &s in &xs {
+            let (o, c) = eval(s);
+            ys_obj.push(o);
+            ys_con.push(c);
+        }
+
+        let grid: Vec<f64> = (0..self.config.n_grid)
+            .map(|i| lo + span * i as f64 / (self.config.n_grid - 1) as f64)
+            .collect();
+
+        // BO loop: fit both GPs, score NEI on the grid, evaluate argmax.
+        let mut gp_pair = self.fit_gps(&xs, &ys_obj, &ys_con, noise_var)?;
+        for it in 0..self.config.n_iter {
+            let scores = constrained_nei(
+                &gp_pair.0,
+                &gp_pair.1,
+                &xs,
+                &grid,
+                self.config.n_mc,
+                seed ^ (it as u64).wrapping_mul(0x9E3779B97F4A7C15),
+            )?;
+            // Argmax not yet evaluated.
+            let mut best: Option<(usize, f64)> = None;
+            for (i, &sc) in scores.iter().enumerate() {
+                if xs.iter().any(|&e| (e - grid[i]).abs() < span * 1e-6) {
+                    continue;
+                }
+                if best.is_none_or(|(_, b)| sc > b) {
+                    best = Some((i, sc));
+                }
+            }
+            let Some((idx, score)) = best else { break };
+            if score <= 0.0 {
+                break; // no expected improvement anywhere
+            }
+            let s = grid[idx];
+            let (o, c) = eval(s);
+            xs.push(s);
+            ys_obj.push(o);
+            ys_con.push(c);
+            gp_pair = self.fit_gps(&xs, &ys_obj, &ys_con, noise_var)?;
+        }
+
+        // Final selection: the best *evaluated* objective among points
+        // whose GP probability of feasibility clears the threshold (the
+        // incumbent-recommendation rule of noisy BO). Judging feasibility
+        // through the constraint GP — whose noise is the bootstrap
+        // modeling-error variance — is what makes the decision
+        // error-aware; judging the objective at evaluated points avoids
+        // the posterior-mean smoothing washing out the sharp interruption
+        // kink at `inlet + κ`.
+        let pts: Vec<Vec<f64>> = grid.iter().map(|&s| vec![s]).collect();
+        let post_o = gp_pair.0.posterior(&pts);
+        let post_c = gp_pair.1.posterior(&pts);
+        let eval_pts: Vec<Vec<f64>> = xs.iter().map(|&s| vec![s]).collect();
+        let post_c_eval = gp_pair.1.posterior(&eval_pts);
+        let mut best: Option<(f64, f64)> = None; // (setpoint, observed objective)
+        for i in 0..xs.len() {
+            let sigma = post_c_eval.var[i].sqrt().max(1e-9);
+            let p_feasible = normal_cdf(-post_c_eval.mean[i] / sigma);
+            if p_feasible >= self.config.feasibility_threshold
+                && best.is_none_or(|(_, b)| ys_obj[i] > b)
+            {
+                best = Some((xs[i], ys_obj[i]));
+            }
+        }
+
+        let evaluated: Vec<(f64, f64, f64)> = xs
+            .iter()
+            .zip(ys_obj.iter().zip(&ys_con))
+            .map(|(&s, (&o, &c))| (s, o, c))
+            .collect();
+        let (setpoint, fallback) = match best {
+            Some((s, _)) => (s, false),
+            // §3.3: "TESLA selects S_min and it will re-calibrate itself
+            // later."
+            None => (lo, true),
+        };
+        Ok(BoOutcome {
+            setpoint,
+            fallback,
+            evaluated,
+            grid,
+            objective_mean: post_o.mean,
+            constraint_mean: post_c.mean,
+        })
+    }
+
+    fn fit_gps(
+        &self,
+        xs: &[f64],
+        ys_obj: &[f64],
+        ys_con: &[f64],
+        noise_var: (f64, f64),
+    ) -> Result<(FixedNoiseGp<Matern52>, FixedNoiseGp<Matern52>), BoError> {
+        let pts: Vec<Vec<f64>> = xs.iter().map(|&s| vec![s]).collect();
+        let scale = |ys: &[f64]| -> Vec<f64> {
+            // Output-scale grid tied to the data spread.
+            let var = tesla_linalg::stats::variance(ys).max(1e-6);
+            vec![var * 0.3, var, var * 3.0]
+        };
+        let gp_o = fit_matern_hypers(
+            &pts,
+            ys_obj,
+            &vec![noise_var.0.max(1e-9); xs.len()],
+            &self.config.lengthscales,
+            &scale(ys_obj),
+        )?;
+        let gp_c = fit_matern_hypers(
+            &pts,
+            ys_con,
+            &vec![noise_var.1.max(1e-9); xs.len()],
+            &self.config.lengthscales,
+            &scale(ys_con),
+        )?;
+        Ok((gp_o, gp_c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn optimizer() -> BayesianOptimizer {
+        BayesianOptimizer::new(BoConfig {
+            bounds: (20.0, 35.0),
+            n_init: 6,
+            n_iter: 4,
+            n_mc: 48,
+            n_grid: 31,
+            ..BoConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn finds_the_constrained_optimum() {
+        // Objective peaks at 30, constraint allows only s ≤ 27:
+        // the answer must sit near 27.
+        let opt = optimizer();
+        let out = opt
+            .optimize(
+                |s| (-(s - 30.0) * (s - 30.0), s - 27.0),
+                (1e-6, 1e-6),
+                1,
+            )
+            .unwrap();
+        assert!(!out.fallback);
+        assert!(
+            (out.setpoint - 27.0).abs() <= 1.0,
+            "chose {} (expected ≈ 27)",
+            out.setpoint
+        );
+    }
+
+    #[test]
+    fn unconstrained_peak_found_when_feasible() {
+        let opt = optimizer();
+        let out = opt
+            .optimize(|s| (-(s - 26.0) * (s - 26.0), -1.0), (1e-6, 1e-6), 2)
+            .unwrap();
+        assert!(!out.fallback);
+        assert!((out.setpoint - 26.0).abs() <= 1.0, "chose {}", out.setpoint);
+    }
+
+    #[test]
+    fn falls_back_to_smin_when_everything_infeasible() {
+        let opt = optimizer();
+        let out = opt.optimize(|_| (0.0, 5.0), (1e-6, 1e-6), 3).unwrap();
+        assert!(out.fallback);
+        assert_eq!(out.setpoint, 20.0);
+    }
+
+    #[test]
+    fn noise_awareness_high_noise_keeps_exploring() {
+        // With huge observation noise, the optimizer must still return a
+        // bounded, in-range answer (and not crash).
+        let opt = optimizer();
+        let out = opt
+            .optimize(
+                |s| (-(s - 25.0) * (s - 25.0), s - 30.0),
+                (25.0, 4.0),
+                4,
+            )
+            .unwrap();
+        assert!((20.0..=35.0).contains(&out.setpoint));
+    }
+
+    #[test]
+    fn outcome_carries_posterior_curves_for_fig8() {
+        let opt = optimizer();
+        let out = opt
+            .optimize(|s| (-(s - 26.0) * (s - 26.0), s - 28.0), (1e-4, 1e-4), 5)
+            .unwrap();
+        assert_eq!(out.grid.len(), 31);
+        assert_eq!(out.objective_mean.len(), 31);
+        assert_eq!(out.constraint_mean.len(), 31);
+        // Constraint mean should be increasing in s (it is s − 28).
+        assert!(out.constraint_mean[30] > out.constraint_mean[0]);
+        assert!(out.evaluated.len() >= 6);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(BayesianOptimizer::new(BoConfig {
+            bounds: (30.0, 20.0),
+            ..BoConfig::default()
+        })
+        .is_err());
+        assert!(BayesianOptimizer::new(BoConfig { n_init: 1, ..BoConfig::default() }).is_err());
+        assert!(BayesianOptimizer::new(BoConfig {
+            feasibility_threshold: 1.5,
+            ..BoConfig::default()
+        })
+        .is_err());
+        assert!(BayesianOptimizer::new(BoConfig {
+            lengthscales: vec![],
+            ..BoConfig::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let opt = optimizer();
+        let run = |seed| {
+            opt.optimize(|s| (-(s - 24.0) * (s - 24.0), s - 29.0), (0.01, 0.01), seed)
+                .unwrap()
+                .setpoint
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the Bayesian optimizer.
+
+use proptest::prelude::*;
+use tesla_bo::{BayesianOptimizer, BoConfig, PredictionErrorMonitor};
+
+fn optimizer() -> BayesianOptimizer {
+    BayesianOptimizer::new(BoConfig {
+        bounds: (20.0, 35.0),
+        n_init: 5,
+        n_iter: 2,
+        n_mc: 24,
+        n_grid: 16,
+        ..BoConfig::default()
+    })
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever the objective/constraint surfaces, the decision stays in
+    /// bounds and the outcome is internally consistent.
+    #[test]
+    fn decision_always_in_bounds(
+        peak in 18.0f64..38.0,
+        limit in 18.0f64..40.0,
+        noise_o in 1e-6f64..4.0,
+        noise_c in 1e-6f64..4.0,
+        seed in 0u64..200,
+    ) {
+        let opt = optimizer();
+        let out = opt
+            .optimize(
+                |s| (-(s - peak) * (s - peak), s - limit),
+                (noise_o, noise_c),
+                seed,
+            )
+            .unwrap();
+        prop_assert!((20.0..=35.0).contains(&out.setpoint));
+        prop_assert!(!out.evaluated.is_empty());
+        prop_assert_eq!(out.grid.len(), out.objective_mean.len());
+        prop_assert_eq!(out.grid.len(), out.constraint_mean.len());
+        if out.fallback {
+            prop_assert_eq!(out.setpoint, 20.0);
+        }
+    }
+
+    /// Warm-start hints are honoured: every finite in-bounds hint appears
+    /// among the evaluated points.
+    #[test]
+    fn hints_are_evaluated(
+        h1 in 21.0f64..34.0,
+        h2 in 21.0f64..34.0,
+        seed in 0u64..100,
+    ) {
+        let opt = optimizer();
+        let out = opt
+            .optimize_with_hints(
+                |s| (-s, s - 30.0),
+                (0.01, 0.01),
+                seed,
+                &[h1, h2, f64::NAN],
+            )
+            .unwrap();
+        for h in [h1, h2] {
+            let seen = out.evaluated.iter().any(|(s, _, _)| (s - h).abs() < 1e-6);
+            prop_assert!(seen, "hint {h} was not evaluated");
+        }
+    }
+
+    /// A uniformly infeasible constraint always produces the S_min
+    /// fallback, regardless of noise or seed.
+    #[test]
+    fn infeasible_always_falls_back(
+        margin in 0.5f64..20.0,
+        noise in 1e-6f64..0.5,
+        seed in 0u64..100,
+    ) {
+        let opt = optimizer();
+        let out = opt.optimize(|_| (0.0, margin), (noise, noise), seed).unwrap();
+        prop_assert!(out.fallback);
+        prop_assert_eq!(out.setpoint, 20.0);
+    }
+
+    /// Bootstrap variances scale with the error magnitude.
+    #[test]
+    fn monitor_variance_scales(scale in 0.1f64..10.0) {
+        let mut small = PredictionErrorMonitor::new(500, (1.0, 1.0));
+        let mut big = PredictionErrorMonitor::new(500, (1.0, 1.0));
+        for i in 0..200 {
+            let e = ((i as f64) * 0.7).sin();
+            small.record(e, e);
+            big.record(e * scale, e * scale);
+        }
+        let (vs, _) = small.bootstrap_variances(800, 3);
+        let (vb, _) = big.bootstrap_variances(800, 3);
+        let ratio = vb / vs;
+        prop_assert!(
+            (ratio / (scale * scale) - 1.0).abs() < 0.6,
+            "variance ratio {ratio} vs scale^2 {}",
+            scale * scale
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! The controller interface shared by TESLA and the baselines.
+
+use tesla_forecast::Trace;
+
+/// A cooling controller: at each sampling period it observes the full
+/// telemetry history so far and returns the set-point to execute next.
+///
+/// Controllers are `Send` so the threaded runtime (§4's consumer process)
+/// can own them on a worker thread.
+pub trait Controller: Send {
+    /// Human-readable name (used in benchmark tables).
+    fn name(&self) -> &str;
+
+    /// Decides the set-point to execute for the next sampling period.
+    ///
+    /// `history` contains every observed sample up to and including the
+    /// current one; implementations typically look at the trailing `L`
+    /// samples. Until enough history accumulates they should return a
+    /// safe default.
+    fn decide(&mut self, history: &Trace) -> f64;
+
+    /// Resets internal state between episodes.
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo(f64);
+    impl Controller for Echo {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn decide(&mut self, _history: &Trace) -> f64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let mut c: Box<dyn Controller> = Box::new(Echo(23.0));
+        assert_eq!(c.decide(&Trace::with_sensors(1, 1)), 23.0);
+        assert_eq!(c.name(), "echo");
+        c.reset();
+    }
+}

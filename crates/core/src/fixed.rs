@@ -1,0 +1,47 @@
+//! The industry-practice baseline: a fixed set-point chosen by a human
+//! operator (23 °C in the paper's Table 5).
+
+use crate::controller::Controller;
+use tesla_forecast::Trace;
+
+/// Always returns the same set-point.
+#[derive(Debug, Clone)]
+pub struct FixedController {
+    setpoint: f64,
+    name: String,
+}
+
+impl FixedController {
+    /// Creates the controller.
+    pub fn new(setpoint: f64) -> Self {
+        FixedController { setpoint, name: format!("fixed-{setpoint:.0}C") }
+    }
+
+    /// The configured set-point.
+    pub fn setpoint(&self) -> f64 {
+        self.setpoint
+    }
+}
+
+impl Controller for FixedController {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, _history: &Trace) -> f64 {
+        self.setpoint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_returns_configured_setpoint() {
+        let mut c = FixedController::new(23.0);
+        assert_eq!(c.decide(&Trace::with_sensors(1, 1)), 23.0);
+        assert_eq!(c.name(), "fixed-23C");
+        assert_eq!(c.setpoint(), 23.0);
+    }
+}

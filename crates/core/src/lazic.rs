@@ -1,0 +1,205 @@
+//! The Lazic et al. \[20\] MPC baseline (§5.3, §6.3).
+//!
+//! "Lazic et al. relies on an autoregressive linear modeling for DC
+//! temperature prediction, based on which a gradient-descent optimizer
+//! chooses the highest set-point such that the predicted maximum cold
+//! aisle temperature stays below the specified 22 °C limit" — and, when
+//! no feasible set-point exists, "a backup strategy of selecting
+//! S_min = 20 °C" kicks in (Fig. 11a).
+//!
+//! The decision variable is scalar, so the gradient-descent search is
+//! implemented as an equivalent top-down scan over the set-point grid
+//! (same argmax, no local-minimum risk). Crucially — and this is the
+//! paper's point — the objective contains *only* cooling energy (higher
+//! set-point = cheaper), with no interruption term, which drives the ACU
+//! to the constraint boundary and into repeated cooling interruptions.
+
+use crate::controller::Controller;
+use crate::CoreError;
+use tesla_forecast::{RecursiveAr, Trace};
+
+/// Lazic baseline configuration.
+#[derive(Debug, Clone)]
+pub struct LazicConfig {
+    /// Prediction horizon in steps.
+    pub horizon: usize,
+    /// AR order (past frames consumed by the collective model).
+    pub order: usize,
+    /// Cold-aisle limit, °C.
+    pub d_allowed: f64,
+    /// Cold-aisle sensor indices.
+    pub cold_sensors: Vec<usize>,
+    /// Set-point search bounds `[S_min, S_max]`.
+    pub bounds: (f64, f64),
+    /// Search grid step, °C.
+    pub grid_step: f64,
+    /// Maximum set-point change per decision, °C. The paper's optimizer
+    /// is gradient descent warm-started from the previous decision, so it
+    /// moves a few steps per control period rather than jumping globally.
+    pub max_step_c: f64,
+    /// Set-point before enough history exists.
+    pub cold_start_setpoint: f64,
+}
+
+impl Default for LazicConfig {
+    fn default() -> Self {
+        LazicConfig {
+            // A short re-planning lookahead: the MPC re-decides every
+            // minute and only vets candidates over the next few minutes.
+            // Interruption-driven temperature ramps play out over tens of
+            // minutes (Fig. 3), which is precisely the dynamics this
+            // controller fails to anticipate (§6.3).
+            horizon: 5,
+            order: 2,
+            d_allowed: 22.0,
+            cold_sensors: (0..11).collect(),
+            bounds: (20.0, 35.0),
+            grid_step: 0.25,
+            max_step_c: 1.0,
+            cold_start_setpoint: 23.0,
+        }
+    }
+}
+
+/// The fitted Lazic controller.
+pub struct LazicController {
+    model: RecursiveAr,
+    config: LazicConfig,
+    last_setpoint: Option<f64>,
+}
+
+impl LazicController {
+    /// Trains the recursive AR model (OLS, per \[20\]) on a sweep trace.
+    pub fn new(trace: &Trace, config: LazicConfig) -> Result<Self, CoreError> {
+        if config.bounds.0 >= config.bounds.1 || config.grid_step <= 0.0 {
+            return Err(CoreError::Config("invalid Lazic bounds/grid".into()));
+        }
+        let model = RecursiveAr::fit(trace, config.order, 0.0)?;
+        Ok(LazicController { model, config, last_setpoint: None })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &LazicConfig {
+        &self.config
+    }
+
+    /// Predicted max cold-aisle temperature over the horizon for a
+    /// candidate set-point.
+    fn predicted_max(&self, history: &Trace, setpoint: f64) -> Option<f64> {
+        let now = history.len().checked_sub(1)?;
+        let lag = self.config.order.max(2);
+        let window = history.window_at(now, lag).ok()?;
+        let sps = vec![setpoint; self.config.horizon];
+        let rollout = self.model.predict_rollout(&window, &sps).ok()?;
+        let mut max = f64::NEG_INFINITY;
+        for &k in &self.config.cold_sensors {
+            if let Some(series) = rollout.get(k) {
+                for &v in series {
+                    max = max.max(v);
+                }
+            }
+        }
+        Some(max)
+    }
+}
+
+impl Controller for LazicController {
+    fn name(&self) -> &str {
+        "lazic"
+    }
+
+    fn decide(&mut self, history: &Trace) -> f64 {
+        let lag = self.config.order.max(2);
+        if history.len() < lag {
+            return self.config.cold_start_setpoint;
+        }
+        // Gradient-descent equivalent: search within max_step_c of the
+        // previous decision, from the top down, for the highest set-point
+        // whose predicted max cold-aisle temperature stays below the
+        // limit.
+        let (lo, hi) = self.config.bounds;
+        let prev = self.last_setpoint.unwrap_or(self.config.cold_start_setpoint);
+        let hi = hi.min(prev + self.config.max_step_c);
+        let lo_local = lo.max(prev - self.config.max_step_c);
+        let mut s = hi;
+        while s >= lo_local - 1e-9 {
+            match self.predicted_max(history, s) {
+                Some(max) if max < self.config.d_allowed => {
+                    self.last_setpoint = Some(s);
+                    return s;
+                }
+                Some(_) => {}
+                None => return self.config.cold_start_setpoint,
+            }
+            s -= self.config.grid_step;
+        }
+        // No feasible set-point within reach: S_min backup (§6.3).
+        self.last_setpoint = Some(lo);
+        lo
+    }
+
+    fn reset(&mut self) {
+        self.last_setpoint = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{generate_sweep_trace, DatasetConfig};
+
+    fn controller() -> (LazicController, Trace) {
+        let dcfg = DatasetConfig { days: 0.5, seed: 21, ..DatasetConfig::default() };
+        let trace = generate_sweep_trace(&dcfg).unwrap();
+        let ctrl = LazicController::new(&trace, LazicConfig::default()).unwrap();
+        (ctrl, trace)
+    }
+
+    #[test]
+    fn decision_in_bounds() {
+        let (mut ctrl, trace) = controller();
+        let sp = ctrl.decide(&trace);
+        assert!((20.0..=35.0).contains(&sp), "setpoint {sp}");
+    }
+
+    #[test]
+    fn rides_the_boundary_by_construction() {
+        // Whatever it picks, the next-lower grid point must also be
+        // feasible (it picked the HIGHEST feasible one) — verify the scan
+        // semantics by checking its own model's predictions.
+        let (mut ctrl, trace) = controller();
+        let sp = ctrl.decide(&trace);
+        if sp > 20.0 && sp < 35.0 {
+            let m_here = ctrl.predicted_max(&trace, sp).unwrap();
+            let m_above = ctrl.predicted_max(&trace, sp + 0.25).unwrap();
+            assert!(m_here < 22.0);
+            assert!(m_above >= 22.0, "a higher set-point should have been infeasible");
+        }
+    }
+
+    #[test]
+    fn cold_start_default() {
+        let (mut ctrl, _) = controller();
+        let sp = ctrl.decide(&Trace::with_sensors(2, 35));
+        assert_eq!(sp, 23.0);
+    }
+
+    #[test]
+    fn smin_backup_when_everything_infeasible() {
+        let (mut ctrl, trace) = controller();
+        // Force infeasibility by dropping the limit absurdly low.
+        ctrl.config.d_allowed = -100.0;
+        let sp = ctrl.decide(&trace);
+        assert_eq!(sp, 20.0);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let dcfg = DatasetConfig { days: 0.3, seed: 2, ..DatasetConfig::default() };
+        let trace = generate_sweep_trace(&dcfg).unwrap();
+        let cfg = LazicConfig { bounds: (35.0, 20.0), ..LazicConfig::default() };
+        assert!(LazicController::new(&trace, cfg).is_err());
+        let cfg = LazicConfig { grid_step: 0.0, ..LazicConfig::default() };
+        assert!(LazicController::new(&trace, cfg).is_err());
+    }
+}

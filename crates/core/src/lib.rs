@@ -1,0 +1,94 @@
+//! TESLA's control layer: the paper's primary contribution, plus the
+//! three comparison controllers of Table 5 and the machinery to train and
+//! evaluate all of them end-to-end on the simulated testbed.
+//!
+//! * [`tesla::TeslaController`] — the full pipeline of Figs. 5 and 7:
+//!   DC time-series model → objective/constraint (Eqs. 5–9, including the
+//!   cooling-interruption penalty `D`) → bootstrap-noise-aware constrained
+//!   Bayesian optimizer → smoothing buffer → set-point execution.
+//! * [`fixed::FixedController`] — the industry-practice fixed set-point
+//!   (23 °C in the paper's evaluation).
+//! * [`lazic::LazicController`] — Lazic et al. \[20\]: recursive
+//!   autoregressive model + "highest set-point whose predicted max
+//!   cold-aisle temperature stays below the limit", with the `S_min`
+//!   backup.
+//! * [`tsrl::TsrlController`] — TSRL \[8\]: offline RL (fitted Q iteration
+//!   over discretized set-points) trained on logged traces with an
+//!   energy reward and a thermal-violation cost, and *no* interruption
+//!   term — which is exactly why it overshoots (§6.3).
+//! * [`dataset`] — §5.1's data collection: random 12-hour load settings
+//!   with a 20→35 °C set-point sweep at 0.5 °C per 5 minutes.
+//! * [`experiment`] — closed-loop episode runner computing the Table 5
+//!   metrics (cooling energy, thermal-safety violation, cooling
+//!   interruption).
+//! * [`runtime`] — the §4-faithful threaded producer/consumer deployment
+//!   over a message queue.
+
+pub mod controller;
+pub mod dataset;
+pub mod experiment;
+pub mod fixed;
+pub mod lazic;
+pub mod objective;
+pub mod runtime;
+pub mod smoothing;
+pub mod tesla;
+pub mod tsrl;
+
+pub use controller::Controller;
+pub use experiment::{run_episode, EpisodeConfig, EvalResult};
+pub use fixed::FixedController;
+pub use lazic::LazicController;
+pub use smoothing::SmoothingBuffer;
+pub use tesla::{TeslaConfig, TeslaController};
+pub use tsrl::{TsrlConfig, TsrlController};
+
+/// Errors from the control layer.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Simulator failure.
+    Sim(tesla_sim::SimError),
+    /// Forecasting failure.
+    Forecast(tesla_forecast::ForecastError),
+    /// Optimizer failure.
+    Bo(tesla_bo::BoError),
+    /// ML baseline failure.
+    Ml(tesla_ml::MlError),
+    /// Configuration / orchestration failure.
+    Config(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Sim(e) => write!(f, "simulator: {e}"),
+            CoreError::Forecast(e) => write!(f, "forecast: {e}"),
+            CoreError::Bo(e) => write!(f, "optimizer: {e}"),
+            CoreError::Ml(e) => write!(f, "ml: {e}"),
+            CoreError::Config(m) => write!(f, "config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<tesla_sim::SimError> for CoreError {
+    fn from(e: tesla_sim::SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+impl From<tesla_forecast::ForecastError> for CoreError {
+    fn from(e: tesla_forecast::ForecastError) -> Self {
+        CoreError::Forecast(e)
+    }
+}
+impl From<tesla_bo::BoError> for CoreError {
+    fn from(e: tesla_bo::BoError) -> Self {
+        CoreError::Bo(e)
+    }
+}
+impl From<tesla_ml::MlError> for CoreError {
+    fn from(e: tesla_ml::MlError) -> Self {
+        CoreError::Ml(e)
+    }
+}

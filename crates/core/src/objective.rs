@@ -1,0 +1,129 @@
+//! The optimizer's objective and constraint (Eqs. 5–9).
+//!
+//! Objective (maximized): `O = −(Ê + w·D)` where `Ê` is the predicted
+//! cooling energy over the horizon and `D` the cooling-interruption
+//! penalty of Eq. 6 — the summed PID residual error wherever the
+//! set-point exceeds the (sensor-averaged) predicted inlet temperature
+//! by more than `κ`. Constraint (feasible iff ≤ 0): Eq. 9, the worst
+//! predicted cold-aisle sensor reading minus `d_allowed`.
+//!
+//! The paper works in min-max-normalized units where energy and residual
+//! degrees are commensurate; in physical units we expose the explicit
+//! weight `w` (kWh per °C·step) so the trade-off is visible and
+//! ablatable.
+
+use tesla_forecast::Prediction;
+
+/// Eq. 6–7: cooling-interruption proxy `D` for a constant set-point.
+///
+/// `D = Σ_j U_j`, `U_j = s − avg(â_j)` when that residual exceeds `κ`,
+/// else 0. Positive residual means the set-point sits above the inlet
+/// temperature — the PID is about to stop delivering cold air.
+pub fn interruption_penalty(setpoint: f64, inlet_pred: &[Vec<f64>], kappa: f64) -> f64 {
+    if inlet_pred.is_empty() {
+        return 0.0;
+    }
+    let l = inlet_pred[0].len();
+    let n = inlet_pred.len() as f64;
+    let mut d = 0.0;
+    for j in 0..l {
+        let avg: f64 = inlet_pred.iter().map(|s| s[j]).sum::<f64>() / n;
+        let residual = setpoint - avg;
+        if residual > kappa {
+            d += residual;
+        }
+    }
+    d
+}
+
+/// Eq. 8 (negated for maximization): `O = −(Ê + w·D)`.
+pub fn objective(
+    prediction: &Prediction,
+    setpoint: f64,
+    kappa: f64,
+    interruption_weight: f64,
+) -> f64 {
+    let d = interruption_penalty(setpoint, &prediction.inlet, kappa);
+    -(prediction.energy + interruption_weight * d)
+}
+
+/// Eq. 9: `C = max_{cold sensors, steps} d̂ − d_allowed` (feasible iff ≤ 0).
+pub fn constraint(prediction: &Prediction, cold_sensors: &[usize], d_allowed: f64) -> f64 {
+    prediction.max_over_sensors(cold_sensors.iter().copied()) - d_allowed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pred(inlet: Vec<Vec<f64>>, dc: Vec<Vec<f64>>, energy: f64) -> Prediction {
+        Prediction { power: vec![], inlet, dc, energy }
+    }
+
+    #[test]
+    fn no_penalty_when_setpoint_below_inlet() {
+        let p = pred(vec![vec![25.0; 4]], vec![], 0.5);
+        assert_eq!(interruption_penalty(24.0, &p.inlet, 0.5), 0.0);
+    }
+
+    #[test]
+    fn penalty_accumulates_over_steps() {
+        // Set-point 26, inlet 24 → residual 2 at each of 4 steps, κ=0.5.
+        let p = pred(vec![vec![24.0; 4]], vec![], 0.5);
+        assert_eq!(interruption_penalty(26.0, &p.inlet, 0.5), 8.0);
+    }
+
+    #[test]
+    fn kappa_zero_forbids_any_positive_residual() {
+        // §3.3: "Setting κ = 0 does not allow any interruption."
+        let p = pred(vec![vec![24.0; 3]], vec![], 0.5);
+        assert!(interruption_penalty(24.1, &p.inlet, 0.0) > 0.0);
+        assert_eq!(interruption_penalty(24.1, &p.inlet, 0.5), 0.0);
+    }
+
+    #[test]
+    fn residual_averages_across_acu_sensors() {
+        // Sensors read 23 and 25 → average 24; set-point 25 → residual 1.
+        let p = pred(vec![vec![23.0; 2], vec![25.0; 2]], vec![], 0.5);
+        assert_eq!(interruption_penalty(25.0, &p.inlet, 0.5), 2.0);
+    }
+
+    #[test]
+    fn objective_prefers_low_energy_without_interruption() {
+        let cheap = pred(vec![vec![26.0; 4]], vec![], 0.4);
+        let costly = pred(vec![vec![26.0; 4]], vec![], 0.9);
+        let o_cheap = objective(&cheap, 25.0, 0.5, 0.1);
+        let o_costly = objective(&costly, 25.0, 0.5, 0.1);
+        assert!(o_cheap > o_costly);
+    }
+
+    #[test]
+    fn interruption_penalty_can_dominate_energy_savings() {
+        // An interrupting set-point that saves 0.3 kWh must still lose
+        // with the default-scale weight.
+        let interrupting = pred(vec![vec![24.0; 20]], vec![], 0.2);
+        let safe = pred(vec![vec![24.0; 20]], vec![], 0.5);
+        let o_int = objective(&interrupting, 27.0, 0.5, 0.1); // D = 3*20 = 60
+        let o_safe = objective(&safe, 24.0, 0.5, 0.1);
+        assert!(o_safe > o_int);
+    }
+
+    #[test]
+    fn constraint_uses_worst_cold_sensor() {
+        let p = pred(
+            vec![],
+            vec![vec![20.0, 21.5], vec![19.0, 23.0], vec![30.0, 30.0]],
+            0.0,
+        );
+        // Only sensors 0 and 1 are cold-aisle; sensor 2's 30 °C must be
+        // ignored.
+        let c = constraint(&p, &[0, 1], 22.0);
+        assert!((c - 1.0).abs() < 1e-12); // 23 − 22
+        assert!(constraint(&p, &[0], 22.0) < 0.0);
+    }
+
+    #[test]
+    fn empty_inlet_prediction_is_harmless() {
+        assert_eq!(interruption_penalty(30.0, &[], 0.5), 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! The smoothing buffer of §3.4.
+//!
+//! Set-point transitions take time and cost energy (§2.2, Fig. 4), so the
+//! optimizer's raw output is not executed directly: a length-`N` buffer
+//! stores the computed set-points and the ACU receives their running
+//! average — "a low-pass filter that removes the high-frequency
+//! variations in the computed set-points" (Table 2: `N = 5`).
+
+use std::collections::VecDeque;
+
+/// Running-average smoothing buffer.
+#[derive(Debug, Clone)]
+pub struct SmoothingBuffer {
+    capacity: usize,
+    values: VecDeque<f64>,
+}
+
+impl SmoothingBuffer {
+    /// Creates a buffer of length `n` (min 1).
+    pub fn new(n: usize) -> Self {
+        SmoothingBuffer { capacity: n.max(1), values: VecDeque::new() }
+    }
+
+    /// Buffer capacity `N`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of stored set-points.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Pushes a computed set-point and returns the smoothed (executed)
+    /// value: the running average of the stored contents.
+    pub fn push(&mut self, setpoint: f64) -> f64 {
+        if self.values.len() == self.capacity {
+            self.values.pop_front();
+        }
+        self.values.push_back(setpoint);
+        self.average()
+    }
+
+    /// The current running average (the executed set-point).
+    pub fn average(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Clears the buffer (e.g. on controller reset).
+    pub fn clear(&mut self) {
+        self.values.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_of_partial_buffer() {
+        let mut b = SmoothingBuffer::new(5);
+        assert_eq!(b.push(10.0), 10.0);
+        assert_eq!(b.push(20.0), 15.0);
+        assert_eq!(b.push(30.0), 20.0);
+    }
+
+    #[test]
+    fn rolls_over_at_capacity() {
+        let mut b = SmoothingBuffer::new(3);
+        b.push(1.0);
+        b.push(2.0);
+        b.push(3.0);
+        // Buffer now [1,2,3]; pushing 7 evicts 1 -> [2,3,7].
+        assert_eq!(b.push(7.0), 4.0);
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn constant_input_is_identity() {
+        let mut b = SmoothingBuffer::new(5);
+        for _ in 0..10 {
+            assert_eq!(b.push(23.0), 23.0);
+        }
+    }
+
+    #[test]
+    fn damps_a_step_change() {
+        // A sudden 20→30 step must be spread over N samples.
+        let mut b = SmoothingBuffer::new(5);
+        for _ in 0..5 {
+            b.push(20.0);
+        }
+        let first = b.push(30.0);
+        assert_eq!(first, 22.0); // (20*4 + 30)/5
+        let mut out = first;
+        for _ in 0..4 {
+            out = b.push(30.0);
+        }
+        assert_eq!(out, 30.0);
+    }
+
+    #[test]
+    fn smoothed_output_bounded_by_input_range() {
+        let mut b = SmoothingBuffer::new(4);
+        let inputs = [25.0, 20.0, 35.0, 22.0, 28.0, 20.5];
+        for v in inputs {
+            let out = b.push(v);
+            assert!((20.0..=35.0).contains(&out));
+        }
+    }
+
+    #[test]
+    fn capacity_one_is_passthrough() {
+        let mut b = SmoothingBuffer::new(1);
+        assert_eq!(b.push(21.0), 21.0);
+        assert_eq!(b.push(29.0), 29.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut b = SmoothingBuffer::new(3);
+        b.push(20.0);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.push(30.0), 30.0);
+    }
+}

@@ -1,0 +1,346 @@
+//! TSRL \[8\] baseline: offline reinforcement learning over logged traces.
+//!
+//! Per §5.3, TSRL "directly outputs the set-point decision without
+//! modeling DC temperature or cooling energy. It uses cooling energy
+//! saving as its reward and thermal safety violation as its cost", trained
+//! purely on historical traces. The original is a deep offline-RL method;
+//! this reproduction implements fitted Q-iteration with a linear
+//! per-action Q-function over discretized set-points — the behaviour the
+//! paper analyzes (energy-greedy boundary riding with no interruption
+//! awareness, §6.3) comes from the reward design, not the function class.
+
+use crate::controller::Controller;
+use crate::CoreError;
+use tesla_forecast::Trace;
+use tesla_linalg::{fit_ridge, Matrix, Ridge};
+
+/// TSRL configuration.
+#[derive(Debug, Clone)]
+pub struct TsrlConfig {
+    /// Action grid bounds `[S_min, S_max]`.
+    pub bounds: (f64, f64),
+    /// Action grid step, °C.
+    pub action_step: f64,
+    /// Discount factor.
+    pub gamma: f64,
+    /// Fitted-Q iterations.
+    pub n_iterations: usize,
+    /// Cost weight per °C of cold-aisle limit violation.
+    pub violation_cost: f64,
+    /// Cold-aisle limit, °C.
+    pub d_allowed: f64,
+    /// Cold-aisle sensor indices.
+    pub cold_sensors: Vec<usize>,
+    /// Ridge strength for the per-action Q regressions.
+    pub alpha: f64,
+    /// Set-point before enough history exists.
+    pub cold_start_setpoint: f64,
+    /// Energy-greedy tie-breaking: among actions whose Q lies within this
+    /// fraction of the Q-range from the maximum, take the *highest*
+    /// set-point. Offline RL with an energy reward is near-indifferent
+    /// across the safe band, and this greedy resolution is what produces
+    /// the boundary-riding behaviour the paper analyzes in §6.3.
+    pub tie_epsilon: f64,
+}
+
+impl Default for TsrlConfig {
+    fn default() -> Self {
+        TsrlConfig {
+            bounds: (20.0, 35.0),
+            action_step: 0.5,
+            gamma: 0.9,
+            n_iterations: 15,
+            // Deliberately mild: TSRL weighs violation as a soft cost
+            // against energy, which is what drives it to the constraint
+            // boundary (§6.3). A large weight would make it conservative
+            // and erase the behaviour the paper analyzes.
+            violation_cost: 0.12,
+            d_allowed: 22.0,
+            cold_sensors: (0..11).collect(),
+            alpha: 1.0,
+            cold_start_setpoint: 23.0,
+            tie_epsilon: 0.1,
+        }
+    }
+}
+
+/// State features: a compact summary of current telemetry.
+const STATE_DIM: usize = 5;
+
+/// The trained TSRL controller.
+pub struct TsrlController {
+    /// One linear Q-head per discretized action.
+    q_heads: Vec<Option<Ridge>>,
+    actions: Vec<f64>,
+    config: TsrlConfig,
+}
+
+impl TsrlController {
+    /// Trains with fitted Q-iteration on a logged sweep trace.
+    pub fn new(trace: &Trace, config: TsrlConfig) -> Result<Self, CoreError> {
+        if config.bounds.0 >= config.bounds.1 || config.action_step <= 0.0 {
+            return Err(CoreError::Config("invalid TSRL bounds/action grid".into()));
+        }
+        if !(0.0..1.0).contains(&config.gamma) {
+            return Err(CoreError::Config("gamma must be in [0,1)".into()));
+        }
+        trace.validate(8).map_err(CoreError::Forecast)?;
+
+        let actions = Self::action_grid(&config);
+        let n_actions = actions.len();
+
+        // Transitions: (state_t, action taken at t -> executed at t+1,
+        // reward observed at t+1, state_{t+1}).
+        let t_len = trace.len();
+        let mut states = Vec::with_capacity(t_len);
+        for t in 0..t_len {
+            states.push(Self::state_features_at(trace, t, &config));
+        }
+        let mut transitions: Vec<(usize, usize, f64, usize)> = Vec::new(); // (t, action idx, reward, t+1)
+        for t in 2..t_len - 1 {
+            let action = trace.setpoint[t + 1];
+            let Some(ai) = Self::nearest_action(&actions, action, config.action_step) else {
+                continue;
+            };
+            let reward = Self::reward(trace, t + 1, &config);
+            transitions.push((t, ai, reward, t + 1));
+        }
+        if transitions.is_empty() {
+            return Err(CoreError::Config("no usable transitions in the trace".into()));
+        }
+
+        // Fitted Q-iteration.
+        let mut q_heads: Vec<Option<Ridge>> = vec![None; n_actions];
+        for _ in 0..config.n_iterations {
+            // Targets under the current Q.
+            let mut per_action_x: Vec<Vec<Vec<f64>>> = vec![Vec::new(); n_actions];
+            let mut per_action_y: Vec<Vec<f64>> = vec![Vec::new(); n_actions];
+            for &(t, ai, r, tn) in &transitions {
+                let next_v = Self::max_q(&q_heads, &states[tn]);
+                let target = r + config.gamma * next_v;
+                per_action_x[ai].push(states[t].clone());
+                per_action_y[ai].push(target);
+            }
+            for ai in 0..n_actions {
+                if per_action_x[ai].len() >= STATE_DIM + 2 {
+                    let x = Matrix::from_rows(&per_action_x[ai])
+                        .map_err(|e| CoreError::Config(e.to_string()))?;
+                    if let Ok(model) = fit_ridge(&x, &per_action_y[ai], config.alpha) {
+                        q_heads[ai] = Some(model);
+                    }
+                }
+            }
+        }
+        Ok(TsrlController { q_heads, actions, config })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TsrlConfig {
+        &self.config
+    }
+
+    /// The discretized action grid.
+    pub fn actions(&self) -> &[f64] {
+        &self.actions
+    }
+
+    /// Number of actions with a trained Q-head.
+    pub fn trained_actions(&self) -> usize {
+        self.q_heads.iter().filter(|h| h.is_some()).count()
+    }
+
+    fn action_grid(config: &TsrlConfig) -> Vec<f64> {
+        let (lo, hi) = config.bounds;
+        let n = ((hi - lo) / config.action_step).round() as usize + 1;
+        (0..n).map(|i| lo + i as f64 * config.action_step).collect()
+    }
+
+    fn nearest_action(actions: &[f64], value: f64, step: f64) -> Option<usize> {
+        let mut best = None;
+        let mut best_d = f64::INFINITY;
+        for (i, &a) in actions.iter().enumerate() {
+            let d = (a - value).abs();
+            if d < best_d {
+                best_d = d;
+                best = Some(i);
+            }
+        }
+        // Only accept if the logged set-point is actually on-grid-ish.
+        best.filter(|_| best_d <= step * 0.75)
+    }
+
+    /// Reward at step `t`: negative cooling energy minus the violation
+    /// cost (no interruption term — the point of the comparison).
+    fn reward(trace: &Trace, t: usize, config: &TsrlConfig) -> f64 {
+        let mut max_cold = f64::NEG_INFINITY;
+        for &k in &config.cold_sensors {
+            if let Some(col) = trace.dc_temps.get(k) {
+                max_cold = max_cold.max(col[t]);
+            }
+        }
+        let violation = (max_cold - config.d_allowed).max(0.0);
+        -trace.acu_energy[t] - config.violation_cost * violation
+    }
+
+    /// State features at trace index `t`.
+    fn state_features_at(trace: &Trace, t: usize, config: &TsrlConfig) -> Vec<f64> {
+        let mut max_cold = f64::NEG_INFINITY;
+        for &k in &config.cold_sensors {
+            if let Some(col) = trace.dc_temps.get(k) {
+                max_cold = max_cold.max(col[t]);
+            }
+        }
+        let inlet_avg = trace.acu_inlet.iter().map(|c| c[t]).sum::<f64>()
+            / trace.acu_inlet.len().max(1) as f64;
+        let power = trace.avg_power[t];
+        let power_trend = if t >= 5 { power - trace.avg_power[t - 5] } else { 0.0 };
+        let setpoint = trace.setpoint[t];
+        vec![max_cold, inlet_avg, power, power_trend, setpoint]
+    }
+
+    fn max_q(q_heads: &[Option<Ridge>], state: &[f64]) -> f64 {
+        let mut best = f64::NEG_INFINITY;
+        let mut any = false;
+        for head in q_heads.iter().flatten() {
+            best = best.max(head.predict(state));
+            any = true;
+        }
+        if any {
+            best
+        } else {
+            0.0
+        }
+    }
+}
+
+impl Controller for TsrlController {
+    fn name(&self) -> &str {
+        "tsrl"
+    }
+
+    fn decide(&mut self, history: &Trace) -> f64 {
+        if history.len() < 6 {
+            return self.config.cold_start_setpoint;
+        }
+        let t = history.len() - 1;
+        let state = Self::state_features_at(history, t, &self.config);
+        let qs: Vec<Option<f64>> = self
+            .q_heads
+            .iter()
+            .map(|head| head.as_ref().map(|h| h.predict(&state)))
+            .collect();
+        let (mut qmax, mut qmin) = (f64::NEG_INFINITY, f64::INFINITY);
+        for q in qs.iter().flatten() {
+            qmax = qmax.max(*q);
+            qmin = qmin.min(*q);
+        }
+        if !qmax.is_finite() {
+            return self.config.cold_start_setpoint;
+        }
+        // Energy-greedy tie-breaking: highest action within ε of the max.
+        let threshold = qmax - self.config.tie_epsilon * (qmax - qmin).max(1e-9);
+        for (ai, q) in qs.iter().enumerate().rev() {
+            if let Some(q) = q {
+                if *q >= threshold {
+                    return self.actions[ai];
+                }
+            }
+        }
+        self.config.cold_start_setpoint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{generate_sweep_trace, DatasetConfig};
+
+    fn controller() -> (TsrlController, Trace) {
+        let dcfg = DatasetConfig { days: 1.0, seed: 31, ..DatasetConfig::default() };
+        let trace = generate_sweep_trace(&dcfg).unwrap();
+        let ctrl = TsrlController::new(&trace, TsrlConfig::default()).unwrap();
+        (ctrl, trace)
+    }
+
+    #[test]
+    fn trains_q_heads_across_the_action_grid() {
+        let (ctrl, _) = controller();
+        assert_eq!(ctrl.actions().len(), 31); // 20..=35 at 0.5
+        assert!(
+            ctrl.trained_actions() > 15,
+            "sweep data should cover most actions, got {}",
+            ctrl.trained_actions()
+        );
+    }
+
+    #[test]
+    fn decision_is_a_grid_action() {
+        let (mut ctrl, trace) = controller();
+        let sp = ctrl.decide(&trace);
+        assert!((20.0..=35.0).contains(&sp));
+        let on_grid = ctrl.actions().iter().any(|&a| (a - sp).abs() < 1e-9);
+        assert!(on_grid, "decision {sp} must be a discretized action");
+    }
+
+    #[test]
+    fn prefers_energy_saving_actions() {
+        // TSRL's defining behaviour: rewards push it toward high
+        // set-points (less energy), stopping only where the soft
+        // violation cost bites. Across a realistic closed-loop episode
+        // its average decision must sit above the fixed-23 C baseline.
+        let (ctrl, _) = controller();
+        let mut boxed: Box<dyn Controller> = Box::new(ctrl);
+        let cfg = crate::experiment::EpisodeConfig {
+            setting: tesla_workload::LoadSetting::Medium,
+            minutes: 90,
+            warmup_minutes: 20,
+            seed: 5,
+            ..crate::experiment::EpisodeConfig::default()
+        };
+        let r = crate::experiment::run_episode(boxed.as_mut(), &cfg).unwrap();
+        let mean_sp = tesla_linalg::stats::mean(&r.setpoints);
+        assert!(mean_sp > 23.0, "energy-greedy policy averaged {mean_sp}");
+    }
+
+    #[test]
+    fn cold_start_default() {
+        let (mut ctrl, _) = controller();
+        assert_eq!(ctrl.decide(&Trace::with_sensors(2, 35)), 23.0);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let dcfg = DatasetConfig { days: 0.3, seed: 1, ..DatasetConfig::default() };
+        let trace = generate_sweep_trace(&dcfg).unwrap();
+        assert!(TsrlController::new(
+            &trace,
+            TsrlConfig { bounds: (35.0, 20.0), ..TsrlConfig::default() }
+        )
+        .is_err());
+        assert!(TsrlController::new(
+            &trace,
+            TsrlConfig { gamma: 1.5, ..TsrlConfig::default() }
+        )
+        .is_err());
+        assert!(TsrlController::new(
+            &trace,
+            TsrlConfig { action_step: 0.0, ..TsrlConfig::default() }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn reward_penalizes_violations() {
+        let (_, trace) = controller();
+        let cfg = TsrlConfig::default();
+        // Craft two one-step comparisons via direct calls.
+        let r_normal = TsrlController::reward(&trace, 10, &cfg);
+        // Same energy but inflated cold-aisle temp → lower reward.
+        let mut hot = trace.clone();
+        for &k in &cfg.cold_sensors {
+            hot.dc_temps[k][10] = 30.0;
+        }
+        let r_hot = TsrlController::reward(&hot, 10, &cfg);
+        assert!(r_hot < r_normal);
+    }
+}

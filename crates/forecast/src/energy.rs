@@ -1,0 +1,184 @@
+//! Cooling-energy sub-module — Eq. 4.
+//!
+//! §2.2 shows instantaneous ACU power is too noisy to regress on a
+//! set-point, so the paper models the *energy over the horizon* instead:
+//!
+//! ```text
+//! Ê^L_{t+1} = φ_0 + Σ_{i=1}^{L} φ_i s_{t+i}
+//!           + Σ_{n_a<N_a} Σ_{i=1}^{L} φ_{n_a,i} â^{n_a}_{t+i}
+//! ```
+//!
+//! Inputs are the future set-points and inlet temperatures over the
+//! interval — exactly the two signals whose difference (the PID residual
+//! error) drives compressor power. The target is the numerically
+//! integrated energy of the observed instantaneous power trace, in kWh.
+//! `α_φ = 1` ridge: inference feeds it *predicted* inlet temperatures.
+
+use crate::trace::Trace;
+use crate::ForecastError;
+use tesla_linalg::{fit_ridge, Matrix, Ridge};
+
+/// Fitted cooling-energy sub-module (a single regression).
+#[derive(Debug, Clone)]
+pub struct EnergyModel {
+    model: Ridge,
+    horizon: usize,
+    n_acu: usize,
+    /// Physical floor on the prediction: during cooling interruption the
+    /// ACU still draws fan power, so horizon energy can never drop below
+    /// the smallest energy seen in training. A pure linear map happily
+    /// extrapolates below (even under) zero there, which wrecks relative
+    /// error exactly where the optimizer's energy-saving incentive is
+    /// strongest.
+    floor_kwh: f64,
+}
+
+impl EnergyModel {
+    /// Fits on a trace with horizon `l` and ridge strength `alpha`.
+    pub fn fit(trace: &Trace, l: usize, alpha: f64) -> Result<Self, ForecastError> {
+        trace.validate(2 * l + 1)?;
+        let n_a = trace.n_acu_sensors();
+        let t_len = trace.len();
+        let rows: Vec<usize> = (l - 1..t_len - l).collect();
+        let n = rows.len();
+        let d = l + n_a * l;
+
+        let mut x = Matrix::zeros(n, d);
+        let mut y = Vec::with_capacity(n);
+        for (r, &t) in rows.iter().enumerate() {
+            let row = x.row_mut(r);
+            Self::fill_features(row, l, n_a, |i| trace.setpoint[t + i], |na, i| {
+                trace.acu_inlet[na][t + i]
+            });
+            // Energy over t+1 ..= t+L: sum of the per-period kWh column
+            // (itself the integral of instantaneous power, §3.2).
+            y.push(trace.acu_energy[t + 1..=t + l].iter().sum());
+        }
+        let floor_kwh = y.iter().cloned().fold(f64::INFINITY, f64::min).max(0.0);
+        let model = fit_ridge(&x, &y, alpha)?;
+        Ok(EnergyModel { model, horizon: l, n_acu: n_a, floor_kwh })
+    }
+
+    /// The physical lower bound applied to predictions, kWh.
+    pub fn floor_kwh(&self) -> f64 {
+        self.floor_kwh
+    }
+
+    fn fill_features(
+        row: &mut [f64],
+        l: usize,
+        n_a: usize,
+        sp: impl Fn(usize) -> f64,
+        inlet: impl Fn(usize, usize) -> f64,
+    ) {
+        for i in 1..=l {
+            row[i - 1] = sp(i);
+        }
+        for na in 0..n_a {
+            for i in 1..=l {
+                row[l + na * l + (i - 1)] = inlet(na, i);
+            }
+        }
+    }
+
+    /// Horizon length `L`.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Predicts the cooling energy (kWh) over the next `L` steps.
+    ///
+    /// * `setpoints` — future set-points, `L` values.
+    /// * `inlet_pred` — predicted inlet temperatures, `[N_a][L]`.
+    pub fn predict(&self, setpoints: &[f64], inlet_pred: &[Vec<f64>]) -> Result<f64, ForecastError> {
+        let l = self.horizon;
+        if setpoints.len() != l {
+            return Err(ForecastError::BadWindow(format!(
+                "energy model expects {l} setpoints, got {}",
+                setpoints.len()
+            )));
+        }
+        if inlet_pred.len() != self.n_acu || inlet_pred.iter().any(|c| c.len() != l) {
+            return Err(ForecastError::BadWindow(
+                "energy model inlet prediction shape mismatch".into(),
+            ));
+        }
+        let mut row = vec![0.0; l + self.n_acu * l];
+        Self::fill_features(&mut row, l, self.n_acu, |i| setpoints[i - 1], |na, i| {
+            inlet_pred[na][i - 1]
+        });
+        Ok(self.model.predict(&row).max(self.floor_kwh))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Trace where per-period energy is a known linear function of the
+    /// PID residual: `e_t = 0.02 + 0.01 · (a_t − s_t)` (clamped at the
+    /// fan floor).
+    fn synthetic_trace(t: usize) -> Trace {
+        let mut tr = Trace::with_sensors(2, 1);
+        let mut a = 25.0;
+        for i in 0..t {
+            let sp = 21.0 + ((i / 9) % 10) as f64 * 0.6;
+            a += 0.25 * (sp + 1.5 - a); // inlet relaxes toward sp + 1.5
+            let residual = a - sp;
+            let e = (0.02 + 0.01 * residual).max(0.002);
+            tr.push(3.0, &[a, a + 0.1], &[20.0], sp, e, e * 60.0);
+        }
+        tr
+    }
+
+    #[test]
+    fn predicts_horizon_energy_accurately() {
+        let tr = synthetic_trace(600);
+        let l = 6;
+        let model = EnergyModel::fit(&tr, l, 1.0).unwrap();
+        let t = 300;
+        let setpoints: Vec<f64> = (1..=l).map(|i| tr.setpoint[t + i]).collect();
+        let inlet: Vec<Vec<f64>> = (0..2)
+            .map(|na| (1..=l).map(|i| tr.acu_inlet[na][t + i]).collect())
+            .collect();
+        let pred = model.predict(&setpoints, &inlet).unwrap();
+        let truth: f64 = tr.acu_energy[t + 1..=t + l].iter().sum();
+        assert!(
+            (pred - truth).abs() < 0.01,
+            "predicted {pred:.4} kWh vs true {truth:.4} kWh"
+        );
+    }
+
+    #[test]
+    fn lower_setpoint_predicts_more_energy() {
+        // The PID works harder when the set-point is below the inlet.
+        let tr = synthetic_trace(600);
+        const L: usize = 5;
+        let model = EnergyModel::fit(&tr, L, 1.0).unwrap();
+        let inlet = vec![vec![25.0; L], vec![25.1; L]];
+        let cold = model.predict(&[21.0; L], &inlet).unwrap();
+        let warm = model.predict(&[26.0; L], &inlet).unwrap();
+        assert!(cold > warm, "cold {cold:.4} must exceed warm {warm:.4}");
+    }
+
+    #[test]
+    fn shape_validation() {
+        let tr = synthetic_trace(300);
+        const L: usize = 4;
+        let model = EnergyModel::fit(&tr, L, 1.0).unwrap();
+        assert!(model.predict(&[23.0; 3], &[vec![24.0; L], vec![24.0; L]]).is_err());
+        assert!(model.predict(&[23.0; L], &[vec![24.0; L]]).is_err());
+        assert!(model.predict(&[23.0; L], &[vec![24.0; 2], vec![24.0; L]]).is_err());
+    }
+
+    #[test]
+    fn energy_is_nonnegative_scale() {
+        let tr = synthetic_trace(600);
+        const L: usize = 4;
+        let model = EnergyModel::fit(&tr, L, 1.0).unwrap();
+        let pred = model
+            .predict(&[23.0; 4], &[vec![24.5; 4], vec![24.6; 4]])
+            .unwrap();
+        assert!(pred > 0.0 && pred < 1.0, "plausible kWh magnitude, got {pred}");
+    }
+}

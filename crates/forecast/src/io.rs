@@ -1,0 +1,215 @@
+//! Trace persistence: CSV save/load.
+//!
+//! The paper's training protocol collects a month of telemetry; nobody
+//! wants to regenerate that per run. Traces round-trip through a plain
+//! CSV with a stable header, so they can also be plotted or inspected
+//! with standard tooling (the paper's deployment keeps the same data in
+//! InfluxDB).
+
+use crate::trace::Trace;
+use crate::ForecastError;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Column layout: `avg_power, setpoint, acu_energy, acu_power,
+/// inlet_0..inlet_{Na-1}, dc_0..dc_{Nd-1}`.
+fn header(n_acu: usize, n_dc: usize) -> String {
+    let mut cols = vec![
+        "avg_power".to_string(),
+        "setpoint".to_string(),
+        "acu_energy".to_string(),
+        "acu_power".to_string(),
+    ];
+    for i in 0..n_acu {
+        cols.push(format!("inlet_{i}"));
+    }
+    for k in 0..n_dc {
+        cols.push(format!("dc_{k}"));
+    }
+    cols.join(",")
+}
+
+/// Writes a trace to CSV.
+pub fn save_csv(trace: &Trace, path: impl AsRef<Path>) -> Result<(), ForecastError> {
+    trace.validate(0).map_err(|e| ForecastError::InconsistentTrace(e.to_string()))?;
+    let file = std::fs::File::create(path.as_ref())
+        .map_err(|e| ForecastError::InconsistentTrace(format!("create: {e}")))?;
+    let mut w = BufWriter::new(file);
+    let n_acu = trace.n_acu_sensors();
+    let n_dc = trace.n_dc_sensors();
+    let io_err = |e: std::io::Error| ForecastError::InconsistentTrace(format!("write: {e}"));
+    writeln!(w, "{}", header(n_acu, n_dc)).map_err(io_err)?;
+    for t in 0..trace.len() {
+        let mut row = Vec::with_capacity(4 + n_acu + n_dc);
+        row.push(trace.avg_power[t].to_string());
+        row.push(trace.setpoint[t].to_string());
+        row.push(trace.acu_energy[t].to_string());
+        row.push(trace.acu_power[t].to_string());
+        for col in &trace.acu_inlet {
+            row.push(col[t].to_string());
+        }
+        for col in &trace.dc_temps {
+            row.push(col[t].to_string());
+        }
+        writeln!(w, "{}", row.join(",")).map_err(io_err)?;
+    }
+    w.flush().map_err(io_err)?;
+    Ok(())
+}
+
+/// Reads a trace from CSV (the format written by [`save_csv`]).
+pub fn load_csv(path: impl AsRef<Path>) -> Result<Trace, ForecastError> {
+    let file = std::fs::File::open(path.as_ref())
+        .map_err(|e| ForecastError::InconsistentTrace(format!("open: {e}")))?;
+    let mut lines = BufReader::new(file).lines();
+    let header_line = lines
+        .next()
+        .ok_or_else(|| ForecastError::InconsistentTrace("empty file".into()))?
+        .map_err(|e| ForecastError::InconsistentTrace(format!("read: {e}")))?;
+    let cols: Vec<&str> = header_line.split(',').collect();
+    let n_acu = cols.iter().filter(|c| c.starts_with("inlet_")).count();
+    let n_dc = cols.iter().filter(|c| c.starts_with("dc_")).count();
+    if cols.len() != 4 + n_acu + n_dc || !header_line.starts_with("avg_power,") {
+        return Err(ForecastError::InconsistentTrace(format!(
+            "unrecognized header: {header_line}"
+        )));
+    }
+
+    let mut trace = Trace::with_sensors(n_acu, n_dc);
+    for (lineno, line) in lines.enumerate() {
+        let line = line.map_err(|e| ForecastError::InconsistentTrace(format!("read: {e}")))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 4 + n_acu + n_dc {
+            return Err(ForecastError::InconsistentTrace(format!(
+                "row {} has {} fields, expected {}",
+                lineno + 2,
+                fields.len(),
+                4 + n_acu + n_dc
+            )));
+        }
+        let parse = |s: &str| -> Result<f64, ForecastError> {
+            s.parse().map_err(|_| {
+                ForecastError::InconsistentTrace(format!(
+                    "row {}: bad number {s:?}",
+                    lineno + 2
+                ))
+            })
+        };
+        let avg_power = parse(fields[0])?;
+        let setpoint = parse(fields[1])?;
+        let acu_energy = parse(fields[2])?;
+        let acu_power = parse(fields[3])?;
+        let mut inlet = Vec::with_capacity(n_acu);
+        for f in &fields[4..4 + n_acu] {
+            inlet.push(parse(f)?);
+        }
+        let mut dc = Vec::with_capacity(n_dc);
+        for f in &fields[4 + n_acu..] {
+            dc.push(parse(f)?);
+        }
+        trace.push(avg_power, &inlet, &dc, setpoint, acu_energy, acu_power);
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut tr = Trace::with_sensors(2, 3);
+        for i in 0..25 {
+            let f = i as f64;
+            tr.push(
+                0.2 + f * 0.01,
+                &[23.0 + f * 0.1, 23.2 + f * 0.1],
+                &[19.0, 19.5 + f * 0.05, 20.0],
+                22.0 + (i % 5) as f64 * 0.5,
+                0.035,
+                2.1,
+            );
+        }
+        tr
+    }
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("tesla_trace_io_{name}_{}.csv", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let tr = sample_trace();
+        let path = tmp_path("roundtrip");
+        save_csv(&tr, &path).unwrap();
+        let back = load_csv(&path).unwrap();
+        assert_eq!(back.len(), tr.len());
+        assert_eq!(back.n_acu_sensors(), 2);
+        assert_eq!(back.n_dc_sensors(), 3);
+        assert_eq!(back.avg_power, tr.avg_power);
+        assert_eq!(back.setpoint, tr.setpoint);
+        assert_eq!(back.acu_inlet, tr.acu_inlet);
+        assert_eq!(back.dc_temps, tr.dc_temps);
+        assert_eq!(back.acu_energy, tr.acu_energy);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(load_csv("/definitely/not/a/real/path.csv").is_err());
+    }
+
+    #[test]
+    fn garbage_header_rejected() {
+        let path = tmp_path("badheader");
+        std::fs::write(&path, "nope,nope\n1,2\n").unwrap();
+        assert!(load_csv(&path).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn ragged_row_rejected() {
+        let tr = sample_trace();
+        let path = tmp_path("ragged");
+        save_csv(&tr, &path).unwrap();
+        let mut content = std::fs::read_to_string(&path).unwrap();
+        content.push_str("1,2,3\n");
+        std::fs::write(&path, content).unwrap();
+        assert!(load_csv(&path).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn non_numeric_cell_rejected() {
+        let tr = sample_trace();
+        let path = tmp_path("nonnum");
+        save_csv(&tr, &path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let corrupted = content.replacen("0.035", "banana", 1);
+        std::fs::write(&path, corrupted).unwrap();
+        assert!(load_csv(&path).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn loaded_trace_trains_a_model() {
+        // End-to-end: persisted data is good enough to fit on.
+        let mut tr = Trace::with_sensors(1, 1);
+        let mut p = 3.0;
+        for i in 0..120 {
+            tr.push(p, &[23.0], &[20.0], 22.0 + (i % 4) as f64 * 0.5, 0.03, 2.0);
+            p = 0.9 * p + 0.4;
+        }
+        let path = tmp_path("train");
+        save_csv(&tr, &path).unwrap();
+        let back = load_csv(&path).unwrap();
+        let model = crate::asp::AspModel::fit(&back, 5, 0.0).unwrap();
+        let pred = model.predict(&back.avg_power[50..55]).unwrap();
+        assert_eq!(pred.len(), 5);
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,263 @@
+//! The composed DC time-series model (Fig. 6).
+
+use crate::acu::AcuModel;
+use crate::asp::AspModel;
+use crate::dcs::DcsModel;
+use crate::energy::EnergyModel;
+use crate::trace::{ModelWindow, Trace};
+use crate::ForecastError;
+
+/// Model hyper-parameters (Table 2 defaults).
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Prediction horizon `L` (20 in Table 2).
+    pub horizon: usize,
+    /// ASP regularization `α_β` (0: OLS, its inputs are always true).
+    pub alpha_asp: f64,
+    /// ACU regularization `α_γ` (1).
+    pub alpha_acu: f64,
+    /// DCS regularization `α_θ` (1).
+    pub alpha_dcs: f64,
+    /// Energy regularization `α_φ` (1).
+    pub alpha_energy: f64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            horizon: 20,
+            alpha_asp: 0.0,
+            alpha_acu: 1.0,
+            alpha_dcs: 1.0,
+            alpha_energy: 1.0,
+        }
+    }
+}
+
+/// Full prediction over the `L`-step horizon for one candidate set-point
+/// sequence.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// Predicted average server power per step, kW.
+    pub power: Vec<f64>,
+    /// Predicted ACU inlet temperature, `[N_a][L]`, °C.
+    pub inlet: Vec<Vec<f64>>,
+    /// Predicted rack sensor temperatures, `[N_d][L]`, °C.
+    pub dc: Vec<Vec<f64>>,
+    /// Predicted cooling energy over the horizon, kWh.
+    pub energy: f64,
+}
+
+impl Prediction {
+    /// Max predicted temperature over the given sensor subset and all
+    /// steps — the left side of the thermal constraint (Eq. 9).
+    pub fn max_over_sensors(&self, sensors: impl IntoIterator<Item = usize>) -> f64 {
+        let mut best = f64::NEG_INFINITY;
+        for k in sensors {
+            if let Some(series) = self.dc.get(k) {
+                for &v in series {
+                    best = best.max(v);
+                }
+            }
+        }
+        best
+    }
+}
+
+/// TESLA's four-sub-module DC time-series model.
+#[derive(Debug, Clone)]
+pub struct DcTimeSeriesModel {
+    asp: AspModel,
+    acu: AcuModel,
+    dcs: DcsModel,
+    energy: EnergyModel,
+    config: ModelConfig,
+    n_acu: usize,
+    n_dc: usize,
+}
+
+impl DcTimeSeriesModel {
+    /// Trains all four sub-modules on a trace.
+    ///
+    /// The sub-modules are independent given the trace (§3.2 trains them
+    /// "separately" on true values), so the two expensive ones are fitted
+    /// on parallel rayon branches.
+    pub fn fit(trace: &Trace, config: ModelConfig) -> Result<Self, ForecastError> {
+        let l = config.horizon;
+        trace.validate(2 * l + 1)?;
+        let ((asp, energy), (acu, dcs)) = rayon::join(
+            || {
+                (
+                    AspModel::fit(trace, l, config.alpha_asp),
+                    EnergyModel::fit(trace, l, config.alpha_energy),
+                )
+            },
+            || {
+                rayon::join(
+                    || AcuModel::fit(trace, l, config.alpha_acu),
+                    || DcsModel::fit(trace, l, config.alpha_dcs),
+                )
+            },
+        );
+        Ok(DcTimeSeriesModel {
+            asp: asp?,
+            acu: acu?,
+            dcs: dcs?,
+            energy: energy?,
+            n_acu: trace.n_acu_sensors(),
+            n_dc: trace.n_dc_sensors(),
+            config,
+        })
+    }
+
+    /// The configuration used at fit time.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// Number of ACU inlet sensors the model was trained with.
+    pub fn n_acu_sensors(&self) -> usize {
+        self.n_acu
+    }
+
+    /// Number of rack sensors the model was trained with.
+    pub fn n_dc_sensors(&self) -> usize {
+        self.n_dc
+    }
+
+    /// Predicts the horizon under a *constant* candidate set-point — the
+    /// form the optimizer uses (Eq. 5 constrains `s_{t+1} = … = s_{t+L}`).
+    pub fn predict(&self, window: &ModelWindow, setpoint: f64) -> Result<Prediction, ForecastError> {
+        self.predict_with_setpoints(window, &vec![setpoint; self.config.horizon])
+    }
+
+    /// Predicts the horizon under an arbitrary future set-point sequence.
+    ///
+    /// Chain per Fig. 6: ASP → ACU (uses ASP output) → DCS (uses both) and
+    /// energy (uses set-points + ACU output).
+    pub fn predict_with_setpoints(
+        &self,
+        window: &ModelWindow,
+        setpoints: &[f64],
+    ) -> Result<Prediction, ForecastError> {
+        let l = self.config.horizon;
+        window.check_shape(l, self.n_acu, self.n_dc)?;
+        if setpoints.len() != l {
+            return Err(ForecastError::BadWindow(format!(
+                "expected {l} future setpoints, got {}",
+                setpoints.len()
+            )));
+        }
+        let power = self.asp.predict(&window.power)?;
+        let inlet = self.acu.predict(window, setpoints, &power)?;
+        let dc = self.dcs.predict(window, &power, &inlet)?;
+        let energy = self.energy.predict(setpoints, &inlet)?;
+        Ok(Prediction { power, inlet, dc, energy })
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    /// A coupled synthetic plant: power random-walks, inlet follows
+    /// set-point + power, sensors follow inlet.
+    pub(crate) fn coupled_trace(t: usize, seed: u64) -> Trace {
+        let mut tr = Trace::with_sensors(2, 4);
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut rand = move || {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545F4914F6CDD1D) >> 33) as f64 / (1u64 << 31) as f64 - 0.5
+        };
+        let mut p = 4.0;
+        let mut a = [24.0, 24.2];
+        let mut d = [19.0, 19.5, 20.0, 23.0];
+        for i in 0..t {
+            let sp = 21.0 + ((i / 10) % 12) as f64 * 0.4;
+            p = (p + 0.2 * rand()).clamp(2.5, 8.0);
+            for (j, aj) in a.iter_mut().enumerate() {
+                *aj += 0.3 * (0.55 * sp + 1.6 * p + j as f64 * 0.2 - *aj) + 0.02 * rand();
+            }
+            let abar = (a[0] + a[1]) / 2.0;
+            for (k, dk) in d.iter_mut().enumerate() {
+                *dk += 0.3 * (abar - 5.0 + k as f64 * 0.8 + 0.2 * p - *dk) + 0.02 * rand();
+            }
+            let e = (0.02 + 0.012 * (abar - sp)).max(0.002);
+            tr.push(p, &a, &d, sp, e, e * 60.0);
+        }
+        tr
+    }
+
+    #[test]
+    fn fit_and_predict_end_to_end() {
+        let tr = coupled_trace(800, 3);
+        let cfg = ModelConfig { horizon: 8, ..ModelConfig::default() };
+        let model = DcTimeSeriesModel::fit(&tr, cfg).unwrap();
+        let t = 400;
+        let window = tr.window_at(t, 8).unwrap();
+        let truth_sp = tr.setpoint[t + 1]; // roughly constant over 10 steps
+        let pred = model.predict(&window, truth_sp).unwrap();
+        assert_eq!(pred.power.len(), 8);
+        assert_eq!(pred.inlet.len(), 2);
+        assert_eq!(pred.dc.len(), 4);
+        assert!(pred.energy > 0.0);
+        // Predictions land in a plausible neighborhood of the truth.
+        for step in 0..8 {
+            let truth = tr.dc_temps[0][t + 1 + step];
+            assert!(
+                (pred.dc[0][step] - truth).abs() < 1.5,
+                "step {step}: {} vs {truth}",
+                pred.dc[0][step]
+            );
+        }
+    }
+
+    #[test]
+    fn higher_setpoint_predicts_less_energy_and_warmer_sensors() {
+        let tr = coupled_trace(800, 7);
+        let cfg = ModelConfig { horizon: 8, ..ModelConfig::default() };
+        let model = DcTimeSeriesModel::fit(&tr, cfg).unwrap();
+        let window = tr.window_at(400, 8).unwrap();
+        let lo = model.predict(&window, 21.0).unwrap();
+        let hi = model.predict(&window, 26.0).unwrap();
+        assert!(hi.energy < lo.energy, "hi {} vs lo {}", hi.energy, lo.energy);
+        assert!(hi.max_over_sensors(0..4) > lo.max_over_sensors(0..4));
+    }
+
+    #[test]
+    fn max_over_sensors_subsets() {
+        let pred = Prediction {
+            power: vec![],
+            inlet: vec![],
+            dc: vec![vec![1.0, 5.0], vec![9.0, 2.0], vec![3.0, 3.0]],
+            energy: 0.0,
+        };
+        assert_eq!(pred.max_over_sensors(0..2), 9.0);
+        assert_eq!(pred.max_over_sensors([0usize, 2]), 5.0);
+        assert_eq!(pred.max_over_sensors([2usize]), 3.0);
+    }
+
+    #[test]
+    fn window_shape_is_validated() {
+        let tr = coupled_trace(400, 1);
+        let cfg = ModelConfig { horizon: 6, ..ModelConfig::default() };
+        let model = DcTimeSeriesModel::fit(&tr, cfg).unwrap();
+        let bad = tr.window_at(200, 5).unwrap();
+        assert!(model.predict(&bad, 23.0).is_err());
+        let good = tr.window_at(200, 6).unwrap();
+        assert!(model.predict_with_setpoints(&good, &[23.0; 4]).is_err());
+    }
+
+    #[test]
+    fn default_config_matches_table2() {
+        let c = ModelConfig::default();
+        assert_eq!(c.horizon, 20);
+        assert_eq!(c.alpha_asp, 0.0);
+        assert_eq!(c.alpha_acu, 1.0);
+        assert_eq!(c.alpha_dcs, 1.0);
+        assert_eq!(c.alpha_energy, 1.0);
+    }
+}

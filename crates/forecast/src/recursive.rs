@@ -1,0 +1,220 @@
+//! Recursive autoregressive baseline — the modeling approach of Lazic et
+//! al. \[20\] compared against in Table 3.
+//!
+//! One collective linear model predicts *all* signals (every rack sensor,
+//! every ACU inlet sensor, and the average server power) one step ahead
+//! from the last two frames plus the next set-point, fitted with OLS.
+//! Multi-step prediction rolls the model out recursively, feeding its own
+//! outputs back — which is exactly why it loses to TESLA's direct
+//! strategy: one-step errors compound over the horizon (§5.2).
+
+use crate::design::SharedDesign;
+use crate::trace::{ModelWindow, Trace};
+use crate::ForecastError;
+use tesla_linalg::{Matrix, Ridge};
+
+/// Fitted recursive AR model.
+#[derive(Debug, Clone)]
+pub struct RecursiveAr {
+    /// One model per signal, predicting its next value.
+    models: Vec<Ridge>,
+    n_dc: usize,
+    n_acu: usize,
+    /// Number of past frames used as input.
+    order: usize,
+}
+
+impl RecursiveAr {
+    /// Number of signals in the collective state vector.
+    fn state_dim(n_dc: usize, n_acu: usize) -> usize {
+        n_dc + n_acu + 1
+    }
+
+    /// Fits the collective one-step model with `order` past frames
+    /// (Lazic-style: 2) and OLS (`alpha = 0`) or ridge.
+    pub fn fit(trace: &Trace, order: usize, alpha: f64) -> Result<Self, ForecastError> {
+        let order = order.max(1);
+        trace.validate(order + 2)?;
+        let n_dc = trace.n_dc_sensors();
+        let n_acu = trace.n_acu_sensors();
+        let m = Self::state_dim(n_dc, n_acu);
+        let t_len = trace.len();
+        let rows: Vec<usize> = (order - 1..t_len - 1).collect();
+        let n = rows.len();
+        let d = m * order + 1;
+
+        let mut x = Matrix::zeros(n, d);
+        for (r, &t) in rows.iter().enumerate() {
+            let row = x.row_mut(r);
+            for back in 0..order {
+                let idx = t - back;
+                Self::write_frame(&mut row[back * m..(back + 1) * m], trace, idx);
+            }
+            row[d - 1] = trace.setpoint[t + 1];
+        }
+        let design = SharedDesign::new(x);
+
+        let targets: Vec<Vec<f64>> = (0..m)
+            .map(|sig| rows.iter().map(|&t| Self::signal_at(trace, sig, t + 1)).collect())
+            .collect();
+        let models = design.fit_multi(None, &targets, alpha)?;
+        Ok(RecursiveAr { models, n_dc, n_acu, order })
+    }
+
+    fn write_frame(dst: &mut [f64], trace: &Trace, t: usize) {
+        let n_dc = trace.n_dc_sensors();
+        let n_acu = trace.n_acu_sensors();
+        for k in 0..n_dc {
+            dst[k] = trace.dc_temps[k][t];
+        }
+        for i in 0..n_acu {
+            dst[n_dc + i] = trace.acu_inlet[i][t];
+        }
+        dst[n_dc + n_acu] = trace.avg_power[t];
+    }
+
+    fn signal_at(trace: &Trace, sig: usize, t: usize) -> f64 {
+        let n_dc = trace.n_dc_sensors();
+        let n_acu = trace.n_acu_sensors();
+        if sig < n_dc {
+            trace.dc_temps[sig][t]
+        } else if sig < n_dc + n_acu {
+            trace.acu_inlet[sig - n_dc][t]
+        } else {
+            trace.avg_power[t]
+        }
+    }
+
+    /// AR order (past frames consumed).
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Rolls the model out for `setpoints.len()` steps from the window's
+    /// most recent frames. Returns the predicted rack-sensor temperatures
+    /// `[N_d][steps]` (what Table 3 evaluates).
+    pub fn predict_rollout(
+        &self,
+        window: &ModelWindow,
+        setpoints: &[f64],
+    ) -> Result<Vec<Vec<f64>>, ForecastError> {
+        let m = Self::state_dim(self.n_dc, self.n_acu);
+        if window.dc.len() != self.n_dc || window.inlet.len() != self.n_acu {
+            return Err(ForecastError::BadWindow("window sensor count mismatch".into()));
+        }
+        let hist = window.power.len();
+        if hist < self.order {
+            return Err(ForecastError::BadWindow(format!(
+                "recursive model needs {} past frames, window has {hist}",
+                self.order
+            )));
+        }
+        // frames[0] = newest.
+        let mut frames: Vec<Vec<f64>> = (0..self.order)
+            .map(|back| {
+                let idx = hist - 1 - back;
+                let mut f = Vec::with_capacity(m);
+                for k in 0..self.n_dc {
+                    f.push(window.dc[k][idx]);
+                }
+                for i in 0..self.n_acu {
+                    f.push(window.inlet[i][idx]);
+                }
+                f.push(window.power[idx]);
+                f
+            })
+            .collect();
+
+        let mut out = vec![Vec::with_capacity(setpoints.len()); self.n_dc];
+        let d = m * self.order + 1;
+        let mut features = vec![0.0; d];
+        for &sp in setpoints {
+            for (back, frame) in frames.iter().enumerate() {
+                features[back * m..(back + 1) * m].copy_from_slice(frame);
+            }
+            features[d - 1] = sp;
+            let next: Vec<f64> = self.models.iter().map(|mo| mo.predict(&features)).collect();
+            for (k, series) in out.iter_mut().enumerate() {
+                series.push(next[k]);
+            }
+            frames.rotate_right(1);
+            frames[0] = next;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::tests::coupled_trace;
+
+    #[test]
+    fn one_step_prediction_is_accurate() {
+        let tr = coupled_trace(800, 5);
+        let model = RecursiveAr::fit(&tr, 2, 0.0).unwrap();
+        let t = 400;
+        let window = tr.window_at(t, 8).unwrap();
+        let preds = model.predict_rollout(&window, &[tr.setpoint[t + 1]]).unwrap();
+        for k in 0..tr.n_dc_sensors() {
+            let truth = tr.dc_temps[k][t + 1];
+            assert!(
+                (preds[k][0] - truth).abs() < 0.5,
+                "sensor {k}: {} vs {truth}",
+                preds[k][0]
+            );
+        }
+    }
+
+    #[test]
+    fn rollout_error_grows_with_horizon() {
+        // The defining weakness: recursive error accumulation.
+        let tr = coupled_trace(800, 9);
+        let model = RecursiveAr::fit(&tr, 2, 0.0).unwrap();
+        let l = 10;
+        let mut err_first = 0.0;
+        let mut err_last = 0.0;
+        let mut count = 0;
+        for t in (300..700).step_by(17) {
+            let window = tr.window_at(t, l).unwrap();
+            let sps: Vec<f64> = (1..=l).map(|s| tr.setpoint[t + s]).collect();
+            let preds = model.predict_rollout(&window, &sps).unwrap();
+            for k in 0..tr.n_dc_sensors() {
+                err_first += (preds[k][0] - tr.dc_temps[k][t + 1]).abs();
+                err_last += (preds[k][l - 1] - tr.dc_temps[k][t + l]).abs();
+                count += 1;
+            }
+        }
+        let err_first = err_first / count as f64;
+        let err_last = err_last / count as f64;
+        assert!(
+            err_last > err_first,
+            "horizon-end error {err_last:.4} should exceed one-step error {err_first:.4}"
+        );
+    }
+
+    #[test]
+    fn rollout_shape() {
+        let tr = coupled_trace(300, 2);
+        let model = RecursiveAr::fit(&tr, 2, 0.0).unwrap();
+        let window = tr.window_at(150, 6).unwrap();
+        let preds = model.predict_rollout(&window, &[23.0; 7]).unwrap();
+        assert_eq!(preds.len(), tr.n_dc_sensors());
+        assert_eq!(preds[0].len(), 7);
+    }
+
+    #[test]
+    fn window_too_short_is_rejected() {
+        let tr = coupled_trace(300, 2);
+        let model = RecursiveAr::fit(&tr, 3, 0.0).unwrap();
+        let window = tr.window_at(150, 2).unwrap();
+        assert!(model.predict_rollout(&window, &[23.0; 3]).is_err());
+    }
+
+    #[test]
+    fn order_is_clamped_to_at_least_one() {
+        let tr = coupled_trace(300, 2);
+        let model = RecursiveAr::fit(&tr, 0, 0.0).unwrap();
+        assert_eq!(model.order(), 1);
+    }
+}

@@ -1,0 +1,241 @@
+//! Trace and window containers shared by all sub-modules.
+
+use crate::ForecastError;
+
+/// A contiguous, per-minute telemetry trace used for training and
+/// evaluation. Columns are stored signal-major (`[sensor][time]`) because
+/// the forecaster consumes whole signals when building lag features.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Average per-server power `p_t`, kW.
+    pub avg_power: Vec<f64>,
+    /// ACU inlet temperatures `a^i_t`, °C: `[N_a][T]`.
+    pub acu_inlet: Vec<Vec<f64>>,
+    /// Rack sensor temperatures `d^k_t`, °C: `[N_d][T]`.
+    pub dc_temps: Vec<Vec<f64>>,
+    /// Executed set-point `s_t`, °C.
+    pub setpoint: Vec<f64>,
+    /// ACU energy consumed during each sampling period, kWh.
+    pub acu_energy: Vec<f64>,
+    /// ACU instantaneous power, kW (diagnostics and Fig. 2).
+    pub acu_power: Vec<f64>,
+}
+
+impl Trace {
+    /// Creates an empty trace with the given sensor counts.
+    pub fn with_sensors(n_acu: usize, n_dc: usize) -> Self {
+        Trace {
+            avg_power: Vec::new(),
+            acu_inlet: vec![Vec::new(); n_acu],
+            dc_temps: vec![Vec::new(); n_dc],
+            setpoint: Vec::new(),
+            acu_energy: Vec::new(),
+            acu_power: Vec::new(),
+        }
+    }
+
+    /// Number of time steps.
+    pub fn len(&self) -> usize {
+        self.avg_power.len()
+    }
+
+    /// True when no samples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.avg_power.is_empty()
+    }
+
+    /// Number of ACU inlet sensors.
+    pub fn n_acu_sensors(&self) -> usize {
+        self.acu_inlet.len()
+    }
+
+    /// Number of rack sensors.
+    pub fn n_dc_sensors(&self) -> usize {
+        self.dc_temps.len()
+    }
+
+    /// Appends one sample across all columns.
+    pub fn push(
+        &mut self,
+        avg_power: f64,
+        acu_inlet: &[f64],
+        dc_temps: &[f64],
+        setpoint: f64,
+        acu_energy: f64,
+        acu_power: f64,
+    ) {
+        debug_assert_eq!(acu_inlet.len(), self.acu_inlet.len());
+        debug_assert_eq!(dc_temps.len(), self.dc_temps.len());
+        self.avg_power.push(avg_power);
+        for (col, v) in self.acu_inlet.iter_mut().zip(acu_inlet) {
+            col.push(*v);
+        }
+        for (col, v) in self.dc_temps.iter_mut().zip(dc_temps) {
+            col.push(*v);
+        }
+        self.setpoint.push(setpoint);
+        self.acu_energy.push(acu_energy);
+        self.acu_power.push(acu_power);
+    }
+
+    /// Validates column-length consistency and a minimum length.
+    pub fn validate(&self, min_len: usize) -> Result<(), ForecastError> {
+        let t = self.len();
+        if t < min_len {
+            return Err(ForecastError::TraceTooShort { needed: min_len, got: t });
+        }
+        for (i, col) in self.acu_inlet.iter().enumerate() {
+            if col.len() != t {
+                return Err(ForecastError::InconsistentTrace(format!(
+                    "acu_inlet[{i}] has {} samples, expected {t}",
+                    col.len()
+                )));
+            }
+        }
+        for (k, col) in self.dc_temps.iter().enumerate() {
+            if col.len() != t {
+                return Err(ForecastError::InconsistentTrace(format!(
+                    "dc_temps[{k}] has {} samples, expected {t}",
+                    col.len()
+                )));
+            }
+        }
+        for (name, col) in [
+            ("setpoint", &self.setpoint),
+            ("acu_energy", &self.acu_energy),
+            ("acu_power", &self.acu_power),
+        ] {
+            if col.len() != t {
+                return Err(ForecastError::InconsistentTrace(format!(
+                    "{name} has {} samples, expected {t}",
+                    col.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Extracts the model input window ending at (and including) time
+    /// index `t`: the past `l` samples of each signal.
+    pub fn window_at(&self, t: usize, l: usize) -> Result<ModelWindow, ForecastError> {
+        if t + 1 < l || t >= self.len() {
+            return Err(ForecastError::BadWindow(format!(
+                "window of length {l} ending at index {t} out of range (trace len {})",
+                self.len()
+            )));
+        }
+        let lo = t + 1 - l;
+        Ok(ModelWindow {
+            power: self.avg_power[lo..=t].to_vec(),
+            inlet: self.acu_inlet.iter().map(|c| c[lo..=t].to_vec()).collect(),
+            dc: self.dc_temps.iter().map(|c| c[lo..=t].to_vec()).collect(),
+        })
+    }
+}
+
+/// The past-`L`-samples input of the DC time-series model (Fig. 6's left
+/// edge): average server power, ACU inlet temps, and rack temps for the
+/// interval `t−L+1 ..= t`, each oldest-first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelWindow {
+    /// Average server power lags, oldest first (`L` values).
+    pub power: Vec<f64>,
+    /// ACU inlet lags per sensor: `[N_a][L]`, oldest first.
+    pub inlet: Vec<Vec<f64>>,
+    /// Rack sensor lags per sensor: `[N_d][L]`, oldest first.
+    pub dc: Vec<Vec<f64>>,
+}
+
+impl ModelWindow {
+    /// Horizon/lag length `L` of the window.
+    pub fn len(&self) -> usize {
+        self.power.len()
+    }
+
+    /// True when the window holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.power.is_empty()
+    }
+
+    /// Checks the window matches the expected shape.
+    pub fn check_shape(&self, l: usize, n_acu: usize, n_dc: usize) -> Result<(), ForecastError> {
+        if self.power.len() != l {
+            return Err(ForecastError::BadWindow(format!(
+                "power lags: {} != L={l}",
+                self.power.len()
+            )));
+        }
+        if self.inlet.len() != n_acu || self.inlet.iter().any(|c| c.len() != l) {
+            return Err(ForecastError::BadWindow("inlet lag shape mismatch".into()));
+        }
+        if self.dc.len() != n_dc || self.dc.iter().any(|c| c.len() != l) {
+            return Err(ForecastError::BadWindow("dc lag shape mismatch".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(t: usize) -> Trace {
+        let mut tr = Trace::with_sensors(2, 3);
+        for i in 0..t {
+            let f = i as f64;
+            tr.push(f, &[10.0 + f, 20.0 + f], &[1.0 + f, 2.0 + f, 3.0 + f], 23.0, 0.04, 2.0);
+        }
+        tr
+    }
+
+    #[test]
+    fn push_keeps_columns_aligned() {
+        let tr = trace(5);
+        assert_eq!(tr.len(), 5);
+        tr.validate(5).unwrap();
+        assert_eq!(tr.acu_inlet[1][4], 24.0);
+        assert_eq!(tr.dc_temps[2][0], 3.0);
+    }
+
+    #[test]
+    fn validate_rejects_short_trace() {
+        let tr = trace(3);
+        assert!(matches!(
+            tr.validate(10),
+            Err(ForecastError::TraceTooShort { needed: 10, got: 3 })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_ragged_columns() {
+        let mut tr = trace(3);
+        tr.setpoint.pop();
+        assert!(matches!(tr.validate(2), Err(ForecastError::InconsistentTrace(_))));
+    }
+
+    #[test]
+    fn window_at_extracts_correct_slice() {
+        let tr = trace(10);
+        let w = tr.window_at(9, 4).unwrap();
+        assert_eq!(w.power, vec![6.0, 7.0, 8.0, 9.0]);
+        assert_eq!(w.inlet[0], vec![16.0, 17.0, 18.0, 19.0]);
+        assert_eq!(w.dc[2], vec![9.0, 10.0, 11.0, 12.0]);
+        w.check_shape(4, 2, 3).unwrap();
+    }
+
+    #[test]
+    fn window_at_rejects_out_of_range() {
+        let tr = trace(10);
+        assert!(tr.window_at(2, 4).is_err()); // not enough history
+        assert!(tr.window_at(10, 4).is_err()); // past the end
+    }
+
+    #[test]
+    fn check_shape_catches_mismatches() {
+        let tr = trace(10);
+        let w = tr.window_at(9, 4).unwrap();
+        assert!(w.check_shape(5, 2, 3).is_err());
+        assert!(w.check_shape(4, 1, 3).is_err());
+        assert!(w.check_shape(4, 2, 2).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests on the forecasting stack.
+
+use proptest::prelude::*;
+use tesla_forecast::asp::AspModel;
+use tesla_forecast::energy::EnergyModel;
+use tesla_forecast::{DcTimeSeriesModel, ModelConfig, Trace};
+
+/// Builds a plausible, internally consistent trace from sampled knobs.
+fn synth_trace(len: usize, sp_amp: f64, p_base: f64, seed: u64) -> Trace {
+    let mut tr = Trace::with_sensors(2, 3);
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut rand = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        (state.wrapping_mul(0x2545F4914F6CDD1D) >> 33) as f64 / (1u64 << 31) as f64 - 0.5
+    };
+    let mut a = [24.0, 24.1];
+    let mut d = [19.0, 19.5, 20.0];
+    let mut p = p_base;
+    for i in 0..len {
+        let sp = 23.0 + sp_amp * ((i / 7) % 10) as f64 / 10.0;
+        p = (p + 0.1 * rand()).clamp(2.0, 9.0);
+        for (j, aj) in a.iter_mut().enumerate() {
+            *aj += 0.3 * (0.6 * sp + 1.2 * p + j as f64 * 0.1 - *aj) + 0.02 * rand();
+        }
+        let abar = (a[0] + a[1]) / 2.0;
+        for (k, dk) in d.iter_mut().enumerate() {
+            *dk += 0.3 * (abar - 4.0 + k as f64 * 0.4 - *dk) + 0.02 * rand();
+        }
+        let e = (0.02 + 0.01 * (abar - sp)).max(0.003);
+        tr.push(p, &a, &d, sp, e, e * 60.0);
+    }
+    tr
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Model fitting + prediction never produces non-finite values on
+    /// plausible traces, for any horizon.
+    #[test]
+    fn predictions_are_finite(
+        l in 3usize..9,
+        sp_amp in 0.5f64..6.0,
+        p_base in 2.5f64..7.0,
+        seed in 0u64..1000,
+    ) {
+        let tr = synth_trace(260, sp_amp, p_base, seed);
+        let cfg = ModelConfig { horizon: l, ..ModelConfig::default() };
+        let model = DcTimeSeriesModel::fit(&tr, cfg).unwrap();
+        let window = tr.window_at(200, l).unwrap();
+        for sp in [20.0, 24.0, 30.0, 35.0] {
+            let pred = model.predict(&window, sp).unwrap();
+            prop_assert!(pred.energy.is_finite());
+            for series in pred.dc.iter().chain(pred.inlet.iter()) {
+                for v in series {
+                    prop_assert!(v.is_finite());
+                }
+            }
+            for v in &pred.power {
+                prop_assert!(v.is_finite());
+            }
+        }
+    }
+
+    /// The ASP sub-module on constant power predicts (approximately) that
+    /// constant, for any constant.
+    #[test]
+    fn asp_constant_fixpoint(c in 0.5f64..8.0, l in 2usize..10) {
+        let mut tr = Trace::with_sensors(1, 1);
+        for _ in 0..(4 * l + 20) {
+            tr.push(c, &[23.0], &[20.0], 23.0, 0.03, 2.0);
+        }
+        let model = AspModel::fit(&tr, l, 1.0).unwrap();
+        let preds = model.predict(&vec![c; l]).unwrap();
+        for p in preds {
+            prop_assert!((p - c).abs() < 0.05 * c.max(1.0), "pred {p} vs const {c}");
+        }
+    }
+
+    /// Energy predictions respect the training floor (the fan-power
+    /// clamp) no matter how extreme the query.
+    #[test]
+    fn energy_never_below_floor(
+        seed in 0u64..500,
+        sp in 10.0f64..45.0,
+        inlet in 10.0f64..40.0,
+    ) {
+        let tr = synth_trace(200, 4.0, 4.0, seed);
+        let l = 5;
+        let model = EnergyModel::fit(&tr, l, 1.0).unwrap();
+        let pred = model
+            .predict(&vec![sp; l], &[vec![inlet; l], vec![inlet; l]])
+            .unwrap();
+        prop_assert!(pred >= model.floor_kwh() - 1e-12);
+        prop_assert!(pred.is_finite());
+    }
+
+    /// Windows extracted from a trace always round-trip their shape.
+    #[test]
+    fn window_shape_invariant(l in 2usize..12, at in 0usize..180) {
+        let tr = synth_trace(200, 2.0, 4.0, 9);
+        let t = (l - 1) + at.min(200 - l - 1);
+        if let Ok(w) = tr.window_at(t, l) {
+            prop_assert_eq!(w.len(), l);
+            prop_assert!(w.check_shape(l, 2, 3).is_ok());
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Exact Gaussian-process regression with per-observation (fixed) noise.
+//!
+//! Mirrors BoTorch's `FixedNoiseGP` (§3.3): the observation noise is not a
+//! learned hyper-parameter but *supplied per point* — TESLA feeds it the
+//! bootstrap variance from its prediction-error monitor, which is how the
+//! optimizer becomes "modeling-error-aware".
+
+use crate::kernel::Kernel;
+use crate::GpError;
+use tesla_linalg::{Cholesky, Matrix};
+
+/// Posterior at a batch of query points.
+#[derive(Debug, Clone)]
+pub struct Posterior {
+    /// Posterior means.
+    pub mean: Vec<f64>,
+    /// Posterior (latent) variances, floored at zero.
+    pub var: Vec<f64>,
+}
+
+/// A fitted fixed-noise GP.
+#[derive(Debug)]
+pub struct FixedNoiseGp<K: Kernel> {
+    kernel: K,
+    x: Vec<Vec<f64>>,
+    /// `K + diag(noise)` factorization.
+    chol: Cholesky,
+    /// `(K + Σ)⁻¹ (y − μ)`.
+    alpha: Vec<f64>,
+    /// Constant prior mean (the training-target mean).
+    mean: f64,
+    /// Residuals for the marginal-likelihood computation.
+    log_marginal: f64,
+}
+
+impl<K: Kernel> FixedNoiseGp<K> {
+    /// Fits on training points `x`, targets `y`, and per-point noise
+    /// *variances*.
+    pub fn fit(
+        kernel: K,
+        x: Vec<Vec<f64>>,
+        y: &[f64],
+        noise_var: &[f64],
+    ) -> Result<Self, GpError> {
+        let n = x.len();
+        if n == 0 {
+            return Err(GpError::Empty);
+        }
+        if y.len() != n || noise_var.len() != n {
+            return Err(GpError::Shape(format!(
+                "{} points, {} targets, {} noise entries",
+                n,
+                y.len(),
+                noise_var.len()
+            )));
+        }
+        let d = x[0].len();
+        if x.iter().any(|p| p.len() != d) {
+            return Err(GpError::Shape("ragged input points".into()));
+        }
+
+        let mean = y.iter().sum::<f64>() / n as f64;
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let v = kernel.eval(&x[i], &x[j]);
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+            k[(i, i)] += noise_var[i].max(0.0) + 1e-10;
+        }
+        let chol = Cholesky::decompose_jittered(&k, 1e-8, 12)
+            .map_err(|e| GpError::Numerical(e.to_string()))?;
+        let resid: Vec<f64> = y.iter().map(|v| v - mean).collect();
+        let alpha = chol
+            .solve(&resid)
+            .map_err(|e| GpError::Numerical(e.to_string()))?;
+
+        // log p(y) = −½ rᵀα − ½ log|K+Σ| − n/2 log 2π
+        let quad: f64 = resid.iter().zip(&alpha).map(|(r, a)| r * a).sum();
+        let log_marginal = -0.5 * quad
+            - 0.5 * chol.log_det()
+            - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+
+        Ok(FixedNoiseGp { kernel, x, chol, alpha, mean, log_marginal })
+    }
+
+    /// Number of training points.
+    pub fn n_train(&self) -> usize {
+        self.x.len()
+    }
+
+    /// The log marginal likelihood of the training data.
+    pub fn log_marginal_likelihood(&self) -> f64 {
+        self.log_marginal
+    }
+
+    /// The constant prior mean.
+    pub fn prior_mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Posterior mean and variance at each query point (marginals).
+    pub fn posterior(&self, queries: &[Vec<f64>]) -> Posterior {
+        let mut mean = Vec::with_capacity(queries.len());
+        let mut var = Vec::with_capacity(queries.len());
+        for q in queries {
+            let kstar: Vec<f64> = self.x.iter().map(|p| self.kernel.eval(p, q)).collect();
+            let m = self.mean + tesla_linalg::vector::dot(&kstar, &self.alpha);
+            // v = k** − k*ᵀ (K+Σ)⁻¹ k* via the whitened solve.
+            let w = self.chol.forward_substitute(&kstar);
+            let v = self.kernel.diag() - tesla_linalg::vector::dot(&w, &w);
+            mean.push(m);
+            var.push(v.max(0.0));
+        }
+        Posterior { mean, var }
+    }
+
+    /// Joint posterior covariance over the query points.
+    pub fn posterior_cov(&self, queries: &[Vec<f64>]) -> (Vec<f64>, Matrix) {
+        let m = queries.len();
+        let post = self.posterior(queries);
+        let mut cov = Matrix::zeros(m, m);
+        // Whitened cross-covariances.
+        let whitened: Vec<Vec<f64>> = queries
+            .iter()
+            .map(|q| {
+                let kstar: Vec<f64> = self.x.iter().map(|p| self.kernel.eval(p, q)).collect();
+                self.chol.forward_substitute(&kstar)
+            })
+            .collect();
+        for i in 0..m {
+            for j in i..m {
+                let prior = self.kernel.eval(&queries[i], &queries[j]);
+                let v = prior - tesla_linalg::vector::dot(&whitened[i], &whitened[j]);
+                cov[(i, j)] = v;
+                cov[(j, i)] = v;
+            }
+        }
+        (post.mean, cov)
+    }
+
+    /// Draws joint posterior samples at the query points using the
+    /// provided standard-normal vectors (e.g. QMC draws from
+    /// [`crate::sobol::qmc_normal`], each of length `queries.len()`).
+    /// Returns one sampled function evaluation per normal vector.
+    pub fn sample_posterior(
+        &self,
+        queries: &[Vec<f64>],
+        normals: &[Vec<f64>],
+    ) -> Result<Vec<Vec<f64>>, GpError> {
+        let m = queries.len();
+        let (mean, mut cov) = self.posterior_cov(queries);
+        cov.add_diagonal(1e-9);
+        let chol = Cholesky::decompose_jittered(&cov, 1e-9, 12)
+            .map_err(|e| GpError::Numerical(e.to_string()))?;
+        let l = chol.factor();
+        let mut out = Vec::with_capacity(normals.len());
+        for z in normals {
+            if z.len() != m {
+                return Err(GpError::Shape(format!(
+                    "normal vector has {} entries, need {m}",
+                    z.len()
+                )));
+            }
+            let lz = l.matvec(z).map_err(|e| GpError::Numerical(e.to_string()))?;
+            out.push(mean.iter().zip(&lz).map(|(mu, e)| mu + e).collect());
+        }
+        Ok(out)
+    }
+}
+
+/// Fits Matérn 5/2 hyper-parameters by maximizing the log marginal
+/// likelihood: a small log-spaced grid locates the basin, then a few
+/// rounds of multiplicative coordinate descent refine within it — the
+/// pragmatic counterpart of GPyTorch's gradient-based fit for 1-D search
+/// spaces.
+pub fn fit_matern_hypers(
+    x: &[Vec<f64>],
+    y: &[f64],
+    noise_var: &[f64],
+    lengthscales: &[f64],
+    outputscales: &[f64],
+) -> Result<FixedNoiseGp<crate::kernel::Matern52>, GpError> {
+    let try_fit = |ls: f64, os: f64| -> Option<FixedNoiseGp<crate::kernel::Matern52>> {
+        let k = crate::kernel::Matern52::new(ls, os);
+        FixedNoiseGp::fit(k, x.to_vec(), y, noise_var).ok()
+    };
+
+    // Stage 1: grid.
+    let mut best: Option<(f64, f64, FixedNoiseGp<crate::kernel::Matern52>)> = None;
+    for &ls in lengthscales {
+        for &os in outputscales {
+            if let Some(gp) = try_fit(ls, os) {
+                if best.as_ref().is_none_or(|(_, _, b)| {
+                    gp.log_marginal_likelihood() > b.log_marginal_likelihood()
+                }) {
+                    best = Some((ls, os, gp));
+                }
+            }
+        }
+    }
+    let (mut ls, mut os, mut gp) =
+        best.ok_or(GpError::Numerical("no hyper-parameter candidate factored".into()))?;
+
+    // Stage 2: multiplicative coordinate descent with a shrinking step.
+    let mut step = 1.6;
+    for _round in 0..6 {
+        let mut improved = false;
+        for (dl, do_) in [(step, 1.0), (1.0 / step, 1.0), (1.0, step), (1.0, 1.0 / step)] {
+            let (cl, co) = (ls * dl, os * do_);
+            if let Some(cand) = try_fit(cl, co) {
+                if cand.log_marginal_likelihood() > gp.log_marginal_likelihood() {
+                    ls = cl;
+                    os = co;
+                    gp = cand;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            step = step.sqrt();
+            if step < 1.05 {
+                break;
+            }
+        }
+    }
+    Ok(gp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Matern52;
+
+    fn train_1d(f: impl Fn(f64) -> f64, xs: &[f64]) -> (Vec<Vec<f64>>, Vec<f64>) {
+        (xs.iter().map(|&v| vec![v]).collect(), xs.iter().map(|&v| f(v)).collect())
+    }
+
+    #[test]
+    fn interpolates_noise_free_observations() {
+        let (x, y) = train_1d(|v| v.sin(), &[0.0, 1.0, 2.0, 3.0, 4.0]);
+        let gp = FixedNoiseGp::fit(Matern52::new(1.0, 1.0), x.clone(), &y, &[1e-8; 5]).unwrap();
+        let post = gp.posterior(&x);
+        for (m, t) in post.mean.iter().zip(&y) {
+            assert!((m - t).abs() < 1e-3, "{m} vs {t}");
+        }
+        for v in post.var {
+            assert!(v < 1e-3, "variance at observed point should collapse, got {v}");
+        }
+    }
+
+    #[test]
+    fn variance_grows_away_from_data() {
+        let (x, y) = train_1d(|v| v, &[0.0, 1.0]);
+        let gp = FixedNoiseGp::fit(Matern52::new(1.0, 1.0), x, &y, &[1e-6; 2]).unwrap();
+        let post = gp.posterior(&[vec![0.5], vec![5.0]]);
+        assert!(post.var[1] > post.var[0] * 2.0, "{:?}", post.var);
+        // Far away, the posterior reverts to the prior.
+        assert!((post.var[1] - 1.0).abs() < 0.05);
+        assert!((post.mean[1] - gp.prior_mean()).abs() < 0.05);
+    }
+
+    #[test]
+    fn high_noise_points_are_partially_ignored() {
+        // Two contradictory observations at the same x: the posterior mean
+        // should sit near the low-noise one.
+        let x = vec![vec![1.0], vec![1.0]];
+        let y = [0.0, 10.0];
+        let noise = [1e-6, 25.0];
+        let gp = FixedNoiseGp::fit(Matern52::new(1.0, 4.0), x, &y, &noise).unwrap();
+        let post = gp.posterior(&[vec![1.0]]);
+        assert!(
+            post.mean[0] < 1.0,
+            "mean {} should hug the precise observation",
+            post.mean[0]
+        );
+    }
+
+    #[test]
+    fn log_marginal_prefers_correct_lengthscale() {
+        // Data from a slow function: a comparable-scale lengthscale must
+        // beat an absurdly short one.
+        let xs: Vec<f64> = (0..12).map(|i| i as f64 * 0.5).collect();
+        let (x, y) = train_1d(|v| (v / 3.0).sin(), &xs);
+        let good = FixedNoiseGp::fit(Matern52::new(2.0, 1.0), x.clone(), &y, &[1e-4; 12]).unwrap();
+        let bad = FixedNoiseGp::fit(Matern52::new(0.01, 1.0), x, &y, &[1e-4; 12]).unwrap();
+        assert!(good.log_marginal_likelihood() > bad.log_marginal_likelihood());
+    }
+
+    #[test]
+    fn grid_hyper_fit_picks_reasonable_lengthscale() {
+        let xs: Vec<f64> = (0..15).map(|i| i as f64 * 0.4).collect();
+        let (x, y) = train_1d(|v| (v / 2.0).sin() * 2.0, &xs);
+        let gp = fit_matern_hypers(
+            &x,
+            &y,
+            &[1e-4; 15],
+            &[0.01, 0.1, 1.0, 3.0, 10.0],
+            &[0.1, 1.0, 5.0],
+        )
+        .unwrap();
+        // Prediction should be sane between training points.
+        let post = gp.posterior(&[vec![1.0]]);
+        assert!((post.mean[0] - (0.5f64).sin() * 2.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn refinement_never_loses_to_the_grid() {
+        let xs: Vec<f64> = (0..14).map(|i| i as f64 * 0.5).collect();
+        let (x, y) = train_1d(|v| (v / 2.5).sin() * 1.7, &xs);
+        let noise = vec![1e-4; xs.len()];
+        let grid_ls = [0.1, 1.0, 10.0];
+        let grid_os = [0.5, 2.0];
+        // Best pure-grid marginal likelihood.
+        let mut grid_best = f64::NEG_INFINITY;
+        for &ls in &grid_ls {
+            for &os in &grid_os {
+                if let Ok(gp) = FixedNoiseGp::fit(Matern52::new(ls, os), x.clone(), &y, &noise) {
+                    grid_best = grid_best.max(gp.log_marginal_likelihood());
+                }
+            }
+        }
+        let refined = fit_matern_hypers(&x, &y, &noise, &grid_ls, &grid_os).unwrap();
+        assert!(
+            refined.log_marginal_likelihood() >= grid_best - 1e-9,
+            "refined {} vs grid {}",
+            refined.log_marginal_likelihood(),
+            grid_best
+        );
+    }
+
+    #[test]
+    fn joint_samples_match_posterior_moments() {
+        let (x, y) = train_1d(|v| v.cos(), &[0.0, 1.5, 3.0]);
+        let gp = FixedNoiseGp::fit(Matern52::new(1.0, 1.0), x, &y, &[1e-4; 3]).unwrap();
+        let queries = vec![vec![0.75], vec![2.25]];
+        let normals = crate::sobol::qmc_normal(512, 2);
+        let samples = gp.sample_posterior(&queries, &normals).unwrap();
+        let post = gp.posterior(&queries);
+        for q in 0..2 {
+            let mean: f64 = samples.iter().map(|s| s[q]).sum::<f64>() / samples.len() as f64;
+            let var: f64 = samples.iter().map(|s| (s[q] - mean).powi(2)).sum::<f64>()
+                / samples.len() as f64;
+            assert!((mean - post.mean[q]).abs() < 0.02, "q{q} mean {mean} vs {}", post.mean[q]);
+            assert!((var - post.var[q]).abs() < 0.05, "q{q} var {var} vs {}", post.var[q]);
+        }
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let x = vec![vec![0.0], vec![1.0]];
+        assert!(FixedNoiseGp::fit(Matern52::new(1.0, 1.0), x.clone(), &[1.0], &[0.1; 2]).is_err());
+        assert!(FixedNoiseGp::fit(Matern52::new(1.0, 1.0), x.clone(), &[1.0; 2], &[0.1]).is_err());
+        assert!(FixedNoiseGp::fit(Matern52::new(1.0, 1.0), vec![], &[], &[]).is_err());
+        let gp = FixedNoiseGp::fit(Matern52::new(1.0, 1.0), x, &[1.0; 2], &[0.1; 2]).unwrap();
+        // Wrong normal length.
+        assert!(gp.sample_posterior(&[vec![0.5]], &[vec![0.0, 0.0]]).is_err());
+    }
+}

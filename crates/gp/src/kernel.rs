@@ -1,0 +1,137 @@
+//! Covariance kernels.
+
+/// A stationary covariance kernel on `R^d`.
+pub trait Kernel: Send + Sync {
+    /// Covariance between two points.
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64;
+
+    /// Prior variance at a point (`eval(x, x)` for stationary kernels).
+    fn diag(&self) -> f64;
+}
+
+fn scaled_distance(a: &[f64], b: &[f64], lengthscale: f64) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut s = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = (x - y) / lengthscale;
+        s += d * d;
+    }
+    s.sqrt()
+}
+
+/// Matérn 5/2 kernel — the covariance the paper uses (\[37\], §3.3):
+///
+/// `k(r) = σ² (1 + √5 r + 5r²/3) exp(−√5 r)` with `r = ‖a−b‖ / ℓ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Matern52 {
+    /// Lengthscale ℓ.
+    pub lengthscale: f64,
+    /// Output scale σ² (prior variance).
+    pub outputscale: f64,
+}
+
+impl Matern52 {
+    /// Creates the kernel; parameters are clamped to be positive.
+    pub fn new(lengthscale: f64, outputscale: f64) -> Self {
+        Matern52 {
+            lengthscale: lengthscale.max(1e-9),
+            outputscale: outputscale.max(1e-12),
+        }
+    }
+}
+
+impl Kernel for Matern52 {
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        let r = scaled_distance(a, b, self.lengthscale);
+        let sqrt5_r = 5.0_f64.sqrt() * r;
+        self.outputscale * (1.0 + sqrt5_r + 5.0 * r * r / 3.0) * (-sqrt5_r).exp()
+    }
+
+    fn diag(&self) -> f64 {
+        self.outputscale
+    }
+}
+
+/// Squared-exponential (RBF) kernel, kept for comparison and tests:
+/// `k(r) = σ² exp(−r²/2)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rbf {
+    /// Lengthscale ℓ.
+    pub lengthscale: f64,
+    /// Output scale σ².
+    pub outputscale: f64,
+}
+
+impl Rbf {
+    /// Creates the kernel; parameters are clamped to be positive.
+    pub fn new(lengthscale: f64, outputscale: f64) -> Self {
+        Rbf { lengthscale: lengthscale.max(1e-9), outputscale: outputscale.max(1e-12) }
+    }
+}
+
+impl Kernel for Rbf {
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        let r = scaled_distance(a, b, self.lengthscale);
+        self.outputscale * (-0.5 * r * r).exp()
+    }
+
+    fn diag(&self) -> f64 {
+        self.outputscale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matern_at_zero_distance_equals_outputscale() {
+        let k = Matern52::new(1.0, 2.5);
+        assert!((k.eval(&[3.0], &[3.0]) - 2.5).abs() < 1e-12);
+        assert_eq!(k.diag(), 2.5);
+    }
+
+    #[test]
+    fn matern_decays_with_distance() {
+        let k = Matern52::new(1.0, 1.0);
+        let near = k.eval(&[0.0], &[0.1]);
+        let mid = k.eval(&[0.0], &[1.0]);
+        let far = k.eval(&[0.0], &[5.0]);
+        assert!(near > mid && mid > far);
+        assert!(far > 0.0, "Matérn never reaches exactly zero");
+    }
+
+    #[test]
+    fn matern_is_symmetric() {
+        let k = Matern52::new(0.7, 1.3);
+        assert_eq!(k.eval(&[1.0, 2.0], &[3.0, -1.0]), k.eval(&[3.0, -1.0], &[1.0, 2.0]));
+    }
+
+    #[test]
+    fn longer_lengthscale_means_slower_decay() {
+        let short = Matern52::new(0.5, 1.0);
+        let long = Matern52::new(5.0, 1.0);
+        assert!(long.eval(&[0.0], &[1.0]) > short.eval(&[0.0], &[1.0]));
+    }
+
+    #[test]
+    fn rbf_matches_known_value() {
+        let k = Rbf::new(1.0, 1.0);
+        // exp(-0.5) at distance 1.
+        assert!((k.eval(&[0.0], &[1.0]) - (-0.5f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matern_heavier_tail_than_rbf() {
+        let m = Matern52::new(1.0, 1.0);
+        let r = Rbf::new(1.0, 1.0);
+        assert!(m.eval(&[0.0], &[3.0]) > r.eval(&[0.0], &[3.0]));
+    }
+
+    #[test]
+    fn degenerate_params_are_clamped() {
+        let k = Matern52::new(0.0, -1.0);
+        assert!(k.lengthscale > 0.0);
+        assert!(k.outputscale > 0.0);
+    }
+}

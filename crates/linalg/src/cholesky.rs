@@ -1,0 +1,270 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+//!
+//! Used by the ridge normal equations (`XᵀX + αI`) and by the fixed-noise
+//! Gaussian process (`K + diag(σ²)`). Both systems are SPD by
+//! construction, but finite precision can push near-singular Gram/Gram-like
+//! matrices slightly indefinite, so [`Cholesky::decompose_jittered`]
+//! retries with exponentially growing diagonal jitter — the same trick
+//! GPyTorch applies (the paper's GP backend).
+
+use crate::{matrix::Matrix, LinalgError, Result};
+
+/// Lower-triangular Cholesky factor `L` with `L Lᵀ = A`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+    /// Jitter that was added to the diagonal to achieve positive
+    /// definiteness (0.0 when the matrix factored cleanly).
+    jitter: f64,
+}
+
+impl Cholesky {
+    /// Factors an SPD matrix. Fails with [`LinalgError::NotPositiveDefinite`]
+    /// if a non-positive pivot is encountered.
+    pub fn decompose(a: &Matrix) -> Result<Self> {
+        Self::decompose_with_jitter(a, 0.0)
+    }
+
+    /// Factors `a + jitter * I`, retrying with `jitter * 10` (starting from
+    /// `initial`) until success or `max_tries` escalations.
+    pub fn decompose_jittered(a: &Matrix, initial: f64, max_tries: usize) -> Result<Self> {
+        match Self::decompose_with_jitter(a, 0.0) {
+            Ok(c) => return Ok(c),
+            Err(LinalgError::NotPositiveDefinite) => {}
+            Err(e) => return Err(e),
+        }
+        let mut jitter = initial.max(1e-12);
+        for _ in 0..max_tries {
+            match Self::decompose_with_jitter(a, jitter) {
+                Ok(c) => return Ok(c),
+                Err(LinalgError::NotPositiveDefinite) => jitter *= 10.0,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(LinalgError::NotPositiveDefinite)
+    }
+
+    fn decompose_with_jitter(a: &Matrix, jitter: f64) -> Result<Self> {
+        let (n, m) = a.shape();
+        if n != m {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky",
+                lhs: a.shape(),
+                rhs: a.shape(),
+            });
+        }
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                if i == j {
+                    sum += jitter;
+                }
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite);
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l, jitter })
+    }
+
+    /// The lower-triangular factor.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Jitter added to reach positive definiteness.
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `A x = b` via forward/back substitution.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut y = self.forward_substitute(b);
+        // Back substitution: Lᵀ x = y.
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.l[(k, i)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Solves `L y = b` (forward substitution only). Needed by the GP for
+    /// whitening residuals.
+    pub fn forward_substitute(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        debug_assert_eq!(b.len(), n);
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        y
+    }
+
+    /// Solves `A X = B` column by column.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky solve_matrix",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            let x = self.solve(&col)?;
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// `log det(A) = 2 * Σ log L_ii`, used by the GP marginal likelihood.
+    pub fn log_det(&self) -> f64 {
+        let n = self.dim();
+        let mut s = 0.0;
+        for i in 0..n {
+            s += self.l[(i, i)].ln();
+        }
+        2.0 * s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = M Mᵀ + I for a fixed M: guaranteed SPD.
+        Matrix::from_vec(
+            3,
+            3,
+            vec![5.0, 2.0, 1.0, 2.0, 6.0, 2.0, 1.0, 2.0, 4.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd3();
+        let c = Cholesky::decompose(&a).unwrap();
+        let l = c.factor();
+        let lt = l.transpose();
+        let r = l.matmul(&lt).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((r[(i, j)] - a[(i, j)]).abs() < 1e-10);
+            }
+        }
+        assert_eq!(c.jitter(), 0.0);
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd3();
+        let x_true = vec![1.0, -2.0, 3.0];
+        let b = a.matvec(&x_true).unwrap();
+        let c = Cholesky::decompose(&a).unwrap();
+        let x = c.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solve_matrix_matches_columnwise_solve() {
+        let a = spd3();
+        let b = Matrix::from_vec(3, 2, vec![1., 0., 0., 1., 1., 1.]).unwrap();
+        let c = Cholesky::decompose(&a).unwrap();
+        let x = c.solve_matrix(&b).unwrap();
+        for j in 0..2 {
+            let col = c.solve(&b.col(j)).unwrap();
+            for i in 0..3 {
+                assert!((x[(i, j)] - col[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn log_det_matches_known_value() {
+        // det of diag(2, 3, 4) = 24.
+        let mut a = Matrix::zeros(3, 3);
+        a[(0, 0)] = 2.0;
+        a[(1, 1)] = 3.0;
+        a[(2, 2)] = 4.0;
+        let c = Cholesky::decompose(&a).unwrap();
+        assert!((c.log_det() - 24.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indefinite_matrix_rejected() {
+        let a = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        assert!(matches!(
+            Cholesky::decompose(&a),
+            Err(LinalgError::NotPositiveDefinite)
+        ));
+    }
+
+    #[test]
+    fn jitter_rescues_semidefinite_matrix() {
+        // Rank-1 PSD matrix: [1 1; 1 1].
+        let a = Matrix::from_vec(2, 2, vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        let c = Cholesky::decompose_jittered(&a, 1e-10, 12).unwrap();
+        assert!(c.jitter() > 0.0);
+        // Solutions remain near a least-squares answer.
+        let x = c.solve(&[2.0, 2.0]).unwrap();
+        assert!((x[0] + x[1] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(Cholesky::decompose(&a).is_err());
+    }
+
+    #[test]
+    fn forward_substitute_consistent_with_solve() {
+        let a = spd3();
+        let c = Cholesky::decompose(&a).unwrap();
+        let b = [1.0, 2.0, 3.0];
+        // L y = b, then Lᵀ x = y should equal solve(b).
+        let y = c.forward_substitute(&b);
+        // Verify L y = b.
+        let l = c.factor();
+        let ly = l.matvec(&y).unwrap();
+        for (v, e) in ly.iter().zip(&b) {
+            assert!((v - e).abs() < 1e-12);
+        }
+    }
+}

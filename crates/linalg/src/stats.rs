@@ -1,0 +1,193 @@
+//! Descriptive statistics and the error metrics used in the paper's
+//! evaluation (§5.1): MAPE is the headline modeling metric (Tables 3–4);
+//! MAE/RMSE are kept for diagnostics.
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; 0.0 for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Linear-interpolated quantile, `q` in `[0, 1]`. Returns NaN for empty input.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = pos - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Mean absolute percentage error in percent:
+/// `100/n * Σ |pred - true| / |true|`.
+///
+/// Pairs whose ground truth is (near) zero are skipped, matching the usual
+/// convention (and avoiding the division blow-up the paper's min-max
+/// normalization sidesteps).
+pub fn mape(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "mape: length mismatch");
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    for (t, p) in truth.iter().zip(pred) {
+        if t.abs() > 1e-9 {
+            acc += ((p - t) / t).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        100.0 * acc / n as f64
+    }
+}
+
+/// Mean absolute error.
+pub fn mae(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "mae: length mismatch");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    truth
+        .iter()
+        .zip(pred)
+        .map(|(t, p)| (p - t).abs())
+        .sum::<f64>()
+        / truth.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "rmse: length mismatch");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    (truth
+        .iter()
+        .zip(pred)
+        .map(|(t, p)| (p - t) * (p - t))
+        .sum::<f64>()
+        / truth.len() as f64)
+        .sqrt()
+}
+
+/// Pearson correlation coefficient; NaN-free (returns 0.0 when either
+/// series is constant).
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pearson: length mismatch");
+    let sa = std_dev(a);
+    let sb = std_dev(b);
+    if sa < 1e-12 || sb < 1e-12 || a.len() < 2 {
+        return 0.0;
+    }
+    let ma = mean(a);
+    let mb = mean(b);
+    let cov = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| (x - ma) * (y - mb))
+        .sum::<f64>()
+        / a.len() as f64;
+    cov / (sa * sb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_known_values() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_stats() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[3.0]), 0.0);
+    }
+
+    #[test]
+    fn quantile_median_and_extremes() {
+        let xs = [3.0, 1.0, 2.0];
+        assert_eq!(quantile(&xs, 0.5), 2.0);
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 3.0);
+        assert!(quantile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert!((quantile(&xs, 0.25) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_known_value() {
+        // |9-10|/10 + |22-20|/20 = 0.1 + 0.1 -> 10%
+        let m = mape(&[10.0, 20.0], &[9.0, 22.0]);
+        assert!((m - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mape_skips_zero_truth() {
+        let m = mape(&[0.0, 10.0], &[5.0, 11.0]);
+        assert!((m - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mae_rmse_known_values() {
+        let t = [1.0, 2.0, 3.0];
+        let p = [2.0, 2.0, 1.0];
+        assert!((mae(&t, &p) - 1.0).abs() < 1e-12);
+        assert!((rmse(&t, &p) - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_prediction_zero_error() {
+        let t = [1.5, -2.0, 3.25];
+        assert_eq!(mape(&t, &t), 0.0);
+        assert_eq!(mae(&t, &t), 0.0);
+        assert_eq!(rmse(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn pearson_perfectly_correlated() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [-1.0, -2.0, -3.0, -4.0];
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_series_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+}

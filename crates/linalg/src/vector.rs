@@ -1,0 +1,107 @@
+//! Free functions on `&[f64]` slices: dot products, norms, and the small
+//! BLAS-1 style helpers shared by the regression and GP code.
+
+/// Dot product of two equal-length slices.
+///
+/// Uses four partial accumulators so LLVM can vectorize without needing
+/// `-ffast-math`-style reassociation permission.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let chunks = a.len() / 4;
+    let mut acc = [0.0f64; 4];
+    for c in 0..chunks {
+        let i = c * 4;
+        acc[0] += a[i] * b[i];
+        acc[1] += a[i + 1] * b[i + 1];
+        acc[2] += a[i + 2] * b[i + 2];
+        acc[3] += a[i + 3] * b[i + 3];
+    }
+    let mut tail = 0.0;
+    for i in chunks * 4..a.len() {
+        tail += a[i] * b[i];
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// `y += alpha * x` in place.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Element-wise difference `a - b` as a new vector.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Scales a slice in place.
+#[inline]
+pub fn scale(a: &mut [f64], s: f64) {
+    for v in a {
+        *v *= s;
+    }
+}
+
+/// Maximum element of a non-empty slice (NaN-ignoring).
+pub fn max(a: &[f64]) -> f64 {
+    a.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Minimum element of a non-empty slice (NaN-ignoring).
+pub fn min(a: &[f64]) -> f64 {
+    a.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive_on_odd_lengths() {
+        for n in 0..20 {
+            let a: Vec<f64> = (0..n).map(|i| i as f64 + 0.5).collect();
+            let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+            let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert!((dot(&a, &b) - naive).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn norm2_of_unit_axes() {
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm2(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 10.0, 10.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn sub_and_scale() {
+        let mut d = sub(&[5.0, 7.0], &[2.0, 3.0]);
+        scale(&mut d, 2.0);
+        assert_eq!(d, vec![6.0, 8.0]);
+    }
+
+    #[test]
+    fn min_max_basic() {
+        let v = [2.0, -1.0, 7.0];
+        assert_eq!(max(&v), 7.0);
+        assert_eq!(min(&v), -1.0);
+    }
+}

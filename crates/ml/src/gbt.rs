@@ -1,0 +1,186 @@
+//! Gradient-boosted regression trees (the XGBoost \[7\] stand-in).
+//!
+//! Squared-loss boosting: each round fits a shallow tree to the current
+//! residuals and adds it with shrinkage. Optional row subsampling
+//! (stochastic gradient boosting) reduces variance like XGBoost's
+//! `subsample` parameter.
+
+use crate::tree::{RegressionTree, TreeConfig};
+use crate::{Dataset, MlError};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Boosting hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct GbtConfig {
+    /// Number of boosting rounds.
+    pub n_rounds: usize,
+    /// Shrinkage (learning rate).
+    pub learning_rate: f64,
+    /// Row subsample fraction in (0, 1].
+    pub subsample: f64,
+    /// Base-tree configuration (depth is usually small, e.g. 3-4).
+    pub tree: TreeConfig,
+    /// RNG seed for subsampling.
+    pub seed: u64,
+}
+
+impl Default for GbtConfig {
+    fn default() -> Self {
+        GbtConfig {
+            n_rounds: 120,
+            learning_rate: 0.08,
+            subsample: 0.8,
+            tree: TreeConfig { max_depth: 3, ..TreeConfig::default() },
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted gradient-boosting ensemble.
+#[derive(Debug, Clone)]
+pub struct GradientBoosting {
+    base: f64,
+    trees: Vec<RegressionTree>,
+    learning_rate: f64,
+}
+
+impl GradientBoosting {
+    /// Trains on the dataset.
+    pub fn fit(data: &Dataset, config: GbtConfig) -> Result<Self, MlError> {
+        if data.is_empty() {
+            return Err(MlError::Empty("GBT training data"));
+        }
+        if !(0.0..=1.0).contains(&config.subsample) || config.subsample == 0.0 {
+            return Err(MlError::BadConfig("subsample must be in (0, 1]".into()));
+        }
+        if config.learning_rate <= 0.0 {
+            return Err(MlError::BadConfig("learning_rate must be positive".into()));
+        }
+        let n = data.len();
+        let base = data.y.iter().sum::<f64>() / n as f64;
+        let mut residual: Vec<f64> = data.y.iter().map(|y| y - base).collect();
+        let mut trees = Vec::with_capacity(config.n_rounds);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let m = ((n as f64) * config.subsample).ceil() as usize;
+
+        for _ in 0..config.n_rounds {
+            // Subsample rows (without replacement).
+            let rows: Vec<usize> = if m < n {
+                let mut pool: Vec<usize> = (0..n).collect();
+                for i in 0..m {
+                    let j = rng.random_range(i..n);
+                    pool.swap(i, j);
+                }
+                pool.truncate(m);
+                pool
+            } else {
+                (0..n).collect()
+            };
+            let sub = Dataset {
+                x: rows.iter().map(|&i| data.x[i].clone()).collect(),
+                y: rows.iter().map(|&i| residual[i]).collect(),
+            };
+            let tree = RegressionTree::fit(&sub, &config.tree)?;
+            // Update residuals on the FULL dataset.
+            for (i, r) in residual.iter_mut().enumerate() {
+                *r -= config.learning_rate * tree.predict(&data.x[i]);
+            }
+            trees.push(tree);
+        }
+        Ok(GradientBoosting { base, trees, learning_rate: config.learning_rate })
+    }
+
+    /// Number of boosted trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Predicts one row.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let mut acc = self.base;
+        for t in &self.trees {
+            acc += self.learning_rate * t.predict(x);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth_data() -> Dataset {
+        let x: Vec<Vec<f64>> = (0..120).map(|i| vec![i as f64 / 119.0 * 4.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| (r[0]).sin() * 2.0 + 0.5 * r[0]).collect();
+        Dataset::new(x, y).unwrap()
+    }
+
+    #[test]
+    fn fits_a_smooth_curve() {
+        let data = smooth_data();
+        let model = GradientBoosting::fit(&data, GbtConfig::default()).unwrap();
+        let mut err = 0.0;
+        for (xi, yi) in data.x.iter().zip(&data.y) {
+            err += (model.predict(xi) - yi).abs();
+        }
+        err /= data.len() as f64;
+        assert!(err < 0.12, "mean abs error {err}");
+    }
+
+    #[test]
+    fn more_rounds_fit_better() {
+        let data = smooth_data();
+        let short = GradientBoosting::fit(
+            &data,
+            GbtConfig { n_rounds: 5, subsample: 1.0, ..GbtConfig::default() },
+        )
+        .unwrap();
+        let long = GradientBoosting::fit(
+            &data,
+            GbtConfig { n_rounds: 150, subsample: 1.0, ..GbtConfig::default() },
+        )
+        .unwrap();
+        let sse = |m: &GradientBoosting| -> f64 {
+            data.x
+                .iter()
+                .zip(&data.y)
+                .map(|(x, y)| (m.predict(x) - y).powi(2))
+                .sum()
+        };
+        assert!(sse(&long) < sse(&short));
+    }
+
+    #[test]
+    fn constant_target_predicts_constant() {
+        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let data = Dataset::new(x, vec![2.5; 30]).unwrap();
+        let model = GradientBoosting::fit(&data, GbtConfig::default()).unwrap();
+        assert!((model.predict(&[10.0]) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_config_rejected() {
+        let data = smooth_data();
+        assert!(GradientBoosting::fit(
+            &data,
+            GbtConfig { subsample: 0.0, ..GbtConfig::default() }
+        )
+        .is_err());
+        assert!(GradientBoosting::fit(
+            &data,
+            GbtConfig { learning_rate: -1.0, ..GbtConfig::default() }
+        )
+        .is_err());
+        assert!(GradientBoosting::fit(&Dataset::default(), GbtConfig::default()).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = smooth_data();
+        let cfg = GbtConfig { seed: 42, n_rounds: 20, ..GbtConfig::default() };
+        let a = GradientBoosting::fit(&data, cfg.clone()).unwrap();
+        let b = GradientBoosting::fit(&data, cfg).unwrap();
+        assert_eq!(a.predict(&[1.3]), b.predict(&[1.3]));
+    }
+}

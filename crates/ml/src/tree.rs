@@ -1,0 +1,283 @@
+//! CART regression tree: greedy variance-reduction splits.
+//!
+//! The base learner shared by [`crate::gbt`] and [`crate::forest`].
+
+use crate::{Dataset, MlError};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Tree hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_samples_split: usize,
+    /// Minimum samples in each leaf.
+    pub min_samples_leaf: usize,
+    /// Number of features considered per split; `None` = all (CART),
+    /// `Some(k)` = random subset of size `k` (random-forest mode).
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 6,
+            min_samples_split: 4,
+            min_samples_leaf: 2,
+            max_features: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    root: Node,
+    n_features: usize,
+}
+
+impl RegressionTree {
+    /// Fits with deterministic feature order (no subsampling).
+    pub fn fit(data: &Dataset, config: &TreeConfig) -> Result<Self, MlError> {
+        Self::fit_impl(data, config, None)
+    }
+
+    /// Fits with random feature subsampling at each split (used by the
+    /// random forest).
+    pub fn fit_with_rng(
+        data: &Dataset,
+        config: &TreeConfig,
+        rng: &mut StdRng,
+    ) -> Result<Self, MlError> {
+        Self::fit_impl(data, config, Some(rng))
+    }
+
+    fn fit_impl(
+        data: &Dataset,
+        config: &TreeConfig,
+        mut rng: Option<&mut StdRng>,
+    ) -> Result<Self, MlError> {
+        if data.is_empty() {
+            return Err(MlError::Empty("tree training data"));
+        }
+        let idx: Vec<usize> = (0..data.len()).collect();
+        let root = Self::build(data, &idx, config, 0, &mut rng);
+        Ok(RegressionTree { root, n_features: data.n_features() })
+    }
+
+    fn mean(data: &Dataset, idx: &[usize]) -> f64 {
+        idx.iter().map(|&i| data.y[i]).sum::<f64>() / idx.len() as f64
+    }
+
+    fn build(
+        data: &Dataset,
+        idx: &[usize],
+        config: &TreeConfig,
+        depth: usize,
+        rng: &mut Option<&mut StdRng>,
+    ) -> Node {
+        if depth >= config.max_depth
+            || idx.len() < config.min_samples_split
+            || idx.len() < 2 * config.min_samples_leaf
+        {
+            return Node::Leaf { value: Self::mean(data, idx) };
+        }
+
+        // Candidate features: all, or a random subset.
+        let d = data.n_features();
+        let features: Vec<usize> = match (config.max_features, rng.as_deref_mut()) {
+            (Some(k), Some(rng)) if k < d => {
+                // Partial Fisher-Yates for k distinct indices.
+                let mut pool: Vec<usize> = (0..d).collect();
+                for i in 0..k {
+                    let j = rng.random_range(i..d);
+                    pool.swap(i, j);
+                }
+                pool.truncate(k);
+                pool
+            }
+            _ => (0..d).collect(),
+        };
+
+        // Best split by SSE reduction, scanning sorted feature values.
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+        let total_sum: f64 = idx.iter().map(|&i| data.y[i]).sum();
+        let total_sq: f64 = idx.iter().map(|&i| data.y[i] * data.y[i]).sum();
+        let n = idx.len() as f64;
+        let parent_sse = total_sq - total_sum * total_sum / n;
+
+        let mut sorted = idx.to_vec();
+        for &f in &features {
+            sorted.sort_by(|&a, &b| {
+                data.x[a][f]
+                    .partial_cmp(&data.x[b][f])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut left_sum = 0.0;
+            let mut left_sq = 0.0;
+            for (pos, &i) in sorted.iter().enumerate().take(sorted.len() - 1) {
+                let yi = data.y[i];
+                left_sum += yi;
+                left_sq += yi * yi;
+                let nl = (pos + 1) as f64;
+                let nr = n - nl;
+                if (pos + 1) < config.min_samples_leaf
+                    || (sorted.len() - pos - 1) < config.min_samples_leaf
+                {
+                    continue;
+                }
+                let xv = data.x[i][f];
+                let xn = data.x[sorted[pos + 1]][f];
+                if xn <= xv {
+                    continue; // no gap to split in
+                }
+                let right_sum = total_sum - left_sum;
+                let right_sq = total_sq - left_sq;
+                let sse = (left_sq - left_sum * left_sum / nl)
+                    + (right_sq - right_sum * right_sum / nr);
+                if best.as_ref().is_none_or(|(_, _, b)| sse < *b) {
+                    best = Some((f, 0.5 * (xv + xn), sse));
+                }
+            }
+        }
+
+        match best {
+            Some((feature, threshold, sse)) if sse < parent_sse - 1e-12 => {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                    idx.iter().partition(|&&i| data.x[i][feature] <= threshold);
+                let left = Self::build(data, &left_idx, config, depth + 1, rng);
+                let right = Self::build(data, &right_idx, config, depth + 1, rng);
+                Node::Split { feature, threshold, left: Box::new(left), right: Box::new(right) }
+            }
+            _ => Node::Leaf { value: Self::mean(data, idx) },
+        }
+    }
+
+    /// Number of features the tree was trained on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+
+    /// Predicts one row.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data() -> Dataset {
+        // y = 1 for x < 0.5, y = 5 for x >= 0.5.
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 39.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| if r[0] < 0.5 { 1.0 } else { 5.0 }).collect();
+        Dataset::new(x, y).unwrap()
+    }
+
+    #[test]
+    fn splits_a_step_function_exactly() {
+        let data = step_data();
+        let tree = RegressionTree::fit(&data, &TreeConfig::default()).unwrap();
+        assert!((tree.predict(&[0.2]) - 1.0).abs() < 1e-9);
+        assert!((tree.predict(&[0.8]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn depth_zero_gives_global_mean() {
+        let data = step_data();
+        let cfg = TreeConfig { max_depth: 0, ..TreeConfig::default() };
+        let tree = RegressionTree::fit(&data, &cfg).unwrap();
+        let mean = data.y.iter().sum::<f64>() / data.y.len() as f64;
+        assert!((tree.predict(&[0.1]) - mean).abs() < 1e-9);
+        assert_eq!(tree.n_leaves(), 1);
+    }
+
+    #[test]
+    fn fits_piecewise_multifeature_data() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                let a = i as f64 / 9.0;
+                let b = j as f64 / 9.0;
+                x.push(vec![a, b]);
+                y.push(if a > 0.5 { 2.0 } else { 0.0 } + if b > 0.3 { 1.0 } else { 0.0 });
+            }
+        }
+        let data = Dataset::new(x, y).unwrap();
+        let tree = RegressionTree::fit(&data, &TreeConfig::default()).unwrap();
+        assert!((tree.predict(&[0.9, 0.9]) - 3.0).abs() < 0.2);
+        assert!((tree.predict(&[0.1, 0.1]) - 0.0).abs() < 0.2);
+        assert!((tree.predict(&[0.9, 0.1]) - 2.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected() {
+        let data = step_data();
+        let cfg = TreeConfig { min_samples_leaf: 15, ..TreeConfig::default() };
+        let tree = RegressionTree::fit(&data, &cfg).unwrap();
+        // With 40 points and leaf >= 15, at most 2 leaves are possible.
+        assert!(tree.n_leaves() <= 2);
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y = vec![3.0; 20];
+        let data = Dataset::new(x, y).unwrap();
+        let tree = RegressionTree::fit(&data, &TreeConfig::default()).unwrap();
+        assert_eq!(tree.n_leaves(), 1);
+        assert_eq!(tree.predict(&[7.0]), 3.0);
+    }
+
+    #[test]
+    fn empty_data_is_an_error() {
+        let data = Dataset::default();
+        assert!(RegressionTree::fit(&data, &TreeConfig::default()).is_err());
+    }
+
+    #[test]
+    fn duplicate_feature_values_dont_split_inside_ties() {
+        // All x identical: no valid split exists.
+        let x: Vec<Vec<f64>> = (0..10).map(|_| vec![1.0]).collect();
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let data = Dataset::new(x, y).unwrap();
+        let tree = RegressionTree::fit(&data, &TreeConfig::default()).unwrap();
+        assert_eq!(tree.n_leaves(), 1);
+    }
+}

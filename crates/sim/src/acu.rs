@@ -1,0 +1,330 @@
+//! Air-cooling unit: PID-driven compressor, COP curve, inlet sensors.
+//!
+//! Power model (calibrated to §2.1's reported range of ~0.1 kW to ~5 kW):
+//!
+//! ```text
+//! P_acu = P_fan + P_base + Q_eff / (COP(T_supply) · PLF(duty))    duty > ε
+//! P_acu = P_fan                                                    duty ≤ ε
+//! ```
+//!
+//! * COP rises with the supply (evaporator) temperature — serving the room
+//!   with 20 °C air is cheaper per joule than with 14 °C air. This is the
+//!   physical mechanism behind the paper's energy savings: TESLA raises
+//!   the set-point, the supply temperature rises, the COP improves.
+//! * PLF (part-load factor) penalizes low-duty compressor cycling.
+//! * When the set-point exceeds the inlet temperature, the PID collapses
+//!   duty to ~0 and the unit consumes only fan power: *cooling
+//!   interruption* (the paper detects it as ACU power below 0.1 kW).
+
+use crate::config::AcuParams;
+use crate::pid::Pid;
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+/// Per-step output of the ACU model.
+#[derive(Debug, Clone, Copy)]
+pub struct AcuStep {
+    /// Compressor duty in `[0, 1]`.
+    pub duty: f64,
+    /// Heat actually extracted, kW.
+    pub q_kw: f64,
+    /// Supply-air temperature, °C.
+    pub supply_temp: f64,
+    /// Electrical power, kW.
+    pub power_kw: f64,
+    /// True when cold-air delivery is interrupted.
+    pub interrupted: bool,
+}
+
+/// Stateful ACU model.
+#[derive(Debug, Clone)]
+pub struct Acu {
+    params: AcuParams,
+    pid: Pid,
+    setpoint: f64,
+    noise: Normal<f64>,
+    last_supply: f64,
+    /// Previous applied duty, for the upward slew-rate limit.
+    prev_duty: f64,
+}
+
+impl Acu {
+    /// Creates an ACU with the given parameters and an initial set-point.
+    pub fn new(params: AcuParams, initial_setpoint: f64) -> Self {
+        let pid = Pid::new(params.pid.clone());
+        let noise = Normal::new(0.0, params.inlet_noise_std.max(1e-12)).expect("finite std");
+        Acu {
+            pid,
+            noise,
+            setpoint: initial_setpoint,
+            last_supply: initial_setpoint - 4.0,
+            prev_duty: 0.0,
+            params,
+        }
+    }
+
+    /// Parameters in use.
+    pub fn params(&self) -> &AcuParams {
+        &self.params
+    }
+
+    /// Currently executed set-point, °C.
+    pub fn setpoint(&self) -> f64 {
+        self.setpoint
+    }
+
+    /// Commands a new set-point (clamping is the testbed's job; the ACU
+    /// trusts its register).
+    pub fn set_setpoint(&mut self, sp: f64) {
+        self.setpoint = sp;
+    }
+
+    /// Number of inlet sensors.
+    pub fn n_sensors(&self) -> usize {
+        self.params.inlet_sensor_bias.len()
+    }
+
+    /// Samples the inlet sensors given the true return-air temperature.
+    pub fn sample_inlet_sensors<R: Rng>(&self, return_temp: f64, rng: &mut R) -> Vec<f64> {
+        self.params
+            .inlet_sensor_bias
+            .iter()
+            .map(|b| return_temp + b + self.noise.sample(rng))
+            .collect()
+    }
+
+    /// Advances the compressor control loop by `dt` seconds.
+    ///
+    /// * `measured_inlet` — the PID's process variable (mean of the inlet
+    ///   sensors on the real unit).
+    /// * `true_return` — physical return-air temperature used to compute
+    ///   the achievable supply temperature.
+    /// * `mdot_cp` — air-loop heat capacity rate, kW/K.
+    pub fn step(&mut self, measured_inlet: f64, true_return: f64, mdot_cp: f64, dt: f64) -> AcuStep {
+        // Residual error: inlet − set-point. Positive → must cool harder.
+        let error = measured_inlet - self.setpoint;
+        let commanded = self.pid.step(error, dt);
+        // Compressors ramp load slowly but shed it fast: limit only the
+        // upward slew.
+        let duty = commanded.min(self.prev_duty + self.params.duty_slew_per_s * dt);
+        self.prev_duty = duty;
+
+        let q_requested = duty * self.params.q_max_kw;
+        // Supply cannot go below the evaporator floor.
+        let supply_unclamped = true_return - q_requested / mdot_cp;
+        let supply = supply_unclamped.max(self.params.supply_temp_min);
+        let q_eff = (true_return - supply) * mdot_cp;
+
+        let interrupted = duty <= self.params.interruption_duty;
+        let power = if interrupted {
+            self.params.fan_power_kw
+        } else {
+            let cop = (self.params.cop_intercept + self.params.cop_slope * supply)
+                .max(self.params.cop_floor);
+            let plf = self.params.plf_floor + (1.0 - self.params.plf_floor) * duty;
+            self.params.fan_power_kw + self.params.base_power_kw + q_eff / (cop * plf)
+        };
+
+        self.last_supply = supply;
+        AcuStep { duty, q_kw: q_eff, supply_temp: supply, power_kw: power, interrupted }
+    }
+
+    /// Supply temperature from the most recent step.
+    pub fn last_supply(&self) -> f64 {
+        self.last_supply
+    }
+
+    /// Resets controller dynamic state.
+    pub fn reset(&mut self) {
+        self.pid.reset();
+        self.prev_duty = 0.0;
+    }
+
+    /// Degrades (or restores) the refrigeration efficiency by scaling the
+    /// COP curve — fouled coils, refrigerant loss, worn compressors.
+    /// `factor` multiplies both COP coefficients; values below 1 degrade.
+    pub fn scale_cop(&mut self, factor: f64) {
+        let f = factor.max(0.05);
+        self.params.cop_intercept *= f;
+        self.params.cop_slope *= f;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn acu(sp: f64) -> Acu {
+        Acu::new(AcuParams::default(), sp)
+    }
+
+    #[test]
+    fn setpoint_above_inlet_interrupts_cooling() {
+        let mut a = acu(30.0);
+        // Inlet at 24 °C, set-point 30 °C: residual error negative.
+        let mut last = None;
+        for _ in 0..120 {
+            last = Some(a.step(24.0, 24.0, 1.0, 1.0));
+        }
+        let s = last.unwrap();
+        assert!(s.interrupted);
+        assert!((s.power_kw - AcuParams::default().fan_power_kw).abs() < 1e-12);
+        assert_eq!(s.q_kw, 0.0);
+    }
+
+    #[test]
+    fn setpoint_below_inlet_drives_duty_up() {
+        let mut a = acu(20.0);
+        let mut duties = Vec::new();
+        for _ in 0..700 {
+            duties.push(a.step(27.0, 27.0, 1.0, 1.0).duty);
+        }
+        assert!(duties[0] > 0.0);
+        // The slew limiter paces the ramp, but a persistent error must
+        // still saturate the compressor eventually.
+        assert!(*duties.last().unwrap() > 0.9, "persistent error saturates duty");
+        // And the ramp respects the slew limit.
+        for w in duties.windows(2) {
+            assert!(w[1] - w[0] <= 0.002 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn max_power_is_about_five_kilowatts() {
+        // §2.1: "as high as ~5 kW on our testbed". Worst case: the unit
+        // saturates (duty 1) while the supply floor pins the evaporator
+        // at its coldest, least-efficient point.
+        let mut a = acu(15.0);
+        let mut p = 0.0;
+        for _ in 0..600 {
+            p = a.step(24.0, 24.0, 1.0, 1.0).power_kw;
+        }
+        assert!(p > 4.0 && p < 6.0, "saturated power {p} kW");
+    }
+
+    #[test]
+    fn higher_supply_temperature_is_more_efficient() {
+        // Same extraction duty at two return temperatures: the warmer
+        // evaporator must draw less power per kW of heat moved.
+        let params = AcuParams::default();
+        let mut cold = Acu::new(params.clone(), 18.0);
+        let mut warm = Acu::new(params, 26.0);
+        let mut p_cold = 0.0;
+        let mut p_warm = 0.0;
+        let mut q_cold = 0.0;
+        let mut q_warm = 0.0;
+        for _ in 0..1200 {
+            // Hold each at ~2 K residual error so duty settles similarly.
+            let sc = cold.step(20.0, 20.0, 1.0, 1.0);
+            let sw = warm.step(28.0, 28.0, 1.0, 1.0);
+            p_cold = sc.power_kw;
+            p_warm = sw.power_kw;
+            q_cold = sc.q_kw;
+            q_warm = sw.q_kw;
+        }
+        let eff_cold = q_cold / p_cold;
+        let eff_warm = q_warm / p_warm;
+        assert!(
+            eff_warm > eff_cold,
+            "kW-per-kW: warm {eff_warm:.2} must beat cold {eff_cold:.2}"
+        );
+    }
+
+    #[test]
+    fn supply_temperature_respects_floor() {
+        let mut a = acu(5.0); // absurdly low set-point
+        let mut s = a.step(14.0, 14.0, 1.0, 1.0);
+        for _ in 0..600 {
+            s = a.step(14.0, 14.0, 1.0, 1.0);
+        }
+        assert!(s.supply_temp >= AcuParams::default().supply_temp_min - 1e-9);
+        // Effective Q is limited accordingly.
+        assert!(s.q_kw <= (14.0 - AcuParams::default().supply_temp_min) + 1e-9);
+    }
+
+    #[test]
+    fn inlet_sensors_carry_bias_and_noise() {
+        let a = acu(25.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 4000;
+        let mut sums = vec![0.0; a.n_sensors()];
+        for _ in 0..n {
+            for (s, v) in sums.iter_mut().zip(a.sample_inlet_sensors(25.0, &mut rng)) {
+                *s += v;
+            }
+        }
+        let means: Vec<f64> = sums.iter().map(|s| s / n as f64).collect();
+        let bias = &AcuParams::default().inlet_sensor_bias;
+        for (m, b) in means.iter().zip(bias) {
+            assert!((m - (25.0 + b)).abs() < 0.01, "sensor mean {m} vs bias {b}");
+        }
+    }
+
+    #[test]
+    fn setpoint_dip_costs_transient_power() {
+        // Fig. 4: a transient set-point dip of ~1 °C raises power by tens
+        // of percent even though the lower set-point is never reached.
+        // This is a closed-loop effect, so couple the ACU to the thermal
+        // network.
+        use crate::config::ThermalParams;
+        use crate::thermal::ThermalNetwork;
+        let mut a = acu(28.5);
+        let mut net = ThermalNetwork::new(ThermalParams::default());
+        let heat = 5.0;
+        let mut settled = 0.0;
+        for _ in 0..40_000 {
+            let ret = net.return_temp();
+            let s = a.step(ret, ret, 1.0, 1.0);
+            net.step(s.supply_temp, heat, 1.0);
+            settled = s.power_kw;
+        }
+        // Dip the set-point by 1 °C for two minutes.
+        a.set_setpoint(27.5);
+        let mut peak: f64 = 0.0;
+        for _ in 0..120 {
+            let ret = net.return_temp();
+            let s = a.step(ret, ret, 1.0, 1.0);
+            net.step(s.supply_temp, heat, 1.0);
+            peak = peak.max(s.power_kw);
+        }
+        assert!(
+            peak > settled * 1.10,
+            "dip should raise power: settled {settled:.2} kW, peak {peak:.2} kW"
+        );
+    }
+
+    #[test]
+    fn cop_degradation_raises_power() {
+        let mut healthy = acu(20.0);
+        let mut degraded = acu(20.0);
+        degraded.scale_cop(0.7);
+        let mut p_healthy = 0.0;
+        let mut p_degraded = 0.0;
+        for _ in 0..900 {
+            p_healthy = healthy.step(24.0, 24.0, 1.0, 1.0).power_kw;
+            p_degraded = degraded.step(24.0, 24.0, 1.0, 1.0).power_kw;
+        }
+        assert!(
+            p_degraded > p_healthy * 1.2,
+            "degraded {p_degraded:.2} kW vs healthy {p_healthy:.2} kW"
+        );
+    }
+
+    #[test]
+    fn reset_clears_pid_state() {
+        // Accumulate integral at a moderate, non-saturating error.
+        let mut a = acu(26.0);
+        for _ in 0..100 {
+            a.step(27.0, 27.0, 1.0, 1.0);
+        }
+        let before = a.step(27.0, 27.0, 1.0, 1.0).duty;
+        a.reset();
+        let after = a.step(27.0, 27.0, 1.0, 1.0).duty;
+        assert!(
+            after < before,
+            "reset must drop the accumulated integral: before {before}, after {after}"
+        );
+    }
+}

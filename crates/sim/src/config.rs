@@ -1,0 +1,345 @@
+//! Simulator configuration. Defaults mirror Table 1 of the paper plus the
+//! calibration targets extracted from its measurements (Figs. 2–4, §2).
+
+use crate::SimError;
+use serde::{Deserialize, Serialize};
+
+/// PID gains for the ACU compressor loop (§2.1).
+///
+/// The controller acts on the residual error `inlet − set-point`; its
+/// output is the compressor duty in `[0, 1]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PidParams {
+    /// Proportional gain (duty per Kelvin of residual error).
+    pub kp: f64,
+    /// Integral gain (duty per Kelvin-second).
+    pub ki: f64,
+    /// Derivative gain (duty per Kelvin/second).
+    pub kd: f64,
+    /// Output lower clamp.
+    pub out_min: f64,
+    /// Output upper clamp.
+    pub out_max: f64,
+}
+
+impl Default for PidParams {
+    fn default() -> Self {
+        // Settles a 2 K step in roughly 3–5 minutes with the default
+        // thermal time constants, matching Fig. 4's transient time scale.
+        PidParams { kp: 0.15, ki: 0.001, kd: 0.0, out_min: 0.0, out_max: 1.0 }
+    }
+}
+
+/// Server power model parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServerParams {
+    /// Idle draw per machine, kW. Fig. 8a's per-machine averages
+    /// (0.233–0.365 kW under medium load) anchor the range.
+    pub idle_power_kw: f64,
+    /// Full-utilization draw per machine, kW.
+    pub max_power_kw: f64,
+    /// Std-dev of the per-sample power measurement noise, kW.
+    pub power_noise_kw: f64,
+    /// First-order lag of power response to a utilization change, seconds.
+    pub response_tau_s: f64,
+    /// Baseline memory utilization (collected per §4, unused by control).
+    pub mem_base: f64,
+    /// Energy-aware server provisioning (§8 future work): when enabled,
+    /// servers whose commanded and effective utilization are ~zero drop
+    /// to `sleep_power_kw` instead of idling. Off by default — the
+    /// paper's testbed keeps all machines online.
+    pub sleep_enabled: bool,
+    /// Power drawn by a sleeping server, kW.
+    pub sleep_power_kw: f64,
+}
+
+impl Default for ServerParams {
+    fn default() -> Self {
+        ServerParams {
+            idle_power_kw: 0.18,
+            max_power_kw: 0.56,
+            power_noise_kw: 0.010,
+            response_tau_s: 25.0,
+            mem_base: 0.35,
+            sleep_enabled: false,
+            sleep_power_kw: 0.03,
+        }
+    }
+}
+
+/// ACU (air-cooling unit) parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AcuParams {
+    /// Maximum thermal cooling capacity, kW.
+    pub q_max_kw: f64,
+    /// Always-on fan power, kW. The paper reports ~0.1 kW during cooling
+    /// interruption, and defines interruption as ACU power below 0.1 kW.
+    pub fan_power_kw: f64,
+    /// Fixed compressor overhead while running, kW.
+    pub base_power_kw: f64,
+    /// COP model: `cop = cop_intercept + cop_slope * supply_temp`,
+    /// clamped to at least `cop_floor`. Higher supply (evaporator) temps
+    /// give better efficiency — the energy-saving lever of §6.2.
+    pub cop_intercept: f64,
+    /// See `cop_intercept`.
+    pub cop_slope: f64,
+    /// Minimum COP clamp.
+    pub cop_floor: f64,
+    /// Part-load factor: `plf = plf_floor + (1 - plf_floor) * duty`;
+    /// low-duty cycling wastes energy.
+    pub plf_floor: f64,
+    /// Lowest achievable supply-air temperature, °C.
+    pub supply_temp_min: f64,
+    /// Duty at or below which cold-air delivery counts as interrupted.
+    pub interruption_duty: f64,
+    /// Maximum *upward* compressor-duty slew per second. Real compressors
+    /// ramp load slowly (shedding is fast); this is what makes a cooling
+    /// interruption take roughly twice as long to undo as it took to
+    /// develop (Fig. 3: ~1 °C/min rise vs ~0.5 °C/min recovery).
+    pub duty_slew_per_s: f64,
+    /// Per-inlet-sensor systematic bias, °C (length = number of sensors).
+    pub inlet_sensor_bias: Vec<f64>,
+    /// Std-dev of inlet sensor noise, °C.
+    pub inlet_noise_std: f64,
+    /// PID controller gains.
+    pub pid: PidParams,
+}
+
+impl Default for AcuParams {
+    fn default() -> Self {
+        AcuParams {
+            q_max_kw: 12.0,
+            fan_power_kw: 0.10,
+            base_power_kw: 0.35,
+            cop_intercept: 0.5,
+            cop_slope: 0.20,
+            cop_floor: 1.1,
+            plf_floor: 0.55,
+            supply_temp_min: 12.0,
+            interruption_duty: 0.02,
+            duty_slew_per_s: 0.002,
+            inlet_sensor_bias: vec![-0.08, 0.08],
+            inlet_noise_std: 0.12,
+            pid: PidParams::default(),
+        }
+    }
+}
+
+/// Lumped three-node thermal network parameters (cold aisle, hot aisle,
+/// equipment/structural mass).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThermalParams {
+    /// Air-loop heat capacity rate `ṁ·c_p`, kW/K. Sets the server air
+    /// ΔT: 6 kW of server heat over 1.0 kW/K is a 6 K aisle split.
+    pub mdot_cp_kw_per_k: f64,
+    /// Cold-aisle air heat capacity, kJ/K.
+    pub c_cold_kj_per_k: f64,
+    /// Hot-aisle air heat capacity, kJ/K.
+    pub c_hot_kj_per_k: f64,
+    /// Equipment/structure thermal mass, kJ/K. Damps the interruption
+    /// rise to the ~1 °C/min of Fig. 3.
+    pub c_mass_kj_per_k: f64,
+    /// Mass-to-air conductance, kW/K.
+    pub h_mass_kw_per_k: f64,
+    /// Containment leakage fraction: portion of hot-aisle air that mixes
+    /// directly back into the cold aisle despite the containment (§2).
+    pub leakage: f64,
+    /// Room-to-ambient conductance, kW/K.
+    pub ambient_kw_per_k: f64,
+    /// Ambient (outside room) temperature, °C.
+    pub ambient_temp_c: f64,
+    /// Initial cold-aisle temperature, °C.
+    pub initial_cold_c: f64,
+}
+
+impl Default for ThermalParams {
+    fn default() -> Self {
+        ThermalParams {
+            mdot_cp_kw_per_k: 1.0,
+            c_cold_kj_per_k: 150.0,
+            c_hot_kj_per_k: 150.0,
+            c_mass_kj_per_k: 1900.0,
+            h_mass_kw_per_k: 0.15,
+            leakage: 0.055,
+            ambient_kw_per_k: 0.02,
+            ambient_temp_c: 26.0,
+            // Start at operating temperature: the hot aisle (cold + 3)
+            // begins right at the customary 23 °C set-point, so episodes
+            // don't open with an artificial cooling interruption.
+            initial_cold_c: 20.0,
+        }
+    }
+}
+
+/// Rack sensor array parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SensorParams {
+    /// Std-dev of rack sensor noise, °C.
+    pub noise_std: f64,
+    /// Maximum spatial offset across cold-aisle sensors, °C (vertical
+    /// stratification: top-of-rack sensors read warmer).
+    pub cold_offset_span: f64,
+    /// Maximum hot-air mixing fraction seen by a cold-aisle sensor.
+    pub cold_mix_max: f64,
+}
+
+impl Default for SensorParams {
+    fn default() -> Self {
+        SensorParams { noise_std: 0.18, cold_offset_span: 0.7, cold_mix_max: 0.10 }
+    }
+}
+
+/// Full testbed configuration. Defaults reproduce Table 1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of servers (21 on the paper's testbed).
+    pub n_servers: usize,
+    /// Number of racks (4).
+    pub n_racks: usize,
+    /// Number of ACU internal inlet sensors, `N_a` (2).
+    pub n_acu_sensors: usize,
+    /// Number of rack-installed DC sensors, `N_d` (35).
+    pub n_dc_sensors: usize,
+    /// How many of the DC sensors monitor the cold aisle (11). These are
+    /// sensor indices `0..n_cold_aisle_sensors`.
+    pub n_cold_aisle_sensors: usize,
+    /// Minimum ACU set-point, °C (`S_min` = 20).
+    pub setpoint_min: f64,
+    /// Maximum ACU set-point, °C (`S_max` = 35).
+    pub setpoint_max: f64,
+    /// Sampling period Δt, seconds (60 in Table 2).
+    pub sample_period_s: f64,
+    /// Inner physics integration step, seconds.
+    pub inner_dt_s: f64,
+    /// Server model parameters.
+    pub server: ServerParams,
+    /// ACU model parameters.
+    pub acu: AcuParams,
+    /// Thermal network parameters.
+    pub thermal: ThermalParams,
+    /// Rack sensor parameters.
+    pub sensors: SensorParams,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            n_servers: 21,
+            n_racks: 4,
+            n_acu_sensors: 2,
+            n_dc_sensors: 35,
+            n_cold_aisle_sensors: 11,
+            setpoint_min: 20.0,
+            setpoint_max: 35.0,
+            sample_period_s: 60.0,
+            inner_dt_s: 1.0,
+            server: ServerParams::default(),
+            acu: AcuParams::default(),
+            thermal: ThermalParams::default(),
+            sensors: SensorParams::default(),
+        }
+    }
+}
+
+impl SimConfig {
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.n_servers == 0 {
+            return Err(SimError::InvalidConfig("n_servers must be > 0".into()));
+        }
+        if self.n_cold_aisle_sensors > self.n_dc_sensors {
+            return Err(SimError::InvalidConfig(
+                "cold-aisle sensor count exceeds total sensor count".into(),
+            ));
+        }
+        if self.n_acu_sensors == 0 || self.n_acu_sensors != self.acu.inlet_sensor_bias.len() {
+            return Err(SimError::InvalidConfig(
+                "n_acu_sensors must match inlet_sensor_bias length".into(),
+            ));
+        }
+        if self.setpoint_min >= self.setpoint_max {
+            return Err(SimError::InvalidConfig("setpoint_min >= setpoint_max".into()));
+        }
+        if self.inner_dt_s <= 0.0 || self.sample_period_s < self.inner_dt_s {
+            return Err(SimError::InvalidConfig(
+                "need 0 < inner_dt_s <= sample_period_s".into(),
+            ));
+        }
+        if self.thermal.leakage < 0.0 || self.thermal.leakage >= 1.0 {
+            return Err(SimError::InvalidConfig("leakage must be in [0, 1)".into()));
+        }
+        if self.acu.q_max_kw <= 0.0 || self.thermal.mdot_cp_kw_per_k <= 0.0 {
+            return Err(SimError::InvalidConfig(
+                "q_max_kw and mdot_cp must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Indices of the cold-aisle sensors (the thermal-safety constraint
+    /// set `I_cold` of Eq. 9).
+    pub fn cold_aisle_indices(&self) -> std::ops::Range<usize> {
+        0..self.n_cold_aisle_sensors
+    }
+
+    /// Number of inner physics steps per sampling period.
+    pub fn inner_steps_per_sample(&self) -> usize {
+        (self.sample_period_s / self.inner_dt_s).round().max(1.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid_and_matches_table1() {
+        let c = SimConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.n_servers, 21);
+        assert_eq!(c.n_racks, 4);
+        assert_eq!(c.n_acu_sensors, 2);
+        assert_eq!(c.n_dc_sensors, 35);
+        assert_eq!(c.n_cold_aisle_sensors, 11);
+        assert_eq!(c.setpoint_min, 20.0);
+        assert_eq!(c.setpoint_max, 35.0);
+        assert_eq!(c.sample_period_s, 60.0);
+        assert_eq!(c.inner_steps_per_sample(), 60);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = SimConfig::default();
+        c.n_servers = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.n_cold_aisle_sensors = 99;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.acu.inlet_sensor_bias = vec![0.0];
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.setpoint_min = 40.0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.inner_dt_s = 120.0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.thermal.leakage = 1.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn cold_aisle_indices_are_a_prefix() {
+        let c = SimConfig::default();
+        let idx: Vec<usize> = c.cold_aisle_indices().collect();
+        assert_eq!(idx.len(), 11);
+        assert_eq!(idx[0], 0);
+        assert_eq!(*idx.last().unwrap(), 10);
+    }
+}

@@ -1,0 +1,80 @@
+//! Synthetic replacement for the paper's physical testbed (§4, Table 1).
+//!
+//! The original TESLA system was deployed on a 21-server / 4-rack data
+//! center with one Envicool XR023A air-cooling unit (ACU), 35 rack
+//! temperature sensors (11 in the cold aisle), 2 ACU inlet sensors, and a
+//! Modbus register interface for set-point execution. None of that hardware
+//! is available to a reproduction, so this crate implements the closest
+//! synthetic equivalent that exercises the same code paths:
+//!
+//! * [`pid`] — the ACU's proportional-integral-derivative controller
+//!   (§2.1), including the *cooling interruption* regime: when the
+//!   set-point sits above the actual inlet temperature the residual error
+//!   is positive, the compressor duty collapses, and ACU power drops to
+//!   the ~0.1 kW fan floor.
+//! * [`acu`] — compressor/evaporator model: cooling capacity, COP that
+//!   improves with supply temperature (the physical reason raising the
+//!   set-point saves energy), part-load efficiency, and the two biased
+//!   inlet sensors.
+//! * [`thermal`] — a lumped three-node thermal network (cold aisle, hot
+//!   aisle, equipment mass) calibrated to the paper's measured dynamics:
+//!   roughly 1 °C/min cold-aisle rise during cooling interruption and
+//!   roughly half that recovery rate (Fig. 3).
+//! * [`server`] — per-server power as a function of CPU utilization with
+//!   first-order lag and measurement noise (Fig. 2's power variance under
+//!   a constant set-point comes from here).
+//! * [`sensors`] — the 35-sensor rack array with per-sensor spatial
+//!   offsets, hot-air mixing fractions and noise; the cold-aisle subset
+//!   drives the thermal-safety constraint (§3.3, Eq. 9).
+//! * [`modbus`] — a register-map facade standing in for the Modbus
+//!   protocol used to command the real ACU.
+//! * [`testbed`] — the facade tying everything together; one call per
+//!   sampling period (Δt = 1 min) integrates the physics at a fine inner
+//!   step and returns an [`Observation`] with every signal the paper's
+//!   Telegraf deployment collects.
+//!
+//! Everything is deterministic given a seed.
+
+pub mod acu;
+pub mod config;
+pub mod modbus;
+pub mod multizone;
+pub mod pid;
+pub mod sensors;
+pub mod server;
+pub mod testbed;
+pub mod thermal;
+
+pub use config::{AcuParams, PidParams, SensorParams, ServerParams, SimConfig, ThermalParams};
+pub use multizone::{MultiZoneConfig, MultiZoneTestbed};
+pub use testbed::{Observation, Testbed};
+
+/// Errors surfaced by the simulator facade.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A utilization vector of the wrong length was supplied.
+    BadUtilization { expected: usize, got: usize },
+    /// A utilization value outside `[0, 1]` was supplied.
+    UtilizationOutOfRange(f64),
+    /// An unknown Modbus register was addressed.
+    UnknownRegister(u16),
+    /// Configuration failed validation.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::BadUtilization { expected, got } => {
+                write!(f, "expected {expected} per-server utilizations, got {got}")
+            }
+            SimError::UtilizationOutOfRange(u) => {
+                write!(f, "utilization {u} outside [0, 1]")
+            }
+            SimError::UnknownRegister(r) => write!(f, "unknown Modbus register {r:#06x}"),
+            SimError::InvalidConfig(msg) => write!(f, "invalid simulator config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

@@ -1,0 +1,120 @@
+//! Register-map facade standing in for the Modbus interface of the real
+//! ACU (§4: "TESLA writes the value in the register of ACU's PID
+//! controller through the Modbus protocol").
+//!
+//! Values are stored as scaled 16-bit holding registers exactly like the
+//! real device (temperature in 0.1 °C units), so the controller side of
+//! the code exercises a faithful write-register → quantize → PID path —
+//! including the 0.1 °C quantization a real deployment experiences.
+
+use crate::SimError;
+use std::collections::BTreeMap;
+
+/// Holding-register address of the set-point (0.1 °C units).
+pub const REG_SETPOINT: u16 = 0x0001;
+/// Input-register address of inlet sensor 0 (0.1 °C units).
+pub const REG_INLET_BASE: u16 = 0x0100;
+/// Input-register address of the instantaneous ACU power (watts).
+pub const REG_POWER_W: u16 = 0x0200;
+
+/// Scale factor between °C and register ticks.
+const TEMP_SCALE: f64 = 10.0;
+
+/// A tiny Modbus-like register map.
+#[derive(Debug, Clone, Default)]
+pub struct RegisterMap {
+    regs: BTreeMap<u16, u16>,
+}
+
+impl RegisterMap {
+    /// Creates an empty register map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes a raw 16-bit register.
+    pub fn write(&mut self, addr: u16, value: u16) {
+        self.regs.insert(addr, value);
+    }
+
+    /// Reads a raw 16-bit register.
+    pub fn read(&self, addr: u16) -> Result<u16, SimError> {
+        self.regs.get(&addr).copied().ok_or(SimError::UnknownRegister(addr))
+    }
+
+    /// Writes a temperature in °C (quantized to 0.1 °C).
+    pub fn write_temp(&mut self, addr: u16, celsius: f64) {
+        let ticks = (celsius * TEMP_SCALE).round().clamp(0.0, u16::MAX as f64) as u16;
+        self.write(addr, ticks);
+    }
+
+    /// Reads a temperature in °C.
+    pub fn read_temp(&self, addr: u16) -> Result<f64, SimError> {
+        Ok(self.read(addr)? as f64 / TEMP_SCALE)
+    }
+
+    /// Writes a power in kW (stored as integer watts).
+    pub fn write_power_kw(&mut self, addr: u16, kw: f64) {
+        let w = (kw * 1000.0).round().clamp(0.0, u16::MAX as f64) as u16;
+        self.write(addr, w);
+    }
+
+    /// Reads a power in kW.
+    pub fn read_power_kw(&self, addr: u16) -> Result<f64, SimError> {
+        Ok(self.read(addr)? as f64 / 1000.0)
+    }
+
+    /// Number of populated registers.
+    pub fn len(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// True when no registers are populated.
+    pub fn is_empty(&self) -> bool {
+        self.regs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temperature_roundtrip_quantizes_to_tenths() {
+        let mut m = RegisterMap::new();
+        m.write_temp(REG_SETPOINT, 23.462);
+        assert_eq!(m.read_temp(REG_SETPOINT).unwrap(), 23.5);
+        m.write_temp(REG_SETPOINT, 23.44);
+        assert_eq!(m.read_temp(REG_SETPOINT).unwrap(), 23.4);
+    }
+
+    #[test]
+    fn unknown_register_is_an_error() {
+        let m = RegisterMap::new();
+        assert!(matches!(m.read(0x7777), Err(SimError::UnknownRegister(0x7777))));
+    }
+
+    #[test]
+    fn power_roundtrip() {
+        let mut m = RegisterMap::new();
+        m.write_power_kw(REG_POWER_W, 2.4567);
+        assert!((m.read_power_kw(REG_POWER_W).unwrap() - 2.457).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_temp_clamps_to_zero() {
+        let mut m = RegisterMap::new();
+        m.write_temp(REG_SETPOINT, -5.0);
+        assert_eq!(m.read_temp(REG_SETPOINT).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn len_tracks_distinct_registers() {
+        let mut m = RegisterMap::new();
+        assert!(m.is_empty());
+        m.write_temp(REG_SETPOINT, 20.0);
+        m.write_temp(REG_SETPOINT, 25.0);
+        m.write_temp(REG_INLET_BASE, 22.0);
+        assert_eq!(m.len(), 2);
+    }
+}

@@ -1,0 +1,340 @@
+//! Multi-zone extension: several ACU/rack zones with inter-zone air
+//! exchange.
+//!
+//! The paper's §2 figure shows a room served by multiple ACUs; its
+//! testbed instantiates one (§4). Production rooms have several, and the
+//! per-zone control problem is the same — each ACU's PID tracks its own
+//! inlet, each zone has its own cold-aisle sensors — with one new
+//! physical term: zones exchange air through the shared room volume, so
+//! a hot zone leaks heat into its neighbours.
+//!
+//! [`MultiZoneTestbed`] composes the crate's public building blocks
+//! (server bank, thermal network, ACU, sensor array) per zone and couples
+//! adjacent zones with a conductance term. One TESLA (or baseline)
+//! controller per zone closes the loop; see
+//! `examples/multizone_control.rs`.
+
+use crate::acu::Acu;
+use crate::config::SimConfig;
+use crate::sensors::SensorArray;
+use crate::server::ServerBank;
+use crate::testbed::Observation;
+use crate::thermal::ThermalNetwork;
+use crate::SimError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of a multi-zone room.
+#[derive(Debug, Clone)]
+pub struct MultiZoneConfig {
+    /// Per-zone configuration (each zone is a full Table 1-style cell).
+    pub zones: Vec<SimConfig>,
+    /// Air-exchange conductance between *adjacent* zones, kW/K. Zone `i`
+    /// exchanges with `i−1` and `i+1` (a row of containment cells).
+    pub coupling_kw_per_k: f64,
+}
+
+impl MultiZoneConfig {
+    /// `n` identical zones with the default cell configuration.
+    pub fn uniform(n: usize, coupling_kw_per_k: f64) -> Self {
+        MultiZoneConfig {
+            zones: vec![SimConfig::default(); n],
+            coupling_kw_per_k,
+        }
+    }
+
+    /// Validates every zone and the coupling.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.zones.is_empty() {
+            return Err(SimError::InvalidConfig("need at least one zone".into()));
+        }
+        if self.coupling_kw_per_k < 0.0 {
+            return Err(SimError::InvalidConfig("coupling must be >= 0".into()));
+        }
+        let dt = self.zones[0].inner_dt_s;
+        for (i, z) in self.zones.iter().enumerate() {
+            z.validate()
+                .map_err(|e| SimError::InvalidConfig(format!("zone {i}: {e}")))?;
+            if (z.inner_dt_s - dt).abs() > 1e-9 {
+                return Err(SimError::InvalidConfig(
+                    "all zones must share inner_dt_s".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+struct Zone {
+    cfg: SimConfig,
+    servers: ServerBank,
+    thermal: ThermalNetwork,
+    acu: Acu,
+    sensors: SensorArray,
+    rng: StdRng,
+}
+
+/// A room of several coupled ACU/rack zones.
+pub struct MultiZoneTestbed {
+    zones: Vec<Zone>,
+    coupling: f64,
+    time_s: f64,
+}
+
+impl MultiZoneTestbed {
+    /// Builds the room; each zone gets an independent RNG stream.
+    pub fn new(config: MultiZoneConfig, seed: u64) -> Result<Self, SimError> {
+        config.validate()?;
+        let zones = config
+            .zones
+            .into_iter()
+            .enumerate()
+            .map(|(i, cfg)| {
+                let initial_sp = 23.0_f64.clamp(cfg.setpoint_min, cfg.setpoint_max);
+                Zone {
+                    servers: ServerBank::new(cfg.n_servers, cfg.server.clone()),
+                    thermal: ThermalNetwork::new(cfg.thermal.clone()),
+                    acu: Acu::new(cfg.acu.clone(), initial_sp),
+                    sensors: SensorArray::new(&cfg),
+                    rng: StdRng::seed_from_u64(
+                        seed ^ (i as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15),
+                    ),
+                    cfg,
+                }
+            })
+            .collect();
+        Ok(MultiZoneTestbed { zones, coupling: config.coupling_kw_per_k, time_s: 0.0 })
+    }
+
+    /// Number of zones.
+    pub fn n_zones(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// Commands a zone's set-point (clamped to that zone's ACU range).
+    pub fn write_setpoint(&mut self, zone: usize, sp: f64) -> Result<(), SimError> {
+        let z = self
+            .zones
+            .get_mut(zone)
+            .ok_or_else(|| SimError::InvalidConfig(format!("no zone {zone}")))?;
+        let clamped = sp.clamp(z.cfg.setpoint_min, z.cfg.setpoint_max);
+        // Quantize like the single-zone Modbus path (0.1 °C registers).
+        z.acu.set_setpoint((clamped * 10.0).round() / 10.0);
+        Ok(())
+    }
+
+    /// A zone's currently latched set-point.
+    pub fn setpoint(&self, zone: usize) -> Option<f64> {
+        self.zones.get(zone).map(|z| z.acu.setpoint())
+    }
+
+    /// Advances one sampling period with per-zone utilization targets;
+    /// returns one observation per zone.
+    pub fn step_sample(&mut self, utils: &[Vec<f64>]) -> Result<Vec<Observation>, SimError> {
+        if utils.len() != self.zones.len() {
+            return Err(SimError::BadUtilization {
+                expected: self.zones.len(),
+                got: utils.len(),
+            });
+        }
+        for (zi, (zone, u)) in self.zones.iter_mut().zip(utils).enumerate() {
+            if u.len() != zone.cfg.n_servers {
+                return Err(SimError::BadUtilization {
+                    expected: zone.cfg.n_servers,
+                    got: u.len(),
+                });
+            }
+            for &v in u {
+                if !(0.0..=1.0).contains(&v) || !v.is_finite() {
+                    return Err(SimError::UtilizationOutOfRange(v));
+                }
+            }
+            zone.servers.set_targets(u);
+            let _ = zi;
+        }
+
+        let dt = self.zones[0].cfg.inner_dt_s;
+        let steps = self.zones[0].cfg.inner_steps_per_sample();
+        let n = self.zones.len();
+        let mut energy = vec![0.0; n];
+        let mut interrupted = vec![0usize; n];
+        let mut last_power = vec![0.0; n];
+        let mut last_duty = vec![0.0; n];
+        let mut last_supply = vec![0.0; n];
+
+        for _ in 0..steps {
+            // Per-zone physics.
+            for (zi, zone) in self.zones.iter_mut().enumerate() {
+                zone.servers.step(dt);
+                let heat = zone.servers.total_heat_kw();
+                let ret = zone.thermal.return_temp();
+                let samples = zone.acu.sample_inlet_sensors(ret, &mut zone.rng);
+                let measured = samples.iter().sum::<f64>() / samples.len().max(1) as f64;
+                let step = zone
+                    .acu
+                    .step(measured, ret, zone.cfg.thermal.mdot_cp_kw_per_k, dt);
+                zone.thermal.step(step.supply_temp, heat, dt);
+                energy[zi] += step.power_kw * dt / 3600.0;
+                if step.interrupted {
+                    interrupted[zi] += 1;
+                }
+                last_power[zi] = step.power_kw;
+                last_duty[zi] = step.duty;
+                last_supply[zi] = step.supply_temp;
+            }
+            // Inter-zone exchange: adjacent hot aisles mix through the
+            // shared plenum (symmetric conductance).
+            if self.coupling > 0.0 && n > 1 {
+                let temps: Vec<f64> =
+                    self.zones.iter().map(|z| z.thermal.state().hot_aisle).collect();
+                for i in 0..n - 1 {
+                    let q = self.coupling * (temps[i] - temps[i + 1]); // kW i→i+1
+                    let c_i = self.zones[i].cfg.thermal.c_hot_kj_per_k;
+                    let c_j = self.zones[i + 1].cfg.thermal.c_hot_kj_per_k;
+                    let mut s_i = self.zones[i].thermal.state();
+                    let mut s_j = self.zones[i + 1].thermal.state();
+                    s_i.hot_aisle -= q * dt / c_i;
+                    s_j.hot_aisle += q * dt / c_j;
+                    self.zones[i].thermal.set_state(s_i);
+                    self.zones[i + 1].thermal.set_state(s_j);
+                }
+            }
+            self.time_s += dt;
+        }
+
+        let time_s = self.time_s;
+        Ok(self
+            .zones
+            .iter_mut()
+            .enumerate()
+            .map(|(zi, zone)| {
+                let state = zone.thermal.state();
+                let acu_inlet_temps =
+                    zone.acu.sample_inlet_sensors(state.hot_aisle, &mut zone.rng);
+                let dc_temps =
+                    zone.sensors.sample(state.cold_aisle, state.hot_aisle, &mut zone.rng);
+                let server_powers_kw = zone.servers.powers_kw(&mut zone.rng);
+                let avg_server_power_kw = server_powers_kw.iter().sum::<f64>()
+                    / server_powers_kw.len().max(1) as f64;
+                let cold_aisle_max = dc_temps[..zone.cfg.n_cold_aisle_sensors]
+                    .iter()
+                    .copied()
+                    .fold(f64::NEG_INFINITY, f64::max);
+                Observation {
+                    time_s,
+                    setpoint: zone.acu.setpoint(),
+                    acu_inlet_temps,
+                    dc_temps,
+                    cpu_utils: zone.servers.effective_utils().to_vec(),
+                    mem_utils: zone.servers.mem_utils().to_vec(),
+                    server_powers_kw,
+                    avg_server_power_kw,
+                    acu_power_kw: last_power[zi],
+                    acu_energy_kwh: energy[zi],
+                    duty: last_duty[zi],
+                    supply_temp: last_supply[zi],
+                    interrupted_frac: interrupted[zi] as f64 / steps as f64,
+                    cold_aisle_max,
+                }
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn room(n: usize, coupling: f64) -> MultiZoneTestbed {
+        MultiZoneTestbed::new(MultiZoneConfig::uniform(n, coupling), 7).unwrap()
+    }
+
+    fn utils(n_zones: usize, u: f64) -> Vec<Vec<f64>> {
+        vec![vec![u; SimConfig::default().n_servers]; n_zones]
+    }
+
+    #[test]
+    fn uniform_config_validates() {
+        MultiZoneConfig::uniform(3, 0.05).validate().unwrap();
+        assert!(MultiZoneConfig::uniform(0, 0.05).validate().is_err());
+        assert!(MultiZoneConfig::uniform(2, -1.0).validate().is_err());
+    }
+
+    #[test]
+    fn observations_one_per_zone() {
+        let mut room = room(3, 0.05);
+        let obs = room.step_sample(&utils(3, 0.2)).unwrap();
+        assert_eq!(obs.len(), 3);
+        for o in &obs {
+            assert_eq!(o.dc_temps.len(), 35);
+            assert!(o.acu_power_kw.is_finite());
+        }
+    }
+
+    #[test]
+    fn zones_with_different_loads_diverge() {
+        let mut room = room(2, 0.0); // uncoupled
+        let mixed = vec![
+            vec![0.0; SimConfig::default().n_servers],
+            vec![0.7; SimConfig::default().n_servers],
+        ];
+        let mut last = None;
+        for _ in 0..240 {
+            last = Some(room.step_sample(&mixed).unwrap());
+        }
+        let obs = last.unwrap();
+        assert!(
+            obs[1].acu_power_kw > obs[0].acu_power_kw + 0.5,
+            "busy zone {} kW vs idle zone {} kW",
+            obs[1].acu_power_kw,
+            obs[0].acu_power_kw
+        );
+    }
+
+    #[test]
+    fn coupling_drags_neighbours_together() {
+        // A hot zone next to an idle one: with coupling, the idle zone's
+        // ACU must work harder than without.
+        let run = |coupling: f64| -> f64 {
+            let mut room = room(2, coupling);
+            let mixed = vec![
+                vec![0.0; SimConfig::default().n_servers],
+                vec![0.8; SimConfig::default().n_servers],
+            ];
+            let mut idle_energy = 0.0;
+            for _ in 0..240 {
+                let obs = room.step_sample(&mixed).unwrap();
+                idle_energy += obs[0].acu_energy_kwh;
+            }
+            idle_energy
+        };
+        let isolated = run(0.0);
+        let coupled = run(0.3);
+        assert!(
+            coupled > isolated * 1.03,
+            "coupled idle zone ({coupled:.3} kWh) must absorb neighbour heat vs isolated ({isolated:.3} kWh)"
+        );
+    }
+
+    #[test]
+    fn per_zone_setpoints_are_independent() {
+        let mut room = room(2, 0.05);
+        room.write_setpoint(0, 21.0).unwrap();
+        room.write_setpoint(1, 27.0).unwrap();
+        assert_eq!(room.setpoint(0), Some(21.0));
+        assert_eq!(room.setpoint(1), Some(27.0));
+        assert!(room.write_setpoint(9, 23.0).is_err());
+    }
+
+    #[test]
+    fn wrong_shapes_rejected() {
+        let mut room = room(2, 0.05);
+        assert!(room.step_sample(&utils(1, 0.2)).is_err());
+        let mut bad = utils(2, 0.2);
+        bad[0].pop();
+        assert!(room.step_sample(&bad).is_err());
+        let mut nan = utils(2, 0.2);
+        nan[1][0] = f64::NAN;
+        assert!(room.step_sample(&nan).is_err());
+    }
+}

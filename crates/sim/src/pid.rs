@@ -1,0 +1,158 @@
+//! Discrete PID controller with output clamping and conditional-integration
+//! anti-windup (§2.1 of the paper).
+//!
+//! The controlled error is `inlet_temp − set-point`: positive error means
+//! the room's return air is warmer than requested and the compressor duty
+//! must rise. When the set-point sits *above* the inlet temperature the
+//! error is negative, the proportional and integral terms collapse the
+//! duty to zero, and cold air stops being delivered — the *cooling
+//! interruption* regime central to the paper's thermal-safety argument.
+
+use crate::config::PidParams;
+
+/// Stateful discrete PID controller.
+#[derive(Debug, Clone)]
+pub struct Pid {
+    params: PidParams,
+    integral: f64,
+    prev_error: Option<f64>,
+}
+
+impl Pid {
+    /// Creates a controller with zeroed state.
+    pub fn new(params: PidParams) -> Self {
+        Pid { params, integral: 0.0, prev_error: None }
+    }
+
+    /// The configured gains.
+    pub fn params(&self) -> &PidParams {
+        &self.params
+    }
+
+    /// Current integral-term accumulation (duty units).
+    pub fn integral(&self) -> f64 {
+        self.integral
+    }
+
+    /// Resets dynamic state (integral and derivative history).
+    pub fn reset(&mut self) {
+        self.integral = 0.0;
+        self.prev_error = None;
+    }
+
+    /// Advances the controller by `dt` seconds given the current error
+    /// (`measurement − set-point`) and returns the clamped output.
+    ///
+    /// Anti-windup: the integral only accumulates while the unclamped
+    /// output stays inside the output range, or while the error would
+    /// drive the output back toward the range.
+    pub fn step(&mut self, error: f64, dt: f64) -> f64 {
+        debug_assert!(dt > 0.0);
+        let p = self.params.kp * error;
+        let d = match self.prev_error {
+            Some(prev) => self.params.kd * (error - prev) / dt,
+            None => 0.0,
+        };
+        self.prev_error = Some(error);
+
+        let candidate_integral = self.integral + self.params.ki * error * dt;
+        let unclamped = p + candidate_integral + d;
+
+        let out = unclamped.clamp(self.params.out_min, self.params.out_max);
+        let saturated_high = unclamped > self.params.out_max && error > 0.0;
+        let saturated_low = unclamped < self.params.out_min && error < 0.0;
+        if !saturated_high && !saturated_low {
+            self.integral = candidate_integral;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> PidParams {
+        PidParams { kp: 0.3, ki: 0.01, kd: 0.0, out_min: 0.0, out_max: 1.0 }
+    }
+
+    #[test]
+    fn positive_error_raises_output() {
+        let mut pid = Pid::new(params());
+        let out = pid.step(1.0, 1.0);
+        assert!(out > 0.0);
+        let out2 = pid.step(1.0, 1.0);
+        assert!(out2 > out, "integral should accumulate");
+    }
+
+    #[test]
+    fn negative_error_collapses_output_to_zero() {
+        // Set-point above inlet temperature: cooling interruption.
+        let mut pid = Pid::new(params());
+        for _ in 0..100 {
+            let out = pid.step(-2.0, 1.0);
+            assert_eq!(out, 0.0);
+        }
+    }
+
+    #[test]
+    fn output_respects_clamp() {
+        let mut pid = Pid::new(params());
+        for _ in 0..10_000 {
+            let out = pid.step(50.0, 1.0);
+            assert!((0.0..=1.0).contains(&out));
+        }
+    }
+
+    #[test]
+    fn anti_windup_allows_fast_recovery() {
+        let mut with_aw = Pid::new(params());
+        // Drive into saturation for a long time.
+        for _ in 0..5_000 {
+            with_aw.step(10.0, 1.0);
+        }
+        // The integral must not have grown unboundedly: after the error
+        // flips sign, the output must leave saturation quickly.
+        let mut steps_to_drop = 0;
+        loop {
+            let out = with_aw.step(-1.0, 1.0);
+            steps_to_drop += 1;
+            if out < 1.0 {
+                break;
+            }
+            assert!(steps_to_drop < 200, "anti-windup failed: output stuck high");
+        }
+    }
+
+    #[test]
+    fn derivative_term_reacts_to_error_slope() {
+        let p = PidParams { kp: 0.0, ki: 0.0, kd: 1.0, out_min: -10.0, out_max: 10.0 };
+        let mut pid = Pid::new(p);
+        assert_eq!(pid.step(0.0, 1.0), 0.0); // no history yet
+        let out = pid.step(2.0, 1.0); // slope = 2 per second
+        assert!((out - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut pid = Pid::new(params());
+        for _ in 0..50 {
+            pid.step(2.0, 1.0);
+        }
+        assert!(pid.integral() > 0.0);
+        pid.reset();
+        assert_eq!(pid.integral(), 0.0);
+        // First step after reset has no derivative kick.
+        let out = pid.step(1.0, 1.0);
+        assert!((out - (0.3 + 0.01)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_error_holds_integral() {
+        let mut pid = Pid::new(params());
+        pid.step(1.0, 1.0);
+        let i = pid.integral();
+        pid.step(0.0, 1.0);
+        assert_eq!(pid.integral(), i);
+    }
+}

@@ -1,0 +1,441 @@
+//! The testbed facade: servers + thermal network + ACU + sensors, driven
+//! one sampling period (Δt = 1 min) at a time.
+//!
+//! Physics integrate at a fine inner step (default 1 s); the observation
+//! returned after each sampling period carries every signal the paper's
+//! Telegraf deployment collects (§4): per-server power and CPU/memory
+//! utilization, ACU instantaneous power and inlet-sensor temperatures,
+//! and the 35 rack sensor readings. Set-points are commanded through the
+//! Modbus register facade, quantized to 0.1 °C like the real device.
+
+use crate::acu::Acu;
+use crate::config::SimConfig;
+use crate::modbus::{RegisterMap, REG_INLET_BASE, REG_POWER_W, REG_SETPOINT};
+use crate::sensors::SensorArray;
+use crate::server::ServerBank;
+use crate::thermal::ThermalNetwork;
+use crate::SimError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One sampling period's worth of telemetry.
+#[derive(Debug, Clone)]
+pub struct Observation {
+    /// Simulation time at the end of the period, seconds.
+    pub time_s: f64,
+    /// Set-point the ACU executed during this period, °C.
+    pub setpoint: f64,
+    /// ACU inlet sensor readings at the sample instant (`N_a` values), °C.
+    pub acu_inlet_temps: Vec<f64>,
+    /// Rack sensor readings (`N_d` values), °C. Cold-aisle sensors come
+    /// first (indices `0..n_cold_aisle_sensors`).
+    pub dc_temps: Vec<f64>,
+    /// Per-server electrical power, kW.
+    pub server_powers_kw: Vec<f64>,
+    /// Average per-server power, kW (the ASP sub-module's signal).
+    pub avg_server_power_kw: f64,
+    /// Per-server CPU utilization in `[0, 1]`.
+    pub cpu_utils: Vec<f64>,
+    /// Per-server memory utilization in `[0, 1]`.
+    pub mem_utils: Vec<f64>,
+    /// ACU instantaneous electrical power at the sample instant, kW.
+    pub acu_power_kw: f64,
+    /// ACU energy consumed over this sampling period, kWh.
+    pub acu_energy_kwh: f64,
+    /// Compressor duty at the sample instant.
+    pub duty: f64,
+    /// Supply-air temperature at the sample instant, °C.
+    pub supply_temp: f64,
+    /// Fraction of this period spent in cooling interruption.
+    pub interrupted_frac: f64,
+    /// Max over the cold-aisle sensor readings, °C (Eq. 9's quantity).
+    pub cold_aisle_max: f64,
+}
+
+impl Observation {
+    /// True if any cold-aisle sensor exceeded `limit` at the sample instant.
+    pub fn violates(&self, limit: f64) -> bool {
+        self.cold_aisle_max > limit
+    }
+}
+
+/// The simulated data-center testbed.
+#[derive(Debug)]
+pub struct Testbed {
+    cfg: SimConfig,
+    servers: ServerBank,
+    thermal: ThermalNetwork,
+    acu: Acu,
+    sensors: SensorArray,
+    registers: RegisterMap,
+    rng: StdRng,
+    time_s: f64,
+}
+
+impl Testbed {
+    /// Builds a testbed from a validated configuration and RNG seed.
+    pub fn new(cfg: SimConfig, seed: u64) -> Result<Self, SimError> {
+        cfg.validate()?;
+        let servers = ServerBank::new(cfg.n_servers, cfg.server.clone());
+        let thermal = ThermalNetwork::new(cfg.thermal.clone());
+        let initial_sp = 23.0_f64.clamp(cfg.setpoint_min, cfg.setpoint_max);
+        let acu = Acu::new(cfg.acu.clone(), initial_sp);
+        let sensors = SensorArray::new(&cfg);
+        let mut registers = RegisterMap::new();
+        registers.write_temp(REG_SETPOINT, initial_sp);
+        Ok(Testbed {
+            cfg,
+            servers,
+            thermal,
+            acu,
+            sensors,
+            registers,
+            rng: StdRng::seed_from_u64(seed),
+            time_s: 0.0,
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Current simulation time, seconds.
+    pub fn time_s(&self) -> f64 {
+        self.time_s
+    }
+
+    /// Commands a new set-point through the Modbus register (clamped to
+    /// the ACU's `[S_min, S_max]` specification, quantized to 0.1 °C).
+    pub fn write_setpoint(&mut self, sp: f64) {
+        let clamped = sp.clamp(self.cfg.setpoint_min, self.cfg.setpoint_max);
+        self.registers.write_temp(REG_SETPOINT, clamped);
+        let quantized = self
+            .registers
+            .read_temp(REG_SETPOINT)
+            .expect("set-point register always populated");
+        self.acu.set_setpoint(quantized);
+    }
+
+    /// The set-point currently latched in the ACU, °C.
+    pub fn setpoint(&self) -> f64 {
+        self.acu.setpoint()
+    }
+
+    /// Read-only access to the Modbus register map.
+    pub fn registers(&self) -> &RegisterMap {
+        &self.registers
+    }
+
+    /// Direct access to the thermal state (diagnostics and tests).
+    pub fn thermal_state(&self) -> crate::thermal::ThermalState {
+        self.thermal.state()
+    }
+
+    /// Injects ACU refrigeration degradation mid-run (fouled coils,
+    /// refrigerant loss): scales the COP curve by `factor` (< 1 degrades).
+    /// Used to study plant drift and online recalibration.
+    pub fn degrade_acu_cop(&mut self, factor: f64) {
+        self.acu.scale_cop(factor);
+    }
+
+    /// Changes the containment leakage mid-run (a removed blanking panel):
+    /// the cold aisle runs warmer at the same set-point afterwards.
+    pub fn set_containment_leakage(&mut self, leakage: f64) {
+        self.thermal.set_leakage(leakage);
+    }
+
+    /// Runs the physics to a near-steady state under a constant
+    /// utilization, without producing observations. Useful to start
+    /// experiments from equilibrium instead of the arbitrary initial state.
+    pub fn warm_up(&mut self, utils: &[f64], minutes: usize) -> Result<(), SimError> {
+        for _ in 0..minutes {
+            self.step_sample(utils)?;
+        }
+        Ok(())
+    }
+
+    /// Advances one sampling period (`cfg.sample_period_s`) with the given
+    /// per-server utilization targets and returns the telemetry sample.
+    pub fn step_sample(&mut self, utils: &[f64]) -> Result<Observation, SimError> {
+        if utils.len() != self.cfg.n_servers {
+            return Err(SimError::BadUtilization {
+                expected: self.cfg.n_servers,
+                got: utils.len(),
+            });
+        }
+        for &u in utils {
+            if !(0.0..=1.0).contains(&u) || !u.is_finite() {
+                return Err(SimError::UtilizationOutOfRange(u));
+            }
+        }
+        self.servers.set_targets(utils);
+
+        let dt = self.cfg.inner_dt_s;
+        let steps = self.cfg.inner_steps_per_sample();
+        let mdot_cp = self.cfg.thermal.mdot_cp_kw_per_k;
+
+        let mut energy_kwh = 0.0;
+        let mut interrupted_steps = 0usize;
+        let mut last_power = 0.0;
+        let mut last_duty = 0.0;
+        let mut last_supply = self.acu.last_supply();
+
+        for _ in 0..steps {
+            self.servers.step(dt);
+            let heat = self.servers.total_heat_kw();
+            let true_return = self.thermal.return_temp();
+            // The PID acts on its (noisy, biased) inlet sensors.
+            let inlet_samples = self.acu.sample_inlet_sensors(true_return, &mut self.rng);
+            let measured =
+                inlet_samples.iter().sum::<f64>() / inlet_samples.len().max(1) as f64;
+            let step = self.acu.step(measured, true_return, mdot_cp, dt);
+            self.thermal.step(step.supply_temp, heat, dt);
+
+            energy_kwh += step.power_kw * dt / 3600.0;
+            if step.interrupted {
+                interrupted_steps += 1;
+            }
+            last_power = step.power_kw;
+            last_duty = step.duty;
+            last_supply = step.supply_temp;
+            self.time_s += dt;
+        }
+
+        let state = self.thermal.state();
+        let acu_inlet_temps = self.acu.sample_inlet_sensors(state.hot_aisle, &mut self.rng);
+        let dc_temps = self.sensors.sample(state.cold_aisle, state.hot_aisle, &mut self.rng);
+        let server_powers_kw = self.servers.powers_kw(&mut self.rng);
+        let avg_server_power_kw =
+            server_powers_kw.iter().sum::<f64>() / server_powers_kw.len().max(1) as f64;
+        let cold_aisle_max = dc_temps[..self.cfg.n_cold_aisle_sensors]
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+
+        self.registers.write_power_kw(REG_POWER_W, last_power);
+        for (i, v) in acu_inlet_temps.iter().enumerate() {
+            self.registers.write_temp(REG_INLET_BASE + i as u16, *v);
+        }
+
+        Ok(Observation {
+            time_s: self.time_s,
+            setpoint: self.acu.setpoint(),
+            acu_inlet_temps,
+            dc_temps,
+            cpu_utils: self.servers.effective_utils().to_vec(),
+            mem_utils: self.servers.mem_utils().to_vec(),
+            server_powers_kw,
+            avg_server_power_kw,
+            acu_power_kw: last_power,
+            acu_energy_kwh: energy_kwh,
+            duty: last_duty,
+            supply_temp: last_supply,
+            interrupted_frac: interrupted_steps as f64 / steps as f64,
+            cold_aisle_max,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn testbed() -> Testbed {
+        Testbed::new(SimConfig::default(), 42).unwrap()
+    }
+
+    fn uniform(u: f64) -> Vec<f64> {
+        vec![u; SimConfig::default().n_servers]
+    }
+
+    #[test]
+    fn observation_has_table1_shapes() {
+        let mut tb = testbed();
+        let obs = tb.step_sample(&uniform(0.2)).unwrap();
+        assert_eq!(obs.acu_inlet_temps.len(), 2);
+        assert_eq!(obs.dc_temps.len(), 35);
+        assert_eq!(obs.server_powers_kw.len(), 21);
+        assert_eq!(obs.cpu_utils.len(), 21);
+        assert!((obs.time_s - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_utilization_inputs_rejected() {
+        let mut tb = testbed();
+        assert!(matches!(
+            tb.step_sample(&[0.5; 3]),
+            Err(SimError::BadUtilization { expected: 21, got: 3 })
+        ));
+        assert!(matches!(
+            tb.step_sample(&uniform(1.5)),
+            Err(SimError::UtilizationOutOfRange(_))
+        ));
+        let mut bad = uniform(0.2);
+        bad[0] = f64::NAN;
+        assert!(tb.step_sample(&bad).is_err());
+    }
+
+    #[test]
+    fn modbus_registers_mirror_telemetry() {
+        use crate::modbus::{REG_INLET_BASE, REG_POWER_W};
+        let mut tb = testbed();
+        tb.write_setpoint(24.0);
+        let obs = tb.step_sample(&uniform(0.3)).unwrap();
+        let regs = tb.registers();
+        // Power register mirrors the last instantaneous power (W-quantized).
+        let reg_p = regs.read_power_kw(REG_POWER_W).unwrap();
+        assert!((reg_p - obs.acu_power_kw).abs() < 0.001);
+        // Inlet registers mirror the sampled sensor temps (0.1 C quantized).
+        for (i, v) in obs.acu_inlet_temps.iter().enumerate() {
+            let reg_t = regs.read_temp(REG_INLET_BASE + i as u16).unwrap();
+            assert!((reg_t - v).abs() <= 0.05 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn setpoint_clamps_to_spec_range() {
+        let mut tb = testbed();
+        tb.write_setpoint(50.0);
+        assert_eq!(tb.setpoint(), 35.0);
+        tb.write_setpoint(1.0);
+        assert_eq!(tb.setpoint(), 20.0);
+        tb.write_setpoint(23.456);
+        // Quantized to 0.1 °C by the register facade.
+        assert!((tb.setpoint() - 23.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_setpoint_reaches_thermal_safety() {
+        // The paper's fixed 23 °C policy never violates the 22 °C
+        // cold-aisle limit; neither should ours at medium load.
+        let mut tb = testbed();
+        tb.write_setpoint(23.0);
+        tb.warm_up(&uniform(0.25), 240).unwrap();
+        let obs = tb.step_sample(&uniform(0.25)).unwrap();
+        assert!(
+            obs.cold_aisle_max < 22.0,
+            "cold aisle max {} should be safe at 23 °C set-point",
+            obs.cold_aisle_max
+        );
+        assert!(obs.interrupted_frac < 0.05, "no interruption expected");
+    }
+
+    #[test]
+    fn high_setpoint_causes_interruption_and_fan_floor_power() {
+        let mut tb = testbed();
+        tb.write_setpoint(23.0);
+        tb.warm_up(&uniform(0.2), 180).unwrap();
+        // Jump the set-point far above the return temperature.
+        tb.write_setpoint(35.0);
+        let obs = tb.step_sample(&uniform(0.2)).unwrap();
+        assert!(obs.interrupted_frac > 0.5, "interrupted {}", obs.interrupted_frac);
+        assert!(obs.acu_power_kw <= 0.11, "fan floor, got {} kW", obs.acu_power_kw);
+    }
+
+    #[test]
+    fn interruption_heats_the_cold_aisle_about_a_degree_per_minute() {
+        let mut tb = testbed();
+        tb.write_setpoint(23.0);
+        tb.warm_up(&uniform(0.35), 240).unwrap();
+        let before = tb.step_sample(&uniform(0.35)).unwrap().cold_aisle_max;
+        tb.write_setpoint(35.0); // force interruption
+        for _ in 0..4 {
+            tb.step_sample(&uniform(0.35)).unwrap();
+        }
+        let after = tb.step_sample(&uniform(0.35)).unwrap().cold_aisle_max;
+        let rate = (after - before) / 5.0;
+        assert!(rate > 0.4 && rate < 2.5, "rise rate {rate} °C/min");
+    }
+
+    #[test]
+    fn energy_accumulates_with_power() {
+        let mut tb = testbed();
+        tb.write_setpoint(21.0);
+        tb.warm_up(&uniform(0.4), 120).unwrap();
+        let obs = tb.step_sample(&uniform(0.4)).unwrap();
+        // One minute at P kW is P/60 kWh.
+        assert!(obs.acu_energy_kwh > 0.0);
+        assert!((obs.acu_energy_kwh - obs.acu_power_kw / 60.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn higher_load_means_higher_acu_power_at_fixed_setpoint() {
+        let mut idle = testbed();
+        let mut busy = testbed();
+        idle.write_setpoint(23.0);
+        busy.write_setpoint(23.0);
+        idle.warm_up(&uniform(0.0), 240).unwrap();
+        busy.warm_up(&uniform(0.5), 240).unwrap();
+        let p_idle = idle.step_sample(&uniform(0.0)).unwrap().acu_power_kw;
+        let p_busy = busy.step_sample(&uniform(0.5)).unwrap().acu_power_kw;
+        assert!(
+            p_busy > p_idle + 0.5,
+            "busy {p_busy:.2} kW must exceed idle {p_idle:.2} kW"
+        );
+    }
+
+    #[test]
+    fn raising_setpoint_saves_energy_without_interruption() {
+        // §6.2's mechanism: a modestly higher set-point improves COP.
+        let mut low = testbed();
+        let mut high = testbed();
+        low.write_setpoint(23.0);
+        high.write_setpoint(26.0);
+        low.warm_up(&uniform(0.4), 360).unwrap();
+        high.warm_up(&uniform(0.4), 360).unwrap();
+        let mut e_low = 0.0;
+        let mut e_high = 0.0;
+        let mut int_high = 0.0;
+        for _ in 0..60 {
+            e_low += low.step_sample(&uniform(0.4)).unwrap().acu_energy_kwh;
+            let o = high.step_sample(&uniform(0.4)).unwrap();
+            e_high += o.acu_energy_kwh;
+            int_high += o.interrupted_frac;
+        }
+        assert!(
+            e_high < e_low * 0.97,
+            "26 °C ({e_high:.2} kWh) must save vs 23 °C ({e_low:.2} kWh)"
+        );
+        assert!(int_high / 60.0 < 0.2, "saving must not come from interruption");
+    }
+
+    #[test]
+    fn acu_degradation_increases_energy_mid_run() {
+        let mut tb = testbed();
+        tb.write_setpoint(23.0);
+        tb.warm_up(&uniform(0.35), 240).unwrap();
+        let mut before = 0.0;
+        for _ in 0..20 {
+            before += tb.step_sample(&uniform(0.35)).unwrap().acu_energy_kwh;
+        }
+        tb.degrade_acu_cop(0.7);
+        tb.warm_up(&uniform(0.35), 60).unwrap();
+        let mut after = 0.0;
+        for _ in 0..20 {
+            after += tb.step_sample(&uniform(0.35)).unwrap().acu_energy_kwh;
+        }
+        assert!(after > before * 1.15, "after {after:.3} vs before {before:.3}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Testbed::new(SimConfig::default(), 7).unwrap();
+        let mut b = Testbed::new(SimConfig::default(), 7).unwrap();
+        for _ in 0..5 {
+            let oa = a.step_sample(&uniform(0.3)).unwrap();
+            let ob = b.step_sample(&uniform(0.3)).unwrap();
+            assert_eq!(oa.dc_temps, ob.dc_temps);
+            assert_eq!(oa.acu_power_kw, ob.acu_power_kw);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Testbed::new(SimConfig::default(), 1).unwrap();
+        let mut b = Testbed::new(SimConfig::default(), 2).unwrap();
+        let oa = a.step_sample(&uniform(0.3)).unwrap();
+        let ob = b.step_sample(&uniform(0.3)).unwrap();
+        assert_ne!(oa.dc_temps, ob.dc_temps);
+    }
+}

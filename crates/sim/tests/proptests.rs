@@ -1,0 +1,106 @@
+//! Property-based tests on the simulator's physical invariants.
+
+use proptest::prelude::*;
+use tesla_sim::acu::Acu;
+use tesla_sim::pid::Pid;
+use tesla_sim::thermal::ThermalNetwork;
+use tesla_sim::{AcuParams, PidParams, SimConfig, Testbed, ThermalParams};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The PID output always honours its clamp, whatever the error stream.
+    #[test]
+    fn pid_output_always_clamped(
+        errors in proptest::collection::vec(-20.0f64..20.0, 1..200),
+    ) {
+        let mut pid = Pid::new(PidParams::default());
+        for e in errors {
+            let out = pid.step(e, 1.0);
+            prop_assert!((0.0..=1.0).contains(&out), "output {out}");
+        }
+    }
+
+    /// First law, lumped: with no cooling (supply = return) and positive
+    /// server heat, total stored thermal energy strictly increases.
+    #[test]
+    fn heat_without_cooling_raises_stored_energy(
+        heat in 0.5f64..10.0,
+        steps in 10usize..400,
+    ) {
+        let params = ThermalParams::default();
+        let weights = (params.c_cold_kj_per_k, params.c_hot_kj_per_k, params.c_mass_kj_per_k);
+        let mut net = ThermalNetwork::new(params);
+        let energy = |n: &ThermalNetwork| {
+            let s = n.state();
+            weights.0 * s.cold_aisle + weights.1 * s.hot_aisle + weights.2 * s.mass
+        };
+        // Move well above ambient influence first.
+        for _ in 0..600 {
+            let supply = net.return_temp();
+            net.step(supply, heat, 1.0);
+        }
+        let before = energy(&net);
+        for _ in 0..steps {
+            let supply = net.return_temp();
+            net.step(supply, heat, 1.0);
+        }
+        prop_assert!(energy(&net) > before, "stored energy must rise under net heating");
+    }
+
+    /// The ACU's reported extraction never exceeds its rated capacity and
+    /// its power never drops below the fan floor.
+    #[test]
+    fn acu_respects_capacity_and_fan_floor(
+        setpoint in 18.0f64..36.0,
+        inlet in 18.0f64..34.0,
+        steps in 5usize..300,
+    ) {
+        let params = AcuParams::default();
+        let qmax = params.q_max_kw;
+        let fan = params.fan_power_kw;
+        let mut acu = Acu::new(params, setpoint);
+        for _ in 0..steps {
+            let out = acu.step(inlet, inlet, 1.0, 1.0);
+            prop_assert!(out.q_kw <= qmax + 1e-9);
+            prop_assert!(out.q_kw >= -1e-9);
+            prop_assert!(out.power_kw >= fan - 1e-12);
+            prop_assert!((0.0..=1.0).contains(&out.duty));
+        }
+    }
+
+    /// Testbed monotonicity: at equal load, a warmer set-point never
+    /// consumes more steady-state energy (the §6.2 mechanism), as long as
+    /// both set-points are actually achievable.
+    #[test]
+    fn steady_energy_monotone_in_setpoint(seed in 0u64..12) {
+        let sim = SimConfig::default();
+        let utils = vec![0.4; sim.n_servers];
+        let run = |sp: f64| -> f64 {
+            let mut tb = Testbed::new(sim.clone(), seed).unwrap();
+            tb.write_setpoint(sp);
+            tb.warm_up(&utils, 420).unwrap();
+            let mut e = 0.0;
+            for _ in 0..30 {
+                e += tb.step_sample(&utils).unwrap().acu_energy_kwh;
+            }
+            e
+        };
+        let cool = run(22.0);
+        let warm = run(25.0);
+        prop_assert!(warm < cool * 1.02, "warm {warm} vs cool {cool}");
+    }
+
+    /// Register round-trip: any set-point written lands quantized within
+    /// 0.05 °C and inside the specification range.
+    #[test]
+    fn setpoint_register_quantization(sp in -10.0f64..60.0) {
+        let sim = SimConfig::default();
+        let mut tb = Testbed::new(sim.clone(), 0).unwrap();
+        tb.write_setpoint(sp);
+        let latched = tb.setpoint();
+        let clamped = sp.clamp(sim.setpoint_min, sim.setpoint_max);
+        prop_assert!((latched - clamped).abs() <= 0.05 + 1e-12);
+        prop_assert!((sim.setpoint_min..=sim.setpoint_max).contains(&latched));
+    }
+}

@@ -1,0 +1,32 @@
+//! Observability substrate: the reproduction's InfluxDB + Telegraf.
+//!
+//! The paper's deployment (§4) runs a Telegraf agent per server collecting
+//! power and CPU/memory utilization, plus Modbus pollers for ACU and rack
+//! sensor temperatures, all written into InfluxDB; TESLA's main loop is a
+//! producer process that pulls windows from InfluxDB and pushes them onto
+//! a message queue, and a consumer process that runs the control pipeline.
+//!
+//! This crate supplies the same interfaces in-memory:
+//!
+//! * [`series::TimeSeries`] — an append-only (time, value) column pair
+//!   with window queries.
+//! * [`store::TsdbStore`] — a thread-safe metric-name → series map
+//!   ([`parking_lot::RwLock`] inside, shareable via `Arc`).
+//! * [`collector::Collector`] — fans one simulator [`tesla_sim::Observation`]
+//!   out into the store under stable metric names.
+//! * [`queue::TelemetryQueue`] — a bounded crossbeam channel pairing the
+//!   producer and consumer halves of the control loop.
+//! * [`normalize::MinMaxNormalizer`] — the paper's preprocessing: all
+//!   signals min-max normalized to `[0, 1]` before modeling (§5.1).
+
+pub mod collector;
+pub mod normalize;
+pub mod queue;
+pub mod series;
+pub mod store;
+
+pub use collector::{metric, Collector};
+pub use normalize::MinMaxNormalizer;
+pub use queue::TelemetryQueue;
+pub use series::TimeSeries;
+pub use store::TsdbStore;

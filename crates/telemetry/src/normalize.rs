@@ -1,0 +1,119 @@
+//! Min-max normalization to `[0, 1]` — the paper's preprocessing step
+//! (§5.1: "All data from InfluxDB are normalized to the range of 0 and 1
+//! using min-max normalization").
+
+/// A fitted per-signal min-max normalizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinMaxNormalizer {
+    min: f64,
+    span: f64,
+}
+
+impl MinMaxNormalizer {
+    /// Fits on training data. A constant signal gets span 1 so transform
+    /// is well-defined (maps everything to 0).
+    pub fn fit(data: &[f64]) -> Self {
+        let min = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if data.is_empty() || !min.is_finite() || !max.is_finite() {
+            return MinMaxNormalizer { min: 0.0, span: 1.0 };
+        }
+        let span = if (max - min).abs() < 1e-12 { 1.0 } else { max - min };
+        MinMaxNormalizer { min, span }
+    }
+
+    /// Builds a normalizer from explicit bounds (e.g. the ACU's
+    /// specification range for set-points).
+    pub fn from_bounds(min: f64, max: f64) -> Self {
+        let span = if (max - min).abs() < 1e-12 { 1.0 } else { max - min };
+        MinMaxNormalizer { min, span }
+    }
+
+    /// Normalizes one value. Training-range values land in `[0, 1]`;
+    /// out-of-range values extrapolate linearly (not clipped), matching
+    /// scikit-learn's `MinMaxScaler`.
+    pub fn transform(&self, v: f64) -> f64 {
+        (v - self.min) / self.span
+    }
+
+    /// Inverse transform.
+    pub fn inverse(&self, v: f64) -> f64 {
+        v * self.span + self.min
+    }
+
+    /// Normalizes a slice into a new vector.
+    pub fn transform_all(&self, vs: &[f64]) -> Vec<f64> {
+        vs.iter().map(|&v| self.transform(v)).collect()
+    }
+
+    /// Inverse-transforms a slice into a new vector.
+    pub fn inverse_all(&self, vs: &[f64]) -> Vec<f64> {
+        vs.iter().map(|&v| self.inverse(v)).collect()
+    }
+
+    /// The fitted minimum.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// The fitted span (max − min, or 1 for constant signals).
+    pub fn span(&self) -> f64 {
+        self.span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_training_range_to_unit_interval() {
+        let n = MinMaxNormalizer::fit(&[10.0, 20.0, 15.0]);
+        assert_eq!(n.transform(10.0), 0.0);
+        assert_eq!(n.transform(20.0), 1.0);
+        assert_eq!(n.transform(15.0), 0.5);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let n = MinMaxNormalizer::fit(&[3.0, 9.0]);
+        for v in [3.0, 4.5, 9.0, 12.0, -1.0] {
+            assert!((n.inverse(n.transform(v)) - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_signal_is_safe() {
+        let n = MinMaxNormalizer::fit(&[5.0, 5.0, 5.0]);
+        assert_eq!(n.transform(5.0), 0.0);
+        assert_eq!(n.inverse(n.transform(5.0)), 5.0);
+    }
+
+    #[test]
+    fn empty_input_is_identityish() {
+        let n = MinMaxNormalizer::fit(&[]);
+        assert_eq!(n.transform(2.0), 2.0);
+    }
+
+    #[test]
+    fn out_of_range_extrapolates() {
+        let n = MinMaxNormalizer::fit(&[0.0, 10.0]);
+        assert_eq!(n.transform(20.0), 2.0);
+        assert_eq!(n.transform(-10.0), -1.0);
+    }
+
+    #[test]
+    fn from_bounds_matches_fit_on_extremes() {
+        let a = MinMaxNormalizer::from_bounds(20.0, 35.0);
+        let b = MinMaxNormalizer::fit(&[20.0, 35.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batch_helpers() {
+        let n = MinMaxNormalizer::fit(&[0.0, 4.0]);
+        let t = n.transform_all(&[0.0, 2.0, 4.0]);
+        assert_eq!(t, vec![0.0, 0.5, 1.0]);
+        assert_eq!(n.inverse_all(&t), vec![0.0, 2.0, 4.0]);
+    }
+}

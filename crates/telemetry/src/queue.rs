@@ -1,0 +1,114 @@
+//! Bounded producer/consumer queue.
+//!
+//! §4: "Our main function is implemented using two Python processes, a
+//! producer and a consumer that communicate over a message queue." The
+//! producer polls the store and pushes snapshots; the consumer runs the
+//! TESLA pipeline. Here the queue is a bounded crossbeam channel; the
+//! bound provides natural backpressure if the consumer (model + BO) ever
+//! runs slower than the sampling period.
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, SendError, Sender};
+use std::time::Duration;
+
+/// A bounded message queue between the telemetry producer and the
+/// controller consumer.
+#[derive(Debug)]
+pub struct TelemetryQueue<T> {
+    tx: Sender<T>,
+    rx: Receiver<T>,
+}
+
+impl<T> TelemetryQueue<T> {
+    /// Creates a queue holding at most `capacity` in-flight messages.
+    pub fn new(capacity: usize) -> Self {
+        let (tx, rx) = bounded(capacity.max(1));
+        TelemetryQueue { tx, rx }
+    }
+
+    /// Clones the producer handle.
+    pub fn sender(&self) -> Sender<T> {
+        self.tx.clone()
+    }
+
+    /// Clones the consumer handle.
+    pub fn receiver(&self) -> Receiver<T> {
+        self.rx.clone()
+    }
+
+    /// Pushes a message, blocking if the queue is full. Fails only when
+    /// every receiver has been dropped.
+    pub fn push(&self, msg: T) -> Result<(), SendError<T>> {
+        self.tx.send(msg)
+    }
+
+    /// Pops a message, waiting up to `timeout`.
+    pub fn pop_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.rx.recv_timeout(timeout)
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// True when no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.rx.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_ordering() {
+        let q = TelemetryQueue::new(8);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.push(3).unwrap();
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)).unwrap(), 1);
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)).unwrap(), 2);
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)).unwrap(), 3);
+    }
+
+    #[test]
+    fn pop_times_out_when_empty() {
+        let q: TelemetryQueue<i32> = TelemetryQueue::new(2);
+        assert!(matches!(
+            q.pop_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        ));
+    }
+
+    #[test]
+    fn producer_and_consumer_threads() {
+        let q = TelemetryQueue::new(4);
+        let tx = q.sender();
+        let rx = q.receiver();
+        let producer = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let consumer = std::thread::spawn(move || {
+            let mut sum = 0;
+            for _ in 0..100 {
+                sum += rx.recv().unwrap();
+            }
+            sum
+        });
+        producer.join().unwrap();
+        assert_eq!(consumer.join().unwrap(), 4950);
+    }
+
+    #[test]
+    fn bounded_capacity_backpressure() {
+        let q = TelemetryQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        // A further push would block: verify try-path via sender.
+        assert!(q.sender().try_send(3).is_err());
+    }
+}

@@ -1,0 +1,161 @@
+//! Append-only time series with window queries.
+
+/// A single metric's history: parallel `(time, value)` columns, appended
+/// in nondecreasing time order.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    times: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample. Panics (debug) if time goes backwards.
+    pub fn push(&mut self, time_s: f64, value: f64) {
+        debug_assert!(
+            self.times.last().is_none_or(|&t| time_s >= t),
+            "time went backwards: {} after {:?}",
+            time_s,
+            self.times.last()
+        );
+        self.times.push(time_s);
+        self.values.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True when no samples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// All values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// All timestamps.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The most recent `n` values, oldest first. Returns fewer if the
+    /// series is shorter than `n`.
+    pub fn last_n(&self, n: usize) -> &[f64] {
+        let start = self.values.len().saturating_sub(n);
+        &self.values[start..]
+    }
+
+    /// The most recent value, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.values.last().copied()
+    }
+
+    /// Values with `t0 <= time < t1` (binary search on the time column).
+    pub fn range(&self, t0: f64, t1: f64) -> &[f64] {
+        let lo = self.times.partition_point(|&t| t < t0);
+        let hi = self.times.partition_point(|&t| t < t1);
+        &self.values[lo..hi]
+    }
+
+    /// Trapezoidal integral of the series over its full span, in
+    /// value·seconds. The paper computes cooling *energy* from the
+    /// instantaneous ACU power trace by numerical integration (§3.2).
+    pub fn integrate(&self) -> f64 {
+        if self.len() < 2 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for i in 1..self.len() {
+            let dt = self.times[i] - self.times[i - 1];
+            acc += 0.5 * (self.values[i] + self.values[i - 1]) * dt;
+        }
+        acc
+    }
+}
+
+/// Trapezoidal integration of an arbitrary `(time, value)` pair of slices,
+/// exposed for energy computation over prediction windows.
+pub fn trapezoid(times: &[f64], values: &[f64]) -> f64 {
+    assert_eq!(times.len(), values.len());
+    if times.len() < 2 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for i in 1..times.len() {
+        acc += 0.5 * (values[i] + values[i - 1]) * (times[i] - times[i - 1]);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(vals: &[f64]) -> TimeSeries {
+        let mut s = TimeSeries::new();
+        for (i, &v) in vals.iter().enumerate() {
+            s.push(i as f64 * 60.0, v);
+        }
+        s
+    }
+
+    #[test]
+    fn push_and_len() {
+        let s = series(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.last(), Some(3.0));
+    }
+
+    #[test]
+    fn last_n_returns_suffix_oldest_first() {
+        let s = series(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.last_n(2), &[3.0, 4.0]);
+        assert_eq!(s.last_n(10), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.last_n(0), &[] as &[f64]);
+    }
+
+    #[test]
+    fn range_is_half_open() {
+        let s = series(&[10.0, 20.0, 30.0, 40.0]); // times 0, 60, 120, 180
+        assert_eq!(s.range(60.0, 180.0), &[20.0, 30.0]);
+        assert_eq!(s.range(0.0, 1e9), &[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(s.range(200.0, 300.0), &[] as &[f64]);
+    }
+
+    #[test]
+    fn integrate_constant_series() {
+        // 2.0 kW for 3 minutes = 360 kW·s.
+        let s = series(&[2.0, 2.0, 2.0, 2.0]);
+        assert!((s.integrate() - 2.0 * 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integrate_ramp() {
+        // Ramp 0→2 over 60 s: integral = 60.
+        let mut s = TimeSeries::new();
+        s.push(0.0, 0.0);
+        s.push(60.0, 2.0);
+        assert!((s.integrate() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integrate_needs_two_points() {
+        assert_eq!(TimeSeries::new().integrate(), 0.0);
+        assert_eq!(series(&[5.0]).integrate(), 0.0);
+    }
+
+    #[test]
+    fn trapezoid_free_function_matches_series() {
+        let s = series(&[1.0, 3.0, 2.0]);
+        assert!((trapezoid(s.times(), s.values()) - s.integrate()).abs() < 1e-12);
+    }
+}

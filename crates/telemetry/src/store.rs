@@ -1,0 +1,233 @@
+//! Thread-safe metric store (the InfluxDB stand-in).
+
+use crate::series::TimeSeries;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// A concurrent metric-name → [`TimeSeries`] map.
+///
+/// Writers (the collector thread) and readers (the controller) can share
+/// it through an `Arc`. Queries copy data out so no lock is held while
+/// the controller computes.
+#[derive(Debug, Default)]
+pub struct TsdbStore {
+    inner: RwLock<HashMap<String, TimeSeries>>,
+}
+
+impl TsdbStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample to `metric` (creating the series on first use).
+    pub fn insert(&self, metric: &str, time_s: f64, value: f64) {
+        let mut map = self.inner.write();
+        map.entry(metric.to_owned()).or_default().push(time_s, value);
+    }
+
+    /// The most recent `n` values of `metric`, oldest first. Empty when
+    /// the metric does not exist.
+    pub fn last_n(&self, metric: &str, n: usize) -> Vec<f64> {
+        let map = self.inner.read();
+        map.get(metric).map(|s| s.last_n(n).to_vec()).unwrap_or_default()
+    }
+
+    /// The most recent value of `metric`.
+    pub fn last(&self, metric: &str) -> Option<f64> {
+        let map = self.inner.read();
+        map.get(metric).and_then(|s| s.last())
+    }
+
+    /// Values of `metric` with `t0 <= time < t1`.
+    pub fn range(&self, metric: &str, t0: f64, t1: f64) -> Vec<f64> {
+        let map = self.inner.read();
+        map.get(metric).map(|s| s.range(t0, t1).to_vec()).unwrap_or_default()
+    }
+
+    /// Full copy of a metric's series (values only).
+    pub fn values(&self, metric: &str) -> Vec<f64> {
+        let map = self.inner.read();
+        map.get(metric).map(|s| s.values().to_vec()).unwrap_or_default()
+    }
+
+    /// Number of samples stored for `metric` (0 when absent).
+    pub fn len(&self, metric: &str) -> usize {
+        let map = self.inner.read();
+        map.get(metric).map(|s| s.len()).unwrap_or(0)
+    }
+
+    /// True when the store holds no metrics at all.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Mean of the most recent `n` values of `metric` (None when absent
+    /// or empty) — the aggregation the controllers use for "current"
+    /// readings of noisy sensors.
+    pub fn mean_last_n(&self, metric: &str, n: usize) -> Option<f64> {
+        let map = self.inner.read();
+        let series = map.get(metric)?;
+        let vals = series.last_n(n);
+        if vals.is_empty() {
+            return None;
+        }
+        Some(vals.iter().sum::<f64>() / vals.len() as f64)
+    }
+
+    /// Time-window aggregate: (mean, min, max) of `metric` over
+    /// `t0 <= time < t1`. None when no samples fall in the window.
+    pub fn aggregate_range(&self, metric: &str, t0: f64, t1: f64) -> Option<(f64, f64, f64)> {
+        let map = self.inner.read();
+        let series = map.get(metric)?;
+        let vals = series.range(t0, t1);
+        if vals.is_empty() {
+            return None;
+        }
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Some((mean, min, max))
+    }
+
+    /// Exports the whole store in InfluxDB line protocol
+    /// (`measurement,field=value timestamp_ns`) — the wire format the
+    /// paper's actual observability stack ingests, so a simulated run can
+    /// be replayed into a real InfluxDB instance.
+    pub fn export_line_protocol(&self) -> String {
+        let map = self.inner.read();
+        let mut names: Vec<&String> = map.keys().collect();
+        names.sort();
+        let mut out = String::new();
+        for name in names {
+            let series = &map[name];
+            // metric names are "measurement.field[...]": split on the
+            // first dot; the remainder becomes the field key.
+            let (measurement, field) = match name.split_once('.') {
+                Some((m, f)) => (m, f),
+                None => (name.as_str(), "value"),
+            };
+            let field = field.replace([' ', ','], "_");
+            for (t, v) in series.times().iter().zip(series.values()) {
+                let ns = (t * 1e9) as i64;
+                out.push_str(&format!("{measurement} {field}={v} {ns}
+"));
+            }
+        }
+        out
+    }
+
+    /// Sorted list of all metric names.
+    pub fn metric_names(&self) -> Vec<String> {
+        let map = self.inner.read();
+        let mut names: Vec<String> = map.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn insert_and_query() {
+        let store = TsdbStore::new();
+        store.insert("acu.power", 0.0, 2.0);
+        store.insert("acu.power", 60.0, 2.5);
+        assert_eq!(store.last("acu.power"), Some(2.5));
+        assert_eq!(store.last_n("acu.power", 2), vec![2.0, 2.5]);
+        assert_eq!(store.len("acu.power"), 2);
+    }
+
+    #[test]
+    fn missing_metric_is_empty_not_error() {
+        let store = TsdbStore::new();
+        assert_eq!(store.last("nope"), None);
+        assert!(store.last_n("nope", 5).is_empty());
+        assert!(store.range("nope", 0.0, 100.0).is_empty());
+        assert_eq!(store.len("nope"), 0);
+    }
+
+    #[test]
+    fn metric_names_sorted() {
+        let store = TsdbStore::new();
+        store.insert("b", 0.0, 1.0);
+        store.insert("a", 0.0, 1.0);
+        assert_eq!(store.metric_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers() {
+        let store = Arc::new(TsdbStore::new());
+        let mut handles = Vec::new();
+        for w in 0..4 {
+            let s = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500 {
+                    s.insert(&format!("m{w}"), i as f64, i as f64);
+                }
+            }));
+        }
+        for r in 0..4 {
+            let s = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    let _ = s.last_n(&format!("m{r}"), 10);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for w in 0..4 {
+            assert_eq!(store.len(&format!("m{w}")), 500);
+        }
+    }
+
+    #[test]
+    fn mean_last_n_aggregates() {
+        let store = TsdbStore::new();
+        for i in 0..6 {
+            store.insert("m", i as f64, i as f64);
+        }
+        assert_eq!(store.mean_last_n("m", 3), Some(4.0)); // (3+4+5)/3
+        assert_eq!(store.mean_last_n("m", 100), Some(2.5));
+        assert_eq!(store.mean_last_n("missing", 3), None);
+    }
+
+    #[test]
+    fn aggregate_range_reports_mean_min_max() {
+        let store = TsdbStore::new();
+        for (t, v) in [(0.0, 5.0), (60.0, 1.0), (120.0, 9.0), (180.0, 2.0)] {
+            store.insert("m", t, v);
+        }
+        let (mean, min, max) = store.aggregate_range("m", 60.0, 180.0).unwrap();
+        assert_eq!((mean, min, max), (5.0, 1.0, 9.0));
+        assert!(store.aggregate_range("m", 500.0, 600.0).is_none());
+    }
+
+    #[test]
+    fn line_protocol_export_format() {
+        let store = TsdbStore::new();
+        store.insert("acu.power_kw", 60.0, 2.5);
+        store.insert("acu.power_kw", 120.0, 2.75);
+        store.insert("plain", 60.0, 1.0);
+        let lp = store.export_line_protocol();
+        let lines: Vec<&str> = lp.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines.contains(&"acu power_kw=2.5 60000000000"));
+        assert!(lines.contains(&"acu power_kw=2.75 120000000000"));
+        assert!(lines.contains(&"plain value=1 60000000000"));
+    }
+
+    #[test]
+    fn range_query_copies_window() {
+        let store = TsdbStore::new();
+        for i in 0..10 {
+            store.insert("x", i as f64 * 60.0, i as f64);
+        }
+        assert_eq!(store.range("x", 120.0, 300.0), vec![2.0, 3.0, 4.0]);
+    }
+}

@@ -1,0 +1,220 @@
+//! Cluster-level diurnal load profiles (§5.1).
+//!
+//! The paper adjusts the load generator at 1-minute granularity "to
+//! emulate a typical diurnal pattern seen in DCs", compressed so the load
+//! rises and falls over a 12-hour testing period, with three settings
+//! whose period-average CPU utilization is 0 % (idle), 20 % (medium) and
+//! 40 % (high), chosen after Alibaba production cluster traces.
+//!
+//! The profile here is a raised half-sine (zero at the period edges,
+//! peaking mid-period, averaging exactly twice...half its peak — i.e.
+//! `mean = peak/2`), overlaid with an AR(1) fluctuation and occasional
+//! short bursts, all clipped to `[0, 1]`.
+
+use rand::{Rng, RngExt};
+use rand_distr::{Distribution, Normal};
+
+/// The three server-load settings of §5.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoadSetting {
+    /// Load generator off: 0 % average utilization.
+    Idle,
+    /// 20 % average CPU utilization over the period.
+    Medium,
+    /// 40 % average CPU utilization over the period.
+    High,
+}
+
+impl LoadSetting {
+    /// Period-average cluster CPU utilization for this setting.
+    pub fn mean_utilization(self) -> f64 {
+        match self {
+            LoadSetting::Idle => 0.0,
+            LoadSetting::Medium => 0.20,
+            LoadSetting::High => 0.40,
+        }
+    }
+
+    /// All three settings, in the order the paper tabulates them.
+    pub fn all() -> [LoadSetting; 3] {
+        [LoadSetting::Idle, LoadSetting::Medium, LoadSetting::High]
+    }
+
+    /// Human-readable name matching Table 5.
+    pub fn name(self) -> &'static str {
+        match self {
+            LoadSetting::Idle => "idle",
+            LoadSetting::Medium => "medium",
+            LoadSetting::High => "high",
+        }
+    }
+}
+
+/// Stateful diurnal profile generator.
+#[derive(Debug, Clone)]
+pub struct DiurnalProfile {
+    setting: LoadSetting,
+    period_s: f64,
+    /// AR(1) fluctuation state.
+    ar: f64,
+    ar_noise: Normal<f64>,
+    /// Remaining burst time, seconds, and burst magnitude.
+    burst_left_s: f64,
+    burst_mag: f64,
+}
+
+impl DiurnalProfile {
+    /// Default testing period: 12 hours (§5.1).
+    pub const DEFAULT_PERIOD_S: f64 = 12.0 * 3600.0;
+
+    /// Creates a profile for the given setting and period.
+    pub fn new(setting: LoadSetting, period_s: f64) -> Self {
+        DiurnalProfile {
+            setting,
+            period_s: period_s.max(60.0),
+            ar: 0.0,
+            ar_noise: Normal::new(0.0, 0.022).expect("finite std"),
+            burst_left_s: 0.0,
+            burst_mag: 0.0,
+        }
+    }
+
+    /// The load setting this profile emulates.
+    pub fn setting(&self) -> LoadSetting {
+        self.setting
+    }
+
+    /// Deterministic component of the target at time `t` (no noise).
+    pub fn base(&self, t_s: f64) -> f64 {
+        let mean = self.setting.mean_utilization();
+        if mean == 0.0 {
+            return 0.0;
+        }
+        // Raised half-sine over the period: sin²(π t / T) has mean 1/2, so
+        // 2·mean·sin² averages to `mean` and peaks at 2·mean.
+        let phase = (t_s / self.period_s) * std::f64::consts::PI;
+        (2.0 * mean * phase.sin().powi(2)).clamp(0.0, 1.0)
+    }
+
+    /// Samples the cluster-level target utilization at time `t`.
+    ///
+    /// Stateful: call with monotonically increasing `t` at ~1-minute
+    /// intervals for the intended fluctuation spectrum.
+    pub fn sample<R: Rng>(&mut self, t_s: f64, rng: &mut R) -> f64 {
+        let base = self.base(t_s);
+        if self.setting == LoadSetting::Idle {
+            // "Idle" clusters still run housekeeping daemons: a small
+            // fluctuating background (~2-3% CPU) rather than a flat zero.
+            self.ar = (0.92 * self.ar + self.ar_noise.sample(rng)).clamp(-0.02, 0.05);
+            return (0.025 + self.ar).clamp(0.0, 0.08);
+        }
+        // Short-term AR(1) fluctuation (per-minute scale).
+        self.ar = (0.92 * self.ar + self.ar_noise.sample(rng)).clamp(-0.13, 0.13);
+
+        // Occasional bursts and cliffs (job arrivals / completions):
+        // ~1 expected per 1.5 hours, either sign. The sudden *drops* are
+        // what trip boundary-riding controllers into cooling interruption
+        // (§6.3).
+        if self.burst_left_s <= 0.0 && rng.random::<f64>() < 1.0 / 90.0 {
+            self.burst_left_s = rng.random_range(180.0..900.0);
+            let mag = rng.random_range(0.08..0.22);
+            self.burst_mag = if rng.random::<f64>() < 0.5 { mag } else { -mag };
+        }
+        let burst = if self.burst_left_s > 0.0 {
+            self.burst_left_s -= 60.0;
+            self.burst_mag
+        } else {
+            0.0
+        };
+
+        (base + self.ar + burst).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn idle_profile_is_small_background_noise() {
+        // "Idle" means the load generator is off; the cluster still runs
+        // housekeeping daemons at a few percent CPU.
+        let mut p = DiurnalProfile::new(LoadSetting::Idle, DiurnalProfile::DEFAULT_PERIOD_S);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sum = 0.0;
+        for m in 0..720 {
+            let u = p.sample(m as f64 * 60.0, &mut rng);
+            assert!((0.0..=0.08).contains(&u), "idle sample {u}");
+            sum += u;
+        }
+        let avg = sum / 720.0;
+        assert!(avg > 0.005 && avg < 0.06, "idle average {avg}");
+    }
+
+    #[test]
+    fn period_average_matches_setting() {
+        for setting in [LoadSetting::Medium, LoadSetting::High] {
+            let mut p = DiurnalProfile::new(setting, DiurnalProfile::DEFAULT_PERIOD_S);
+            let mut rng = StdRng::seed_from_u64(5);
+            let n = 720; // one 12-hour period at 1-minute steps
+            let mut sum = 0.0;
+            for m in 0..n {
+                sum += p.sample(m as f64 * 60.0, &mut rng);
+            }
+            let avg = sum / n as f64;
+            let want = setting.mean_utilization();
+            assert!(
+                (avg - want).abs() < 0.05,
+                "{}: average {avg:.3} vs target {want}",
+                setting.name()
+            );
+        }
+    }
+
+    #[test]
+    fn profile_rises_then_falls() {
+        let p = DiurnalProfile::new(LoadSetting::High, DiurnalProfile::DEFAULT_PERIOD_S);
+        let quarter = DiurnalProfile::DEFAULT_PERIOD_S / 4.0;
+        let start = p.base(0.0);
+        let mid = p.base(2.0 * quarter);
+        let end = p.base(4.0 * quarter);
+        assert!(start < 0.01);
+        assert!((mid - 0.8).abs() < 1e-9, "peak is 2x the mean");
+        assert!(end < 0.01);
+        assert!(p.base(quarter) > start && p.base(quarter) < mid);
+    }
+
+    #[test]
+    fn samples_stay_in_unit_interval() {
+        let mut p = DiurnalProfile::new(LoadSetting::High, DiurnalProfile::DEFAULT_PERIOD_S);
+        let mut rng = StdRng::seed_from_u64(9);
+        for m in 0..2000 {
+            let u = p.sample(m as f64 * 60.0, &mut rng);
+            assert!((0.0..=1.0).contains(&u), "sample {u}");
+        }
+    }
+
+    #[test]
+    fn samples_fluctuate_around_base() {
+        let mut p = DiurnalProfile::new(LoadSetting::Medium, DiurnalProfile::DEFAULT_PERIOD_S);
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = DiurnalProfile::DEFAULT_PERIOD_S / 2.0;
+        let base = p.base(t);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..50 {
+            let u = p.sample(t, &mut rng);
+            assert!((u - base).abs() < 0.25);
+            distinct.insert((u * 1e6) as i64);
+        }
+        assert!(distinct.len() > 10, "fluctuation must vary");
+    }
+
+    #[test]
+    fn setting_metadata() {
+        assert_eq!(LoadSetting::all().len(), 3);
+        assert_eq!(LoadSetting::Medium.name(), "medium");
+        assert_eq!(LoadSetting::High.mean_utilization(), 0.40);
+    }
+}

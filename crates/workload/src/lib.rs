@@ -1,0 +1,27 @@
+//! Workload generation for the simulated testbed.
+//!
+//! The paper (§4–5.1) drives its servers with Gaetano's CPU load
+//! generator, deployed through Kubernetes `Job` resources, and modulates
+//! the cluster-wide target at 1-minute granularity to emulate the diurnal
+//! patterns observed in Alibaba production clusters: 12-hour rise-and-fall
+//! cycles averaging 0 % (idle), 20 % (medium) or 40 % (high) CPU
+//! utilization.
+//!
+//! This crate reproduces that stack:
+//!
+//! * [`loadgen`] — the per-server load controller (target cores, desired
+//!   level, duration), including the duty-cycle dither a spin-loop load
+//!   generator exhibits.
+//! * [`diurnal`] — the cluster-level diurnal target profile with AR(1)
+//!   short-term fluctuation and occasional bursts.
+//! * [`jobs`] — a Kubernetes-like `Job` abstraction plus a least-loaded
+//!   scheduler that converts the cluster target into per-server
+//!   utilizations.
+
+pub mod diurnal;
+pub mod jobs;
+pub mod loadgen;
+
+pub use diurnal::{DiurnalProfile, LoadSetting};
+pub use jobs::{Job, Orchestrator, Placement};
+pub use loadgen::LoadController;

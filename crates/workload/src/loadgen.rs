@@ -1,0 +1,122 @@
+//! Gaetano-style per-server CPU load controller.
+//!
+//! The original tool (github.com/GaetanoCarlucci/CPULoadGenerator) takes
+//! a set of target cores, a desired load level, and a duration, and keeps
+//! each core busy with an actuator that duty-cycles a spin loop around
+//! the target. Observed utilization therefore dithers around the level
+//! instead of sitting exactly on it; we model that dither as a bounded
+//! AR(1) perturbation.
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+/// A load command on one server: keep `cores_fraction` of the machine at
+/// `level` utilization for `duration_s` seconds.
+#[derive(Debug, Clone)]
+pub struct LoadController {
+    /// Fraction of the machine's cores targeted (0, 1].
+    cores_fraction: f64,
+    /// Desired per-core load level in [0, 1].
+    level: f64,
+    /// Remaining run time, seconds.
+    remaining_s: f64,
+    /// AR(1) dither state.
+    dither: f64,
+    dither_noise: Normal<f64>,
+}
+
+impl LoadController {
+    /// Creates a controller. Inputs are clamped to their valid ranges.
+    pub fn new(cores_fraction: f64, level: f64, duration_s: f64) -> Self {
+        LoadController {
+            cores_fraction: cores_fraction.clamp(0.0, 1.0),
+            level: level.clamp(0.0, 1.0),
+            remaining_s: duration_s.max(0.0),
+            dither: 0.0,
+            dither_noise: Normal::new(0.0, 0.01).expect("finite std"),
+        }
+    }
+
+    /// Machine-level utilization this controller contributes right now.
+    pub fn utilization(&self) -> f64 {
+        if self.remaining_s <= 0.0 {
+            return 0.0;
+        }
+        (self.cores_fraction * (self.level + self.dither)).clamp(0.0, 1.0)
+    }
+
+    /// Remaining run time in seconds.
+    pub fn remaining_s(&self) -> f64 {
+        self.remaining_s
+    }
+
+    /// True once the commanded duration has elapsed.
+    pub fn finished(&self) -> bool {
+        self.remaining_s <= 0.0
+    }
+
+    /// Advances the controller by `dt` seconds.
+    pub fn tick<R: Rng>(&mut self, dt: f64, rng: &mut R) {
+        if self.finished() {
+            return;
+        }
+        self.remaining_s -= dt;
+        // AR(1) dither: rho = 0.9 per tick, small innovations, hard-bounded.
+        self.dither = (0.9 * self.dither + self.dither_noise.sample(rng)).clamp(-0.05, 0.05);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn utilization_tracks_level_times_cores() {
+        let c = LoadController::new(0.5, 0.8, 60.0);
+        assert!((c.utilization() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finishes_after_duration() {
+        let mut c = LoadController::new(1.0, 0.5, 10.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert!(!c.finished());
+            c.tick(1.0, &mut rng);
+        }
+        assert!(c.finished());
+        assert_eq!(c.utilization(), 0.0);
+    }
+
+    #[test]
+    fn inputs_are_clamped() {
+        let c = LoadController::new(2.0, -0.5, -3.0);
+        assert_eq!(c.utilization(), 0.0);
+        assert!(c.finished());
+        let c = LoadController::new(2.0, 2.0, 5.0);
+        assert_eq!(c.utilization(), 1.0);
+    }
+
+    #[test]
+    fn dither_stays_near_the_level() {
+        let mut c = LoadController::new(1.0, 0.5, 10_000.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        let n = 5_000;
+        for _ in 0..n {
+            c.tick(1.0, &mut rng);
+            let u = c.utilization();
+            min = min.min(u);
+            max = max.max(u);
+            sum += u;
+        }
+        assert!(min >= 0.45 - 1e-9, "min {min}");
+        assert!(max <= 0.55 + 1e-9, "max {max}");
+        assert!((sum / n as f64 - 0.5).abs() < 0.02, "mean {}", sum / n as f64);
+        assert!(max > min, "dither must actually move");
+    }
+}

@@ -1,0 +1,45 @@
+//! Characterize the simulated testbed: sweep the set-point and report
+//! steady-state ACU power, cold-aisle temperature, and interruption state
+//! at two load levels — the physics behind every controller comparison.
+//!
+//! ```bash
+//! cargo run --release --example setpoint_sweep
+//! ```
+
+use tesla_sim::{SimConfig, Testbed};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sim = SimConfig::default();
+    for (label, util) in [("idle (2.5% CPU)", 0.025), ("busy (50% CPU)", 0.50)] {
+        println!("\n== {label} ==");
+        println!(
+            "{:>8} {:>10} {:>12} {:>12} {:>12}",
+            "sp (C)", "P_acu(kW)", "inlet (C)", "coldmax (C)", "interrupted"
+        );
+        for sp10 in (21..=33).step_by(2) {
+            let sp = sp10 as f64;
+            let mut tb = Testbed::new(sim.clone(), 5)?;
+            tb.write_setpoint(sp);
+            let utils = vec![util; sim.n_servers];
+            tb.warm_up(&utils, 600)?; // 10 h to steady state
+            let obs = tb.step_sample(&utils)?;
+            let inlet =
+                obs.acu_inlet_temps.iter().sum::<f64>() / obs.acu_inlet_temps.len() as f64;
+            println!(
+                "{:>8.1} {:>10.2} {:>12.2} {:>12.2} {:>11.0}%",
+                sp,
+                obs.acu_power_kw,
+                inlet,
+                obs.cold_aisle_max,
+                obs.interrupted_frac * 100.0
+            );
+        }
+    }
+    println!(
+        "\nreading the table: raising the set-point saves power (better COP) until\n\
+         the cold aisle hits the 22 C limit; past the achievable return temperature\n\
+         the compressor interrupts entirely (fan-only ~0.1 kW). The thermal headroom\n\
+         grows with load — which is why TESLA's savings do too."
+    );
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! Umbrella crate for the TESLA reproduction.
+//!
+//! Re-exports the workspace's sub-crates under one roof so examples and
+//! downstream users can depend on a single crate:
+//!
+//! * [`sim`] — the simulated data-center testbed (servers, thermal
+//!   network, PID-controlled ACU, sensors, Modbus facade).
+//! * [`workload`] — load generation (diurnal profiles, Kubernetes-like
+//!   jobs).
+//! * [`telemetry`] — in-memory time-series store, collector, queue.
+//! * [`linalg`] — dense linear algebra, ridge regression, statistics.
+//! * [`forecast`] — TESLA's DC time-series model (ASP/ACU/DCS/energy
+//!   sub-modules) and the recursive AR baseline.
+//! * [`ml`] — MLP / CART / gradient-boosting / random-forest baselines.
+//! * [`gp`] — Matérn 5/2 fixed-noise Gaussian processes, Sobol QMC.
+//! * [`bo`] — bootstrap error monitor, constrained NEI, the Bayesian
+//!   optimizer.
+//! * [`core`] — the controllers (TESLA, fixed, Lazic MPC, TSRL) and the
+//!   end-to-end evaluation machinery.
+//!
+//! Start with `examples/quickstart.rs`, DESIGN.md (system inventory) and
+//! EXPERIMENTS.md (paper-vs-measured for every table and figure).
+
+pub use tesla_bo as bo;
+pub use tesla_core as core;
+pub use tesla_forecast as forecast;
+pub use tesla_gp as gp;
+pub use tesla_linalg as linalg;
+pub use tesla_ml as ml;
+pub use tesla_sim as sim;
+pub use tesla_telemetry as telemetry;
+pub use tesla_workload as workload;

@@ -1,0 +1,95 @@
+//! Failure-injection integration tests: the control stack must degrade
+//! gracefully, never panic, when fed broken telemetry or driven into
+//! pathological regimes.
+
+use tesla::core::dataset::{generate_sweep_trace, DatasetConfig};
+use tesla::core::{Controller, TeslaConfig, TeslaController};
+use tesla::forecast::Trace;
+use tesla::sim::{SimConfig, Testbed};
+
+fn trained_tesla(seed: u64) -> (TeslaController, Trace) {
+    let trace = generate_sweep_trace(&DatasetConfig {
+        days: 0.6,
+        seed,
+        ..DatasetConfig::default()
+    })
+    .expect("sweep");
+    let cfg = TeslaConfig {
+        model: tesla::forecast::ModelConfig { horizon: 8, ..Default::default() },
+        ..TeslaConfig::default()
+    };
+    let tesla = TeslaController::new(&trace, cfg).expect("TESLA");
+    (tesla, trace)
+}
+
+#[test]
+fn empty_history_returns_cold_start() {
+    let (mut tesla, _) = trained_tesla(1);
+    let sp = tesla.decide(&Trace::with_sensors(2, 35));
+    assert_eq!(sp, 23.0);
+}
+
+#[test]
+fn sensor_dropout_does_not_panic() {
+    // Simulate a stuck sensor: one rack sensor frozen at a constant, one
+    // inlet sensor reading an implausible constant.
+    let (mut tesla, mut trace) = trained_tesla(2);
+    let n = trace.len();
+    for t in n - 30..n {
+        trace.dc_temps[5][t] = 0.0; // dead sensor reads zero
+        trace.acu_inlet[1][t] = 60.0; // shorted sensor reads hot
+    }
+    let sp = tesla.decide(&trace);
+    assert!((20.0..=35.0).contains(&sp), "decision {sp} must stay in ACU bounds");
+}
+
+#[test]
+fn nan_telemetry_is_contained() {
+    let (mut tesla, mut trace) = trained_tesla(3);
+    let n = trace.len();
+    trace.avg_power[n - 1] = f64::NAN;
+    let sp = tesla.decide(&trace);
+    // The decision must remain a valid register value even when the model
+    // sees NaN inputs (the optimizer treats failed predictions as
+    // infeasible and falls back).
+    assert!(sp.is_finite());
+    assert!((20.0..=35.0).contains(&sp));
+}
+
+#[test]
+fn saturated_acu_episode_runs_to_completion() {
+    // Pathological plant: a tiny ACU that cannot carry the load. The
+    // simulator and the metrics must stay finite.
+    let mut sim = SimConfig::default();
+    sim.acu.q_max_kw = 3.0;
+    let mut tb = Testbed::new(sim.clone(), 1).expect("testbed");
+    tb.write_setpoint(20.0);
+    let utils = vec![0.9; sim.n_servers];
+    let mut last = None;
+    for _ in 0..240 {
+        last = Some(tb.step_sample(&utils).expect("step"));
+    }
+    let obs = last.unwrap();
+    assert!(obs.cold_aisle_max.is_finite());
+    assert!(obs.cold_aisle_max > 22.0, "an undersized ACU must overheat");
+    assert!(obs.acu_power_kw > 0.0);
+}
+
+#[test]
+fn zero_capacity_smoothing_still_works() {
+    // Degenerate smoothing buffer (N clamps to 1) must behave as a
+    // passthrough, not divide by zero.
+    let mut buffer = tesla::core::SmoothingBuffer::new(0);
+    assert_eq!(buffer.capacity(), 1);
+    assert_eq!(buffer.push(25.0), 25.0);
+}
+
+#[test]
+fn monitor_survives_garbage_errors() {
+    let mut m = tesla::bo::PredictionErrorMonitor::new(50, (0.1, 0.1));
+    m.record(f64::INFINITY, 1.0);
+    m.record(f64::NAN, f64::NAN);
+    m.record(1.0, -1.0);
+    let (vo, vc) = m.bootstrap_variances(100, 1);
+    assert!(vo.is_finite() && vc.is_finite());
+}

@@ -28,7 +28,10 @@ fn bench_forecast(c: &mut Criterion) {
         ..DatasetConfig::default()
     })
     .unwrap();
-    let cfg = ModelConfig { horizon: 10, ..ModelConfig::default() };
+    let cfg = ModelConfig {
+        horizon: 10,
+        ..ModelConfig::default()
+    };
     c.bench_function("forecast/fit_half_day_L10", |b| {
         b.iter(|| black_box(DcTimeSeriesModel::fit(&trace, cfg.clone()).unwrap()));
     });
@@ -45,9 +48,7 @@ fn bench_gp(c: &mut Criterion) {
     let noise = vec![1e-3; xs.len()];
     c.bench_function("gp/fit_16_points", |b| {
         b.iter(|| {
-            black_box(
-                FixedNoiseGp::fit(Matern52::new(2.0, 1.0), xs.clone(), &ys, &noise).unwrap(),
-            )
+            black_box(FixedNoiseGp::fit(Matern52::new(2.0, 1.0), xs.clone(), &ys, &noise).unwrap())
         });
     });
     let gp = FixedNoiseGp::fit(Matern52::new(2.0, 1.0), xs, &ys, &noise).unwrap();
@@ -74,12 +75,8 @@ fn bench_bo_decision(c: &mut Criterion) {
     c.bench_function("bo/full_decision", |b| {
         b.iter(|| {
             black_box(
-                opt.optimize(
-                    |s| (-(s - 26.0) * (s - 26.0), s - 28.0),
-                    (0.01, 0.01),
-                    7,
-                )
-                .unwrap(),
+                opt.optimize(|s| (-(s - 26.0) * (s - 26.0), s - 28.0), (0.01, 0.01), 7)
+                    .unwrap(),
             )
         });
     });
@@ -100,8 +97,14 @@ fn bench_forest(c: &mut Criterion) {
             || data.clone(),
             |d| {
                 black_box(
-                    RandomForest::fit(&d, ForestConfig { n_trees: 40, ..Default::default() })
-                        .unwrap(),
+                    RandomForest::fit(
+                        &d,
+                        ForestConfig {
+                            n_trees: 40,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap(),
                 )
             },
             BatchSize::SmallInput,

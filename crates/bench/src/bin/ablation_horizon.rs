@@ -22,7 +22,10 @@ fn main() {
     for l in [5usize, 10, 20, 40] {
         eprintln!("L = {l}: retraining the full model stack …");
         let cfg = TeslaConfig {
-            model: ModelConfig { horizon: l, ..ModelConfig::default() },
+            model: ModelConfig {
+                horizon: l,
+                ..ModelConfig::default()
+            },
             seed: 7,
             ..TeslaConfig::default()
         };

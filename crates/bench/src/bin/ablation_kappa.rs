@@ -21,7 +21,11 @@ fn main() {
     let mut rows = Vec::new();
     for kappa in [0.0, 0.25, 0.5, 1.0, 2.0] {
         eprintln!("κ = {kappa} …");
-        let cfg = TeslaConfig { kappa, seed: 7, ..TeslaConfig::default() };
+        let cfg = TeslaConfig {
+            kappa,
+            seed: 7,
+            ..TeslaConfig::default()
+        };
         let mut tesla = TeslaController::new(&train, cfg).expect("TESLA");
         let r = run_standard_episode(&mut tesla, LoadSetting::Medium, minutes, 321);
         rows.push(vec![

@@ -19,7 +19,11 @@ fn main() {
     let mut rows = Vec::new();
     for n in [1usize, 3, 5, 9] {
         eprintln!("N = {n} …");
-        let cfg = TeslaConfig { smoothing: n, seed: 7, ..TeslaConfig::default() };
+        let cfg = TeslaConfig {
+            smoothing: n,
+            seed: 7,
+            ..TeslaConfig::default()
+        };
         let mut tesla = TeslaController::new(&train, cfg).expect("TESLA");
         let r = run_standard_episode(&mut tesla, LoadSetting::Medium, minutes, 654);
         // Set-point roughness: mean |Δs| per minute.
@@ -39,7 +43,13 @@ fn main() {
     }
     print_table(
         "Ablation: smoothing-buffer length N (medium load)",
-        &["N", "CE (kWh)", "saving (%)", "TSV (%)", "mean |dS/dt| (C/min)"],
+        &[
+            "N",
+            "CE (kWh)",
+            "saving (%)",
+            "TSV (%)",
+            "mean |dS/dt| (C/min)",
+        ],
         &rows,
     );
     println!(

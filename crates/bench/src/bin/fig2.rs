@@ -57,6 +57,10 @@ fn main() {
         "\npaper: power varies between ~2 and ~3 kW at a constant 27 C set-point;\n\
          reproduction target: a clearly nonzero band under constant set-point."
     );
-    let path = export_csv("fig2_acu_power", &["minute", "acu_power_kw"], &[&t_min, &power]);
+    let path = export_csv(
+        "fig2_acu_power",
+        &["minute", "acu_power_kw"],
+        &[&t_min, &power],
+    );
     println!("series written to {}", path.display());
 }

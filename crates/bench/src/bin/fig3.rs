@@ -53,12 +53,27 @@ fn main() {
         "Figure 3: cooling interruption (first 10 min) and recovery",
         &["metric", "value"],
         &[
-            vec!["power during interruption (kW)".into(), format!("{:.3}", power[5])],
-            vec!["power during recovery (kW)".into(), format!("{:.3}", power[15])],
-            vec!["cold-aisle max at start (C)".into(), format!("{start_temp:.2}")],
-            vec!["cold-aisle max at peak (C)".into(), format!("{peak_temp:.2}")],
+            vec![
+                "power during interruption (kW)".into(),
+                format!("{:.3}", power[5]),
+            ],
+            vec![
+                "power during recovery (kW)".into(),
+                format!("{:.3}", power[15]),
+            ],
+            vec![
+                "cold-aisle max at start (C)".into(),
+                format!("{start_temp:.2}"),
+            ],
+            vec![
+                "cold-aisle max at peak (C)".into(),
+                format!("{peak_temp:.2}"),
+            ],
             vec!["rise rate (C/min)".into(), format!("{rise_rate:.2}")],
-            vec!["recovery rate (C/min)".into(), format!("{recovery_rate:.2}")],
+            vec![
+                "recovery rate (C/min)".into(),
+                format!("{recovery_rate:.2}"),
+            ],
             vec![
                 "recovery/rise ratio".into(),
                 format!("{:.2}", recovery_rate / rise_rate.max(1e-9)),

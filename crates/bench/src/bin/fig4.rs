@@ -45,7 +45,10 @@ fn main() {
         &[
             vec!["settled power (kW)".into(), format!("{settled:.3}")],
             vec!["peak power during dip (kW)".into(), format!("{peak:.3}")],
-            vec!["power increase (%)".into(), format!("{:.1}", 100.0 * (peak / settled - 1.0))],
+            vec![
+                "power increase (%)".into(),
+                format!("{:.1}", 100.0 * (peak / settled - 1.0)),
+            ],
             vec!["lowest inlet reached (C)".into(), format!("{min_inlet:.2}")],
             vec!["dip target (C)".into(), "27.5".into()],
         ],

@@ -50,7 +50,9 @@ fn main() {
 
     let mut t_hours = Vec::new();
     let mut avg_power = Vec::new();
-    let mut snapshots: Vec<(String, Vec<f64>, Vec<f64>, Vec<f64>, f64)> = Vec::new();
+    // (label, utilisations, temps, duties, setpoint) per marked minute.
+    type Snapshot = (String, Vec<f64>, Vec<f64>, Vec<f64>, f64);
+    let mut snapshots: Vec<Snapshot> = Vec::new();
 
     for m in 0..minutes {
         let sp = tesla.decide(&trace);
@@ -79,11 +81,23 @@ fn main() {
         "Figure 8a: average server power (medium load)",
         &["instant", "per-machine power (kW)", "paper marks (kW)"],
         &[
-            vec![format!("{:.1} h", mark_a as f64 / 60.0), format!("{p_a:.3}"), "0.365".into()],
-            vec![format!("{:.1} h", mark_b as f64 / 60.0), format!("{p_b:.3}"), "0.233".into()],
+            vec![
+                format!("{:.1} h", mark_a as f64 / 60.0),
+                format!("{p_a:.3}"),
+                "0.365".into(),
+            ],
+            vec![
+                format!("{:.1} h", mark_b as f64 / 60.0),
+                format!("{p_b:.3}"),
+                "0.233".into(),
+            ],
         ],
     );
-    let path = export_csv("fig8a_server_power", &["hour", "avg_server_power_kw"], &[&t_hours, &avg_power]);
+    let path = export_csv(
+        "fig8a_server_power",
+        &["hour", "avg_server_power_kw"],
+        &[&t_hours, &avg_power],
+    );
     println!("series written to {}", path.display());
 
     for (label, grid, obj, con, chosen) in &snapshots {
@@ -93,7 +107,11 @@ fn main() {
             println!("{:>6.1}  {:>10.3}  {:>10.3}", grid[i], obj[i], con[i]);
         }
         let name = format!("fig8b_posterior_{}", label.replace('.', "_"));
-        let path = export_csv(&name, &["setpoint_c", "objective_mean", "constraint_mean"], &[grid, obj, con]);
+        let path = export_csv(
+            &name,
+            &["setpoint_c", "objective_mean", "constraint_mean"],
+            &[grid, obj, con],
+        );
         println!("series written to {}", path.display());
     }
     println!(

@@ -18,8 +18,20 @@ fn main() {
         .expect("locate binary directory");
 
     let binaries = [
-        "fig2", "fig3", "fig4", "table3", "table4", "table5", "fig8", "fig9", "fig10",
-        "fig11", "fig12", "ablation_kappa", "ablation_smoothing", "ablation_horizon",
+        "fig2",
+        "fig3",
+        "fig4",
+        "table3",
+        "table4",
+        "table5",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "ablation_kappa",
+        "ablation_smoothing",
+        "ablation_horizon",
     ];
     let mut failures = Vec::new();
     for bin in binaries {
@@ -39,7 +51,10 @@ fn main() {
         }
     }
     if failures.is_empty() {
-        println!("\nall {} experiments regenerated; CSVs in bench_results/", binaries.len());
+        println!(
+            "\nall {} experiments regenerated; CSVs in bench_results/",
+            binaries.len()
+        );
     } else {
         eprintln!("\nfailed: {failures:?}");
         std::process::exit(1);

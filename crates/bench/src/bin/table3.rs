@@ -6,8 +6,8 @@
 //! model, which beats the recursive MLP.
 
 use tesla_bench::{
-    arg_f64, print_table, temperature_mape_mlp, temperature_mape_recursive,
-    temperature_mape_tesla, train_test_traces, RecursiveMlp,
+    arg_f64, print_table, temperature_mape_mlp, temperature_mape_recursive, temperature_mape_tesla,
+    train_test_traces, RecursiveMlp,
 };
 use tesla_forecast::{DcTimeSeriesModel, ModelConfig, RecursiveAr};
 use tesla_ml::MlpConfig;
@@ -28,7 +28,12 @@ fn main() {
     eprintln!("training the Wang-style recursive MLP …");
     let mlp = RecursiveMlp::fit(
         &train,
-        MlpConfig { hidden: vec![64, 64], epochs: 30, seed: 9, ..MlpConfig::default() },
+        MlpConfig {
+            hidden: vec![64, 64],
+            epochs: 30,
+            seed: 9,
+            ..MlpConfig::default()
+        },
     );
 
     eprintln!("evaluating on the held-out trace …");
@@ -40,14 +45,30 @@ fn main() {
         "Table 3: DC temperature MAPE (%)",
         &["model", "MAPE (%)", "paper (%)"],
         &[
-            vec!["TESLA (ours)".into(), format!("{m_tesla:.2}"), "3.52".into()],
-            vec!["Lazic et al. [20]".into(), format!("{m_lazic:.2}"), "5.52".into()],
-            vec!["Wang et al. [42] (MLP)".into(), format!("{m_mlp:.2}"), "10.73".into()],
+            vec![
+                "TESLA (ours)".into(),
+                format!("{m_tesla:.2}"),
+                "3.52".into(),
+            ],
+            vec![
+                "Lazic et al. [20]".into(),
+                format!("{m_lazic:.2}"),
+                "5.52".into(),
+            ],
+            vec![
+                "Wang et al. [42] (MLP)".into(),
+                format!("{m_mlp:.2}"),
+                "10.73".into(),
+            ],
         ],
     );
     let ordering_holds = m_tesla < m_lazic && m_lazic < m_mlp;
     println!(
         "\nreproduction target: TESLA < Lazic < MLP — {}",
-        if ordering_holds { "HOLDS" } else { "ordering differs (see EXPERIMENTS.md)" }
+        if ordering_holds {
+            "HOLDS"
+        } else {
+            "ordering differs (see EXPERIMENTS.md)"
+        }
     );
 }

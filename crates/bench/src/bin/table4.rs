@@ -7,9 +7,7 @@
 
 use tesla_bench::{arg_f64, energy_dataset, print_table, train_test_traces};
 use tesla_linalg::stats::mape;
-use tesla_ml::{
-    Dataset, ForestConfig, GbtConfig, GradientBoosting, Mlp, MlpConfig, RandomForest,
-};
+use tesla_ml::{Dataset, ForestConfig, GbtConfig, GradientBoosting, Mlp, MlpConfig, RandomForest};
 
 fn main() {
     let train_days = arg_f64("train-days", 3.0);
@@ -19,7 +17,11 @@ fn main() {
     let (train, test) = train_test_traces(train_days, test_days, 4242);
     let (x_train, y_train) = energy_dataset(&train, l, 3);
     let (x_test, y_test) = energy_dataset(&test, l, 3);
-    eprintln!("{} training examples, {} test examples", x_train.len(), x_test.len());
+    eprintln!(
+        "{} training examples, {} test examples",
+        x_train.len(),
+        x_test.len()
+    );
 
     // TESLA: the ridge energy sub-module trained through the real path.
     eprintln!("training TESLA energy sub-module (ridge, alpha = 1) …");
@@ -30,8 +32,9 @@ fn main() {
         .iter()
         .map(|row| {
             let setpoints = &row[..l];
-            let inlet: Vec<Vec<f64>> =
-                (0..n_a).map(|na| row[l + na * l..l + (na + 1) * l].to_vec()).collect();
+            let inlet: Vec<Vec<f64>> = (0..n_a)
+                .map(|na| row[l + na * l..l + (na + 1) * l].to_vec())
+                .collect();
             tesla_model.predict(setpoints, &inlet).expect("predict")
         })
         .collect();
@@ -40,7 +43,12 @@ fn main() {
     let mlp = Mlp::fit(
         &x_train,
         &y_train,
-        MlpConfig { hidden: vec![64, 64], epochs: 50, seed: 3, ..MlpConfig::default() },
+        MlpConfig {
+            hidden: vec![64, 64],
+            epochs: 50,
+            seed: 3,
+            ..MlpConfig::default()
+        },
     )
     .expect("MLP");
     let mlp_pred: Vec<f64> = x_test.iter().map(|r| mlp.predict(r)).collect();
@@ -91,17 +99,37 @@ fn main() {
         "Table 4: cooling energy MAPE (%)",
         &["model", "MAPE (%)", "paper (%)"],
         &[
-            vec!["TESLA (ours)".into(), format!("{m_tesla:.2}"), "7.90".into()],
+            vec![
+                "TESLA (ours)".into(),
+                format!("{m_tesla:.2}"),
+                "7.90".into(),
+            ],
             vec!["MLP [38]".into(), format!("{m_mlp:.2}"), "14.33".into()],
-            vec!["XGBoost [7] (GBT)".into(), format!("{m_gbt:.2}"), "13.41".into()],
-            vec!["Random Forest [26]".into(), format!("{m_rf:.2}"), "15.11".into()],
-            vec!["ridge + load futures (diagnostic)".into(), format!("{m_oracle:.2}"), "-".into()],
+            vec![
+                "XGBoost [7] (GBT)".into(),
+                format!("{m_gbt:.2}"),
+                "13.41".into(),
+            ],
+            vec![
+                "Random Forest [26]".into(),
+                format!("{m_rf:.2}"),
+                "15.11".into(),
+            ],
+            vec![
+                "ridge + load futures (diagnostic)".into(),
+                format!("{m_oracle:.2}"),
+                "-".into(),
+            ],
         ],
     );
     let best = m_tesla < m_mlp && m_tesla < m_gbt && m_tesla < m_rf;
     println!(
         "\nreproduction target: TESLA's linear sub-module beats every nonlinear baseline — {}",
-        if best { "HOLDS" } else { "ordering differs (see EXPERIMENTS.md)" }
+        if best {
+            "HOLDS"
+        } else {
+            "ordering differs (see EXPERIMENTS.md)"
+        }
     );
     println!(
         "the diagnostic row shows a linear model with explicit load features reaches the\n\

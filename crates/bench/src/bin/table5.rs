@@ -40,8 +40,7 @@ fn main() {
                 "== {} load, seed {seed}: running 4 controllers x {minutes} min …",
                 setting.name()
             );
-            let ctrls: [&mut dyn Controller; 4] =
-                [&mut fixed, &mut tesla, &mut lazic, &mut tsrl];
+            let ctrls: [&mut dyn Controller; 4] = [&mut fixed, &mut tesla, &mut lazic, &mut tsrl];
             for (slot, ctrl) in ctrls.into_iter().enumerate() {
                 let r = run_standard_episode(ctrl, setting, minutes, seed);
                 eprintln!("   {:<10} CE {:.1} kWh", r.controller, r.cooling_energy_kwh);
@@ -52,10 +51,15 @@ fn main() {
     }
 
     print_table(
-        &format!(
-            "Table 5: end-to-end performance ({minutes}-min episodes, {repeats} seed(s))"
-        ),
-        &["load", "metric", "Fix 23C", "TESLA", "Lazic [20]", "TSRL [8]"],
+        &format!("Table 5: end-to-end performance ({minutes}-min episodes, {repeats} seed(s))"),
+        &[
+            "load",
+            "metric",
+            "Fix 23C",
+            "TESLA",
+            "Lazic [20]",
+            "TSRL [8]",
+        ],
         &rows,
     );
     println!(

@@ -47,7 +47,10 @@ pub fn train_test_traces(train_days: f64, test_days: f64, seed: u64) -> (Trace, 
 fn cached_sweep(days: f64, seed: u64) -> Trace {
     let dir = PathBuf::from("bench_results");
     let _ = std::fs::create_dir_all(&dir);
-    let path = dir.join(format!("sweep_{}m_{seed:x}.csv", (days * 1440.0).round() as u64));
+    let path = dir.join(format!(
+        "sweep_{}m_{seed:x}.csv",
+        (days * 1440.0).round() as u64
+    ));
     if path.exists() {
         if let Ok(trace) = tesla_forecast::io::load_csv(&path) {
             let expected = (days * 1440.0).round() as usize;
@@ -56,8 +59,12 @@ fn cached_sweep(days: f64, seed: u64) -> Trace {
             }
         }
     }
-    let trace = generate_sweep_trace(&DatasetConfig { days, seed, ..DatasetConfig::default() })
-        .expect("sweep generation");
+    let trace = generate_sweep_trace(&DatasetConfig {
+        days,
+        seed,
+        ..DatasetConfig::default()
+    })
+    .expect("sweep generation");
     let _ = tesla_forecast::io::save_csv(&trace, &path);
     trace
 }
@@ -79,24 +86,24 @@ pub fn arg_f64(name: &str, default: f64) -> f64 {
 /// Evaluation points on a test trace: window indices with full lag + full
 /// horizon coverage, at `stride`.
 fn eval_points(trace: &Trace, l: usize, stride: usize) -> Vec<usize> {
-    (l - 1..trace.len().saturating_sub(l)).step_by(stride.max(1)).collect()
+    (l - 1..trace.len().saturating_sub(l))
+        .step_by(stride.max(1))
+        .collect()
 }
 
 /// Temperature-MAPE protocol (Table 3): predict every rack sensor over
 /// the `L`-step horizon using the *executed* future set-points, then
 /// MAPE against the realized temperatures.
-pub fn temperature_mape_tesla(
-    model: &DcTimeSeriesModel,
-    test: &Trace,
-    stride: usize,
-) -> f64 {
+pub fn temperature_mape_tesla(model: &DcTimeSeriesModel, test: &Trace, stride: usize) -> f64 {
     let l = model.config().horizon;
     let mut truth = Vec::new();
     let mut pred = Vec::new();
     for t in eval_points(test, l, stride) {
         let window = test.window_at(t, l).expect("window");
         let sps: Vec<f64> = (1..=l).map(|s| test.setpoint[t + s]).collect();
-        let Ok(p) = model.predict_with_setpoints(&window, &sps) else { continue };
+        let Ok(p) = model.predict_with_setpoints(&window, &sps) else {
+            continue;
+        };
         for k in 0..test.n_dc_sensors() {
             for step in 0..l {
                 truth.push(test.dc_temps[k][t + 1 + step]);
@@ -119,11 +126,13 @@ pub fn temperature_mape_recursive(
     for t in eval_points(test, l, stride) {
         let window = test.window_at(t, l).expect("window");
         let sps: Vec<f64> = (1..=l).map(|s| test.setpoint[t + s]).collect();
-        let Ok(roll) = model.predict_rollout(&window, &sps) else { continue };
-        for k in 0..test.n_dc_sensors() {
-            for step in 0..l {
+        let Ok(roll) = model.predict_rollout(&window, &sps) else {
+            continue;
+        };
+        for (k, row) in roll.iter().enumerate().take(test.n_dc_sensors()) {
+            for (step, &p) in row.iter().enumerate().take(l) {
                 truth.push(test.dc_temps[k][t + 1 + step]);
-                pred.push(roll[k][step]);
+                pred.push(p);
             }
         }
     }
@@ -216,10 +225,10 @@ pub fn temperature_mape_mlp(model: &RecursiveMlp, test: &Trace, l: usize, stride
         let window = test.window_at(t, l).expect("window");
         let sps: Vec<f64> = (1..=l).map(|s| test.setpoint[t + s]).collect();
         let roll = model.predict_rollout(&window, &sps);
-        for k in 0..test.n_dc_sensors() {
-            for step in 0..l {
+        for (k, row) in roll.iter().enumerate().take(test.n_dc_sensors()) {
+            for (step, &p) in row.iter().enumerate().take(l) {
                 truth.push(test.dc_temps[k][t + 1 + step]);
-                pred.push(roll[k][step]);
+                pred.push(p);
             }
         }
     }
@@ -302,7 +311,10 @@ pub fn sim_config() -> SimConfig {
 
 /// Trains a TESLA controller with Table 2 defaults on a sweep trace.
 pub fn trained_tesla(train: &Trace, seed: u64) -> tesla_core::TeslaController {
-    let cfg = tesla_core::TeslaConfig { seed, ..tesla_core::TeslaConfig::default() };
+    let cfg = tesla_core::TeslaConfig {
+        seed,
+        ..tesla_core::TeslaConfig::default()
+    };
     tesla_core::TeslaController::new(train, cfg).expect("TESLA training")
 }
 
@@ -329,21 +341,30 @@ pub fn run_trace_figure(
     let train_days = arg_f64("train-days", 3.0);
     let _ = train_days; // callers train before calling; flag listed for symmetry
     let minutes = arg_f64("minutes", 720.0) as usize;
-    let result =
-        run_standard_episode(controller, tesla_workload::LoadSetting::Medium, minutes, 88);
+    let result = run_standard_episode(controller, tesla_workload::LoadSetting::Medium, minutes, 88);
     let hours: Vec<f64> = (0..minutes).map(|m| m as f64 / 60.0).collect();
     let limit = vec![22.0; minutes];
 
     let above: usize = result.cold_aisle_max.iter().filter(|&&c| c > 22.0).count();
     print_table(
-        &format!("{figure}: {} under medium load ({minutes} min)", result.controller),
+        &format!(
+            "{figure}: {} under medium load ({minutes} min)",
+            result.controller
+        ),
         &["metric", "value"],
         &[
-            vec!["cooling energy (kWh)".into(), format!("{:.2}", result.cooling_energy_kwh)],
-            vec!["mean set-point (C)".into(),
-                 format!("{:.2}", tesla_linalg::stats::mean(&result.setpoints))],
-            vec!["mean inlet (C)".into(),
-                 format!("{:.2}", tesla_linalg::stats::mean(&result.inlet_avg))],
+            vec![
+                "cooling energy (kWh)".into(),
+                format!("{:.2}", result.cooling_energy_kwh),
+            ],
+            vec![
+                "mean set-point (C)".into(),
+                format!("{:.2}", tesla_linalg::stats::mean(&result.setpoints)),
+            ],
+            vec![
+                "mean inlet (C)".into(),
+                format!("{:.2}", tesla_linalg::stats::mean(&result.inlet_avg)),
+            ],
             vec!["mean |set-point - inlet| (C)".into(), {
                 let residual: f64 = result
                     .setpoints
@@ -354,10 +375,16 @@ pub fn run_trace_figure(
                     / minutes as f64;
                 format!("{residual:.2}")
             }],
-            vec!["mean ACU power (kW)".into(),
-                 format!("{:.2}", tesla_linalg::stats::mean(&result.acu_power))],
+            vec![
+                "mean ACU power (kW)".into(),
+                format!("{:.2}", tesla_linalg::stats::mean(&result.acu_power)),
+            ],
             vec!["max cold-aisle (C)".into(), {
-                let m = result.cold_aisle_max.iter().cloned().fold(f64::MIN, f64::max);
+                let m = result
+                    .cold_aisle_max
+                    .iter()
+                    .cloned()
+                    .fold(f64::MIN, f64::max);
                 format!("{m:.2}")
             }],
             vec!["minutes above 22 C limit".into(), format!("{above}")],
@@ -372,7 +399,12 @@ pub fn run_trace_figure(
     );
     println!(
         "{}",
-        plot::ascii_chart_titled("max cold-aisle temperature (C)", &result.cold_aisle_max, 100, 7)
+        plot::ascii_chart_titled(
+            "max cold-aisle temperature (C)",
+            &result.cold_aisle_max,
+            100,
+            7
+        )
     );
     println!(
         "{}",
@@ -380,7 +412,14 @@ pub fn run_trace_figure(
     );
     let path = export_csv(
         &format!("{}_{}", figure.to_lowercase(), result.controller),
-        &["hour", "setpoint_c", "inlet_c", "acu_power_kw", "cold_aisle_max_c", "limit_c"],
+        &[
+            "hour",
+            "setpoint_c",
+            "inlet_c",
+            "acu_power_kw",
+            "cold_aisle_max_c",
+            "limit_c",
+        ],
         &[
             &hours,
             &result.setpoints,
@@ -428,7 +467,10 @@ mod tests {
     #[test]
     fn traces_and_mape_protocol_smoke() {
         let (train, test) = train_test_traces(0.4, 0.2, 5);
-        let cfg = ModelConfig { horizon: 6, ..ModelConfig::default() };
+        let cfg = ModelConfig {
+            horizon: 6,
+            ..ModelConfig::default()
+        };
         let model = DcTimeSeriesModel::fit(&train, cfg).unwrap();
         let mape = temperature_mape_tesla(&model, &test, 23);
         assert!(mape.is_finite() && mape > 0.0 && mape < 50.0, "MAPE {mape}");
@@ -449,13 +491,24 @@ mod tests {
         let (train, test) = train_test_traces(0.4, 0.2, 5);
         let ar = RecursiveAr::fit(&train, 2, 0.0).unwrap();
         let m_ar = temperature_mape_recursive(&ar, &test, 6, 29);
-        assert!(m_ar.is_finite() && m_ar > 0.0 && m_ar < 50.0, "AR MAPE {m_ar}");
+        assert!(
+            m_ar.is_finite() && m_ar > 0.0 && m_ar < 50.0,
+            "AR MAPE {m_ar}"
+        );
         let mlp = RecursiveMlp::fit(
             &train,
-            MlpConfig { hidden: vec![16], epochs: 3, seed: 2, ..MlpConfig::default() },
+            MlpConfig {
+                hidden: vec![16],
+                epochs: 3,
+                seed: 2,
+                ..MlpConfig::default()
+            },
         );
         let m_mlp = temperature_mape_mlp(&mlp, &test, 6, 29);
-        assert!(m_mlp.is_finite() && m_mlp > 0.0 && m_mlp < 80.0, "MLP MAPE {m_mlp}");
+        assert!(
+            m_mlp.is_finite() && m_mlp > 0.0 && m_mlp < 80.0,
+            "MLP MAPE {m_mlp}"
+        );
     }
 
     #[test]
@@ -463,7 +516,12 @@ mod tests {
         let (train, _) = train_test_traces(0.3, 0.1, 8);
         let mlp = RecursiveMlp::fit(
             &train,
-            MlpConfig { hidden: vec![16], epochs: 4, seed: 1, ..MlpConfig::default() },
+            MlpConfig {
+                hidden: vec![16],
+                epochs: 4,
+                seed: 1,
+                ..MlpConfig::default()
+            },
         );
         let window = train.window_at(train.len() - 10, 6).unwrap();
         let roll = mlp.predict_rollout(&window, &[23.0; 6]);

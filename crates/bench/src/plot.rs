@@ -23,7 +23,11 @@ pub fn ascii_chart(series: &[f64], width: usize, height: usize) -> String {
 
     let min = sampled.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = sampled.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let span = if (max - min).abs() < 1e-12 { 1.0 } else { max - min };
+    let span = if (max - min).abs() < 1e-12 {
+        1.0
+    } else {
+        max - min
+    };
 
     let mut rows = vec![vec![' '; cols]; height];
     for (c, &v) in sampled.iter().enumerate() {

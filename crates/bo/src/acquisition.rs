@@ -123,7 +123,9 @@ mod tests {
     #[test]
     fn empty_candidates_ok() {
         let (gp_o, gp_c, xs) = fixture();
-        assert!(constrained_nei(&gp_o, &gp_c, &xs, &[], 64, 3).unwrap().is_empty());
+        assert!(constrained_nei(&gp_o, &gp_c, &xs, &[], 64, 3)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -150,7 +150,10 @@ mod tests {
             m.record((i as f64).sin(), (i as f64).cos());
         }
         assert_eq!(m.bootstrap_variances(500, 9), m.bootstrap_variances(500, 9));
-        assert_ne!(m.bootstrap_variances(500, 9), m.bootstrap_variances(500, 10));
+        assert_ne!(
+            m.bootstrap_variances(500, 9),
+            m.bootstrap_variances(500, 10)
+        );
     }
 
     #[test]

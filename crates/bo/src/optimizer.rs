@@ -71,13 +71,19 @@ impl BayesianOptimizer {
             return Err(BoError::BadConfig("bounds must satisfy min < max".into()));
         }
         if config.n_init < 2 || config.n_grid < 4 {
-            return Err(BoError::BadConfig("need n_init >= 2 and n_grid >= 4".into()));
+            return Err(BoError::BadConfig(
+                "need n_init >= 2 and n_grid >= 4".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&config.feasibility_threshold) {
-            return Err(BoError::BadConfig("feasibility_threshold must be in [0,1]".into()));
+            return Err(BoError::BadConfig(
+                "feasibility_threshold must be in [0,1]".into(),
+            ));
         }
         if config.lengthscales.is_empty() {
-            return Err(BoError::BadConfig("lengthscale grid must be non-empty".into()));
+            return Err(BoError::BadConfig(
+                "lengthscale grid must be non-empty".into(),
+            ));
         }
         Ok(BayesianOptimizer { config })
     }
@@ -281,11 +287,7 @@ mod tests {
         // the answer must sit near 27.
         let opt = optimizer();
         let out = opt
-            .optimize(
-                |s| (-(s - 30.0) * (s - 30.0), s - 27.0),
-                (1e-6, 1e-6),
-                1,
-            )
+            .optimize(|s| (-(s - 30.0) * (s - 30.0), s - 27.0), (1e-6, 1e-6), 1)
             .unwrap();
         assert!(!out.fallback);
         assert!(
@@ -319,11 +321,7 @@ mod tests {
         // bounded, in-range answer (and not crash).
         let opt = optimizer();
         let out = opt
-            .optimize(
-                |s| (-(s - 25.0) * (s - 25.0), s - 30.0),
-                (25.0, 4.0),
-                4,
-            )
+            .optimize(|s| (-(s - 25.0) * (s - 25.0), s - 30.0), (25.0, 4.0), 4)
             .unwrap();
         assert!((20.0..=35.0).contains(&out.setpoint));
     }
@@ -349,7 +347,11 @@ mod tests {
             ..BoConfig::default()
         })
         .is_err());
-        assert!(BayesianOptimizer::new(BoConfig { n_init: 1, ..BoConfig::default() }).is_err());
+        assert!(BayesianOptimizer::new(BoConfig {
+            n_init: 1,
+            ..BoConfig::default()
+        })
+        .is_err());
         assert!(BayesianOptimizer::new(BoConfig {
             feasibility_threshold: 1.5,
             ..BoConfig::default()

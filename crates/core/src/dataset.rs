@@ -60,7 +60,9 @@ pub fn push_observation(trace: &mut Trace, obs: &Observation) {
 /// setting each, set-point bouncing across `[S_min, S_max]`.
 pub fn generate_sweep_trace(cfg: &DatasetConfig) -> Result<Trace, CoreError> {
     if cfg.days <= 0.0 || cfg.sweep_step_c <= 0.0 || cfg.sweep_dwell_min == 0 {
-        return Err(CoreError::Config("days, sweep step and dwell must be positive".into()));
+        return Err(CoreError::Config(
+            "days, sweep step and dwell must be positive".into(),
+        ));
     }
     let minutes = (cfg.days * 24.0 * 60.0).round() as usize;
     let mut testbed = Testbed::new(cfg.sim.clone(), cfg.seed)?;
@@ -70,8 +72,7 @@ pub fn generate_sweep_trace(cfg: &DatasetConfig) -> Result<Trace, CoreError> {
 
     let segment_min = 12 * 60;
     let (smin, smax) = (cfg.sim.setpoint_min, cfg.sim.setpoint_max);
-    let mut profile =
-        DiurnalProfile::new(random_setting(&mut rng), segment_min as f64 * 60.0);
+    let mut profile = DiurnalProfile::new(random_setting(&mut rng), segment_min as f64 * 60.0);
 
     // Brief warm-up so the trace starts from realistic thermal state.
     testbed.write_setpoint(23.0);
@@ -118,7 +119,11 @@ mod tests {
     use super::*;
 
     fn small_cfg(days: f64, seed: u64) -> DatasetConfig {
-        DatasetConfig { days, seed, ..DatasetConfig::default() }
+        DatasetConfig {
+            days,
+            seed,
+            ..DatasetConfig::default()
+        }
     }
 
     #[test]
@@ -136,7 +141,11 @@ mod tests {
         let cfg = small_cfg(0.3, 2); // 432 minutes: sweep reaches ~41 levels
         let trace = generate_sweep_trace(&cfg).unwrap();
         let min = trace.setpoint.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = trace.setpoint.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let max = trace
+            .setpoint
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         assert!(min <= 21.0, "sweep floor {min}");
         assert!(max >= 28.0, "sweep reached {max}");
         // Steps are 0.5 °C (allow for the register quantization).

@@ -12,7 +12,7 @@ use crate::CoreError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tesla_forecast::Trace;
-use tesla_sim::{SimConfig, Testbed};
+use tesla_sim::{FaultPlan, SimConfig, Testbed};
 use tesla_workload::{DiurnalProfile, LoadSetting, Orchestrator, Placement};
 
 /// Episode parameters.
@@ -33,6 +33,9 @@ pub struct EpisodeConfig {
     pub placement: Placement,
     /// RNG seed (shared by testbed and workload).
     pub seed: u64,
+    /// Fault-injection plan installed on the testbed (default: none).
+    /// Windows are in testbed simulation minutes, i.e. warm-up included.
+    pub faults: FaultPlan,
 }
 
 impl Default for EpisodeConfig {
@@ -45,6 +48,7 @@ impl Default for EpisodeConfig {
             d_allowed: 22.0,
             placement: Placement::Spread,
             seed: 0,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -78,6 +82,9 @@ pub struct EvalResult {
     pub trace: Trace,
     /// Index in `trace` where metering started.
     pub metered_from: usize,
+    /// Minutes the supervised runtime spent in safe mode (0 for
+    /// unsupervised runs).
+    pub safe_mode_minutes: u64,
 }
 
 impl EvalResult {
@@ -108,12 +115,11 @@ pub fn run_episode(
     config: &EpisodeConfig,
 ) -> Result<EvalResult, CoreError> {
     let mut testbed = Testbed::new(config.sim.clone(), config.seed)?;
+    testbed.set_fault_plan(config.faults.clone());
     let mut orch = Orchestrator::with_placement(config.sim.n_servers, config.placement);
-    let mut profile =
-        DiurnalProfile::new(config.setting, config.minutes as f64 * 60.0);
+    let mut profile = DiurnalProfile::new(config.setting, config.minutes as f64 * 60.0);
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0xEE);
-    let mut trace =
-        Trace::with_sensors(config.sim.n_acu_sensors, config.sim.n_dc_sensors);
+    let mut trace = Trace::with_sensors(config.sim.n_acu_sensors, config.sim.n_dc_sensors);
 
     controller.reset();
     testbed.write_setpoint(23.0);
@@ -178,6 +184,7 @@ pub fn run_episode(
         server_energy_kwh,
         trace,
         metered_from,
+        safe_mode_minutes: 0,
     })
 }
 

@@ -14,7 +14,10 @@ pub struct FixedController {
 impl FixedController {
     /// Creates the controller.
     pub fn new(setpoint: f64) -> Self {
-        FixedController { setpoint, name: format!("fixed-{setpoint:.0}C") }
+        FixedController {
+            setpoint,
+            name: format!("fixed-{setpoint:.0}C"),
+        }
     }
 
     /// The configured set-point.

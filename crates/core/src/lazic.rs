@@ -75,7 +75,11 @@ impl LazicController {
             return Err(CoreError::Config("invalid Lazic bounds/grid".into()));
         }
         let model = RecursiveAr::fit(trace, config.order, 0.0)?;
-        Ok(LazicController { model, config, last_setpoint: None })
+        Ok(LazicController {
+            model,
+            config,
+            last_setpoint: None,
+        })
     }
 
     /// The configuration.
@@ -118,7 +122,9 @@ impl Controller for LazicController {
         // whose predicted max cold-aisle temperature stays below the
         // limit.
         let (lo, hi) = self.config.bounds;
-        let prev = self.last_setpoint.unwrap_or(self.config.cold_start_setpoint);
+        let prev = self
+            .last_setpoint
+            .unwrap_or(self.config.cold_start_setpoint);
         let hi = hi.min(prev + self.config.max_step_c);
         let lo_local = lo.max(prev - self.config.max_step_c);
         let mut s = hi;
@@ -149,7 +155,11 @@ mod tests {
     use crate::dataset::{generate_sweep_trace, DatasetConfig};
 
     fn controller() -> (LazicController, Trace) {
-        let dcfg = DatasetConfig { days: 0.5, seed: 21, ..DatasetConfig::default() };
+        let dcfg = DatasetConfig {
+            days: 0.5,
+            seed: 21,
+            ..DatasetConfig::default()
+        };
         let trace = generate_sweep_trace(&dcfg).unwrap();
         let ctrl = LazicController::new(&trace, LazicConfig::default()).unwrap();
         (ctrl, trace)
@@ -173,7 +183,10 @@ mod tests {
             let m_here = ctrl.predicted_max(&trace, sp).unwrap();
             let m_above = ctrl.predicted_max(&trace, sp + 0.25).unwrap();
             assert!(m_here < 22.0);
-            assert!(m_above >= 22.0, "a higher set-point should have been infeasible");
+            assert!(
+                m_above >= 22.0,
+                "a higher set-point should have been infeasible"
+            );
         }
     }
 
@@ -195,11 +208,21 @@ mod tests {
 
     #[test]
     fn invalid_config_rejected() {
-        let dcfg = DatasetConfig { days: 0.3, seed: 2, ..DatasetConfig::default() };
+        let dcfg = DatasetConfig {
+            days: 0.3,
+            seed: 2,
+            ..DatasetConfig::default()
+        };
         let trace = generate_sweep_trace(&dcfg).unwrap();
-        let cfg = LazicConfig { bounds: (35.0, 20.0), ..LazicConfig::default() };
+        let cfg = LazicConfig {
+            bounds: (35.0, 20.0),
+            ..LazicConfig::default()
+        };
         assert!(LazicController::new(&trace, cfg).is_err());
-        let cfg = LazicConfig { grid_step: 0.0, ..LazicConfig::default() };
+        let cfg = LazicConfig {
+            grid_step: 0.0,
+            ..LazicConfig::default()
+        };
         assert!(LazicController::new(&trace, cfg).is_err());
     }
 }

@@ -22,7 +22,13 @@
 //!   metrics (cooling energy, thermal-safety violation, cooling
 //!   interruption).
 //! * [`runtime`] — the §4-faithful threaded producer/consumer deployment
-//!   over a message queue.
+//!   over a message queue, with safe-mode fallback when the consumer dies.
+//! * [`supervisor`] — the robustness layer: decision watchdog, retrying
+//!   Modbus writes, and a three-rung degradation ladder
+//!   (normal → hold-last-safe → `S_min` safe mode) with hysteresis, plus
+//!   a supervised episode runner that sanitizes telemetry through
+//!   [`tesla_telemetry::HealthMonitor`]s and scores thermal safety on
+//!   ground truth.
 
 pub mod controller;
 pub mod dataset;
@@ -32,6 +38,7 @@ pub mod lazic;
 pub mod objective;
 pub mod runtime;
 pub mod smoothing;
+pub mod supervisor;
 pub mod tesla;
 pub mod tsrl;
 
@@ -39,7 +46,11 @@ pub use controller::Controller;
 pub use experiment::{run_episode, EpisodeConfig, EvalResult};
 pub use fixed::FixedController;
 pub use lazic::LazicController;
+pub use runtime::run_episode_threaded;
 pub use smoothing::SmoothingBuffer;
+pub use supervisor::{
+    run_supervised_episode, Rung, StressReason, Supervisor, SupervisorConfig, SupervisorEvent,
+};
 pub use tesla::{TeslaConfig, TeslaController};
 pub use tsrl::{TsrlConfig, TsrlController};
 

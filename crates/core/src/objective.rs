@@ -57,7 +57,12 @@ mod tests {
     use super::*;
 
     fn pred(inlet: Vec<Vec<f64>>, dc: Vec<Vec<f64>>, energy: f64) -> Prediction {
-        Prediction { power: vec![], inlet, dc, energy }
+        Prediction {
+            power: vec![],
+            inlet,
+            dc,
+            energy,
+        }
     }
 
     #[test]

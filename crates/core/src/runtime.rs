@@ -12,42 +12,69 @@
 //! collecting observations into the shared [`TsdbStore`]) and the
 //! consumer thread owns the controller; set-points travel back on a
 //! second channel and are applied before the next sampling period.
+//!
+//! Robustness (this reproduction's supervised extension): telemetry
+//! snapshots are pushed with the queue's drop-oldest policy so a stalled
+//! consumer can never block the producer; set-point writes go through the
+//! supervisor's retrying Modbus path; and if the consumer dies (panic or
+//! hang-up) the producer *continues the episode at the safe-mode
+//! set-point* instead of aborting — a dead optimizer must not mean dead
+//! cooling control.
 
 use crate::controller::Controller;
 use crate::dataset::push_observation;
 use crate::experiment::{EpisodeConfig, EvalResult};
+use crate::supervisor::{StressReason, Supervisor, SupervisorConfig};
 use crate::CoreError;
-use crossbeam::channel::bounded;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
+use std::time::Duration;
 use tesla_forecast::Trace;
 use tesla_sim::Testbed;
-use tesla_telemetry::{Collector, TsdbStore};
+use tesla_telemetry::{Collector, TelemetryQueue, TsdbStore};
 use tesla_workload::{DiurnalProfile, Orchestrator};
+
+/// How long the producer waits for a decision before treating the
+/// consumer as lost. Generous: a blown budget here means the thread is
+/// gone or wedged, not merely slow.
+const DECISION_WAIT: Duration = Duration::from_secs(60);
 
 /// Runs an episode with the producer/consumer split of §4. Telemetry is
 /// additionally collected into `store` (the InfluxDB stand-in), which the
 /// caller can inspect afterwards.
+///
+/// A consumer that panics or hangs up mid-episode is survived: the
+/// producer escalates straight to safe mode and finishes the episode at
+/// the safe set-point, reporting the time spent there in
+/// [`EvalResult::safe_mode_minutes`].
 pub fn run_episode_threaded(
     mut controller: Box<dyn Controller>,
     config: &EpisodeConfig,
     store: Arc<TsdbStore>,
 ) -> Result<EvalResult, CoreError> {
     let mut testbed = Testbed::new(config.sim.clone(), config.seed)?;
+    testbed.set_fault_plan(config.faults.clone());
     let mut orch = Orchestrator::with_placement(config.sim.n_servers, config.placement);
     let mut profile = DiurnalProfile::new(config.setting, config.minutes as f64 * 60.0);
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0xEE);
+    let mut supervisor = Supervisor::new(SupervisorConfig {
+        d_allowed: config.d_allowed,
+        ..SupervisorConfig::default()
+    });
 
     controller.reset();
     testbed.write_setpoint(23.0);
 
     // Queue of telemetry snapshots (producer → consumer) and decided
-    // set-points (consumer → producer). Capacity 4: bounded backpressure.
-    let (obs_tx, obs_rx) = bounded::<Trace>(4);
-    let (sp_tx, sp_rx) = bounded::<f64>(4);
+    // set-points (consumer → producer). Capacity 4: bounded backpressure,
+    // drop-oldest on overflow.
+    let obs_q: TelemetryQueue<Trace> = TelemetryQueue::new(4);
+    let sp_q: TelemetryQueue<f64> = TelemetryQueue::new(4);
 
     let name = controller.name().to_string();
+    let obs_rx = obs_q.receiver();
+    let sp_tx = sp_q.sender();
     let consumer = std::thread::spawn(move || {
         // Consumer: one decision per snapshot, until the producer hangs up.
         while let Ok(history) = obs_rx.recv() {
@@ -58,8 +85,6 @@ pub fn run_episode_threaded(
         }
     });
 
-    // Producer loop. Any early return must still hang up the queue so the
-    // consumer exits, hence the inner function + explicit drop + join.
     let result = producer_loop(
         &mut testbed,
         &mut orch,
@@ -67,14 +92,16 @@ pub fn run_episode_threaded(
         &mut rng,
         config,
         &store,
-        &obs_tx,
-        &sp_rx,
+        &obs_q,
+        &sp_q,
+        &mut supervisor,
         name,
     );
-    drop(obs_tx);
-    if consumer.join().is_err() {
-        return Err(CoreError::Config("consumer thread panicked".into()));
-    }
+    // Hang up the snapshot queue so the consumer exits, then reap it. A
+    // panicked consumer was already survived by the safe-mode fallback;
+    // the join result is only bookkeeping.
+    drop(obs_q);
+    let _ = consumer.join();
     result
 }
 
@@ -86,8 +113,9 @@ fn producer_loop(
     rng: &mut StdRng,
     config: &EpisodeConfig,
     store: &TsdbStore,
-    obs_tx: &crossbeam::channel::Sender<Trace>,
-    sp_rx: &crossbeam::channel::Receiver<f64>,
+    obs_q: &TelemetryQueue<Trace>,
+    sp_q: &TelemetryQueue<f64>,
+    supervisor: &mut Supervisor,
     name: String,
 ) -> Result<EvalResult, CoreError> {
     let mut trace = Trace::with_sensors(config.sim.n_acu_sensors, config.sim.n_dc_sensors);
@@ -110,19 +138,46 @@ fn producer_loop(
     let mut acu_power = Vec::new();
     let mut avg_server_power = Vec::new();
     let mut server_energy_kwh = 0.0;
+    let mut consumer_lost = false;
 
+    let (sp_min, sp_max) = (config.sim.setpoint_min, config.sim.setpoint_max);
     for m in 0..config.minutes {
-        // Producer → consumer: current history snapshot.
-        obs_tx
-            .send(trace.clone())
-            .map_err(|_| CoreError::Config("consumer hung up".into()))?;
-        // Consumer → producer: the decided set-point. Waiting for the
-        // decision each period mirrors the paper's synchronous 1-minute
-        // control step.
-        let sp = sp_rx
-            .recv()
-            .map_err(|_| CoreError::Config("consumer hung up".into()))?;
-        testbed.write_setpoint(sp);
+        if !consumer_lost {
+            // Producer → consumer: current history snapshot (drop-oldest,
+            // so a wedged consumer can't stall the control loop). Then
+            // consumer → producer: the decided set-point; waiting for the
+            // decision each period mirrors the paper's synchronous
+            // 1-minute control step.
+            let decided = obs_q
+                .push_latest(trace.clone())
+                .ok()
+                .and_then(|_| sp_q.pop_timeout(DECISION_WAIT).ok());
+            match decided {
+                Some(sp) => {
+                    // Clamp to the writable spec (matching the synchronous
+                    // runner's device-side clamp), then write through the
+                    // retrying fault-aware path. A failed write leaves the
+                    // previous set-point latched.
+                    let sp = supervisor.resolve_setpoint(sp.clamp(sp_min, sp_max));
+                    let _ = supervisor.write_with_retry(testbed, sp);
+                }
+                None => {
+                    // Consumer dead or wedged past any plausible decision
+                    // time: degrade to safe mode for the rest of the
+                    // episode rather than abandoning the plant mid-run.
+                    consumer_lost = true;
+                    supervisor.force_safe_mode(m, StressReason::ConsumerLost);
+                }
+            }
+        }
+        if consumer_lost {
+            // The decision process is gone for good: keep the stress
+            // signal asserted so clean minutes cannot "recover" a
+            // controller that no longer exists, and hold S_min.
+            supervisor.note_stress(StressReason::ConsumerLost);
+            let safe = supervisor.config().safe_setpoint.clamp(sp_min, sp_max);
+            let _ = supervisor.write_with_retry(testbed, safe);
+        }
 
         let target = profile.sample(m as f64 * 60.0, rng);
         let utils = orch.tick(config.sim.sample_period_s, target, rng);
@@ -144,6 +199,14 @@ fn producer_loop(
         server_energy_kwh +=
             obs.server_powers_kw.iter().sum::<f64>() * config.sim.sample_period_s / 3600.0;
         push_observation(&mut trace, &obs);
+
+        // Close the supervised minute. Only infrastructure stress (failed
+        // writes, consumer loss) feeds the ladder here: this runtime does
+        // not sanitize sensors, so raw thermal readings are not a reliable
+        // stress signal — thermal- and telemetry-aware supervision lives
+        // in `run_supervised_episode`. Fault-free runs therefore execute
+        // physics identical to the synchronous runner.
+        supervisor.end_of_minute(m, 0.0, f64::NEG_INFINITY, testbed.setpoint());
     }
 
     Ok(EvalResult {
@@ -160,6 +223,7 @@ fn producer_loop(
         server_energy_kwh,
         trace,
         metered_from,
+        safe_mode_minutes: supervisor.safe_mode_minutes(),
     })
 }
 
@@ -180,11 +244,15 @@ mod tests {
             seed: 5,
             ..EpisodeConfig::default()
         };
-        let result =
-            run_episode_threaded(Box::new(FixedController::new(23.0)), &cfg, Arc::clone(&store))
-                .unwrap();
+        let result = run_episode_threaded(
+            Box::new(FixedController::new(23.0)),
+            &cfg,
+            Arc::clone(&store),
+        )
+        .unwrap();
         assert_eq!(result.setpoints.len(), 40);
         assert!(result.cooling_energy_kwh > 0.0);
+        assert_eq!(result.safe_mode_minutes, 0);
         // The store saw every sample (warm-up + metered).
         assert_eq!(store.len(metric::ACU_POWER), 50);
         assert_eq!(store.len(&metric::dc_temp(0)), 50);
@@ -208,5 +276,47 @@ mod tests {
         let synchronous = crate::experiment::run_episode(&mut sync_ctrl, &cfg).unwrap();
         assert_eq!(threaded.cooling_energy_kwh, synchronous.cooling_energy_kwh);
         assert_eq!(threaded.cold_aisle_max, synchronous.cold_aisle_max);
+    }
+
+    /// A controller that panics mid-episode, killing the consumer thread.
+    struct PanickyController {
+        decisions_left: u32,
+    }
+
+    impl Controller for PanickyController {
+        fn name(&self) -> &str {
+            "panicky"
+        }
+        fn decide(&mut self, _history: &Trace) -> f64 {
+            if self.decisions_left == 0 {
+                panic!("controller crashed");
+            }
+            self.decisions_left -= 1;
+            24.0
+        }
+    }
+
+    #[test]
+    fn dead_consumer_degrades_to_safe_mode_instead_of_aborting() {
+        let store = Arc::new(TsdbStore::new());
+        let cfg = EpisodeConfig {
+            setting: LoadSetting::Medium,
+            minutes: 30,
+            warmup_minutes: 10,
+            seed: 5,
+            ..EpisodeConfig::default()
+        };
+        let result = run_episode_threaded(
+            Box::new(PanickyController { decisions_left: 5 }),
+            &cfg,
+            store,
+        )
+        .unwrap();
+        // The episode ran to completion with finite metrics...
+        assert_eq!(result.setpoints.len(), 30);
+        assert!(result.cooling_energy_kwh.is_finite() && result.cooling_energy_kwh > 0.0);
+        // ...and the tail of the run held the safe-mode set-point.
+        assert!(result.safe_mode_minutes > 0, "safe mode must have engaged");
+        assert_eq!(*result.setpoints.last().unwrap(), 20.0);
     }
 }

@@ -18,7 +18,10 @@ pub struct SmoothingBuffer {
 impl SmoothingBuffer {
     /// Creates a buffer of length `n` (min 1).
     pub fn new(n: usize) -> Self {
-        SmoothingBuffer { capacity: n.max(1), values: VecDeque::new() }
+        SmoothingBuffer {
+            capacity: n.max(1),
+            values: VecDeque::new(),
+        }
     }
 
     /// Buffer capacity `N`.

@@ -1,0 +1,877 @@
+//! Supervised execution: watchdog, retrying writes, degradation ladder.
+//!
+//! §3.3 gives TESLA a single backup strategy (fall back to `S_min` when
+//! no candidate is feasible). A deployment needs more: the decision
+//! process can hang, the Modbus write can time out, the telemetry can
+//! rot. [`Supervisor`] wraps any [`Controller`] with:
+//!
+//! * a **decision watchdog** — a wall-clock budget per decision; an
+//!   over-budget decision is discarded in favour of the last safe
+//!   set-point;
+//! * **retrying set-point writes** — transient Modbus failures are
+//!   retried with exponential backoff before being declared failed;
+//! * a three-rung **degradation ladder** with hysteresis:
+//!
+//!   | rung | behaviour |
+//!   |------|-----------|
+//!   | `Normal` | execute the controller's decisions |
+//!   | `HoldLastSafe` | ignore the controller; hold the last set-point executed while healthy |
+//!   | `SafeMode` | command `S_min` (maximum cooling) |
+//!
+//!   Stress (watchdog trips, failed writes, quarantined telemetry,
+//!   observed thermal violations) must persist for `escalate_after`
+//!   consecutive minutes to climb a rung; recovery requires
+//!   `recover_after` consecutive clean minutes to descend one. The
+//!   asymmetry (`recover_after > escalate_after`) is the hysteresis that
+//!   prevents rung oscillation at a stress threshold.
+//!
+//! Two refinements keep recovery itself from destabilizing the loop.
+//! Descending from `SafeMode`, the hold rung *ramps* the set-point back
+//! up at `recovery_slew_c_per_min` instead of snapping to `last_safe`
+//! (the room sits far below it after a safe-mode excursion; a step
+//! overshoots the thermal limit and re-escalates — a limit cycle).
+//! Downward moves — and safe mode itself — are never slewed: cooling
+//! harder is always safe. And an *observed* thermal violation pulls
+//! `last_safe` below the set-point that just proved unsafe
+//! (`violation_backoff_c`), so the ladder never re-holds a stale value
+//! the current load has outgrown.
+//!
+//! Every transition is logged with its minute and dominant reason, and
+//! the log is queryable after the episode.
+
+use crate::controller::Controller;
+use crate::dataset::push_observation;
+use crate::experiment::{EpisodeConfig, EvalResult};
+use crate::CoreError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+use tesla_forecast::Trace;
+use tesla_sim::{SimError, Testbed};
+use tesla_telemetry::{HealthConfig, HealthMonitor};
+use tesla_workload::{DiurnalProfile, Orchestrator};
+
+/// The degradation ladder's rungs, mildest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rung {
+    /// Execute the wrapped controller's decisions.
+    Normal,
+    /// Hold the last set-point that was executed while healthy.
+    HoldLastSafe,
+    /// Command the safe-mode set-point (`S_min`, maximum cooling).
+    SafeMode,
+}
+
+impl Rung {
+    fn escalated(self) -> Rung {
+        match self {
+            Rung::Normal => Rung::HoldLastSafe,
+            _ => Rung::SafeMode,
+        }
+    }
+
+    fn recovered(self) -> Rung {
+        match self {
+            Rung::SafeMode => Rung::HoldLastSafe,
+            _ => Rung::Normal,
+        }
+    }
+}
+
+/// Why the supervisor considered a minute stressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StressReason {
+    /// The controller blew its decision budget.
+    Watchdog,
+    /// The set-point write failed after all retries.
+    WriteFailed,
+    /// Too much telemetry is quarantined.
+    Telemetry,
+    /// A cold-aisle sensor (sanitized) read above the limit.
+    ThermalViolation,
+    /// The decision process died entirely (threaded runtime).
+    ConsumerLost,
+}
+
+/// One ladder transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorEvent {
+    /// Metered minute index the transition happened at.
+    pub minute: usize,
+    /// Rung before.
+    pub from: Rung,
+    /// Rung after.
+    pub to: Rung,
+    /// Dominant stress reason (recovery transitions carry the reason
+    /// that originally caused the climb).
+    pub reason: StressReason,
+}
+
+/// Supervisor thresholds and budgets.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Wall-clock budget per decision, milliseconds.
+    pub decision_budget_ms: u64,
+    /// Set-point write attempts per minute before declaring failure.
+    pub max_write_attempts: u32,
+    /// Base backoff between write retries, milliseconds (doubles per
+    /// attempt).
+    pub retry_backoff_ms: u64,
+    /// Consecutive stressed minutes before climbing one rung.
+    pub escalate_after: u32,
+    /// Consecutive clean minutes before descending one rung.
+    pub recover_after: u32,
+    /// Quarantined fraction of cold-aisle telemetry counting as stress.
+    pub quarantine_stress_frac: f64,
+    /// Safe-mode set-point, °C (`S_min`).
+    pub safe_setpoint: f64,
+    /// Cold-aisle limit whose violation counts as stress, °C.
+    pub d_allowed: f64,
+    /// Maximum *upward* set-point movement per minute while at
+    /// `HoldLastSafe`, °C. After a safe-mode excursion the room can sit
+    /// far below the hold target; snapping back in one step overshoots
+    /// the thermal limit and re-escalates (a limit cycle). Downward moves
+    /// are never limited — cooling harder is always safe.
+    pub recovery_slew_c_per_min: f64,
+    /// How far below the executed set-point `last_safe` is pulled when a
+    /// thermal violation is observed, °C. A violation proves the executed
+    /// value unsafe at the current load, so holding it again would just
+    /// repeat the violation.
+    pub violation_backoff_c: f64,
+    /// Early-warning band below `d_allowed`, °C. An observed cold-aisle
+    /// max inside the band already triggers the `last_safe` backoff —
+    /// but not the stress signal — so a recovery ramp turns around
+    /// *before* the thermal lag carries the room across the limit.
+    pub thermal_warn_margin_c: f64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            decision_budget_ms: 5_000,
+            max_write_attempts: 4,
+            retry_backoff_ms: 1,
+            escalate_after: 3,
+            recover_after: 10,
+            quarantine_stress_frac: 0.25,
+            safe_setpoint: 20.0,
+            d_allowed: 22.0,
+            recovery_slew_c_per_min: 0.25,
+            violation_backoff_c: 1.0,
+            thermal_warn_margin_c: 1.0,
+        }
+    }
+}
+
+/// Wraps a [`Controller`] with the watchdog, retrying writes, and the
+/// degradation ladder.
+#[derive(Debug)]
+pub struct Supervisor {
+    cfg: SupervisorConfig,
+    rung: Rung,
+    stress_streak: u32,
+    clean_streak: u32,
+    /// Stress reason pending attribution for the next escalation.
+    pending_reason: Option<StressReason>,
+    /// Reason behind the current elevated rung (for recovery events).
+    elevated_reason: Option<StressReason>,
+    last_safe_setpoint: f64,
+    /// Set-point actually executed last minute (ramp base for recovery).
+    last_executed: Option<f64>,
+    events: Vec<SupervisorEvent>,
+    safe_mode_minutes: u64,
+    hold_minutes: u64,
+    watchdog_trips: u64,
+    write_failures: u64,
+    write_retries: u64,
+}
+
+impl Supervisor {
+    /// A supervisor at rung `Normal` with `cfg`'s thresholds.
+    pub fn new(cfg: SupervisorConfig) -> Self {
+        let last_safe_setpoint = 23.0_f64.max(cfg.safe_setpoint);
+        Supervisor {
+            cfg,
+            rung: Rung::Normal,
+            stress_streak: 0,
+            clean_streak: 0,
+            pending_reason: None,
+            elevated_reason: None,
+            last_safe_setpoint,
+            last_executed: None,
+            events: Vec::new(),
+            safe_mode_minutes: 0,
+            hold_minutes: 0,
+            watchdog_trips: 0,
+            write_failures: 0,
+            write_retries: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SupervisorConfig {
+        &self.cfg
+    }
+
+    /// Current rung.
+    pub fn rung(&self) -> Rung {
+        self.rung
+    }
+
+    /// The ladder's transition log.
+    pub fn events(&self) -> &[SupervisorEvent] {
+        &self.events
+    }
+
+    /// Minutes spent at `SafeMode`.
+    pub fn safe_mode_minutes(&self) -> u64 {
+        self.safe_mode_minutes
+    }
+
+    /// Minutes spent at `HoldLastSafe`.
+    pub fn hold_minutes(&self) -> u64 {
+        self.hold_minutes
+    }
+
+    /// Decisions discarded for blowing the budget.
+    pub fn watchdog_trips(&self) -> u64 {
+        self.watchdog_trips
+    }
+
+    /// Write attempts that failed after all retries.
+    pub fn write_failures(&self) -> u64 {
+        self.write_failures
+    }
+
+    /// Individual write retries performed.
+    pub fn write_retries(&self) -> u64 {
+        self.write_retries
+    }
+
+    /// The hold-rung target: `last_safe`, approached from the last
+    /// executed set-point at no more than the recovery slew rate when
+    /// moving *up* (reducing cooling). Downward moves are immediate.
+    fn hold_target(&self) -> f64 {
+        let target = self.last_safe_setpoint;
+        match self.last_executed {
+            Some(prev) if target > prev => {
+                (prev + self.cfg.recovery_slew_c_per_min.max(0.0)).min(target)
+            }
+            _ => target,
+        }
+    }
+
+    /// The set-point the ladder would execute if the controller proposed
+    /// `proposed` right now.
+    pub fn resolve_setpoint(&self, proposed: f64) -> f64 {
+        match self.rung {
+            Rung::Normal => proposed,
+            Rung::HoldLastSafe => self.hold_target(),
+            // Safe mode jumps straight to S_min: the safety response must
+            // be fast; only the recovery back up is slewed.
+            Rung::SafeMode => self.cfg.safe_setpoint,
+        }
+    }
+
+    /// Runs one decision under the watchdog and resolves it through the
+    /// ladder. Returns the set-point to execute.
+    pub fn decide(&mut self, controller: &mut dyn Controller, history: &Trace) -> f64 {
+        let t0 = Instant::now();
+        let proposed = controller.decide(history);
+        let over_budget = t0.elapsed() > Duration::from_millis(self.cfg.decision_budget_ms);
+        if over_budget {
+            self.watchdog_trips += 1;
+            self.note_stress(StressReason::Watchdog);
+            // The decision is stale; hold the last safe value instead
+            // (unless the ladder already demands something stronger).
+            return match self.rung {
+                Rung::SafeMode => self.cfg.safe_setpoint,
+                _ => self.hold_target(),
+            };
+        }
+        self.resolve_setpoint(proposed)
+    }
+
+    /// Writes `sp` to the testbed, retrying transient Modbus failures
+    /// (timeouts, device rejections) with exponential backoff. Validation
+    /// errors (out-of-spec set-points) are not retried — retrying cannot
+    /// fix them. Returns the quantized set-point latched, or the error
+    /// from the final attempt.
+    pub fn write_with_retry(&mut self, testbed: &mut Testbed, sp: f64) -> Result<f64, SimError> {
+        let mut attempt = 0u32;
+        loop {
+            match testbed.try_write_setpoint(sp) {
+                Ok(q) => return Ok(q),
+                Err(e @ (SimError::WriteTimeout | SimError::RegisterRejected(_))) => {
+                    attempt += 1;
+                    if attempt >= self.cfg.max_write_attempts {
+                        self.write_failures += 1;
+                        self.note_stress(StressReason::WriteFailed);
+                        return Err(e);
+                    }
+                    self.write_retries += 1;
+                    if self.cfg.retry_backoff_ms > 0 {
+                        std::thread::sleep(Duration::from_millis(
+                            self.cfg.retry_backoff_ms << (attempt - 1).min(10),
+                        ));
+                    }
+                }
+                Err(e) => {
+                    self.write_failures += 1;
+                    self.note_stress(StressReason::WriteFailed);
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Marks the current minute as stressed for `reason`. The first
+    /// reason noted in a minute wins attribution. Called internally by
+    /// the watchdog/write paths; external runtimes use it for stress the
+    /// supervisor cannot observe itself (e.g. a lost consumer thread).
+    pub fn note_stress(&mut self, reason: StressReason) {
+        if self.pending_reason.is_none() {
+            self.pending_reason = Some(reason);
+        }
+    }
+
+    /// Closes one supervised minute: folds the minute's telemetry health
+    /// and observed thermals into the stress signal, advances the
+    /// hysteresis streaks, and moves the ladder. `minute` indexes the
+    /// metered episode (for the event log).
+    pub fn end_of_minute(
+        &mut self,
+        minute: usize,
+        quarantined_frac: f64,
+        observed_cold_aisle_max: f64,
+        executed_setpoint: f64,
+    ) {
+        if quarantined_frac >= self.cfg.quarantine_stress_frac {
+            self.note_stress(StressReason::Telemetry);
+        }
+        if observed_cold_aisle_max > self.cfg.d_allowed {
+            self.note_stress(StressReason::ThermalViolation);
+        }
+        let warned =
+            observed_cold_aisle_max > self.cfg.d_allowed - self.cfg.thermal_warn_margin_c.max(0.0);
+        if warned {
+            // The executed set-point just proved (or is about to prove)
+            // unsafe at the current load: a stale `last_safe` must not be
+            // re-held as-is, or the ladder limit-cycles between safe mode
+            // and the same violating value. Pull it below what was
+            // executed (never above, never under `S_min`). Acting already
+            // in the warning band matters because of thermal lag — by the
+            // time the limit itself is crossed, the room has minutes of
+            // overshoot banked.
+            let fallback = (executed_setpoint - self.cfg.violation_backoff_c.max(0.0))
+                .max(self.cfg.safe_setpoint);
+            self.last_safe_setpoint = self.last_safe_setpoint.min(fallback);
+        }
+
+        match self.rung {
+            Rung::SafeMode => self.safe_mode_minutes += 1,
+            Rung::HoldLastSafe => self.hold_minutes += 1,
+            Rung::Normal => {}
+        }
+
+        let stressed = self.pending_reason.is_some();
+        if stressed {
+            self.stress_streak += 1;
+            self.clean_streak = 0;
+            if self.stress_streak >= self.cfg.escalate_after.max(1) && self.rung != Rung::SafeMode {
+                let from = self.rung;
+                self.rung = self.rung.escalated();
+                let reason = self.pending_reason.unwrap_or(StressReason::Telemetry);
+                self.elevated_reason = Some(reason);
+                self.events.push(SupervisorEvent {
+                    minute,
+                    from,
+                    to: self.rung,
+                    reason,
+                });
+                self.stress_streak = 0;
+            }
+        } else {
+            self.clean_streak += 1;
+            self.stress_streak = 0;
+            if self.rung == Rung::Normal {
+                // Only a clean, normally-executed minute defines "safe" —
+                // and not one inside the warning band, or the update
+                // would re-bless a set-point the backoff just rejected.
+                if !warned {
+                    self.last_safe_setpoint = executed_setpoint;
+                }
+            } else if self.clean_streak >= self.cfg.recover_after.max(1) {
+                let from = self.rung;
+                self.rung = self.rung.recovered();
+                let reason = self.elevated_reason.unwrap_or(StressReason::Telemetry);
+                self.events.push(SupervisorEvent {
+                    minute,
+                    from,
+                    to: self.rung,
+                    reason,
+                });
+                if self.rung == Rung::Normal {
+                    self.elevated_reason = None;
+                }
+                self.clean_streak = 0;
+            }
+        }
+        self.pending_reason = None;
+        self.last_executed = Some(executed_setpoint);
+    }
+
+    /// Forces the ladder straight to `SafeMode` (the decision process is
+    /// gone; nothing milder is meaningful).
+    pub fn force_safe_mode(&mut self, minute: usize, reason: StressReason) {
+        if self.rung != Rung::SafeMode {
+            let from = self.rung;
+            self.rung = Rung::SafeMode;
+            self.elevated_reason = Some(reason);
+            // A clean streak from before the forced escalation must not
+            // count toward recovery.
+            self.clean_streak = 0;
+            self.stress_streak = 0;
+            self.events.push(SupervisorEvent {
+                minute,
+                from,
+                to: Rung::SafeMode,
+                reason,
+            });
+        }
+    }
+
+    /// Resets ladder state between episodes (the event log is cleared).
+    pub fn reset(&mut self) {
+        self.rung = Rung::Normal;
+        self.stress_streak = 0;
+        self.clean_streak = 0;
+        self.pending_reason = None;
+        self.elevated_reason = None;
+        self.last_safe_setpoint = 23.0_f64.max(self.cfg.safe_setpoint);
+        self.last_executed = None;
+        self.events.clear();
+        self.safe_mode_minutes = 0;
+        self.hold_minutes = 0;
+        self.watchdog_trips = 0;
+        self.write_failures = 0;
+        self.write_retries = 0;
+    }
+}
+
+/// Runs one supervised closed-loop episode: telemetry is sanitized by
+/// per-signal [`HealthMonitor`]s before the controller sees it, decisions
+/// run under the watchdog, writes retry, and the degradation ladder
+/// governs what is actually executed. Thermal-safety metrics are scored
+/// on the *ground-truth* cold-aisle temperature, not the possibly-lying
+/// sensors.
+pub fn run_supervised_episode(
+    controller: &mut dyn Controller,
+    supervisor: &mut Supervisor,
+    config: &EpisodeConfig,
+) -> Result<EvalResult, CoreError> {
+    let mut testbed = Testbed::new(config.sim.clone(), config.seed)?;
+    testbed.set_fault_plan(config.faults.clone());
+    let mut orch = Orchestrator::with_placement(config.sim.n_servers, config.placement);
+    let mut profile = DiurnalProfile::new(config.setting, config.minutes as f64 * 60.0);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xEE);
+    let mut trace = Trace::with_sensors(config.sim.n_acu_sensors, config.sim.n_dc_sensors);
+
+    // Separate monitors per signal family so imputation draws on
+    // same-class peers: a quarantined cold-aisle sensor imputed from a
+    // median that includes hot-aisle sensors would read several °C high
+    // and fake a thermal violation. Cold-aisle sensors physically cluster,
+    // so they also get the peer-deviation check, which catches in-band
+    // lies (slow drift, stuck at a plausible value) the range check is
+    // blind to. Hot-aisle/exhaust and ACU-inlet sensors run warmer and
+    // spread wider, so they keep wider bands and no peer check.
+    let n_cold = config.sim.n_cold_aisle_sensors;
+    let mut cold_health = HealthMonitor::new(
+        n_cold,
+        HealthConfig {
+            peer_deviation: 4.0,
+            ..HealthConfig::default()
+        },
+    );
+    let mut rest_health = HealthMonitor::new(
+        config.sim.n_dc_sensors - n_cold,
+        HealthConfig {
+            max_value: 60.0,
+            ..HealthConfig::default()
+        },
+    );
+    let mut inlet_health = HealthMonitor::new(
+        config.sim.n_acu_sensors,
+        HealthConfig {
+            max_value: 50.0,
+            ..HealthConfig::default()
+        },
+    );
+
+    controller.reset();
+    supervisor.reset();
+    testbed.write_setpoint(23.0);
+
+    for _ in 0..config.warmup_minutes {
+        let target = profile.sample(0.0, &mut rng);
+        let utils = orch.tick(config.sim.sample_period_s, target, &mut rng);
+        let mut obs = testbed.step_sample(&utils)?;
+        let (cold, rest) = obs.dc_temps.split_at_mut(n_cold);
+        cold_health.sanitize(cold);
+        rest_health.sanitize(rest);
+        inlet_health.sanitize(&mut obs.acu_inlet_temps);
+        push_observation(&mut trace, &obs);
+    }
+    let metered_from = trace.len();
+
+    let mut cooling_energy_kwh = 0.0;
+    let mut violations = 0usize;
+    let mut interrupted = 0.0;
+    let mut setpoints = Vec::with_capacity(config.minutes);
+    let mut inlet_avg = Vec::with_capacity(config.minutes);
+    let mut cold_aisle_max = Vec::with_capacity(config.minutes);
+    let mut acu_power = Vec::with_capacity(config.minutes);
+    let mut avg_server_power = Vec::with_capacity(config.minutes);
+    let mut server_energy_kwh = 0.0;
+
+    for m in 0..config.minutes {
+        let sp = supervisor.decide(controller, &trace);
+        // A failed write leaves the previous set-point in force; the
+        // ladder sees the failure through the stress signal.
+        let _ = supervisor.write_with_retry(&mut testbed, sp);
+
+        let target = profile.sample(m as f64 * 60.0, &mut rng);
+        let utils = orch.tick(config.sim.sample_period_s, target, &mut rng);
+        let mut obs = testbed.step_sample(&utils)?;
+
+        // Sanitize what the controller (and the trace) will see, then
+        // recompute the sensor-reported cold-aisle max from the sanitized
+        // readings so Eq. 9's signal is finite.
+        let (cold, rest) = obs.dc_temps.split_at_mut(n_cold);
+        let cold_report = cold_health.sanitize(cold);
+        rest_health.sanitize(rest);
+        inlet_health.sanitize(&mut obs.acu_inlet_temps);
+        obs.cold_aisle_max = obs.dc_temps[..n_cold]
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+
+        cooling_energy_kwh += obs.acu_energy_kwh;
+        // Score safety on ground truth: a stuck-at-45 °C sensor must not
+        // masquerade as a violation, and a stuck-at-15 °C one must not
+        // hide a real one.
+        if obs.cold_aisle_max_true > config.d_allowed {
+            violations += 1;
+        }
+        interrupted += obs.interrupted_frac;
+        setpoints.push(testbed.setpoint());
+        inlet_avg.push(
+            obs.acu_inlet_temps.iter().sum::<f64>() / obs.acu_inlet_temps.len().max(1) as f64,
+        );
+        cold_aisle_max.push(obs.cold_aisle_max_true);
+        acu_power.push(obs.acu_power_kw);
+        avg_server_power.push(obs.avg_server_power_kw);
+        server_energy_kwh +=
+            obs.server_powers_kw.iter().sum::<f64>() * config.sim.sample_period_s / 3600.0;
+        push_observation(&mut trace, &obs);
+
+        // The cold monitor only sees indices 0..n_cold, so its report
+        // needs no index filtering.
+        let quarantined_cold = cold_report
+            .imputed
+            .iter()
+            .chain(cold_report.newly_quarantined.iter())
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
+        supervisor.end_of_minute(
+            m,
+            quarantined_cold as f64 / n_cold.max(1) as f64,
+            obs.cold_aisle_max,
+            testbed.setpoint(),
+        );
+    }
+
+    Ok(EvalResult {
+        controller: controller.name().to_string(),
+        setting: config.setting,
+        cooling_energy_kwh,
+        tsv_percent: 100.0 * violations as f64 / config.minutes.max(1) as f64,
+        ci_percent: 100.0 * interrupted / config.minutes.max(1) as f64,
+        setpoints,
+        inlet_avg,
+        cold_aisle_max,
+        acu_power,
+        avg_server_power,
+        server_energy_kwh,
+        trace,
+        metered_from,
+        safe_mode_minutes: supervisor.safe_mode_minutes(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::FixedController;
+    use tesla_sim::{
+        ActuatorFault, ActuatorFaultKind, FaultPlan, FaultWindow, PlantFault, PlantFaultKind,
+        SensorFault, SensorFaultKind, SensorTarget, SimConfig,
+    };
+    use tesla_workload::LoadSetting;
+
+    fn quick_supervisor() -> Supervisor {
+        Supervisor::new(SupervisorConfig {
+            escalate_after: 2,
+            recover_after: 4,
+            ..SupervisorConfig::default()
+        })
+    }
+
+    #[test]
+    fn ladder_starts_normal_and_passes_decisions_through() {
+        let mut sup = quick_supervisor();
+        let mut ctrl = FixedController::new(24.0);
+        let sp = sup.decide(&mut ctrl, &Trace::with_sensors(2, 35));
+        assert_eq!(sp, 24.0);
+        assert_eq!(sup.rung(), Rung::Normal);
+        assert!(sup.events().is_empty());
+    }
+
+    #[test]
+    fn sustained_stress_climbs_one_rung_then_the_next() {
+        let mut sup = quick_supervisor();
+        // Two stressed minutes -> HoldLastSafe.
+        sup.end_of_minute(0, 1.0, 21.0, 23.0);
+        assert_eq!(sup.rung(), Rung::Normal);
+        sup.end_of_minute(1, 1.0, 21.0, 23.0);
+        assert_eq!(sup.rung(), Rung::HoldLastSafe);
+        // Two more -> SafeMode.
+        sup.end_of_minute(2, 1.0, 21.0, 23.0);
+        sup.end_of_minute(3, 1.0, 21.0, 23.0);
+        assert_eq!(sup.rung(), Rung::SafeMode);
+        assert_eq!(sup.events().len(), 2);
+        assert_eq!(sup.events()[0].reason, StressReason::Telemetry);
+        // Further stress does not re-log SafeMode.
+        sup.end_of_minute(4, 1.0, 21.0, 23.0);
+        sup.end_of_minute(5, 1.0, 21.0, 23.0);
+        assert_eq!(sup.events().len(), 2);
+    }
+
+    #[test]
+    fn recovery_needs_the_longer_clean_streak() {
+        let mut sup = quick_supervisor();
+        sup.end_of_minute(0, 1.0, 21.0, 23.0);
+        sup.end_of_minute(1, 1.0, 21.0, 23.0);
+        assert_eq!(sup.rung(), Rung::HoldLastSafe);
+        // Three clean minutes: not yet (recover_after = 4).
+        for m in 2..5 {
+            sup.end_of_minute(m, 0.0, 21.0, 23.0);
+        }
+        assert_eq!(sup.rung(), Rung::HoldLastSafe);
+        sup.end_of_minute(5, 0.0, 21.0, 23.0);
+        assert_eq!(sup.rung(), Rung::Normal);
+    }
+
+    #[test]
+    fn alternating_stress_never_escalates() {
+        // Hysteresis: stress that never persists `escalate_after` minutes
+        // in a row cannot climb the ladder.
+        let mut sup = quick_supervisor();
+        for m in 0..40 {
+            let stressed = m % 2 == 0;
+            sup.end_of_minute(m, if stressed { 1.0 } else { 0.0 }, 21.0, 23.0);
+        }
+        assert_eq!(sup.rung(), Rung::Normal);
+        assert!(sup.events().is_empty());
+    }
+
+    #[test]
+    fn thermal_violation_counts_as_stress() {
+        let mut sup = quick_supervisor();
+        sup.end_of_minute(0, 0.0, 25.0, 23.0);
+        sup.end_of_minute(1, 0.0, 25.0, 23.0);
+        assert_eq!(sup.rung(), Rung::HoldLastSafe);
+        assert_eq!(sup.events()[0].reason, StressReason::ThermalViolation);
+    }
+
+    #[test]
+    fn hold_rung_returns_last_safe_setpoint() {
+        let mut sup = quick_supervisor();
+        // A clean normal minute records 26.0 as safe.
+        sup.end_of_minute(0, 0.0, 21.0, 26.0);
+        sup.end_of_minute(1, 1.0, 21.0, 27.0);
+        sup.end_of_minute(2, 1.0, 21.0, 27.0);
+        assert_eq!(sup.rung(), Rung::HoldLastSafe);
+        assert_eq!(sup.resolve_setpoint(30.0), 26.0);
+    }
+
+    #[test]
+    fn hold_recovery_ramps_upward_from_safe_mode() {
+        let mut sup = quick_supervisor();
+        // Clean normal minute at 26 °C defines last_safe.
+        sup.end_of_minute(0, 0.0, 21.0, 26.0);
+        sup.force_safe_mode(1, StressReason::ConsumerLost);
+        // Four clean safe-mode minutes executing S_min -> recover to Hold.
+        for m in 1..5 {
+            sup.end_of_minute(m, 0.0, 21.0, 20.0);
+        }
+        assert_eq!(sup.rung(), Rung::HoldLastSafe);
+        // The hold target climbs at the slew rate, not in one jump.
+        assert_eq!(sup.resolve_setpoint(30.0), 20.25);
+        sup.end_of_minute(5, 0.0, 21.0, 20.25);
+        assert_eq!(sup.resolve_setpoint(30.0), 20.5);
+    }
+
+    #[test]
+    fn violation_pulls_last_safe_below_executed() {
+        let mut sup = quick_supervisor();
+        sup.end_of_minute(0, 0.0, 21.0, 26.0);
+        // Observed violation while executing 26 °C: last_safe must drop
+        // below it rather than be re-held verbatim.
+        sup.end_of_minute(1, 0.0, 23.0, 26.0);
+        sup.end_of_minute(2, 0.0, 23.0, 26.0);
+        assert_eq!(sup.rung(), Rung::HoldLastSafe);
+        assert_eq!(sup.resolve_setpoint(30.0), 25.0);
+        // The backoff never undercuts S_min.
+        sup.end_of_minute(3, 0.0, 23.0, 20.3);
+        assert_eq!(sup.resolve_setpoint(30.0), 20.0);
+    }
+
+    #[test]
+    fn warning_band_backs_off_without_stress() {
+        let mut sup = quick_supervisor();
+        sup.end_of_minute(0, 0.0, 21.0, 26.0);
+        // 21.8 °C is inside the 0.5 °C warning band but not a violation:
+        // no stress, no event — but the hold fallback must drop.
+        sup.end_of_minute(1, 0.0, 21.8, 26.0);
+        assert_eq!(sup.rung(), Rung::Normal);
+        assert!(sup.events().is_empty());
+        // Escalate via telemetry stress and observe the lowered target.
+        sup.end_of_minute(2, 1.0, 21.0, 27.0);
+        sup.end_of_minute(3, 1.0, 21.0, 27.0);
+        assert_eq!(sup.rung(), Rung::HoldLastSafe);
+        assert_eq!(sup.resolve_setpoint(30.0), 25.0);
+    }
+
+    #[test]
+    fn safe_mode_resolves_to_smin() {
+        let mut sup = quick_supervisor();
+        sup.force_safe_mode(7, StressReason::ConsumerLost);
+        assert_eq!(sup.rung(), Rung::SafeMode);
+        assert_eq!(sup.resolve_setpoint(30.0), 20.0);
+        assert_eq!(sup.events().len(), 1);
+        assert_eq!(sup.events()[0].minute, 7);
+    }
+
+    #[test]
+    fn write_with_retry_survives_nothing_but_reports_failure() {
+        let mut sup = quick_supervisor();
+        let mut tb = Testbed::new(SimConfig::default(), 1).unwrap();
+        tb.set_fault_plan(FaultPlan {
+            actuators: vec![ActuatorFault {
+                kind: ActuatorFaultKind::WriteTimeout,
+                window: FaultWindow::new(0.0, 1e9),
+            }],
+            ..FaultPlan::default()
+        });
+        assert!(sup.write_with_retry(&mut tb, 24.0).is_err());
+        assert_eq!(sup.write_failures(), 1);
+        assert_eq!(sup.write_retries(), 3, "4 attempts = 3 retries");
+    }
+
+    #[test]
+    fn write_with_retry_does_not_retry_validation_errors() {
+        let mut sup = quick_supervisor();
+        let mut tb = Testbed::new(SimConfig::default(), 1).unwrap();
+        assert!(sup.write_with_retry(&mut tb, 99.0).is_err());
+        assert_eq!(sup.write_retries(), 0);
+        assert_eq!(sup.write_failures(), 1);
+    }
+
+    #[test]
+    fn reset_restores_normal() {
+        let mut sup = quick_supervisor();
+        sup.force_safe_mode(1, StressReason::Watchdog);
+        sup.reset();
+        assert_eq!(sup.rung(), Rung::Normal);
+        assert!(sup.events().is_empty());
+        assert_eq!(sup.safe_mode_minutes(), 0);
+    }
+
+    fn episode_with(faults: FaultPlan, minutes: usize) -> (EvalResult, Supervisor) {
+        let mut ctrl = FixedController::new(23.0);
+        let mut sup = Supervisor::new(SupervisorConfig::default());
+        let cfg = EpisodeConfig {
+            setting: LoadSetting::Medium,
+            minutes,
+            warmup_minutes: 20,
+            seed: 11,
+            faults,
+            ..EpisodeConfig::default()
+        };
+        let r = run_supervised_episode(&mut ctrl, &mut sup, &cfg).unwrap();
+        (r, sup)
+    }
+
+    #[test]
+    fn supervised_episode_without_faults_is_clean() {
+        let (r, sup) = episode_with(FaultPlan::none(), 60);
+        assert_eq!(r.setpoints.len(), 60);
+        assert!(r.cooling_energy_kwh > 0.0);
+        assert_eq!(r.safe_mode_minutes, 0);
+        assert_eq!(sup.rung(), Rung::Normal);
+        assert!(sup.events().is_empty());
+        assert_eq!(r.tsv_percent, 0.0);
+    }
+
+    #[test]
+    fn stuck_hot_sensor_does_not_fake_violations() {
+        // Warm-up is 20 min; the fault opens after it.
+        // 48 °C is outside the health monitor's plausible band, so the
+        // stuck sensor is quarantined on its first corrupted sample.
+        let (r, _sup) = episode_with(
+            FaultPlan {
+                sensors: vec![SensorFault {
+                    target: SensorTarget::DcSensor(2),
+                    kind: SensorFaultKind::StuckAt(48.0),
+                    window: FaultWindow::new(30.0, 70.0),
+                }],
+                ..FaultPlan::default()
+            },
+            60,
+        );
+        // Ground-truth scoring: the lying sensor cannot create TSV.
+        assert_eq!(r.tsv_percent, 0.0);
+        // And the trace the controller sees stays finite and plausible.
+        for col in &r.trace.dc_temps {
+            for &v in col {
+                assert!(v.is_finite());
+                assert!(v < 45.0, "stuck value must have been imputed away, saw {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn fan_failure_drives_ladder_to_safe_mode() {
+        let (r, sup) = episode_with(
+            FaultPlan {
+                plant: vec![PlantFault {
+                    kind: PlantFaultKind::FanFailure,
+                    window: FaultWindow::new(25.0, 45.0),
+                }],
+                ..FaultPlan::default()
+            },
+            80,
+        );
+        // No airflow for 20 min must heat the room past the limit, which
+        // is sustained stress -> the ladder must have moved.
+        assert!(
+            !sup.events().is_empty(),
+            "sustained thermal violation must log a degradation event"
+        );
+        assert!(r.safe_mode_minutes > 0 || sup.hold_minutes() > 0);
+        // Metrics stay finite under the fault.
+        assert!(r.cooling_energy_kwh.is_finite());
+        assert!(r.tsv_percent.is_finite());
+    }
+}

@@ -17,6 +17,11 @@ pub struct TeslaConfig {
     pub bo: BoConfig,
     /// Cold-aisle temperature limit `d_allowed` (22 °C).
     pub d_allowed: f64,
+    /// Safety head-room subtracted from `d_allowed` inside the
+    /// optimizer's constraint (°C). The TSV metric is still scored at
+    /// `d_allowed`; the margin absorbs model error and sensor noise so
+    /// marginal decisions don't realize just past the limit.
+    pub safety_margin: f64,
     /// Interruption-penalty threshold `κ` (0.5 °C).
     pub kappa: f64,
     /// Weight of the interruption penalty in the objective, kWh per
@@ -54,6 +59,7 @@ impl Default for TeslaConfig {
             model: ModelConfig::default(),
             bo: BoConfig::default(),
             d_allowed: 22.0,
+            safety_margin: 0.5,
             kappa: 0.5,
             interruption_weight: 0.1,
             smoothing: 5,
@@ -138,6 +144,12 @@ impl TeslaController {
         &self.config
     }
 
+    /// The limit the optimizer actually constrains against:
+    /// `d_allowed − safety_margin`.
+    fn d_effective(&self) -> f64 {
+        self.config.d_allowed - self.config.safety_margin
+    }
+
     /// The most recent optimizer outcome (Fig. 8b diagnostics: grid,
     /// posterior objective/constraint means, fallback flag).
     pub fn last_outcome(&self) -> Option<&BoOutcome> {
@@ -158,8 +170,13 @@ impl TeslaController {
         let window = history.window_at(now, l).ok()?;
         let pred = self.model.predict(&window, setpoint).ok()?;
         Some((
-            objective(&pred, setpoint, self.config.kappa, self.config.interruption_weight),
-            constraint(&pred, &self.config.cold_sensors, self.config.d_allowed),
+            objective(
+                &pred,
+                setpoint,
+                self.config.kappa,
+                self.config.interruption_weight,
+            ),
+            constraint(&pred, &self.config.cold_sensors, self.d_effective()),
         ))
     }
 
@@ -224,8 +241,7 @@ impl TeslaController {
             }
             self.pending.pop_front();
             // Realized objective over (made_at+1 ..= made_at+L).
-            let actual_energy: f64 =
-                history.acu_energy[front.made_at + 1..=due].iter().sum();
+            let actual_energy: f64 = history.acu_energy[front.made_at + 1..=due].iter().sum();
             // Realized interruption proxy from the true inlet temps.
             let inlet_actual: Vec<Vec<f64>> = history
                 .acu_inlet
@@ -245,7 +261,7 @@ impl TeslaController {
                     actual_max = actual_max.max(history.dc_temps[k][t]);
                 }
             }
-            let actual_con = actual_max - self.config.d_allowed;
+            let actual_con = actual_max - (self.config.d_allowed - self.config.safety_margin);
 
             self.monitor.record(
                 predicted_obj - actual_obj,
@@ -278,12 +294,10 @@ impl Controller for TeslaController {
         // history on the configured cadence.
         if let Some(every) = self.config.retrain_every {
             if every > 0
-                && self.step % every == 0
+                && self.step.is_multiple_of(every)
                 && history.len() >= self.config.retrain_min_history
             {
-                if let Ok(new_model) =
-                    DcTimeSeriesModel::fit(history, self.config.model.clone())
-                {
+                if let Ok(new_model) = DcTimeSeriesModel::fit(history, self.config.model.clone()) {
                     self.model = new_model;
                     self.retrain_count += 1;
                 }
@@ -297,11 +311,12 @@ impl Controller for TeslaController {
         // candidate set-point yields a predicted objective/constraint.
         let model = &self.model;
         let cfg = &self.config;
+        let d_eff = self.config.d_allowed - self.config.safety_margin;
         let eval = |s: f64| -> (f64, f64) {
             match model.predict(&window, s) {
                 Ok(pred) => (
                     objective(&pred, s, cfg.kappa, cfg.interruption_weight),
-                    constraint(&pred, &cfg.cold_sensors, cfg.d_allowed),
+                    constraint(&pred, &cfg.cold_sensors, d_eff),
                 ),
                 // A failed prediction is treated as badly infeasible so
                 // the optimizer avoids it.
@@ -355,7 +370,7 @@ impl Controller for TeslaController {
                 predicted_constraint: constraint(
                     &pred,
                     &self.config.cold_sensors,
-                    self.config.d_allowed,
+                    self.d_effective(),
                 ),
                 setpoint: outcome.setpoint,
             });
@@ -390,10 +405,17 @@ mod tests {
     /// Small but real: trains on a short sweep trace from the actual
     /// simulator.
     fn quick_controller() -> (TeslaController, Trace) {
-        let dcfg = DatasetConfig { days: 0.6, seed: 11, ..DatasetConfig::default() };
+        let dcfg = DatasetConfig {
+            days: 0.6,
+            seed: 11,
+            ..DatasetConfig::default()
+        };
         let trace = generate_sweep_trace(&dcfg).unwrap();
         let config = TeslaConfig {
-            model: ModelConfig { horizon: 8, ..ModelConfig::default() },
+            model: ModelConfig {
+                horizon: 8,
+                ..ModelConfig::default()
+            },
             bo: BoConfig {
                 n_init: 5,
                 n_iter: 2,
@@ -461,10 +483,17 @@ mod tests {
 
     #[test]
     fn invalid_cold_sensor_index_rejected() {
-        let dcfg = DatasetConfig { days: 0.4, seed: 3, ..DatasetConfig::default() };
+        let dcfg = DatasetConfig {
+            days: 0.4,
+            seed: 3,
+            ..DatasetConfig::default()
+        };
         let trace = generate_sweep_trace(&dcfg).unwrap();
         let config = TeslaConfig {
-            model: ModelConfig { horizon: 6, ..ModelConfig::default() },
+            model: ModelConfig {
+                horizon: 6,
+                ..ModelConfig::default()
+            },
             cold_sensors: vec![99],
             ..TeslaConfig::default()
         };
@@ -476,6 +505,7 @@ mod tests {
         let c = TeslaConfig::default();
         assert_eq!(c.model.horizon, 20);
         assert_eq!(c.d_allowed, 22.0);
+        assert_eq!(c.safety_margin, 0.5);
         assert_eq!(c.kappa, 0.5);
         assert_eq!(c.smoothing, 5);
         assert_eq!(c.n_bootstrap, 500);
@@ -485,11 +515,24 @@ mod tests {
 
     #[test]
     fn online_recalibration_refits_on_cadence() {
-        let dcfg = DatasetConfig { days: 0.5, seed: 13, ..DatasetConfig::default() };
+        let dcfg = DatasetConfig {
+            days: 0.5,
+            seed: 13,
+            ..DatasetConfig::default()
+        };
         let trace = generate_sweep_trace(&dcfg).unwrap();
         let config = TeslaConfig {
-            model: ModelConfig { horizon: 6, ..ModelConfig::default() },
-            bo: BoConfig { n_init: 4, n_iter: 1, n_mc: 16, n_grid: 11, ..BoConfig::default() },
+            model: ModelConfig {
+                horizon: 6,
+                ..ModelConfig::default()
+            },
+            bo: BoConfig {
+                n_init: 4,
+                n_iter: 1,
+                n_mc: 16,
+                n_grid: 11,
+                ..BoConfig::default()
+            },
             n_bootstrap: 32,
             retrain_every: Some(3),
             retrain_min_history: 50,
@@ -518,17 +561,65 @@ mod tests {
     #[test]
     fn thermal_limit_adjusts_without_retraining() {
         // §8's deployment-flexibility claim: tightening the limit makes
-        // the controller pick a colder set-point with the SAME model.
+        // the controller pick a colder set-point with the SAME model. A
+        // limit no data-center air can satisfy forces the S_min backup.
         let (mut ctrl, trace) = quick_controller();
         let sp_loose = ctrl.decide(&trace);
         ctrl.reset();
-        ctrl.set_thermal_limit(20.0); // much tighter than 22 °C
+        ctrl.set_thermal_limit(10.0); // unattainable: every candidate infeasible
         let sp_tight = ctrl.decide(&trace);
         assert!(
             sp_tight < sp_loose,
             "tighter limit ({sp_tight}) must give a colder set-point than loose ({sp_loose})"
         );
-        assert_eq!(ctrl.config().d_allowed, 20.0);
+        assert_eq!(ctrl.config().d_allowed, 10.0);
+    }
+
+    #[test]
+    fn safety_margin_gives_colder_setpoints() {
+        let dcfg = DatasetConfig {
+            days: 0.6,
+            seed: 11,
+            ..DatasetConfig::default()
+        };
+        let trace = generate_sweep_trace(&dcfg).unwrap();
+        let base = TeslaConfig {
+            model: ModelConfig {
+                horizon: 8,
+                ..ModelConfig::default()
+            },
+            bo: BoConfig {
+                n_init: 5,
+                n_iter: 2,
+                n_mc: 24,
+                n_grid: 16,
+                ..BoConfig::default()
+            },
+            n_bootstrap: 64,
+            ..TeslaConfig::default()
+        };
+        let mut loose = TeslaController::new(
+            &trace,
+            TeslaConfig {
+                safety_margin: 0.0,
+                ..base.clone()
+            },
+        )
+        .unwrap();
+        let mut tight = TeslaController::new(
+            &trace,
+            TeslaConfig {
+                safety_margin: 1.5,
+                ..base
+            },
+        )
+        .unwrap();
+        let sp_loose = loose.decide(&trace);
+        let sp_tight = tight.decide(&trace);
+        assert!(
+            sp_tight <= sp_loose,
+            "margin must not raise the set-point: {sp_tight} vs {sp_loose}"
+        );
     }
 
     #[test]
@@ -546,6 +637,9 @@ mod tests {
         // default TESLA cold-sensor indexing.
         let sim = SimConfig::default();
         let cfg = TeslaConfig::default();
-        assert!(cfg.cold_sensors.iter().all(|&k| k < sim.n_cold_aisle_sensors));
+        assert!(cfg
+            .cold_sensors
+            .iter()
+            .all(|&k| k < sim.n_cold_aisle_sensors));
     }
 }

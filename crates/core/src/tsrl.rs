@@ -106,7 +106,9 @@ impl TsrlController {
             transitions.push((t, ai, reward, t + 1));
         }
         if transitions.is_empty() {
-            return Err(CoreError::Config("no usable transitions in the trace".into()));
+            return Err(CoreError::Config(
+                "no usable transitions in the trace".into(),
+            ));
         }
 
         // Fitted Q-iteration.
@@ -131,7 +133,11 @@ impl TsrlController {
                 }
             }
         }
-        Ok(TsrlController { q_heads, actions, config })
+        Ok(TsrlController {
+            q_heads,
+            actions,
+            config,
+        })
     }
 
     /// The configuration.
@@ -190,10 +196,14 @@ impl TsrlController {
                 max_cold = max_cold.max(col[t]);
             }
         }
-        let inlet_avg = trace.acu_inlet.iter().map(|c| c[t]).sum::<f64>()
-            / trace.acu_inlet.len().max(1) as f64;
+        let inlet_avg =
+            trace.acu_inlet.iter().map(|c| c[t]).sum::<f64>() / trace.acu_inlet.len().max(1) as f64;
         let power = trace.avg_power[t];
-        let power_trend = if t >= 5 { power - trace.avg_power[t - 5] } else { 0.0 };
+        let power_trend = if t >= 5 {
+            power - trace.avg_power[t - 5]
+        } else {
+            0.0
+        };
         let setpoint = trace.setpoint[t];
         vec![max_cold, inlet_avg, power, power_trend, setpoint]
     }
@@ -256,7 +266,11 @@ mod tests {
     use crate::dataset::{generate_sweep_trace, DatasetConfig};
 
     fn controller() -> (TsrlController, Trace) {
-        let dcfg = DatasetConfig { days: 1.0, seed: 31, ..DatasetConfig::default() };
+        let dcfg = DatasetConfig {
+            days: 1.0,
+            seed: 31,
+            ..DatasetConfig::default()
+        };
         let trace = generate_sweep_trace(&dcfg).unwrap();
         let ctrl = TsrlController::new(&trace, TsrlConfig::default()).unwrap();
         (ctrl, trace)
@@ -310,21 +324,34 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let dcfg = DatasetConfig { days: 0.3, seed: 1, ..DatasetConfig::default() };
+        let dcfg = DatasetConfig {
+            days: 0.3,
+            seed: 1,
+            ..DatasetConfig::default()
+        };
         let trace = generate_sweep_trace(&dcfg).unwrap();
         assert!(TsrlController::new(
             &trace,
-            TsrlConfig { bounds: (35.0, 20.0), ..TsrlConfig::default() }
+            TsrlConfig {
+                bounds: (35.0, 20.0),
+                ..TsrlConfig::default()
+            }
         )
         .is_err());
         assert!(TsrlController::new(
             &trace,
-            TsrlConfig { gamma: 1.5, ..TsrlConfig::default() }
+            TsrlConfig {
+                gamma: 1.5,
+                ..TsrlConfig::default()
+            }
         )
         .is_err());
         assert!(TsrlController::new(
             &trace,
-            TsrlConfig { action_step: 0.0, ..TsrlConfig::default() }
+            TsrlConfig {
+                action_step: 0.0,
+                ..TsrlConfig::default()
+            }
         )
         .is_err());
     }

@@ -62,7 +62,11 @@ impl AcuModel {
                 .collect();
             models.push(design.fit_multi(Some(&exo), &targets, alpha)?);
         }
-        Ok(AcuModel { models, horizon: l, n_sensors: n_a })
+        Ok(AcuModel {
+            models,
+            horizon: l,
+            n_sensors: n_a,
+        })
     }
 
     /// Horizon length `L`.
@@ -153,13 +157,12 @@ mod tests {
         let setpoints: Vec<f64> = (1..=l).map(|s| tr.setpoint[t + s]).collect();
         let power: Vec<f64> = (1..=l).map(|s| tr.avg_power[t + s]).collect();
         let preds = model.predict(&window, &setpoints, &power).unwrap();
-        for i in 0..2 {
-            for step in 0..l {
+        for (i, row) in preds.iter().enumerate().take(2) {
+            for (step, &p) in row.iter().enumerate().take(l) {
                 let truth = tr.acu_inlet[i][t + 1 + step];
                 assert!(
-                    (preds[i][step] - truth).abs() < 0.3,
-                    "sensor {i} step {step}: {} vs {truth}",
-                    preds[i][step]
+                    (p - truth).abs() < 0.3,
+                    "sensor {i} step {step}: {p} vs {truth}"
                 );
             }
         }

@@ -66,7 +66,12 @@ impl DcsModel {
                 .collect();
             models.push(design.fit_multi(Some(&exo), &targets, alpha)?);
         }
-        Ok(DcsModel { models, horizon: l, n_dc: n_d, n_acu: n_a })
+        Ok(DcsModel {
+            models,
+            horizon: l,
+            n_dc: n_d,
+            n_acu: n_a,
+        })
     }
 
     /// Horizon length `L`.
@@ -100,7 +105,9 @@ impl DcsModel {
             )));
         }
         if inlet_pred.len() != self.n_acu || inlet_pred.iter().any(|c| c.len() != l) {
-            return Err(ForecastError::BadWindow("inlet prediction shape mismatch".into()));
+            return Err(ForecastError::BadWindow(
+                "inlet prediction shape mismatch".into(),
+            ));
         }
         if window.dc.len() != self.n_dc || window.dc.iter().any(|c| c.len() != l) {
             return Err(ForecastError::BadWindow("dc lag shape mismatch".into()));
@@ -158,16 +165,14 @@ mod tests {
         let t = 300;
         let window = tr.window_at(t, L).unwrap();
         let power: Vec<f64> = (1..=L).map(|s| tr.avg_power[t + s]).collect();
-        let inlet: Vec<Vec<f64>> =
-            vec![(1..=L).map(|s| tr.acu_inlet[0][t + s]).collect()];
+        let inlet: Vec<Vec<f64>> = vec![(1..=L).map(|s| tr.acu_inlet[0][t + s]).collect()];
         let preds = model.predict(&window, &power, &inlet).unwrap();
-        for k in 0..3 {
-            for step in 0..L {
+        for (k, row) in preds.iter().enumerate().take(3) {
+            for (step, &p) in row.iter().enumerate().take(L) {
                 let truth = tr.dc_temps[k][t + 1 + step];
                 assert!(
-                    (preds[k][step] - truth).abs() < 0.3,
-                    "sensor {k} step {step}: {} vs {truth}",
-                    preds[k][step]
+                    (p - truth).abs() < 0.3,
+                    "sensor {k} step {step}: {p} vs {truth}"
                 );
             }
         }

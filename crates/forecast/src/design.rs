@@ -55,7 +55,11 @@ impl SharedDesign {
         let lag_sums = (0..lag.cols())
             .map(|j| (0..lag.rows()).map(|i| lag[(i, j)]).sum())
             .collect();
-        SharedDesign { lag, g_lag_raw, lag_sums }
+        SharedDesign {
+            lag,
+            g_lag_raw,
+            lag_sums,
+        }
     }
 
     /// Number of training rows.
@@ -188,8 +192,16 @@ impl SharedDesign {
                     rhs[u] = (xe[(v, t)] - nf * means[u] * y_means[t]) / stds[u];
                 }
             }
-            let w = chol.solve(&rhs).map_err(|e| ForecastError::Solve(e.to_string()))?;
-            models.push(Ridge::from_parts(w, y_means[t], alpha, means.clone(), stds.clone()));
+            let w = chol
+                .solve(&rhs)
+                .map_err(|e| ForecastError::Solve(e.to_string()))?;
+            models.push(Ridge::from_parts(
+                w,
+                y_means[t],
+                alpha,
+                means.clone(),
+                stds.clone(),
+            ));
         }
         Ok(models)
     }
@@ -254,11 +266,11 @@ mod tests {
         let models = design.fit_multi(Some(&exo), &targets, 0.0).unwrap();
         let n = lag.rows();
         for (t, target) in targets.iter().enumerate() {
-            for i in 0..n {
+            for (i, &truth) in target.iter().enumerate().take(n) {
                 let mut x = lag.row(i).to_vec();
                 x.extend_from_slice(exo.row(i));
                 assert!(
-                    (models[t].predict(&x) - target[i]).abs() < 1e-6,
+                    (models[t].predict(&x) - truth).abs() < 1e-6,
                     "target {t} row {i}"
                 );
             }
@@ -270,9 +282,11 @@ mod tests {
         let (lag, _, _) = toy_design();
         let y: Vec<f64> = (0..lag.rows()).map(|i| lag[(i, 0)] * 3.0 + 1.0).collect();
         let design = SharedDesign::new(lag.clone());
-        let models = design.fit_multi(None, &[y.clone()], 0.0).unwrap();
-        for i in 0..lag.rows() {
-            assert!((models[0].predict(lag.row(i)) - y[i]).abs() < 1e-7);
+        let models = design
+            .fit_multi(None, std::slice::from_ref(&y), 0.0)
+            .unwrap();
+        for (i, &yi) in y.iter().enumerate() {
+            assert!((models[0].predict(lag.row(i)) - yi).abs() < 1e-7);
         }
     }
 

@@ -47,16 +47,25 @@ impl EnergyModel {
         let mut y = Vec::with_capacity(n);
         for (r, &t) in rows.iter().enumerate() {
             let row = x.row_mut(r);
-            Self::fill_features(row, l, n_a, |i| trace.setpoint[t + i], |na, i| {
-                trace.acu_inlet[na][t + i]
-            });
+            Self::fill_features(
+                row,
+                l,
+                n_a,
+                |i| trace.setpoint[t + i],
+                |na, i| trace.acu_inlet[na][t + i],
+            );
             // Energy over t+1 ..= t+L: sum of the per-period kWh column
             // (itself the integral of instantaneous power, §3.2).
             y.push(trace.acu_energy[t + 1..=t + l].iter().sum());
         }
         let floor_kwh = y.iter().cloned().fold(f64::INFINITY, f64::min).max(0.0);
         let model = fit_ridge(&x, &y, alpha)?;
-        Ok(EnergyModel { model, horizon: l, n_acu: n_a, floor_kwh })
+        Ok(EnergyModel {
+            model,
+            horizon: l,
+            n_acu: n_a,
+            floor_kwh,
+        })
     }
 
     /// The physical lower bound applied to predictions, kWh.
@@ -90,7 +99,11 @@ impl EnergyModel {
     ///
     /// * `setpoints` — future set-points, `L` values.
     /// * `inlet_pred` — predicted inlet temperatures, `[N_a][L]`.
-    pub fn predict(&self, setpoints: &[f64], inlet_pred: &[Vec<f64>]) -> Result<f64, ForecastError> {
+    pub fn predict(
+        &self,
+        setpoints: &[f64],
+        inlet_pred: &[Vec<f64>],
+    ) -> Result<f64, ForecastError> {
         let l = self.horizon;
         if setpoints.len() != l {
             return Err(ForecastError::BadWindow(format!(
@@ -104,9 +117,13 @@ impl EnergyModel {
             ));
         }
         let mut row = vec![0.0; l + self.n_acu * l];
-        Self::fill_features(&mut row, l, self.n_acu, |i| setpoints[i - 1], |na, i| {
-            inlet_pred[na][i - 1]
-        });
+        Self::fill_features(
+            &mut row,
+            l,
+            self.n_acu,
+            |i| setpoints[i - 1],
+            |na, i| inlet_pred[na][i - 1],
+        );
         Ok(self.model.predict(&row).max(self.floor_kwh))
     }
 }
@@ -166,9 +183,13 @@ mod tests {
         let tr = synthetic_trace(300);
         const L: usize = 4;
         let model = EnergyModel::fit(&tr, L, 1.0).unwrap();
-        assert!(model.predict(&[23.0; 3], &[vec![24.0; L], vec![24.0; L]]).is_err());
+        assert!(model
+            .predict(&[23.0; 3], &[vec![24.0; L], vec![24.0; L]])
+            .is_err());
         assert!(model.predict(&[23.0; L], &[vec![24.0; L]]).is_err());
-        assert!(model.predict(&[23.0; L], &[vec![24.0; 2], vec![24.0; L]]).is_err());
+        assert!(model
+            .predict(&[23.0; L], &[vec![24.0; 2], vec![24.0; L]])
+            .is_err());
     }
 
     #[test]
@@ -179,6 +200,9 @@ mod tests {
         let pred = model
             .predict(&[23.0; 4], &[vec![24.5; 4], vec![24.6; 4]])
             .unwrap();
-        assert!(pred > 0.0 && pred < 1.0, "plausible kWh magnitude, got {pred}");
+        assert!(
+            pred > 0.0 && pred < 1.0,
+            "plausible kWh magnitude, got {pred}"
+        );
     }
 }

@@ -31,7 +31,9 @@ fn header(n_acu: usize, n_dc: usize) -> String {
 
 /// Writes a trace to CSV.
 pub fn save_csv(trace: &Trace, path: impl AsRef<Path>) -> Result<(), ForecastError> {
-    trace.validate(0).map_err(|e| ForecastError::InconsistentTrace(e.to_string()))?;
+    trace
+        .validate(0)
+        .map_err(|e| ForecastError::InconsistentTrace(e.to_string()))?;
     let file = std::fs::File::create(path.as_ref())
         .map_err(|e| ForecastError::InconsistentTrace(format!("create: {e}")))?;
     let mut w = BufWriter::new(file);
@@ -92,10 +94,7 @@ pub fn load_csv(path: impl AsRef<Path>) -> Result<Trace, ForecastError> {
         }
         let parse = |s: &str| -> Result<f64, ForecastError> {
             s.parse().map_err(|_| {
-                ForecastError::InconsistentTrace(format!(
-                    "row {}: bad number {s:?}",
-                    lineno + 2
-                ))
+                ForecastError::InconsistentTrace(format!("row {}: bad number {s:?}", lineno + 2))
             })
         };
         let avg_power = parse(fields[0])?;

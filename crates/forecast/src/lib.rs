@@ -55,7 +55,10 @@ impl std::fmt::Display for ForecastError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ForecastError::TraceTooShort { needed, got } => {
-                write!(f, "trace too short: need at least {needed} samples, got {got}")
+                write!(
+                    f,
+                    "trace too short: need at least {needed} samples, got {got}"
+                )
             }
             ForecastError::InconsistentTrace(msg) => write!(f, "inconsistent trace: {msg}"),
             ForecastError::Solve(msg) => write!(f, "linear solve failed: {msg}"),

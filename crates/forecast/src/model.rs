@@ -127,7 +127,11 @@ impl DcTimeSeriesModel {
 
     /// Predicts the horizon under a *constant* candidate set-point — the
     /// form the optimizer uses (Eq. 5 constrains `s_{t+1} = … = s_{t+L}`).
-    pub fn predict(&self, window: &ModelWindow, setpoint: f64) -> Result<Prediction, ForecastError> {
+    pub fn predict(
+        &self,
+        window: &ModelWindow,
+        setpoint: f64,
+    ) -> Result<Prediction, ForecastError> {
         self.predict_with_setpoints(window, &vec![setpoint; self.config.horizon])
     }
 
@@ -152,7 +156,12 @@ impl DcTimeSeriesModel {
         let inlet = self.acu.predict(window, setpoints, &power)?;
         let dc = self.dcs.predict(window, &power, &inlet)?;
         let energy = self.energy.predict(setpoints, &inlet)?;
-        Ok(Prediction { power, inlet, dc, energy })
+        Ok(Prediction {
+            power,
+            inlet,
+            dc,
+            energy,
+        })
     }
 }
 
@@ -194,7 +203,10 @@ pub(crate) mod tests {
     #[test]
     fn fit_and_predict_end_to_end() {
         let tr = coupled_trace(800, 3);
-        let cfg = ModelConfig { horizon: 8, ..ModelConfig::default() };
+        let cfg = ModelConfig {
+            horizon: 8,
+            ..ModelConfig::default()
+        };
         let model = DcTimeSeriesModel::fit(&tr, cfg).unwrap();
         let t = 400;
         let window = tr.window_at(t, 8).unwrap();
@@ -218,12 +230,20 @@ pub(crate) mod tests {
     #[test]
     fn higher_setpoint_predicts_less_energy_and_warmer_sensors() {
         let tr = coupled_trace(800, 7);
-        let cfg = ModelConfig { horizon: 8, ..ModelConfig::default() };
+        let cfg = ModelConfig {
+            horizon: 8,
+            ..ModelConfig::default()
+        };
         let model = DcTimeSeriesModel::fit(&tr, cfg).unwrap();
         let window = tr.window_at(400, 8).unwrap();
         let lo = model.predict(&window, 21.0).unwrap();
         let hi = model.predict(&window, 26.0).unwrap();
-        assert!(hi.energy < lo.energy, "hi {} vs lo {}", hi.energy, lo.energy);
+        assert!(
+            hi.energy < lo.energy,
+            "hi {} vs lo {}",
+            hi.energy,
+            lo.energy
+        );
         assert!(hi.max_over_sensors(0..4) > lo.max_over_sensors(0..4));
     }
 
@@ -243,7 +263,10 @@ pub(crate) mod tests {
     #[test]
     fn window_shape_is_validated() {
         let tr = coupled_trace(400, 1);
-        let cfg = ModelConfig { horizon: 6, ..ModelConfig::default() };
+        let cfg = ModelConfig {
+            horizon: 6,
+            ..ModelConfig::default()
+        };
         let model = DcTimeSeriesModel::fit(&tr, cfg).unwrap();
         let bad = tr.window_at(200, 5).unwrap();
         assert!(model.predict(&bad, 23.0).is_err());

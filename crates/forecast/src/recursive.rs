@@ -55,17 +55,26 @@ impl RecursiveAr {
         let design = SharedDesign::new(x);
 
         let targets: Vec<Vec<f64>> = (0..m)
-            .map(|sig| rows.iter().map(|&t| Self::signal_at(trace, sig, t + 1)).collect())
+            .map(|sig| {
+                rows.iter()
+                    .map(|&t| Self::signal_at(trace, sig, t + 1))
+                    .collect()
+            })
             .collect();
         let models = design.fit_multi(None, &targets, alpha)?;
-        Ok(RecursiveAr { models, n_dc, n_acu, order })
+        Ok(RecursiveAr {
+            models,
+            n_dc,
+            n_acu,
+            order,
+        })
     }
 
     fn write_frame(dst: &mut [f64], trace: &Trace, t: usize) {
         let n_dc = trace.n_dc_sensors();
         let n_acu = trace.n_acu_sensors();
-        for k in 0..n_dc {
-            dst[k] = trace.dc_temps[k][t];
+        for (d, col) in dst.iter_mut().zip(&trace.dc_temps) {
+            *d = col[t];
         }
         for i in 0..n_acu {
             dst[n_dc + i] = trace.acu_inlet[i][t];
@@ -100,7 +109,9 @@ impl RecursiveAr {
     ) -> Result<Vec<Vec<f64>>, ForecastError> {
         let m = Self::state_dim(self.n_dc, self.n_acu);
         if window.dc.len() != self.n_dc || window.inlet.len() != self.n_acu {
-            return Err(ForecastError::BadWindow("window sensor count mismatch".into()));
+            return Err(ForecastError::BadWindow(
+                "window sensor count mismatch".into(),
+            ));
         }
         let hist = window.power.len();
         if hist < self.order {
@@ -155,13 +166,15 @@ mod tests {
         let model = RecursiveAr::fit(&tr, 2, 0.0).unwrap();
         let t = 400;
         let window = tr.window_at(t, 8).unwrap();
-        let preds = model.predict_rollout(&window, &[tr.setpoint[t + 1]]).unwrap();
-        for k in 0..tr.n_dc_sensors() {
+        let preds = model
+            .predict_rollout(&window, &[tr.setpoint[t + 1]])
+            .unwrap();
+        for (k, row) in preds.iter().enumerate().take(tr.n_dc_sensors()) {
             let truth = tr.dc_temps[k][t + 1];
             assert!(
-                (preds[k][0] - truth).abs() < 0.5,
+                (row[0] - truth).abs() < 0.5,
                 "sensor {k}: {} vs {truth}",
-                preds[k][0]
+                row[0]
             );
         }
     }
@@ -179,9 +192,9 @@ mod tests {
             let window = tr.window_at(t, l).unwrap();
             let sps: Vec<f64> = (1..=l).map(|s| tr.setpoint[t + s]).collect();
             let preds = model.predict_rollout(&window, &sps).unwrap();
-            for k in 0..tr.n_dc_sensors() {
-                err_first += (preds[k][0] - tr.dc_temps[k][t + 1]).abs();
-                err_last += (preds[k][l - 1] - tr.dc_temps[k][t + l]).abs();
+            for (k, row) in preds.iter().enumerate().take(tr.n_dc_sensors()) {
+                err_first += (row[0] - tr.dc_temps[k][t + 1]).abs();
+                err_last += (row[l - 1] - tr.dc_temps[k][t + l]).abs();
                 count += 1;
             }
         }

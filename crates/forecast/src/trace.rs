@@ -82,7 +82,10 @@ impl Trace {
     pub fn validate(&self, min_len: usize) -> Result<(), ForecastError> {
         let t = self.len();
         if t < min_len {
-            return Err(ForecastError::TraceTooShort { needed: min_len, got: t });
+            return Err(ForecastError::TraceTooShort {
+                needed: min_len,
+                got: t,
+            });
         }
         for (i, col) in self.acu_inlet.iter().enumerate() {
             if col.len() != t {
@@ -183,7 +186,14 @@ mod tests {
         let mut tr = Trace::with_sensors(2, 3);
         for i in 0..t {
             let f = i as f64;
-            tr.push(f, &[10.0 + f, 20.0 + f], &[1.0 + f, 2.0 + f, 3.0 + f], 23.0, 0.04, 2.0);
+            tr.push(
+                f,
+                &[10.0 + f, 20.0 + f],
+                &[1.0 + f, 2.0 + f, 3.0 + f],
+                23.0,
+                0.04,
+                2.0,
+            );
         }
         tr
     }
@@ -210,7 +220,10 @@ mod tests {
     fn validate_rejects_ragged_columns() {
         let mut tr = trace(3);
         tr.setpoint.pop();
-        assert!(matches!(tr.validate(2), Err(ForecastError::InconsistentTrace(_))));
+        assert!(matches!(
+            tr.validate(2),
+            Err(ForecastError::InconsistentTrace(_))
+        ));
     }
 
     #[test]

@@ -36,12 +36,7 @@ pub struct FixedNoiseGp<K: Kernel> {
 impl<K: Kernel> FixedNoiseGp<K> {
     /// Fits on training points `x`, targets `y`, and per-point noise
     /// *variances*.
-    pub fn fit(
-        kernel: K,
-        x: Vec<Vec<f64>>,
-        y: &[f64],
-        noise_var: &[f64],
-    ) -> Result<Self, GpError> {
+    pub fn fit(kernel: K, x: Vec<Vec<f64>>, y: &[f64], noise_var: &[f64]) -> Result<Self, GpError> {
         let n = x.len();
         if n == 0 {
             return Err(GpError::Empty);
@@ -78,11 +73,17 @@ impl<K: Kernel> FixedNoiseGp<K> {
 
         // log p(y) = −½ rᵀα − ½ log|K+Σ| − n/2 log 2π
         let quad: f64 = resid.iter().zip(&alpha).map(|(r, a)| r * a).sum();
-        let log_marginal = -0.5 * quad
-            - 0.5 * chol.log_det()
-            - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+        let log_marginal =
+            -0.5 * quad - 0.5 * chol.log_det() - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
 
-        Ok(FixedNoiseGp { kernel, x, chol, alpha, mean, log_marginal })
+        Ok(FixedNoiseGp {
+            kernel,
+            x,
+            chol,
+            alpha,
+            mean,
+            log_marginal,
+        })
     }
 
     /// Number of training points.
@@ -200,14 +201,20 @@ pub fn fit_matern_hypers(
             }
         }
     }
-    let (mut ls, mut os, mut gp) =
-        best.ok_or(GpError::Numerical("no hyper-parameter candidate factored".into()))?;
+    let (mut ls, mut os, mut gp) = best.ok_or(GpError::Numerical(
+        "no hyper-parameter candidate factored".into(),
+    ))?;
 
     // Stage 2: multiplicative coordinate descent with a shrinking step.
     let mut step = 1.6;
     for _round in 0..6 {
         let mut improved = false;
-        for (dl, do_) in [(step, 1.0), (1.0 / step, 1.0), (1.0, step), (1.0, 1.0 / step)] {
+        for (dl, do_) in [
+            (step, 1.0),
+            (1.0 / step, 1.0),
+            (1.0, step),
+            (1.0, 1.0 / step),
+        ] {
             let (cl, co) = (ls * dl, os * do_);
             if let Some(cand) = try_fit(cl, co) {
                 if cand.log_marginal_likelihood() > gp.log_marginal_likelihood() {
@@ -234,7 +241,10 @@ mod tests {
     use crate::kernel::Matern52;
 
     fn train_1d(f: impl Fn(f64) -> f64, xs: &[f64]) -> (Vec<Vec<f64>>, Vec<f64>) {
-        (xs.iter().map(|&v| vec![v]).collect(), xs.iter().map(|&v| f(v)).collect())
+        (
+            xs.iter().map(|&v| vec![v]).collect(),
+            xs.iter().map(|&v| f(v)).collect(),
+        )
     }
 
     #[test]
@@ -246,7 +256,10 @@ mod tests {
             assert!((m - t).abs() < 1e-3, "{m} vs {t}");
         }
         for v in post.var {
-            assert!(v < 1e-3, "variance at observed point should collapse, got {v}");
+            assert!(
+                v < 1e-3,
+                "variance at observed point should collapse, got {v}"
+            );
         }
     }
 
@@ -340,10 +353,18 @@ mod tests {
         let post = gp.posterior(&queries);
         for q in 0..2 {
             let mean: f64 = samples.iter().map(|s| s[q]).sum::<f64>() / samples.len() as f64;
-            let var: f64 = samples.iter().map(|s| (s[q] - mean).powi(2)).sum::<f64>()
-                / samples.len() as f64;
-            assert!((mean - post.mean[q]).abs() < 0.02, "q{q} mean {mean} vs {}", post.mean[q]);
-            assert!((var - post.var[q]).abs() < 0.05, "q{q} var {var} vs {}", post.var[q]);
+            let var: f64 =
+                samples.iter().map(|s| (s[q] - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+            assert!(
+                (mean - post.mean[q]).abs() < 0.02,
+                "q{q} mean {mean} vs {}",
+                post.mean[q]
+            );
+            assert!(
+                (var - post.var[q]).abs() < 0.05,
+                "q{q} var {var} vs {}",
+                post.var[q]
+            );
         }
     }
 
@@ -355,6 +376,8 @@ mod tests {
         assert!(FixedNoiseGp::fit(Matern52::new(1.0, 1.0), vec![], &[], &[]).is_err());
         let gp = FixedNoiseGp::fit(Matern52::new(1.0, 1.0), x, &[1.0; 2], &[0.1; 2]).unwrap();
         // Wrong normal length.
-        assert!(gp.sample_posterior(&[vec![0.5]], &[vec![0.0, 0.0]]).is_err());
+        assert!(gp
+            .sample_posterior(&[vec![0.5]], &[vec![0.0, 0.0]])
+            .is_err());
     }
 }

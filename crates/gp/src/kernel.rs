@@ -65,7 +65,10 @@ pub struct Rbf {
 impl Rbf {
     /// Creates the kernel; parameters are clamped to be positive.
     pub fn new(lengthscale: f64, outputscale: f64) -> Self {
-        Rbf { lengthscale: lengthscale.max(1e-9), outputscale: outputscale.max(1e-12) }
+        Rbf {
+            lengthscale: lengthscale.max(1e-9),
+            outputscale: outputscale.max(1e-12),
+        }
     }
 }
 
@@ -104,7 +107,10 @@ mod tests {
     #[test]
     fn matern_is_symmetric() {
         let k = Matern52::new(0.7, 1.3);
-        assert_eq!(k.eval(&[1.0, 2.0], &[3.0, -1.0]), k.eval(&[3.0, -1.0], &[1.0, 2.0]));
+        assert_eq!(
+            k.eval(&[1.0, 2.0], &[3.0, -1.0]),
+            k.eval(&[3.0, -1.0], &[1.0, 2.0])
+        );
     }
 
     #[test]

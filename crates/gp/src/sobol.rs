@@ -43,7 +43,10 @@ impl SobolSequence {
     /// # Panics
     /// Panics if `dims` is 0 or exceeds the supported table.
     pub fn new(dims: usize) -> Self {
-        assert!((1..=MAX_DIMS).contains(&dims), "supported dims: 1..={MAX_DIMS}");
+        assert!(
+            (1..=MAX_DIMS).contains(&dims),
+            "supported dims: 1..={MAX_DIMS}"
+        );
         let mut v = Vec::with_capacity(dims);
         // Dimension 1: van der Corput, v_k = 1 << (31 - k).
         let mut v0 = [0u32; BITS];
@@ -74,7 +77,12 @@ impl SobolSequence {
             }
             v.push(vd);
         }
-        SobolSequence { dims, v, x: vec![0; dims], index: 0 }
+        SobolSequence {
+            dims,
+            v,
+            x: vec![0; dims],
+            index: 0,
+        }
     }
 
     /// Number of dimensions.
@@ -210,7 +218,10 @@ pub fn qmc_normal_hybrid(n: usize, dims: usize, seed: u64) -> Vec<Vec<f64>> {
             let mut row: Vec<f64> = if dims == 0 {
                 Vec::new()
             } else {
-                seq.next_point().into_iter().map(inverse_normal_cdf).collect()
+                seq.next_point()
+                    .into_iter()
+                    .map(inverse_normal_cdf)
+                    .collect()
             };
             while row.len() < dims {
                 row.push(inverse_normal_cdf(uniform()));

@@ -1,9 +1,7 @@
 //! Property-based tests on the GP and QMC machinery.
 
 use proptest::prelude::*;
-use tesla_gp::{
-    inverse_normal_cdf, normal_cdf, FixedNoiseGp, Kernel, Matern52, SobolSequence,
-};
+use tesla_gp::{inverse_normal_cdf, normal_cdf, FixedNoiseGp, Kernel, Matern52, SobolSequence};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]

@@ -105,8 +105,8 @@ impl Cholesky {
         // Back substitution: Lᵀ x = y.
         for i in (0..n).rev() {
             let mut sum = y[i];
-            for k in (i + 1)..n {
-                sum -= self.l[(k, i)] * y[k];
+            for (k, &yk) in y.iter().enumerate().skip(i + 1) {
+                sum -= self.l[(k, i)] * yk;
             }
             y[i] = sum / self.l[(i, i)];
         }
@@ -121,8 +121,8 @@ impl Cholesky {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut sum = b[i];
-            for k in 0..i {
-                sum -= self.l[(i, k)] * y[k];
+            for (k, &yk) in y.iter().enumerate().take(i) {
+                sum -= self.l[(i, k)] * yk;
             }
             y[i] = sum / self.l[(i, i)];
         }
@@ -167,12 +167,7 @@ mod tests {
 
     fn spd3() -> Matrix {
         // A = M Mᵀ + I for a fixed M: guaranteed SPD.
-        Matrix::from_vec(
-            3,
-            3,
-            vec![5.0, 2.0, 1.0, 2.0, 6.0, 2.0, 1.0, 2.0, 4.0],
-        )
-        .unwrap()
+        Matrix::from_vec(3, 3, vec![5.0, 2.0, 1.0, 2.0, 6.0, 2.0, 1.0, 2.0, 4.0]).unwrap()
     }
 
     #[test]

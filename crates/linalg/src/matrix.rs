@@ -24,7 +24,11 @@ const PAR_FLOP_THRESHOLD: usize = 64 * 64 * 64;
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -67,7 +71,11 @@ impl Matrix {
             }
             data.extend_from_slice(r);
         }
-        Ok(Matrix { rows: rows.len(), cols, data })
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Number of rows.
@@ -229,7 +237,11 @@ impl Matrix {
             .zip(&rhs.data)
             .map(|(a, b)| a + b)
             .collect();
-        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Scales every element by `s` in place.
@@ -382,7 +394,10 @@ mod tests {
     #[test]
     fn from_rows_empty_errors() {
         let rows: Vec<Vec<f64>> = vec![];
-        assert!(matches!(Matrix::from_rows(&rows), Err(LinalgError::Empty(_))));
+        assert!(matches!(
+            Matrix::from_rows(&rows),
+            Err(LinalgError::Empty(_))
+        ));
     }
 
     #[test]

@@ -41,7 +41,13 @@ impl Ridge {
     ) -> Self {
         assert_eq!(weights.len(), feat_mean.len());
         assert_eq!(weights.len(), feat_std.len());
-        Ridge { weights, bias, alpha, feat_mean, feat_std }
+        Ridge {
+            weights,
+            bias,
+            alpha,
+            feat_mean,
+            feat_std,
+        }
     }
 
     /// Regularization strength the model was fitted with.
@@ -77,8 +83,8 @@ impl Ridge {
     pub fn predict(&self, x: &[f64]) -> f64 {
         debug_assert_eq!(x.len(), self.weights.len());
         let mut acc = self.bias;
-        for i in 0..x.len() {
-            acc += self.weights[i] * (x[i] - self.feat_mean[i]) / self.feat_std[i];
+        for (i, &xi) in x.iter().enumerate() {
+            acc += self.weights[i] * (xi - self.feat_mean[i]) / self.feat_std[i];
         }
         acc
     }
@@ -149,8 +155,8 @@ pub fn fit_ridge(x: &Matrix, y: &[f64], alpha: f64) -> Result<Ridge> {
     gram.add_diagonal(alpha);
     // Xᵀ (y - ȳ)
     let mut xty = vec![0.0; d];
-    for i in 0..n {
-        let yi = y[i] - y_mean;
+    for (i, &yv) in y.iter().enumerate().take(n) {
+        let yi = yv - y_mean;
         let row = xs.row(i);
         for j in 0..d {
             xty[j] += row[j] * yi;
@@ -160,7 +166,13 @@ pub fn fit_ridge(x: &Matrix, y: &[f64], alpha: f64) -> Result<Ridge> {
     let chol = Cholesky::decompose_jittered(&gram, 1e-10, 14)?;
     let weights = chol.solve(&xty)?;
 
-    Ok(Ridge { weights, bias: y_mean, alpha, feat_mean, feat_std })
+    Ok(Ridge {
+        weights,
+        bias: y_mean,
+        alpha,
+        feat_mean,
+        feat_std,
+    })
 }
 
 #[cfg(test)]
@@ -189,8 +201,8 @@ mod tests {
         assert!((w[0] - 2.0).abs() < 1e-8, "w0={}", w[0]);
         assert!((w[1] + 3.0).abs() < 1e-8, "w1={}", w[1]);
         assert!((model.bias() - 5.0).abs() < 1e-8);
-        for i in 0..x.rows() {
-            assert!((model.predict(x.row(i)) - y[i]).abs() < 1e-8);
+        for (i, &yi) in y.iter().enumerate() {
+            assert!((model.predict(x.row(i)) - yi).abs() < 1e-8);
         }
     }
 

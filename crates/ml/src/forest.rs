@@ -23,7 +23,10 @@ impl Default for ForestConfig {
     fn default() -> Self {
         ForestConfig {
             n_trees: 100,
-            tree: TreeConfig { max_depth: 10, ..TreeConfig::default() },
+            tree: TreeConfig {
+                max_depth: 10,
+                ..TreeConfig::default()
+            },
             seed: 0,
         }
     }
@@ -112,7 +115,10 @@ mod tests {
         let data = friedmanish_data();
         let model = RandomForest::fit(
             &data,
-            ForestConfig { n_trees: 60, ..ForestConfig::default() },
+            ForestConfig {
+                n_trees: 60,
+                ..ForestConfig::default()
+            },
         )
         .unwrap();
         let mut err = 0.0;
@@ -134,7 +140,10 @@ mod tests {
         };
         let forest = RandomForest::fit(
             &train,
-            ForestConfig { n_trees: 80, ..ForestConfig::default() },
+            ForestConfig {
+                n_trees: 80,
+                ..ForestConfig::default()
+            },
         )
         .unwrap();
         assert_eq!(forest.n_trees(), 80);
@@ -151,29 +160,50 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let data = friedmanish_data();
-        let cfg = ForestConfig { n_trees: 10, seed: 3, ..ForestConfig::default() };
+        let cfg = ForestConfig {
+            n_trees: 10,
+            seed: 3,
+            ..ForestConfig::default()
+        };
         let a = RandomForest::fit(&data, cfg.clone()).unwrap();
         let b = RandomForest::fit(&data, cfg).unwrap();
-        assert_eq!(a.predict(&[0.5, 0.5, 0.5, 0.5]), b.predict(&[0.5, 0.5, 0.5, 0.5]));
+        assert_eq!(
+            a.predict(&[0.5, 0.5, 0.5, 0.5]),
+            b.predict(&[0.5, 0.5, 0.5, 0.5])
+        );
     }
 
     #[test]
     fn bad_config_rejected() {
         let data = friedmanish_data();
-        assert!(RandomForest::fit(&data, ForestConfig { n_trees: 0, ..ForestConfig::default() })
-            .is_err());
+        assert!(RandomForest::fit(
+            &data,
+            ForestConfig {
+                n_trees: 0,
+                ..ForestConfig::default()
+            }
+        )
+        .is_err());
         assert!(RandomForest::fit(&Dataset::default(), ForestConfig::default()).is_err());
     }
 
     #[test]
     fn prediction_is_within_target_range() {
         let data = friedmanish_data();
-        let model =
-            RandomForest::fit(&data, ForestConfig { n_trees: 30, ..ForestConfig::default() })
-                .unwrap();
+        let model = RandomForest::fit(
+            &data,
+            ForestConfig {
+                n_trees: 30,
+                ..ForestConfig::default()
+            },
+        )
+        .unwrap();
         let lo = data.y.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = data.y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let p = model.predict(&[0.5, 0.5, 0.5, 0.5]);
-        assert!(p >= lo && p <= hi, "forest mean must stay in the convex hull");
+        assert!(
+            p >= lo && p <= hi,
+            "forest mean must stay in the convex hull"
+        );
     }
 }

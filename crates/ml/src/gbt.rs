@@ -31,7 +31,10 @@ impl Default for GbtConfig {
             n_rounds: 120,
             learning_rate: 0.08,
             subsample: 0.8,
-            tree: TreeConfig { max_depth: 3, ..TreeConfig::default() },
+            tree: TreeConfig {
+                max_depth: 3,
+                ..TreeConfig::default()
+            },
             seed: 0,
         }
     }
@@ -88,7 +91,11 @@ impl GradientBoosting {
             }
             trees.push(tree);
         }
-        Ok(GradientBoosting { base, trees, learning_rate: config.learning_rate })
+        Ok(GradientBoosting {
+            base,
+            trees,
+            learning_rate: config.learning_rate,
+        })
     }
 
     /// Number of boosted trees.
@@ -133,12 +140,20 @@ mod tests {
         let data = smooth_data();
         let short = GradientBoosting::fit(
             &data,
-            GbtConfig { n_rounds: 5, subsample: 1.0, ..GbtConfig::default() },
+            GbtConfig {
+                n_rounds: 5,
+                subsample: 1.0,
+                ..GbtConfig::default()
+            },
         )
         .unwrap();
         let long = GradientBoosting::fit(
             &data,
-            GbtConfig { n_rounds: 150, subsample: 1.0, ..GbtConfig::default() },
+            GbtConfig {
+                n_rounds: 150,
+                subsample: 1.0,
+                ..GbtConfig::default()
+            },
         )
         .unwrap();
         let sse = |m: &GradientBoosting| -> f64 {
@@ -164,12 +179,18 @@ mod tests {
         let data = smooth_data();
         assert!(GradientBoosting::fit(
             &data,
-            GbtConfig { subsample: 0.0, ..GbtConfig::default() }
+            GbtConfig {
+                subsample: 0.0,
+                ..GbtConfig::default()
+            }
         )
         .is_err());
         assert!(GradientBoosting::fit(
             &data,
-            GbtConfig { learning_rate: -1.0, ..GbtConfig::default() }
+            GbtConfig {
+                learning_rate: -1.0,
+                ..GbtConfig::default()
+            }
         )
         .is_err());
         assert!(GradientBoosting::fit(&Dataset::default(), GbtConfig::default()).is_err());
@@ -178,7 +199,11 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let data = smooth_data();
-        let cfg = GbtConfig { seed: 42, n_rounds: 20, ..GbtConfig::default() };
+        let cfg = GbtConfig {
+            seed: 42,
+            n_rounds: 20,
+            ..GbtConfig::default()
+        };
         let a = GradientBoosting::fit(&data, cfg.clone()).unwrap();
         let b = GradientBoosting::fit(&data, cfg).unwrap();
         assert_eq!(a.predict(&[1.3]), b.predict(&[1.3]));

@@ -97,16 +97,16 @@ pub struct Mlp {
 
 impl Mlp {
     /// Trains on multi-output data: `x` rows ↔ `y` rows.
-    pub fn fit_multi(
-        x: &[Vec<f64>],
-        y: &[Vec<f64>],
-        config: MlpConfig,
-    ) -> Result<Self, MlError> {
+    pub fn fit_multi(x: &[Vec<f64>], y: &[Vec<f64>], config: MlpConfig) -> Result<Self, MlError> {
         if x.is_empty() || y.is_empty() {
             return Err(MlError::Empty("MLP training data"));
         }
         if x.len() != y.len() {
-            return Err(MlError::Shape(format!("{} inputs vs {} outputs", x.len(), y.len())));
+            return Err(MlError::Shape(format!(
+                "{} inputs vs {} outputs",
+                x.len(),
+                y.len()
+            )));
         }
         let n_in = x[0].len();
         let n_out = y[0].len();
@@ -114,7 +114,9 @@ impl Mlp {
             return Err(MlError::Shape("ragged rows".into()));
         }
         if config.batch_size == 0 || config.learning_rate <= 0.0 {
-            return Err(MlError::BadConfig("batch_size and learning_rate must be positive".into()));
+            return Err(MlError::BadConfig(
+                "batch_size and learning_rate must be positive".into(),
+            ));
         }
         let n = x.len();
 
@@ -149,11 +151,21 @@ impl Mlp {
 
         let xs: Vec<Vec<f64>> = x
             .iter()
-            .map(|r| r.iter().enumerate().map(|(j, v)| (v - x_mean[j]) / x_std[j]).collect())
+            .map(|r| {
+                r.iter()
+                    .enumerate()
+                    .map(|(j, v)| (v - x_mean[j]) / x_std[j])
+                    .collect()
+            })
             .collect();
         let ys: Vec<Vec<f64>> = y
             .iter()
-            .map(|r| r.iter().enumerate().map(|(j, v)| (v - y_mean[j]) / y_std[j]).collect())
+            .map(|r| {
+                r.iter()
+                    .enumerate()
+                    .map(|(j, v)| (v - y_mean[j]) / y_std[j])
+                    .collect()
+            })
             .collect();
 
         let mut rng = StdRng::seed_from_u64(config.seed);
@@ -177,10 +189,8 @@ impl Mlp {
             }
             for batch in order.chunks(config.batch_size) {
                 // Zeroed gradient accumulators per layer.
-                let mut gw: Vec<Vec<f64>> =
-                    layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
-                let mut gb: Vec<Vec<f64>> =
-                    layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+                let mut gw: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
+                let mut gb: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
 
                 for &idx in batch {
                     // Forward pass, caching activations.
@@ -217,10 +227,9 @@ impl Mlp {
                             // Propagate delta, applying ReLU mask of the
                             // previous layer's output.
                             let mut prev = vec![0.0; layer.n_in];
-                            for o in 0..layer.n_out {
-                                let row = &layer.w[o * layer.n_in..(o + 1) * layer.n_in];
+                            for (d, row) in delta.iter().zip(layer.w.chunks_exact(layer.n_in)) {
                                 for (p, w) in prev.iter_mut().zip(row) {
-                                    *p += delta[o] * w;
+                                    *p += d * w;
                                 }
                             }
                             for (p, a) in prev.iter_mut().zip(input) {
@@ -239,16 +248,16 @@ impl Mlp {
                 let bias1 = 1.0 - b1.powi(adam_t as i32);
                 let bias2 = 1.0 - b2.powi(adam_t as i32);
                 for (li, layer) in layers.iter_mut().enumerate() {
-                    for k in 0..layer.w.len() {
-                        let g = gw[li][k] / bs + config.weight_decay * layer.w[k];
+                    for (k, &gwk) in gw[li].iter().enumerate() {
+                        let g = gwk / bs + config.weight_decay * layer.w[k];
                         layer.mw[k] = b1 * layer.mw[k] + (1.0 - b1) * g;
                         layer.vw[k] = b2 * layer.vw[k] + (1.0 - b2) * g * g;
                         let mhat = layer.mw[k] / bias1;
                         let vhat = layer.vw[k] / bias2;
                         layer.w[k] -= config.learning_rate * mhat / (vhat.sqrt() + eps);
                     }
-                    for k in 0..layer.b.len() {
-                        let g = gb[li][k] / bs;
+                    for (k, &gbk) in gb[li].iter().enumerate() {
+                        let g = gbk / bs;
                         layer.mb[k] = b1 * layer.mb[k] + (1.0 - b1) * g;
                         layer.vb[k] = b2 * layer.vb[k] + (1.0 - b2) * g * g;
                         let mhat = layer.mb[k] / bias1;
@@ -259,7 +268,16 @@ impl Mlp {
             }
         }
 
-        Ok(Mlp { layers, config, n_in, n_out, x_mean, x_std, y_mean, y_std })
+        Ok(Mlp {
+            layers,
+            config,
+            n_in,
+            n_out,
+            x_mean,
+            x_std,
+            y_mean,
+            y_std,
+        })
     }
 
     /// Trains a single-output regressor.
@@ -334,7 +352,10 @@ mod tests {
     #[test]
     fn learns_linear_function() {
         let (x, y) = grid_xy(|a, b| 3.0 * a - 2.0 * b + 1.0);
-        let cfg = MlpConfig { epochs: 80, ..MlpConfig::default() };
+        let cfg = MlpConfig {
+            epochs: 80,
+            ..MlpConfig::default()
+        };
         let m = Mlp::fit(&x, &y, cfg).unwrap();
         let mut err = 0.0;
         for (xi, yi) in x.iter().zip(&y) {
@@ -348,7 +369,11 @@ mod tests {
     fn learns_nonlinear_function() {
         // |a| is not representable by a linear model; ReLU nets nail it.
         let (x, y) = grid_xy(|a, b| a.abs() + 0.5 * b);
-        let cfg = MlpConfig { epochs: 150, seed: 1, ..MlpConfig::default() };
+        let cfg = MlpConfig {
+            epochs: 150,
+            seed: 1,
+            ..MlpConfig::default()
+        };
         let m = Mlp::fit(&x, &y, cfg).unwrap();
         let mut err = 0.0;
         for (xi, yi) in x.iter().zip(&y) {
@@ -362,7 +387,11 @@ mod tests {
     fn multi_output_heads_learn_independent_targets() {
         let (x, _) = grid_xy(|_, _| 0.0);
         let y: Vec<Vec<f64>> = x.iter().map(|r| vec![r[0] * 2.0, -r[1] + 0.5]).collect();
-        let cfg = MlpConfig { epochs: 80, seed: 2, ..MlpConfig::default() };
+        let cfg = MlpConfig {
+            epochs: 80,
+            seed: 2,
+            ..MlpConfig::default()
+        };
         let m = Mlp::fit_multi(&x, &y, cfg).unwrap();
         assert_eq!(m.n_outputs(), 2);
         let p = m.predict_multi(&[0.5, -0.5]);
@@ -373,7 +402,11 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (x, y) = grid_xy(|a, b| a + b);
-        let cfg = MlpConfig { epochs: 5, seed: 7, ..MlpConfig::default() };
+        let cfg = MlpConfig {
+            epochs: 5,
+            seed: 7,
+            ..MlpConfig::default()
+        };
         let m1 = Mlp::fit(&x, &y, cfg.clone()).unwrap();
         let m2 = Mlp::fit(&x, &y, cfg).unwrap();
         assert_eq!(m1.predict(&[0.3, 0.3]), m2.predict(&[0.3, 0.3]));
@@ -384,7 +417,10 @@ mod tests {
         assert!(Mlp::fit(&[], &[], MlpConfig::default()).is_err());
         let x = vec![vec![1.0]];
         assert!(Mlp::fit(&x, &[1.0, 2.0], MlpConfig::default()).is_err());
-        let cfg = MlpConfig { batch_size: 0, ..MlpConfig::default() };
+        let cfg = MlpConfig {
+            batch_size: 0,
+            ..MlpConfig::default()
+        };
         assert!(Mlp::fit(&x, &[1.0], cfg).is_err());
     }
 }

@@ -77,7 +77,10 @@ impl RegressionTree {
         }
         let idx: Vec<usize> = (0..data.len()).collect();
         let root = Self::build(data, &idx, config, 0, &mut rng);
-        Ok(RegressionTree { root, n_features: data.n_features() })
+        Ok(RegressionTree {
+            root,
+            n_features: data.n_features(),
+        })
     }
 
     fn mean(data: &Dataset, idx: &[usize]) -> f64 {
@@ -95,7 +98,9 @@ impl RegressionTree {
             || idx.len() < config.min_samples_split
             || idx.len() < 2 * config.min_samples_leaf
         {
-            return Node::Leaf { value: Self::mean(data, idx) };
+            return Node::Leaf {
+                value: Self::mean(data, idx),
+            };
         }
 
         // Candidate features: all, or a random subset.
@@ -148,8 +153,8 @@ impl RegressionTree {
                 }
                 let right_sum = total_sum - left_sum;
                 let right_sq = total_sq - left_sq;
-                let sse = (left_sq - left_sum * left_sum / nl)
-                    + (right_sq - right_sum * right_sum / nr);
+                let sse =
+                    (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
                 if best.as_ref().is_none_or(|(_, _, b)| sse < *b) {
                     best = Some((f, 0.5 * (xv + xn), sse));
                 }
@@ -162,9 +167,16 @@ impl RegressionTree {
                     idx.iter().partition(|&&i| data.x[i][feature] <= threshold);
                 let left = Self::build(data, &left_idx, config, depth + 1, rng);
                 let right = Self::build(data, &right_idx, config, depth + 1, rng);
-                Node::Split { feature, threshold, left: Box::new(left), right: Box::new(right) }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                }
             }
-            _ => Node::Leaf { value: Self::mean(data, idx) },
+            _ => Node::Leaf {
+                value: Self::mean(data, idx),
+            },
         }
     }
 
@@ -190,8 +202,17 @@ impl RegressionTree {
         loop {
             match node {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -205,7 +226,10 @@ mod tests {
     fn step_data() -> Dataset {
         // y = 1 for x < 0.5, y = 5 for x >= 0.5.
         let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 39.0]).collect();
-        let y: Vec<f64> = x.iter().map(|r| if r[0] < 0.5 { 1.0 } else { 5.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| if r[0] < 0.5 { 1.0 } else { 5.0 })
+            .collect();
         Dataset::new(x, y).unwrap()
     }
 
@@ -220,7 +244,10 @@ mod tests {
     #[test]
     fn depth_zero_gives_global_mean() {
         let data = step_data();
-        let cfg = TreeConfig { max_depth: 0, ..TreeConfig::default() };
+        let cfg = TreeConfig {
+            max_depth: 0,
+            ..TreeConfig::default()
+        };
         let tree = RegressionTree::fit(&data, &cfg).unwrap();
         let mean = data.y.iter().sum::<f64>() / data.y.len() as f64;
         assert!((tree.predict(&[0.1]) - mean).abs() < 1e-9);
@@ -249,7 +276,10 @@ mod tests {
     #[test]
     fn min_samples_leaf_is_respected() {
         let data = step_data();
-        let cfg = TreeConfig { min_samples_leaf: 15, ..TreeConfig::default() };
+        let cfg = TreeConfig {
+            min_samples_leaf: 15,
+            ..TreeConfig::default()
+        };
         let tree = RegressionTree::fit(&data, &cfg).unwrap();
         // With 40 points and leaf >= 15, at most 2 leaves are possible.
         assert!(tree.n_leaves() <= 2);

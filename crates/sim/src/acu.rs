@@ -46,6 +46,11 @@ pub struct Acu {
     last_supply: f64,
     /// Previous applied duty, for the upward slew-rate limit.
     prev_duty: f64,
+    /// Transient capacity multiplier on `q_max` (fouled coil; 1 = healthy).
+    capacity_derate: f64,
+    /// True while the supply fan has failed: no airflow, no extraction,
+    /// no power draw.
+    fan_failed: bool,
 }
 
 impl Acu {
@@ -59,6 +64,8 @@ impl Acu {
             setpoint: initial_setpoint,
             last_supply: initial_setpoint - 4.0,
             prev_duty: 0.0,
+            capacity_derate: 1.0,
+            fan_failed: false,
             params,
         }
     }
@@ -100,7 +107,27 @@ impl Acu {
     /// * `true_return` — physical return-air temperature used to compute
     ///   the achievable supply temperature.
     /// * `mdot_cp` — air-loop heat capacity rate, kW/K.
-    pub fn step(&mut self, measured_inlet: f64, true_return: f64, mdot_cp: f64, dt: f64) -> AcuStep {
+    pub fn step(
+        &mut self,
+        measured_inlet: f64,
+        true_return: f64,
+        mdot_cp: f64,
+        dt: f64,
+    ) -> AcuStep {
+        if self.fan_failed {
+            // No airflow: nothing is extracted and the unit is dark. The
+            // compressor restarts from zero duty (through the slew limit)
+            // once the fan recovers.
+            self.prev_duty = 0.0;
+            self.last_supply = true_return;
+            return AcuStep {
+                duty: 0.0,
+                q_kw: 0.0,
+                supply_temp: true_return,
+                power_kw: 0.0,
+                interrupted: true,
+            };
+        }
         // Residual error: inlet − set-point. Positive → must cool harder.
         let error = measured_inlet - self.setpoint;
         let commanded = self.pid.step(error, dt);
@@ -109,7 +136,7 @@ impl Acu {
         let duty = commanded.min(self.prev_duty + self.params.duty_slew_per_s * dt);
         self.prev_duty = duty;
 
-        let q_requested = duty * self.params.q_max_kw;
+        let q_requested = duty * self.params.q_max_kw * self.capacity_derate;
         // Supply cannot go below the evaporator floor.
         let supply_unclamped = true_return - q_requested / mdot_cp;
         let supply = supply_unclamped.max(self.params.supply_temp_min);
@@ -126,7 +153,13 @@ impl Acu {
         };
 
         self.last_supply = supply;
-        AcuStep { duty, q_kw: q_eff, supply_temp: supply, power_kw: power, interrupted }
+        AcuStep {
+            duty,
+            q_kw: q_eff,
+            supply_temp: supply,
+            power_kw: power,
+            interrupted,
+        }
     }
 
     /// Supply temperature from the most recent step.
@@ -147,6 +180,27 @@ impl Acu {
         let f = factor.max(0.05);
         self.params.cop_intercept *= f;
         self.params.cop_slope *= f;
+    }
+
+    /// Sets the transient capacity derate (fouled coil): `q_max` is
+    /// multiplied by `factor` until the next call. 1.0 restores health.
+    pub fn set_capacity_derate(&mut self, factor: f64) {
+        self.capacity_derate = factor.clamp(0.0, 1.0);
+    }
+
+    /// Current transient capacity derate.
+    pub fn capacity_derate(&self) -> f64 {
+        self.capacity_derate
+    }
+
+    /// Fails or restores the supply fan.
+    pub fn set_fan_failed(&mut self, failed: bool) {
+        self.fan_failed = failed;
+    }
+
+    /// True while the supply fan is failed.
+    pub fn fan_failed(&self) -> bool {
+        self.fan_failed
     }
 }
 
@@ -184,7 +238,10 @@ mod tests {
         assert!(duties[0] > 0.0);
         // The slew limiter paces the ramp, but a persistent error must
         // still saturate the compressor eventually.
-        assert!(*duties.last().unwrap() > 0.9, "persistent error saturates duty");
+        assert!(
+            *duties.last().unwrap() > 0.9,
+            "persistent error saturates duty"
+        );
         // And the ramp respects the slew limit.
         for w in duties.windows(2) {
             assert!(w[1] - w[0] <= 0.002 + 1e-12);
@@ -310,6 +367,47 @@ mod tests {
             p_degraded > p_healthy * 1.2,
             "degraded {p_degraded:.2} kW vs healthy {p_healthy:.2} kW"
         );
+    }
+
+    #[test]
+    fn capacity_derate_limits_extraction() {
+        let mut healthy = acu(20.0);
+        let mut fouled = acu(20.0);
+        fouled.set_capacity_derate(0.4);
+        let mut q_healthy = 0.0;
+        let mut q_fouled = 0.0;
+        for _ in 0..900 {
+            q_healthy = healthy.step(27.0, 27.0, 1.0, 1.0).q_kw;
+            q_fouled = fouled.step(27.0, 27.0, 1.0, 1.0).q_kw;
+        }
+        assert!(
+            q_fouled < q_healthy * 0.6,
+            "fouled {q_fouled:.2} kW vs healthy {q_healthy:.2} kW"
+        );
+        // Restoring health restores capacity.
+        fouled.set_capacity_derate(1.0);
+        for _ in 0..900 {
+            q_fouled = fouled.step(27.0, 27.0, 1.0, 1.0).q_kw;
+        }
+        assert!((q_fouled - q_healthy).abs() < 0.5);
+    }
+
+    #[test]
+    fn fan_failure_kills_extraction_and_power() {
+        let mut a = acu(20.0);
+        for _ in 0..300 {
+            a.step(27.0, 27.0, 1.0, 1.0);
+        }
+        a.set_fan_failed(true);
+        let s = a.step(27.0, 27.0, 1.0, 1.0);
+        assert!(s.interrupted);
+        assert_eq!(s.q_kw, 0.0);
+        assert_eq!(s.power_kw, 0.0);
+        assert_eq!(s.supply_temp, 27.0);
+        // Recovery ramps the compressor back through the slew limit.
+        a.set_fan_failed(false);
+        let s1 = a.step(27.0, 27.0, 1.0, 1.0);
+        assert!(s1.duty <= AcuParams::default().duty_slew_per_s + 1e-12);
     }
 
     #[test]

@@ -2,13 +2,12 @@
 //! calibration targets extracted from its measurements (Figs. 2–4, §2).
 
 use crate::SimError;
-use serde::{Deserialize, Serialize};
 
 /// PID gains for the ACU compressor loop (§2.1).
 ///
 /// The controller acts on the residual error `inlet − set-point`; its
 /// output is the compressor duty in `[0, 1]`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PidParams {
     /// Proportional gain (duty per Kelvin of residual error).
     pub kp: f64,
@@ -26,12 +25,18 @@ impl Default for PidParams {
     fn default() -> Self {
         // Settles a 2 K step in roughly 3–5 minutes with the default
         // thermal time constants, matching Fig. 4's transient time scale.
-        PidParams { kp: 0.15, ki: 0.001, kd: 0.0, out_min: 0.0, out_max: 1.0 }
+        PidParams {
+            kp: 0.15,
+            ki: 0.001,
+            kd: 0.0,
+            out_min: 0.0,
+            out_max: 1.0,
+        }
     }
 }
 
 /// Server power model parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ServerParams {
     /// Idle draw per machine, kW. Fig. 8a's per-machine averages
     /// (0.233–0.365 kW under medium load) anchor the range.
@@ -68,7 +73,7 @@ impl Default for ServerParams {
 }
 
 /// ACU (air-cooling unit) parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AcuParams {
     /// Maximum thermal cooling capacity, kW.
     pub q_max_kw: f64,
@@ -127,7 +132,7 @@ impl Default for AcuParams {
 
 /// Lumped three-node thermal network parameters (cold aisle, hot aisle,
 /// equipment/structural mass).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ThermalParams {
     /// Air-loop heat capacity rate `ṁ·c_p`, kW/K. Sets the server air
     /// ΔT: 6 kW of server heat over 1.0 kW/K is a 6 K aisle split.
@@ -172,7 +177,7 @@ impl Default for ThermalParams {
 }
 
 /// Rack sensor array parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SensorParams {
     /// Std-dev of rack sensor noise, °C.
     pub noise_std: f64,
@@ -185,12 +190,16 @@ pub struct SensorParams {
 
 impl Default for SensorParams {
     fn default() -> Self {
-        SensorParams { noise_std: 0.18, cold_offset_span: 0.7, cold_mix_max: 0.10 }
+        SensorParams {
+            noise_std: 0.18,
+            cold_offset_span: 0.7,
+            cold_mix_max: 0.10,
+        }
     }
 }
 
 /// Full testbed configuration. Defaults reproduce Table 1.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Number of servers (21 on the paper's testbed).
     pub n_servers: usize,
@@ -258,7 +267,9 @@ impl SimConfig {
             ));
         }
         if self.setpoint_min >= self.setpoint_max {
-            return Err(SimError::InvalidConfig("setpoint_min >= setpoint_max".into()));
+            return Err(SimError::InvalidConfig(
+                "setpoint_min >= setpoint_max".into(),
+            ));
         }
         if self.inner_dt_s <= 0.0 || self.sample_period_s < self.inner_dt_s {
             return Err(SimError::InvalidConfig(
@@ -309,24 +320,32 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut c = SimConfig::default();
-        c.n_servers = 0;
+        let c = SimConfig {
+            n_servers: 0,
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = SimConfig::default();
-        c.n_cold_aisle_sensors = 99;
+        let c = SimConfig {
+            n_cold_aisle_sensors: 99,
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
 
         let mut c = SimConfig::default();
         c.acu.inlet_sensor_bias = vec![0.0];
         assert!(c.validate().is_err());
 
-        let mut c = SimConfig::default();
-        c.setpoint_min = 40.0;
+        let c = SimConfig {
+            setpoint_min: 40.0,
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = SimConfig::default();
-        c.inner_dt_s = 120.0;
+        let c = SimConfig {
+            inner_dt_s: 120.0,
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
 
         let mut c = SimConfig::default();

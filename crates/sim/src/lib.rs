@@ -27,7 +27,13 @@
 //!   offsets, hot-air mixing fractions and noise; the cold-aisle subset
 //!   drives the thermal-safety constraint (§3.3, Eq. 9).
 //! * [`modbus`] — a register-map facade standing in for the Modbus
-//!   protocol used to command the real ACU.
+//!   protocol used to command the real ACU, with a validated
+//!   controller-facing write path (writable-register ranges, set-point
+//!   bounds) returning typed errors.
+//! * [`faults`] — schedulable fault injection: stuck/drifting/dropped/
+//!   noisy sensors, set-point writes that time out or are rejected, and
+//!   plant derates (fouled coils, fan failure), all windowed over
+//!   simulated minutes.
 //! * [`testbed`] — the facade tying everything together; one call per
 //!   sampling period (Δt = 1 min) integrates the physics at a fine inner
 //!   step and returns an [`Observation`] with every signal the paper's
@@ -37,6 +43,7 @@
 
 pub mod acu;
 pub mod config;
+pub mod faults;
 pub mod modbus;
 pub mod multizone;
 pub mod pid;
@@ -46,6 +53,10 @@ pub mod testbed;
 pub mod thermal;
 
 pub use config::{AcuParams, PidParams, SensorParams, ServerParams, SimConfig, ThermalParams};
+pub use faults::{
+    ActuatorFault, ActuatorFaultKind, FaultPlan, FaultWindow, PlantFault, PlantFaultKind,
+    SensorFault, SensorFaultKind, SensorTarget,
+};
 pub use multizone::{MultiZoneConfig, MultiZoneTestbed};
 pub use testbed::{Observation, Testbed};
 
@@ -58,6 +69,19 @@ pub enum SimError {
     UtilizationOutOfRange(f64),
     /// An unknown Modbus register was addressed.
     UnknownRegister(u16),
+    /// A write targeted a register the controller may not write
+    /// (input/telemetry registers are device-owned).
+    ReadOnlyRegister(u16),
+    /// A set-point write outside the ACU's specification range.
+    SetpointOutOfRange { value: f64, min: f64, max: f64 },
+    /// A non-finite value was offered to a register write.
+    NonFiniteWrite(f64),
+    /// A Modbus write timed out (injected actuator fault); the device
+    /// keeps its previous value.
+    WriteTimeout,
+    /// The device rejected the write with an illegal-data-address
+    /// response (injected actuator fault).
+    RegisterRejected(u16),
     /// Configuration failed validation.
     InvalidConfig(String),
 }
@@ -72,6 +96,20 @@ impl std::fmt::Display for SimError {
                 write!(f, "utilization {u} outside [0, 1]")
             }
             SimError::UnknownRegister(r) => write!(f, "unknown Modbus register {r:#06x}"),
+            SimError::ReadOnlyRegister(r) => {
+                write!(f, "Modbus register {r:#06x} is not controller-writable")
+            }
+            SimError::SetpointOutOfRange { value, min, max } => {
+                write!(
+                    f,
+                    "set-point {value} °C outside spec range [{min}, {max}] °C"
+                )
+            }
+            SimError::NonFiniteWrite(v) => write!(f, "non-finite register write value {v}"),
+            SimError::WriteTimeout => write!(f, "Modbus write timed out"),
+            SimError::RegisterRejected(r) => {
+                write!(f, "device rejected write to register {r:#06x}")
+            }
             SimError::InvalidConfig(msg) => write!(f, "invalid simulator config: {msg}"),
         }
     }

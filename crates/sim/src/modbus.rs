@@ -20,6 +20,10 @@ pub const REG_POWER_W: u16 = 0x0200;
 /// Scale factor between °C and register ticks.
 const TEMP_SCALE: f64 = 10.0;
 
+/// Highest holding-register address the controller may write. Input
+/// registers (`REG_INLET_BASE` and above) are device-owned telemetry.
+pub const HOLDING_REG_MAX: u16 = 0x00FF;
+
 /// A tiny Modbus-like register map.
 #[derive(Debug, Clone, Default)]
 pub struct RegisterMap {
@@ -32,14 +36,56 @@ impl RegisterMap {
         Self::default()
     }
 
-    /// Writes a raw 16-bit register.
+    /// Writes a raw 16-bit register. This is the *device-side* path: the
+    /// simulator uses it to publish telemetry into input registers.
+    /// Controller code should go through [`RegisterMap::try_write`] or
+    /// [`RegisterMap::try_write_setpoint`], which validate.
     pub fn write(&mut self, addr: u16, value: u16) {
         self.regs.insert(addr, value);
     }
 
+    /// Controller-side raw write: rejects device-owned (input/telemetry)
+    /// registers instead of silently accepting them.
+    pub fn try_write(&mut self, addr: u16, value: u16) -> Result<(), SimError> {
+        if addr > HOLDING_REG_MAX {
+            return Err(SimError::ReadOnlyRegister(addr));
+        }
+        self.regs.insert(addr, value);
+        Ok(())
+    }
+
+    /// Controller-side set-point write: validates finiteness and the
+    /// ACU's specification bounds, then quantizes to 0.1 °C. Returns the
+    /// quantized value actually latched. Out-of-spec commands are
+    /// *rejected* (typed error), not clamped — clamping is a policy the
+    /// caller must opt into.
+    pub fn try_write_setpoint(
+        &mut self,
+        celsius: f64,
+        min: f64,
+        max: f64,
+    ) -> Result<f64, SimError> {
+        if !celsius.is_finite() {
+            return Err(SimError::NonFiniteWrite(celsius));
+        }
+        if celsius < min || celsius > max {
+            return Err(SimError::SetpointOutOfRange {
+                value: celsius,
+                min,
+                max,
+            });
+        }
+        let ticks = (celsius * TEMP_SCALE).round().clamp(0.0, u16::MAX as f64) as u16;
+        self.try_write(REG_SETPOINT, ticks)?;
+        Ok(ticks as f64 / TEMP_SCALE)
+    }
+
     /// Reads a raw 16-bit register.
     pub fn read(&self, addr: u16) -> Result<u16, SimError> {
-        self.regs.get(&addr).copied().ok_or(SimError::UnknownRegister(addr))
+        self.regs
+            .get(&addr)
+            .copied()
+            .ok_or(SimError::UnknownRegister(addr))
     }
 
     /// Writes a temperature in °C (quantized to 0.1 °C).
@@ -91,7 +137,10 @@ mod tests {
     #[test]
     fn unknown_register_is_an_error() {
         let m = RegisterMap::new();
-        assert!(matches!(m.read(0x7777), Err(SimError::UnknownRegister(0x7777))));
+        assert!(matches!(
+            m.read(0x7777),
+            Err(SimError::UnknownRegister(0x7777))
+        ));
     }
 
     #[test]
@@ -106,6 +155,45 @@ mod tests {
         let mut m = RegisterMap::new();
         m.write_temp(REG_SETPOINT, -5.0);
         assert_eq!(m.read_temp(REG_SETPOINT).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn try_write_rejects_device_owned_registers() {
+        let mut m = RegisterMap::new();
+        assert!(matches!(
+            m.try_write(REG_INLET_BASE, 230),
+            Err(SimError::ReadOnlyRegister(a)) if a == REG_INLET_BASE
+        ));
+        assert!(matches!(
+            m.try_write(REG_POWER_W, 1500),
+            Err(SimError::ReadOnlyRegister(_))
+        ));
+        assert!(m.try_write(REG_SETPOINT, 230).is_ok());
+        assert_eq!(m.read_temp(REG_SETPOINT).unwrap(), 23.0);
+    }
+
+    #[test]
+    fn try_write_setpoint_validates_bounds_and_quantizes() {
+        let mut m = RegisterMap::new();
+        let latched = m.try_write_setpoint(23.456, 20.0, 35.0).unwrap();
+        assert!((latched - 23.5).abs() < 1e-9);
+        assert_eq!(m.read_temp(REG_SETPOINT).unwrap(), 23.5);
+
+        assert!(matches!(
+            m.try_write_setpoint(50.0, 20.0, 35.0),
+            Err(SimError::SetpointOutOfRange { value, min, max })
+                if value == 50.0 && min == 20.0 && max == 35.0
+        ));
+        assert!(matches!(
+            m.try_write_setpoint(1.0, 20.0, 35.0),
+            Err(SimError::SetpointOutOfRange { .. })
+        ));
+        assert!(matches!(
+            m.try_write_setpoint(f64::NAN, 20.0, 35.0),
+            Err(SimError::NonFiniteWrite(_))
+        ));
+        // The rejected writes left the latched value untouched.
+        assert_eq!(m.read_temp(REG_SETPOINT).unwrap(), 23.5);
     }
 
     #[test]

@@ -103,7 +103,11 @@ impl MultiZoneTestbed {
                 }
             })
             .collect();
-        Ok(MultiZoneTestbed { zones, coupling: config.coupling_kw_per_k, time_s: 0.0 })
+        Ok(MultiZoneTestbed {
+            zones,
+            coupling: config.coupling_kw_per_k,
+            time_s: 0.0,
+        })
     }
 
     /// Number of zones.
@@ -185,8 +189,11 @@ impl MultiZoneTestbed {
             // Inter-zone exchange: adjacent hot aisles mix through the
             // shared plenum (symmetric conductance).
             if self.coupling > 0.0 && n > 1 {
-                let temps: Vec<f64> =
-                    self.zones.iter().map(|z| z.thermal.state().hot_aisle).collect();
+                let temps: Vec<f64> = self
+                    .zones
+                    .iter()
+                    .map(|z| z.thermal.state().hot_aisle)
+                    .collect();
                 for i in 0..n - 1 {
                     let q = self.coupling * (temps[i] - temps[i + 1]); // kW i→i+1
                     let c_i = self.zones[i].cfg.thermal.c_hot_kj_per_k;
@@ -209,17 +216,22 @@ impl MultiZoneTestbed {
             .enumerate()
             .map(|(zi, zone)| {
                 let state = zone.thermal.state();
-                let acu_inlet_temps =
-                    zone.acu.sample_inlet_sensors(state.hot_aisle, &mut zone.rng);
+                let acu_inlet_temps = zone
+                    .acu
+                    .sample_inlet_sensors(state.hot_aisle, &mut zone.rng);
                 let dc_temps =
-                    zone.sensors.sample(state.cold_aisle, state.hot_aisle, &mut zone.rng);
+                    zone.sensors
+                        .sample(state.cold_aisle, state.hot_aisle, &mut zone.rng);
                 let server_powers_kw = zone.servers.powers_kw(&mut zone.rng);
-                let avg_server_power_kw = server_powers_kw.iter().sum::<f64>()
-                    / server_powers_kw.len().max(1) as f64;
+                let avg_server_power_kw =
+                    server_powers_kw.iter().sum::<f64>() / server_powers_kw.len().max(1) as f64;
                 let cold_aisle_max = dc_temps[..zone.cfg.n_cold_aisle_sensors]
                     .iter()
                     .copied()
                     .fold(f64::NEG_INFINITY, f64::max);
+                let cold_aisle_max_true = zone
+                    .sensors
+                    .cold_aisle_max_true(state.cold_aisle, state.hot_aisle);
                 Observation {
                     time_s,
                     setpoint: zone.acu.setpoint(),
@@ -235,6 +247,7 @@ impl MultiZoneTestbed {
                     supply_temp: last_supply[zi],
                     interrupted_frac: interrupted[zi] as f64 / steps as f64,
                     cold_aisle_max,
+                    cold_aisle_max_true,
                 }
             })
             .collect())

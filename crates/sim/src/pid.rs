@@ -21,7 +21,11 @@ pub struct Pid {
 impl Pid {
     /// Creates a controller with zeroed state.
     pub fn new(params: PidParams) -> Self {
-        Pid { params, integral: 0.0, prev_error: None }
+        Pid {
+            params,
+            integral: 0.0,
+            prev_error: None,
+        }
     }
 
     /// The configured gains.
@@ -73,7 +77,13 @@ mod tests {
     use super::*;
 
     fn params() -> PidParams {
-        PidParams { kp: 0.3, ki: 0.01, kd: 0.0, out_min: 0.0, out_max: 1.0 }
+        PidParams {
+            kp: 0.3,
+            ki: 0.01,
+            kd: 0.0,
+            out_min: 0.0,
+            out_max: 1.0,
+        }
     }
 
     #[test]
@@ -126,7 +136,13 @@ mod tests {
 
     #[test]
     fn derivative_term_reacts_to_error_slope() {
-        let p = PidParams { kp: 0.0, ki: 0.0, kd: 1.0, out_min: -10.0, out_max: 10.0 };
+        let p = PidParams {
+            kp: 0.0,
+            ki: 0.0,
+            kd: 1.0,
+            out_min: -10.0,
+            out_max: 10.0,
+        };
         let mut pid = Pid::new(p);
         assert_eq!(pid.step(0.0, 1.0), 0.0); // no history yet
         let out = pid.step(2.0, 1.0); // slope = 2 per second

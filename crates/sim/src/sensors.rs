@@ -43,7 +43,11 @@ impl SensorArray {
             if k < n_cold {
                 // Cold-aisle: bottom-of-rack sensors are nearly pure
                 // supply air; top-of-rack ones see a little recirculation.
-                let frac = if n_cold > 1 { k as f64 / (n_cold - 1) as f64 } else { 0.0 };
+                let frac = if n_cold > 1 {
+                    k as f64 / (n_cold - 1) as f64
+                } else {
+                    0.0
+                };
                 placements.push(Placement {
                     mix: p.cold_mix_max * frac,
                     offset: p.cold_offset_span * frac - 0.2,
@@ -126,7 +130,10 @@ mod tests {
         let readings = a.sample(18.0, 26.0, &mut rng);
         let cold_mean: f64 = readings[..11].iter().sum::<f64>() / 11.0;
         let hot_mean: f64 = readings[11..].iter().sum::<f64>() / 24.0;
-        assert!(hot_mean - cold_mean > 4.0, "cold {cold_mean:.1} vs hot {hot_mean:.1}");
+        assert!(
+            hot_mean - cold_mean > 4.0,
+            "cold {cold_mean:.1} vs hot {hot_mean:.1}"
+        );
     }
 
     #[test]
@@ -136,7 +143,10 @@ mod tests {
         let cool = a.sample(16.0, 24.0, &mut rng);
         let warm = a.sample(20.0, 24.0, &mut rng);
         for k in 0..a.n_cold() {
-            assert!(warm[k] > cool[k] + 2.0, "sensor {k} must follow the cold aisle");
+            assert!(
+                warm[k] > cool[k] + 2.0,
+                "sensor {k} must follow the cold aisle"
+            );
         }
     }
 

@@ -144,7 +144,10 @@ mod tests {
         b.set_targets(&[1.0]);
         b.step(1.0);
         let eff = b.effective_utils()[0];
-        assert!(eff > 0.0 && eff < 0.2, "one second should move util only slightly, got {eff}");
+        assert!(
+            eff > 0.0 && eff < 0.2,
+            "one second should move util only slightly, got {eff}"
+        );
     }
 
     #[test]
@@ -188,8 +191,10 @@ mod tests {
 
     #[test]
     fn sleep_mode_parks_unused_servers() {
-        let mut params = ServerParams::default();
-        params.sleep_enabled = true;
+        let params = ServerParams {
+            sleep_enabled: true,
+            ..ServerParams::default()
+        };
         let mut b = ServerBank::new(2, params.clone());
         b.set_targets(&[0.0, 0.4]);
         for _ in 0..600 {
@@ -200,7 +205,10 @@ mod tests {
         let expected = params.sleep_power_kw
             + params.idle_power_kw
             + (params.max_power_kw - params.idle_power_kw) * 0.4;
-        assert!((heat - expected).abs() < 1e-3, "heat {heat} vs expected {expected}");
+        assert!(
+            (heat - expected).abs() < 1e-3,
+            "heat {heat} vs expected {expected}"
+        );
         // Default config never sleeps.
         let mut b2 = ServerBank::new(1, ServerParams::default());
         b2.set_targets(&[0.0]);

@@ -10,6 +10,7 @@
 
 use crate::acu::Acu;
 use crate::config::SimConfig;
+use crate::faults::{ActuatorFaultKind, FaultPlan};
 use crate::modbus::{RegisterMap, REG_INLET_BASE, REG_POWER_W, REG_SETPOINT};
 use crate::sensors::SensorArray;
 use crate::server::ServerBank;
@@ -49,7 +50,12 @@ pub struct Observation {
     /// Fraction of this period spent in cooling interruption.
     pub interrupted_frac: f64,
     /// Max over the cold-aisle sensor readings, °C (Eq. 9's quantity).
+    /// Computed from the *reported* (possibly fault-corrupted) readings;
+    /// NaN dropouts are skipped.
     pub cold_aisle_max: f64,
+    /// Noise- and fault-free max cold-aisle temperature, °C — the ground
+    /// truth used to score thermal safety when sensors may be lying.
+    pub cold_aisle_max_true: f64,
 }
 
 impl Observation {
@@ -68,6 +74,7 @@ pub struct Testbed {
     acu: Acu,
     sensors: SensorArray,
     registers: RegisterMap,
+    faults: FaultPlan,
     rng: StdRng,
     time_s: f64,
 }
@@ -90,6 +97,7 @@ impl Testbed {
             acu,
             sensors,
             registers,
+            faults: FaultPlan::none(),
             rng: StdRng::seed_from_u64(seed),
             time_s: 0.0,
         })
@@ -105,8 +113,27 @@ impl Testbed {
         self.time_s
     }
 
+    /// Installs a fault schedule. Windows are interpreted in *testbed*
+    /// simulation time (minutes since construction, including any
+    /// warm-up the caller runs).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// The installed fault schedule.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Current simulation time in minutes (the unit fault windows use).
+    pub fn time_min(&self) -> f64 {
+        self.time_s / 60.0
+    }
+
     /// Commands a new set-point through the Modbus register (clamped to
     /// the ACU's `[S_min, S_max]` specification, quantized to 0.1 °C).
+    /// This legacy path ignores actuator faults; fault-aware callers use
+    /// [`Testbed::try_write_setpoint`].
     pub fn write_setpoint(&mut self, sp: f64) {
         let clamped = sp.clamp(self.cfg.setpoint_min, self.cfg.setpoint_max);
         self.registers.write_temp(REG_SETPOINT, clamped);
@@ -115,6 +142,26 @@ impl Testbed {
             .read_temp(REG_SETPOINT)
             .expect("set-point register always populated");
         self.acu.set_setpoint(quantized);
+    }
+
+    /// Fallible set-point write: validates bounds through the register
+    /// facade (typed error instead of silent clamping) and honours any
+    /// actuator fault active right now. On success returns the quantized
+    /// value the ACU latched; on failure the previous set-point stays in
+    /// force.
+    pub fn try_write_setpoint(&mut self, sp: f64) -> Result<f64, SimError> {
+        match self.faults.active_actuator(self.time_min()) {
+            Some(ActuatorFaultKind::WriteTimeout) => return Err(SimError::WriteTimeout),
+            Some(ActuatorFaultKind::RejectedRegister) => {
+                return Err(SimError::RegisterRejected(REG_SETPOINT))
+            }
+            None => {}
+        }
+        let quantized =
+            self.registers
+                .try_write_setpoint(sp, self.cfg.setpoint_min, self.cfg.setpoint_max)?;
+        self.acu.set_setpoint(quantized);
+        Ok(quantized)
     }
 
     /// The set-point currently latched in the ACU, °C.
@@ -171,6 +218,13 @@ impl Testbed {
         }
         self.servers.set_targets(utils);
 
+        // Plant faults resolve at sample granularity (windows are in
+        // minutes, one sample is one minute).
+        let t_min = self.time_min();
+        self.acu
+            .set_capacity_derate(self.faults.capacity_factor(t_min));
+        self.acu.set_fan_failed(self.faults.fan_failed(t_min));
+
         let dt = self.cfg.inner_dt_s;
         let steps = self.cfg.inner_steps_per_sample();
         let mdot_cp = self.cfg.thermal.mdot_cp_kw_per_k;
@@ -187,8 +241,7 @@ impl Testbed {
             let true_return = self.thermal.return_temp();
             // The PID acts on its (noisy, biased) inlet sensors.
             let inlet_samples = self.acu.sample_inlet_sensors(true_return, &mut self.rng);
-            let measured =
-                inlet_samples.iter().sum::<f64>() / inlet_samples.len().max(1) as f64;
+            let measured = inlet_samples.iter().sum::<f64>() / inlet_samples.len().max(1) as f64;
             let step = self.acu.step(measured, true_return, mdot_cp, dt);
             self.thermal.step(step.supply_temp, heat, dt);
 
@@ -203,11 +256,24 @@ impl Testbed {
         }
 
         let state = self.thermal.state();
-        let acu_inlet_temps = self.acu.sample_inlet_sensors(state.hot_aisle, &mut self.rng);
-        let dc_temps = self.sensors.sample(state.cold_aisle, state.hot_aisle, &mut self.rng);
+        let mut acu_inlet_temps = self
+            .acu
+            .sample_inlet_sensors(state.hot_aisle, &mut self.rng);
+        let mut dc_temps = self
+            .sensors
+            .sample(state.cold_aisle, state.hot_aisle, &mut self.rng);
+        let cold_aisle_max_true = self
+            .sensors
+            .cold_aisle_max_true(state.cold_aisle, state.hot_aisle);
+        // Sensor faults corrupt only what is *reported*; the physics and
+        // the ground-truth max above are untouched. Faults resolve
+        // against the minute this sample started, matching plant faults.
+        self.faults
+            .corrupt_readings(t_min, &mut dc_temps, &mut acu_inlet_temps, &mut self.rng);
         let server_powers_kw = self.servers.powers_kw(&mut self.rng);
         let avg_server_power_kw =
             server_powers_kw.iter().sum::<f64>() / server_powers_kw.len().max(1) as f64;
+        // NaN dropouts are skipped by f64::max.
         let cold_aisle_max = dc_temps[..self.cfg.n_cold_aisle_sensors]
             .iter()
             .copied()
@@ -233,6 +299,7 @@ impl Testbed {
             supply_temp: last_supply,
             interrupted_frac: interrupted_steps as f64 / steps as f64,
             cold_aisle_max,
+            cold_aisle_max_true,
         })
     }
 }
@@ -265,7 +332,10 @@ mod tests {
         let mut tb = testbed();
         assert!(matches!(
             tb.step_sample(&[0.5; 3]),
-            Err(SimError::BadUtilization { expected: 21, got: 3 })
+            Err(SimError::BadUtilization {
+                expected: 21,
+                got: 3
+            })
         ));
         assert!(matches!(
             tb.step_sample(&uniform(1.5)),
@@ -329,8 +399,16 @@ mod tests {
         // Jump the set-point far above the return temperature.
         tb.write_setpoint(35.0);
         let obs = tb.step_sample(&uniform(0.2)).unwrap();
-        assert!(obs.interrupted_frac > 0.5, "interrupted {}", obs.interrupted_frac);
-        assert!(obs.acu_power_kw <= 0.11, "fan floor, got {} kW", obs.acu_power_kw);
+        assert!(
+            obs.interrupted_frac > 0.5,
+            "interrupted {}",
+            obs.interrupted_frac
+        );
+        assert!(
+            obs.acu_power_kw <= 0.11,
+            "fan floor, got {} kW",
+            obs.acu_power_kw
+        );
     }
 
     #[test]
@@ -397,7 +475,10 @@ mod tests {
             e_high < e_low * 0.97,
             "26 °C ({e_high:.2} kWh) must save vs 23 °C ({e_low:.2} kWh)"
         );
-        assert!(int_high / 60.0 < 0.2, "saving must not come from interruption");
+        assert!(
+            int_high / 60.0 < 0.2,
+            "saving must not come from interruption"
+        );
     }
 
     #[test]
@@ -415,7 +496,158 @@ mod tests {
         for _ in 0..20 {
             after += tb.step_sample(&uniform(0.35)).unwrap().acu_energy_kwh;
         }
-        assert!(after > before * 1.15, "after {after:.3} vs before {before:.3}");
+        assert!(
+            after > before * 1.15,
+            "after {after:.3} vs before {before:.3}"
+        );
+    }
+
+    #[test]
+    fn try_write_setpoint_rejects_out_of_spec() {
+        let mut tb = testbed();
+        assert!(matches!(
+            tb.try_write_setpoint(50.0),
+            Err(SimError::SetpointOutOfRange { .. })
+        ));
+        assert!(matches!(
+            tb.try_write_setpoint(f64::NAN),
+            Err(SimError::NonFiniteWrite(_))
+        ));
+        // In-spec writes latch quantized.
+        let latched = tb.try_write_setpoint(24.16).unwrap();
+        assert!((latched - 24.2).abs() < 1e-9);
+        assert!((tb.setpoint() - 24.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn actuator_fault_blocks_write_and_keeps_old_setpoint() {
+        use crate::faults::{ActuatorFault, ActuatorFaultKind, FaultPlan, FaultWindow};
+        let mut tb = testbed();
+        tb.write_setpoint(23.0);
+        tb.set_fault_plan(FaultPlan {
+            actuators: vec![ActuatorFault {
+                kind: ActuatorFaultKind::WriteTimeout,
+                window: FaultWindow::new(0.0, 2.0),
+            }],
+            ..FaultPlan::default()
+        });
+        assert!(matches!(
+            tb.try_write_setpoint(25.0),
+            Err(SimError::WriteTimeout)
+        ));
+        assert_eq!(tb.setpoint(), 23.0);
+        // Step past the window; the write goes through.
+        tb.step_sample(&uniform(0.2)).unwrap();
+        tb.step_sample(&uniform(0.2)).unwrap();
+        assert_eq!(tb.try_write_setpoint(25.0).unwrap(), 25.0);
+        assert_eq!(tb.setpoint(), 25.0);
+    }
+
+    #[test]
+    fn stuck_sensor_corrupts_report_but_not_truth() {
+        use crate::faults::{FaultPlan, SensorFault, SensorFaultKind, SensorTarget};
+        let mut tb = testbed();
+        tb.write_setpoint(23.0);
+        tb.set_fault_plan(FaultPlan {
+            sensors: vec![SensorFault {
+                target: SensorTarget::DcSensor(0),
+                kind: SensorFaultKind::StuckAt(45.0),
+                window: crate::faults::FaultWindow::new(0.0, 1e9),
+            }],
+            ..FaultPlan::default()
+        });
+        let obs = tb.step_sample(&uniform(0.25)).unwrap();
+        assert_eq!(obs.dc_temps[0], 45.0);
+        assert_eq!(obs.cold_aisle_max, 45.0, "reported max follows the liar");
+        assert!(obs.cold_aisle_max_true < 30.0, "ground truth is unaffected");
+    }
+
+    #[test]
+    fn dropout_nan_is_skipped_by_reported_max() {
+        use crate::faults::{FaultPlan, SensorFault, SensorFaultKind, SensorTarget};
+        let mut tb = testbed();
+        tb.set_fault_plan(FaultPlan {
+            sensors: vec![SensorFault {
+                target: SensorTarget::DcSensor(3),
+                kind: SensorFaultKind::Dropout,
+                window: crate::faults::FaultWindow::new(0.0, 1e9),
+            }],
+            ..FaultPlan::default()
+        });
+        let obs = tb.step_sample(&uniform(0.25)).unwrap();
+        assert!(obs.dc_temps[3].is_nan());
+        assert!(obs.cold_aisle_max.is_finite());
+    }
+
+    #[test]
+    fn fan_failure_window_heats_cold_aisle_then_recovers() {
+        use crate::faults::{FaultPlan, PlantFault, PlantFaultKind};
+        let mut tb = testbed();
+        tb.write_setpoint(23.0);
+        tb.warm_up(&uniform(0.3), 240).unwrap();
+        let start_min = tb.time_min();
+        tb.set_fault_plan(FaultPlan {
+            plant: vec![PlantFault {
+                kind: PlantFaultKind::FanFailure,
+                window: crate::faults::FaultWindow::new(start_min, start_min + 5.0),
+            }],
+            ..FaultPlan::default()
+        });
+        let before = tb.step_sample(&uniform(0.3)).unwrap();
+        assert_eq!(before.acu_power_kw, 0.0, "dark unit during fan failure");
+        let mut during = before.cold_aisle_max_true;
+        for _ in 0..4 {
+            during = tb.step_sample(&uniform(0.3)).unwrap().cold_aisle_max_true;
+        }
+        assert!(
+            during > before.cold_aisle_max_true + 1.0,
+            "no airflow must heat the room: {} -> {}",
+            before.cold_aisle_max_true,
+            during
+        );
+        // Past the window the unit recovers and pulls the room back down.
+        let mut after = during;
+        for _ in 0..30 {
+            after = tb.step_sample(&uniform(0.3)).unwrap().cold_aisle_max_true;
+        }
+        assert!(after < during, "recovery must cool: {during} -> {after}");
+    }
+
+    #[test]
+    fn fouled_coil_window_reduces_extraction_capacity() {
+        use crate::faults::{FaultPlan, PlantFault, PlantFaultKind};
+        let mut healthy = testbed();
+        let mut fouled = testbed();
+        for tb in [&mut healthy, &mut fouled] {
+            tb.write_setpoint(21.0);
+            tb.warm_up(&uniform(0.5), 240).unwrap();
+        }
+        let start_min = fouled.time_min();
+        fouled.set_fault_plan(FaultPlan {
+            plant: vec![PlantFault {
+                kind: PlantFaultKind::FouledCoil {
+                    capacity_factor: 0.3,
+                },
+                window: crate::faults::FaultWindow::new(start_min, start_min + 120.0),
+            }],
+            ..FaultPlan::default()
+        });
+        let mut t_healthy = 0.0;
+        let mut t_fouled = 0.0;
+        for _ in 0..60 {
+            t_healthy = healthy
+                .step_sample(&uniform(0.5))
+                .unwrap()
+                .cold_aisle_max_true;
+            t_fouled = fouled
+                .step_sample(&uniform(0.5))
+                .unwrap()
+                .cold_aisle_max_true;
+        }
+        assert!(
+            t_fouled > t_healthy + 0.5,
+            "derated capacity must run warmer: fouled {t_fouled:.2} vs healthy {t_healthy:.2}"
+        );
     }
 
     #[test]

@@ -34,7 +34,11 @@ impl ThermalNetwork {
     /// temperature with an idle-ish aisle split.
     pub fn new(params: ThermalParams) -> Self {
         let cold = params.initial_cold_c;
-        let state = ThermalState { cold_aisle: cold, hot_aisle: cold + 3.0, mass: cold + 1.5 };
+        let state = ThermalState {
+            cold_aisle: cold,
+            hot_aisle: cold + 3.0,
+            mass: cold + 1.5,
+        };
         ThermalNetwork { params, state }
     }
 
@@ -193,12 +197,15 @@ mod tests {
         let p = net.params().clone();
         let q_extracted = p.mdot_cp_kw_per_k * (s.hot_aisle - 17.0) * (1.0 - p.leakage)
             - p.mdot_cp_kw_per_k * p.leakage * 0.0; // mixing handled below
-        // Simpler check: cold aisle must sit between supply and hot aisle,
-        // and the ambient leak is bounded.
+                                                    // Simpler check: cold aisle must sit between supply and hot aisle,
+                                                    // and the ambient leak is bounded.
         assert!(s.cold_aisle > 17.0 && s.cold_aisle < s.hot_aisle);
         let ambient_leak = p.ambient_kw_per_k * (p.ambient_temp_c - s.cold_aisle);
         assert!(ambient_leak.abs() < 0.5);
-        assert!(q_extracted > 4.0, "extraction {q_extracted} must carry server heat");
+        assert!(
+            q_extracted > 4.0,
+            "extraction {q_extracted} must carry server heat"
+        );
     }
 
     #[test]
@@ -234,6 +241,9 @@ mod tests {
         }
         let s = net.state();
         assert!(s.hot_aisle - s.mass > 1.0, "air should outrun the mass");
-        assert!((s.mass - mass_before).abs() < 0.5, "mass barely moves in 2 min");
+        assert!(
+            (s.mass - mass_before).abs() < 0.5,
+            "mass barely moves in 2 min"
+        );
     }
 }

@@ -15,17 +15,23 @@
 //! * [`collector::Collector`] — fans one simulator [`tesla_sim::Observation`]
 //!   out into the store under stable metric names.
 //! * [`queue::TelemetryQueue`] — a bounded crossbeam channel pairing the
-//!   producer and consumer halves of the control loop.
+//!   producer and consumer halves of the control loop, with an explicit
+//!   drop-oldest policy for slow consumers.
+//! * [`health::HealthMonitor`] — per-signal staleness/range/flatline
+//!   detection with quarantine and imputation, so forecaster windows
+//!   stay full when sensors fail.
 //! * [`normalize::MinMaxNormalizer`] — the paper's preprocessing: all
 //!   signals min-max normalized to `[0, 1]` before modeling (§5.1).
 
 pub mod collector;
+pub mod health;
 pub mod normalize;
 pub mod queue;
 pub mod series;
 pub mod store;
 
 pub use collector::{metric, Collector};
+pub use health::{HealthConfig, HealthFault, HealthMonitor, SanitizeReport};
 pub use normalize::MinMaxNormalizer;
 pub use queue::TelemetryQueue;
 pub use series::TimeSeries;

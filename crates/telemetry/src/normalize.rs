@@ -16,16 +16,27 @@ impl MinMaxNormalizer {
         let min = data.iter().copied().fold(f64::INFINITY, f64::min);
         let max = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         if data.is_empty() || !min.is_finite() || !max.is_finite() {
-            return MinMaxNormalizer { min: 0.0, span: 1.0 };
+            return MinMaxNormalizer {
+                min: 0.0,
+                span: 1.0,
+            };
         }
-        let span = if (max - min).abs() < 1e-12 { 1.0 } else { max - min };
+        let span = if (max - min).abs() < 1e-12 {
+            1.0
+        } else {
+            max - min
+        };
         MinMaxNormalizer { min, span }
     }
 
     /// Builds a normalizer from explicit bounds (e.g. the ACU's
     /// specification range for set-points).
     pub fn from_bounds(min: f64, max: f64) -> Self {
-        let span = if (max - min).abs() < 1e-12 { 1.0 } else { max - min };
+        let span = if (max - min).abs() < 1e-12 {
+            1.0
+        } else {
+            max - min
+        };
         MinMaxNormalizer { min, span }
     }
 

@@ -23,14 +23,18 @@ impl TsdbStore {
     /// Appends a sample to `metric` (creating the series on first use).
     pub fn insert(&self, metric: &str, time_s: f64, value: f64) {
         let mut map = self.inner.write();
-        map.entry(metric.to_owned()).or_default().push(time_s, value);
+        map.entry(metric.to_owned())
+            .or_default()
+            .push(time_s, value);
     }
 
     /// The most recent `n` values of `metric`, oldest first. Empty when
     /// the metric does not exist.
     pub fn last_n(&self, metric: &str, n: usize) -> Vec<f64> {
         let map = self.inner.read();
-        map.get(metric).map(|s| s.last_n(n).to_vec()).unwrap_or_default()
+        map.get(metric)
+            .map(|s| s.last_n(n).to_vec())
+            .unwrap_or_default()
     }
 
     /// The most recent value of `metric`.
@@ -42,13 +46,17 @@ impl TsdbStore {
     /// Values of `metric` with `t0 <= time < t1`.
     pub fn range(&self, metric: &str, t0: f64, t1: f64) -> Vec<f64> {
         let map = self.inner.read();
-        map.get(metric).map(|s| s.range(t0, t1).to_vec()).unwrap_or_default()
+        map.get(metric)
+            .map(|s| s.range(t0, t1).to_vec())
+            .unwrap_or_default()
     }
 
     /// Full copy of a metric's series (values only).
     pub fn values(&self, metric: &str) -> Vec<f64> {
         let map = self.inner.read();
-        map.get(metric).map(|s| s.values().to_vec()).unwrap_or_default()
+        map.get(metric)
+            .map(|s| s.values().to_vec())
+            .unwrap_or_default()
     }
 
     /// Number of samples stored for `metric` (0 when absent).
@@ -110,8 +118,10 @@ impl TsdbStore {
             let field = field.replace([' ', ','], "_");
             for (t, v) in series.times().iter().zip(series.values()) {
                 let ns = (t * 1e9) as i64;
-                out.push_str(&format!("{measurement} {field}={v} {ns}
-"));
+                out.push_str(&format!(
+                    "{measurement} {field}={v} {ns}
+"
+                ));
             }
         }
         out

@@ -11,7 +11,7 @@
 //! `mean = peak/2`), overlaid with an AR(1) fluctuation and occasional
 //! short bursts, all clipped to `[0, 1]`.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 use rand_distr::{Distribution, Normal};
 
 /// The three server-load settings of §5.1.

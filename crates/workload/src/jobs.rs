@@ -10,7 +10,7 @@
 //! server's is not (§3.2, "Average server power sub-module").
 
 use crate::loadgen::LoadController;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// One scheduled unit of load on one server.
 #[derive(Debug, Clone)]
@@ -128,9 +128,7 @@ impl Orchestrator {
                     utils
                         .iter()
                         .enumerate()
-                        .min_by(|a, b| {
-                            a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal)
-                        })
+                        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
                         .expect("n_servers > 0")
                         .0
                 }
@@ -218,7 +216,10 @@ mod tests {
         }
         let min = utils.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = utils.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        assert!(max - min > 0.01, "servers should differ: min {min}, max {max}");
+        assert!(
+            max - min > 0.01,
+            "servers should differ: min {min}, max {max}"
+        );
     }
 
     #[test]

@@ -116,7 +116,11 @@ mod tests {
         }
         assert!(min >= 0.45 - 1e-9, "min {min}");
         assert!(max <= 0.55 + 1e-9, "max {max}");
-        assert!((sum / n as f64 - 0.5).abs() < 0.02, "mean {}", sum / n as f64);
+        assert!(
+            (sum / n as f64 - 0.5).abs() < 0.02,
+            "mean {}",
+            sum / n as f64
+        );
         assert!(max > min, "dither must actually move");
     }
 }

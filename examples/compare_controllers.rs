@@ -15,7 +15,11 @@ use tesla_workload::LoadSetting;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("generating 1.5 days of training telemetry …");
-    let dataset = DatasetConfig { days: 1.5, seed: 99, ..DatasetConfig::default() };
+    let dataset = DatasetConfig {
+        days: 1.5,
+        seed: 99,
+        ..DatasetConfig::default()
+    };
     let train = generate_sweep_trace(&dataset)?;
 
     println!("training the three data-driven controllers …");
@@ -34,14 +38,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..EpisodeConfig::default()
     };
 
-    println!("\n{:<10} {:>9} {:>9} {:>7} {:>7}", "controller", "CE (kWh)", "save (%)", "TSV (%)", "CI (%)");
+    println!(
+        "\n{:<10} {:>9} {:>9} {:>7} {:>7}",
+        "controller", "CE (kWh)", "save (%)", "TSV (%)", "CI (%)"
+    );
     let mut baseline = None;
     for c in controllers.iter_mut() {
         let r = run_episode(c.as_mut(), &episode)?;
-        let save = baseline
-            .as_ref()
-            .map(|b| r.saving_vs(b))
-            .unwrap_or(0.0);
+        let save = baseline.as_ref().map(|b| r.saving_vs(b)).unwrap_or(0.0);
         println!(
             "{:<10} {:>9.2} {:>9.2} {:>7.1} {:>7.1}",
             r.controller, r.cooling_energy_kwh, save, r.tsv_percent, r.ci_percent

@@ -16,7 +16,11 @@ use tesla_workload::{LoadSetting, Placement};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("training TESLA on one day of sweep telemetry …");
-    let dataset = DatasetConfig { days: 1.0, seed: 17, ..DatasetConfig::default() };
+    let dataset = DatasetConfig {
+        days: 1.0,
+        seed: 17,
+        ..DatasetConfig::default()
+    };
     let train = generate_sweep_trace(&dataset)?;
 
     println!(

@@ -26,9 +26,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 23,
         ..DatasetConfig::default()
     })?;
-    let mut controllers = vec![
-        TeslaController::new(&train, TeslaConfig { seed: 1, ..TeslaConfig::default() })?,
-        TeslaController::new(&train, TeslaConfig { seed: 2, ..TeslaConfig::default() })?,
+    let mut controllers = [
+        TeslaController::new(
+            &train,
+            TeslaConfig {
+                seed: 1,
+                ..TeslaConfig::default()
+            },
+        )?,
+        TeslaController::new(
+            &train,
+            TeslaConfig {
+                seed: 2,
+                ..TeslaConfig::default()
+            },
+        )?,
     ];
 
     let n_servers = SimConfig::default().n_servers;
@@ -40,8 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         DiurnalProfile::new(LoadSetting::High, minutes as f64 * 60.0),
     ];
     let mut rng = StdRng::seed_from_u64(3);
-    let mut traces =
-        vec![Trace::with_sensors(2, 35), Trace::with_sensors(2, 35)];
+    let mut traces = [Trace::with_sensors(2, 35), Trace::with_sensors(2, 35)];
 
     // Warm-up at 23 °C.
     for _ in 0..60 {
@@ -64,7 +75,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let utils: Vec<Vec<f64>> = (0..2)
             .map(|z| {
-                orchs[z].tick(60.0, profiles[z].sample(m as f64 * 60.0, &mut rng), &mut rng)
+                orchs[z].tick(
+                    60.0,
+                    profiles[z].sample(m as f64 * 60.0, &mut rng),
+                    &mut rng,
+                )
             })
             .collect();
         for (z, obs) in room.step_sample(&utils)?.into_iter().enumerate() {
@@ -77,7 +92,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nper-zone results over {minutes} minutes (coupling 0.25 kW/K):");
-    println!("{:<18} {:>10} {:>12} {:>10}", "zone", "CE (kWh)", "mean sp (C)", "TSV (%)");
+    println!(
+        "{:<18} {:>10} {:>12} {:>10}",
+        "zone", "CE (kWh)", "mean sp (C)", "TSV (%)"
+    );
     for (z, label) in ["zone 0 (idle)", "zone 1 (high)"].iter().enumerate() {
         println!(
             "{:<18} {:>10.2} {:>12.2} {:>10.1}",

@@ -27,9 +27,17 @@ struct DriftOutcome {
 }
 
 fn run(retrain_every: Option<u64>) -> DriftOutcome {
-    let dataset = DatasetConfig { days: 1.0, seed: 31, ..DatasetConfig::default() };
+    let dataset = DatasetConfig {
+        days: 1.0,
+        seed: 31,
+        ..DatasetConfig::default()
+    };
     let train = generate_sweep_trace(&dataset).expect("sweep");
-    let config = TeslaConfig { retrain_every, seed: 5, ..TeslaConfig::default() };
+    let config = TeslaConfig {
+        retrain_every,
+        seed: 5,
+        ..TeslaConfig::default()
+    };
     let mut tesla = TeslaController::new(&train, config).expect("TESLA");
 
     let sim = SimConfig::default();
@@ -93,10 +101,7 @@ fn main() {
     );
     println!(
         "{:<22} {:>14.2} {:>10.1} {:>10}",
-        "recalibrating",
-        adaptive.energy_after_drift,
-        adaptive.tsv_after_drift,
-        adaptive.retrains
+        "recalibrating", adaptive.energy_after_drift, adaptive.tsv_after_drift, adaptive.retrains
     );
     println!(
         "\nthe recalibrating variant folds the drifted plant back into its model and\n\

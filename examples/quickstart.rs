@@ -14,9 +14,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    settings per 12-hour segment, set-point swept 20→35 °C at
     //    0.5 °C per 5 minutes. (One day here; more days = better models.)
     println!("generating one day of sweep telemetry …");
-    let dataset = DatasetConfig { days: 1.0, seed: 7, ..DatasetConfig::default() };
+    let dataset = DatasetConfig {
+        days: 1.0,
+        seed: 7,
+        ..DatasetConfig::default()
+    };
     let trace = generate_sweep_trace(&dataset)?;
-    println!("  {} samples, {} rack sensors", trace.len(), trace.n_dc_sensors());
+    println!(
+        "  {} samples, {} rack sensors",
+        trace.len(),
+        trace.n_dc_sensors()
+    );
 
     // 2. Train the TESLA controller: the four-sub-module DC time-series
     //    model plus the modeling-error-aware Bayesian optimizer.
@@ -44,16 +52,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nresults over {} minutes:", result.setpoints.len());
     println!("  cooling energy: {:.2} kWh", result.cooling_energy_kwh);
-    println!("  thermal-safety violations: {:.1}% of samples", result.tsv_percent);
+    println!(
+        "  thermal-safety violations: {:.1}% of samples",
+        result.tsv_percent
+    );
     println!("  cooling interruption: {:.1}% of time", result.ci_percent);
     println!(
         "  set-point range: {:.1} – {:.1} C",
-        result.setpoints.iter().cloned().fold(f64::INFINITY, f64::min),
-        result.setpoints.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        result
+            .setpoints
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min),
+        result
+            .setpoints
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max),
     );
     println!(
         "  max cold-aisle temperature: {:.2} C (limit 22.0 C)",
-        result.cold_aisle_max.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        result
+            .cold_aisle_max
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max),
     );
     Ok(())
 }

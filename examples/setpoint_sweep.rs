@@ -23,8 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let utils = vec![util; sim.n_servers];
             tb.warm_up(&utils, 600)?; // 10 h to steady state
             let obs = tb.step_sample(&utils)?;
-            let inlet =
-                obs.acu_inlet_temps.iter().sum::<f64>() / obs.acu_inlet_temps.len() as f64;
+            let inlet = obs.acu_inlet_temps.iter().sum::<f64>() / obs.acu_inlet_temps.len() as f64;
             println!(
                 "{:>8.1} {:>10.2} {:>12.2} {:>12.2} {:>11.0}%",
                 sp,

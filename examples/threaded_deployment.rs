@@ -15,7 +15,11 @@ use tesla_workload::LoadSetting;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("training TESLA on one day of sweep telemetry …");
-    let dataset = DatasetConfig { days: 1.0, seed: 3, ..DatasetConfig::default() };
+    let dataset = DatasetConfig {
+        days: 1.0,
+        seed: 3,
+        ..DatasetConfig::default()
+    };
     let train = generate_sweep_trace(&dataset)?;
     let tesla = TeslaController::new(&train, TeslaConfig::default())?;
 
@@ -32,9 +36,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nepisode metrics:");
     println!("  cooling energy: {:.2} kWh", result.cooling_energy_kwh);
-    println!("  TSV: {:.1}%   CI: {:.1}%", result.tsv_percent, result.ci_percent);
+    println!(
+        "  TSV: {:.1}%   CI: {:.1}%",
+        result.tsv_percent, result.ci_percent
+    );
 
-    println!("\nthe store collected {} metrics; examples:", store.metric_names().len());
+    println!(
+        "\nthe store collected {} metrics; examples:",
+        store.metric_names().len()
+    );
     for m in [metric::ACU_POWER, metric::SETPOINT, metric::COLD_AISLE_MAX] {
         let last = store.last_n(m, 3);
         println!("  {m}: last 3 samples {last:?}");

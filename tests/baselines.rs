@@ -10,12 +10,22 @@ use tesla::core::{
 use tesla::workload::LoadSetting;
 
 fn train_trace() -> tesla::forecast::Trace {
-    generate_sweep_trace(&DatasetConfig { days: 1.0, seed: 77, ..DatasetConfig::default() })
-        .expect("sweep")
+    generate_sweep_trace(&DatasetConfig {
+        days: 1.0,
+        seed: 77,
+        ..DatasetConfig::default()
+    })
+    .expect("sweep")
 }
 
 fn episode(setting: LoadSetting, minutes: usize, seed: u64) -> EpisodeConfig {
-    EpisodeConfig { setting, minutes, warmup_minutes: 40, seed, ..EpisodeConfig::default() }
+    EpisodeConfig {
+        setting,
+        minutes,
+        warmup_minutes: 40,
+        seed,
+        ..EpisodeConfig::default()
+    }
 }
 
 #[test]
@@ -60,7 +70,10 @@ fn lazic_uses_smin_backup_under_stress() {
     // Impossible thermal limit: the predicted max can never clear it, so
     // every decision is the S_min backup.
     let train = train_trace();
-    let cfg = LazicConfig { d_allowed: 10.0, ..LazicConfig::default() };
+    let cfg = LazicConfig {
+        d_allowed: 10.0,
+        ..LazicConfig::default()
+    };
     let mut lazic = LazicController::new(&train, cfg).expect("lazic");
     let sp = lazic.decide(&train);
     assert_eq!(sp, 20.0);

@@ -15,7 +15,10 @@ fn trained_tesla(seed: u64) -> (TeslaController, Trace) {
     })
     .expect("sweep");
     let cfg = TeslaConfig {
-        model: tesla::forecast::ModelConfig { horizon: 8, ..Default::default() },
+        model: tesla::forecast::ModelConfig {
+            horizon: 8,
+            ..Default::default()
+        },
         ..TeslaConfig::default()
     };
     let tesla = TeslaController::new(&trace, cfg).expect("TESLA");
@@ -40,7 +43,10 @@ fn sensor_dropout_does_not_panic() {
         trace.acu_inlet[1][t] = 60.0; // shorted sensor reads hot
     }
     let sp = tesla.decide(&trace);
-    assert!((20.0..=35.0).contains(&sp), "decision {sp} must stay in ACU bounds");
+    assert!(
+        (20.0..=35.0).contains(&sp),
+        "decision {sp} must stay in ACU bounds"
+    );
 }
 
 #[test]

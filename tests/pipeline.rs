@@ -9,14 +9,21 @@ use tesla::forecast::{DcTimeSeriesModel, ModelConfig};
 use tesla::workload::LoadSetting;
 
 fn small_dataset(days: f64, seed: u64) -> tesla::forecast::Trace {
-    generate_sweep_trace(&DatasetConfig { days, seed, ..DatasetConfig::default() })
-        .expect("sweep generation")
+    generate_sweep_trace(&DatasetConfig {
+        days,
+        seed,
+        ..DatasetConfig::default()
+    })
+    .expect("sweep generation")
 }
 
 #[test]
 fn dataset_to_model_to_prediction() {
     let trace = small_dataset(0.6, 1);
-    let cfg = ModelConfig { horizon: 10, ..ModelConfig::default() };
+    let cfg = ModelConfig {
+        horizon: 10,
+        ..ModelConfig::default()
+    };
     let model = DcTimeSeriesModel::fit(&trace, cfg).expect("model fit");
 
     // Predictions at a mid-trace window respond to the set-point in the
@@ -25,7 +32,10 @@ fn dataset_to_model_to_prediction() {
     let window = trace.window_at(t, 10).expect("window");
     let cool = model.predict(&window, 21.0).expect("predict");
     let warm = model.predict(&window, 28.0).expect("predict");
-    assert!(warm.energy < cool.energy, "higher set-point must predict less energy");
+    assert!(
+        warm.energy < cool.energy,
+        "higher set-point must predict less energy"
+    );
     assert!(
         warm.max_over_sensors(0..11) > cool.max_over_sensors(0..11),
         "higher set-point must predict warmer cold aisle"
@@ -55,8 +65,16 @@ fn tesla_controller_end_to_end_is_safe() {
         result.tsv_percent
     );
     // Load awareness: the set-point must actually move.
-    let min = result.setpoints.iter().cloned().fold(f64::INFINITY, f64::min);
-    let max = result.setpoints.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = result
+        .setpoints
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let max = result
+        .setpoints
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
     assert!(max - min > 0.2, "set-point never moved ({min}..{max})");
 }
 
@@ -89,7 +107,10 @@ fn episodes_are_reproducible() {
     let make = || {
         let tesla = TeslaController::new(
             &trace,
-            TeslaConfig { seed: 77, ..TeslaConfig::default() },
+            TeslaConfig {
+                seed: 77,
+                ..TeslaConfig::default()
+            },
         )
         .expect("TESLA");
         let mut c: Box<dyn Controller> = Box::new(tesla);

@@ -1,0 +1,84 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment cannot fetch crates.io, so the parallel
+//! iterator entry points used by this workspace (`join`,
+//! `into_par_iter`, `par_iter`, `par_chunks_mut`, …) degrade to their
+//! sequential `std` equivalents. Call sites keep rayon's shape, so a real
+//! rayon can be swapped back in by flipping the workspace dependency —
+//! nothing else changes.
+
+/// Runs both closures and returns both results (sequentially here).
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (oper_a(), oper_b())
+}
+
+pub mod prelude {
+    //! Parallel-iterator traits, mapped onto sequential `std` iterators.
+
+    /// `into_par_iter()` for any `IntoIterator` — sequential here.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Returns the (sequential) iterator.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+    /// Slice entry points (`par_iter`, `par_chunks_mut`, …) — sequential.
+    pub trait ParallelSliceOps<T> {
+        /// Sequential stand-in for `par_iter`.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Sequential stand-in for `par_iter_mut`.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        /// Sequential stand-in for `par_chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+        /// Sequential stand-in for `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceOps<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn par_chunks_mut_mutates_in_place() {
+        let mut v = vec![1, 2, 3, 4, 5];
+        v.par_chunks_mut(2)
+            .for_each(|c| c.iter_mut().for_each(|x| *x *= 10));
+        assert_eq!(v, vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn into_par_iter_collects() {
+        let squares: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    }
+}

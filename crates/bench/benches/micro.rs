@@ -10,13 +10,14 @@ use tesla_forecast::{DcTimeSeriesModel, ModelConfig};
 use tesla_gp::{qmc_normal, FixedNoiseGp, Matern52};
 use tesla_ml::{Dataset, ForestConfig, RandomForest};
 use tesla_sim::{SimConfig, Testbed};
+use tesla_units::Celsius;
 
 fn bench_sim_step(c: &mut Criterion) {
     let sim = SimConfig::default();
     let utils = vec![0.3; sim.n_servers];
     c.bench_function("sim/step_one_minute", |b| {
         let mut tb = Testbed::new(sim.clone(), 1).unwrap();
-        tb.write_setpoint(23.0);
+        tb.write_setpoint(Celsius::new(23.0));
         b.iter(|| black_box(tb.step_sample(&utils).unwrap()));
     });
 }
@@ -38,7 +39,7 @@ fn bench_forecast(c: &mut Criterion) {
     let model = DcTimeSeriesModel::fit(&trace, cfg).unwrap();
     let window = trace.window_at(trace.len() - 12, 10).unwrap();
     c.bench_function("forecast/predict_horizon", |b| {
-        b.iter(|| black_box(model.predict(&window, 24.0).unwrap()));
+        b.iter(|| black_box(model.predict(&window, Celsius::new(24.0)).unwrap()));
     });
 }
 

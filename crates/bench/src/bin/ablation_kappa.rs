@@ -7,6 +7,8 @@
 
 use tesla_bench::{arg_f64, print_table, run_standard_episode, train_test_traces};
 use tesla_core::{FixedController, TeslaConfig, TeslaController};
+use tesla_units::Celsius;
+use tesla_units::DegC;
 use tesla_workload::LoadSetting;
 
 fn main() {
@@ -15,14 +17,14 @@ fn main() {
     eprintln!("training base model on a {train_days}-day sweep …");
     let (train, _) = train_test_traces(train_days, 0.1, 99);
 
-    let mut fixed = FixedController::new(23.0);
+    let mut fixed = FixedController::new(Celsius::new(23.0));
     let baseline = run_standard_episode(&mut fixed, LoadSetting::Medium, minutes, 321);
 
     let mut rows = Vec::new();
     for kappa in [0.0, 0.25, 0.5, 1.0, 2.0] {
         eprintln!("κ = {kappa} …");
         let cfg = TeslaConfig {
-            kappa,
+            kappa: DegC::new(kappa),
             seed: 7,
             ..TeslaConfig::default()
         };

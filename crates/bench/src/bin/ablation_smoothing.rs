@@ -5,6 +5,7 @@
 
 use tesla_bench::{arg_f64, print_table, run_standard_episode, train_test_traces};
 use tesla_core::{FixedController, TeslaConfig, TeslaController};
+use tesla_units::Celsius;
 use tesla_workload::LoadSetting;
 
 fn main() {
@@ -13,7 +14,7 @@ fn main() {
     eprintln!("training base model on a {train_days}-day sweep …");
     let (train, _) = train_test_traces(train_days, 0.1, 99);
 
-    let mut fixed = FixedController::new(23.0);
+    let mut fixed = FixedController::new(Celsius::new(23.0));
     let baseline = run_standard_episode(&mut fixed, LoadSetting::Medium, minutes, 654);
 
     let mut rows = Vec::new();

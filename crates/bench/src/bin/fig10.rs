@@ -7,9 +7,10 @@
 
 use tesla_bench::run_trace_figure;
 use tesla_core::FixedController;
+use tesla_units::Celsius;
 
 fn main() {
-    let mut fixed = FixedController::new(23.0);
+    let mut fixed = FixedController::new(Celsius::new(23.0));
     run_trace_figure(
         "Figure 10",
         &mut fixed,

@@ -9,6 +9,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tesla_bench::{export_csv, print_table};
 use tesla_sim::{SimConfig, Testbed};
+use tesla_units::Celsius;
 use tesla_workload::{DiurnalProfile, LoadSetting, Orchestrator};
 
 fn main() {
@@ -19,7 +20,7 @@ fn main() {
     let mut profile = DiurnalProfile::new(LoadSetting::Medium, minutes as f64 * 60.0);
     let mut rng = StdRng::seed_from_u64(7);
 
-    tb.write_setpoint(27.0);
+    tb.write_setpoint(Celsius::new(27.0));
     // Settle at mid-profile load so the compressor is actively modulating.
     let mid = minutes as f64 * 30.0;
     let warm_target = profile.sample(mid, &mut rng);

@@ -7,13 +7,14 @@
 
 use tesla_bench::{export_csv, print_table};
 use tesla_sim::{SimConfig, Testbed};
+use tesla_units::Celsius;
 
 fn main() {
     let sim = SimConfig::default();
     let mut tb = Testbed::new(sim.clone(), 11).expect("testbed");
     let utils = vec![0.35; sim.n_servers]; // steady load, ~6 kW of heat
 
-    tb.write_setpoint(23.0);
+    tb.write_setpoint(Celsius::new(23.0));
     tb.warm_up(&utils, 240).expect("warm-up");
 
     let mut minutes = Vec::new();
@@ -22,11 +23,11 @@ fn main() {
 
     // Interruption: set-point far above the return temperature for 10 min,
     // then recovery at 23 °C for 20 min.
-    tb.write_setpoint(35.0);
+    tb.write_setpoint(Celsius::new(35.0));
     let peak_idx = 9;
     for m in 0..30 {
         if m == 10 {
-            tb.write_setpoint(23.0);
+            tb.write_setpoint(Celsius::new(23.0));
         }
         let obs = tb.step_sample(&utils).expect("step");
         minutes.push(m as f64);

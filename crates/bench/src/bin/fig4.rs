@@ -7,6 +7,7 @@
 
 use tesla_bench::{export_csv, print_table};
 use tesla_sim::{SimConfig, Testbed};
+use tesla_units::Celsius;
 
 fn main() {
     let sim = SimConfig::default();
@@ -14,7 +15,7 @@ fn main() {
     let utils = vec![0.30; sim.n_servers];
 
     // Settle at a set-point the plant can hold.
-    tb.write_setpoint(28.5);
+    tb.write_setpoint(Celsius::new(28.5));
     tb.warm_up(&utils, 600).expect("warm-up");
 
     let mut minutes = Vec::new();
@@ -24,9 +25,9 @@ fn main() {
     // Minute 0 at 28.5 °C, dip to 27.5 °C for minutes 1-2, back to 28.6 °C.
     for m in 0..5 {
         if m == 1 {
-            tb.write_setpoint(27.5);
+            tb.write_setpoint(Celsius::new(27.5));
         } else if m == 3 {
-            tb.write_setpoint(28.6);
+            tb.write_setpoint(Celsius::new(28.6));
         }
         let obs = tb.step_sample(&utils).expect("step");
         minutes.push(m as f64);

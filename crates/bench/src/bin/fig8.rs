@@ -10,6 +10,7 @@ use tesla_core::dataset::push_observation;
 use tesla_core::{Controller, EpisodeConfig};
 use tesla_forecast::Trace;
 use tesla_sim::Testbed;
+use tesla_units::Celsius;
 use tesla_workload::{DiurnalProfile, LoadSetting, Orchestrator};
 
 use rand::rngs::StdRng;
@@ -40,7 +41,7 @@ fn main() {
     let mut profile = DiurnalProfile::new(cfg.setting, minutes as f64 * 60.0);
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xEE);
     let mut trace = Trace::with_sensors(cfg.sim.n_acu_sensors, cfg.sim.n_dc_sensors);
-    tb.write_setpoint(23.0);
+    tb.write_setpoint(Celsius::new(23.0));
     for _ in 0..cfg.warmup_minutes {
         let t = profile.sample(0.0, &mut rng);
         let utils = orch.tick(60.0, t, &mut rng);
@@ -56,7 +57,7 @@ fn main() {
 
     for m in 0..minutes {
         let sp = tesla.decide(&trace);
-        tb.write_setpoint(sp);
+        tb.write_setpoint(Celsius::new(sp));
         if (m == mark_a || m == mark_b) && tesla.last_outcome().is_some() {
             let out = tesla.last_outcome().unwrap();
             snapshots.push((

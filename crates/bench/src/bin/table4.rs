@@ -8,6 +8,7 @@
 use tesla_bench::{arg_f64, energy_dataset, print_table, train_test_traces};
 use tesla_linalg::stats::mape;
 use tesla_ml::{Dataset, ForestConfig, GbtConfig, GradientBoosting, Mlp, MlpConfig, RandomForest};
+use tesla_units::Celsius;
 
 fn main() {
     let train_days = arg_f64("train-days", 3.0);
@@ -35,7 +36,10 @@ fn main() {
             let inlet: Vec<Vec<f64>> = (0..n_a)
                 .map(|na| row[l + na * l..l + (na + 1) * l].to_vec())
                 .collect();
-            tesla_model.predict(setpoints, &inlet).expect("predict")
+            tesla_model
+                .predict(&Celsius::from_raw_slice(setpoints), &inlet)
+                .expect("predict")
+                .value()
         })
         .collect();
 

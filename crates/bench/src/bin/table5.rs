@@ -13,6 +13,7 @@
 use tesla_bench::{arg_f64, print_table, run_standard_episode, train_test_traces};
 use tesla_core::{Controller, EvalResult, FixedController};
 use tesla_linalg::stats::{mean, std_dev};
+use tesla_units::Celsius;
 use tesla_workload::LoadSetting;
 
 fn main() {
@@ -28,7 +29,7 @@ fn main() {
     let mut lazic = tesla_bench::trained_lazic(&train);
     eprintln!("training TSRL …");
     let mut tsrl = tesla_bench::trained_tsrl(&train);
-    let mut fixed = FixedController::new(23.0);
+    let mut fixed = FixedController::new(Celsius::new(23.0));
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     for (si, setting) in LoadSetting::all().into_iter().enumerate() {

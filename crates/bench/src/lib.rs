@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Experiment harness shared by the table/figure binaries.
 //!
 //! Every table and figure of the paper's evaluation (§5–6) has a binary
@@ -31,6 +32,7 @@ use tesla_core::dataset::{generate_sweep_trace, DatasetConfig};
 use tesla_forecast::{DcTimeSeriesModel, ModelWindow, RecursiveAr, Trace};
 use tesla_ml::{Mlp, MlpConfig};
 use tesla_sim::SimConfig;
+use tesla_units::Celsius;
 
 /// Generates the §5.1 train/test traces (sweep data under random load
 /// settings). `train_days`/`test_days` shrink the paper's 30 + 14 days to
@@ -100,7 +102,8 @@ pub fn temperature_mape_tesla(model: &DcTimeSeriesModel, test: &Trace, stride: u
     let mut pred = Vec::new();
     for t in eval_points(test, l, stride) {
         let window = test.window_at(t, l).expect("window");
-        let sps: Vec<f64> = (1..=l).map(|s| test.setpoint[t + s]).collect();
+        let sps =
+            Celsius::from_raw_slice(&(1..=l).map(|s| test.setpoint[t + s]).collect::<Vec<_>>());
         let Ok(p) = model.predict_with_setpoints(&window, &sps) else {
             continue;
         };

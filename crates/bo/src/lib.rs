@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Modeling-error-aware constrained Bayesian optimization (§3.3, Fig. 7).
 //!
 //! At every control step TESLA must pick the set-point that maximizes a

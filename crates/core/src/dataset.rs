@@ -14,6 +14,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use tesla_forecast::Trace;
 use tesla_sim::{Observation, SimConfig, Testbed};
+use tesla_units::{Celsius, NOMINAL_SETPOINT};
 use tesla_workload::{DiurnalProfile, LoadSetting, Orchestrator};
 
 /// Sweep-dataset generation parameters.
@@ -71,11 +72,11 @@ pub fn generate_sweep_trace(cfg: &DatasetConfig) -> Result<Trace, CoreError> {
     let mut trace = Trace::with_sensors(cfg.sim.n_acu_sensors, cfg.sim.n_dc_sensors);
 
     let segment_min = 12 * 60;
-    let (smin, smax) = (cfg.sim.setpoint_min, cfg.sim.setpoint_max);
+    let (smin, smax) = (cfg.sim.setpoint_min.value(), cfg.sim.setpoint_max.value());
     let mut profile = DiurnalProfile::new(random_setting(&mut rng), segment_min as f64 * 60.0);
 
     // Brief warm-up so the trace starts from realistic thermal state.
-    testbed.write_setpoint(23.0);
+    testbed.write_setpoint(NOMINAL_SETPOINT);
     let idle = vec![0.0; cfg.sim.n_servers];
     testbed.warm_up(&idle, 30)?;
 
@@ -97,7 +98,7 @@ pub fn generate_sweep_trace(cfg: &DatasetConfig) -> Result<Trace, CoreError> {
                 direction = 1.0;
             }
         }
-        testbed.write_setpoint(setpoint);
+        testbed.write_setpoint(Celsius::new(setpoint));
         let target = profile.sample(seg_pos as f64 * 60.0, &mut rng);
         let utils = orch.tick(cfg.sim.sample_period_s, target, &mut rng);
         let obs = testbed.step_sample(&utils)?;

@@ -13,6 +13,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tesla_forecast::Trace;
 use tesla_sim::{FaultPlan, SimConfig, Testbed};
+use tesla_units::{Celsius, NOMINAL_SETPOINT};
 use tesla_workload::{DiurnalProfile, LoadSetting, Orchestrator, Placement};
 
 /// Episode parameters.
@@ -27,8 +28,8 @@ pub struct EpisodeConfig {
     /// Warm-up minutes before metering starts (fills the controller's
     /// history window; runs at the profile's starting load, 23 °C).
     pub warmup_minutes: usize,
-    /// Cold-aisle limit used for the TSV metric, °C.
-    pub d_allowed: f64,
+    /// Cold-aisle limit used for the TSV metric.
+    pub d_allowed: Celsius,
     /// Job-placement policy (§8 future work: energy-aware consolidation).
     pub placement: Placement,
     /// RNG seed (shared by testbed and workload).
@@ -45,7 +46,7 @@ impl Default for EpisodeConfig {
             setting: LoadSetting::Medium,
             minutes: 720,
             warmup_minutes: 60,
-            d_allowed: 22.0,
+            d_allowed: Celsius::new(22.0),
             placement: Placement::Spread,
             seed: 0,
             faults: FaultPlan::none(),
@@ -61,23 +62,23 @@ pub struct EvalResult {
     /// Load setting evaluated.
     pub setting: LoadSetting,
     /// Total cooling energy over the metered period, kWh (Table 5's CE).
-    pub cooling_energy_kwh: f64,
+    pub cooling_energy_kwh: f64, // lint:allow(no-raw-f64-in-public-api): aggregate metric record
     /// % of metered samples with a cold-aisle sensor above the limit.
     pub tsv_percent: f64,
     /// % of metered time in cooling interruption (ACU at the fan floor).
     pub ci_percent: f64,
     /// Executed set-point per minute.
-    pub setpoints: Vec<f64>,
+    pub setpoints: Vec<f64>, // lint:allow(no-raw-f64-in-public-api): bulk telemetry record
     /// Mean ACU inlet temperature per minute.
     pub inlet_avg: Vec<f64>,
     /// Max cold-aisle sensor reading per minute.
-    pub cold_aisle_max: Vec<f64>,
+    pub cold_aisle_max: Vec<f64>, // lint:allow(no-raw-f64-in-public-api): bulk telemetry record
     /// ACU instantaneous power per minute, kW.
-    pub acu_power: Vec<f64>,
+    pub acu_power: Vec<f64>, // lint:allow(no-raw-f64-in-public-api): bulk telemetry record
     /// Average per-server power per minute, kW.
-    pub avg_server_power: Vec<f64>,
+    pub avg_server_power: Vec<f64>, // lint:allow(no-raw-f64-in-public-api): bulk telemetry record
     /// Total server (IT) energy over the metered period, kWh.
-    pub server_energy_kwh: f64,
+    pub server_energy_kwh: f64, // lint:allow(no-raw-f64-in-public-api): aggregate metric record
     /// The full telemetry trace (warm-up + metered period).
     pub trace: Trace,
     /// Index in `trace` where metering started.
@@ -122,7 +123,7 @@ pub fn run_episode(
     let mut trace = Trace::with_sensors(config.sim.n_acu_sensors, config.sim.n_dc_sensors);
 
     controller.reset();
-    testbed.write_setpoint(23.0);
+    testbed.write_setpoint(NOMINAL_SETPOINT);
 
     // Warm-up: starting load, history accumulates, controller idle.
     for m in 0..config.warmup_minutes {
@@ -147,18 +148,18 @@ pub fn run_episode(
     for m in 0..config.minutes {
         // Decide from the history so far, execute, then advance a minute.
         let sp = controller.decide(&trace);
-        testbed.write_setpoint(sp);
+        testbed.write_setpoint(Celsius::new(sp));
 
         let target = profile.sample(m as f64 * 60.0, &mut rng);
         let utils = orch.tick(config.sim.sample_period_s, target, &mut rng);
         let obs = testbed.step_sample(&utils)?;
 
         cooling_energy_kwh += obs.acu_energy_kwh;
-        if obs.cold_aisle_max > config.d_allowed {
+        if obs.cold_aisle_max > config.d_allowed.value() {
             violations += 1;
         }
         interrupted += obs.interrupted_frac;
-        setpoints.push(testbed.setpoint());
+        setpoints.push(testbed.setpoint().value());
         inlet_avg.push(
             obs.acu_inlet_temps.iter().sum::<f64>() / obs.acu_inlet_temps.len().max(1) as f64,
         );
@@ -194,7 +195,7 @@ mod tests {
     use crate::fixed::FixedController;
 
     fn quick_episode(setting: LoadSetting, minutes: usize, seed: u64) -> EvalResult {
-        let mut ctrl = FixedController::new(23.0);
+        let mut ctrl = FixedController::new(Celsius::new(23.0));
         let cfg = EpisodeConfig {
             setting,
             minutes,

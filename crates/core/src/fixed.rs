@@ -3,25 +3,26 @@
 
 use crate::controller::Controller;
 use tesla_forecast::Trace;
+use tesla_units::Celsius;
 
 /// Always returns the same set-point.
 #[derive(Debug, Clone)]
 pub struct FixedController {
-    setpoint: f64,
+    setpoint: Celsius,
     name: String,
 }
 
 impl FixedController {
     /// Creates the controller.
-    pub fn new(setpoint: f64) -> Self {
+    pub fn new(setpoint: Celsius) -> Self {
         FixedController {
             setpoint,
-            name: format!("fixed-{setpoint:.0}C"),
+            name: format!("fixed-{:.0}C", setpoint.value()),
         }
     }
 
     /// The configured set-point.
-    pub fn setpoint(&self) -> f64 {
+    pub fn setpoint(&self) -> Celsius {
         self.setpoint
     }
 }
@@ -32,7 +33,7 @@ impl Controller for FixedController {
     }
 
     fn decide(&mut self, _history: &Trace) -> f64 {
-        self.setpoint
+        self.setpoint.value()
     }
 }
 
@@ -42,9 +43,9 @@ mod tests {
 
     #[test]
     fn always_returns_configured_setpoint() {
-        let mut c = FixedController::new(23.0);
+        let mut c = FixedController::new(Celsius::new(23.0));
         assert_eq!(c.decide(&Trace::with_sensors(1, 1)), 23.0);
         assert_eq!(c.name(), "fixed-23C");
-        assert_eq!(c.setpoint(), 23.0);
+        assert_eq!(c.setpoint(), Celsius::new(23.0));
     }
 }

@@ -17,6 +17,7 @@
 use crate::controller::Controller;
 use crate::CoreError;
 use tesla_forecast::{RecursiveAr, Trace};
+use tesla_units::{Celsius, NOMINAL_SETPOINT};
 
 /// Lazic baseline configuration.
 #[derive(Debug, Clone)]
@@ -25,8 +26,8 @@ pub struct LazicConfig {
     pub horizon: usize,
     /// AR order (past frames consumed by the collective model).
     pub order: usize,
-    /// Cold-aisle limit, °C.
-    pub d_allowed: f64,
+    /// Cold-aisle limit.
+    pub d_allowed: Celsius,
     /// Cold-aisle sensor indices.
     pub cold_sensors: Vec<usize>,
     /// Set-point search bounds `[S_min, S_max]`.
@@ -38,7 +39,7 @@ pub struct LazicConfig {
     /// moves a few steps per control period rather than jumping globally.
     pub max_step_c: f64,
     /// Set-point before enough history exists.
-    pub cold_start_setpoint: f64,
+    pub cold_start_setpoint: Celsius,
 }
 
 impl Default for LazicConfig {
@@ -51,12 +52,12 @@ impl Default for LazicConfig {
             // controller fails to anticipate (§6.3).
             horizon: 5,
             order: 2,
-            d_allowed: 22.0,
+            d_allowed: Celsius::new(22.0),
             cold_sensors: (0..11).collect(),
             bounds: (20.0, 35.0),
             grid_step: 0.25,
             max_step_c: 1.0,
-            cold_start_setpoint: 23.0,
+            cold_start_setpoint: NOMINAL_SETPOINT,
         }
     }
 }
@@ -115,7 +116,7 @@ impl Controller for LazicController {
     fn decide(&mut self, history: &Trace) -> f64 {
         let lag = self.config.order.max(2);
         if history.len() < lag {
-            return self.config.cold_start_setpoint;
+            return self.config.cold_start_setpoint.value();
         }
         // Gradient-descent equivalent: search within max_step_c of the
         // previous decision, from the top down, for the highest set-point
@@ -124,18 +125,18 @@ impl Controller for LazicController {
         let (lo, hi) = self.config.bounds;
         let prev = self
             .last_setpoint
-            .unwrap_or(self.config.cold_start_setpoint);
+            .unwrap_or_else(|| self.config.cold_start_setpoint.value());
         let hi = hi.min(prev + self.config.max_step_c);
         let lo_local = lo.max(prev - self.config.max_step_c);
         let mut s = hi;
         while s >= lo_local - 1e-9 {
             match self.predicted_max(history, s) {
-                Some(max) if max < self.config.d_allowed => {
+                Some(max) if max < self.config.d_allowed.value() => {
                     self.last_setpoint = Some(s);
                     return s;
                 }
                 Some(_) => {}
-                None => return self.config.cold_start_setpoint,
+                None => return self.config.cold_start_setpoint.value(),
             }
             s -= self.config.grid_step;
         }
@@ -201,7 +202,7 @@ mod tests {
     fn smin_backup_when_everything_infeasible() {
         let (mut ctrl, trace) = controller();
         // Force infeasibility by dropping the limit absurdly low.
-        ctrl.config.d_allowed = -100.0;
+        ctrl.config.d_allowed = Celsius::new(-100.0);
         let sp = ctrl.decide(&trace);
         assert_eq!(sp, 20.0);
     }

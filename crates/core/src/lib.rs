@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! TESLA's control layer: the paper's primary contribution, plus the
 //! three comparison controllers of Table 5 and the machinery to train and
 //! evaluate all of them end-to-end on the simulated testbed.

@@ -13,13 +13,15 @@
 //! ablatable.
 
 use tesla_forecast::Prediction;
+use tesla_units::{Celsius, DegC};
 
 /// Eq. 6–7: cooling-interruption proxy `D` for a constant set-point.
 ///
 /// `D = Σ_j U_j`, `U_j = s − avg(â_j)` when that residual exceeds `κ`,
 /// else 0. Positive residual means the set-point sits above the inlet
 /// temperature — the PID is about to stop delivering cold air.
-pub fn interruption_penalty(setpoint: f64, inlet_pred: &[Vec<f64>], kappa: f64) -> f64 {
+// lint:allow(no-raw-f64-in-public-api): bulk prediction matrix in, dimensionless penalty out
+pub fn interruption_penalty(setpoint: Celsius, inlet_pred: &[Vec<f64>], kappa: DegC) -> f64 {
     if inlet_pred.is_empty() {
         return 0.0;
     }
@@ -28,8 +30,8 @@ pub fn interruption_penalty(setpoint: f64, inlet_pred: &[Vec<f64>], kappa: f64) 
     let mut d = 0.0;
     for j in 0..l {
         let avg: f64 = inlet_pred.iter().map(|s| s[j]).sum::<f64>() / n;
-        let residual = setpoint - avg;
-        if residual > kappa {
+        let residual = (setpoint - Celsius::new(avg)).value();
+        if residual > kappa.value() {
             d += residual;
         }
     }
@@ -39,66 +41,77 @@ pub fn interruption_penalty(setpoint: f64, inlet_pred: &[Vec<f64>], kappa: f64) 
 /// Eq. 8 (negated for maximization): `O = −(Ê + w·D)`.
 pub fn objective(
     prediction: &Prediction,
-    setpoint: f64,
-    kappa: f64,
+    setpoint: Celsius,
+    kappa: DegC,
     interruption_weight: f64,
 ) -> f64 {
     let d = interruption_penalty(setpoint, &prediction.inlet, kappa);
-    -(prediction.energy + interruption_weight * d)
+    -(prediction.energy.value() + interruption_weight * d)
 }
 
 /// Eq. 9: `C = max_{cold sensors, steps} d̂ − d_allowed` (feasible iff ≤ 0).
-pub fn constraint(prediction: &Prediction, cold_sensors: &[usize], d_allowed: f64) -> f64 {
-    prediction.max_over_sensors(cold_sensors.iter().copied()) - d_allowed
+// lint:allow(no-raw-f64-in-public-api): dimensionless constraint margin out
+pub fn constraint(prediction: &Prediction, cold_sensors: &[usize], d_allowed: Celsius) -> f64 {
+    prediction.max_over_sensors(cold_sensors.iter().copied()) - d_allowed.value()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    use tesla_units::KilowattHours;
+
     fn pred(inlet: Vec<Vec<f64>>, dc: Vec<Vec<f64>>, energy: f64) -> Prediction {
         Prediction {
             power: vec![],
             inlet,
             dc,
-            energy,
+            energy: KilowattHours::new(energy),
         }
+    }
+
+    fn c(v: f64) -> Celsius {
+        Celsius::new(v)
+    }
+
+    fn k(v: f64) -> DegC {
+        DegC::new(v)
     }
 
     #[test]
     fn no_penalty_when_setpoint_below_inlet() {
         let p = pred(vec![vec![25.0; 4]], vec![], 0.5);
-        assert_eq!(interruption_penalty(24.0, &p.inlet, 0.5), 0.0);
+        assert_eq!(interruption_penalty(c(24.0), &p.inlet, k(0.5)), 0.0);
     }
 
     #[test]
     fn penalty_accumulates_over_steps() {
         // Set-point 26, inlet 24 → residual 2 at each of 4 steps, κ=0.5.
         let p = pred(vec![vec![24.0; 4]], vec![], 0.5);
-        assert_eq!(interruption_penalty(26.0, &p.inlet, 0.5), 8.0);
+        assert_eq!(interruption_penalty(c(26.0), &p.inlet, k(0.5)), 8.0);
     }
 
     #[test]
     fn kappa_zero_forbids_any_positive_residual() {
         // §3.3: "Setting κ = 0 does not allow any interruption."
         let p = pred(vec![vec![24.0; 3]], vec![], 0.5);
-        assert!(interruption_penalty(24.1, &p.inlet, 0.0) > 0.0);
-        assert_eq!(interruption_penalty(24.1, &p.inlet, 0.5), 0.0);
+        assert!(interruption_penalty(c(24.1), &p.inlet, k(0.0)) > 0.0);
+        assert_eq!(interruption_penalty(c(24.1), &p.inlet, k(0.5)), 0.0);
     }
 
     #[test]
     fn residual_averages_across_acu_sensors() {
         // Sensors read 23 and 25 → average 24; set-point 25 → residual 1.
         let p = pred(vec![vec![23.0; 2], vec![25.0; 2]], vec![], 0.5);
-        assert_eq!(interruption_penalty(25.0, &p.inlet, 0.5), 2.0);
+        assert_eq!(interruption_penalty(c(25.0), &p.inlet, k(0.5)), 2.0);
     }
 
     #[test]
     fn objective_prefers_low_energy_without_interruption() {
         let cheap = pred(vec![vec![26.0; 4]], vec![], 0.4);
         let costly = pred(vec![vec![26.0; 4]], vec![], 0.9);
-        let o_cheap = objective(&cheap, 25.0, 0.5, 0.1);
-        let o_costly = objective(&costly, 25.0, 0.5, 0.1);
+        let o_cheap = objective(&cheap, c(25.0), k(0.5), 0.1);
+        let o_costly = objective(&costly, c(25.0), k(0.5), 0.1);
         assert!(o_cheap > o_costly);
     }
 
@@ -108,8 +121,8 @@ mod tests {
         // with the default-scale weight.
         let interrupting = pred(vec![vec![24.0; 20]], vec![], 0.2);
         let safe = pred(vec![vec![24.0; 20]], vec![], 0.5);
-        let o_int = objective(&interrupting, 27.0, 0.5, 0.1); // D = 3*20 = 60
-        let o_safe = objective(&safe, 24.0, 0.5, 0.1);
+        let o_int = objective(&interrupting, c(27.0), k(0.5), 0.1); // D = 3*20 = 60
+        let o_safe = objective(&safe, c(24.0), k(0.5), 0.1);
         assert!(o_safe > o_int);
     }
 
@@ -122,13 +135,13 @@ mod tests {
         );
         // Only sensors 0 and 1 are cold-aisle; sensor 2's 30 °C must be
         // ignored.
-        let c = constraint(&p, &[0, 1], 22.0);
-        assert!((c - 1.0).abs() < 1e-12); // 23 − 22
-        assert!(constraint(&p, &[0], 22.0) < 0.0);
+        let con = constraint(&p, &[0, 1], c(22.0));
+        assert!((con - 1.0).abs() < 1e-12); // 23 − 22
+        assert!(constraint(&p, &[0], c(22.0)) < 0.0);
     }
 
     #[test]
     fn empty_inlet_prediction_is_harmless() {
-        assert_eq!(interruption_penalty(30.0, &[], 0.5), 0.0);
+        assert_eq!(interruption_penalty(c(30.0), &[], k(0.5)), 0.0);
     }
 }

@@ -33,6 +33,7 @@ use std::time::Duration;
 use tesla_forecast::Trace;
 use tesla_sim::Testbed;
 use tesla_telemetry::{Collector, TelemetryQueue, TsdbStore};
+use tesla_units::{Celsius, NOMINAL_SETPOINT};
 use tesla_workload::{DiurnalProfile, Orchestrator};
 
 /// How long the producer waits for a decision before treating the
@@ -64,7 +65,7 @@ pub fn run_episode_threaded(
     });
 
     controller.reset();
-    testbed.write_setpoint(23.0);
+    testbed.write_setpoint(NOMINAL_SETPOINT);
 
     // Queue of telemetry snapshots (producer → consumer) and decided
     // set-points (consumer → producer). Capacity 4: bounded backpressure,
@@ -140,7 +141,7 @@ fn producer_loop(
     let mut server_energy_kwh = 0.0;
     let mut consumer_lost = false;
 
-    let (sp_min, sp_max) = (config.sim.setpoint_min, config.sim.setpoint_max);
+    let spec = config.sim.setpoint_range();
     for m in 0..config.minutes {
         if !consumer_lost {
             // Producer → consumer: current history snapshot (drop-oldest,
@@ -158,7 +159,7 @@ fn producer_loop(
                     // runner's device-side clamp), then write through the
                     // retrying fault-aware path. A failed write leaves the
                     // previous set-point latched.
-                    let sp = supervisor.resolve_setpoint(sp.clamp(sp_min, sp_max));
+                    let sp = supervisor.resolve_setpoint(spec.clamp(Celsius::new(sp)));
                     let _ = supervisor.write_with_retry(testbed, sp);
                 }
                 None => {
@@ -175,7 +176,7 @@ fn producer_loop(
             // signal asserted so clean minutes cannot "recover" a
             // controller that no longer exists, and hold S_min.
             supervisor.note_stress(StressReason::ConsumerLost);
-            let safe = supervisor.config().safe_setpoint.clamp(sp_min, sp_max);
+            let safe = spec.clamp(supervisor.config().safe_setpoint);
             let _ = supervisor.write_with_retry(testbed, safe);
         }
 
@@ -185,11 +186,11 @@ fn producer_loop(
         Collector::collect(store, &obs);
 
         cooling_energy_kwh += obs.acu_energy_kwh;
-        if obs.cold_aisle_max > config.d_allowed {
+        if obs.cold_aisle_max > config.d_allowed.value() {
             violations += 1;
         }
         interrupted += obs.interrupted_frac;
-        setpoints.push(testbed.setpoint());
+        setpoints.push(testbed.setpoint().value());
         inlet_avg.push(
             obs.acu_inlet_temps.iter().sum::<f64>() / obs.acu_inlet_temps.len().max(1) as f64,
         );
@@ -206,7 +207,7 @@ fn producer_loop(
         // stress signal — thermal- and telemetry-aware supervision lives
         // in `run_supervised_episode`. Fault-free runs therefore execute
         // physics identical to the synchronous runner.
-        supervisor.end_of_minute(m, 0.0, f64::NEG_INFINITY, testbed.setpoint());
+        supervisor.end_of_minute(m, 0.0, Celsius::new(f64::NEG_INFINITY), testbed.setpoint());
     }
 
     Ok(EvalResult {
@@ -245,7 +246,7 @@ mod tests {
             ..EpisodeConfig::default()
         };
         let result = run_episode_threaded(
-            Box::new(FixedController::new(23.0)),
+            Box::new(FixedController::new(Celsius::new(23.0))),
             &cfg,
             Arc::clone(&store),
         )
@@ -270,9 +271,13 @@ mod tests {
             seed: 77,
             ..EpisodeConfig::default()
         };
-        let threaded =
-            run_episode_threaded(Box::new(FixedController::new(24.0)), &cfg, store).unwrap();
-        let mut sync_ctrl = FixedController::new(24.0);
+        let threaded = run_episode_threaded(
+            Box::new(FixedController::new(Celsius::new(24.0))),
+            &cfg,
+            store,
+        )
+        .unwrap();
+        let mut sync_ctrl = FixedController::new(Celsius::new(24.0));
         let synchronous = crate::experiment::run_episode(&mut sync_ctrl, &cfg).unwrap();
         assert_eq!(threaded.cooling_energy_kwh, synchronous.cooling_energy_kwh);
         assert_eq!(threaded.cold_aisle_max, synchronous.cold_aisle_max);

@@ -41,7 +41,8 @@ impl SmoothingBuffer {
 
     /// Pushes a computed set-point and returns the smoothed (executed)
     /// value: the running average of the stored contents.
-    pub fn push(&mut self, setpoint: f64) -> f64 {
+    pub fn push(&mut self, setpoint: f64) -> f64 // lint:allow(no-raw-f64-in-public-api): raw decision stream averaging
+    {
         if self.values.len() == self.capacity {
             self.values.pop_front();
         }

@@ -49,6 +49,7 @@ use std::time::{Duration, Instant};
 use tesla_forecast::Trace;
 use tesla_sim::{SimError, Testbed};
 use tesla_telemetry::{HealthConfig, HealthMonitor};
+use tesla_units::{Celsius, DegC, NOMINAL_SETPOINT, SETPOINT_RANGE};
 use tesla_workload::{DiurnalProfile, Orchestrator};
 
 /// The degradation ladder's rungs, mildest first.
@@ -66,14 +67,14 @@ impl Rung {
     fn escalated(self) -> Rung {
         match self {
             Rung::Normal => Rung::HoldLastSafe,
-            _ => Rung::SafeMode,
+            Rung::HoldLastSafe | Rung::SafeMode => Rung::SafeMode,
         }
     }
 
     fn recovered(self) -> Rung {
         match self {
             Rung::SafeMode => Rung::HoldLastSafe,
-            _ => Rung::Normal,
+            Rung::HoldLastSafe | Rung::Normal => Rung::Normal,
         }
     }
 }
@@ -123,26 +124,26 @@ pub struct SupervisorConfig {
     pub recover_after: u32,
     /// Quarantined fraction of cold-aisle telemetry counting as stress.
     pub quarantine_stress_frac: f64,
-    /// Safe-mode set-point, °C (`S_min`).
-    pub safe_setpoint: f64,
-    /// Cold-aisle limit whose violation counts as stress, °C.
-    pub d_allowed: f64,
+    /// Safe-mode set-point (`S_min`).
+    pub safe_setpoint: Celsius,
+    /// Cold-aisle limit whose violation counts as stress.
+    pub d_allowed: Celsius,
     /// Maximum *upward* set-point movement per minute while at
     /// `HoldLastSafe`, °C. After a safe-mode excursion the room can sit
     /// far below the hold target; snapping back in one step overshoots
     /// the thermal limit and re-escalates (a limit cycle). Downward moves
     /// are never limited — cooling harder is always safe.
-    pub recovery_slew_c_per_min: f64,
+    pub recovery_slew_c_per_min: DegC,
     /// How far below the executed set-point `last_safe` is pulled when a
     /// thermal violation is observed, °C. A violation proves the executed
     /// value unsafe at the current load, so holding it again would just
     /// repeat the violation.
-    pub violation_backoff_c: f64,
+    pub violation_backoff_c: DegC,
     /// Early-warning band below `d_allowed`, °C. An observed cold-aisle
     /// max inside the band already triggers the `last_safe` backoff —
     /// but not the stress signal — so a recovery ramp turns around
     /// *before* the thermal lag carries the room across the limit.
-    pub thermal_warn_margin_c: f64,
+    pub thermal_warn_margin_c: DegC,
 }
 
 impl Default for SupervisorConfig {
@@ -154,11 +155,11 @@ impl Default for SupervisorConfig {
             escalate_after: 3,
             recover_after: 10,
             quarantine_stress_frac: 0.25,
-            safe_setpoint: 20.0,
-            d_allowed: 22.0,
-            recovery_slew_c_per_min: 0.25,
-            violation_backoff_c: 1.0,
-            thermal_warn_margin_c: 1.0,
+            safe_setpoint: SETPOINT_RANGE.min(),
+            d_allowed: Celsius::new(22.0),
+            recovery_slew_c_per_min: DegC::new(0.25),
+            violation_backoff_c: DegC::new(1.0),
+            thermal_warn_margin_c: DegC::new(1.0),
         }
     }
 }
@@ -175,9 +176,9 @@ pub struct Supervisor {
     pending_reason: Option<StressReason>,
     /// Reason behind the current elevated rung (for recovery events).
     elevated_reason: Option<StressReason>,
-    last_safe_setpoint: f64,
+    last_safe_setpoint: Celsius,
     /// Set-point actually executed last minute (ramp base for recovery).
-    last_executed: Option<f64>,
+    last_executed: Option<Celsius>,
     events: Vec<SupervisorEvent>,
     safe_mode_minutes: u64,
     hold_minutes: u64,
@@ -189,7 +190,7 @@ pub struct Supervisor {
 impl Supervisor {
     /// A supervisor at rung `Normal` with `cfg`'s thresholds.
     pub fn new(cfg: SupervisorConfig) -> Self {
-        let last_safe_setpoint = 23.0_f64.max(cfg.safe_setpoint);
+        let last_safe_setpoint = NOMINAL_SETPOINT.max(cfg.safe_setpoint);
         Supervisor {
             cfg,
             rung: Rung::Normal,
@@ -251,11 +252,11 @@ impl Supervisor {
     /// The hold-rung target: `last_safe`, approached from the last
     /// executed set-point at no more than the recovery slew rate when
     /// moving *up* (reducing cooling). Downward moves are immediate.
-    fn hold_target(&self) -> f64 {
+    fn hold_target(&self) -> Celsius {
         let target = self.last_safe_setpoint;
         match self.last_executed {
             Some(prev) if target > prev => {
-                (prev + self.cfg.recovery_slew_c_per_min.max(0.0)).min(target)
+                (prev + self.cfg.recovery_slew_c_per_min.max(DegC::new(0.0))).min(target)
             }
             _ => target,
         }
@@ -263,7 +264,7 @@ impl Supervisor {
 
     /// The set-point the ladder would execute if the controller proposed
     /// `proposed` right now.
-    pub fn resolve_setpoint(&self, proposed: f64) -> f64 {
+    pub fn resolve_setpoint(&self, proposed: Celsius) -> Celsius {
         match self.rung {
             Rung::Normal => proposed,
             Rung::HoldLastSafe => self.hold_target(),
@@ -275,9 +276,9 @@ impl Supervisor {
 
     /// Runs one decision under the watchdog and resolves it through the
     /// ladder. Returns the set-point to execute.
-    pub fn decide(&mut self, controller: &mut dyn Controller, history: &Trace) -> f64 {
+    pub fn decide(&mut self, controller: &mut dyn Controller, history: &Trace) -> Celsius {
         let t0 = Instant::now();
-        let proposed = controller.decide(history);
+        let proposed = Celsius::new(controller.decide(history));
         let over_budget = t0.elapsed() > Duration::from_millis(self.cfg.decision_budget_ms);
         if over_budget {
             self.watchdog_trips += 1;
@@ -286,7 +287,7 @@ impl Supervisor {
             // (unless the ladder already demands something stronger).
             return match self.rung {
                 Rung::SafeMode => self.cfg.safe_setpoint,
-                _ => self.hold_target(),
+                Rung::Normal | Rung::HoldLastSafe => self.hold_target(),
             };
         }
         self.resolve_setpoint(proposed)
@@ -297,7 +298,11 @@ impl Supervisor {
     /// errors (out-of-spec set-points) are not retried — retrying cannot
     /// fix them. Returns the quantized set-point latched, or the error
     /// from the final attempt.
-    pub fn write_with_retry(&mut self, testbed: &mut Testbed, sp: f64) -> Result<f64, SimError> {
+    pub fn write_with_retry(
+        &mut self,
+        testbed: &mut Testbed,
+        sp: Celsius,
+    ) -> Result<Celsius, SimError> {
         let mut attempt = 0u32;
         loop {
             match testbed.try_write_setpoint(sp) {
@@ -343,8 +348,8 @@ impl Supervisor {
         &mut self,
         minute: usize,
         quarantined_frac: f64,
-        observed_cold_aisle_max: f64,
-        executed_setpoint: f64,
+        observed_cold_aisle_max: Celsius,
+        executed_setpoint: Celsius,
     ) {
         if quarantined_frac >= self.cfg.quarantine_stress_frac {
             self.note_stress(StressReason::Telemetry);
@@ -352,8 +357,8 @@ impl Supervisor {
         if observed_cold_aisle_max > self.cfg.d_allowed {
             self.note_stress(StressReason::ThermalViolation);
         }
-        let warned =
-            observed_cold_aisle_max > self.cfg.d_allowed - self.cfg.thermal_warn_margin_c.max(0.0);
+        let warned = observed_cold_aisle_max
+            > self.cfg.d_allowed - self.cfg.thermal_warn_margin_c.max(DegC::new(0.0));
         if warned {
             // The executed set-point just proved (or is about to prove)
             // unsafe at the current load: a stale `last_safe` must not be
@@ -363,7 +368,7 @@ impl Supervisor {
             // in the warning band matters because of thermal lag — by the
             // time the limit itself is crossed, the room has minutes of
             // overshoot banked.
-            let fallback = (executed_setpoint - self.cfg.violation_backoff_c.max(0.0))
+            let fallback = (executed_setpoint - self.cfg.violation_backoff_c.max(DegC::new(0.0)))
                 .max(self.cfg.safe_setpoint);
             self.last_safe_setpoint = self.last_safe_setpoint.min(fallback);
         }
@@ -448,7 +453,7 @@ impl Supervisor {
         self.clean_streak = 0;
         self.pending_reason = None;
         self.elevated_reason = None;
-        self.last_safe_setpoint = 23.0_f64.max(self.cfg.safe_setpoint);
+        self.last_safe_setpoint = NOMINAL_SETPOINT.max(self.cfg.safe_setpoint);
         self.last_executed = None;
         self.events.clear();
         self.safe_mode_minutes = 0;
@@ -510,7 +515,7 @@ pub fn run_supervised_episode(
 
     controller.reset();
     supervisor.reset();
-    testbed.write_setpoint(23.0);
+    testbed.write_setpoint(NOMINAL_SETPOINT);
 
     for _ in 0..config.warmup_minutes {
         let target = profile.sample(0.0, &mut rng);
@@ -560,11 +565,11 @@ pub fn run_supervised_episode(
         // Score safety on ground truth: a stuck-at-45 °C sensor must not
         // masquerade as a violation, and a stuck-at-15 °C one must not
         // hide a real one.
-        if obs.cold_aisle_max_true > config.d_allowed {
+        if obs.cold_aisle_max_true > config.d_allowed.value() {
             violations += 1;
         }
         interrupted += obs.interrupted_frac;
-        setpoints.push(testbed.setpoint());
+        setpoints.push(testbed.setpoint().value());
         inlet_avg.push(
             obs.acu_inlet_temps.iter().sum::<f64>() / obs.acu_inlet_temps.len().max(1) as f64,
         );
@@ -586,7 +591,7 @@ pub fn run_supervised_episode(
         supervisor.end_of_minute(
             m,
             quarantined_cold as f64 / n_cold.max(1) as f64,
-            obs.cold_aisle_max,
+            Celsius::new(obs.cold_aisle_max),
             testbed.setpoint(),
         );
     }
@@ -619,6 +624,10 @@ mod tests {
     };
     use tesla_workload::LoadSetting;
 
+    fn c(v: f64) -> Celsius {
+        Celsius::new(v)
+    }
+
     fn quick_supervisor() -> Supervisor {
         Supervisor::new(SupervisorConfig {
             escalate_after: 2,
@@ -630,9 +639,9 @@ mod tests {
     #[test]
     fn ladder_starts_normal_and_passes_decisions_through() {
         let mut sup = quick_supervisor();
-        let mut ctrl = FixedController::new(24.0);
+        let mut ctrl = FixedController::new(c(24.0));
         let sp = sup.decide(&mut ctrl, &Trace::with_sensors(2, 35));
-        assert_eq!(sp, 24.0);
+        assert_eq!(sp, c(24.0));
         assert_eq!(sup.rung(), Rung::Normal);
         assert!(sup.events().is_empty());
     }
@@ -641,34 +650,34 @@ mod tests {
     fn sustained_stress_climbs_one_rung_then_the_next() {
         let mut sup = quick_supervisor();
         // Two stressed minutes -> HoldLastSafe.
-        sup.end_of_minute(0, 1.0, 21.0, 23.0);
+        sup.end_of_minute(0, 1.0, c(21.0), c(23.0));
         assert_eq!(sup.rung(), Rung::Normal);
-        sup.end_of_minute(1, 1.0, 21.0, 23.0);
+        sup.end_of_minute(1, 1.0, c(21.0), c(23.0));
         assert_eq!(sup.rung(), Rung::HoldLastSafe);
         // Two more -> SafeMode.
-        sup.end_of_minute(2, 1.0, 21.0, 23.0);
-        sup.end_of_minute(3, 1.0, 21.0, 23.0);
+        sup.end_of_minute(2, 1.0, c(21.0), c(23.0));
+        sup.end_of_minute(3, 1.0, c(21.0), c(23.0));
         assert_eq!(sup.rung(), Rung::SafeMode);
         assert_eq!(sup.events().len(), 2);
         assert_eq!(sup.events()[0].reason, StressReason::Telemetry);
         // Further stress does not re-log SafeMode.
-        sup.end_of_minute(4, 1.0, 21.0, 23.0);
-        sup.end_of_minute(5, 1.0, 21.0, 23.0);
+        sup.end_of_minute(4, 1.0, c(21.0), c(23.0));
+        sup.end_of_minute(5, 1.0, c(21.0), c(23.0));
         assert_eq!(sup.events().len(), 2);
     }
 
     #[test]
     fn recovery_needs_the_longer_clean_streak() {
         let mut sup = quick_supervisor();
-        sup.end_of_minute(0, 1.0, 21.0, 23.0);
-        sup.end_of_minute(1, 1.0, 21.0, 23.0);
+        sup.end_of_minute(0, 1.0, c(21.0), c(23.0));
+        sup.end_of_minute(1, 1.0, c(21.0), c(23.0));
         assert_eq!(sup.rung(), Rung::HoldLastSafe);
         // Three clean minutes: not yet (recover_after = 4).
         for m in 2..5 {
-            sup.end_of_minute(m, 0.0, 21.0, 23.0);
+            sup.end_of_minute(m, 0.0, c(21.0), c(23.0));
         }
         assert_eq!(sup.rung(), Rung::HoldLastSafe);
-        sup.end_of_minute(5, 0.0, 21.0, 23.0);
+        sup.end_of_minute(5, 0.0, c(21.0), c(23.0));
         assert_eq!(sup.rung(), Rung::Normal);
     }
 
@@ -679,7 +688,7 @@ mod tests {
         let mut sup = quick_supervisor();
         for m in 0..40 {
             let stressed = m % 2 == 0;
-            sup.end_of_minute(m, if stressed { 1.0 } else { 0.0 }, 21.0, 23.0);
+            sup.end_of_minute(m, if stressed { 1.0 } else { 0.0 }, c(21.0), c(23.0));
         }
         assert_eq!(sup.rung(), Rung::Normal);
         assert!(sup.events().is_empty());
@@ -688,8 +697,8 @@ mod tests {
     #[test]
     fn thermal_violation_counts_as_stress() {
         let mut sup = quick_supervisor();
-        sup.end_of_minute(0, 0.0, 25.0, 23.0);
-        sup.end_of_minute(1, 0.0, 25.0, 23.0);
+        sup.end_of_minute(0, 0.0, c(25.0), c(23.0));
+        sup.end_of_minute(1, 0.0, c(25.0), c(23.0));
         assert_eq!(sup.rung(), Rung::HoldLastSafe);
         assert_eq!(sup.events()[0].reason, StressReason::ThermalViolation);
     }
@@ -698,59 +707,59 @@ mod tests {
     fn hold_rung_returns_last_safe_setpoint() {
         let mut sup = quick_supervisor();
         // A clean normal minute records 26.0 as safe.
-        sup.end_of_minute(0, 0.0, 21.0, 26.0);
-        sup.end_of_minute(1, 1.0, 21.0, 27.0);
-        sup.end_of_minute(2, 1.0, 21.0, 27.0);
+        sup.end_of_minute(0, 0.0, c(21.0), c(26.0));
+        sup.end_of_minute(1, 1.0, c(21.0), c(27.0));
+        sup.end_of_minute(2, 1.0, c(21.0), c(27.0));
         assert_eq!(sup.rung(), Rung::HoldLastSafe);
-        assert_eq!(sup.resolve_setpoint(30.0), 26.0);
+        assert_eq!(sup.resolve_setpoint(c(30.0)), c(26.0));
     }
 
     #[test]
     fn hold_recovery_ramps_upward_from_safe_mode() {
         let mut sup = quick_supervisor();
         // Clean normal minute at 26 °C defines last_safe.
-        sup.end_of_minute(0, 0.0, 21.0, 26.0);
+        sup.end_of_minute(0, 0.0, c(21.0), c(26.0));
         sup.force_safe_mode(1, StressReason::ConsumerLost);
         // Four clean safe-mode minutes executing S_min -> recover to Hold.
         for m in 1..5 {
-            sup.end_of_minute(m, 0.0, 21.0, 20.0);
+            sup.end_of_minute(m, 0.0, c(21.0), c(20.0));
         }
         assert_eq!(sup.rung(), Rung::HoldLastSafe);
         // The hold target climbs at the slew rate, not in one jump.
-        assert_eq!(sup.resolve_setpoint(30.0), 20.25);
-        sup.end_of_minute(5, 0.0, 21.0, 20.25);
-        assert_eq!(sup.resolve_setpoint(30.0), 20.5);
+        assert_eq!(sup.resolve_setpoint(c(30.0)), c(20.25));
+        sup.end_of_minute(5, 0.0, c(21.0), c(20.25));
+        assert_eq!(sup.resolve_setpoint(c(30.0)), c(20.5));
     }
 
     #[test]
     fn violation_pulls_last_safe_below_executed() {
         let mut sup = quick_supervisor();
-        sup.end_of_minute(0, 0.0, 21.0, 26.0);
+        sup.end_of_minute(0, 0.0, c(21.0), c(26.0));
         // Observed violation while executing 26 °C: last_safe must drop
         // below it rather than be re-held verbatim.
-        sup.end_of_minute(1, 0.0, 23.0, 26.0);
-        sup.end_of_minute(2, 0.0, 23.0, 26.0);
+        sup.end_of_minute(1, 0.0, c(23.0), c(26.0));
+        sup.end_of_minute(2, 0.0, c(23.0), c(26.0));
         assert_eq!(sup.rung(), Rung::HoldLastSafe);
-        assert_eq!(sup.resolve_setpoint(30.0), 25.0);
+        assert_eq!(sup.resolve_setpoint(c(30.0)), c(25.0));
         // The backoff never undercuts S_min.
-        sup.end_of_minute(3, 0.0, 23.0, 20.3);
-        assert_eq!(sup.resolve_setpoint(30.0), 20.0);
+        sup.end_of_minute(3, 0.0, c(23.0), c(20.3));
+        assert_eq!(sup.resolve_setpoint(c(30.0)), c(20.0));
     }
 
     #[test]
     fn warning_band_backs_off_without_stress() {
         let mut sup = quick_supervisor();
-        sup.end_of_minute(0, 0.0, 21.0, 26.0);
+        sup.end_of_minute(0, 0.0, c(21.0), c(26.0));
         // 21.8 °C is inside the 0.5 °C warning band but not a violation:
         // no stress, no event — but the hold fallback must drop.
-        sup.end_of_minute(1, 0.0, 21.8, 26.0);
+        sup.end_of_minute(1, 0.0, c(21.8), c(26.0));
         assert_eq!(sup.rung(), Rung::Normal);
         assert!(sup.events().is_empty());
         // Escalate via telemetry stress and observe the lowered target.
-        sup.end_of_minute(2, 1.0, 21.0, 27.0);
-        sup.end_of_minute(3, 1.0, 21.0, 27.0);
+        sup.end_of_minute(2, 1.0, c(21.0), c(27.0));
+        sup.end_of_minute(3, 1.0, c(21.0), c(27.0));
         assert_eq!(sup.rung(), Rung::HoldLastSafe);
-        assert_eq!(sup.resolve_setpoint(30.0), 25.0);
+        assert_eq!(sup.resolve_setpoint(c(30.0)), c(25.0));
     }
 
     #[test]
@@ -758,7 +767,7 @@ mod tests {
         let mut sup = quick_supervisor();
         sup.force_safe_mode(7, StressReason::ConsumerLost);
         assert_eq!(sup.rung(), Rung::SafeMode);
-        assert_eq!(sup.resolve_setpoint(30.0), 20.0);
+        assert_eq!(sup.resolve_setpoint(c(30.0)), c(20.0));
         assert_eq!(sup.events().len(), 1);
         assert_eq!(sup.events()[0].minute, 7);
     }
@@ -774,7 +783,7 @@ mod tests {
             }],
             ..FaultPlan::default()
         });
-        assert!(sup.write_with_retry(&mut tb, 24.0).is_err());
+        assert!(sup.write_with_retry(&mut tb, c(24.0)).is_err());
         assert_eq!(sup.write_failures(), 1);
         assert_eq!(sup.write_retries(), 3, "4 attempts = 3 retries");
     }
@@ -783,7 +792,7 @@ mod tests {
     fn write_with_retry_does_not_retry_validation_errors() {
         let mut sup = quick_supervisor();
         let mut tb = Testbed::new(SimConfig::default(), 1).unwrap();
-        assert!(sup.write_with_retry(&mut tb, 99.0).is_err());
+        assert!(sup.write_with_retry(&mut tb, c(99.0)).is_err());
         assert_eq!(sup.write_retries(), 0);
         assert_eq!(sup.write_failures(), 1);
     }
@@ -799,7 +808,7 @@ mod tests {
     }
 
     fn episode_with(faults: FaultPlan, minutes: usize) -> (EvalResult, Supervisor) {
-        let mut ctrl = FixedController::new(23.0);
+        let mut ctrl = FixedController::new(c(23.0));
         let mut sup = Supervisor::new(SupervisorConfig::default());
         let cfg = EpisodeConfig {
             setting: LoadSetting::Medium,

@@ -7,6 +7,7 @@ use crate::CoreError;
 use std::collections::VecDeque;
 use tesla_bo::{BayesianOptimizer, BoConfig, BoOutcome, PredictionErrorMonitor};
 use tesla_forecast::{DcTimeSeriesModel, ModelConfig, Trace};
+use tesla_units::{Celsius, DegC, NOMINAL_SETPOINT};
 
 /// TESLA configuration (Table 2 defaults).
 #[derive(Debug, Clone)]
@@ -16,14 +17,14 @@ pub struct TeslaConfig {
     /// Bayesian-optimizer settings (bounds = ACU spec range).
     pub bo: BoConfig,
     /// Cold-aisle temperature limit `d_allowed` (22 °C).
-    pub d_allowed: f64,
+    pub d_allowed: Celsius,
     /// Safety head-room subtracted from `d_allowed` inside the
     /// optimizer's constraint (°C). The TSV metric is still scored at
     /// `d_allowed`; the margin absorbs model error and sensor noise so
     /// marginal decisions don't realize just past the limit.
-    pub safety_margin: f64,
+    pub safety_margin: DegC,
     /// Interruption-penalty threshold `κ` (0.5 °C).
-    pub kappa: f64,
+    pub kappa: DegC,
     /// Weight of the interruption penalty in the objective, kWh per
     /// °C·step (the paper's normalized units make E and D commensurate;
     /// in physical units the trade-off is explicit).
@@ -39,7 +40,7 @@ pub struct TeslaConfig {
     /// Prior (pre-warm-up) noise variances for (objective, constraint).
     pub prior_noise: (f64, f64),
     /// Set-point returned before enough history exists.
-    pub cold_start_setpoint: f64,
+    pub cold_start_setpoint: Celsius,
     /// Online recalibration: refit the DC time-series model from the
     /// trailing history every this-many decisions (§3.3: after an
     /// S_min fallback TESLA "will re-calibrate itself later"; §8 notes
@@ -58,16 +59,16 @@ impl Default for TeslaConfig {
         TeslaConfig {
             model: ModelConfig::default(),
             bo: BoConfig::default(),
-            d_allowed: 22.0,
-            safety_margin: 0.5,
-            kappa: 0.5,
+            d_allowed: Celsius::new(22.0),
+            safety_margin: DegC::new(0.5),
+            kappa: DegC::new(0.5),
             interruption_weight: 0.1,
             smoothing: 5,
             n_bootstrap: 500,
             cold_sensors: (0..11).collect(),
             monitor_window: PredictionErrorMonitor::ONE_DAY_MINUTES,
             prior_noise: (0.01, 0.25),
-            cold_start_setpoint: 23.0,
+            cold_start_setpoint: NOMINAL_SETPOINT,
             retrain_every: None,
             retrain_min_history: 6 * 60,
             seed: 0,
@@ -146,7 +147,7 @@ impl TeslaController {
 
     /// The limit the optimizer actually constrains against:
     /// `d_allowed − safety_margin`.
-    fn d_effective(&self) -> f64 {
+    fn d_effective(&self) -> Celsius {
         self.config.d_allowed - self.config.safety_margin
     }
 
@@ -164,7 +165,8 @@ impl TeslaController {
     /// Evaluates the (objective, constraint) pair the optimizer would see
     /// for a candidate set-point at the current history — the quantities
     /// plotted in Fig. 8b. Returns `None` when the history is too short.
-    pub fn probe(&self, history: &Trace, setpoint: f64) -> Option<(f64, f64)> {
+    // lint:allow(no-raw-f64-in-public-api): dimensionless (objective, constraint) pair out
+    pub fn probe(&self, history: &Trace, setpoint: Celsius) -> Option<(f64, f64)> {
         let l = self.config.model.horizon;
         let now = history.len().checked_sub(1)?;
         let window = history.window_at(now, l).ok()?;
@@ -199,8 +201,8 @@ impl TeslaController {
     /// retrain their agents." Only the constraint function changes; the
     /// DC time-series model is untouched. Pending predictions are
     /// re-based so the error monitor is not polluted by the limit change.
-    pub fn set_thermal_limit(&mut self, d_allowed: f64) {
-        let delta = d_allowed - self.config.d_allowed;
+    pub fn set_thermal_limit(&mut self, d_allowed: Celsius) {
+        let delta = (d_allowed - self.config.d_allowed).value();
         if delta == 0.0 {
             return;
         }
@@ -213,15 +215,15 @@ impl TeslaController {
     }
 
     /// Adjusts the interruption-penalty threshold κ during deployment.
-    pub fn set_kappa(&mut self, kappa: f64) {
-        self.config.kappa = kappa.max(0.0);
+    pub fn set_kappa(&mut self, kappa: DegC) {
+        self.config.kappa = kappa.max(DegC::new(0.0));
     }
 
     /// The predicted horizon for a candidate set-point (diagnostics).
     pub fn probe_prediction(
         &self,
         history: &Trace,
-        setpoint: f64,
+        setpoint: Celsius,
     ) -> Option<tesla_forecast::Prediction> {
         let l = self.config.model.horizon;
         let now = history.len().checked_sub(1)?;
@@ -248,8 +250,11 @@ impl TeslaController {
                 .iter()
                 .map(|col| col[front.made_at + 1..=due].to_vec())
                 .collect();
-            let actual_penalty =
-                interruption_penalty(front.setpoint, &inlet_actual, self.config.kappa);
+            let actual_penalty = interruption_penalty(
+                Celsius::new(front.setpoint),
+                &inlet_actual,
+                self.config.kappa,
+            );
             let w = self.config.interruption_weight;
             let predicted_obj = -(front.predicted_energy + w * front.predicted_penalty);
             let actual_obj = -(actual_energy + w * actual_penalty);
@@ -261,7 +266,8 @@ impl TeslaController {
                     actual_max = actual_max.max(history.dc_temps[k][t]);
                 }
             }
-            let actual_con = actual_max - (self.config.d_allowed - self.config.safety_margin);
+            let actual_con =
+                actual_max - (self.config.d_allowed - self.config.safety_margin).value();
 
             self.monitor.record(
                 predicted_obj - actual_obj,
@@ -281,10 +287,10 @@ impl Controller for TeslaController {
         let now = history.len().saturating_sub(1);
         if history.len() < l {
             // Not enough history for a window yet.
-            return self.buffer.push(self.config.cold_start_setpoint);
+            return self.buffer.push(self.config.cold_start_setpoint.value());
         }
         let Ok(window) = history.window_at(now, l) else {
-            return self.buffer.push(self.config.cold_start_setpoint);
+            return self.buffer.push(self.config.cold_start_setpoint.value());
         };
 
         self.settle_pending(history);
@@ -313,6 +319,7 @@ impl Controller for TeslaController {
         let cfg = &self.config;
         let d_eff = self.config.d_allowed - self.config.safety_margin;
         let eval = |s: f64| -> (f64, f64) {
+            let s = Celsius::new(s);
             match model.predict(&window, s) {
                 Ok(pred) => (
                     objective(&pred, s, cfg.kappa, cfg.interruption_weight),
@@ -334,7 +341,7 @@ impl Controller for TeslaController {
             .filter_map(|col| col.last())
             .sum::<f64>()
             / history.acu_inlet.len().max(1) as f64;
-        let kappa = self.config.kappa;
+        let kappa = self.config.kappa.value();
         let hints = [
             inlet_now - 2.0 * kappa,
             inlet_now,
@@ -358,12 +365,12 @@ impl Controller for TeslaController {
 
         // File the prediction under the *computed* set-point for later
         // error-monitor scoring.
-        if let Ok(pred) = self.model.predict(&window, outcome.setpoint) {
+        if let Ok(pred) = self.model.predict(&window, Celsius::new(outcome.setpoint)) {
             self.pending.push_back(PendingPrediction {
                 made_at: now,
-                predicted_energy: pred.energy,
+                predicted_energy: pred.energy.value(),
                 predicted_penalty: interruption_penalty(
-                    outcome.setpoint,
+                    Celsius::new(outcome.setpoint),
                     &pred.inlet,
                     self.config.kappa,
                 ),
@@ -504,9 +511,9 @@ mod tests {
     fn default_config_matches_table2() {
         let c = TeslaConfig::default();
         assert_eq!(c.model.horizon, 20);
-        assert_eq!(c.d_allowed, 22.0);
-        assert_eq!(c.safety_margin, 0.5);
-        assert_eq!(c.kappa, 0.5);
+        assert_eq!(c.d_allowed, Celsius::new(22.0));
+        assert_eq!(c.safety_margin, DegC::new(0.5));
+        assert_eq!(c.kappa, DegC::new(0.5));
         assert_eq!(c.smoothing, 5);
         assert_eq!(c.n_bootstrap, 500);
         assert_eq!(c.cold_sensors.len(), 11);
@@ -566,13 +573,13 @@ mod tests {
         let (mut ctrl, trace) = quick_controller();
         let sp_loose = ctrl.decide(&trace);
         ctrl.reset();
-        ctrl.set_thermal_limit(10.0); // unattainable: every candidate infeasible
+        ctrl.set_thermal_limit(Celsius::new(10.0)); // unattainable: every candidate infeasible
         let sp_tight = ctrl.decide(&trace);
         assert!(
             sp_tight < sp_loose,
             "tighter limit ({sp_tight}) must give a colder set-point than loose ({sp_loose})"
         );
-        assert_eq!(ctrl.config().d_allowed, 10.0);
+        assert_eq!(ctrl.config().d_allowed, Celsius::new(10.0));
     }
 
     #[test]
@@ -601,7 +608,7 @@ mod tests {
         let mut loose = TeslaController::new(
             &trace,
             TeslaConfig {
-                safety_margin: 0.0,
+                safety_margin: DegC::new(0.0),
                 ..base.clone()
             },
         )
@@ -609,7 +616,7 @@ mod tests {
         let mut tight = TeslaController::new(
             &trace,
             TeslaConfig {
-                safety_margin: 1.5,
+                safety_margin: DegC::new(1.5),
                 ..base
             },
         )
@@ -625,10 +632,10 @@ mod tests {
     #[test]
     fn kappa_is_clamped_nonnegative() {
         let (mut ctrl, _) = quick_controller();
-        ctrl.set_kappa(-1.0);
-        assert_eq!(ctrl.config().kappa, 0.0);
-        ctrl.set_kappa(0.75);
-        assert_eq!(ctrl.config().kappa, 0.75);
+        ctrl.set_kappa(DegC::new(-1.0));
+        assert_eq!(ctrl.config().kappa, DegC::new(0.0));
+        ctrl.set_kappa(DegC::new(0.75));
+        assert_eq!(ctrl.config().kappa, DegC::new(0.75));
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::controller::Controller;
 use crate::CoreError;
 use tesla_forecast::Trace;
 use tesla_linalg::{fit_ridge, Matrix, Ridge};
+use tesla_units::{Celsius, NOMINAL_SETPOINT};
 
 /// TSRL configuration.
 #[derive(Debug, Clone)]
@@ -27,14 +28,14 @@ pub struct TsrlConfig {
     pub n_iterations: usize,
     /// Cost weight per °C of cold-aisle limit violation.
     pub violation_cost: f64,
-    /// Cold-aisle limit, °C.
-    pub d_allowed: f64,
+    /// Cold-aisle limit.
+    pub d_allowed: Celsius,
     /// Cold-aisle sensor indices.
     pub cold_sensors: Vec<usize>,
     /// Ridge strength for the per-action Q regressions.
     pub alpha: f64,
     /// Set-point before enough history exists.
-    pub cold_start_setpoint: f64,
+    pub cold_start_setpoint: Celsius,
     /// Energy-greedy tie-breaking: among actions whose Q lies within this
     /// fraction of the Q-range from the maximum, take the *highest*
     /// set-point. Offline RL with an energy reward is near-indifferent
@@ -55,10 +56,10 @@ impl Default for TsrlConfig {
             // boundary (§6.3). A large weight would make it conservative
             // and erase the behaviour the paper analyzes.
             violation_cost: 0.12,
-            d_allowed: 22.0,
+            d_allowed: Celsius::new(22.0),
             cold_sensors: (0..11).collect(),
             alpha: 1.0,
-            cold_start_setpoint: 23.0,
+            cold_start_setpoint: NOMINAL_SETPOINT,
             tie_epsilon: 0.1,
         }
     }
@@ -184,7 +185,7 @@ impl TsrlController {
                 max_cold = max_cold.max(col[t]);
             }
         }
-        let violation = (max_cold - config.d_allowed).max(0.0);
+        let violation = (max_cold - config.d_allowed.value()).max(0.0);
         -trace.acu_energy[t] - config.violation_cost * violation
     }
 
@@ -230,7 +231,7 @@ impl Controller for TsrlController {
 
     fn decide(&mut self, history: &Trace) -> f64 {
         if history.len() < 6 {
-            return self.config.cold_start_setpoint;
+            return self.config.cold_start_setpoint.value();
         }
         let t = history.len() - 1;
         let state = Self::state_features_at(history, t, &self.config);
@@ -245,7 +246,7 @@ impl Controller for TsrlController {
             qmin = qmin.min(*q);
         }
         if !qmax.is_finite() {
-            return self.config.cold_start_setpoint;
+            return self.config.cold_start_setpoint.value();
         }
         // Energy-greedy tie-breaking: highest action within ε of the max.
         let threshold = qmax - self.config.tie_epsilon * (qmax - qmin).max(1e-9);
@@ -256,7 +257,7 @@ impl Controller for TsrlController {
                 }
             }
         }
-        self.config.cold_start_setpoint
+        self.config.cold_start_setpoint.value()
     }
 }
 

@@ -90,8 +90,8 @@ impl AcuModel {
     pub fn predict(
         &self,
         window: &ModelWindow,
-        setpoints: &[f64],
-        power_pred: &[f64],
+        setpoints: &[f64], // lint:allow(no-raw-f64-in-public-api): bulk prediction series
+        power_pred: &[f64], // lint:allow(no-raw-f64-in-public-api): bulk prediction series
     ) -> Result<Vec<Vec<f64>>, ForecastError> {
         let l = self.horizon;
         if setpoints.len() != l || power_pred.len() != l {

@@ -49,7 +49,8 @@ impl AspModel {
 
     /// Predicts the next `L` average-power values from the last `L`
     /// observations (oldest first).
-    pub fn predict(&self, power_lags: &[f64]) -> Result<Vec<f64>, ForecastError> {
+    pub fn predict(&self, power_lags: &[f64]) -> Result<Vec<f64>, ForecastError> // lint:allow(no-raw-f64-in-public-api): bulk prediction series
+    {
         if power_lags.len() != self.horizon {
             return Err(ForecastError::BadWindow(format!(
                 "ASP expects {} power lags, got {}",

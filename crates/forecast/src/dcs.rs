@@ -94,8 +94,8 @@ impl DcsModel {
     pub fn predict(
         &self,
         window: &ModelWindow,
-        power_pred: &[f64],
-        inlet_pred: &[Vec<f64>],
+        power_pred: &[f64], // lint:allow(no-raw-f64-in-public-api): bulk prediction series
+        inlet_pred: &[Vec<f64>], // lint:allow(no-raw-f64-in-public-api): bulk prediction series
     ) -> Result<Vec<Vec<f64>>, ForecastError> {
         let l = self.horizon;
         if power_pred.len() != l {

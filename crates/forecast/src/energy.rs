@@ -17,6 +17,7 @@
 use crate::trace::Trace;
 use crate::ForecastError;
 use tesla_linalg::{fit_ridge, Matrix, Ridge};
+use tesla_units::{Celsius, KilowattHours};
 
 /// Fitted cooling-energy sub-module (a single regression).
 #[derive(Debug, Clone)]
@@ -68,9 +69,9 @@ impl EnergyModel {
         })
     }
 
-    /// The physical lower bound applied to predictions, kWh.
-    pub fn floor_kwh(&self) -> f64 {
-        self.floor_kwh
+    /// The physical lower bound applied to predictions.
+    pub fn floor_kwh(&self) -> KilowattHours {
+        KilowattHours::new(self.floor_kwh)
     }
 
     fn fill_features(
@@ -95,15 +96,17 @@ impl EnergyModel {
         self.horizon
     }
 
-    /// Predicts the cooling energy (kWh) over the next `L` steps.
+    /// Predicts the cooling energy over the next `L` steps.
     ///
     /// * `setpoints` — future set-points, `L` values.
-    /// * `inlet_pred` — predicted inlet temperatures, `[N_a][L]`.
+    /// * `inlet_pred` — *predicted* inlet temperatures, `[N_a][L]`. These
+    ///   stay raw `f64`: they are bulk model output, not validated
+    ///   measurements.
     pub fn predict(
         &self,
-        setpoints: &[f64],
-        inlet_pred: &[Vec<f64>],
-    ) -> Result<f64, ForecastError> {
+        setpoints: &[Celsius],
+        inlet_pred: &[Vec<f64>], // lint:allow(no-raw-f64-in-public-api): bulk prediction matrix
+    ) -> Result<KilowattHours, ForecastError> {
         let l = self.horizon;
         if setpoints.len() != l {
             return Err(ForecastError::BadWindow(format!(
@@ -121,10 +124,12 @@ impl EnergyModel {
             &mut row,
             l,
             self.n_acu,
-            |i| setpoints[i - 1],
+            |i| setpoints[i - 1].value(),
             |na, i| inlet_pred[na][i - 1],
         );
-        Ok(self.model.predict(&row).max(self.floor_kwh))
+        Ok(KilowattHours::new(
+            self.model.predict(&row).max(self.floor_kwh),
+        ))
     }
 }
 
@@ -154,11 +159,12 @@ mod tests {
         let l = 6;
         let model = EnergyModel::fit(&tr, l, 1.0).unwrap();
         let t = 300;
-        let setpoints: Vec<f64> = (1..=l).map(|i| tr.setpoint[t + i]).collect();
+        let setpoints =
+            Celsius::from_raw_slice(&(1..=l).map(|i| tr.setpoint[t + i]).collect::<Vec<_>>());
         let inlet: Vec<Vec<f64>> = (0..2)
             .map(|na| (1..=l).map(|i| tr.acu_inlet[na][t + i]).collect())
             .collect();
-        let pred = model.predict(&setpoints, &inlet).unwrap();
+        let pred = model.predict(&setpoints, &inlet).unwrap().value();
         let truth: f64 = tr.acu_energy[t + 1..=t + l].iter().sum();
         assert!(
             (pred - truth).abs() < 0.01,
@@ -173,9 +179,14 @@ mod tests {
         const L: usize = 5;
         let model = EnergyModel::fit(&tr, L, 1.0).unwrap();
         let inlet = vec![vec![25.0; L], vec![25.1; L]];
-        let cold = model.predict(&[21.0; L], &inlet).unwrap();
-        let warm = model.predict(&[26.0; L], &inlet).unwrap();
-        assert!(cold > warm, "cold {cold:.4} must exceed warm {warm:.4}");
+        let cold = model.predict(&[Celsius::new(21.0); L], &inlet).unwrap();
+        let warm = model.predict(&[Celsius::new(26.0); L], &inlet).unwrap();
+        assert!(
+            cold > warm,
+            "cold {} must exceed warm {}",
+            cold.value(),
+            warm.value()
+        );
     }
 
     #[test]
@@ -183,12 +194,13 @@ mod tests {
         let tr = synthetic_trace(300);
         const L: usize = 4;
         let model = EnergyModel::fit(&tr, L, 1.0).unwrap();
+        let sp = Celsius::new(23.0);
         assert!(model
-            .predict(&[23.0; 3], &[vec![24.0; L], vec![24.0; L]])
+            .predict(&[sp; 3], &[vec![24.0; L], vec![24.0; L]])
             .is_err());
-        assert!(model.predict(&[23.0; L], &[vec![24.0; L]]).is_err());
+        assert!(model.predict(&[sp; L], &[vec![24.0; L]]).is_err());
         assert!(model
-            .predict(&[23.0; L], &[vec![24.0; 2], vec![24.0; L]])
+            .predict(&[sp; L], &[vec![24.0; 2], vec![24.0; L]])
             .is_err());
     }
 
@@ -198,8 +210,9 @@ mod tests {
         const L: usize = 4;
         let model = EnergyModel::fit(&tr, L, 1.0).unwrap();
         let pred = model
-            .predict(&[23.0; 4], &[vec![24.5; 4], vec![24.6; 4]])
-            .unwrap();
+            .predict(&[Celsius::new(23.0); 4], &[vec![24.5; 4], vec![24.6; 4]])
+            .unwrap()
+            .value();
         assert!(
             pred > 0.0 && pred < 1.0,
             "plausible kWh magnitude, got {pred}"

@@ -24,6 +24,8 @@
 //! a single autoregressive OLS model over all signals, rolled out
 //! recursively — the Table 3 comparison point.
 
+#![forbid(unsafe_code)]
+
 pub mod acu;
 pub mod asp;
 pub mod dcs;

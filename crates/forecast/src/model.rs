@@ -6,6 +6,7 @@ use crate::dcs::DcsModel;
 use crate::energy::EnergyModel;
 use crate::trace::{ModelWindow, Trace};
 use crate::ForecastError;
+use tesla_units::{Celsius, KilowattHours};
 
 /// Model hyper-parameters (Table 2 defaults).
 #[derive(Debug, Clone)]
@@ -19,7 +20,7 @@ pub struct ModelConfig {
     /// DCS regularization `α_θ` (1).
     pub alpha_dcs: f64,
     /// Energy regularization `α_φ` (1).
-    pub alpha_energy: f64,
+    pub alpha_energy: f64, // lint:allow(no-raw-f64-in-public-api): dimensionless ridge weight
 }
 
 impl Default for ModelConfig {
@@ -39,13 +40,13 @@ impl Default for ModelConfig {
 #[derive(Debug, Clone)]
 pub struct Prediction {
     /// Predicted average server power per step, kW.
-    pub power: Vec<f64>,
+    pub power: Vec<f64>, // lint:allow(no-raw-f64-in-public-api): bulk prediction series
     /// Predicted ACU inlet temperature, `[N_a][L]`, °C.
     pub inlet: Vec<Vec<f64>>,
     /// Predicted rack sensor temperatures, `[N_d][L]`, °C.
     pub dc: Vec<Vec<f64>>,
-    /// Predicted cooling energy over the horizon, kWh.
-    pub energy: f64,
+    /// Predicted cooling energy over the horizon.
+    pub energy: KilowattHours,
 }
 
 impl Prediction {
@@ -130,7 +131,7 @@ impl DcTimeSeriesModel {
     pub fn predict(
         &self,
         window: &ModelWindow,
-        setpoint: f64,
+        setpoint: Celsius,
     ) -> Result<Prediction, ForecastError> {
         self.predict_with_setpoints(window, &vec![setpoint; self.config.horizon])
     }
@@ -142,7 +143,7 @@ impl DcTimeSeriesModel {
     pub fn predict_with_setpoints(
         &self,
         window: &ModelWindow,
-        setpoints: &[f64],
+        setpoints: &[Celsius],
     ) -> Result<Prediction, ForecastError> {
         let l = self.config.horizon;
         window.check_shape(l, self.n_acu, self.n_dc)?;
@@ -152,8 +153,9 @@ impl DcTimeSeriesModel {
                 setpoints.len()
             )));
         }
+        let raw_setpoints = Celsius::to_raw_vec(setpoints);
         let power = self.asp.predict(&window.power)?;
-        let inlet = self.acu.predict(window, setpoints, &power)?;
+        let inlet = self.acu.predict(window, &raw_setpoints, &power)?;
         let dc = self.dcs.predict(window, &power, &inlet)?;
         let energy = self.energy.predict(setpoints, &inlet)?;
         Ok(Prediction {
@@ -211,11 +213,11 @@ pub(crate) mod tests {
         let t = 400;
         let window = tr.window_at(t, 8).unwrap();
         let truth_sp = tr.setpoint[t + 1]; // roughly constant over 10 steps
-        let pred = model.predict(&window, truth_sp).unwrap();
+        let pred = model.predict(&window, Celsius::new(truth_sp)).unwrap();
         assert_eq!(pred.power.len(), 8);
         assert_eq!(pred.inlet.len(), 2);
         assert_eq!(pred.dc.len(), 4);
-        assert!(pred.energy > 0.0);
+        assert!(pred.energy.value() > 0.0);
         // Predictions land in a plausible neighborhood of the truth.
         for step in 0..8 {
             let truth = tr.dc_temps[0][t + 1 + step];
@@ -236,8 +238,8 @@ pub(crate) mod tests {
         };
         let model = DcTimeSeriesModel::fit(&tr, cfg).unwrap();
         let window = tr.window_at(400, 8).unwrap();
-        let lo = model.predict(&window, 21.0).unwrap();
-        let hi = model.predict(&window, 26.0).unwrap();
+        let lo = model.predict(&window, Celsius::new(21.0)).unwrap();
+        let hi = model.predict(&window, Celsius::new(26.0)).unwrap();
         assert!(
             hi.energy < lo.energy,
             "hi {} vs lo {}",
@@ -253,7 +255,7 @@ pub(crate) mod tests {
             power: vec![],
             inlet: vec![],
             dc: vec![vec![1.0, 5.0], vec![9.0, 2.0], vec![3.0, 3.0]],
-            energy: 0.0,
+            energy: KilowattHours::new(0.0),
         };
         assert_eq!(pred.max_over_sensors(0..2), 9.0);
         assert_eq!(pred.max_over_sensors([0usize, 2]), 5.0);
@@ -269,9 +271,11 @@ pub(crate) mod tests {
         };
         let model = DcTimeSeriesModel::fit(&tr, cfg).unwrap();
         let bad = tr.window_at(200, 5).unwrap();
-        assert!(model.predict(&bad, 23.0).is_err());
+        assert!(model.predict(&bad, Celsius::new(23.0)).is_err());
         let good = tr.window_at(200, 6).unwrap();
-        assert!(model.predict_with_setpoints(&good, &[23.0; 4]).is_err());
+        assert!(model
+            .predict_with_setpoints(&good, &[Celsius::new(23.0); 4])
+            .is_err());
     }
 
     #[test]

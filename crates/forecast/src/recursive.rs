@@ -105,7 +105,7 @@ impl RecursiveAr {
     pub fn predict_rollout(
         &self,
         window: &ModelWindow,
-        setpoints: &[f64],
+        setpoints: &[f64], // lint:allow(no-raw-f64-in-public-api): bulk rollout series (baseline model)
     ) -> Result<Vec<Vec<f64>>, ForecastError> {
         let m = Self::state_dim(self.n_dc, self.n_acu);
         if window.dc.len() != self.n_dc || window.inlet.len() != self.n_acu {

@@ -8,17 +8,17 @@ use crate::ForecastError;
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     /// Average per-server power `p_t`, kW.
-    pub avg_power: Vec<f64>,
+    pub avg_power: Vec<f64>, // lint:allow(no-raw-f64-in-public-api): bulk telemetry column
     /// ACU inlet temperatures `a^i_t`, °C: `[N_a][T]`.
     pub acu_inlet: Vec<Vec<f64>>,
     /// Rack sensor temperatures `d^k_t`, °C: `[N_d][T]`.
-    pub dc_temps: Vec<Vec<f64>>,
+    pub dc_temps: Vec<Vec<f64>>, // lint:allow(no-raw-f64-in-public-api): bulk telemetry column
     /// Executed set-point `s_t`, °C.
-    pub setpoint: Vec<f64>,
+    pub setpoint: Vec<f64>, // lint:allow(no-raw-f64-in-public-api): bulk telemetry column
     /// ACU energy consumed during each sampling period, kWh.
-    pub acu_energy: Vec<f64>,
+    pub acu_energy: Vec<f64>, // lint:allow(no-raw-f64-in-public-api): bulk telemetry column
     /// ACU instantaneous power, kW (diagnostics and Fig. 2).
-    pub acu_power: Vec<f64>,
+    pub acu_power: Vec<f64>, // lint:allow(no-raw-f64-in-public-api): bulk telemetry column
 }
 
 impl Trace {
@@ -55,6 +55,7 @@ impl Trace {
     }
 
     /// Appends one sample across all columns.
+    // lint:allow(no-raw-f64-in-public-api): raw telemetry ingestion boundary
     pub fn push(
         &mut self,
         avg_power: f64,
@@ -142,7 +143,7 @@ impl Trace {
 #[derive(Debug, Clone, PartialEq)]
 pub struct ModelWindow {
     /// Average server power lags, oldest first (`L` values).
-    pub power: Vec<f64>,
+    pub power: Vec<f64>, // lint:allow(no-raw-f64-in-public-api): bulk lag-feature column
     /// ACU inlet lags per sensor: `[N_a][L]`, oldest first.
     pub inlet: Vec<Vec<f64>>,
     /// Rack sensor lags per sensor: `[N_d][L]`, oldest first.

@@ -4,6 +4,7 @@ use proptest::prelude::*;
 use tesla_forecast::asp::AspModel;
 use tesla_forecast::energy::EnergyModel;
 use tesla_forecast::{DcTimeSeriesModel, ModelConfig, Trace};
+use tesla_units::Celsius;
 
 /// Builds a plausible, internally consistent trace from sampled knobs.
 fn synth_trace(len: usize, sp_amp: f64, p_base: f64, seed: u64) -> Trace {
@@ -51,8 +52,8 @@ proptest! {
         let model = DcTimeSeriesModel::fit(&tr, cfg).unwrap();
         let window = tr.window_at(200, l).unwrap();
         for sp in [20.0, 24.0, 30.0, 35.0] {
-            let pred = model.predict(&window, sp).unwrap();
-            prop_assert!(pred.energy.is_finite());
+            let pred = model.predict(&window, Celsius::new(sp)).unwrap();
+            prop_assert!(pred.energy.value().is_finite());
             for series in pred.dc.iter().chain(pred.inlet.iter()) {
                 for v in series {
                     prop_assert!(v.is_finite());
@@ -91,10 +92,10 @@ proptest! {
         let l = 5;
         let model = EnergyModel::fit(&tr, l, 1.0).unwrap();
         let pred = model
-            .predict(&vec![sp; l], &[vec![inlet; l], vec![inlet; l]])
+            .predict(&vec![Celsius::new(sp); l], &[vec![inlet; l], vec![inlet; l]])
             .unwrap();
-        prop_assert!(pred >= model.floor_kwh() - 1e-12);
-        prop_assert!(pred.is_finite());
+        prop_assert!(pred.value() >= model.floor_kwh().value() - 1e-12);
+        prop_assert!(pred.value().is_finite());
     }
 
     /// Windows extracted from a trace always round-trip their shape.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Gaussian-process machinery for TESLA's Bayesian optimizer (§3.3).
 //!
 //! The paper's optimizer fits two *separate fixed-noise* Gaussian

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Dense linear algebra and statistics primitives for the TESLA reproduction.
 //!
 //! The paper trains (1 + N_a + N_d)·L independent ridge regressions

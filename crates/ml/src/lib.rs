@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Baseline learners used in the paper's modeling comparisons.
 //!
 //! Table 3 benchmarks TESLA's temperature model against an MLP (Wang et

@@ -20,18 +20,19 @@ use crate::config::AcuParams;
 use crate::pid::Pid;
 use rand::Rng;
 use rand_distr::{Distribution, Normal};
+use tesla_units::{Celsius, DegC, Kilowatts, Seconds};
 
 /// Per-step output of the ACU model.
 #[derive(Debug, Clone, Copy)]
 pub struct AcuStep {
     /// Compressor duty in `[0, 1]`.
     pub duty: f64,
-    /// Heat actually extracted, kW.
-    pub q_kw: f64,
-    /// Supply-air temperature, °C.
-    pub supply_temp: f64,
-    /// Electrical power, kW.
-    pub power_kw: f64,
+    /// Heat actually extracted.
+    pub q_kw: Kilowatts,
+    /// Supply-air temperature.
+    pub supply_temp: Celsius,
+    /// Electrical power.
+    pub power_kw: Kilowatts,
     /// True when cold-air delivery is interrupted.
     pub interrupted: bool,
 }
@@ -41,9 +42,9 @@ pub struct AcuStep {
 pub struct Acu {
     params: AcuParams,
     pid: Pid,
-    setpoint: f64,
+    setpoint: Celsius,
     noise: Normal<f64>,
-    last_supply: f64,
+    last_supply: Celsius,
     /// Previous applied duty, for the upward slew-rate limit.
     prev_duty: f64,
     /// Transient capacity multiplier on `q_max` (fouled coil; 1 = healthy).
@@ -55,14 +56,14 @@ pub struct Acu {
 
 impl Acu {
     /// Creates an ACU with the given parameters and an initial set-point.
-    pub fn new(params: AcuParams, initial_setpoint: f64) -> Self {
+    pub fn new(params: AcuParams, initial_setpoint: Celsius) -> Self {
         let pid = Pid::new(params.pid.clone());
         let noise = Normal::new(0.0, params.inlet_noise_std.max(1e-12)).expect("finite std");
         Acu {
             pid,
             noise,
             setpoint: initial_setpoint,
-            last_supply: initial_setpoint - 4.0,
+            last_supply: initial_setpoint - DegC::new(4.0),
             prev_duty: 0.0,
             capacity_derate: 1.0,
             fan_failed: false,
@@ -75,14 +76,14 @@ impl Acu {
         &self.params
     }
 
-    /// Currently executed set-point, °C.
-    pub fn setpoint(&self) -> f64 {
+    /// Currently executed set-point.
+    pub fn setpoint(&self) -> Celsius {
         self.setpoint
     }
 
     /// Commands a new set-point (clamping is the testbed's job; the ACU
     /// trusts its register).
-    pub fn set_setpoint(&mut self, sp: f64) {
+    pub fn set_setpoint(&mut self, sp: Celsius) {
         self.setpoint = sp;
     }
 
@@ -92,15 +93,15 @@ impl Acu {
     }
 
     /// Samples the inlet sensors given the true return-air temperature.
-    pub fn sample_inlet_sensors<R: Rng>(&self, return_temp: f64, rng: &mut R) -> Vec<f64> {
+    pub fn sample_inlet_sensors<R: Rng>(&self, return_temp: Celsius, rng: &mut R) -> Vec<Celsius> {
         self.params
             .inlet_sensor_bias
             .iter()
-            .map(|b| return_temp + b + self.noise.sample(rng))
+            .map(|b| return_temp + DegC::new(b + self.noise.sample(rng)))
             .collect()
     }
 
-    /// Advances the compressor control loop by `dt` seconds.
+    /// Advances the compressor control loop by `dt`.
     ///
     /// * `measured_inlet` — the PID's process variable (mean of the inlet
     ///   sensors on the real unit).
@@ -109,10 +110,10 @@ impl Acu {
     /// * `mdot_cp` — air-loop heat capacity rate, kW/K.
     pub fn step(
         &mut self,
-        measured_inlet: f64,
-        true_return: f64,
+        measured_inlet: Celsius,
+        true_return: Celsius,
         mdot_cp: f64,
-        dt: f64,
+        dt: Seconds,
     ) -> AcuStep {
         if self.fan_failed {
             // No airflow: nothing is extracted and the unit is dark. The
@@ -122,25 +123,25 @@ impl Acu {
             self.last_supply = true_return;
             return AcuStep {
                 duty: 0.0,
-                q_kw: 0.0,
+                q_kw: Kilowatts::new(0.0),
                 supply_temp: true_return,
-                power_kw: 0.0,
+                power_kw: Kilowatts::new(0.0),
                 interrupted: true,
             };
         }
         // Residual error: inlet − set-point. Positive → must cool harder.
-        let error = measured_inlet - self.setpoint;
-        let commanded = self.pid.step(error, dt);
+        let error = (measured_inlet - self.setpoint).value();
+        let commanded = self.pid.step(error, dt.value());
         // Compressors ramp load slowly but shed it fast: limit only the
         // upward slew.
-        let duty = commanded.min(self.prev_duty + self.params.duty_slew_per_s * dt);
+        let duty = commanded.min(self.prev_duty + self.params.duty_slew_per_s * dt.value());
         self.prev_duty = duty;
 
         let q_requested = duty * self.params.q_max_kw * self.capacity_derate;
         // Supply cannot go below the evaporator floor.
-        let supply_unclamped = true_return - q_requested / mdot_cp;
+        let supply_unclamped = true_return.value() - q_requested / mdot_cp;
         let supply = supply_unclamped.max(self.params.supply_temp_min);
-        let q_eff = (true_return - supply) * mdot_cp;
+        let q_eff = (true_return.value() - supply) * mdot_cp;
 
         let interrupted = duty <= self.params.interruption_duty;
         let power = if interrupted {
@@ -152,18 +153,18 @@ impl Acu {
             self.params.fan_power_kw + self.params.base_power_kw + q_eff / (cop * plf)
         };
 
-        self.last_supply = supply;
+        self.last_supply = Celsius::new(supply);
         AcuStep {
             duty,
-            q_kw: q_eff,
-            supply_temp: supply,
-            power_kw: power,
+            q_kw: Kilowatts::new(q_eff),
+            supply_temp: Celsius::new(supply),
+            power_kw: Kilowatts::new(power),
             interrupted,
         }
     }
 
     /// Supply temperature from the most recent step.
-    pub fn last_supply(&self) -> f64 {
+    pub fn last_supply(&self) -> Celsius {
         self.last_supply
     }
 
@@ -211,7 +212,17 @@ mod tests {
     use rand::SeedableRng;
 
     fn acu(sp: f64) -> Acu {
-        Acu::new(AcuParams::default(), sp)
+        Acu::new(AcuParams::default(), Celsius::new(sp))
+    }
+
+    /// One 1 s step with the measured inlet equal to the true return.
+    fn step1(a: &mut Acu, temp: f64) -> AcuStep {
+        a.step(
+            Celsius::new(temp),
+            Celsius::new(temp),
+            1.0,
+            Seconds::new(1.0),
+        )
     }
 
     #[test]
@@ -220,12 +231,12 @@ mod tests {
         // Inlet at 24 °C, set-point 30 °C: residual error negative.
         let mut last = None;
         for _ in 0..120 {
-            last = Some(a.step(24.0, 24.0, 1.0, 1.0));
+            last = Some(step1(&mut a, 24.0));
         }
         let s = last.unwrap();
         assert!(s.interrupted);
-        assert!((s.power_kw - AcuParams::default().fan_power_kw).abs() < 1e-12);
-        assert_eq!(s.q_kw, 0.0);
+        assert!((s.power_kw.value() - AcuParams::default().fan_power_kw).abs() < 1e-12);
+        assert_eq!(s.q_kw.value(), 0.0);
     }
 
     #[test]
@@ -233,7 +244,7 @@ mod tests {
         let mut a = acu(20.0);
         let mut duties = Vec::new();
         for _ in 0..700 {
-            duties.push(a.step(27.0, 27.0, 1.0, 1.0).duty);
+            duties.push(step1(&mut a, 27.0).duty);
         }
         assert!(duties[0] > 0.0);
         // The slew limiter paces the ramp, but a persistent error must
@@ -256,7 +267,7 @@ mod tests {
         let mut a = acu(15.0);
         let mut p = 0.0;
         for _ in 0..600 {
-            p = a.step(24.0, 24.0, 1.0, 1.0).power_kw;
+            p = step1(&mut a, 24.0).power_kw.value();
         }
         assert!(p > 4.0 && p < 6.0, "saturated power {p} kW");
     }
@@ -266,20 +277,20 @@ mod tests {
         // Same extraction duty at two return temperatures: the warmer
         // evaporator must draw less power per kW of heat moved.
         let params = AcuParams::default();
-        let mut cold = Acu::new(params.clone(), 18.0);
-        let mut warm = Acu::new(params, 26.0);
+        let mut cold = Acu::new(params.clone(), Celsius::new(18.0));
+        let mut warm = Acu::new(params, Celsius::new(26.0));
         let mut p_cold = 0.0;
         let mut p_warm = 0.0;
         let mut q_cold = 0.0;
         let mut q_warm = 0.0;
         for _ in 0..1200 {
             // Hold each at ~2 K residual error so duty settles similarly.
-            let sc = cold.step(20.0, 20.0, 1.0, 1.0);
-            let sw = warm.step(28.0, 28.0, 1.0, 1.0);
-            p_cold = sc.power_kw;
-            p_warm = sw.power_kw;
-            q_cold = sc.q_kw;
-            q_warm = sw.q_kw;
+            let sc = step1(&mut cold, 20.0);
+            let sw = step1(&mut warm, 28.0);
+            p_cold = sc.power_kw.value();
+            p_warm = sw.power_kw.value();
+            q_cold = sc.q_kw.value();
+            q_warm = sw.q_kw.value();
         }
         let eff_cold = q_cold / p_cold;
         let eff_warm = q_warm / p_warm;
@@ -292,13 +303,13 @@ mod tests {
     #[test]
     fn supply_temperature_respects_floor() {
         let mut a = acu(5.0); // absurdly low set-point
-        let mut s = a.step(14.0, 14.0, 1.0, 1.0);
+        let mut s = step1(&mut a, 14.0);
         for _ in 0..600 {
-            s = a.step(14.0, 14.0, 1.0, 1.0);
+            s = step1(&mut a, 14.0);
         }
-        assert!(s.supply_temp >= AcuParams::default().supply_temp_min - 1e-9);
+        assert!(s.supply_temp.value() >= AcuParams::default().supply_temp_min - 1e-9);
         // Effective Q is limited accordingly.
-        assert!(s.q_kw <= (14.0 - AcuParams::default().supply_temp_min) + 1e-9);
+        assert!(s.q_kw.value() <= (14.0 - AcuParams::default().supply_temp_min) + 1e-9);
     }
 
     #[test]
@@ -308,8 +319,11 @@ mod tests {
         let n = 4000;
         let mut sums = vec![0.0; a.n_sensors()];
         for _ in 0..n {
-            for (s, v) in sums.iter_mut().zip(a.sample_inlet_sensors(25.0, &mut rng)) {
-                *s += v;
+            for (s, v) in sums
+                .iter_mut()
+                .zip(a.sample_inlet_sensors(Celsius::new(25.0), &mut rng))
+            {
+                *s += v.value();
             }
         }
         let means: Vec<f64> = sums.iter().map(|s| s / n as f64).collect();
@@ -329,22 +343,23 @@ mod tests {
         use crate::thermal::ThermalNetwork;
         let mut a = acu(28.5);
         let mut net = ThermalNetwork::new(ThermalParams::default());
-        let heat = 5.0;
+        let heat = Kilowatts::new(5.0);
+        let dt = Seconds::new(1.0);
         let mut settled = 0.0;
         for _ in 0..40_000 {
             let ret = net.return_temp();
-            let s = a.step(ret, ret, 1.0, 1.0);
-            net.step(s.supply_temp, heat, 1.0);
-            settled = s.power_kw;
+            let s = a.step(ret, ret, 1.0, dt);
+            net.step(s.supply_temp, heat, dt);
+            settled = s.power_kw.value();
         }
         // Dip the set-point by 1 °C for two minutes.
-        a.set_setpoint(27.5);
+        a.set_setpoint(Celsius::new(27.5));
         let mut peak: f64 = 0.0;
         for _ in 0..120 {
             let ret = net.return_temp();
-            let s = a.step(ret, ret, 1.0, 1.0);
-            net.step(s.supply_temp, heat, 1.0);
-            peak = peak.max(s.power_kw);
+            let s = a.step(ret, ret, 1.0, dt);
+            net.step(s.supply_temp, heat, dt);
+            peak = peak.max(s.power_kw.value());
         }
         assert!(
             peak > settled * 1.10,
@@ -360,8 +375,8 @@ mod tests {
         let mut p_healthy = 0.0;
         let mut p_degraded = 0.0;
         for _ in 0..900 {
-            p_healthy = healthy.step(24.0, 24.0, 1.0, 1.0).power_kw;
-            p_degraded = degraded.step(24.0, 24.0, 1.0, 1.0).power_kw;
+            p_healthy = step1(&mut healthy, 24.0).power_kw.value();
+            p_degraded = step1(&mut degraded, 24.0).power_kw.value();
         }
         assert!(
             p_degraded > p_healthy * 1.2,
@@ -377,8 +392,8 @@ mod tests {
         let mut q_healthy = 0.0;
         let mut q_fouled = 0.0;
         for _ in 0..900 {
-            q_healthy = healthy.step(27.0, 27.0, 1.0, 1.0).q_kw;
-            q_fouled = fouled.step(27.0, 27.0, 1.0, 1.0).q_kw;
+            q_healthy = step1(&mut healthy, 27.0).q_kw.value();
+            q_fouled = step1(&mut fouled, 27.0).q_kw.value();
         }
         assert!(
             q_fouled < q_healthy * 0.6,
@@ -387,7 +402,7 @@ mod tests {
         // Restoring health restores capacity.
         fouled.set_capacity_derate(1.0);
         for _ in 0..900 {
-            q_fouled = fouled.step(27.0, 27.0, 1.0, 1.0).q_kw;
+            q_fouled = step1(&mut fouled, 27.0).q_kw.value();
         }
         assert!((q_fouled - q_healthy).abs() < 0.5);
     }
@@ -396,17 +411,17 @@ mod tests {
     fn fan_failure_kills_extraction_and_power() {
         let mut a = acu(20.0);
         for _ in 0..300 {
-            a.step(27.0, 27.0, 1.0, 1.0);
+            step1(&mut a, 27.0);
         }
         a.set_fan_failed(true);
-        let s = a.step(27.0, 27.0, 1.0, 1.0);
+        let s = step1(&mut a, 27.0);
         assert!(s.interrupted);
-        assert_eq!(s.q_kw, 0.0);
-        assert_eq!(s.power_kw, 0.0);
-        assert_eq!(s.supply_temp, 27.0);
+        assert_eq!(s.q_kw.value(), 0.0);
+        assert_eq!(s.power_kw.value(), 0.0);
+        assert_eq!(s.supply_temp, Celsius::new(27.0));
         // Recovery ramps the compressor back through the slew limit.
         a.set_fan_failed(false);
-        let s1 = a.step(27.0, 27.0, 1.0, 1.0);
+        let s1 = step1(&mut a, 27.0);
         assert!(s1.duty <= AcuParams::default().duty_slew_per_s + 1e-12);
     }
 
@@ -415,11 +430,11 @@ mod tests {
         // Accumulate integral at a moderate, non-saturating error.
         let mut a = acu(26.0);
         for _ in 0..100 {
-            a.step(27.0, 27.0, 1.0, 1.0);
+            step1(&mut a, 27.0);
         }
-        let before = a.step(27.0, 27.0, 1.0, 1.0).duty;
+        let before = step1(&mut a, 27.0).duty;
         a.reset();
-        let after = a.step(27.0, 27.0, 1.0, 1.0).duty;
+        let after = step1(&mut a, 27.0).duty;
         assert!(
             after < before,
             "reset must drop the accumulated integral: before {before}, after {after}"

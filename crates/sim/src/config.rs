@@ -2,6 +2,7 @@
 //! calibration targets extracted from its measurements (Figs. 2–4, §2).
 
 use crate::SimError;
+use tesla_units::{Celsius, CelsiusRange, SETPOINT_RANGE};
 
 /// PID gains for the ACU compressor loop (§2.1).
 ///
@@ -40,11 +41,11 @@ impl Default for PidParams {
 pub struct ServerParams {
     /// Idle draw per machine, kW. Fig. 8a's per-machine averages
     /// (0.233–0.365 kW under medium load) anchor the range.
-    pub idle_power_kw: f64,
+    pub idle_power_kw: f64, // lint:allow(no-raw-f64-in-public-api): calibration parameter
     /// Full-utilization draw per machine, kW.
-    pub max_power_kw: f64,
+    pub max_power_kw: f64, // lint:allow(no-raw-f64-in-public-api): calibration parameter
     /// Std-dev of the per-sample power measurement noise, kW.
-    pub power_noise_kw: f64,
+    pub power_noise_kw: f64, // lint:allow(no-raw-f64-in-public-api): calibration parameter
     /// First-order lag of power response to a utilization change, seconds.
     pub response_tau_s: f64,
     /// Baseline memory utilization (collected per §4, unused by control).
@@ -55,7 +56,7 @@ pub struct ServerParams {
     /// paper's testbed keeps all machines online.
     pub sleep_enabled: bool,
     /// Power drawn by a sleeping server, kW.
-    pub sleep_power_kw: f64,
+    pub sleep_power_kw: f64, // lint:allow(no-raw-f64-in-public-api): calibration parameter
 }
 
 impl Default for ServerParams {
@@ -76,12 +77,12 @@ impl Default for ServerParams {
 #[derive(Debug, Clone)]
 pub struct AcuParams {
     /// Maximum thermal cooling capacity, kW.
-    pub q_max_kw: f64,
+    pub q_max_kw: f64, // lint:allow(no-raw-f64-in-public-api): calibration parameter
     /// Always-on fan power, kW. The paper reports ~0.1 kW during cooling
     /// interruption, and defines interruption as ACU power below 0.1 kW.
-    pub fan_power_kw: f64,
+    pub fan_power_kw: f64, // lint:allow(no-raw-f64-in-public-api): calibration parameter
     /// Fixed compressor overhead while running, kW.
-    pub base_power_kw: f64,
+    pub base_power_kw: f64, // lint:allow(no-raw-f64-in-public-api): calibration parameter
     /// COP model: `cop = cop_intercept + cop_slope * supply_temp`,
     /// clamped to at least `cop_floor`. Higher supply (evaporator) temps
     /// give better efficiency — the energy-saving lever of §6.2.
@@ -94,7 +95,7 @@ pub struct AcuParams {
     /// low-duty cycling wastes energy.
     pub plf_floor: f64,
     /// Lowest achievable supply-air temperature, °C.
-    pub supply_temp_min: f64,
+    pub supply_temp_min: f64, // lint:allow(no-raw-f64-in-public-api): calibration parameter
     /// Duty at or below which cold-air delivery counts as interrupted.
     pub interruption_duty: f64,
     /// Maximum *upward* compressor-duty slew per second. Real compressors
@@ -136,7 +137,7 @@ impl Default for AcuParams {
 pub struct ThermalParams {
     /// Air-loop heat capacity rate `ṁ·c_p`, kW/K. Sets the server air
     /// ΔT: 6 kW of server heat over 1.0 kW/K is a 6 K aisle split.
-    pub mdot_cp_kw_per_k: f64,
+    pub mdot_cp_kw_per_k: f64, // lint:allow(no-raw-f64-in-public-api): calibration parameter
     /// Cold-aisle air heat capacity, kJ/K.
     pub c_cold_kj_per_k: f64,
     /// Hot-aisle air heat capacity, kJ/K.
@@ -145,14 +146,14 @@ pub struct ThermalParams {
     /// rise to the ~1 °C/min of Fig. 3.
     pub c_mass_kj_per_k: f64,
     /// Mass-to-air conductance, kW/K.
-    pub h_mass_kw_per_k: f64,
+    pub h_mass_kw_per_k: f64, // lint:allow(no-raw-f64-in-public-api): calibration parameter
     /// Containment leakage fraction: portion of hot-aisle air that mixes
     /// directly back into the cold aisle despite the containment (§2).
     pub leakage: f64,
     /// Room-to-ambient conductance, kW/K.
-    pub ambient_kw_per_k: f64,
+    pub ambient_kw_per_k: f64, // lint:allow(no-raw-f64-in-public-api): calibration parameter
     /// Ambient (outside room) temperature, °C.
-    pub ambient_temp_c: f64,
+    pub ambient_temp_c: f64, // lint:allow(no-raw-f64-in-public-api): calibration parameter
     /// Initial cold-aisle temperature, °C.
     pub initial_cold_c: f64,
 }
@@ -212,10 +213,10 @@ pub struct SimConfig {
     /// How many of the DC sensors monitor the cold aisle (11). These are
     /// sensor indices `0..n_cold_aisle_sensors`.
     pub n_cold_aisle_sensors: usize,
-    /// Minimum ACU set-point, °C (`S_min` = 20).
-    pub setpoint_min: f64,
-    /// Maximum ACU set-point, °C (`S_max` = 35).
-    pub setpoint_max: f64,
+    /// Minimum ACU set-point (`S_min` = 20 °C).
+    pub setpoint_min: Celsius,
+    /// Maximum ACU set-point (`S_max` = 35 °C).
+    pub setpoint_max: Celsius,
     /// Sampling period Δt, seconds (60 in Table 2).
     pub sample_period_s: f64,
     /// Inner physics integration step, seconds.
@@ -238,8 +239,8 @@ impl Default for SimConfig {
             n_acu_sensors: 2,
             n_dc_sensors: 35,
             n_cold_aisle_sensors: 11,
-            setpoint_min: 20.0,
-            setpoint_max: 35.0,
+            setpoint_min: SETPOINT_RANGE.min(),
+            setpoint_max: SETPOINT_RANGE.max(),
             sample_period_s: 60.0,
             inner_dt_s: 1.0,
             server: ServerParams::default(),
@@ -287,6 +288,12 @@ impl SimConfig {
         Ok(())
     }
 
+    /// The ACU's set-point specification range `[S_min, S_max]` — the
+    /// single source for set-point validation and clamping.
+    pub fn setpoint_range(&self) -> CelsiusRange {
+        CelsiusRange::new(self.setpoint_min, self.setpoint_max)
+    }
+
     /// Indices of the cold-aisle sensors (the thermal-safety constraint
     /// set `I_cold` of Eq. 9).
     pub fn cold_aisle_indices(&self) -> std::ops::Range<usize> {
@@ -312,8 +319,9 @@ mod tests {
         assert_eq!(c.n_acu_sensors, 2);
         assert_eq!(c.n_dc_sensors, 35);
         assert_eq!(c.n_cold_aisle_sensors, 11);
-        assert_eq!(c.setpoint_min, 20.0);
-        assert_eq!(c.setpoint_max, 35.0);
+        assert_eq!(c.setpoint_min, Celsius::new(20.0));
+        assert_eq!(c.setpoint_max, Celsius::new(35.0));
+        assert_eq!(c.setpoint_range().span().value(), 15.0);
         assert_eq!(c.sample_period_s, 60.0);
         assert_eq!(c.inner_steps_per_sample(), 60);
     }
@@ -337,7 +345,7 @@ mod tests {
         assert!(c.validate().is_err());
 
         let c = SimConfig {
-            setpoint_min: 40.0,
+            setpoint_min: Celsius::new(40.0),
             ..SimConfig::default()
         };
         assert!(c.validate().is_err());

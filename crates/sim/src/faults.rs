@@ -191,7 +191,7 @@ impl FaultPlan {
     pub fn corrupt_readings<R: Rng>(
         &self,
         t_min: f64,
-        dc_temps: &mut [f64],
+        dc_temps: &mut [f64], // lint:allow(no-raw-f64-in-public-api): corrupts raw sensor vectors in place
         acu_inlet: &mut [f64],
         rng: &mut R,
     ) {

@@ -41,6 +41,8 @@
 //!
 //! Everything is deterministic given a seed.
 
+#![forbid(unsafe_code)]
+
 pub mod acu;
 pub mod config;
 pub mod faults;
@@ -60,6 +62,8 @@ pub use faults::{
 pub use multizone::{MultiZoneConfig, MultiZoneTestbed};
 pub use testbed::{Observation, Testbed};
 
+use tesla_units::{Celsius, UnitError};
+
 /// Errors surfaced by the simulator facade.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
@@ -73,9 +77,13 @@ pub enum SimError {
     /// (input/telemetry registers are device-owned).
     ReadOnlyRegister(u16),
     /// A set-point write outside the ACU's specification range.
-    SetpointOutOfRange { value: f64, min: f64, max: f64 },
+    SetpointOutOfRange {
+        value: Celsius,
+        min: Celsius,
+        max: Celsius,
+    },
     /// A non-finite value was offered to a register write.
-    NonFiniteWrite(f64),
+    NonFiniteWrite(Celsius),
     /// A Modbus write timed out (injected actuator fault); the device
     /// keeps its previous value.
     WriteTimeout,
@@ -100,12 +108,11 @@ impl std::fmt::Display for SimError {
                 write!(f, "Modbus register {r:#06x} is not controller-writable")
             }
             SimError::SetpointOutOfRange { value, min, max } => {
-                write!(
-                    f,
-                    "set-point {value} °C outside spec range [{min}, {max}] °C"
-                )
+                write!(f, "set-point {value} outside spec range [{min}, {max}]")
             }
-            SimError::NonFiniteWrite(v) => write!(f, "non-finite register write value {v}"),
+            SimError::NonFiniteWrite(v) => {
+                write!(f, "non-finite register write value {}", v.value())
+            }
             SimError::WriteTimeout => write!(f, "Modbus write timed out"),
             SimError::RegisterRejected(r) => {
                 write!(f, "device rejected write to register {r:#06x}")
@@ -116,3 +123,19 @@ impl std::fmt::Display for SimError {
 }
 
 impl std::error::Error for SimError {}
+
+impl From<UnitError> for SimError {
+    /// Maps the units layer's validation failures onto the simulator's
+    /// register-write error vocabulary, so [`tesla_units::CelsiusRange::check`]
+    /// can be the single place set-point bounds are enforced.
+    fn from(e: UnitError) -> Self {
+        match e {
+            UnitError::NonFinite(v) => SimError::NonFiniteWrite(Celsius::new(v)),
+            UnitError::OutOfRange { value, min, max } => {
+                SimError::SetpointOutOfRange { value, min, max }
+            }
+            UnitError::BadUtilization(u) => SimError::UtilizationOutOfRange(u),
+            UnitError::Parse => SimError::InvalidConfig("malformed quantity string".into()),
+        }
+    }
+}

@@ -9,6 +9,7 @@
 
 use crate::SimError;
 use std::collections::BTreeMap;
+use tesla_units::{Celsius, CelsiusRange, Kilowatts};
 
 /// Holding-register address of the set-point (0.1 °C units).
 pub const REG_SETPOINT: u16 = 0x0001;
@@ -55,29 +56,22 @@ impl RegisterMap {
     }
 
     /// Controller-side set-point write: validates finiteness and the
-    /// ACU's specification bounds, then quantizes to 0.1 °C. Returns the
-    /// quantized value actually latched. Out-of-spec commands are
-    /// *rejected* (typed error), not clamped — clamping is a policy the
-    /// caller must opt into.
+    /// ACU's specification bounds via [`CelsiusRange::check`] (the single
+    /// validation point for set-point commands), then quantizes to
+    /// 0.1 °C. Returns the quantized value actually latched. Out-of-spec
+    /// commands are *rejected* (typed error), not clamped — clamping is a
+    /// policy the caller must opt into.
     pub fn try_write_setpoint(
         &mut self,
-        celsius: f64,
-        min: f64,
-        max: f64,
-    ) -> Result<f64, SimError> {
-        if !celsius.is_finite() {
-            return Err(SimError::NonFiniteWrite(celsius));
-        }
-        if celsius < min || celsius > max {
-            return Err(SimError::SetpointOutOfRange {
-                value: celsius,
-                min,
-                max,
-            });
-        }
-        let ticks = (celsius * TEMP_SCALE).round().clamp(0.0, u16::MAX as f64) as u16;
+        setpoint: Celsius,
+        spec: CelsiusRange,
+    ) -> Result<Celsius, SimError> {
+        let checked = spec.check(setpoint)?;
+        let ticks = (checked.value() * TEMP_SCALE)
+            .round()
+            .clamp(0.0, u16::MAX as f64) as u16;
         self.try_write(REG_SETPOINT, ticks)?;
-        Ok(ticks as f64 / TEMP_SCALE)
+        Ok(Celsius::new(ticks as f64 / TEMP_SCALE))
     }
 
     /// Reads a raw 16-bit register.
@@ -88,26 +82,28 @@ impl RegisterMap {
             .ok_or(SimError::UnknownRegister(addr))
     }
 
-    /// Writes a temperature in °C (quantized to 0.1 °C).
-    pub fn write_temp(&mut self, addr: u16, celsius: f64) {
-        let ticks = (celsius * TEMP_SCALE).round().clamp(0.0, u16::MAX as f64) as u16;
+    /// Writes a temperature (quantized to 0.1 °C).
+    pub fn write_temp(&mut self, addr: u16, temp: Celsius) {
+        let ticks = (temp.value() * TEMP_SCALE)
+            .round()
+            .clamp(0.0, u16::MAX as f64) as u16;
         self.write(addr, ticks);
     }
 
-    /// Reads a temperature in °C.
-    pub fn read_temp(&self, addr: u16) -> Result<f64, SimError> {
-        Ok(self.read(addr)? as f64 / TEMP_SCALE)
+    /// Reads a temperature.
+    pub fn read_temp(&self, addr: u16) -> Result<Celsius, SimError> {
+        Ok(Celsius::new(self.read(addr)? as f64 / TEMP_SCALE))
     }
 
-    /// Writes a power in kW (stored as integer watts).
-    pub fn write_power_kw(&mut self, addr: u16, kw: f64) {
-        let w = (kw * 1000.0).round().clamp(0.0, u16::MAX as f64) as u16;
+    /// Writes a power (stored as integer watts).
+    pub fn write_power_kw(&mut self, addr: u16, power: Kilowatts) {
+        let w = (power.value() * 1000.0).round().clamp(0.0, u16::MAX as f64) as u16;
         self.write(addr, w);
     }
 
-    /// Reads a power in kW.
-    pub fn read_power_kw(&self, addr: u16) -> Result<f64, SimError> {
-        Ok(self.read(addr)? as f64 / 1000.0)
+    /// Reads a power.
+    pub fn read_power_kw(&self, addr: u16) -> Result<Kilowatts, SimError> {
+        Ok(Kilowatts::new(self.read(addr)? as f64 / 1000.0))
     }
 
     /// Number of populated registers.
@@ -124,14 +120,15 @@ impl RegisterMap {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tesla_units::SETPOINT_RANGE;
 
     #[test]
     fn temperature_roundtrip_quantizes_to_tenths() {
         let mut m = RegisterMap::new();
-        m.write_temp(REG_SETPOINT, 23.462);
-        assert_eq!(m.read_temp(REG_SETPOINT).unwrap(), 23.5);
-        m.write_temp(REG_SETPOINT, 23.44);
-        assert_eq!(m.read_temp(REG_SETPOINT).unwrap(), 23.4);
+        m.write_temp(REG_SETPOINT, Celsius::new(23.462));
+        assert_eq!(m.read_temp(REG_SETPOINT).unwrap(), Celsius::new(23.5));
+        m.write_temp(REG_SETPOINT, Celsius::new(23.44));
+        assert_eq!(m.read_temp(REG_SETPOINT).unwrap(), Celsius::new(23.4));
     }
 
     #[test]
@@ -146,15 +143,15 @@ mod tests {
     #[test]
     fn power_roundtrip() {
         let mut m = RegisterMap::new();
-        m.write_power_kw(REG_POWER_W, 2.4567);
-        assert!((m.read_power_kw(REG_POWER_W).unwrap() - 2.457).abs() < 1e-9);
+        m.write_power_kw(REG_POWER_W, Kilowatts::new(2.4567));
+        assert!((m.read_power_kw(REG_POWER_W).unwrap().value() - 2.457).abs() < 1e-9);
     }
 
     #[test]
     fn negative_temp_clamps_to_zero() {
         let mut m = RegisterMap::new();
-        m.write_temp(REG_SETPOINT, -5.0);
-        assert_eq!(m.read_temp(REG_SETPOINT).unwrap(), 0.0);
+        m.write_temp(REG_SETPOINT, Celsius::new(-5.0));
+        assert_eq!(m.read_temp(REG_SETPOINT).unwrap(), Celsius::new(0.0));
     }
 
     #[test]
@@ -169,40 +166,44 @@ mod tests {
             Err(SimError::ReadOnlyRegister(_))
         ));
         assert!(m.try_write(REG_SETPOINT, 230).is_ok());
-        assert_eq!(m.read_temp(REG_SETPOINT).unwrap(), 23.0);
+        assert_eq!(m.read_temp(REG_SETPOINT).unwrap(), Celsius::new(23.0));
     }
 
     #[test]
     fn try_write_setpoint_validates_bounds_and_quantizes() {
         let mut m = RegisterMap::new();
-        let latched = m.try_write_setpoint(23.456, 20.0, 35.0).unwrap();
-        assert!((latched - 23.5).abs() < 1e-9);
-        assert_eq!(m.read_temp(REG_SETPOINT).unwrap(), 23.5);
+        let latched = m
+            .try_write_setpoint(Celsius::new(23.456), SETPOINT_RANGE)
+            .unwrap();
+        assert!((latched.value() - 23.5).abs() < 1e-9);
+        assert_eq!(m.read_temp(REG_SETPOINT).unwrap(), Celsius::new(23.5));
 
         assert!(matches!(
-            m.try_write_setpoint(50.0, 20.0, 35.0),
+            m.try_write_setpoint(Celsius::new(50.0), SETPOINT_RANGE),
             Err(SimError::SetpointOutOfRange { value, min, max })
-                if value == 50.0 && min == 20.0 && max == 35.0
+                if value == Celsius::new(50.0)
+                    && min == SETPOINT_RANGE.min()
+                    && max == SETPOINT_RANGE.max()
         ));
         assert!(matches!(
-            m.try_write_setpoint(1.0, 20.0, 35.0),
+            m.try_write_setpoint(Celsius::new(1.0), SETPOINT_RANGE),
             Err(SimError::SetpointOutOfRange { .. })
         ));
         assert!(matches!(
-            m.try_write_setpoint(f64::NAN, 20.0, 35.0),
+            m.try_write_setpoint(Celsius::new(f64::NAN), SETPOINT_RANGE),
             Err(SimError::NonFiniteWrite(_))
         ));
         // The rejected writes left the latched value untouched.
-        assert_eq!(m.read_temp(REG_SETPOINT).unwrap(), 23.5);
+        assert_eq!(m.read_temp(REG_SETPOINT).unwrap(), Celsius::new(23.5));
     }
 
     #[test]
     fn len_tracks_distinct_registers() {
         let mut m = RegisterMap::new();
         assert!(m.is_empty());
-        m.write_temp(REG_SETPOINT, 20.0);
-        m.write_temp(REG_SETPOINT, 25.0);
-        m.write_temp(REG_INLET_BASE, 22.0);
+        m.write_temp(REG_SETPOINT, Celsius::new(20.0));
+        m.write_temp(REG_SETPOINT, Celsius::new(25.0));
+        m.write_temp(REG_INLET_BASE, Celsius::new(22.0));
         assert_eq!(m.len(), 2);
     }
 }

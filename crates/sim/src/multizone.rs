@@ -23,6 +23,7 @@ use crate::thermal::ThermalNetwork;
 use crate::SimError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use tesla_units::{Celsius, Seconds, NOMINAL_SETPOINT};
 
 /// Configuration of a multi-zone room.
 #[derive(Debug, Clone)]
@@ -31,11 +32,12 @@ pub struct MultiZoneConfig {
     pub zones: Vec<SimConfig>,
     /// Air-exchange conductance between *adjacent* zones, kW/K. Zone `i`
     /// exchanges with `i−1` and `i+1` (a row of containment cells).
-    pub coupling_kw_per_k: f64,
+    pub coupling_kw_per_k: f64, // lint:allow(no-raw-f64-in-public-api): thermal conductance kW/K, no newtype
 }
 
 impl MultiZoneConfig {
     /// `n` identical zones with the default cell configuration.
+    // lint:allow(no-raw-f64-in-public-api): conductance kW/K, no newtype
     pub fn uniform(n: usize, coupling_kw_per_k: f64) -> Self {
         MultiZoneConfig {
             zones: vec![SimConfig::default(); n],
@@ -90,7 +92,7 @@ impl MultiZoneTestbed {
             .into_iter()
             .enumerate()
             .map(|(i, cfg)| {
-                let initial_sp = 23.0_f64.clamp(cfg.setpoint_min, cfg.setpoint_max);
+                let initial_sp = cfg.setpoint_range().clamp(NOMINAL_SETPOINT);
                 Zone {
                     servers: ServerBank::new(cfg.n_servers, cfg.server.clone()),
                     thermal: ThermalNetwork::new(cfg.thermal.clone()),
@@ -116,19 +118,20 @@ impl MultiZoneTestbed {
     }
 
     /// Commands a zone's set-point (clamped to that zone's ACU range).
-    pub fn write_setpoint(&mut self, zone: usize, sp: f64) -> Result<(), SimError> {
+    pub fn write_setpoint(&mut self, zone: usize, sp: Celsius) -> Result<(), SimError> {
         let z = self
             .zones
             .get_mut(zone)
             .ok_or_else(|| SimError::InvalidConfig(format!("no zone {zone}")))?;
-        let clamped = sp.clamp(z.cfg.setpoint_min, z.cfg.setpoint_max);
+        let clamped = z.cfg.setpoint_range().clamp(sp);
         // Quantize like the single-zone Modbus path (0.1 °C registers).
-        z.acu.set_setpoint((clamped * 10.0).round() / 10.0);
+        z.acu
+            .set_setpoint(Celsius::new((clamped.value() * 10.0).round() / 10.0));
         Ok(())
     }
 
     /// A zone's currently latched set-point.
-    pub fn setpoint(&self, zone: usize) -> Option<f64> {
+    pub fn setpoint(&self, zone: usize) -> Option<Celsius> {
         self.zones.get(zone).map(|z| z.acu.setpoint())
     }
 
@@ -173,18 +176,23 @@ impl MultiZoneTestbed {
                 let heat = zone.servers.total_heat_kw();
                 let ret = zone.thermal.return_temp();
                 let samples = zone.acu.sample_inlet_sensors(ret, &mut zone.rng);
-                let measured = samples.iter().sum::<f64>() / samples.len().max(1) as f64;
-                let step = zone
-                    .acu
-                    .step(measured, ret, zone.cfg.thermal.mdot_cp_kw_per_k, dt);
-                zone.thermal.step(step.supply_temp, heat, dt);
-                energy[zi] += step.power_kw * dt / 3600.0;
+                let measured = Celsius::new(
+                    samples.iter().map(|t| t.value()).sum::<f64>() / samples.len().max(1) as f64,
+                );
+                let step = zone.acu.step(
+                    measured,
+                    ret,
+                    zone.cfg.thermal.mdot_cp_kw_per_k,
+                    Seconds::new(dt),
+                );
+                zone.thermal.step(step.supply_temp, heat, Seconds::new(dt));
+                energy[zi] += step.power_kw.value() * dt / 3600.0;
                 if step.interrupted {
                     interrupted[zi] += 1;
                 }
-                last_power[zi] = step.power_kw;
+                last_power[zi] = step.power_kw.value();
                 last_duty[zi] = step.duty;
-                last_supply[zi] = step.supply_temp;
+                last_supply[zi] = step.supply_temp.value();
             }
             // Inter-zone exchange: adjacent hot aisles mix through the
             // shared plenum (symmetric conductance).
@@ -216,12 +224,17 @@ impl MultiZoneTestbed {
             .enumerate()
             .map(|(zi, zone)| {
                 let state = zone.thermal.state();
-                let acu_inlet_temps = zone
+                let (cold_bulk, hot_bulk) = (
+                    Celsius::new(state.cold_aisle),
+                    Celsius::new(state.hot_aisle),
+                );
+                let acu_inlet_temps: Vec<f64> = zone
                     .acu
-                    .sample_inlet_sensors(state.hot_aisle, &mut zone.rng);
-                let dc_temps =
-                    zone.sensors
-                        .sample(state.cold_aisle, state.hot_aisle, &mut zone.rng);
+                    .sample_inlet_sensors(hot_bulk, &mut zone.rng)
+                    .iter()
+                    .map(|t| t.value())
+                    .collect();
+                let dc_temps = zone.sensors.sample(cold_bulk, hot_bulk, &mut zone.rng);
                 let server_powers_kw = zone.servers.powers_kw(&mut zone.rng);
                 let avg_server_power_kw =
                     server_powers_kw.iter().sum::<f64>() / server_powers_kw.len().max(1) as f64;
@@ -231,10 +244,11 @@ impl MultiZoneTestbed {
                     .fold(f64::NEG_INFINITY, f64::max);
                 let cold_aisle_max_true = zone
                     .sensors
-                    .cold_aisle_max_true(state.cold_aisle, state.hot_aisle);
+                    .cold_aisle_max_true(cold_bulk, hot_bulk)
+                    .value();
                 Observation {
                     time_s,
-                    setpoint: zone.acu.setpoint(),
+                    setpoint: zone.acu.setpoint().value(),
                     acu_inlet_temps,
                     dc_temps,
                     cpu_utils: zone.servers.effective_utils().to_vec(),
@@ -332,11 +346,11 @@ mod tests {
     #[test]
     fn per_zone_setpoints_are_independent() {
         let mut room = room(2, 0.05);
-        room.write_setpoint(0, 21.0).unwrap();
-        room.write_setpoint(1, 27.0).unwrap();
-        assert_eq!(room.setpoint(0), Some(21.0));
-        assert_eq!(room.setpoint(1), Some(27.0));
-        assert!(room.write_setpoint(9, 23.0).is_err());
+        room.write_setpoint(0, Celsius::new(21.0)).unwrap();
+        room.write_setpoint(1, Celsius::new(27.0)).unwrap();
+        assert_eq!(room.setpoint(0), Some(Celsius::new(21.0)));
+        assert_eq!(room.setpoint(1), Some(Celsius::new(27.0)));
+        assert!(room.write_setpoint(9, Celsius::new(23.0)).is_err());
     }
 
     #[test]

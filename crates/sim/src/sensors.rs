@@ -11,6 +11,7 @@
 use crate::config::SimConfig;
 use rand::Rng;
 use rand_distr::{Distribution, Normal};
+use tesla_units::Celsius;
 
 /// One physical temperature sensor's placement model.
 #[derive(Debug, Clone, Copy)]
@@ -85,12 +86,16 @@ impl SensorArray {
         self.n_cold
     }
 
-    /// Samples every sensor given the aisle temperatures.
-    pub fn sample<R: Rng>(&self, cold_aisle: f64, hot_aisle: f64, rng: &mut R) -> Vec<f64> {
+    /// Samples every sensor given the aisle temperatures. Raw `f64`
+    /// readings are returned (not `Celsius`): downstream fault injection
+    /// corrupts them with NaN dropouts and stuck values, so they are
+    /// untrusted telemetry rather than validated quantities.
+    pub fn sample<R: Rng>(&self, cold_aisle: Celsius, hot_aisle: Celsius, rng: &mut R) -> Vec<f64> // lint:allow(no-raw-f64-in-public-api): untrusted bulk telemetry
+    {
         self.placements
             .iter()
             .map(|pl| {
-                let base = (1.0 - pl.mix) * cold_aisle + pl.mix * hot_aisle;
+                let base = (1.0 - pl.mix) * cold_aisle.value() + pl.mix * hot_aisle.value();
                 base + pl.offset + self.noise.sample(rng)
             })
             .collect()
@@ -98,11 +103,15 @@ impl SensorArray {
 
     /// Noise-free reading of the *hottest cold-aisle* location — the
     /// quantity the thermal-safety constraint (Eq. 9) watches.
-    pub fn cold_aisle_max_true(&self, cold_aisle: f64, hot_aisle: f64) -> f64 {
-        self.placements[..self.n_cold]
-            .iter()
-            .map(|pl| (1.0 - pl.mix) * cold_aisle + pl.mix * hot_aisle + pl.offset)
-            .fold(f64::NEG_INFINITY, f64::max)
+    pub fn cold_aisle_max_true(&self, cold_aisle: Celsius, hot_aisle: Celsius) -> Celsius {
+        Celsius::new(
+            self.placements[..self.n_cold]
+                .iter()
+                .map(|pl| {
+                    (1.0 - pl.mix) * cold_aisle.value() + pl.mix * hot_aisle.value() + pl.offset
+                })
+                .fold(f64::NEG_INFINITY, f64::max),
+        )
     }
 }
 
@@ -116,6 +125,10 @@ mod tests {
         SensorArray::new(&SimConfig::default())
     }
 
+    fn c(v: f64) -> Celsius {
+        Celsius::new(v)
+    }
+
     #[test]
     fn sensor_counts_match_table1() {
         let a = array();
@@ -127,7 +140,7 @@ mod tests {
     fn cold_sensors_read_cooler_than_hot_sensors() {
         let a = array();
         let mut rng = StdRng::seed_from_u64(1);
-        let readings = a.sample(18.0, 26.0, &mut rng);
+        let readings = a.sample(c(18.0), c(26.0), &mut rng);
         let cold_mean: f64 = readings[..11].iter().sum::<f64>() / 11.0;
         let hot_mean: f64 = readings[11..].iter().sum::<f64>() / 24.0;
         assert!(
@@ -140,8 +153,8 @@ mod tests {
     fn cold_sensor_readings_track_cold_aisle() {
         let a = array();
         let mut rng = StdRng::seed_from_u64(2);
-        let cool = a.sample(16.0, 24.0, &mut rng);
-        let warm = a.sample(20.0, 24.0, &mut rng);
+        let cool = a.sample(c(16.0), c(24.0), &mut rng);
+        let warm = a.sample(c(20.0), c(24.0), &mut rng);
         for k in 0..a.n_cold() {
             assert!(
                 warm[k] > cool[k] + 2.0,
@@ -155,9 +168,9 @@ mod tests {
         // Top-of-rack stratification: the binding sensor reads warmer
         // than the bulk cold-aisle temperature.
         let a = array();
-        let max = a.cold_aisle_max_true(18.0, 26.0);
-        assert!(max > 18.0);
-        assert!(max < 26.0);
+        let max = a.cold_aisle_max_true(c(18.0), c(26.0));
+        assert!(max > c(18.0));
+        assert!(max < c(26.0));
     }
 
     #[test]
@@ -165,7 +178,10 @@ mod tests {
         let a = array();
         let mut r1 = StdRng::seed_from_u64(9);
         let mut r2 = StdRng::seed_from_u64(9);
-        assert_eq!(a.sample(18.0, 25.0, &mut r1), a.sample(18.0, 25.0, &mut r2));
+        assert_eq!(
+            a.sample(c(18.0), c(25.0), &mut r1),
+            a.sample(c(18.0), c(25.0), &mut r2)
+        );
     }
 
     #[test]
@@ -173,7 +189,7 @@ mod tests {
         let a = array();
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..200 {
-            let r = a.sample(18.0, 26.0, &mut rng);
+            let r = a.sample(c(18.0), c(26.0), &mut rng);
             for v in r {
                 assert!(v > 10.0 && v < 35.0, "reading {v} out of plausible range");
             }

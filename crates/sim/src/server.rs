@@ -9,6 +9,7 @@
 use crate::config::ServerParams;
 use rand::Rng;
 use rand_distr::{Distribution, Normal};
+use tesla_units::Kilowatts;
 
 /// A bank of `n` simulated servers.
 #[derive(Debug, Clone)]
@@ -78,8 +79,11 @@ impl ServerBank {
         }
     }
 
-    /// Instantaneous electrical power per server, kW (with sampling noise).
-    pub fn powers_kw<R: Rng>(&self, rng: &mut R) -> Vec<f64> {
+    /// Instantaneous electrical power per server, kW (with sampling
+    /// noise). Raw `f64` per-server telemetry, not `Kilowatts`: this is
+    /// the bulk sensor boundary the forecaster trains on.
+    pub fn powers_kw<R: Rng>(&self, rng: &mut R) -> Vec<f64> // lint:allow(no-raw-f64-in-public-api): bulk telemetry
+    {
         self.effective_util
             .iter()
             .zip(&self.target_util)
@@ -87,14 +91,16 @@ impl ServerBank {
             .collect()
     }
 
-    /// Total *heat* injected into the room, kW (noise-free: physics sees
+    /// Total *heat* injected into the room (noise-free: physics sees
     /// the true dissipation, sensors see the noisy one).
-    pub fn total_heat_kw(&self) -> f64 {
-        self.effective_util
-            .iter()
-            .zip(&self.target_util)
-            .map(|(&u, &t)| self.server_power(u, t))
-            .sum()
+    pub fn total_heat_kw(&self) -> Kilowatts {
+        Kilowatts::new(
+            self.effective_util
+                .iter()
+                .zip(&self.target_util)
+                .map(|(&u, &t)| self.server_power(u, t))
+                .sum(),
+        )
     }
 
     /// Effective (lagged) utilizations.
@@ -121,7 +127,7 @@ mod tests {
     #[test]
     fn idle_bank_draws_idle_power() {
         let b = bank(21);
-        let p = b.total_heat_kw();
+        let p = b.total_heat_kw().value();
         assert!((p - 21.0 * 0.18).abs() < 1e-9, "idle heat {p}");
     }
 
@@ -185,7 +191,7 @@ mod tests {
         for _ in 0..600 {
             b.step(1.0);
         }
-        let p = b.total_heat_kw();
+        let p = b.total_heat_kw().value();
         assert!(p > 0.25 && p < 0.45, "mid-util per-machine power {p}");
     }
 
@@ -200,7 +206,7 @@ mod tests {
         for _ in 0..600 {
             b.step(1.0);
         }
-        let heat = b.total_heat_kw();
+        let heat = b.total_heat_kw().value();
         // Server 0 sleeps (0.03 kW), server 1 runs at 0.4 util.
         let expected = params.sleep_power_kw
             + params.idle_power_kw
@@ -213,7 +219,7 @@ mod tests {
         let mut b2 = ServerBank::new(1, ServerParams::default());
         b2.set_targets(&[0.0]);
         b2.step(1.0);
-        assert!((b2.total_heat_kw() - ServerParams::default().idle_power_kw).abs() < 1e-9);
+        assert!((b2.total_heat_kw().value() - ServerParams::default().idle_power_kw).abs() < 1e-9);
     }
 
     #[test]

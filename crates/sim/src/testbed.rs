@@ -18,6 +18,7 @@ use crate::thermal::ThermalNetwork;
 use crate::SimError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use tesla_units::{Celsius, Kilowatts, Seconds, NOMINAL_SETPOINT};
 
 /// One sampling period's worth of telemetry.
 #[derive(Debug, Clone)]
@@ -25,37 +26,37 @@ pub struct Observation {
     /// Simulation time at the end of the period, seconds.
     pub time_s: f64,
     /// Set-point the ACU executed during this period, °C.
-    pub setpoint: f64,
+    pub setpoint: f64, // lint:allow(no-raw-f64-in-public-api): bulk telemetry record
     /// ACU inlet sensor readings at the sample instant (`N_a` values), °C.
-    pub acu_inlet_temps: Vec<f64>,
+    pub acu_inlet_temps: Vec<f64>, // lint:allow(no-raw-f64-in-public-api): bulk telemetry record
     /// Rack sensor readings (`N_d` values), °C. Cold-aisle sensors come
     /// first (indices `0..n_cold_aisle_sensors`).
-    pub dc_temps: Vec<f64>,
+    pub dc_temps: Vec<f64>, // lint:allow(no-raw-f64-in-public-api): bulk telemetry record
     /// Per-server electrical power, kW.
-    pub server_powers_kw: Vec<f64>,
+    pub server_powers_kw: Vec<f64>, // lint:allow(no-raw-f64-in-public-api): bulk telemetry record
     /// Average per-server power, kW (the ASP sub-module's signal).
-    pub avg_server_power_kw: f64,
+    pub avg_server_power_kw: f64, // lint:allow(no-raw-f64-in-public-api): bulk telemetry record
     /// Per-server CPU utilization in `[0, 1]`.
     pub cpu_utils: Vec<f64>,
     /// Per-server memory utilization in `[0, 1]`.
     pub mem_utils: Vec<f64>,
     /// ACU instantaneous electrical power at the sample instant, kW.
-    pub acu_power_kw: f64,
+    pub acu_power_kw: f64, // lint:allow(no-raw-f64-in-public-api): bulk telemetry record
     /// ACU energy consumed over this sampling period, kWh.
-    pub acu_energy_kwh: f64,
+    pub acu_energy_kwh: f64, // lint:allow(no-raw-f64-in-public-api): bulk telemetry record
     /// Compressor duty at the sample instant.
     pub duty: f64,
     /// Supply-air temperature at the sample instant, °C.
-    pub supply_temp: f64,
+    pub supply_temp: f64, // lint:allow(no-raw-f64-in-public-api): bulk telemetry record
     /// Fraction of this period spent in cooling interruption.
     pub interrupted_frac: f64,
     /// Max over the cold-aisle sensor readings, °C (Eq. 9's quantity).
     /// Computed from the *reported* (possibly fault-corrupted) readings;
     /// NaN dropouts are skipped.
-    pub cold_aisle_max: f64,
+    pub cold_aisle_max: f64, // lint:allow(no-raw-f64-in-public-api): untrusted telemetry record
     /// Noise- and fault-free max cold-aisle temperature, °C — the ground
     /// truth used to score thermal safety when sensors may be lying.
-    pub cold_aisle_max_true: f64,
+    pub cold_aisle_max_true: f64, // lint:allow(no-raw-f64-in-public-api): scoring ground truth, telemetry record
 }
 
 impl Observation {
@@ -85,7 +86,7 @@ impl Testbed {
         cfg.validate()?;
         let servers = ServerBank::new(cfg.n_servers, cfg.server.clone());
         let thermal = ThermalNetwork::new(cfg.thermal.clone());
-        let initial_sp = 23.0_f64.clamp(cfg.setpoint_min, cfg.setpoint_max);
+        let initial_sp = cfg.setpoint_range().clamp(NOMINAL_SETPOINT);
         let acu = Acu::new(cfg.acu.clone(), initial_sp);
         let sensors = SensorArray::new(&cfg);
         let mut registers = RegisterMap::new();
@@ -134,8 +135,8 @@ impl Testbed {
     /// the ACU's `[S_min, S_max]` specification, quantized to 0.1 °C).
     /// This legacy path ignores actuator faults; fault-aware callers use
     /// [`Testbed::try_write_setpoint`].
-    pub fn write_setpoint(&mut self, sp: f64) {
-        let clamped = sp.clamp(self.cfg.setpoint_min, self.cfg.setpoint_max);
+    pub fn write_setpoint(&mut self, sp: Celsius) {
+        let clamped = self.cfg.setpoint_range().clamp(sp);
         self.registers.write_temp(REG_SETPOINT, clamped);
         let quantized = self
             .registers
@@ -149,7 +150,7 @@ impl Testbed {
     /// actuator fault active right now. On success returns the quantized
     /// value the ACU latched; on failure the previous set-point stays in
     /// force.
-    pub fn try_write_setpoint(&mut self, sp: f64) -> Result<f64, SimError> {
+    pub fn try_write_setpoint(&mut self, sp: Celsius) -> Result<Celsius, SimError> {
         match self.faults.active_actuator(self.time_min()) {
             Some(ActuatorFaultKind::WriteTimeout) => return Err(SimError::WriteTimeout),
             Some(ActuatorFaultKind::RejectedRegister) => {
@@ -157,15 +158,15 @@ impl Testbed {
             }
             None => {}
         }
-        let quantized =
-            self.registers
-                .try_write_setpoint(sp, self.cfg.setpoint_min, self.cfg.setpoint_max)?;
+        let quantized = self
+            .registers
+            .try_write_setpoint(sp, self.cfg.setpoint_range())?;
         self.acu.set_setpoint(quantized);
         Ok(quantized)
     }
 
-    /// The set-point currently latched in the ACU, °C.
-    pub fn setpoint(&self) -> f64 {
+    /// The set-point currently latched in the ACU.
+    pub fn setpoint(&self) -> Celsius {
         self.acu.setpoint()
     }
 
@@ -233,7 +234,7 @@ impl Testbed {
         let mut interrupted_steps = 0usize;
         let mut last_power = 0.0;
         let mut last_duty = 0.0;
-        let mut last_supply = self.acu.last_supply();
+        let mut last_supply = self.acu.last_supply().value();
 
         for _ in 0..steps {
             self.servers.step(dt);
@@ -241,30 +242,41 @@ impl Testbed {
             let true_return = self.thermal.return_temp();
             // The PID acts on its (noisy, biased) inlet sensors.
             let inlet_samples = self.acu.sample_inlet_sensors(true_return, &mut self.rng);
-            let measured = inlet_samples.iter().sum::<f64>() / inlet_samples.len().max(1) as f64;
-            let step = self.acu.step(measured, true_return, mdot_cp, dt);
-            self.thermal.step(step.supply_temp, heat, dt);
+            let measured = Celsius::new(
+                inlet_samples.iter().map(|t| t.value()).sum::<f64>()
+                    / inlet_samples.len().max(1) as f64,
+            );
+            let step = self
+                .acu
+                .step(measured, true_return, mdot_cp, Seconds::new(dt));
+            self.thermal.step(step.supply_temp, heat, Seconds::new(dt));
 
-            energy_kwh += step.power_kw * dt / 3600.0;
+            energy_kwh += step.power_kw.value() * dt / 3600.0;
             if step.interrupted {
                 interrupted_steps += 1;
             }
-            last_power = step.power_kw;
+            last_power = step.power_kw.value();
             last_duty = step.duty;
-            last_supply = step.supply_temp;
+            last_supply = step.supply_temp.value();
             self.time_s += dt;
         }
 
         let state = self.thermal.state();
-        let mut acu_inlet_temps = self
+        let (cold_bulk, hot_bulk) = (
+            Celsius::new(state.cold_aisle),
+            Celsius::new(state.hot_aisle),
+        );
+        let mut acu_inlet_temps: Vec<f64> = self
             .acu
-            .sample_inlet_sensors(state.hot_aisle, &mut self.rng);
-        let mut dc_temps = self
-            .sensors
-            .sample(state.cold_aisle, state.hot_aisle, &mut self.rng);
+            .sample_inlet_sensors(hot_bulk, &mut self.rng)
+            .iter()
+            .map(|t| t.value())
+            .collect();
+        let mut dc_temps = self.sensors.sample(cold_bulk, hot_bulk, &mut self.rng);
         let cold_aisle_max_true = self
             .sensors
-            .cold_aisle_max_true(state.cold_aisle, state.hot_aisle);
+            .cold_aisle_max_true(cold_bulk, hot_bulk)
+            .value();
         // Sensor faults corrupt only what is *reported*; the physics and
         // the ground-truth max above are untouched. Faults resolve
         // against the minute this sample started, matching plant faults.
@@ -279,14 +291,16 @@ impl Testbed {
             .copied()
             .fold(f64::NEG_INFINITY, f64::max);
 
-        self.registers.write_power_kw(REG_POWER_W, last_power);
+        self.registers
+            .write_power_kw(REG_POWER_W, Kilowatts::new(last_power));
         for (i, v) in acu_inlet_temps.iter().enumerate() {
-            self.registers.write_temp(REG_INLET_BASE + i as u16, *v);
+            self.registers
+                .write_temp(REG_INLET_BASE + i as u16, Celsius::new(*v));
         }
 
         Ok(Observation {
             time_s: self.time_s,
-            setpoint: self.acu.setpoint(),
+            setpoint: self.acu.setpoint().value(),
             acu_inlet_temps,
             dc_temps,
             cpu_utils: self.servers.effective_utils().to_vec(),
@@ -350,29 +364,29 @@ mod tests {
     fn modbus_registers_mirror_telemetry() {
         use crate::modbus::{REG_INLET_BASE, REG_POWER_W};
         let mut tb = testbed();
-        tb.write_setpoint(24.0);
+        tb.write_setpoint(Celsius::new(24.0));
         let obs = tb.step_sample(&uniform(0.3)).unwrap();
         let regs = tb.registers();
         // Power register mirrors the last instantaneous power (W-quantized).
         let reg_p = regs.read_power_kw(REG_POWER_W).unwrap();
-        assert!((reg_p - obs.acu_power_kw).abs() < 0.001);
+        assert!((reg_p.value() - obs.acu_power_kw).abs() < 0.001);
         // Inlet registers mirror the sampled sensor temps (0.1 C quantized).
         for (i, v) in obs.acu_inlet_temps.iter().enumerate() {
             let reg_t = regs.read_temp(REG_INLET_BASE + i as u16).unwrap();
-            assert!((reg_t - v).abs() <= 0.05 + 1e-9);
+            assert!((reg_t.value() - v).abs() <= 0.05 + 1e-9);
         }
     }
 
     #[test]
     fn setpoint_clamps_to_spec_range() {
         let mut tb = testbed();
-        tb.write_setpoint(50.0);
-        assert_eq!(tb.setpoint(), 35.0);
-        tb.write_setpoint(1.0);
-        assert_eq!(tb.setpoint(), 20.0);
-        tb.write_setpoint(23.456);
+        tb.write_setpoint(Celsius::new(50.0));
+        assert_eq!(tb.setpoint(), Celsius::new(35.0));
+        tb.write_setpoint(Celsius::new(1.0));
+        assert_eq!(tb.setpoint(), Celsius::new(20.0));
+        tb.write_setpoint(Celsius::new(23.456));
         // Quantized to 0.1 °C by the register facade.
-        assert!((tb.setpoint() - 23.5).abs() < 1e-9);
+        assert!((tb.setpoint().value() - 23.5).abs() < 1e-9);
     }
 
     #[test]
@@ -380,7 +394,7 @@ mod tests {
         // The paper's fixed 23 °C policy never violates the 22 °C
         // cold-aisle limit; neither should ours at medium load.
         let mut tb = testbed();
-        tb.write_setpoint(23.0);
+        tb.write_setpoint(Celsius::new(23.0));
         tb.warm_up(&uniform(0.25), 240).unwrap();
         let obs = tb.step_sample(&uniform(0.25)).unwrap();
         assert!(
@@ -394,10 +408,10 @@ mod tests {
     #[test]
     fn high_setpoint_causes_interruption_and_fan_floor_power() {
         let mut tb = testbed();
-        tb.write_setpoint(23.0);
+        tb.write_setpoint(Celsius::new(23.0));
         tb.warm_up(&uniform(0.2), 180).unwrap();
         // Jump the set-point far above the return temperature.
-        tb.write_setpoint(35.0);
+        tb.write_setpoint(Celsius::new(35.0));
         let obs = tb.step_sample(&uniform(0.2)).unwrap();
         assert!(
             obs.interrupted_frac > 0.5,
@@ -414,10 +428,10 @@ mod tests {
     #[test]
     fn interruption_heats_the_cold_aisle_about_a_degree_per_minute() {
         let mut tb = testbed();
-        tb.write_setpoint(23.0);
+        tb.write_setpoint(Celsius::new(23.0));
         tb.warm_up(&uniform(0.35), 240).unwrap();
         let before = tb.step_sample(&uniform(0.35)).unwrap().cold_aisle_max;
-        tb.write_setpoint(35.0); // force interruption
+        tb.write_setpoint(Celsius::new(35.0)); // force interruption
         for _ in 0..4 {
             tb.step_sample(&uniform(0.35)).unwrap();
         }
@@ -429,7 +443,7 @@ mod tests {
     #[test]
     fn energy_accumulates_with_power() {
         let mut tb = testbed();
-        tb.write_setpoint(21.0);
+        tb.write_setpoint(Celsius::new(21.0));
         tb.warm_up(&uniform(0.4), 120).unwrap();
         let obs = tb.step_sample(&uniform(0.4)).unwrap();
         // One minute at P kW is P/60 kWh.
@@ -441,8 +455,8 @@ mod tests {
     fn higher_load_means_higher_acu_power_at_fixed_setpoint() {
         let mut idle = testbed();
         let mut busy = testbed();
-        idle.write_setpoint(23.0);
-        busy.write_setpoint(23.0);
+        idle.write_setpoint(Celsius::new(23.0));
+        busy.write_setpoint(Celsius::new(23.0));
         idle.warm_up(&uniform(0.0), 240).unwrap();
         busy.warm_up(&uniform(0.5), 240).unwrap();
         let p_idle = idle.step_sample(&uniform(0.0)).unwrap().acu_power_kw;
@@ -458,8 +472,8 @@ mod tests {
         // §6.2's mechanism: a modestly higher set-point improves COP.
         let mut low = testbed();
         let mut high = testbed();
-        low.write_setpoint(23.0);
-        high.write_setpoint(26.0);
+        low.write_setpoint(Celsius::new(23.0));
+        high.write_setpoint(Celsius::new(26.0));
         low.warm_up(&uniform(0.4), 360).unwrap();
         high.warm_up(&uniform(0.4), 360).unwrap();
         let mut e_low = 0.0;
@@ -484,7 +498,7 @@ mod tests {
     #[test]
     fn acu_degradation_increases_energy_mid_run() {
         let mut tb = testbed();
-        tb.write_setpoint(23.0);
+        tb.write_setpoint(Celsius::new(23.0));
         tb.warm_up(&uniform(0.35), 240).unwrap();
         let mut before = 0.0;
         for _ in 0..20 {
@@ -506,24 +520,24 @@ mod tests {
     fn try_write_setpoint_rejects_out_of_spec() {
         let mut tb = testbed();
         assert!(matches!(
-            tb.try_write_setpoint(50.0),
+            tb.try_write_setpoint(Celsius::new(50.0)),
             Err(SimError::SetpointOutOfRange { .. })
         ));
         assert!(matches!(
-            tb.try_write_setpoint(f64::NAN),
+            tb.try_write_setpoint(Celsius::new(f64::NAN)),
             Err(SimError::NonFiniteWrite(_))
         ));
         // In-spec writes latch quantized.
-        let latched = tb.try_write_setpoint(24.16).unwrap();
-        assert!((latched - 24.2).abs() < 1e-9);
-        assert!((tb.setpoint() - 24.2).abs() < 1e-9);
+        let latched = tb.try_write_setpoint(Celsius::new(24.16)).unwrap();
+        assert!((latched.value() - 24.2).abs() < 1e-9);
+        assert!((tb.setpoint().value() - 24.2).abs() < 1e-9);
     }
 
     #[test]
     fn actuator_fault_blocks_write_and_keeps_old_setpoint() {
         use crate::faults::{ActuatorFault, ActuatorFaultKind, FaultPlan, FaultWindow};
         let mut tb = testbed();
-        tb.write_setpoint(23.0);
+        tb.write_setpoint(Celsius::new(23.0));
         tb.set_fault_plan(FaultPlan {
             actuators: vec![ActuatorFault {
                 kind: ActuatorFaultKind::WriteTimeout,
@@ -532,22 +546,25 @@ mod tests {
             ..FaultPlan::default()
         });
         assert!(matches!(
-            tb.try_write_setpoint(25.0),
+            tb.try_write_setpoint(Celsius::new(25.0)),
             Err(SimError::WriteTimeout)
         ));
-        assert_eq!(tb.setpoint(), 23.0);
+        assert_eq!(tb.setpoint(), Celsius::new(23.0));
         // Step past the window; the write goes through.
         tb.step_sample(&uniform(0.2)).unwrap();
         tb.step_sample(&uniform(0.2)).unwrap();
-        assert_eq!(tb.try_write_setpoint(25.0).unwrap(), 25.0);
-        assert_eq!(tb.setpoint(), 25.0);
+        assert_eq!(
+            tb.try_write_setpoint(Celsius::new(25.0)).unwrap(),
+            Celsius::new(25.0)
+        );
+        assert_eq!(tb.setpoint(), Celsius::new(25.0));
     }
 
     #[test]
     fn stuck_sensor_corrupts_report_but_not_truth() {
         use crate::faults::{FaultPlan, SensorFault, SensorFaultKind, SensorTarget};
         let mut tb = testbed();
-        tb.write_setpoint(23.0);
+        tb.write_setpoint(Celsius::new(23.0));
         tb.set_fault_plan(FaultPlan {
             sensors: vec![SensorFault {
                 target: SensorTarget::DcSensor(0),
@@ -583,7 +600,7 @@ mod tests {
     fn fan_failure_window_heats_cold_aisle_then_recovers() {
         use crate::faults::{FaultPlan, PlantFault, PlantFaultKind};
         let mut tb = testbed();
-        tb.write_setpoint(23.0);
+        tb.write_setpoint(Celsius::new(23.0));
         tb.warm_up(&uniform(0.3), 240).unwrap();
         let start_min = tb.time_min();
         tb.set_fault_plan(FaultPlan {
@@ -619,7 +636,7 @@ mod tests {
         let mut healthy = testbed();
         let mut fouled = testbed();
         for tb in [&mut healthy, &mut fouled] {
-            tb.write_setpoint(21.0);
+            tb.write_setpoint(Celsius::new(21.0));
             tb.warm_up(&uniform(0.5), 240).unwrap();
         }
         let start_min = fouled.time_min();

@@ -10,14 +10,15 @@
 //! compressor restarts.
 
 use crate::config::ThermalParams;
+use tesla_units::{Celsius, Kilowatts, Seconds};
 
 /// Thermal state of the room.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThermalState {
     /// Cold-aisle bulk air temperature, °C.
-    pub cold_aisle: f64,
+    pub cold_aisle: f64, // lint:allow(no-raw-f64-in-public-api): ODE integrator state, raw for arithmetic
     /// Hot-aisle bulk air temperature, °C.
-    pub hot_aisle: f64,
+    pub hot_aisle: f64, // lint:allow(no-raw-f64-in-public-api): ODE integrator state, raw for arithmetic
     /// Equipment/structural mass temperature, °C.
     pub mass: f64,
 }
@@ -48,8 +49,8 @@ impl ThermalNetwork {
     }
 
     /// ACU return-air temperature (what its inlet sensors measure).
-    pub fn return_temp(&self) -> f64 {
-        self.state.hot_aisle
+    pub fn return_temp(&self) -> Celsius {
+        Celsius::new(self.state.hot_aisle)
     }
 
     /// Parameters used by this network.
@@ -57,11 +58,14 @@ impl ThermalNetwork {
         &self.params
     }
 
-    /// Advances the network by `dt` seconds.
+    /// Advances the network by `dt`.
     ///
-    /// * `supply_temp` — ACU supply-air temperature, °C.
-    /// * `server_heat_kw` — total heat dissipated by the servers, kW.
-    pub fn step(&mut self, supply_temp: f64, server_heat_kw: f64, dt: f64) {
+    /// * `supply_temp` — ACU supply-air temperature.
+    /// * `server_heat_kw` — total heat dissipated by the servers.
+    pub fn step(&mut self, supply_temp: Celsius, server_heat_kw: Kilowatts, dt: Seconds) {
+        let supply_temp = supply_temp.value();
+        let server_heat_kw = server_heat_kw.value();
+        let dt = dt.value();
         let p = &self.params;
         let s = &mut self.state;
         // Cold aisle receives mostly supply air plus leaked hot-aisle air.
@@ -117,8 +121,21 @@ mod tests {
     /// Run to (approximate) steady state with a fixed supply temperature.
     fn settle(net: &mut ThermalNetwork, supply: f64, heat: f64, secs: usize) {
         for _ in 0..secs {
-            net.step(supply, heat, 1.0);
+            net.step(
+                Celsius::new(supply),
+                Kilowatts::new(heat),
+                Seconds::new(1.0),
+            );
         }
+    }
+
+    /// One 1 s step from raw values (test convenience).
+    fn step1(net: &mut ThermalNetwork, supply: f64, heat: f64) {
+        net.step(
+            Celsius::new(supply),
+            Kilowatts::new(heat),
+            Seconds::new(1.0),
+        );
     }
 
     #[test]
@@ -141,7 +158,7 @@ mod tests {
         // Interruption: supply = return (no heat extracted).
         for _ in 0..300 {
             let supply = net.return_temp();
-            net.step(supply, 6.0, 1.0);
+            net.step(supply, Kilowatts::new(6.0), Seconds::new(1.0));
         }
         let rate_per_min = (net.state().cold_aisle - before) / 5.0;
         assert!(
@@ -166,7 +183,7 @@ mod tests {
         // 10 minutes of interruption.
         for _ in 0..600 {
             let supply = net.return_temp();
-            net.step(supply, 6.0, 1.0);
+            net.step(supply, Kilowatts::new(6.0), Seconds::new(1.0));
         }
         let peak = net.state().cold_aisle;
         assert!(peak > t0 + 3.0, "interruption must heat the aisle");
@@ -175,7 +192,7 @@ mod tests {
         let mut minutes_to_recover = 0.0;
         while net.state().cold_aisle > t0 + 0.15 && minutes_to_recover < 240.0 {
             for _ in 0..60 {
-                net.step(supply0, 6.0, 1.0);
+                step1(&mut net, supply0, 6.0);
             }
             minutes_to_recover += 1.0;
         }
@@ -237,7 +254,7 @@ mod tests {
         let mass_before = net.state().mass;
         // Sudden heat spike for 2 minutes.
         for _ in 0..120 {
-            net.step(16.0, 10.0, 1.0);
+            step1(&mut net, 16.0, 10.0);
         }
         let s = net.state();
         assert!(s.hot_aisle - s.mass > 1.0, "air should outrun the mass");

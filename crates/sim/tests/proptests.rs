@@ -5,6 +5,7 @@ use tesla_sim::acu::Acu;
 use tesla_sim::pid::Pid;
 use tesla_sim::thermal::ThermalNetwork;
 use tesla_sim::{AcuParams, PidParams, SimConfig, Testbed, ThermalParams};
+use tesla_units::{Celsius, Kilowatts, Seconds};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -38,12 +39,12 @@ proptest! {
         // Move well above ambient influence first.
         for _ in 0..600 {
             let supply = net.return_temp();
-            net.step(supply, heat, 1.0);
+            net.step(supply, Kilowatts::new(heat), Seconds::new(1.0));
         }
         let before = energy(&net);
         for _ in 0..steps {
             let supply = net.return_temp();
-            net.step(supply, heat, 1.0);
+            net.step(supply, Kilowatts::new(heat), Seconds::new(1.0));
         }
         prop_assert!(energy(&net) > before, "stored energy must rise under net heating");
     }
@@ -59,12 +60,12 @@ proptest! {
         let params = AcuParams::default();
         let qmax = params.q_max_kw;
         let fan = params.fan_power_kw;
-        let mut acu = Acu::new(params, setpoint);
+        let mut acu = Acu::new(params, Celsius::new(setpoint));
         for _ in 0..steps {
-            let out = acu.step(inlet, inlet, 1.0, 1.0);
-            prop_assert!(out.q_kw <= qmax + 1e-9);
-            prop_assert!(out.q_kw >= -1e-9);
-            prop_assert!(out.power_kw >= fan - 1e-12);
+            let out = acu.step(Celsius::new(inlet), Celsius::new(inlet), 1.0, Seconds::new(1.0));
+            prop_assert!(out.q_kw.value() <= qmax + 1e-9);
+            prop_assert!(out.q_kw.value() >= -1e-9);
+            prop_assert!(out.power_kw.value() >= fan - 1e-12);
             prop_assert!((0.0..=1.0).contains(&out.duty));
         }
     }
@@ -78,7 +79,7 @@ proptest! {
         let utils = vec![0.4; sim.n_servers];
         let run = |sp: f64| -> f64 {
             let mut tb = Testbed::new(sim.clone(), seed).unwrap();
-            tb.write_setpoint(sp);
+            tb.write_setpoint(Celsius::new(sp));
             tb.warm_up(&utils, 420).unwrap();
             let mut e = 0.0;
             for _ in 0..30 {
@@ -97,10 +98,10 @@ proptest! {
     fn setpoint_register_quantization(sp in -10.0f64..60.0) {
         let sim = SimConfig::default();
         let mut tb = Testbed::new(sim.clone(), 0).unwrap();
-        tb.write_setpoint(sp);
+        tb.write_setpoint(Celsius::new(sp));
         let latched = tb.setpoint();
-        let clamped = sp.clamp(sim.setpoint_min, sim.setpoint_max);
-        prop_assert!((latched - clamped).abs() <= 0.05 + 1e-12);
-        prop_assert!((sim.setpoint_min..=sim.setpoint_max).contains(&latched));
+        let clamped = sim.setpoint_range().clamp(Celsius::new(sp));
+        prop_assert!((latched - clamped).value().abs() <= 0.05 + 1e-12);
+        prop_assert!(sim.setpoint_range().contains(latched));
     }
 }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Observability substrate: the reproduction's InfluxDB + Telegraf.
 //!
 //! The paper's deployment (§4) runs a Telegraf agent per server collecting

@@ -1,0 +1,738 @@
+//! Zero-cost units-of-measure newtypes for the TESLA control stack.
+//!
+//! TESLA's safety argument depends on never confusing the physical
+//! quantities flowing through the control loop: cold-aisle temperatures
+//! vs. temperature *deltas*, instantaneous ACU power vs. interval energy,
+//! set-point commands vs. sensor readings. A one-line unit mix-up in the
+//! energy model or the supervisor silently corrupts the thermal-safety
+//! violation rate the whole reproduction is judged on — so these
+//! invariants are enforced by the type system, not by review.
+//!
+//! Every type is a `repr(transparent)` wrapper over `f64` with *checked*
+//! arithmetic: only physically meaningful operations compile.
+//!
+//! | operation | result |
+//! |---|---|
+//! | `Celsius - Celsius` | [`DegC`] (a delta) |
+//! | `Celsius ± DegC` | [`Celsius`] |
+//! | `DegC ± DegC`, `DegC * f64` | [`DegC`] |
+//! | `Watts * Seconds` | [`Joules`] |
+//! | `Kilowatts * Seconds` | [`Joules`] |
+//! | `Joules → KilowattHours` | [`Joules::to_kwh`] |
+//! | `KilowattHours / Seconds` | [`Kilowatts`] (mean power) |
+//!
+//! Absolute temperatures deliberately do **not** add, and no two distinct
+//! units mix:
+//!
+//! ```compile_fail
+//! use tesla_units::Celsius;
+//! let _ = Celsius::new(20.0) + Celsius::new(1.0); // no Add<Celsius>
+//! ```
+//!
+//! ```compile_fail
+//! use tesla_units::{Celsius, Watts};
+//! let _ = Celsius::new(20.0) + Watts::new(5.0); // cross-unit arithmetic
+//! ```
+//!
+//! ```compile_fail
+//! use tesla_units::{Kilowatts, KilowattHours};
+//! let _ = Kilowatts::new(2.0) + KilowattHours::new(2.0); // power ≠ energy
+//! ```
+//!
+//! The crate also carries the paper's operating envelope as `const`s
+//! ([`SETPOINT_RANGE`], [`OPERATING_ENVELOPE`], [`THERMAL_LIMIT`],
+//! [`COLD_AISLE_LIMIT`], [`NOMINAL_SETPOINT`]) so numeric set-point
+//! bounds live in exactly one place; the `bounded-setpoint-literal`
+//! lint (`cargo xtask lint`) keeps stray literals out of the control
+//! crates.
+//!
+//! Serialization: the workspace vendors no serde, so the wire format is
+//! `Display`/`FromStr` — every type round-trips exactly through its
+//! string form (property-tested in `tests/proptests.rs`).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// Validation failure for a unit-typed value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UnitError {
+    /// A non-finite value where a physical quantity was required.
+    NonFinite(f64),
+    /// A temperature outside the permitted range.
+    OutOfRange {
+        /// Offending value.
+        value: Celsius,
+        /// Inclusive lower bound.
+        min: Celsius,
+        /// Inclusive upper bound.
+        max: Celsius,
+    },
+    /// A utilization outside `[0, 1]`.
+    BadUtilization(f64),
+    /// A string that does not parse as the expected quantity.
+    Parse,
+}
+
+impl fmt::Display for UnitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnitError::NonFinite(v) => write!(f, "non-finite quantity {v}"),
+            UnitError::OutOfRange { value, min, max } => {
+                write!(f, "{value} outside [{min}, {max}]")
+            }
+            UnitError::BadUtilization(v) => write!(f, "utilization {v} outside [0, 1]"),
+            UnitError::Parse => write!(f, "malformed quantity string"),
+        }
+    }
+}
+
+impl std::error::Error for UnitError {}
+
+/// Implements the shared newtype surface: constructor, accessor, Display
+/// ("value suffix"), FromStr (suffix optional), and ordering helpers.
+macro_rules! quantity_base {
+    ($ty:ident, $suffix:literal, $doc_unit:literal) => {
+        impl $ty {
+            #[doc = concat!("Wraps a raw `f64` in ", $doc_unit, ".")]
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// The raw `f64` value.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// True when the underlying value is finite.
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// The smaller of two values (total over non-NaN inputs).
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// The larger of two values (total over non-NaN inputs).
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Absolute magnitude.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $suffix)
+            }
+        }
+
+        impl FromStr for $ty {
+            type Err = UnitError;
+
+            /// Parses `"<number>"` or `"<number> <suffix>"` (suffix
+            /// exactly as `Display` prints it).
+            fn from_str(s: &str) -> Result<Self, UnitError> {
+                let body = s
+                    .trim()
+                    .strip_suffix($suffix)
+                    .unwrap_or_else(|| s.trim())
+                    .trim();
+                body.parse::<f64>().map($ty).map_err(|_| UnitError::Parse)
+            }
+        }
+    };
+}
+
+/// Adds linear-space arithmetic (Add/Sub/Sum/scalar Mul/Div) to a
+/// quantity whose values form a vector space (deltas, powers, energies,
+/// durations — *not* absolute temperatures).
+macro_rules! quantity_linear {
+    ($ty:ident) => {
+        impl Add for $ty {
+            type Output = $ty;
+            #[inline]
+            fn add(self, rhs: $ty) -> $ty {
+                $ty(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $ty {
+            #[inline]
+            fn add_assign(&mut self, rhs: $ty) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $ty {
+            type Output = $ty;
+            #[inline]
+            fn sub(self, rhs: $ty) -> $ty {
+                $ty(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $ty {
+            #[inline]
+            fn sub_assign(&mut self, rhs: $ty) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $ty {
+            type Output = $ty;
+            #[inline]
+            fn neg(self) -> $ty {
+                $ty(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $ty {
+            type Output = $ty;
+            #[inline]
+            fn mul(self, rhs: f64) -> $ty {
+                $ty(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$ty> for f64 {
+            type Output = $ty;
+            #[inline]
+            fn mul(self, rhs: $ty) -> $ty {
+                $ty(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $ty {
+            type Output = $ty;
+            #[inline]
+            fn div(self, rhs: f64) -> $ty {
+                $ty(self.0 / rhs)
+            }
+        }
+
+        impl Div for $ty {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $ty) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $ty {
+            fn sum<I: Iterator<Item = $ty>>(iter: I) -> $ty {
+                $ty(iter.map(|v| v.0).sum())
+            }
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Temperature
+// ---------------------------------------------------------------------------
+
+/// An absolute temperature in degrees Celsius.
+///
+/// Absolute temperatures form an affine space: they subtract to a
+/// [`DegC`] delta and shift by one, but two absolute temperatures never
+/// add (`Celsius + Celsius` is a type error by design).
+#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd)]
+#[repr(transparent)]
+pub struct Celsius(f64);
+
+quantity_base!(Celsius, "°C", "degrees Celsius (absolute)");
+
+impl Celsius {
+    /// Validates finiteness, surfacing [`UnitError::NonFinite`].
+    pub fn checked(value: f64) -> Result<Self, UnitError> {
+        if value.is_finite() {
+            Ok(Celsius(value))
+        } else {
+            Err(UnitError::NonFinite(value))
+        }
+    }
+
+    /// Converts a borrowed slice of raw readings into typed values.
+    pub fn from_raw_slice(raw: &[f64]) -> Vec<Celsius> {
+        raw.iter().copied().map(Celsius).collect()
+    }
+
+    /// Strips the types from a slice of readings (bulk-storage boundary).
+    pub fn to_raw_vec(typed: &[Celsius]) -> Vec<f64> {
+        typed.iter().map(|c| c.0).collect()
+    }
+}
+
+/// A temperature *difference* in degrees Celsius (equivalently kelvin).
+#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd)]
+#[repr(transparent)]
+pub struct DegC(f64);
+
+quantity_base!(DegC, "Δ°C", "a temperature delta");
+quantity_linear!(DegC);
+
+impl Sub for Celsius {
+    type Output = DegC;
+    /// `Celsius - Celsius = DegC`: the only way two absolutes combine.
+    #[inline]
+    fn sub(self, rhs: Celsius) -> DegC {
+        DegC(self.0 - rhs.0)
+    }
+}
+
+impl Add<DegC> for Celsius {
+    type Output = Celsius;
+    #[inline]
+    fn add(self, rhs: DegC) -> Celsius {
+        Celsius(self.0 + rhs.0)
+    }
+}
+
+impl Sub<DegC> for Celsius {
+    type Output = Celsius;
+    #[inline]
+    fn sub(self, rhs: DegC) -> Celsius {
+        Celsius(self.0 - rhs.0)
+    }
+}
+
+impl AddAssign<DegC> for Celsius {
+    #[inline]
+    fn add_assign(&mut self, rhs: DegC) {
+        self.0 += rhs.0;
+    }
+}
+
+impl SubAssign<DegC> for Celsius {
+    #[inline]
+    fn sub_assign(&mut self, rhs: DegC) {
+        self.0 -= rhs.0;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Power and energy
+// ---------------------------------------------------------------------------
+
+/// Instantaneous electrical power, watts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd)]
+#[repr(transparent)]
+pub struct Watts(f64);
+
+quantity_base!(Watts, "W", "watts");
+quantity_linear!(Watts);
+
+/// Instantaneous electrical power, kilowatts (the scale the testbed's
+/// telemetry reports in).
+#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd)]
+#[repr(transparent)]
+pub struct Kilowatts(f64);
+
+quantity_base!(Kilowatts, "kW", "kilowatts");
+quantity_linear!(Kilowatts);
+
+/// Energy, joules (watt-seconds).
+#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd)]
+#[repr(transparent)]
+pub struct Joules(f64);
+
+quantity_base!(Joules, "J", "joules");
+quantity_linear!(Joules);
+
+/// Energy, kilowatt-hours (the paper's Table 5 scale).
+#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd)]
+#[repr(transparent)]
+pub struct KilowattHours(f64);
+
+quantity_base!(KilowattHours, "kWh", "kilowatt-hours");
+quantity_linear!(KilowattHours);
+
+impl Watts {
+    /// Converts to kilowatts.
+    #[inline]
+    pub const fn to_kilowatts(self) -> Kilowatts {
+        Kilowatts(self.0 / 1000.0)
+    }
+}
+
+impl Kilowatts {
+    /// Converts to watts.
+    #[inline]
+    pub const fn to_watts(self) -> Watts {
+        Watts(self.0 * 1000.0)
+    }
+}
+
+impl Joules {
+    /// Converts to kilowatt-hours (1 kWh = 3.6 MJ).
+    #[inline]
+    pub const fn to_kwh(self) -> KilowattHours {
+        KilowattHours(self.0 / 3.6e6)
+    }
+}
+
+impl KilowattHours {
+    /// Converts to joules.
+    #[inline]
+    pub const fn to_joules(self) -> Joules {
+        Joules(self.0 * 3.6e6)
+    }
+}
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    /// `P · t = E`: watts times seconds is joules.
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Watts) -> Joules {
+        rhs * self
+    }
+}
+
+impl Mul<Seconds> for Kilowatts {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * 1000.0 * rhs.0)
+    }
+}
+
+impl Mul<Kilowatts> for Seconds {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Kilowatts) -> Joules {
+        rhs * self
+    }
+}
+
+impl Div<Seconds> for KilowattHours {
+    type Output = Kilowatts;
+    /// Mean power over an interval: `E / t`.
+    #[inline]
+    fn div(self, rhs: Seconds) -> Kilowatts {
+        Kilowatts(self.0 * 3600.0 / rhs.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Time and utilization
+// ---------------------------------------------------------------------------
+
+/// A duration in seconds (simulation and control-period time).
+#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd)]
+#[repr(transparent)]
+pub struct Seconds(f64);
+
+quantity_base!(Seconds, "s", "seconds");
+quantity_linear!(Seconds);
+
+impl Seconds {
+    /// Builds from whole minutes.
+    #[inline]
+    pub const fn from_minutes(minutes: f64) -> Self {
+        Seconds(minutes * 60.0)
+    }
+
+    /// The duration expressed in minutes.
+    #[inline]
+    pub const fn to_minutes(self) -> f64 {
+        self.0 / 60.0
+    }
+
+    /// The duration expressed in hours.
+    #[inline]
+    pub const fn to_hours(self) -> f64 {
+        self.0 / 3600.0
+    }
+}
+
+/// A dimensionless utilization in `[0, 1]`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd)]
+#[repr(transparent)]
+pub struct Utilization(f64);
+
+quantity_base!(Utilization, "util", "a utilization fraction");
+
+impl Utilization {
+    /// Fully idle.
+    pub const ZERO: Utilization = Utilization(0.0);
+    /// Fully busy.
+    pub const FULL: Utilization = Utilization(1.0);
+
+    /// Validates the `[0, 1]` invariant.
+    pub fn checked(value: f64) -> Result<Self, UnitError> {
+        if value.is_finite() && (0.0..=1.0).contains(&value) {
+            Ok(Utilization(value))
+        } else {
+            Err(UnitError::BadUtilization(value))
+        }
+    }
+
+    /// Clamps into `[0, 1]` (NaN becomes 0).
+    pub fn saturating(value: f64) -> Self {
+        if value.is_nan() {
+            Utilization(0.0)
+        } else {
+            Utilization(value.clamp(0.0, 1.0))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ranges and the paper's operating envelope
+// ---------------------------------------------------------------------------
+
+/// An inclusive absolute-temperature range, the single validation point
+/// for set-point commands (`cargo xtask lint`'s `bounded-setpoint-literal`
+/// rule keeps raw bound literals out of the control crates).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CelsiusRange {
+    min: Celsius,
+    max: Celsius,
+}
+
+impl CelsiusRange {
+    /// A range from `min` to `max` (callers must pass `min <= max`).
+    #[inline]
+    pub const fn new(min: Celsius, max: Celsius) -> Self {
+        CelsiusRange { min, max }
+    }
+
+    /// Inclusive lower bound.
+    #[inline]
+    pub const fn min(&self) -> Celsius {
+        self.min
+    }
+
+    /// Inclusive upper bound.
+    #[inline]
+    pub const fn max(&self) -> Celsius {
+        self.max
+    }
+
+    /// The range width.
+    #[inline]
+    pub fn span(&self) -> DegC {
+        self.max - self.min
+    }
+
+    /// True when `t` lies inside the range (inclusive).
+    #[inline]
+    pub fn contains(&self, t: Celsius) -> bool {
+        self.min.0 <= t.0 && t.0 <= self.max.0
+    }
+
+    /// Clamps `t` into the range.
+    #[inline]
+    pub fn clamp(&self, t: Celsius) -> Celsius {
+        Celsius(t.0.clamp(self.min.0, self.max.0))
+    }
+
+    /// Validates `t`: finite and in range. This is the one place
+    /// set-point bounds are checked — everything upstream of a Modbus
+    /// write funnels through here.
+    pub fn check(&self, t: Celsius) -> Result<Celsius, UnitError> {
+        if !t.0.is_finite() {
+            return Err(UnitError::NonFinite(t.0));
+        }
+        if !self.contains(t) {
+            return Err(UnitError::OutOfRange {
+                value: t,
+                min: self.min,
+                max: self.max,
+            });
+        }
+        Ok(t)
+    }
+}
+
+impl fmt::Display for CelsiusRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.min, self.max)
+    }
+}
+
+/// The ACU's writable set-point specification range, `S_min..=S_max`
+/// (Table 1: the Envicool XR023A accepts 20–35 °C). Every Modbus
+/// set-point write is validated against this range.
+pub const SETPOINT_RANGE: CelsiusRange = CelsiusRange::new(Celsius::new(20.0), Celsius::new(35.0));
+
+/// The paper's §3 *operating envelope*: the band the optimizer is
+/// expected to search in practice (18–32 °C). Narrower than the device
+/// spec; exposed for candidate-grid construction and sanity checks.
+pub const OPERATING_ENVELOPE: CelsiusRange =
+    CelsiusRange::new(Celsius::new(18.0), Celsius::new(32.0));
+
+/// The paper's rack-inlet thermal redline (27 °C, §4): beyond this the
+/// hardware itself is considered at risk, independent of `d_allowed`.
+pub const THERMAL_LIMIT: Celsius = Celsius::new(27.0);
+
+/// Default cold-aisle limit `d_allowed` used by the Table 5 evaluation
+/// (22 °C, §5.3) — the constraint TSV is scored against.
+pub const COLD_AISLE_LIMIT: Celsius = Celsius::new(22.0);
+
+/// The operator-baseline set-point (23 °C): the fixed policy of Table 5
+/// and the customary value the testbed starts episodes at.
+pub const NOMINAL_SETPOINT: Celsius = Celsius::new(23.0);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn celsius_subtraction_yields_delta() {
+        let d = Celsius::new(24.5) - Celsius::new(22.0);
+        assert_eq!(d, DegC::new(2.5));
+        assert_eq!(Celsius::new(22.0) + d, Celsius::new(24.5));
+        assert_eq!(Celsius::new(24.5) - d, Celsius::new(22.0));
+    }
+
+    #[test]
+    fn delta_arithmetic_is_linear() {
+        let a = DegC::new(1.5);
+        let b = DegC::new(0.5);
+        assert_eq!(a + b, DegC::new(2.0));
+        assert_eq!(a - b, DegC::new(1.0));
+        assert_eq!(-a, DegC::new(-1.5));
+        assert_eq!(a * 2.0, DegC::new(3.0));
+        assert_eq!(2.0 * a, DegC::new(3.0));
+        assert_eq!(a / 3.0, DegC::new(0.5));
+        assert_eq!(a / b, 3.0);
+        let total: DegC = [a, b, b].into_iter().sum();
+        assert_eq!(total, DegC::new(2.5));
+    }
+
+    #[test]
+    fn watts_times_seconds_is_joules() {
+        assert_eq!(Watts::new(100.0) * Seconds::new(60.0), Joules::new(6000.0));
+        assert_eq!(Seconds::new(60.0) * Watts::new(100.0), Joules::new(6000.0));
+        // 1 kW for one hour is one kWh.
+        let e = Kilowatts::new(1.0) * Seconds::new(3600.0);
+        assert_eq!(e.to_kwh(), KilowattHours::new(1.0));
+        assert_eq!(KilowattHours::new(1.0).to_joules(), Joules::new(3.6e6));
+    }
+
+    #[test]
+    fn mean_power_from_interval_energy() {
+        // 0.5 kWh over 30 minutes is a 1 kW mean draw.
+        let p = KilowattHours::new(0.5) / Seconds::from_minutes(30.0);
+        assert!((p.value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_scale_conversions() {
+        assert_eq!(Watts::new(1500.0).to_kilowatts(), Kilowatts::new(1.5));
+        assert_eq!(Kilowatts::new(2.4).to_watts(), Watts::new(2400.0));
+    }
+
+    #[test]
+    fn seconds_conversions() {
+        assert_eq!(Seconds::from_minutes(2.0), Seconds::new(120.0));
+        assert_eq!(Seconds::new(90.0).to_minutes(), 1.5);
+        assert_eq!(Seconds::new(1800.0).to_hours(), 0.5);
+    }
+
+    #[test]
+    fn utilization_validates_and_saturates() {
+        assert!(Utilization::checked(0.5).is_ok());
+        assert!(Utilization::checked(-0.1).is_err());
+        assert!(Utilization::checked(1.1).is_err());
+        assert!(Utilization::checked(f64::NAN).is_err());
+        assert_eq!(Utilization::saturating(1.7), Utilization::FULL);
+        assert_eq!(Utilization::saturating(f64::NAN), Utilization::ZERO);
+    }
+
+    #[test]
+    fn range_check_is_the_single_validator() {
+        let r = SETPOINT_RANGE;
+        assert_eq!(r.check(Celsius::new(23.0)), Ok(Celsius::new(23.0)));
+        assert!(matches!(
+            r.check(Celsius::new(50.0)),
+            Err(UnitError::OutOfRange { value, min, max })
+                if value == Celsius::new(50.0) && min == r.min() && max == r.max()
+        ));
+        assert!(matches!(
+            r.check(Celsius::new(f64::NAN)),
+            Err(UnitError::NonFinite(_))
+        ));
+        assert_eq!(r.clamp(Celsius::new(50.0)), r.max());
+        assert_eq!(r.clamp(Celsius::new(-5.0)), r.min());
+        assert_eq!(r.span(), DegC::new(15.0));
+    }
+
+    #[test]
+    fn envelope_constants_match_the_paper() {
+        assert_eq!(SETPOINT_RANGE.min(), Celsius::new(20.0));
+        assert_eq!(SETPOINT_RANGE.max(), Celsius::new(35.0));
+        assert_eq!(OPERATING_ENVELOPE.min(), Celsius::new(18.0));
+        assert_eq!(OPERATING_ENVELOPE.max(), Celsius::new(32.0));
+        assert_eq!(THERMAL_LIMIT, Celsius::new(27.0));
+        assert_eq!(COLD_AISLE_LIMIT, Celsius::new(22.0));
+        assert_eq!(NOMINAL_SETPOINT, Celsius::new(23.0));
+        assert!(SETPOINT_RANGE.contains(NOMINAL_SETPOINT));
+        assert!(OPERATING_ENVELOPE.contains(NOMINAL_SETPOINT));
+    }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        let t = Celsius::new(23.4567);
+        assert_eq!(t.to_string(), "23.4567 °C");
+        assert_eq!("23.4567 °C".parse::<Celsius>(), Ok(t));
+        assert_eq!("23.4567".parse::<Celsius>(), Ok(t));
+        assert_eq!(
+            "1.5 kWh".parse::<KilowattHours>(),
+            Ok(KilowattHours::new(1.5))
+        );
+        assert_eq!("2 Δ°C".parse::<DegC>(), Ok(DegC::new(2.0)));
+        assert!("garbage °C".parse::<Celsius>().is_err());
+    }
+
+    #[test]
+    fn checked_constructor_rejects_non_finite() {
+        assert!(Celsius::checked(23.0).is_ok());
+        assert!(matches!(
+            Celsius::checked(f64::INFINITY),
+            Err(UnitError::NonFinite(_))
+        ));
+    }
+
+    #[test]
+    fn raw_slice_round_trip() {
+        let raw = [21.0, 22.5, 23.0];
+        let typed = Celsius::from_raw_slice(&raw);
+        assert_eq!(typed[1], Celsius::new(22.5));
+        assert_eq!(Celsius::to_raw_vec(&typed), raw.to_vec());
+    }
+
+    #[test]
+    fn ordering_matches_raw_values() {
+        assert!(Celsius::new(21.0) < Celsius::new(22.0));
+        assert!(Kilowatts::new(3.0) > Kilowatts::new(0.1));
+        assert_eq!(
+            Celsius::new(25.0).max(Celsius::new(24.0)),
+            Celsius::new(25.0)
+        );
+        assert_eq!(DegC::new(-1.5).abs(), DegC::new(1.5));
+    }
+}

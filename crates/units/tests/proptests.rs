@@ -1,0 +1,101 @@
+//! Property tests for the units layer: string round-trips, arithmetic
+//! closure/consistency with the raw values, and ordering coherence.
+
+use proptest::prelude::*;
+use tesla_units::{
+    Celsius, CelsiusRange, DegC, Joules, KilowattHours, Kilowatts, Seconds, Utilization, Watts,
+    SETPOINT_RANGE,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Display → FromStr is the crate's wire format (no serde is
+    /// vendored); it must round-trip exactly for every finite value.
+    #[test]
+    fn string_round_trip_is_exact(v in -1e9f64..1e9) {
+        prop_assert_eq!(Celsius::new(v).to_string().parse::<Celsius>(), Ok(Celsius::new(v)));
+        prop_assert_eq!(DegC::new(v).to_string().parse::<DegC>(), Ok(DegC::new(v)));
+        prop_assert_eq!(Watts::new(v).to_string().parse::<Watts>(), Ok(Watts::new(v)));
+        prop_assert_eq!(Kilowatts::new(v).to_string().parse::<Kilowatts>(), Ok(Kilowatts::new(v)));
+        prop_assert_eq!(
+            KilowattHours::new(v).to_string().parse::<KilowattHours>(),
+            Ok(KilowattHours::new(v))
+        );
+        prop_assert_eq!(Joules::new(v).to_string().parse::<Joules>(), Ok(Joules::new(v)));
+        prop_assert_eq!(Seconds::new(v).to_string().parse::<Seconds>(), Ok(Seconds::new(v)));
+    }
+
+    /// Affine-space closure: subtracting two absolutes and adding the
+    /// delta back reproduces the raw f64 arithmetic bit-for-bit.
+    #[test]
+    fn celsius_affine_arithmetic_matches_raw(a in -50.0f64..100.0, b in -50.0f64..100.0) {
+        let d = Celsius::new(a) - Celsius::new(b);
+        prop_assert_eq!(d.value(), a - b);
+        prop_assert_eq!((Celsius::new(b) + d).value(), b + (a - b));
+        prop_assert_eq!((Celsius::new(a) - d).value(), a - (a - b));
+    }
+
+    /// Linear-space closure for deltas: sums and scalings match raw math.
+    #[test]
+    fn delta_linear_arithmetic_matches_raw(a in -40.0f64..40.0, b in -40.0f64..40.0, k in -4.0f64..4.0) {
+        prop_assert_eq!((DegC::new(a) + DegC::new(b)).value(), a + b);
+        prop_assert_eq!((DegC::new(a) - DegC::new(b)).value(), a - b);
+        prop_assert_eq!((DegC::new(a) * k).value(), a * k);
+        prop_assert_eq!((k * DegC::new(a)).value(), k * a);
+    }
+
+    /// Energy bookkeeping: accumulating power over time in joules agrees
+    /// with the raw kWh integral to floating-point accuracy.
+    #[test]
+    fn power_time_energy_consistency(p_kw in 0.0f64..6.0, secs in 1.0f64..7200.0) {
+        let e = Kilowatts::new(p_kw) * Seconds::new(secs);
+        let kwh = e.to_kwh();
+        prop_assert!((kwh.value() - p_kw * secs / 3600.0).abs() < 1e-9);
+        // Mean power recovered from interval energy inverts the product.
+        let mean = kwh / Seconds::new(secs);
+        prop_assert!((mean.value() - p_kw).abs() < 1e-9);
+        // Watts and kilowatts paths agree.
+        let e_w = Watts::new(p_kw * 1000.0) * Seconds::new(secs);
+        prop_assert!((e_w.value() - e.value()).abs() < 1e-6);
+    }
+
+    /// Ordering on every type is exactly the raw-value ordering.
+    #[test]
+    fn ordering_consistent_with_raw(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        prop_assert_eq!(Celsius::new(a) < Celsius::new(b), a < b);
+        prop_assert_eq!(DegC::new(a) <= DegC::new(b), a <= b);
+        prop_assert_eq!(Kilowatts::new(a) > Kilowatts::new(b), a > b);
+        prop_assert_eq!(KilowattHours::new(a) >= KilowattHours::new(b), a >= b);
+        prop_assert_eq!(Celsius::new(a).max(Celsius::new(b)).value(), a.max(b));
+        prop_assert_eq!(Celsius::new(a).min(Celsius::new(b)).value(), a.min(b));
+    }
+
+    /// Range validation: `check` accepts exactly the contained values and
+    /// `clamp` always lands inside.
+    #[test]
+    fn range_check_and_clamp_agree(v in -20.0f64..60.0, lo in 0.0f64..25.0, width in 0.1f64..30.0) {
+        let range = CelsiusRange::new(Celsius::new(lo), Celsius::new(lo + width));
+        let t = Celsius::new(v);
+        prop_assert_eq!(range.check(t).is_ok(), range.contains(t));
+        prop_assert!(range.contains(range.clamp(t)));
+        if range.contains(t) {
+            prop_assert_eq!(range.clamp(t), t);
+        }
+    }
+
+    /// The device spec range accepts every quantized tick it can encode.
+    #[test]
+    fn setpoint_range_accepts_interior_ticks(ticks in 200u16..=350) {
+        let t = Celsius::new(ticks as f64 / 10.0);
+        prop_assert!(SETPOINT_RANGE.check(t).is_ok());
+    }
+
+    /// Utilization saturation is idempotent and always valid.
+    #[test]
+    fn utilization_saturation_is_idempotent(v in -5.0f64..5.0) {
+        let u = Utilization::saturating(v);
+        prop_assert!(Utilization::checked(u.value()).is_ok());
+        prop_assert_eq!(Utilization::saturating(u.value()), u);
+    }
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Workload generation for the simulated testbed.
 //!
 //! The paper (§4–5.1) drives its servers with Gaetano's CPU load

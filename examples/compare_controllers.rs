@@ -11,6 +11,7 @@ use tesla_core::{
     run_episode, Controller, EpisodeConfig, FixedController, LazicController, TeslaConfig,
     TeslaController, TsrlConfig, TsrlController,
 };
+use tesla_units::Celsius;
 use tesla_workload::LoadSetting;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -24,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("training the three data-driven controllers …");
     let mut controllers: Vec<Box<dyn Controller>> = vec![
-        Box::new(FixedController::new(23.0)),
+        Box::new(FixedController::new(Celsius::new(23.0))),
         Box::new(TeslaController::new(&train, TeslaConfig::default())?),
         Box::new(LazicController::new(&train, LazicConfig::default())?),
         Box::new(TsrlController::new(&train, TsrlConfig::default())?),

@@ -17,6 +17,7 @@ use tesla_core::dataset::{generate_sweep_trace, push_observation, DatasetConfig}
 use tesla_core::{Controller, TeslaConfig, TeslaController};
 use tesla_forecast::Trace;
 use tesla_sim::{MultiZoneConfig, MultiZoneTestbed, SimConfig};
+use tesla_units::Celsius;
 use tesla_workload::{DiurnalProfile, LoadSetting, Orchestrator};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -70,8 +71,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for m in 0..minutes {
         for z in 0..2 {
             let sp = controllers[z].decide(&traces[z]);
-            room.write_setpoint(z, sp)?;
-            sp_sum[z] += room.setpoint(z).unwrap();
+            room.write_setpoint(z, Celsius::new(sp))?;
+            sp_sum[z] += room.setpoint(z).unwrap().value();
         }
         let utils: Vec<Vec<f64>> = (0..2)
             .map(|z| {

@@ -18,6 +18,7 @@ use tesla_core::dataset::{generate_sweep_trace, push_observation, DatasetConfig}
 use tesla_core::{Controller, TeslaConfig, TeslaController};
 use tesla_forecast::Trace;
 use tesla_sim::{SimConfig, Testbed};
+use tesla_units::Celsius;
 use tesla_workload::{DiurnalProfile, LoadSetting, Orchestrator};
 
 struct DriftOutcome {
@@ -48,7 +49,7 @@ fn run(retrain_every: Option<u64>) -> DriftOutcome {
     let mut profile = DiurnalProfile::new(LoadSetting::Medium, minutes as f64 * 60.0);
     let mut rng = StdRng::seed_from_u64(9 ^ 0xEE);
     let mut trace = Trace::with_sensors(sim.n_acu_sensors, sim.n_dc_sensors);
-    tb.write_setpoint(23.0);
+    tb.write_setpoint(Celsius::new(23.0));
     for _ in 0..60 {
         let t = profile.sample(0.0, &mut rng);
         let utils = orch.tick(60.0, t, &mut rng);
@@ -65,7 +66,7 @@ fn run(retrain_every: Option<u64>) -> DriftOutcome {
             tb.degrade_acu_cop(0.8);
         }
         let sp = tesla.decide(&trace);
-        tb.write_setpoint(sp);
+        tb.write_setpoint(Celsius::new(sp));
         let t = profile.sample(m as f64 * 60.0, &mut rng);
         let utils = orch.tick(60.0, t, &mut rng);
         let obs = tb.step_sample(&utils).expect("step");

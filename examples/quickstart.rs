@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("training the DC time-series model (L = 20) …");
     let tesla = TeslaController::new(&trace, TeslaConfig::default())?;
     println!(
-        "  trained; thermal limit {} C, kappa {} C, smoothing N = {}",
+        "  trained; thermal limit {}, kappa {}, smoothing N = {}",
         tesla.config().d_allowed,
         tesla.config().kappa,
         tesla.config().smoothing

@@ -7,6 +7,7 @@
 //! ```
 
 use tesla_sim::{SimConfig, Testbed};
+use tesla_units::Celsius;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sim = SimConfig::default();
@@ -19,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for sp10 in (21..=33).step_by(2) {
             let sp = sp10 as f64;
             let mut tb = Testbed::new(sim.clone(), 5)?;
-            tb.write_setpoint(sp);
+            tb.write_setpoint(Celsius::new(sp));
             let utils = vec![util; sim.n_servers];
             tb.warm_up(&utils, 600)?; // 10 h to steady state
             let obs = tb.step_sample(&utils)?;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Umbrella crate for the TESLA reproduction.
 //!
 //! Re-exports the workspace's sub-crates under one roof so examples and

@@ -8,6 +8,7 @@ use tesla::core::{
     TsrlController,
 };
 use tesla::workload::LoadSetting;
+use tesla_units::Celsius;
 
 fn train_trace() -> tesla::forecast::Trace {
     generate_sweep_trace(&DatasetConfig {
@@ -32,7 +33,7 @@ fn episode(setting: LoadSetting, minutes: usize, seed: u64) -> EpisodeConfig {
 fn lazic_saves_energy_but_violates() {
     let train = train_trace();
     let mut lazic = LazicController::new(&train, LazicConfig::default()).expect("lazic");
-    let mut fixed = FixedController::new(23.0);
+    let mut fixed = FixedController::new(Celsius::new(23.0));
     let cfg = episode(LoadSetting::Medium, 240, 13);
     let r_fixed = run_episode(&mut fixed, &cfg).expect("fixed");
     let r_lazic = run_episode(&mut lazic, &cfg).expect("lazic");
@@ -53,7 +54,7 @@ fn lazic_saves_energy_but_violates() {
 fn tsrl_saves_energy_but_violates() {
     let train = train_trace();
     let mut tsrl = TsrlController::new(&train, TsrlConfig::default()).expect("tsrl");
-    let mut fixed = FixedController::new(23.0);
+    let mut fixed = FixedController::new(Celsius::new(23.0));
     let cfg = episode(LoadSetting::High, 240, 17);
     let r_fixed = run_episode(&mut fixed, &cfg).expect("fixed");
     let r_tsrl = run_episode(&mut tsrl, &cfg).expect("tsrl");
@@ -71,7 +72,7 @@ fn lazic_uses_smin_backup_under_stress() {
     // every decision is the S_min backup.
     let train = train_trace();
     let cfg = LazicConfig {
-        d_allowed: 10.0,
+        d_allowed: Celsius::new(10.0),
         ..LazicConfig::default()
     };
     let mut lazic = LazicController::new(&train, cfg).expect("lazic");
@@ -83,7 +84,7 @@ fn lazic_uses_smin_backup_under_stress() {
 fn fixed_controller_is_the_safety_reference() {
     // The industry-practice policy holds in every load setting (that is
     // exactly why operators like it — and why it wastes energy).
-    let mut fixed = FixedController::new(23.0);
+    let mut fixed = FixedController::new(Celsius::new(23.0));
     for (i, setting) in LoadSetting::all().into_iter().enumerate() {
         let r = run_episode(&mut fixed, &episode(setting, 150, 100 + i as u64)).expect("episode");
         assert_eq!(r.tsv_percent, 0.0, "{} violated", setting.name());
@@ -98,5 +99,5 @@ fn controllers_report_stable_names() {
     let tsrl = TsrlController::new(&train, TsrlConfig::default()).expect("tsrl");
     assert_eq!(lazic.name(), "lazic");
     assert_eq!(tsrl.name(), "tsrl");
-    assert_eq!(FixedController::new(23.0).name(), "fixed-23C");
+    assert_eq!(FixedController::new(Celsius::new(23.0)).name(), "fixed-23C");
 }

@@ -6,6 +6,7 @@ use tesla::core::dataset::{generate_sweep_trace, DatasetConfig};
 use tesla::core::{Controller, TeslaConfig, TeslaController};
 use tesla::forecast::Trace;
 use tesla::sim::{SimConfig, Testbed};
+use tesla_units::Celsius;
 
 fn trained_tesla(seed: u64) -> (TeslaController, Trace) {
     let trace = generate_sweep_trace(&DatasetConfig {
@@ -69,7 +70,7 @@ fn saturated_acu_episode_runs_to_completion() {
     let mut sim = SimConfig::default();
     sim.acu.q_max_kw = 3.0;
     let mut tb = Testbed::new(sim.clone(), 1).expect("testbed");
-    tb.write_setpoint(20.0);
+    tb.write_setpoint(Celsius::new(20.0));
     let utils = vec![0.9; sim.n_servers];
     let mut last = None;
     for _ in 0..240 {

@@ -7,6 +7,7 @@ use tesla::core::{
 };
 use tesla::forecast::{DcTimeSeriesModel, ModelConfig};
 use tesla::workload::LoadSetting;
+use tesla_units::Celsius;
 
 fn small_dataset(days: f64, seed: u64) -> tesla::forecast::Trace {
     generate_sweep_trace(&DatasetConfig {
@@ -30,8 +31,8 @@ fn dataset_to_model_to_prediction() {
     // physically correct directions.
     let t = trace.len() - 12;
     let window = trace.window_at(t, 10).expect("window");
-    let cool = model.predict(&window, 21.0).expect("predict");
-    let warm = model.predict(&window, 28.0).expect("predict");
+    let cool = model.predict(&window, Celsius::new(21.0)).expect("predict");
+    let warm = model.predict(&window, Celsius::new(28.0)).expect("predict");
     assert!(
         warm.energy < cool.energy,
         "higher set-point must predict less energy"
@@ -83,7 +84,7 @@ fn tesla_saves_energy_vs_fixed_under_load() {
     let trace = small_dataset(1.0, 3);
     let tesla = TeslaController::new(&trace, TeslaConfig::default()).expect("TESLA");
     let mut tesla: Box<dyn Controller> = Box::new(tesla);
-    let mut fixed = FixedController::new(23.0);
+    let mut fixed = FixedController::new(Celsius::new(23.0));
     let episode = EpisodeConfig {
         setting: LoadSetting::High,
         minutes: 180,

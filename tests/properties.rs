@@ -4,6 +4,7 @@ use proptest::prelude::*;
 use tesla::core::SmoothingBuffer;
 use tesla::sim::{SimConfig, Testbed};
 use tesla::telemetry::MinMaxNormalizer;
+use tesla_units::Celsius;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -47,7 +48,7 @@ proptest! {
     ) {
         let sim = SimConfig::default();
         let mut tb = Testbed::new(sim.clone(), seed).unwrap();
-        tb.write_setpoint(sp);
+        tb.write_setpoint(Celsius::new(sp));
         let utils = vec![util; sim.n_servers];
         for _ in 0..5 {
             let obs = tb.step_sample(&utils).unwrap();
@@ -66,7 +67,7 @@ proptest! {
     fn energy_bounded_by_power_envelope(seed in 0u64..30, util in 0.0f64..1.0) {
         let sim = SimConfig::default();
         let mut tb = Testbed::new(sim.clone(), seed).unwrap();
-        tb.write_setpoint(22.0);
+        tb.write_setpoint(Celsius::new(22.0));
         let utils = vec![util; sim.n_servers];
         for _ in 0..5 {
             let obs = tb.step_sample(&utils).unwrap();

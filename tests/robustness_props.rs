@@ -4,6 +4,7 @@
 use proptest::prelude::*;
 use tesla::core::supervisor::{Rung, Supervisor, SupervisorConfig};
 use tesla::telemetry::{HealthConfig, HealthFault, HealthMonitor};
+use tesla_units::Celsius;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -101,7 +102,7 @@ proptest! {
         });
         for (m, &stressed) in pattern.iter().enumerate() {
             let q = if stressed { 1.0 } else { 0.0 };
-            sup.end_of_minute(m, q, 21.0, 23.0);
+            sup.end_of_minute(m, q, Celsius::new(21.0), Celsius::new(23.0));
         }
         let min_streak = escalate_after.min(recover_after) as usize;
         let bound = pattern.len() / min_streak + 1;
@@ -133,10 +134,10 @@ proptest! {
         for _ in 0..n_bursts {
             // A burst one short of the threshold, then a clean minute.
             for _ in 0..escalate_after - 1 {
-                sup.end_of_minute(minute, 1.0, 21.0, 23.0);
+                sup.end_of_minute(minute, 1.0, Celsius::new(21.0), Celsius::new(23.0));
                 minute += 1;
             }
-            sup.end_of_minute(minute, 0.0, 21.0, 23.0);
+            sup.end_of_minute(minute, 0.0, Celsius::new(21.0), Celsius::new(23.0));
             minute += 1;
         }
         prop_assert_eq!(sup.rung(), Rung::Normal);

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for `criterion`: a minimal wall-clock harness with
 //! the same macro/entry-point shape (`criterion_group!`,
 //! `criterion_main!`, `bench_function`, `iter`, `iter_batched`). Reports

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for `crossbeam`: the `channel` module only, with the
 //! bounded MPMC surface this workspace uses. Built on
 //! `Mutex<VecDeque> + Condvar`; endpoints are cloneable and disconnection

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for `parking_lot`: `RwLock`/`Mutex` with the
 //! guard-returning (non-`Result`) API, implemented over `std::sync`.
 //! Lock poisoning is ignored, matching parking_lot's semantics.

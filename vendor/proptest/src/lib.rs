@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for `proptest`.
 //!
 //! Implements the subset this workspace uses: the [`proptest!`] macro

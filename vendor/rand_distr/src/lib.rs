@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for `rand_distr`: only the [`Normal`] distribution,
 //! which is all this workspace draws from.
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for `rayon`.
 //!
 //! The build environment cannot fetch crates.io, so the parallel

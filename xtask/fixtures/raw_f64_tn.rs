@@ -1,0 +1,28 @@
+// Fixture: true negatives for no-raw-f64-in-public-api.
+// Never compiled; scanned by xtask's unit tests.
+
+use tesla_units::{Celsius, Kilowatts};
+
+pub struct AcuState {
+    pub supply_power: Kilowatts,
+    /// Not a quantity name: plain ratios stay raw.
+    pub duty_ratio: f64,
+    pub powers_kw: Vec<f64>, // lint:allow(no-raw-f64-in-public-api): bulk telemetry
+}
+
+impl AcuState {
+    pub fn supply_temp(&self) -> Celsius {
+        Celsius::new(16.0)
+    }
+
+    fn private_temp_c(&self) -> f64 {
+        16.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn test_only_temp_c() -> f64 {
+        21.0
+    }
+}

@@ -1,0 +1,19 @@
+// Fixture: true positives for no-raw-f64-in-public-api.
+// Never compiled; scanned by xtask's unit tests.
+
+pub struct AcuState {
+    pub supply_power_kw: f64,
+}
+
+impl AcuState {
+    pub fn supply_temp(&self) -> f64 {
+        16.0
+    }
+
+    pub fn set_setpoint(
+        &mut self,
+        setpoint_c: f64,
+    ) {
+        let _ = setpoint_c;
+    }
+}

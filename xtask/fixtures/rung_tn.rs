@@ -1,0 +1,17 @@
+// Fixture: true negatives for supervisor-transition-exhaustive.
+// Never compiled; scanned by xtask's unit tests.
+
+pub fn escalated(rung: Rung) -> Rung {
+    match rung {
+        Rung::Normal => Rung::HoldLastSafe,
+        Rung::HoldLastSafe | Rung::SafeMode => Rung::SafeMode,
+    }
+}
+
+pub fn unrelated_match(x: Option<u32>) -> u32 {
+    // Wildcards in non-Rung matches are fine.
+    match x {
+        Some(v) => v,
+        _ => 0,
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: true positives for supervisor-transition-exhaustive.
+// Never compiled; scanned by xtask's unit tests.
+
+pub fn escalated(rung: Rung) -> Rung {
+    match rung {
+        Rung::Normal => Rung::HoldLastSafe,
+        _ => Rung::SafeMode,
+    }
+}
+
+pub fn is_normal(rung: Rung) -> bool {
+    match rung {
+        Rung::Normal => true,
+        Rung::HoldLastSafe => false,
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: true negatives for bounded-setpoint-literal.
+// Never compiled; scanned by xtask's unit tests.
+
+pub fn pick_setpoint(raw: f64) -> Celsius {
+    // Literals routed through the envelope are fine.
+    let setpoint = SETPOINT_RANGE.clamp(Celsius::new(raw));
+    let floor_setpoint = SETPOINT_RANGE.min();
+    let _ = floor_setpoint;
+    // Non-setpoint temperatures may use literals.
+    let ambient = Celsius::new(25.0);
+    let _ = ambient;
+    // lint:allow(bounded-setpoint-literal): scenario fixture outside the envelope
+    let stress_setpoint = Celsius::new(45.0);
+    let _ = stress_setpoint;
+    setpoint
+}

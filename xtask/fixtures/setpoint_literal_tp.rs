@@ -1,0 +1,7 @@
+// Fixture: true positive for bounded-setpoint-literal.
+// Never compiled; scanned by xtask's unit tests.
+
+pub fn pick_setpoint() -> Celsius {
+    let setpoint = Celsius::new(21.5);
+    setpoint
+}

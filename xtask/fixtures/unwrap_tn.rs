@@ -1,0 +1,23 @@
+// Fixture: true negatives for no-unwrap-in-control-path.
+// Never compiled; scanned by xtask's unit tests.
+
+pub fn read_register(map: &std::collections::HashMap<u16, u16>) -> Option<u16> {
+    // A comment mentioning .unwrap() does not count.
+    let fallback = map.get(&1).copied().unwrap_or(0);
+    let _ = fallback;
+    map.get(&0).copied()
+}
+
+pub fn checked(map: &std::collections::HashMap<u16, u16>) -> u16 {
+    // lint:allow(no-unwrap-in-control-path): key 0 inserted at construction
+    *map.get(&0).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u16> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

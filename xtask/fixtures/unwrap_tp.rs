@@ -1,0 +1,6 @@
+// Fixture: true positive for no-unwrap-in-control-path.
+// Never compiled; scanned by xtask's unit tests.
+
+pub fn read_register(map: &std::collections::HashMap<u16, u16>) -> u16 {
+    *map.get(&0).unwrap()
+}

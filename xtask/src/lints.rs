@@ -1,0 +1,539 @@
+//! Line-based lint rules for the TESLA control stack.
+//!
+//! Deliberately not a real parser: every rule works on source lines plus
+//! a small amount of brace/paren counting, so the driver builds with no
+//! external dependencies (no `syn`, no `regex`, no nightly). The rules
+//! are heuristics tuned to this workspace's idiom; the escape hatch for
+//! a deliberate exception is an allowlist comment on the finding line or
+//! the line directly above it:
+//!
+//! ```text
+//! // lint:allow(<rule-name>): optional reason
+//! ```
+
+/// One lint finding, before allowlist filtering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier, e.g. `no-unwrap-in-control-path`.
+    pub rule: &'static str,
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+    /// True when an allowlist comment suppresses the finding.
+    pub allowed: bool,
+}
+
+pub const RULE_RAW_F64: &str = "no-raw-f64-in-public-api";
+pub const RULE_UNWRAP: &str = "no-unwrap-in-control-path";
+pub const RULE_RUNG: &str = "supervisor-transition-exhaustive";
+pub const RULE_SETPOINT: &str = "bounded-setpoint-literal";
+
+pub const ALL_RULES: [&str; 4] = [RULE_RAW_F64, RULE_UNWRAP, RULE_RUNG, RULE_SETPOINT];
+
+/// Identifier words that mark an item as temperature/power-bearing for
+/// `no-raw-f64-in-public-api`. Matched as prefixes of the
+/// underscore-separated words of each identifier, case-insensitively
+/// (`supply_temp_c` -> ["supply", "temp", "c"] -> matches "temp").
+const QUANTITY_FRAGMENTS: [&str; 10] = [
+    "temp", "celsius", "setpoint", "power", "kw", "watt", "energy", "degc", "joule", "aisle",
+];
+
+/// Marks the lines that belong to `#[cfg(test)]` modules so control-path
+/// rules skip test code. Returns one flag per line (true = test code).
+pub fn test_line_mask(lines: &[&str]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].trim_start().starts_with("#[cfg(test)]") {
+            // Skip attribute lines, then consume the following block.
+            let mut j = i;
+            while j < lines.len() && !lines[j].contains('{') {
+                mask[j] = true;
+                j += 1;
+            }
+            let mut depth = 0i32;
+            while j < lines.len() {
+                mask[j] = true;
+                depth += brace_delta(lines[j]);
+                if depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// Net `{`/`}` balance of a line, ignoring ones inside `//` comments.
+fn brace_delta(line: &str) -> i32 {
+    let code = strip_line_comment(line);
+    let mut d = 0i32;
+    for c in code.chars() {
+        match c {
+            '{' => d += 1,
+            '}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+/// Everything before a `//` comment marker. Not string-literal aware,
+/// which is fine for this codebase's idiom (no `//` inside literals on
+/// lines these rules care about).
+fn strip_line_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(ix) => &line[..ix],
+        None => line,
+    }
+}
+
+fn is_comment_line(line: &str) -> bool {
+    let t = line.trim_start();
+    t.starts_with("//")
+        || t.starts_with("/*")
+        || t.starts_with("* ")
+        || t == "*"
+        || t.starts_with("*/")
+}
+
+/// True when `line` (or the line above it) carries `lint:allow(<rule>)`.
+pub fn is_allowed(lines: &[&str], idx: usize, rule: &str) -> bool {
+    let marker = format!("lint:allow({rule})");
+    if lines[idx].contains(&marker) {
+        return true;
+    }
+    idx > 0 && lines[idx - 1].trim_start().starts_with("//") && lines[idx - 1].contains(&marker)
+}
+
+/// Splits a line into identifier-ish tokens, lowercased, then into
+/// underscore-separated words.
+fn identifier_words(text: &str) -> Vec<String> {
+    let mut words = Vec::new();
+    for token in text.split(|c: char| !(c.is_alphanumeric() || c == '_')) {
+        for word in token.split('_') {
+            if !word.is_empty() {
+                words.push(word.to_ascii_lowercase());
+            }
+        }
+    }
+    words
+}
+
+fn has_quantity_word(text: &str) -> bool {
+    identifier_words(text)
+        .iter()
+        .any(|w| QUANTITY_FRAGMENTS.iter().any(|f| w.starts_with(f)))
+}
+
+/// Rule `no-raw-f64-in-public-api`: `pub fn` signatures and `pub` struct
+/// fields in the control crates whose names talk about temperature or
+/// power must not expose raw `f64` — use `tesla-units` newtypes.
+pub fn check_raw_f64(file: &str, lines: &[&str], mask: &[bool]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut in_sig = false;
+    let mut sig_named_quantity = false;
+    let mut sig_allowed = false;
+    let mut paren_depth = 0i32;
+
+    for (i, raw) in lines.iter().enumerate() {
+        if mask[i] || is_comment_line(raw) {
+            continue;
+        }
+        let code = strip_line_comment(raw);
+        let trimmed = code.trim_start();
+
+        if !in_sig {
+            if let Some(rest) = trimmed.strip_prefix("pub fn ") {
+                in_sig = true;
+                paren_depth = 0;
+                let name: String = rest
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                sig_named_quantity = has_quantity_word(&name);
+                // An allow on the `pub fn` line (or directly above it)
+                // covers the whole multi-line signature.
+                sig_allowed = is_allowed(lines, i, RULE_RAW_F64);
+            }
+        }
+
+        if in_sig {
+            if code.contains("f64") && (sig_named_quantity || has_quantity_word(code)) {
+                findings.push(Finding {
+                    rule: RULE_RAW_F64,
+                    file: file.to_string(),
+                    line: i + 1,
+                    message: "raw f64 in public temperature/power signature; \
+                              use a tesla-units newtype"
+                        .to_string(),
+                    allowed: sig_allowed || is_allowed(lines, i, RULE_RAW_F64),
+                });
+            }
+            for c in code.chars() {
+                match c {
+                    '(' => paren_depth += 1,
+                    ')' => paren_depth -= 1,
+                    _ => {}
+                }
+            }
+            if paren_depth <= 0 && (code.contains('{') || code.trim_end().ends_with(';')) {
+                in_sig = false;
+            }
+            continue;
+        }
+
+        // `pub` struct/enum fields (skip other `pub` items).
+        if let Some(rest) = trimmed.strip_prefix("pub ") {
+            let keyword = rest.split_whitespace().next().unwrap_or("");
+            let is_item = matches!(
+                keyword,
+                "fn" | "struct"
+                    | "enum"
+                    | "mod"
+                    | "use"
+                    | "const"
+                    | "static"
+                    | "type"
+                    | "trait"
+                    | "impl"
+                    | "crate"
+                    | "unsafe"
+                    | "async"
+            );
+            if !is_item && rest.contains(':') && code.contains("f64") {
+                let field_name = rest.split(':').next().unwrap_or("");
+                if has_quantity_word(field_name) {
+                    findings.push(Finding {
+                        rule: RULE_RAW_F64,
+                        file: file.to_string(),
+                        line: i + 1,
+                        message: format!(
+                            "public field `{}` holds a temperature/power quantity as raw f64; \
+                             use a tesla-units newtype",
+                            field_name.trim()
+                        ),
+                        allowed: is_allowed(lines, i, RULE_RAW_F64),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Rule `no-unwrap-in-control-path`: `.unwrap()` is forbidden in
+/// non-test code of the control crates — propagate with `?`, handle, or
+/// `expect` with context (and an allowlist comment explaining why the
+/// invariant holds).
+pub fn check_unwrap(file: &str, lines: &[&str], mask: &[bool]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (i, raw) in lines.iter().enumerate() {
+        if mask[i] || is_comment_line(raw) {
+            continue;
+        }
+        let code = strip_line_comment(raw);
+        if code.contains(".unwrap()") {
+            findings.push(Finding {
+                rule: RULE_UNWRAP,
+                file: file.to_string(),
+                line: i + 1,
+                message: "unwrap() in control path; propagate the error or use \
+                          expect with context"
+                    .to_string(),
+                allowed: is_allowed(lines, i, RULE_UNWRAP),
+            });
+        }
+    }
+    findings
+}
+
+/// Rule `supervisor-transition-exhaustive`: every `match` whose arms
+/// pattern-match `Rung::` variants must name every rung and must not
+/// use a `_` wildcard arm — adding a ladder rung must break the build
+/// until every transition site decides what to do with it.
+pub fn check_rung_matches(
+    file: &str,
+    lines: &[&str],
+    mask: &[bool],
+    variants: &[String],
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        let code = strip_line_comment(lines[i]);
+        if mask[i] || is_comment_line(lines[i]) || !code.contains("match ") || !code.contains('{') {
+            i += 1;
+            continue;
+        }
+        // Capture the match block by brace counting.
+        let start = i;
+        let mut depth = 0i32;
+        let mut end = i;
+        for (j, l) in lines.iter().enumerate().skip(i) {
+            depth += brace_delta(l);
+            if depth <= 0 {
+                end = j;
+                break;
+            }
+            end = j;
+        }
+        let block: Vec<&str> = lines[start..=end].to_vec();
+        // Only matches that pattern-match Rung variants in arm position.
+        let is_rung_match = block.iter().skip(1).any(|l| {
+            let c = strip_line_comment(l);
+            c.contains("Rung::") && c.contains("=>") && {
+                let pat = c.split("=>").next().unwrap_or("");
+                pat.contains("Rung::")
+            }
+        });
+        if is_rung_match {
+            for (j, l) in block.iter().enumerate().skip(1) {
+                let c = strip_line_comment(l);
+                let t = c.trim_start();
+                if t.starts_with("_ =>") || t.starts_with("_ |") || c.contains("| _ ") {
+                    findings.push(Finding {
+                        rule: RULE_RUNG,
+                        file: file.to_string(),
+                        line: start + j + 1,
+                        message: "wildcard arm in Rung match; name every rung so new \
+                                  rungs force a decision here"
+                            .to_string(),
+                        allowed: is_allowed(lines, start + j, RULE_RUNG),
+                    });
+                }
+            }
+            let body = block.join("\n");
+            for v in variants {
+                if !body.contains(&format!("Rung::{v}")) {
+                    findings.push(Finding {
+                        rule: RULE_RUNG,
+                        file: file.to_string(),
+                        line: start + 1,
+                        message: format!("Rung match does not cover `Rung::{v}`"),
+                        allowed: is_allowed(lines, start, RULE_RUNG),
+                    });
+                }
+            }
+        }
+        i = end.max(i) + 1;
+    }
+    findings
+}
+
+/// Rule `bounded-setpoint-literal`: a numeric set-point literal wrapped
+/// straight into `Celsius::new(...)` bypasses the paper's operating
+/// envelope; go through `tesla_units::SETPOINT_RANGE` (`.clamp`,
+/// `.check`, or its `min()`/`max()` endpoints) instead.
+pub fn check_setpoint_literal(file: &str, lines: &[&str], mask: &[bool]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (i, raw) in lines.iter().enumerate() {
+        if mask[i] || is_comment_line(raw) {
+            continue;
+        }
+        let code = strip_line_comment(raw);
+        if code.contains("SETPOINT_RANGE") {
+            continue;
+        }
+        let names_setpoint = identifier_words(code)
+            .iter()
+            .any(|w| w.starts_with("setpoint"));
+        if !names_setpoint {
+            continue;
+        }
+        if has_numeric_celsius_literal(code) {
+            findings.push(Finding {
+                rule: RULE_SETPOINT,
+                file: file.to_string(),
+                line: i + 1,
+                message: "numeric set-point literal; validate through \
+                          tesla_units::SETPOINT_RANGE"
+                    .to_string(),
+                allowed: is_allowed(lines, i, RULE_SETPOINT),
+            });
+        }
+    }
+    findings
+}
+
+/// True when the line contains `Celsius::new(<numeric literal>`.
+fn has_numeric_celsius_literal(code: &str) -> bool {
+    let mut rest = code;
+    while let Some(ix) = rest.find("Celsius::new(") {
+        let after = &rest[ix + "Celsius::new(".len()..];
+        let after = after.trim_start();
+        let after = after.strip_prefix('-').unwrap_or(after);
+        if after.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            return true;
+        }
+        rest = &rest[ix + "Celsius::new(".len()..];
+    }
+    false
+}
+
+/// Extracts the variant names of `pub enum Rung` from supervisor source.
+pub fn rung_variants(supervisor_src: &str) -> Vec<String> {
+    let lines: Vec<&str> = supervisor_src.lines().collect();
+    let mut variants = Vec::new();
+    let mut in_enum = false;
+    for line in &lines {
+        let code = strip_line_comment(line);
+        let t = code.trim();
+        if t.starts_with("pub enum Rung") {
+            in_enum = true;
+            continue;
+        }
+        if in_enum {
+            if t.starts_with('}') {
+                break;
+            }
+            let name: String = t
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() && name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                variants.push(name);
+            }
+        }
+    }
+    variants
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines_of(src: &str) -> Vec<&str> {
+        src.lines().collect()
+    }
+
+    fn run<F>(src: &str, f: F) -> Vec<Finding>
+    where
+        F: Fn(&str, &[&str], &[bool]) -> Vec<Finding>,
+    {
+        let lines = lines_of(src);
+        let mask = test_line_mask(&lines);
+        f("fixture.rs", &lines, &mask)
+    }
+
+    const RAW_F64_TP: &str = include_str!("../fixtures/raw_f64_tp.rs");
+    const RAW_F64_TN: &str = include_str!("../fixtures/raw_f64_tn.rs");
+    const UNWRAP_TP: &str = include_str!("../fixtures/unwrap_tp.rs");
+    const UNWRAP_TN: &str = include_str!("../fixtures/unwrap_tn.rs");
+    const RUNG_TP: &str = include_str!("../fixtures/rung_tp.rs");
+    const RUNG_TN: &str = include_str!("../fixtures/rung_tn.rs");
+    const SETPOINT_TP: &str = include_str!("../fixtures/setpoint_literal_tp.rs");
+    const SETPOINT_TN: &str = include_str!("../fixtures/setpoint_literal_tn.rs");
+
+    fn rung_fixture(src: &str) -> Vec<Finding> {
+        let variants = vec![
+            "Normal".to_string(),
+            "HoldLastSafe".to_string(),
+            "SafeMode".to_string(),
+        ];
+        let lines = lines_of(src);
+        let mask = test_line_mask(&lines);
+        check_rung_matches("fixture.rs", &lines, &mask, &variants)
+    }
+
+    #[test]
+    fn raw_f64_true_positive() {
+        let findings = run(RAW_F64_TP, check_raw_f64);
+        let active: Vec<_> = findings.iter().filter(|f| !f.allowed).collect();
+        assert!(
+            active.len() >= 2,
+            "expected signature + field findings, got {findings:?}"
+        );
+        assert!(active.iter().any(|f| f.message.contains("signature")));
+        assert!(active.iter().any(|f| f.message.contains("field")));
+    }
+
+    #[test]
+    fn raw_f64_true_negative() {
+        let findings = run(RAW_F64_TN, check_raw_f64);
+        let active: Vec<_> = findings.iter().filter(|f| !f.allowed).collect();
+        assert!(active.is_empty(), "unexpected findings: {active:?}");
+        // The allowlisted bulk-telemetry line is still reported, as allowed.
+        assert!(findings.iter().any(|f| f.allowed));
+    }
+
+    #[test]
+    fn unwrap_true_positive() {
+        let findings = run(UNWRAP_TP, check_unwrap);
+        assert_eq!(findings.iter().filter(|f| !f.allowed).count(), 1);
+    }
+
+    #[test]
+    fn unwrap_true_negative() {
+        let findings = run(UNWRAP_TN, check_unwrap);
+        let active: Vec<_> = findings.iter().filter(|f| !f.allowed).collect();
+        assert!(active.is_empty(), "unexpected findings: {active:?}");
+    }
+
+    #[test]
+    fn rung_true_positive() {
+        let findings = rung_fixture(RUNG_TP);
+        let active: Vec<_> = findings.iter().filter(|f| !f.allowed).collect();
+        assert!(
+            active.iter().any(|f| f.message.contains("wildcard")),
+            "wildcard arm must be flagged: {active:?}"
+        );
+        assert!(
+            active.iter().any(|f| f.message.contains("SafeMode")),
+            "missing variant must be flagged: {active:?}"
+        );
+    }
+
+    #[test]
+    fn rung_true_negative() {
+        let findings = rung_fixture(RUNG_TN);
+        let active: Vec<_> = findings.iter().filter(|f| !f.allowed).collect();
+        assert!(active.is_empty(), "unexpected findings: {active:?}");
+    }
+
+    #[test]
+    fn setpoint_true_positive() {
+        let findings = run(SETPOINT_TP, check_setpoint_literal);
+        assert_eq!(findings.iter().filter(|f| !f.allowed).count(), 1);
+    }
+
+    #[test]
+    fn setpoint_true_negative() {
+        let findings = run(SETPOINT_TN, check_setpoint_literal);
+        let active: Vec<_> = findings.iter().filter(|f| !f.allowed).collect();
+        assert!(active.is_empty(), "unexpected findings: {active:?}");
+    }
+
+    #[test]
+    fn allow_comment_on_preceding_line_suppresses() {
+        let src = "// lint:allow(no-unwrap-in-control-path): invariant held\nlet x = y.unwrap();\n";
+        let findings = run(src, check_unwrap);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].allowed);
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_modules() {
+        let src =
+            "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap(); }\n}\nfn c() {}\n";
+        let lines = lines_of(src);
+        let mask = test_line_mask(&lines);
+        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn rung_variant_extraction() {
+        let src = "/// doc\npub enum Rung {\n    /// a\n    Normal,\n    HoldLastSafe,\n    SafeMode,\n}\n";
+        assert_eq!(
+            rung_variants(src),
+            vec!["Normal", "HoldLastSafe", "SafeMode"]
+        );
+    }
+}

@@ -1,0 +1,252 @@
+//! Workspace automation for the TESLA repro.
+//!
+//! `cargo xtask lint [--deny] [--report <path>]` runs the custom
+//! static-analysis pass over the control crates (`crates/core`,
+//! `crates/sim`, `crates/forecast`). See `lints.rs` for the rules and
+//! DESIGN.md ("Static analysis & unit safety") for the rationale.
+//!
+//! Exit status: 0 when no active (non-allowlisted) findings, or when
+//! run without `--deny`; 1 with `--deny` and active findings; 2 on
+//! usage or I/O errors.
+
+#![forbid(unsafe_code)]
+
+mod lints;
+
+use lints::Finding;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown command `{other}`");
+            print_usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: cargo xtask <command>\n\n\
+         commands:\n  \
+         lint [--deny] [--report <path>]   run the static-analysis pass\n    \
+           --deny            exit nonzero on any non-allowlisted finding\n    \
+           --report <path>   JSON report path (default target/lint-report.json)"
+    );
+}
+
+/// Crates scanned per rule (paths relative to the workspace root).
+const CONTROL_CRATES: [&str; 3] = ["crates/core/src", "crates/sim/src", "crates/forecast/src"];
+const UNWRAP_CRATES: [&str; 2] = ["crates/core/src", "crates/sim/src"];
+const RUNG_CRATES: [&str; 1] = ["crates/core/src"];
+const SUPERVISOR_PATH: &str = "crates/core/src/supervisor.rs";
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut deny = false;
+    let mut report_path = PathBuf::from("target/lint-report.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--deny" => deny = true,
+            "--report" => match it.next() {
+                Some(p) => report_path = PathBuf::from(p),
+                None => {
+                    eprintln!("xtask lint: --report needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("xtask lint: unknown flag `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = workspace_root();
+    let supervisor_src = match fs::read_to_string(root.join(SUPERVISOR_PATH)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xtask lint: cannot read {SUPERVISOR_PATH}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let variants = lints::rung_variants(&supervisor_src);
+    if variants.is_empty() {
+        eprintln!("xtask lint: failed to extract Rung variants from {SUPERVISOR_PATH}");
+        return ExitCode::from(2);
+    }
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for (scope, rule) in [
+        (&CONTROL_CRATES[..], lints::RULE_RAW_F64),
+        (&UNWRAP_CRATES[..], lints::RULE_UNWRAP),
+        (&RUNG_CRATES[..], lints::RULE_RUNG),
+        (&CONTROL_CRATES[..], lints::RULE_SETPOINT),
+    ] {
+        for dir in scope {
+            for file in rust_files(&root.join(dir)) {
+                let rel = file
+                    .strip_prefix(&root)
+                    .unwrap_or(&file)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                let src = match fs::read_to_string(&file) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("xtask lint: cannot read {rel}: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                let lines: Vec<&str> = src.lines().collect();
+                let mask = lints::test_line_mask(&lines);
+                let batch = match rule {
+                    lints::RULE_RAW_F64 => lints::check_raw_f64(&rel, &lines, &mask),
+                    lints::RULE_UNWRAP => lints::check_unwrap(&rel, &lines, &mask),
+                    lints::RULE_RUNG => lints::check_rung_matches(&rel, &lines, &mask, &variants),
+                    _ => lints::check_setpoint_literal(&rel, &lines, &mask),
+                };
+                findings.extend(batch);
+            }
+        }
+    }
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+
+    let active: Vec<&Finding> = findings.iter().filter(|f| !f.allowed).collect();
+    let allowed_count = findings.len() - active.len();
+
+    for f in &active {
+        println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    }
+    println!(
+        "xtask lint: {} finding(s), {} allowlisted, rules: {}",
+        active.len(),
+        allowed_count,
+        lints::ALL_RULES.join(", ")
+    );
+
+    let report = render_report(&findings);
+    let report_abs = if report_path.is_absolute() {
+        report_path.clone()
+    } else {
+        root.join(&report_path)
+    };
+    if let Some(parent) = report_abs.parent() {
+        if let Err(e) = fs::create_dir_all(parent) {
+            eprintln!("xtask lint: cannot create {}: {e}", parent.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Err(e) = fs::write(&report_abs, report) {
+        eprintln!("xtask lint: cannot write {}: {e}", report_abs.display());
+        return ExitCode::from(2);
+    }
+    println!("xtask lint: report written to {}", report_abs.display());
+
+    if deny && !active.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    // xtask lives at <root>/xtask.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask sits inside the workspace")
+        .to_path_buf()
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for stable output.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = fs::read_dir(dir) else {
+        return out;
+    };
+    let mut entries: Vec<_> = entries.flatten().collect();
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            out.extend(rust_files(&path));
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out
+}
+
+/// Hand-rolled JSON (the workspace has no serde): findings plus summary
+/// counts, stable key order.
+fn render_report(findings: &[Finding]) -> String {
+    let active = findings.iter().filter(|f| !f.allowed).count();
+    let mut s = String::from("{\n  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"allowed\": {}, \"message\": \"{}\"}}{}\n",
+            json_escape(f.rule),
+            json_escape(&f.file),
+            f.line,
+            f.allowed,
+            json_escape(&f.message),
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    s.push_str(&format!(
+        "  ],\n  \"counts\": {{\"active\": {}, \"allowed\": {}, \"total\": {}}}\n}}\n",
+        active,
+        findings.len() - active,
+        findings.len()
+    ));
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_report_shape() {
+        let findings = vec![Finding {
+            rule: "no-unwrap-in-control-path",
+            file: "crates/core/src/x.rs".to_string(),
+            line: 3,
+            message: "unwrap() in control path".to_string(),
+            allowed: false,
+        }];
+        let json = render_report(&findings);
+        assert!(json.contains("\"rule\": \"no-unwrap-in-control-path\""));
+        assert!(json.contains("\"line\": 3"));
+        assert!(json.contains("\"counts\": {\"active\": 1, \"allowed\": 0, \"total\": 1}"));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -13,6 +13,13 @@
 //! panics), all metrics stay finite, sensor lies do not corrupt TSV,
 //! and severe faults produce at least one logged degradation event.
 //!
+//! The fault-free baseline is run twice — once with `tesla-obs` metrics
+//! disabled, once enabled — to measure the observability overhead
+//! (budget: <3% wall-clock). The scenario sweep then runs with metrics
+//! enabled and the run writes `bench_results/BENCH_chaos.json` with the
+//! per-scenario results, the overhead figure, and a per-phase latency
+//! breakdown from the instrumented crates.
+//!
 //! Flags: `--minutes N` (default 240), `--train-days D` (default 1.5),
 //! `--seed S` (default 7), `--warmup N` (default 60).
 
@@ -181,19 +188,38 @@ fn main() {
                 faults: plan,
                 ..base_cfg.clone()
             };
-            let r = run_supervised_episode(tesla, &mut sup, &cfg).expect("episode");
+            let r = tesla_bench::profile::time_episode(|| {
+                run_supervised_episode(tesla, &mut sup, &cfg).expect("episode")
+            });
             (r, sup)
         };
 
-    eprintln!("== fault-free baseline ({minutes} min, medium load, seed {seed}) …");
-    let (base, _) = run(&mut tesla, FaultPlan::none());
+    // Baseline twice: metrics off, then on. The pair yields the
+    // observability overhead, and the first run doubles as a warm-up so
+    // the comparison is not polluted by cold caches or lazy init.
     eprintln!(
-        "   CE {:.1} kWh  TSV {:.2}%  CI {:.2}%",
+        "== fault-free baseline, metrics disabled ({minutes} min, medium load, seed {seed}) …"
+    );
+    tesla_obs::set_enabled(false);
+    let t0 = std::time::Instant::now();
+    let _ = run(&mut tesla, FaultPlan::none());
+    let disabled_secs = t0.elapsed().as_secs_f64();
+
+    eprintln!("== fault-free baseline, metrics enabled …");
+    tesla_obs::set_enabled(true);
+    let t1 = std::time::Instant::now();
+    let (base, _) = run(&mut tesla, FaultPlan::none());
+    let enabled_secs = t1.elapsed().as_secs_f64();
+    let overhead_pct = 100.0 * (enabled_secs / disabled_secs - 1.0);
+    eprintln!(
+        "   CE {:.1} kWh  TSV {:.2}%  CI {:.2}%  metrics overhead {overhead_pct:+.2}% \
+         ({enabled_secs:.2}s vs {disabled_secs:.2}s)",
         base.cooling_energy_kwh, base.tsv_percent, base.ci_percent
     );
 
     let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A0);
     let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut json_rows: Vec<String> = Vec::new();
     let mut failures = 0usize;
     for sc in scenarios(&mut rng, warmup, minutes, n_cold) {
         eprintln!("== {} …", sc.name);
@@ -242,6 +268,19 @@ fn main() {
             format!("{}", sup.events().len()),
             if ok { "ok".into() } else { "FAIL".into() },
         ]);
+        json_rows.push(format!(
+            "{{\"fault\":\"{}\",\"ce_kwh\":{:.3},\"tsv_percent\":{:.4},\
+             \"ci_percent\":{:.4},\"safe_mode_minutes\":{},\"hold_minutes\":{},\
+             \"ladder_events\":{},\"ok\":{}}}",
+            sc.name,
+            r.cooling_energy_kwh,
+            r.tsv_percent,
+            r.ci_percent,
+            r.safe_mode_minutes,
+            sup.hold_minutes(),
+            sup.events().len(),
+            ok
+        ));
     }
 
     print_table(
@@ -256,6 +295,28 @@ fn main() {
         "baseline: CE {:.1} kWh  TSV {:.2}%  CI {:.2}%",
         base.cooling_energy_kwh, base.tsv_percent, base.ci_percent
     );
+    println!(
+        "metrics overhead: {overhead_pct:+.2}% wall-clock (budget <3%; \
+         enabled {enabled_secs:.2}s, disabled {disabled_secs:.2}s)"
+    );
+    if overhead_pct >= 3.0 {
+        eprintln!("warning: observability overhead exceeds the 3% budget");
+    }
+    let path = tesla_bench::profile::write_bench_json(
+        "chaos",
+        &[
+            ("minutes", format!("{minutes}")),
+            ("seed", format!("{seed}")),
+            ("baseline_ce_kwh", format!("{:.3}", base.cooling_energy_kwh)),
+            ("baseline_tsv_percent", format!("{:.4}", base.tsv_percent)),
+            ("baseline_ci_percent", format!("{:.4}", base.ci_percent)),
+            ("metrics_disabled_seconds", format!("{disabled_secs:.4}")),
+            ("metrics_enabled_seconds", format!("{enabled_secs:.4}")),
+            ("metrics_overhead_percent", format!("{overhead_pct:.3}")),
+            ("scenarios", format!("[{}]", json_rows.join(","))),
+        ],
+    );
+    println!("report written to {}", path.display());
     if failures > 0 {
         eprintln!("{failures} scenario(s) violated the robustness acceptance bounds");
         std::process::exit(1);

@@ -1,4 +1,5 @@
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! Experiment harness shared by the table/figure binaries.
 //!
 //! Every table and figure of the paper's evaluation (§5–6) has a binary
@@ -23,8 +24,20 @@
 //! This library holds the pieces the binaries share: dataset generation,
 //! the MAPE evaluation protocols, the Wang-et-al-style recursive MLP
 //! baseline, table rendering, and CSV export.
+//!
+//! # Example: profiling a timed phase
+//!
+//! ```
+//! tesla_obs::set_enabled(true);
+//! let value = tesla_bench::profile::time_episode(|| 2 + 2);
+//! assert_eq!(value, 4);
+//! // The wall-clock histogram now feeds the BENCH_*.json breakdown.
+//! let json = tesla_bench::profile::latency_breakdown_json();
+//! assert!(json.contains("bench_episode_wall_seconds"));
+//! ```
 
 pub mod plot;
+pub mod profile;
 
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -449,7 +462,7 @@ pub fn run_standard_episode(
         seed,
         ..tesla_core::EpisodeConfig::default()
     };
-    tesla_core::run_episode(controller, &cfg).expect("episode")
+    profile::time_episode(|| tesla_core::run_episode(controller, &cfg).expect("episode"))
 }
 
 #[cfg(test)]

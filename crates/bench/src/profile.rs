@@ -1,0 +1,148 @@
+//! Per-phase latency profiling for the benchmark binaries.
+//!
+//! The instrumented crates feed latency histograms into `tesla-obs`
+//! (`tesla_decide_seconds`, `bo_decision_seconds`, `forecast_*_seconds`);
+//! this module times whole episodes on top of that and renders the
+//! combined breakdown into the `BENCH_*.json` artifacts, so a benchmark
+//! report always says *where* its wall-clock went.
+
+use std::path::PathBuf;
+
+/// Histograms summarized into the per-phase latency breakdown, in report
+/// order.
+const PHASE_HISTOGRAMS: &[(&str, &str)] = &[
+    ("bench_episode_wall_seconds", "whole episode"),
+    ("tesla_decide_seconds", "TESLA control step"),
+    ("bo_decision_seconds", "BO decision"),
+    ("forecast_fit_seconds", "forecast model fit"),
+    ("forecast_predict_seconds", "forecast predict"),
+];
+
+/// Runs `f` with the episode wall-clock histogram observing its duration.
+pub fn time_episode<T>(f: impl FnOnce() -> T) -> T {
+    let _t = tesla_obs::Timer::start(tesla_obs::histogram!("bench_episode_wall_seconds"));
+    f()
+}
+
+/// One phase's latency summary.
+#[derive(Debug, Clone)]
+pub struct PhaseSummary {
+    /// Metric name of the underlying histogram.
+    pub metric: &'static str,
+    /// Human label for the phase.
+    pub label: &'static str,
+    /// Observation count.
+    pub count: u64,
+    /// Total seconds across observations.
+    pub total_seconds: f64,
+    /// Bucket-resolution quantiles, seconds.
+    pub p50: f64,
+    /// 90th percentile, seconds.
+    pub p90: f64,
+    /// 99th percentile, seconds.
+    pub p99: f64,
+}
+
+/// Summarizes every phase histogram that has recorded at least one
+/// observation in the global registry.
+pub fn phase_summaries() -> Vec<PhaseSummary> {
+    PHASE_HISTOGRAMS
+        .iter()
+        .map(|&(metric, label)| {
+            let h = tesla_obs::global().histogram(metric, &[]);
+            PhaseSummary {
+                metric,
+                label,
+                count: h.count(),
+                total_seconds: h.sum(),
+                p50: h.quantile(0.5),
+                p90: h.quantile(0.9),
+                p99: h.quantile(0.99),
+            }
+        })
+        .filter(|s| s.count > 0)
+        .collect()
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders the phase breakdown as a JSON array (hand-rolled; the
+/// workspace carries no serde).
+pub fn latency_breakdown_json() -> String {
+    let mut out = String::from("[");
+    for (i, s) in phase_summaries().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"metric\":\"{}\",\"label\":\"{}\",\"count\":{},\"total_seconds\":{},\
+             \"p50_seconds\":{},\"p90_seconds\":{},\"p99_seconds\":{}}}",
+            s.metric,
+            s.label,
+            s.count,
+            json_f64(s.total_seconds),
+            json_f64(s.p50),
+            json_f64(s.p90),
+            json_f64(s.p99),
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// Writes `bench_results/BENCH_<name>.json` with the given top-level
+/// `fields` (already-rendered JSON values) plus the latency breakdown
+/// under `"latency_breakdown"`. Returns the path written.
+pub fn write_bench_json(name: &str, fields: &[(&str, String)]) -> PathBuf {
+    let dir = PathBuf::from("bench_results");
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let mut body = String::from("{");
+    for (k, v) in fields {
+        body.push_str(&format!("\"{k}\":{v},"));
+    }
+    body.push_str(&format!(
+        "\"latency_breakdown\":{}}}",
+        latency_breakdown_json()
+    ));
+    let _ = std::fs::write(&path, body);
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_episode_records_and_renders() {
+        tesla_obs::set_enabled(true);
+        let v = time_episode(|| 41 + 1);
+        assert_eq!(v, 42);
+        let breakdown = latency_breakdown_json();
+        assert!(breakdown.contains("bench_episode_wall_seconds"));
+        let summaries = phase_summaries();
+        assert!(summaries
+            .iter()
+            .any(|s| s.metric == "bench_episode_wall_seconds" && s.count >= 1));
+    }
+
+    #[test]
+    fn bench_json_has_fields_and_breakdown() {
+        tesla_obs::set_enabled(true);
+        time_episode(|| ());
+        let p = write_bench_json(
+            "profile_unit_test",
+            &[("answer", "42".to_string()), ("note", "\"ok\"".to_string())],
+        );
+        let body = std::fs::read_to_string(&p).unwrap();
+        assert!(body.contains("\"answer\":42"));
+        assert!(body.contains("\"latency_breakdown\":["));
+        let _ = std::fs::remove_file(p);
+    }
+}

@@ -1,4 +1,5 @@
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! Modeling-error-aware constrained Bayesian optimization (§3.3, Fig. 7).
 //!
 //! At every control step TESLA must pick the set-point that maximizes a
@@ -20,6 +21,20 @@
 //!   to `S_min` "and it will re-calibrate itself later".
 //!
 //! [`optimizer::BayesianOptimizer`] wires these together.
+//!
+//! # Example: bootstrap variance from logged prediction errors
+//!
+//! ```
+//! use tesla_bo::PredictionErrorMonitor;
+//!
+//! let mut monitor = PredictionErrorMonitor::new(100, (0.05, 0.05));
+//! for i in 0..32 {
+//!     let swing = if i % 2 == 0 { 0.2 } else { -0.2 };
+//!     monitor.record(swing, swing * 0.5); // (energy kWh, constraint °C)
+//! }
+//! let (var_obj, var_con) = monitor.bootstrap_variances(200, 7);
+//! assert!(var_obj > 0.0 && var_con > 0.0);
+//! ```
 
 pub mod acquisition;
 pub mod monitor;

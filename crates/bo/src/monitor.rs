@@ -47,6 +47,8 @@ impl PredictionErrorMonitor {
         }
         self.obj_errors.push_back(obj_error);
         self.con_errors.push_back(con_error);
+        tesla_obs::gauge!("forecast_residual_objective_kwh").set(obj_error);
+        tesla_obs::gauge!("forecast_residual_constraint_celsius").set(con_error);
     }
 
     /// Number of stored error pairs.

@@ -118,6 +118,8 @@ impl BayesianOptimizer {
         seed: u64,
         hints: &[f64],
     ) -> Result<BoOutcome, BoError> {
+        let _decision_timer = tesla_obs::Timer::start(tesla_obs::histogram!("bo_decision_seconds"));
+        let acq_evals = tesla_obs::counter!("bo_acquisition_evaluations_total");
         let (lo, hi) = self.config.bounds;
         let span = hi - lo;
 
@@ -148,6 +150,7 @@ impl BayesianOptimizer {
         let mut ys_con = Vec::with_capacity(xs.len());
         for &s in &xs {
             let (o, c) = eval(s);
+            acq_evals.inc();
             ys_obj.push(o);
             ys_con.push(c);
         }
@@ -158,7 +161,9 @@ impl BayesianOptimizer {
 
         // BO loop: fit both GPs, score NEI on the grid, evaluate argmax.
         let mut gp_pair = self.fit_gps(&xs, &ys_obj, &ys_con, noise_var)?;
+        let mut iterations_run = 0u64;
         for it in 0..self.config.n_iter {
+            iterations_run = it as u64 + 1;
             let scores = constrained_nei(
                 &gp_pair.0,
                 &gp_pair.1,
@@ -183,6 +188,7 @@ impl BayesianOptimizer {
             }
             let s = grid[idx];
             let (o, c) = eval(s);
+            acq_evals.inc();
             xs.push(s);
             ys_obj.push(o);
             ys_con.push(c);
@@ -224,6 +230,11 @@ impl BayesianOptimizer {
             // later."
             None => (lo, true),
         };
+        tesla_obs::histogram!("bo_iterations_to_converge_iterations")
+            .observe(iterations_run as f64);
+        if fallback {
+            tesla_obs::counter!("bo_fallback_decisions_total").inc();
+        }
         Ok(BoOutcome {
             setpoint,
             fallback,

@@ -1,4 +1,5 @@
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! TESLA's control layer: the paper's primary contribution, plus the
 //! three comparison controllers of Table 5 and the machinery to train and
 //! evaluate all of them end-to-end on the simulated testbed.
@@ -30,6 +31,20 @@
 //!   a supervised episode runner that sanitizes telemetry through
 //!   [`tesla_telemetry::HealthMonitor`]s and scores thermal safety on
 //!   ground truth.
+//!
+//! # Example: a short fixed-set-point episode
+//!
+//! ```
+//! use tesla_core::{run_episode, EpisodeConfig, FixedController};
+//! use tesla_units::Celsius;
+//!
+//! let mut fixed = FixedController::new(Celsius::new(23.0));
+//! let cfg = EpisodeConfig { minutes: 5, warmup_minutes: 2, ..Default::default() };
+//! let result = run_episode(&mut fixed, &cfg)?;
+//! assert_eq!(result.setpoints.len(), 5);
+//! assert!(result.cooling_energy_kwh > 0.0);
+//! # Ok::<(), tesla_core::CoreError>(())
+//! ```
 
 pub mod controller;
 pub mod dataset;

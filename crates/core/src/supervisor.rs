@@ -64,6 +64,26 @@ pub enum Rung {
 }
 
 impl Rung {
+    /// Metric-label spelling of the rung, matching the event log's
+    /// `Debug` names (`supervisor_rung_transitions_total{to="SafeMode"}`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Rung::Normal => "Normal",
+            Rung::HoldLastSafe => "HoldLastSafe",
+            Rung::SafeMode => "SafeMode",
+        }
+    }
+
+    /// Ladder position as a number (0 = Normal, 2 = SafeMode) for the
+    /// `supervisor_rung_index` gauge.
+    pub fn index(self) -> u8 {
+        match self {
+            Rung::Normal => 0,
+            Rung::HoldLastSafe => 1,
+            Rung::SafeMode => 2,
+        }
+    }
+
     fn escalated(self) -> Rung {
         match self {
             Rung::Normal => Rung::HoldLastSafe,
@@ -92,6 +112,42 @@ pub enum StressReason {
     ThermalViolation,
     /// The decision process died entirely (threaded runtime).
     ConsumerLost,
+}
+
+impl StressReason {
+    /// Metric-label spelling of the reason.
+    pub fn label(self) -> &'static str {
+        match self {
+            StressReason::Watchdog => "Watchdog",
+            StressReason::WriteFailed => "WriteFailed",
+            StressReason::Telemetry => "Telemetry",
+            StressReason::ThermalViolation => "ThermalViolation",
+            StressReason::ConsumerLost => "ConsumerLost",
+        }
+    }
+}
+
+/// Records one ladder transition into the global registry and trace.
+fn record_transition(event: &SupervisorEvent) {
+    tesla_obs::global()
+        .counter(
+            "supervisor_rung_transitions_total",
+            &[
+                ("from", event.from.label()),
+                ("to", event.to.label()),
+                ("reason", event.reason.label()),
+            ],
+        )
+        .inc();
+    tesla_obs::gauge!("supervisor_rung_index").set(event.to.index() as f64);
+    tesla_obs::event(
+        "supervisor_transition",
+        &[
+            ("minute", event.minute as f64),
+            ("from", event.from.index() as f64),
+            ("to", event.to.index() as f64),
+        ],
+    );
 }
 
 /// One ladder transition.
@@ -282,6 +338,7 @@ impl Supervisor {
         let over_budget = t0.elapsed() > Duration::from_millis(self.cfg.decision_budget_ms);
         if over_budget {
             self.watchdog_trips += 1;
+            tesla_obs::counter!("supervisor_watchdog_trips_total").inc();
             self.note_stress(StressReason::Watchdog);
             // The decision is stale; hold the last safe value instead
             // (unless the ladder already demands something stronger).
@@ -311,10 +368,12 @@ impl Supervisor {
                     attempt += 1;
                     if attempt >= self.cfg.max_write_attempts {
                         self.write_failures += 1;
+                        tesla_obs::counter!("supervisor_write_failures_total").inc();
                         self.note_stress(StressReason::WriteFailed);
                         return Err(e);
                     }
                     self.write_retries += 1;
+                    tesla_obs::counter!("supervisor_write_retries_total").inc();
                     if self.cfg.retry_backoff_ms > 0 {
                         std::thread::sleep(Duration::from_millis(
                             self.cfg.retry_backoff_ms << (attempt - 1).min(10),
@@ -323,6 +382,7 @@ impl Supervisor {
                 }
                 Err(e) => {
                     self.write_failures += 1;
+                    tesla_obs::counter!("supervisor_write_failures_total").inc();
                     self.note_stress(StressReason::WriteFailed);
                     return Err(e);
                 }
@@ -370,6 +430,9 @@ impl Supervisor {
             // overshoot banked.
             let fallback = (executed_setpoint - self.cfg.violation_backoff_c.max(DegC::new(0.0)))
                 .max(self.cfg.safe_setpoint);
+            if fallback < self.last_safe_setpoint {
+                tesla_obs::counter!("supervisor_violation_backoffs_total").inc();
+            }
             self.last_safe_setpoint = self.last_safe_setpoint.min(fallback);
         }
 
@@ -378,6 +441,13 @@ impl Supervisor {
             Rung::HoldLastSafe => self.hold_minutes += 1,
             Rung::Normal => {}
         }
+        tesla_obs::global()
+            .counter(
+                "supervisor_rung_minutes_total",
+                &[("rung", self.rung.label())],
+            )
+            .inc();
+        tesla_obs::gauge!("supervisor_rung_index").set(self.rung.index() as f64);
 
         let stressed = self.pending_reason.is_some();
         if stressed {
@@ -388,12 +458,14 @@ impl Supervisor {
                 self.rung = self.rung.escalated();
                 let reason = self.pending_reason.unwrap_or(StressReason::Telemetry);
                 self.elevated_reason = Some(reason);
-                self.events.push(SupervisorEvent {
+                let event = SupervisorEvent {
                     minute,
                     from,
                     to: self.rung,
                     reason,
-                });
+                };
+                record_transition(&event);
+                self.events.push(event);
                 self.stress_streak = 0;
             }
         } else {
@@ -410,12 +482,14 @@ impl Supervisor {
                 let from = self.rung;
                 self.rung = self.rung.recovered();
                 let reason = self.elevated_reason.unwrap_or(StressReason::Telemetry);
-                self.events.push(SupervisorEvent {
+                let event = SupervisorEvent {
                     minute,
                     from,
                     to: self.rung,
                     reason,
-                });
+                };
+                record_transition(&event);
+                self.events.push(event);
                 if self.rung == Rung::Normal {
                     self.elevated_reason = None;
                 }
@@ -437,12 +511,14 @@ impl Supervisor {
             // count toward recovery.
             self.clean_streak = 0;
             self.stress_streak = 0;
-            self.events.push(SupervisorEvent {
+            let event = SupervisorEvent {
                 minute,
                 from,
                 to: Rung::SafeMode,
                 reason,
-            });
+            };
+            record_transition(&event);
+            self.events.push(event);
         }
     }
 
@@ -540,6 +616,7 @@ pub fn run_supervised_episode(
     let mut server_energy_kwh = 0.0;
 
     for m in 0..config.minutes {
+        let _minute_span = tesla_obs::span!("supervised_minute", minute = m);
         let sp = supervisor.decide(controller, &trace);
         // A failed write leaves the previous set-point in force; the
         // ladder sees the failure through the stress signal.

@@ -295,6 +295,9 @@ impl Controller for TeslaController {
 
         self.settle_pending(history);
         self.step += 1;
+        let mut step_span = tesla_obs::span!("control_step", step = self.step);
+        let _step_timer = tesla_obs::Timer::start(tesla_obs::histogram!("tesla_decide_seconds"));
+        tesla_obs::counter!("tesla_control_steps_total").inc();
 
         // Online recalibration: refresh the model from the trailing
         // history on the configured cadence.
@@ -306,6 +309,7 @@ impl Controller for TeslaController {
                 if let Ok(new_model) = DcTimeSeriesModel::fit(history, self.config.model.clone()) {
                     self.model = new_model;
                     self.retrain_count += 1;
+                    tesla_obs::counter!("tesla_retrains_total").inc();
                 }
             }
         }
@@ -386,11 +390,15 @@ impl Controller for TeslaController {
         let computed = outcome.setpoint;
         if outcome.fallback {
             self.fallback_count += 1;
+            tesla_obs::counter!("tesla_fallbacks_total").inc();
         }
         self.last_outcome = Some(outcome);
         // §3.4: the executed set-point is the smoothing buffer's running
         // average of the computed ones.
-        self.buffer.push(computed)
+        let executed = self.buffer.push(computed);
+        step_span.record_field("computed_setpoint_celsius", computed);
+        step_span.record_field("executed_setpoint_celsius", executed);
+        executed
     }
 
     fn reset(&mut self) {

@@ -23,8 +23,29 @@
 //! [`recursive::RecursiveAr`] implements the Lazic et al. \[20\] baseline:
 //! a single autoregressive OLS model over all signals, rolled out
 //! recursively — the Table 3 comparison point.
+//!
+//! # Example: fit and predict on a synthetic trace
+//!
+//! ```
+//! use tesla_forecast::{DcTimeSeriesModel, ModelConfig, Trace};
+//! use tesla_units::Celsius;
+//!
+//! // Toy plant: temperatures track the set-point, energy falls as it rises.
+//! let mut trace = Trace::with_sensors(1, 2);
+//! for t in 0..60 {
+//!     let sp = 22.0 + (t % 8) as f64 * 0.5;
+//!     trace.push(1.5, &[sp + 1.0], &[sp + 0.5, sp - 0.5], sp, 30.0 - sp * 0.5, 2.0);
+//! }
+//! let cfg = ModelConfig { horizon: 4, ..Default::default() };
+//! let model = DcTimeSeriesModel::fit(&trace, cfg)?;
+//! let window = trace.window_at(trace.len() - 5, 4)?;
+//! let prediction = model.predict(&window, Celsius::new(24.0))?;
+//! assert!(prediction.energy.value().is_finite());
+//! # Ok::<(), tesla_forecast::ForecastError>(())
+//! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod acu;
 pub mod asp;
@@ -44,7 +65,12 @@ pub use trace::{ModelWindow, Trace};
 #[derive(Debug, Clone, PartialEq)]
 pub enum ForecastError {
     /// The trace is too short for the requested horizon.
-    TraceTooShort { needed: usize, got: usize },
+    TraceTooShort {
+        /// Minimum number of samples the fit or window requires.
+        needed: usize,
+        /// Samples actually available in the trace.
+        got: usize,
+    },
     /// Trace columns disagree on length or sensor count.
     InconsistentTrace(String),
     /// The underlying linear solve failed.

@@ -84,6 +84,7 @@ impl DcTimeSeriesModel {
     /// "separately" on true values), so the two expensive ones are fitted
     /// on parallel rayon branches.
     pub fn fit(trace: &Trace, config: ModelConfig) -> Result<Self, ForecastError> {
+        let _fit_timer = tesla_obs::Timer::start(tesla_obs::histogram!("forecast_fit_seconds"));
         let l = config.horizon;
         trace.validate(2 * l + 1)?;
         let ((asp, energy), (acu, dcs)) = rayon::join(
@@ -145,6 +146,8 @@ impl DcTimeSeriesModel {
         window: &ModelWindow,
         setpoints: &[Celsius],
     ) -> Result<Prediction, ForecastError> {
+        let _predict_timer =
+            tesla_obs::Timer::start(tesla_obs::histogram!("forecast_predict_seconds"));
         let l = self.config.horizon;
         window.check_shape(l, self.n_acu, self.n_dc)?;
         if setpoints.len() != l {

@@ -1,4 +1,5 @@
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! Gaussian-process machinery for TESLA's Bayesian optimizer (§3.3).
 //!
 //! The paper's optimizer fits two *separate fixed-noise* Gaussian
@@ -17,6 +18,20 @@
 //! * [`sobol`] — a Sobol low-discrepancy sequence (direction numbers for
 //!   the first 8 dimensions) plus the inverse normal CDF, which together
 //!   give the QMC standard-normal draws NEI integrates with.
+//!
+//! # Example: fixed-noise GP posterior
+//!
+//! ```
+//! use tesla_gp::{FixedNoiseGp, Matern52};
+//!
+//! let x = vec![vec![0.0], vec![1.0], vec![2.0]];
+//! let gp = FixedNoiseGp::fit(Matern52::new(1.0, 1.0), x, &[0.0, 1.0, 0.0], &[1e-6; 3])?;
+//! let post = gp.posterior(&[vec![1.0]]);
+//! // At an observed input with tiny noise, the posterior pins the data.
+//! assert!((post.mean[0] - 1.0).abs() < 1e-2);
+//! assert!(post.var[0] < 1e-3);
+//! # Ok::<(), tesla_gp::GpError>(())
+//! ```
 
 pub mod gp;
 pub mod kernel;

@@ -1,4 +1,5 @@
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! Dense linear algebra and statistics primitives for the TESLA reproduction.
 //!
 //! The paper trains (1 + N_a + N_d)·L independent ridge regressions
@@ -19,6 +20,18 @@
 //! Everything operates on `f64`. Matrices in this workload are small
 //! (hundreds of rows, tens of columns), so the implementation favours
 //! clarity and numerical robustness (jittered Cholesky) over blocking.
+//!
+//! # Example: closed-form ridge fit
+//!
+//! ```
+//! use tesla_linalg::{fit_ridge, Matrix};
+//!
+//! // y = 2·x + 1, recovered through the normal equations.
+//! let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]])?;
+//! let ridge = fit_ridge(&x, &[1.0, 3.0, 5.0, 7.0], 1e-6)?;
+//! assert!((ridge.predict(&[4.0]) - 9.0).abs() < 1e-3);
+//! # Ok::<(), tesla_linalg::LinalgError>(())
+//! ```
 
 pub mod cholesky;
 pub mod matrix;

@@ -1,4 +1,5 @@
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! Baseline learners used in the paper's modeling comparisons.
 //!
 //! Table 3 benchmarks TESLA's temperature model against an MLP (Wang et
@@ -18,6 +19,20 @@
 //!
 //! All models share the [`Dataset`] container and operate on `f64`
 //! features/targets.
+//!
+//! # Example: CART tree on a separable dataset
+//!
+//! ```
+//! use tesla_ml::{Dataset, RegressionTree, TreeConfig};
+//!
+//! let data = Dataset::new(
+//!     vec![vec![0.0], vec![1.0], vec![10.0], vec![11.0]],
+//!     vec![0.0, 0.0, 5.0, 5.0],
+//! )?;
+//! let tree = RegressionTree::fit(&data, &TreeConfig::default())?;
+//! assert_eq!(tree.predict(&[10.5]), 5.0);
+//! # Ok::<(), tesla_ml::MlError>(())
+//! ```
 
 pub mod forest;
 pub mod gbt;

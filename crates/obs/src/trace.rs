@@ -1,0 +1,379 @@
+//! Lightweight span/event tracing with ring-buffer retention.
+//!
+//! A [`Span`] is a named interval with monotonic timestamps (microseconds
+//! since the process's trace epoch) and a small set of numeric fields; an
+//! *event* is a zero-duration span. Finished records land in a bounded
+//! ring buffer (drop-oldest), so tracing never grows without bound and a
+//! post-mortem can always dump the most recent window as JSONL.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default ring capacity of the global buffer: a 12-hour supervised
+/// episode emits ~4 records a minute, so this holds several episodes.
+pub const DEFAULT_TRACE_CAPACITY: usize = 16 * 1024;
+
+/// Microseconds since the process's trace epoch (first use).
+pub fn now_micros() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+/// One finished span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span name (static at the call site, owned here so records survive
+    /// JSONL round-trips).
+    pub name: String,
+    /// Start time, µs since the trace epoch.
+    pub start_us: u64,
+    /// Duration, µs (0 for events).
+    pub dur_us: u64,
+    /// Numeric fields attached at the call site.
+    pub fields: Vec<(String, f64)>,
+}
+
+impl SpanRecord {
+    /// Renders the record as one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut s = format!(
+            "{{\"name\":\"{}\",\"start_us\":{},\"dur_us\":{}",
+            escape(&self.name),
+            self.start_us,
+            self.dur_us
+        );
+        if !self.fields.is_empty() {
+            s.push_str(",\"fields\":{");
+            for (i, (k, v)) in self.fields.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!("\"{}\":{}", escape(k), format_f64(*v)));
+            }
+            s.push('}');
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parses a line produced by [`SpanRecord::to_jsonl`]. Not a general
+    /// JSON parser — it accepts exactly the exporter's shape, which is
+    /// what the round-trip contract requires.
+    pub fn from_jsonl(line: &str) -> Option<SpanRecord> {
+        let line = line.trim();
+        let inner = line.strip_prefix('{')?.strip_suffix('}')?;
+        let name = extract_string(inner, "name")?;
+        let start_us = extract_number(inner, "start_us")?.round() as u64;
+        let dur_us = extract_number(inner, "dur_us")?.round() as u64;
+        let mut fields = Vec::new();
+        if let Some(ix) = inner.find("\"fields\":{") {
+            let rest = &inner[ix + "\"fields\":{".len()..];
+            let body = &rest[..rest.find('}')?];
+            for pair in body.split(',').filter(|p| !p.is_empty()) {
+                let (k, v) = pair.split_once(':')?;
+                let k = k.trim().strip_prefix('"')?.strip_suffix('"')?;
+                fields.push((unescape(k), v.trim().parse().ok()?));
+            }
+        }
+        Some(SpanRecord {
+            name: unescape(&name),
+            start_us,
+            dur_us,
+            fields,
+        })
+    }
+}
+
+/// `f64` to JSON: finite shortest-repr, non-finite as null (JSON has no
+/// NaN/Inf literals).
+fn format_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some(other) => out.push(other),
+                None => break,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Value of `"key":"…"` inside `inner` (quote-aware enough for the
+/// exporter's own escaping).
+fn extract_string(inner: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":\"");
+    let start = inner.find(&marker)? + marker.len();
+    let rest = &inner[start..];
+    let mut end = 0;
+    let bytes = rest.as_bytes();
+    while end < bytes.len() {
+        if bytes[end] == b'"' && (end == 0 || bytes[end - 1] != b'\\') {
+            break;
+        }
+        end += 1;
+    }
+    Some(rest[..end].to_string())
+}
+
+fn extract_number(inner: &str, key: &str) -> Option<f64> {
+    let marker = format!("\"{key}\":");
+    let start = inner.find(&marker)? + marker.len();
+    let rest = &inner[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Bounded drop-oldest ring of finished [`SpanRecord`]s.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    ring: Mutex<VecDeque<SpanRecord>>,
+    capacity: usize,
+}
+
+impl TraceBuffer {
+    /// A buffer retaining at most `capacity` records.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceBuffer {
+            ring: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 1 << 20))),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Appends one record, evicting the oldest at capacity.
+    pub fn push(&self, record: SpanRecord) {
+        let Ok(mut ring) = self.ring.lock() else {
+            return;
+        };
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.ring.lock().map(|r| r.len()).unwrap_or(0)
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies out every retained record, oldest first.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        self.ring
+            .lock()
+            .map(|r| r.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Removes and returns every retained record, oldest first.
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        self.ring
+            .lock()
+            .map(|mut r| r.drain(..).collect())
+            .unwrap_or_default()
+    }
+
+    /// Discards every retained record.
+    pub fn clear(&self) {
+        if let Ok(mut r) = self.ring.lock() {
+            r.clear();
+        }
+    }
+
+    /// Writes every retained record as JSONL, oldest first.
+    pub fn export_jsonl(&self, w: &mut dyn Write) -> io::Result<()> {
+        for rec in self.snapshot() {
+            writeln!(w, "{}", rec.to_jsonl())?;
+        }
+        Ok(())
+    }
+}
+
+/// The process-wide trace buffer the [`crate::span!`]/[`crate::event`]
+/// helpers record into.
+pub fn global_trace() -> &'static TraceBuffer {
+    static TRACE: OnceLock<TraceBuffer> = OnceLock::new();
+    TRACE.get_or_init(|| TraceBuffer::with_capacity(DEFAULT_TRACE_CAPACITY))
+}
+
+/// An open span; records itself into [`global_trace`] on drop. Construct
+/// through [`crate::span!`] (or [`Span::enter`] directly).
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+    start_us: u64,
+    fields: Vec<(&'static str, f64)>,
+}
+
+impl Span {
+    /// Opens a span. When observability is disabled this is a no-op shell
+    /// that records nothing on drop.
+    pub fn enter(name: &'static str, fields: &[(&'static str, f64)]) -> Span {
+        if !crate::enabled() {
+            return Span {
+                name,
+                start: None,
+                start_us: 0,
+                fields: Vec::new(),
+            };
+        }
+        Span {
+            name,
+            start: Some(Instant::now()),
+            start_us: now_micros(),
+            fields: fields.to_vec(),
+        }
+    }
+
+    /// Attaches one more numeric field to the open span.
+    pub fn record_field(&mut self, key: &'static str, value: f64) {
+        if self.start.is_some() {
+            self.fields.push((key, value));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        global_trace().push(SpanRecord {
+            name: self.name.to_string(),
+            start_us: self.start_us,
+            dur_us: start.elapsed().as_micros() as u64,
+            fields: self
+                .fields
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v))
+                .collect(),
+        });
+    }
+}
+
+/// Records a zero-duration event into the global trace buffer.
+pub fn event(name: &'static str, fields: &[(&'static str, f64)]) {
+    if !crate::enabled() {
+        return;
+    }
+    global_trace().push(SpanRecord {
+        name: name.to_string(),
+        start_us: now_micros(),
+        dur_us: 0,
+        fields: fields.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_drops_oldest_at_capacity() {
+        let buf = TraceBuffer::with_capacity(3);
+        for i in 0..5 {
+            buf.push(SpanRecord {
+                name: format!("s{i}"),
+                start_us: i,
+                dur_us: 1,
+                fields: vec![],
+            });
+        }
+        let names: Vec<String> = buf.snapshot().into_iter().map(|r| r.name).collect();
+        assert_eq!(names, vec!["s2", "s3", "s4"]);
+    }
+
+    #[test]
+    fn jsonl_round_trip_preserves_record() {
+        let rec = SpanRecord {
+            name: "control_step".to_string(),
+            start_us: 12345,
+            dur_us: 678,
+            fields: vec![("step".to_string(), 42.0), ("setpoint".to_string(), 23.5)],
+        };
+        let line = rec.to_jsonl();
+        let back = SpanRecord::from_jsonl(&line).expect("parse");
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn jsonl_round_trip_no_fields() {
+        let rec = SpanRecord {
+            name: "tick".to_string(),
+            start_us: 0,
+            dur_us: 0,
+            fields: vec![],
+        };
+        assert_eq!(SpanRecord::from_jsonl(&rec.to_jsonl()), Some(rec));
+    }
+
+    #[test]
+    fn jsonl_escapes_name() {
+        let rec = SpanRecord {
+            name: "we\"ird\nname".to_string(),
+            start_us: 1,
+            dur_us: 2,
+            fields: vec![],
+        };
+        let line = rec.to_jsonl();
+        assert!(!line.contains('\n'));
+        assert_eq!(SpanRecord::from_jsonl(&line), Some(rec));
+    }
+
+    #[test]
+    fn drain_empties_buffer() {
+        let buf = TraceBuffer::with_capacity(8);
+        buf.push(SpanRecord {
+            name: "a".into(),
+            start_us: 0,
+            dur_us: 0,
+            fields: vec![],
+        });
+        assert_eq!(buf.drain().len(), 1);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn monotonic_clock_advances() {
+        let a = now_micros();
+        let b = now_micros();
+        assert!(b >= a);
+    }
+}

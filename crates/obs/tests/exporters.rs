@@ -1,0 +1,129 @@
+//! Exporter contract tests: golden Prometheus output, JSONL span
+//! round-trips, and a multi-thread registry smoke test.
+
+use std::sync::Arc;
+use tesla_obs::{export, global_trace, MetricsRegistry, Span, SpanRecord, TraceBuffer};
+
+const GOLDEN_PATH: &str = "tests/golden/prometheus.txt";
+
+/// A registry with one of each instrument kind and deterministic values.
+fn golden_registry() -> MetricsRegistry {
+    tesla_obs::set_enabled(true);
+    let r = MetricsRegistry::new();
+    r.counter("supervisor_rung_transitions_total", &[("to", "SafeMode")])
+        .add(2);
+    r.counter("supervisor_rung_transitions_total", &[("to", "Normal")])
+        .inc();
+    r.gauge("sim_pid_error_celsius", &[]).set(-0.125);
+    let h = r.histogram("tesla_decide_seconds", &[]);
+    h.observe(0.003);
+    h.observe(0.003);
+    h.observe(0.04);
+    h.observe(2000.0); // near the top decade of the shared bounds
+    r
+}
+
+#[test]
+fn prometheus_output_matches_golden_file() {
+    let rendered = export::render_prometheus(&golden_registry());
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN_PATH, &rendered).expect("write golden");
+        return;
+    }
+    let golden = include_str!("golden/prometheus.txt");
+    assert_eq!(
+        rendered, golden,
+        "Prometheus rendering drifted from {GOLDEN_PATH}; \
+         run with UPDATE_GOLDEN=1 if the change is intentional"
+    );
+}
+
+#[test]
+fn jsonl_spans_round_trip_through_buffer() {
+    tesla_obs::set_enabled(true);
+    let buf = TraceBuffer::with_capacity(64);
+    for i in 0..10 {
+        buf.push(SpanRecord {
+            name: format!("control_step_{i}"),
+            start_us: i * 1000,
+            dur_us: 250 + i,
+            fields: vec![
+                ("step".to_string(), i as f64),
+                ("setpoint_celsius".to_string(), 22.0 + i as f64 * 0.25),
+            ],
+        });
+    }
+    let mut jsonl = Vec::new();
+    buf.export_jsonl(&mut jsonl).expect("export");
+    let text = String::from_utf8(jsonl).expect("utf8");
+    let parsed: Vec<SpanRecord> = text
+        .lines()
+        .map(|l| SpanRecord::from_jsonl(l).expect("parse line"))
+        .collect();
+    assert_eq!(parsed, buf.snapshot());
+}
+
+#[test]
+fn live_spans_export_and_parse() {
+    tesla_obs::set_enabled(true);
+    {
+        let mut span = Span::enter("roundtrip_live", &[("k", 1.5)]);
+        span.record_field("extra", 2.5);
+    }
+    let mut jsonl = Vec::new();
+    global_trace().export_jsonl(&mut jsonl).expect("export");
+    let text = String::from_utf8(jsonl).expect("utf8");
+    let rec = text
+        .lines()
+        .filter_map(SpanRecord::from_jsonl)
+        .find(|r| r.name == "roundtrip_live")
+        .expect("span present");
+    assert!(rec.fields.contains(&("k".to_string(), 1.5)));
+    assert!(rec.fields.contains(&("extra".to_string(), 2.5)));
+}
+
+#[test]
+fn registry_survives_8_thread_hammer() {
+    tesla_obs::set_enabled(true);
+    const THREADS: usize = 8;
+    const OPS: u64 = 10_000;
+    let registry = Arc::new(MetricsRegistry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let registry = registry.clone();
+            std::thread::spawn(move || {
+                let shard_label = ["a", "b", "c", "d"][t % 4];
+                for i in 0..OPS {
+                    registry.counter("hammer_ops_total", &[]).inc();
+                    registry
+                        .counter("hammer_labeled_total", &[("shard", shard_label)])
+                        .inc();
+                    registry.gauge("hammer_last_ratio", &[]).set(i as f64);
+                    registry
+                        .histogram("hammer_lat_seconds", &[])
+                        .observe(1e-6 * (1 + i % 1000) as f64);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("thread panicked");
+    }
+    let total = THREADS as u64 * OPS;
+    assert_eq!(registry.counter("hammer_ops_total", &[]).get(), total);
+    let labeled: u64 = ["a", "b", "c", "d"]
+        .iter()
+        .map(|s| {
+            registry
+                .counter("hammer_labeled_total", &[("shard", s)])
+                .get()
+        })
+        .sum();
+    assert_eq!(labeled, total);
+    let h = registry.histogram("hammer_lat_seconds", &[]);
+    assert_eq!(h.count(), total);
+    assert_eq!(h.bucket_counts().iter().sum::<u64>(), total);
+    assert_eq!(registry.kind_conflicts(), 0);
+    // 1 + 4 labeled + 1 gauge + 1 histogram
+    assert_eq!(registry.series_count(), 7);
+}

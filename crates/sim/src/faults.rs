@@ -75,6 +75,18 @@ pub enum SensorFaultKind {
     },
 }
 
+impl SensorFaultKind {
+    /// Metric-label spelling of the failure mode.
+    pub fn label(self) -> &'static str {
+        match self {
+            SensorFaultKind::StuckAt(_) => "sensor_stuck",
+            SensorFaultKind::Drift { .. } => "sensor_drift",
+            SensorFaultKind::Dropout => "sensor_dropout",
+            SensorFaultKind::NoiseBurst { .. } => "sensor_noise",
+        }
+    }
+}
+
 /// One scheduled sensor fault.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SensorFault {
@@ -93,6 +105,16 @@ pub enum ActuatorFaultKind {
     WriteTimeout,
     /// The device NAKs the write (illegal-data-address response).
     RejectedRegister,
+}
+
+impl ActuatorFaultKind {
+    /// Metric-label spelling of the failure mode.
+    pub fn label(self) -> &'static str {
+        match self {
+            ActuatorFaultKind::WriteTimeout => "actuator_write_timeout",
+            ActuatorFaultKind::RejectedRegister => "actuator_rejected_register",
+        }
+    }
 }
 
 /// One scheduled actuator fault.
@@ -116,6 +138,16 @@ pub enum PlantFaultKind {
     /// The ACU supply fan fails: no air moves, no heat is extracted, and
     /// the unit draws no power until the fan recovers.
     FanFailure,
+}
+
+impl PlantFaultKind {
+    /// Metric-label spelling of the failure mode.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlantFaultKind::FouledCoil { .. } => "plant_fouled_coil",
+            PlantFaultKind::FanFailure => "plant_fan_failure",
+        }
+    }
 }
 
 /// One scheduled plant fault.
@@ -182,6 +214,33 @@ impl FaultPlan {
         self.plant
             .iter()
             .any(|f| f.window.contains(t_min) && f.kind == PlantFaultKind::FanFailure)
+    }
+
+    /// Metric labels of every fault kind active at `t_min`, sorted and
+    /// deduplicated — the testbed edge-detects on this to count fault
+    /// activations.
+    pub fn active_kind_labels(&self, t_min: f64) -> Vec<&'static str> {
+        let mut labels: Vec<&'static str> = self
+            .sensors
+            .iter()
+            .filter(|f| f.window.contains(t_min))
+            .map(|f| f.kind.label())
+            .chain(
+                self.actuators
+                    .iter()
+                    .filter(|f| f.window.contains(t_min))
+                    .map(|f| f.kind.label()),
+            )
+            .chain(
+                self.plant
+                    .iter()
+                    .filter(|f| f.window.contains(t_min))
+                    .map(|f| f.kind.label()),
+            )
+            .collect();
+        labels.sort_unstable();
+        labels.dedup();
+        labels
     }
 
     /// Applies every active sensor fault to the sampled readings in

@@ -40,8 +40,23 @@
 //!   Telegraf deployment collects.
 //!
 //! Everything is deterministic given a seed.
+//!
+//! # Example: one metered minute on the testbed
+//!
+//! ```
+//! use tesla_sim::{SimConfig, Testbed};
+//! use tesla_units::{Celsius, SETPOINT_RANGE};
+//!
+//! let cfg = SimConfig::default();
+//! let mut tb = Testbed::new(cfg.clone(), 7)?;
+//! tb.try_write_setpoint(SETPOINT_RANGE.check(Celsius::new(24.0))?)?;
+//! let obs = tb.step_sample(&vec![0.3; cfg.n_servers])?;
+//! assert!(obs.cold_aisle_max.is_finite() && obs.acu_power_kw > 0.0);
+//! # Ok::<(), tesla_sim::SimError>(())
+//! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod acu;
 pub mod config;
@@ -68,7 +83,12 @@ use tesla_units::{Celsius, UnitError};
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
     /// A utilization vector of the wrong length was supplied.
-    BadUtilization { expected: usize, got: usize },
+    BadUtilization {
+        /// Number of servers the simulator was configured with.
+        expected: usize,
+        /// Length of the vector actually supplied.
+        got: usize,
+    },
     /// A utilization value outside `[0, 1]` was supplied.
     UtilizationOutOfRange(f64),
     /// An unknown Modbus register was addressed.
@@ -78,8 +98,11 @@ pub enum SimError {
     ReadOnlyRegister(u16),
     /// A set-point write outside the ACU's specification range.
     SetpointOutOfRange {
+        /// The rejected set-point.
         value: Celsius,
+        /// Lower end of the writable range.
         min: Celsius,
+        /// Upper end of the writable range.
         max: Celsius,
     },
     /// A non-finite value was offered to a register write.

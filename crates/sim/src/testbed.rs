@@ -78,6 +78,9 @@ pub struct Testbed {
     faults: FaultPlan,
     rng: StdRng,
     time_s: f64,
+    /// Fault kinds active at the previous sample (for rising-edge
+    /// activation counters).
+    active_faults: Vec<&'static str>,
 }
 
 impl Testbed {
@@ -101,6 +104,7 @@ impl Testbed {
             faults: FaultPlan::none(),
             rng: StdRng::seed_from_u64(seed),
             time_s: 0.0,
+            active_faults: Vec::new(),
         })
     }
 
@@ -152,9 +156,16 @@ impl Testbed {
     /// force.
     pub fn try_write_setpoint(&mut self, sp: Celsius) -> Result<Celsius, SimError> {
         match self.faults.active_actuator(self.time_min()) {
-            Some(ActuatorFaultKind::WriteTimeout) => return Err(SimError::WriteTimeout),
-            Some(ActuatorFaultKind::RejectedRegister) => {
-                return Err(SimError::RegisterRejected(REG_SETPOINT))
+            Some(
+                kind @ (ActuatorFaultKind::WriteTimeout | ActuatorFaultKind::RejectedRegister),
+            ) => {
+                tesla_obs::global()
+                    .counter("sim_setpoint_write_faults_total", &[("kind", kind.label())])
+                    .inc();
+                return Err(match kind {
+                    ActuatorFaultKind::WriteTimeout => SimError::WriteTimeout,
+                    ActuatorFaultKind::RejectedRegister => SimError::RegisterRejected(REG_SETPOINT),
+                });
             }
             None => {}
         }
@@ -162,6 +173,7 @@ impl Testbed {
             .registers
             .try_write_setpoint(sp, self.cfg.setpoint_range())?;
         self.acu.set_setpoint(quantized);
+        tesla_obs::counter!("sim_setpoint_writes_total").inc();
         Ok(quantized)
     }
 
@@ -222,6 +234,18 @@ impl Testbed {
         // Plant faults resolve at sample granularity (windows are in
         // minutes, one sample is one minute).
         let t_min = self.time_min();
+        if tesla_obs::enabled() {
+            let now_active = self.faults.active_kind_labels(t_min);
+            for kind in &now_active {
+                if !self.active_faults.contains(kind) {
+                    tesla_obs::global()
+                        .counter("sim_fault_activations_total", &[("kind", kind)])
+                        .inc();
+                    tesla_obs::event("fault_activated", &[("t_min", t_min)]);
+                }
+            }
+            self.active_faults = now_active;
+        }
         self.acu
             .set_capacity_derate(self.faults.capacity_factor(t_min));
         self.acu.set_fan_failed(self.faults.fan_failed(t_min));
@@ -235,6 +259,7 @@ impl Testbed {
         let mut last_power = 0.0;
         let mut last_duty = 0.0;
         let mut last_supply = self.acu.last_supply().value();
+        let mut last_measured = self.acu.setpoint().value();
 
         for _ in 0..steps {
             self.servers.step(dt);
@@ -258,8 +283,13 @@ impl Testbed {
             last_power = step.power_kw.value();
             last_duty = step.duty;
             last_supply = step.supply_temp.value();
+            last_measured = measured.value();
             self.time_s += dt;
         }
+        // The PID's tracking residual: measured inlet minus set-point at
+        // the last inner step. Persistent nonzero values mean the loop
+        // cannot reach its command (capacity derate, fan failure).
+        tesla_obs::gauge!("sim_pid_error_celsius").set(last_measured - self.acu.setpoint().value());
 
         let state = self.thermal.state();
         let (cold_bulk, hot_bulk) = (

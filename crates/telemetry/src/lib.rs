@@ -1,4 +1,5 @@
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! Observability substrate: the reproduction's InfluxDB + Telegraf.
 //!
 //! The paper's deployment (§4) runs a Telegraf agent per server collecting
@@ -23,6 +24,19 @@
 //!   stay full when sensors fail.
 //! * [`normalize::MinMaxNormalizer`] — the paper's preprocessing: all
 //!   signals min-max normalized to `[0, 1]` before modeling (§5.1).
+//!
+//! # Example: window queries over ingested telemetry
+//!
+//! ```
+//! use tesla_telemetry::TsdbStore;
+//!
+//! let store = TsdbStore::new();
+//! for t in 0..5 {
+//!     store.insert("acu_inlet_c", t as f64 * 60.0, 21.0 + t as f64 * 0.5);
+//! }
+//! assert_eq!(store.last("acu_inlet_c"), Some(23.0));
+//! assert_eq!(store.last_n("acu_inlet_c", 2), vec![22.5, 23.0]);
+//! ```
 
 pub mod collector;
 pub mod health;

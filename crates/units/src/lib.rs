@@ -51,6 +51,7 @@
 //! string form (property-tested in `tests/proptests.rs`).
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::fmt;
 use std::iter::Sum;

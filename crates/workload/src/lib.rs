@@ -1,4 +1,5 @@
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! Workload generation for the simulated testbed.
 //!
 //! The paper (§4–5.1) drives its servers with Gaetano's CPU load
@@ -18,6 +19,18 @@
 //! * [`jobs`] — a Kubernetes-like `Job` abstraction plus a least-loaded
 //!   scheduler that converts the cluster target into per-server
 //!   utilizations.
+//!
+//! # Example: sampling a diurnal cluster target
+//!
+//! ```
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use tesla_workload::{DiurnalProfile, LoadSetting};
+//!
+//! let mut profile = DiurnalProfile::new(LoadSetting::Medium, 12.0 * 3600.0);
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let u = profile.sample(6.0 * 3600.0, &mut rng); // mid-cycle target
+//! assert!((0.0..=1.0).contains(&u));
+//! ```
 
 pub mod diurnal;
 pub mod jobs;

@@ -1,4 +1,5 @@
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! Umbrella crate for the TESLA reproduction.
 //!
 //! Re-exports the workspace's sub-crates under one roof so examples and
@@ -18,9 +19,31 @@
 //!   optimizer.
 //! * [`core`] — the controllers (TESLA, fixed, Lazic MPC, TSRL) and the
 //!   end-to-end evaluation machinery.
+//! * [`units`] — zero-cost units-of-measure newtypes ([`units::Celsius`],
+//!   [`units::Kilowatts`], …) used across every public API.
+//! * [`obs`] — metrics registry, span tracing, Prometheus/JSONL
+//!   exporters (see docs/OBSERVABILITY.md; off until
+//!   [`obs::set_enabled`] is called).
 //!
 //! Start with `examples/quickstart.rs`, DESIGN.md (system inventory) and
 //! EXPERIMENTS.md (paper-vs-measured for every table and figure).
+//!
+//! # Example
+//!
+//! ```
+//! use tesla::units::{Celsius, DegC};
+//!
+//! // Typed quantities: Celsius − Celsius = DegC; cross-unit arithmetic
+//! // is a compile error rather than a runtime surprise.
+//! let headroom: DegC = Celsius::new(22.0) - Celsius::new(21.2);
+//! assert!(headroom.value() > 0.0);
+//!
+//! // Observability is off by default; opt in and counters go live.
+//! tesla::obs::set_enabled(true);
+//! let steps = tesla::obs::global().counter("quickstart_steps_total", &[]);
+//! steps.inc();
+//! assert_eq!(steps.get(), 1);
+//! ```
 
 pub use tesla_bo as bo;
 pub use tesla_core as core;
@@ -28,6 +51,8 @@ pub use tesla_forecast as forecast;
 pub use tesla_gp as gp;
 pub use tesla_linalg as linalg;
 pub use tesla_ml as ml;
+pub use tesla_obs as obs;
 pub use tesla_sim as sim;
 pub use tesla_telemetry as telemetry;
+pub use tesla_units as units;
 pub use tesla_workload as workload;

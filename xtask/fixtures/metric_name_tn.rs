@@ -1,0 +1,15 @@
+//! True-negative fixture for `metric-name-format`: compliant names,
+//! non-literal names (out of scope), and one allowlisted exception.
+
+fn good_metric_names(name: &'static str) {
+    tesla_obs::counter!("tesla_control_steps_total").inc();
+    tesla_obs::gauge!("sim_pid_error_celsius").set(0.0);
+    tesla_obs::histogram!("tesla_decide_seconds").observe(0.01);
+    tesla_obs::global()
+        .counter("supervisor_rung_transitions_total", &[("to", "Normal")])
+        .inc();
+    tesla_obs::global().histogram("forecast_fit_seconds", &[]).observe(0.2);
+    let _dynamic = tesla_obs::global().gauge(name, &[]);
+    // lint:allow(metric-name-format): legacy dashboard series kept verbatim
+    tesla_obs::counter!("legacy-CamelCase").inc();
+}

@@ -1,0 +1,13 @@
+//! True-positive fixture for `metric-name-format`: every constructor
+//! call below violates the naming convention and must be flagged.
+
+fn bad_metric_names() {
+    tesla_obs::counter!("requestsServed_total").inc();
+    tesla_obs::counter!("sim_write_errors").inc();
+    tesla_obs::gauge!("supervisor_rung").set(1.0);
+    tesla_obs::histogram!("decide_latency").observe(0.1);
+    tesla_obs::global()
+        .counter("faults__injected_total", &[("kind", "stuck")])
+        .inc();
+    tesla_obs::global().gauge("pid_error_", &[]).set(0.0);
+}

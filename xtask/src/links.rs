@@ -1,0 +1,205 @@
+//! Relative-link checker for the repo's markdown docs.
+//!
+//! `cargo xtask check-links` walks every tracked `.md` file (skipping
+//! build output and vendored sources), extracts inline markdown links,
+//! and verifies that each relative target exists on disk. External
+//! schemes (`http://`, `https://`, `mailto:`) and pure in-page anchors
+//! (`#…`) are skipped — the checker guards against broken cross-file
+//! references, which is what rot fastest as files move.
+
+use std::path::{Path, PathBuf};
+
+/// One broken link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BrokenLink {
+    /// Repo-relative path of the markdown file.
+    pub file: String,
+    /// 1-based line number of the link.
+    pub line: usize,
+    /// The raw link target as written.
+    pub target: String,
+}
+
+/// Directories never descended into when collecting markdown files.
+const SKIP_DIRS: [&str; 6] = [
+    ".git",
+    "target",
+    "vendor",
+    "bench_results",
+    "node_modules",
+    ".claude",
+];
+
+/// Recursively collects `.md` files under `root`, sorted for stable
+/// output.
+pub fn markdown_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    walk(root, &mut out);
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                walk(&path, out);
+            }
+        } else if name.ends_with(".md") {
+            out.push(path);
+        }
+    }
+}
+
+/// Extracts inline-link targets `[text](target)` from one line.
+/// Reference-style definitions and autolinks are out of scope. Images
+/// (`![alt](target)`) are included — a missing figure is a broken link
+/// too.
+pub fn link_targets(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        // Find `](` — the seam of an inline link whose label has closed.
+        if bytes[i] == b']' && i + 1 < bytes.len() && bytes[i + 1] == b'(' {
+            let start = i + 2;
+            let mut depth = 1i32;
+            let mut j = start;
+            while j < bytes.len() && depth > 0 {
+                match bytes[j] {
+                    b'(' => depth += 1,
+                    b')' => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if depth == 0 {
+                let target = line[start..j - 1].trim();
+                // `[x](target "title")` → drop the title part.
+                let target = target.split_whitespace().next().unwrap_or("");
+                if !target.is_empty() {
+                    out.push(target.to_string());
+                }
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// True when the target is out of scope for the file-existence check.
+pub fn is_external(target: &str) -> bool {
+    target.starts_with("http://")
+        || target.starts_with("https://")
+        || target.starts_with("mailto:")
+        || target.starts_with('#')
+}
+
+/// Checks all relative links in the markdown files under `root`.
+pub fn check_links(root: &Path) -> Vec<BrokenLink> {
+    let mut broken = Vec::new();
+    for file in markdown_files(root) {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Ok(src) = std::fs::read_to_string(&file) else {
+            continue;
+        };
+        let dir = file.parent().unwrap_or(root);
+        let mut in_fence = false;
+        for (ln, line) in src.lines().enumerate() {
+            if line.trim_start().starts_with("```") {
+                in_fence = !in_fence;
+                continue;
+            }
+            if in_fence {
+                continue;
+            }
+            for target in link_targets(line) {
+                if is_external(&target) {
+                    continue;
+                }
+                // Strip an in-page fragment: `FILE.md#section` → `FILE.md`.
+                let path_part = target.split('#').next().unwrap_or("");
+                if path_part.is_empty() {
+                    continue;
+                }
+                let resolved = if let Some(abs) = path_part.strip_prefix('/') {
+                    root.join(abs)
+                } else {
+                    dir.join(path_part)
+                };
+                if !resolved.exists() {
+                    broken.push(BrokenLink {
+                        file: rel.clone(),
+                        line: ln + 1,
+                        target,
+                    });
+                }
+            }
+        }
+    }
+    broken
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_inline_links() {
+        let line = "see [docs](docs/OBSERVABILITY.md) and ![fig](img/a.png \"t\") here";
+        assert_eq!(
+            link_targets(line),
+            vec!["docs/OBSERVABILITY.md", "img/a.png"]
+        );
+    }
+
+    #[test]
+    fn handles_nested_parens_and_no_link() {
+        assert_eq!(
+            link_targets("[w](https://x.test/a_(b))"),
+            vec!["https://x.test/a_(b)"]
+        );
+        assert!(link_targets("plain text (parens) [brackets]").is_empty());
+    }
+
+    #[test]
+    fn external_targets_are_skipped() {
+        assert!(is_external("https://example.test/x"));
+        assert!(is_external("http://example.test"));
+        assert!(is_external("mailto:a@b.test"));
+        assert!(is_external("#section"));
+        assert!(!is_external("docs/OBSERVABILITY.md"));
+        assert!(!is_external("../README.md"));
+    }
+
+    #[test]
+    fn finds_broken_relative_link() {
+        let dir = std::env::temp_dir().join("xtask-links-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("ok.md"), "target\n").unwrap();
+        std::fs::write(
+            dir.join("index.md"),
+            "[good](ok.md)\n[frag](ok.md#sec)\n[bad](missing.md)\n\
+             ```\n[in fence](also-missing.md)\n```\n[web](https://example.test)\n",
+        )
+        .unwrap();
+        let broken = check_links(&dir);
+        assert_eq!(broken.len(), 1, "{broken:?}");
+        assert_eq!(broken[0].target, "missing.md");
+        assert_eq!(broken[0].line, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

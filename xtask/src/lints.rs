@@ -30,8 +30,15 @@ pub const RULE_RAW_F64: &str = "no-raw-f64-in-public-api";
 pub const RULE_UNWRAP: &str = "no-unwrap-in-control-path";
 pub const RULE_RUNG: &str = "supervisor-transition-exhaustive";
 pub const RULE_SETPOINT: &str = "bounded-setpoint-literal";
+pub const RULE_METRIC: &str = "metric-name-format";
 
-pub const ALL_RULES: [&str; 4] = [RULE_RAW_F64, RULE_UNWRAP, RULE_RUNG, RULE_SETPOINT];
+pub const ALL_RULES: [&str; 5] = [
+    RULE_RAW_F64,
+    RULE_UNWRAP,
+    RULE_RUNG,
+    RULE_SETPOINT,
+    RULE_METRIC,
+];
 
 /// Identifier words that mark an item as temperature/power-bearing for
 /// `no-raw-f64-in-public-api`. Matched as prefixes of the
@@ -378,6 +385,94 @@ fn has_numeric_celsius_literal(code: &str) -> bool {
     false
 }
 
+/// Unit suffixes accepted as the final word of gauge/histogram names.
+/// Mirrors the `tesla-units` quantities plus the dimensionless ones the
+/// exporters document (see docs/OBSERVABILITY.md "Naming convention").
+const UNIT_SUFFIXES: [&str; 8] = [
+    "seconds",
+    "celsius",
+    "kwh",
+    "kw",
+    "iterations",
+    "index",
+    "ratio",
+    "bytes",
+];
+
+/// The tesla-obs constructor spellings that take a metric-name string
+/// literal as their first argument, and the instrument kind each one
+/// creates.
+const METRIC_CONSTRUCTORS: [(&str, &str); 6] = [
+    ("counter!(", "counter"),
+    ("gauge!(", "gauge"),
+    ("histogram!(", "histogram"),
+    (".counter(", "counter"),
+    (".gauge(", "gauge"),
+    (".histogram(", "histogram"),
+];
+
+/// Rule `metric-name-format`: metric names passed to the tesla-obs
+/// constructors must be snake_case; counters must end in `_total`;
+/// gauges and histograms must end in a known unit suffix so dashboards
+/// never have to guess units. Non-literal names (variables) are out of
+/// scope for this line-based rule.
+pub fn check_metric_names(file: &str, lines: &[&str], mask: &[bool]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (i, raw) in lines.iter().enumerate() {
+        if mask[i] || is_comment_line(raw) {
+            continue;
+        }
+        let code = strip_line_comment(raw);
+        for (pattern, kind) in METRIC_CONSTRUCTORS {
+            let mut rest = code;
+            while let Some(ix) = rest.find(pattern) {
+                let after = rest[ix + pattern.len()..].trim_start();
+                rest = &rest[ix + pattern.len()..];
+                let Some(literal) = after.strip_prefix('"') else {
+                    continue; // name is not a string literal
+                };
+                let Some(name) = literal.split('"').next() else {
+                    continue;
+                };
+                if let Some(problem) = metric_name_problem(name, kind) {
+                    findings.push(Finding {
+                        rule: RULE_METRIC,
+                        file: file.to_string(),
+                        line: i + 1,
+                        message: format!("{kind} `{name}`: {problem}"),
+                        allowed: is_allowed(lines, i, RULE_METRIC),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Why `name` violates the naming convention for `kind`, if it does.
+fn metric_name_problem(name: &str, kind: &str) -> Option<String> {
+    let snake = !name.is_empty()
+        && name.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        && !name.contains("__")
+        && !name.ends_with('_');
+    if !snake {
+        return Some("not snake_case (lowercase words joined by single underscores)".to_string());
+    }
+    let last = name.rsplit('_').next().unwrap_or("");
+    match kind {
+        "counter" => (last != "total").then(|| "counter names must end in `_total`".to_string()),
+        _ => (!UNIT_SUFFIXES.contains(&last)).then(|| {
+            format!(
+                "{kind} names must end in a unit suffix ({})",
+                UNIT_SUFFIXES.map(|s| format!("_{s}")).join(", ")
+            )
+        }),
+    }
+}
+
 /// Extracts the variant names of `pub enum Rung` from supervisor source.
 pub fn rung_variants(supervisor_src: &str) -> Vec<String> {
     let lines: Vec<&str> = supervisor_src.lines().collect();
@@ -431,6 +526,8 @@ mod tests {
     const RUNG_TN: &str = include_str!("../fixtures/rung_tn.rs");
     const SETPOINT_TP: &str = include_str!("../fixtures/setpoint_literal_tp.rs");
     const SETPOINT_TN: &str = include_str!("../fixtures/setpoint_literal_tn.rs");
+    const METRIC_TP: &str = include_str!("../fixtures/metric_name_tp.rs");
+    const METRIC_TN: &str = include_str!("../fixtures/metric_name_tn.rs");
 
     fn rung_fixture(src: &str) -> Vec<Finding> {
         let variants = vec![
@@ -509,6 +606,36 @@ mod tests {
         let findings = run(SETPOINT_TN, check_setpoint_literal);
         let active: Vec<_> = findings.iter().filter(|f| !f.allowed).collect();
         assert!(active.is_empty(), "unexpected findings: {active:?}");
+    }
+
+    #[test]
+    fn metric_name_true_positive() {
+        let findings = run(METRIC_TP, check_metric_names);
+        let active: Vec<_> = findings.iter().filter(|f| !f.allowed).collect();
+        assert_eq!(active.len(), 6, "expected 6 violations, got {active:?}");
+        assert!(active.iter().any(|f| f.message.contains("snake_case")));
+        assert!(active.iter().any(|f| f.message.contains("_total")));
+        assert!(active.iter().any(|f| f.message.contains("unit suffix")));
+    }
+
+    #[test]
+    fn metric_name_true_negative() {
+        let findings = run(METRIC_TN, check_metric_names);
+        let active: Vec<_> = findings.iter().filter(|f| !f.allowed).collect();
+        assert!(active.is_empty(), "unexpected findings: {active:?}");
+        // The allowlisted legacy series is still reported, as allowed.
+        assert!(findings.iter().any(|f| f.allowed));
+    }
+
+    #[test]
+    fn metric_name_problem_rules() {
+        assert!(metric_name_problem("tesla_control_steps_total", "counter").is_none());
+        assert!(metric_name_problem("tesla_decide_seconds", "histogram").is_none());
+        assert!(metric_name_problem("supervisor_rung_index", "gauge").is_none());
+        assert!(metric_name_problem("steps", "counter").is_some());
+        assert!(metric_name_problem("Steps_total", "counter").is_some());
+        assert!(metric_name_problem("decide_micros", "histogram").is_some());
+        assert!(metric_name_problem("", "gauge").is_some());
     }
 
     #[test]

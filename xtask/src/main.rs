@@ -11,6 +11,7 @@
 
 #![forbid(unsafe_code)]
 
+mod links;
 mod lints;
 
 use lints::Finding;
@@ -22,6 +23,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("check-links") => check_links(),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             ExitCode::SUCCESS
@@ -40,7 +42,8 @@ fn print_usage() {
          commands:\n  \
          lint [--deny] [--report <path>]   run the static-analysis pass\n    \
            --deny            exit nonzero on any non-allowlisted finding\n    \
-           --report <path>   JSON report path (default target/lint-report.json)"
+           --report <path>   JSON report path (default target/lint-report.json)\n  \
+         check-links                       verify relative links in markdown docs"
     );
 }
 
@@ -48,6 +51,15 @@ fn print_usage() {
 const CONTROL_CRATES: [&str; 3] = ["crates/core/src", "crates/sim/src", "crates/forecast/src"];
 const UNWRAP_CRATES: [&str; 2] = ["crates/core/src", "crates/sim/src"];
 const RUNG_CRATES: [&str; 1] = ["crates/core/src"];
+/// Every crate that emits metrics through tesla-obs.
+const METRIC_CRATES: [&str; 6] = [
+    "crates/core/src",
+    "crates/sim/src",
+    "crates/forecast/src",
+    "crates/bo/src",
+    "crates/bench/src",
+    "crates/obs/src",
+];
 const SUPERVISOR_PATH: &str = "crates/core/src/supervisor.rs";
 
 fn lint(args: &[String]) -> ExitCode {
@@ -91,6 +103,7 @@ fn lint(args: &[String]) -> ExitCode {
         (&UNWRAP_CRATES[..], lints::RULE_UNWRAP),
         (&RUNG_CRATES[..], lints::RULE_RUNG),
         (&CONTROL_CRATES[..], lints::RULE_SETPOINT),
+        (&METRIC_CRATES[..], lints::RULE_METRIC),
     ] {
         for dir in scope {
             for file in rust_files(&root.join(dir)) {
@@ -112,6 +125,7 @@ fn lint(args: &[String]) -> ExitCode {
                     lints::RULE_RAW_F64 => lints::check_raw_f64(&rel, &lines, &mask),
                     lints::RULE_UNWRAP => lints::check_unwrap(&rel, &lines, &mask),
                     lints::RULE_RUNG => lints::check_rung_matches(&rel, &lines, &mask, &variants),
+                    lints::RULE_METRIC => lints::check_metric_names(&rel, &lines, &mask),
                     _ => lints::check_setpoint_literal(&rel, &lines, &mask),
                 };
                 findings.extend(batch);
@@ -156,6 +170,25 @@ fn lint(args: &[String]) -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+fn check_links() -> ExitCode {
+    let root = workspace_root();
+    let files = links::markdown_files(&root);
+    let broken = links::check_links(&root);
+    for b in &broken {
+        println!("{}:{}: broken link `{}`", b.file, b.line, b.target);
+    }
+    println!(
+        "xtask check-links: {} markdown file(s), {} broken link(s)",
+        files.len(),
+        broken.len()
+    );
+    if broken.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

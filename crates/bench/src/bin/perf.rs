@@ -1,0 +1,156 @@
+//! Perf benchmark for the batched BO decision path.
+//!
+//! Runs one uncounted warm-up episode, then a metered fault-free
+//! supervised episode with metrics enabled, and reports where the
+//! wall-clock went: `tesla_decide_seconds` p50/p90/p99 (bucket
+//! resolution, from the tesla-obs registry), episode throughput in
+//! simulated minutes per wall-second, and the speedup of the decide
+//! p50 against the PR-3 baseline captured in an earlier
+//! `BENCH_*.json` artifact (default `bench_results/BENCH_chaos.json`).
+//! The run writes `bench_results/BENCH_perf.json`; the `cargo xtask
+//! bench-diff` gate compares two such artifacts.
+//!
+//! Flags: `--minutes N` (default 720), `--train-days D` (default 1.5),
+//! `--seed S` (default 7), `--warmup N` (default 60),
+//! `--baseline PATH` (default `bench_results/BENCH_chaos.json`).
+
+use tesla_bench::{arg_f64, print_table, train_test_traces};
+use tesla_core::{run_supervised_episode, EpisodeConfig, Supervisor, SupervisorConfig};
+use tesla_sim::FaultPlan;
+use tesla_workload::LoadSetting;
+
+/// String-valued flag lookup (`--baseline path`), mirroring
+/// [`tesla_bench::arg_f64`].
+fn arg_str(name: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len().saturating_sub(1) {
+        if args[i] == format!("--{name}") {
+            return args[i + 1].clone();
+        }
+    }
+    default.to_string()
+}
+
+fn main() {
+    let minutes = arg_f64("minutes", 720.0) as usize;
+    let warmup = arg_f64("warmup", 60.0) as usize;
+    let train_days = arg_f64("train-days", 1.5);
+    let seed = arg_f64("seed", 7.0) as u64;
+    let baseline_path = arg_str("baseline", "bench_results/BENCH_chaos.json");
+
+    eprintln!("generating {train_days}-day training sweep …");
+    let (train, _) = train_test_traces(train_days, 0.1, 99);
+    eprintln!("training TESLA …");
+    let mut tesla = tesla_bench::trained_tesla(&train, 1);
+
+    let cfg = EpisodeConfig {
+        setting: LoadSetting::Medium,
+        minutes,
+        warmup_minutes: warmup,
+        seed,
+        ..EpisodeConfig::default()
+    };
+    let run = |tesla: &mut tesla_core::TeslaController| {
+        let mut sup = Supervisor::new(SupervisorConfig::default());
+        let episode = EpisodeConfig {
+            faults: FaultPlan::none(),
+            ..cfg.clone()
+        };
+        tesla_bench::profile::time_episode(|| {
+            run_supervised_episode(tesla, &mut sup, &episode).expect("episode")
+        })
+    };
+
+    eprintln!("== warm-up episode, uncounted ({minutes} min, medium load, seed {seed}) …");
+    tesla_obs::set_enabled(false);
+    let _ = run(&mut tesla);
+
+    eprintln!("== metered episode, metrics enabled …");
+    tesla_obs::set_enabled(true);
+    let t0 = std::time::Instant::now();
+    let result = run(&mut tesla);
+    let wall_secs = t0.elapsed().as_secs_f64();
+
+    let summaries = tesla_bench::profile::phase_summaries();
+    let Some(decide) = summaries
+        .iter()
+        .find(|s| s.metric == "tesla_decide_seconds")
+        .cloned()
+    else {
+        eprintln!("no tesla_decide_seconds observations recorded — nothing to report");
+        std::process::exit(1);
+    };
+    let throughput = minutes as f64 / wall_secs;
+    let decides_per_sec = decide.count as f64 / wall_secs;
+
+    // PR-3 baseline: decide p50 from an earlier artifact's latency
+    // breakdown (bucket-resolution quantiles on both sides, so the
+    // ratio compares like with like).
+    let baseline_p50 = std::fs::read_to_string(&baseline_path)
+        .ok()
+        .and_then(|body| tesla_bench::profile::breakdown_p50(&body, "tesla_decide_seconds"));
+    let speedup = baseline_p50.map(|b| b / decide.p50);
+
+    let mut rows = vec![
+        vec!["episode wall (s)".into(), format!("{wall_secs:.2}")],
+        vec![
+            "throughput (sim min / wall s)".into(),
+            format!("{throughput:.1}"),
+        ],
+        vec!["decides / s".into(), format!("{decides_per_sec:.1}")],
+        vec!["decide p50 (s)".into(), format!("{:.4}", decide.p50)],
+        vec!["decide p90 (s)".into(), format!("{:.4}", decide.p90)],
+        vec!["decide p99 (s)".into(), format!("{:.4}", decide.p99)],
+    ];
+    match (baseline_p50, speedup) {
+        (Some(b), Some(s)) => {
+            rows.push(vec!["baseline decide p50 (s)".into(), format!("{b:.4}")]);
+            rows.push(vec!["speedup vs baseline".into(), format!("{s:.1}x")]);
+        }
+        _ => {
+            eprintln!("warning: no baseline decide p50 in {baseline_path} — speedup omitted");
+        }
+    }
+    print_table(
+        &format!("Perf: batched BO decision path ({minutes}-min episode)"),
+        &["metric", "value"],
+        &rows,
+    );
+    println!(
+        "episode sanity: CE {:.1} kWh  TSV {:.2}%  CI {:.2}%",
+        result.cooling_energy_kwh, result.tsv_percent, result.ci_percent
+    );
+    if let Some(s) = speedup {
+        if s < 5.0 {
+            eprintln!("warning: decide p50 speedup {s:.1}x is below the 5x target");
+        }
+    }
+
+    let json_opt = |v: Option<f64>| match v {
+        Some(x) if x.is_finite() => format!("{x:.4}"),
+        _ => "null".into(),
+    };
+    let path = tesla_bench::profile::write_bench_json(
+        "perf",
+        &[
+            ("minutes", format!("{minutes}")),
+            ("seed", format!("{seed}")),
+            ("train_days", format!("{train_days}")),
+            ("episode_wall_seconds", format!("{wall_secs:.4}")),
+            (
+                "throughput_sim_minutes_per_second",
+                format!("{throughput:.3}"),
+            ),
+            ("decide_count", format!("{}", decide.count)),
+            ("decide_p50_seconds", format!("{:.6}", decide.p50)),
+            ("decide_p90_seconds", format!("{:.6}", decide.p90)),
+            ("decide_p99_seconds", format!("{:.6}", decide.p99)),
+            ("baseline_path", format!("\"{baseline_path}\"")),
+            ("baseline_decide_p50_seconds", json_opt(baseline_p50)),
+            ("speedup_vs_baseline", json_opt(speedup)),
+            ("ce_kwh", format!("{:.3}", result.cooling_energy_kwh)),
+            ("tsv_percent", format!("{:.4}", result.tsv_percent)),
+        ],
+    );
+    println!("report written to {}", path.display());
+}

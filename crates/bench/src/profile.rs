@@ -15,6 +15,7 @@ const PHASE_HISTOGRAMS: &[(&str, &str)] = &[
     ("tesla_decide_seconds", "TESLA control step"),
     ("bo_decision_seconds", "BO decision"),
     ("forecast_fit_seconds", "forecast model fit"),
+    ("forecast_prepare_seconds", "forecast prepare"),
     ("forecast_predict_seconds", "forecast predict"),
 ];
 
@@ -115,6 +116,24 @@ pub fn write_bench_json(name: &str, fields: &[(&str, String)]) -> PathBuf {
     path
 }
 
+/// Extracts `p50_seconds` for `metric` from a `BENCH_*.json` body's
+/// `latency_breakdown` array. Hand-rolled to match the hand-rolled
+/// writer above (the workspace carries no serde); returns `None` when
+/// the metric is absent or the number fails to parse.
+pub fn breakdown_p50(json: &str, metric: &str) -> Option<f64> {
+    let entry = json.find(&format!("\"metric\":\"{metric}\""))?;
+    let rest = &json[entry..];
+    // Stay inside this breakdown entry: the value must appear before
+    // the entry's closing brace.
+    let end = rest.find('}')?;
+    let entry_body = &rest[..end];
+    let key = "\"p50_seconds\":";
+    let at = entry_body.find(key)? + key.len();
+    let tail = &entry_body[at..];
+    let stop = tail.find([',', '}']).unwrap_or(tail.len());
+    tail[..stop].trim().parse::<f64>().ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,5 +163,20 @@ mod tests {
         assert!(body.contains("\"answer\":42"));
         assert!(body.contains("\"latency_breakdown\":["));
         let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn breakdown_p50_reads_the_requested_metric() {
+        let body = "{\"x\":1,\"latency_breakdown\":[\
+            {\"metric\":\"a_seconds\",\"label\":\"a\",\"count\":3,\
+             \"total_seconds\":1.0,\"p50_seconds\":0.05,\"p90_seconds\":0.06,\
+             \"p99_seconds\":0.07},\
+            {\"metric\":\"b_seconds\",\"label\":\"b\",\"count\":3,\
+             \"total_seconds\":1.0,\"p50_seconds\":0.002,\"p90_seconds\":0.003,\
+             \"p99_seconds\":0.004}]}";
+        assert_eq!(breakdown_p50(body, "a_seconds"), Some(0.05));
+        assert_eq!(breakdown_p50(body, "b_seconds"), Some(0.002));
+        assert_eq!(breakdown_p50(body, "missing"), None);
+        assert_eq!(breakdown_p50("not json", "a_seconds"), None);
     }
 }

@@ -27,29 +27,51 @@ pub fn constrained_nei(
     n_mc: usize,
     seed: u64,
 ) -> Result<Vec<f64>, BoError> {
-    if candidates.is_empty() {
-        return Ok(Vec::new());
-    }
-    let n_obs = observed.len();
-    let points: Vec<Vec<f64>> = observed
+    let points: Vec<Vec<f64>> = candidates
         .iter()
-        .chain(candidates.iter())
+        .chain(observed.iter())
         .map(|&s| vec![s])
         .collect();
+    constrained_nei_prelifted(gp_obj, gp_con, &points, candidates.len(), n_mc, seed)
+}
+
+/// [`constrained_nei`] over pre-lifted points: `points[..n_candidates]`
+/// are the candidates to score and `points[n_candidates..]` the observed
+/// set-points. Candidates-first ordering lets the optimizer keep ONE
+/// `Vec<Vec<f64>>` buffer for the whole decision — the grid occupies the
+/// fixed prefix and each new observation is appended at the end, so the
+/// per-iteration point-lifting allocation disappears.
+pub fn constrained_nei_prelifted(
+    gp_obj: &FixedNoiseGp<Matern52>,
+    gp_con: &FixedNoiseGp<Matern52>,
+    points: &[Vec<f64>],
+    n_candidates: usize,
+    n_mc: usize,
+    seed: u64,
+) -> Result<Vec<f64>, BoError> {
+    if n_candidates == 0 {
+        return Ok(Vec::new());
+    }
+    if n_candidates > points.len() {
+        return Err(BoError::BadConfig(format!(
+            "{n_candidates} candidates but only {} points",
+            points.len()
+        )));
+    }
     let m = points.len();
 
     let normals_obj = qmc_normal_hybrid(n_mc.max(8), m, seed);
     let normals_con = qmc_normal_hybrid(n_mc.max(8), m, seed ^ 0xDEADBEEF);
-    let draws_obj = gp_obj.sample_posterior(&points, &normals_obj)?;
-    let draws_con = gp_con.sample_posterior(&points, &normals_con)?;
+    let draws_obj = gp_obj.sample_posterior(points, &normals_obj)?;
+    let draws_con = gp_con.sample_posterior(points, &normals_con)?;
 
-    let mut scores = vec![0.0; candidates.len()];
+    let mut scores = vec![0.0; n_candidates];
     for (sample_o, sample_c) in draws_obj.iter().zip(&draws_con) {
         // Feasible incumbent under this realization.
         let mut incumbent = f64::NEG_INFINITY;
         let mut any_feasible = false;
         let mut worst = f64::INFINITY;
-        for i in 0..n_obs {
+        for i in n_candidates..m {
             worst = worst.min(sample_o[i]);
             if sample_c[i] <= 0.0 {
                 any_feasible = true;
@@ -65,10 +87,9 @@ pub fn constrained_nei(
         } else {
             0.0
         };
-        for (ci, score) in scores.iter_mut().enumerate() {
-            let j = n_obs + ci;
-            if sample_c[j] <= 0.0 {
-                *score += (sample_o[j] - reference).max(0.0);
+        for (score, (&o, &c)) in scores.iter_mut().zip(sample_o.iter().zip(sample_c)) {
+            if c <= 0.0 {
+                *score += (o - reference).max(0.0);
             }
         }
     }

@@ -41,7 +41,7 @@ pub mod monitor;
 pub mod optimizer;
 
 pub use monitor::PredictionErrorMonitor;
-pub use optimizer::{BayesianOptimizer, BoConfig, BoOutcome};
+pub use optimizer::{parallel_eval, BayesianOptimizer, BoConfig, BoOutcome};
 
 /// Errors from the optimizer.
 #[derive(Debug, Clone, PartialEq)]

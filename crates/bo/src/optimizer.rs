@@ -1,8 +1,31 @@
 //! The modeling-error-aware Bayesian optimizer (Fig. 7's center box).
+//!
+//! # Hot-path structure (see `docs/PERFORMANCE.md`)
+//!
+//! [`BayesianOptimizer::optimize_batched`] is the single implementation;
+//! the serial [`BayesianOptimizer::optimize`] /
+//! [`BayesianOptimizer::optimize_with_hints`] entry points are thin
+//! wrappers that evaluate the batch one point at a time in order, so both
+//! paths run literally the same arithmetic and pick bit-identical
+//! set-points for the same seed. Per decision the optimizer:
+//!
+//! * evaluates the whole initial design through **one** `eval_batch`
+//!   call (callers may fan the batch out across threads — see
+//!   [`parallel_eval`]);
+//! * freezes the per-point noise vectors and the output-scale grid once
+//!   (computed from the initial design) instead of reallocating them on
+//!   every refit;
+//! * tracks both GP hyper grids incrementally with
+//!   [`tesla_gp::MaternHyperSearch`] — each new observation is a rank-1
+//!   Cholesky row append per grid candidate, not a refactorization;
+//! * keeps one candidates-first point buffer for the whole decision
+//!   (grid prefix + appended observations) shared by the NEI scorer and
+//!   the final selection, which itself runs as a single batched
+//!   posterior solve over grid and evaluated points together.
 
-use crate::acquisition::constrained_nei;
+use crate::acquisition::constrained_nei_prelifted;
 use crate::BoError;
-use tesla_gp::{fit_matern_hypers, normal_cdf, FixedNoiseGp, Matern52, SobolSequence};
+use tesla_gp::{normal_cdf, MaternHyperSearch, SobolSequence};
 
 /// Optimizer configuration.
 #[derive(Debug, Clone)]
@@ -118,6 +141,31 @@ impl BayesianOptimizer {
         seed: u64,
         hints: &[f64],
     ) -> Result<BoOutcome, BoError> {
+        // In-order serial evaluation: same arithmetic, same decisions as
+        // any batched/parallel caller.
+        self.optimize_batched(
+            |batch: &[f64]| batch.iter().map(|&s| eval(s)).collect(),
+            noise_var,
+            seed,
+            hints,
+        )
+    }
+
+    /// Batch-evaluation entry point: `eval_batch` receives every set-point
+    /// the optimizer wants evaluated in one call (the whole initial design
+    /// up front, then one point per BO iteration) and returns the
+    /// `(objective, constraint)` pairs **in the same order**. Callers may
+    /// evaluate batch elements concurrently (e.g. via [`parallel_eval`]);
+    /// because the optimizer consumes results by position, any
+    /// order-preserving execution yields bit-identical decisions to the
+    /// serial path.
+    pub fn optimize_batched(
+        &self,
+        mut eval_batch: impl FnMut(&[f64]) -> Vec<(f64, f64)>,
+        noise_var: (f64, f64),
+        seed: u64,
+        hints: &[f64],
+    ) -> Result<BoOutcome, BoError> {
         let _decision_timer = tesla_obs::Timer::start(tesla_obs::histogram!("bo_decision_seconds"));
         let acq_evals = tesla_obs::counter!("bo_acquisition_evaluations_total");
         let (lo, hi) = self.config.bounds;
@@ -146,29 +194,64 @@ impl BayesianOptimizer {
                 break; // safety against duplicate-saturated ranges
             }
         }
-        let mut ys_obj = Vec::with_capacity(xs.len());
-        let mut ys_con = Vec::with_capacity(xs.len());
-        for &s in &xs {
-            let (o, c) = eval(s);
-            acq_evals.inc();
-            ys_obj.push(o);
-            ys_con.push(c);
+        // One batched evaluation for the entire initial design.
+        let init = eval_batch(&xs);
+        if init.len() != xs.len() {
+            return Err(BoError::BadConfig(format!(
+                "eval_batch returned {} results for {} points",
+                init.len(),
+                xs.len()
+            )));
         }
+        acq_evals.add(xs.len() as u64);
+        let mut ys_obj: Vec<f64> = init.iter().map(|&(o, _)| o).collect();
+        let mut ys_con: Vec<f64> = init.iter().map(|&(_, c)| c).collect();
 
         let grid: Vec<f64> = (0..self.config.n_grid)
             .map(|i| lo + span * i as f64 / (self.config.n_grid - 1) as f64)
             .collect();
 
+        // The decision's single point buffer: grid candidates first, every
+        // evaluated set-point appended after. The NEI scorer and the final
+        // batched posterior both read from it; nothing is re-lifted.
+        let mut pts: Vec<Vec<f64>> = Vec::with_capacity(grid.len() + xs.len() + self.config.n_iter);
+        pts.extend(grid.iter().map(|&s| vec![s]));
+        pts.extend(xs.iter().map(|&s| vec![s]));
+
+        // Per-point noise and the output-scale grids are frozen once per
+        // decision (from the initial design); the incremental hyper
+        // searches then extend their cached Cholesky factors by one rank-1
+        // row per observation instead of refactorizing the whole grid.
+        let (nv_o, nv_c) = (noise_var.0.max(1e-9), noise_var.1.max(1e-9));
+        let os_grid = |ys: &[f64]| -> Vec<f64> {
+            let var = tesla_linalg::stats::variance(ys).max(1e-6);
+            vec![var * 0.3, var, var * 3.0]
+        };
+        let mut search_o = MaternHyperSearch::new(
+            pts[grid.len()..].to_vec(),
+            ys_obj.clone(),
+            vec![nv_o; xs.len()],
+            &self.config.lengthscales,
+            &os_grid(&ys_obj),
+        )?;
+        let mut search_c = MaternHyperSearch::new(
+            pts[grid.len()..].to_vec(),
+            ys_con.clone(),
+            vec![nv_c; xs.len()],
+            &self.config.lengthscales,
+            &os_grid(&ys_con),
+        )?;
+
         // BO loop: fit both GPs, score NEI on the grid, evaluate argmax.
-        let mut gp_pair = self.fit_gps(&xs, &ys_obj, &ys_con, noise_var)?;
+        let mut gp_pair = (search_o.select()?, search_c.select()?);
         let mut iterations_run = 0u64;
         for it in 0..self.config.n_iter {
             iterations_run = it as u64 + 1;
-            let scores = constrained_nei(
+            let scores = constrained_nei_prelifted(
                 &gp_pair.0,
                 &gp_pair.1,
-                &xs,
-                &grid,
+                &pts,
+                grid.len(),
                 self.config.n_mc,
                 seed ^ (it as u64).wrapping_mul(0x9E3779B97F4A7C15),
             )?;
@@ -187,12 +270,20 @@ impl BayesianOptimizer {
                 break; // no expected improvement anywhere
             }
             let s = grid[idx];
-            let (o, c) = eval(s);
+            let result = eval_batch(std::slice::from_ref(&s));
+            let Some(&(o, c)) = result.first() else {
+                return Err(BoError::BadConfig(
+                    "eval_batch returned no result for 1 point".into(),
+                ));
+            };
             acq_evals.inc();
             xs.push(s);
             ys_obj.push(o);
             ys_con.push(c);
-            gp_pair = self.fit_gps(&xs, &ys_obj, &ys_con, noise_var)?;
+            pts.push(vec![s]);
+            search_o.append(vec![s], o, nv_o)?;
+            search_c.append(vec![s], c, nv_c)?;
+            gp_pair = (search_o.select()?, search_c.select()?);
         }
 
         // Final selection: the best *evaluated* objective among points
@@ -202,16 +293,17 @@ impl BayesianOptimizer {
         // modeling-error variance — is what makes the decision
         // error-aware; judging the objective at evaluated points avoids
         // the posterior-mean smoothing washing out the sharp interruption
-        // kink at `inlet + κ`.
-        let pts: Vec<Vec<f64>> = grid.iter().map(|&s| vec![s]).collect();
-        let post_o = gp_pair.0.posterior(&pts);
+        // kink at `inlet + κ`. The GPs come straight from the loop's last
+        // refit, and the constraint posterior over grid + evaluated points
+        // is ONE batched whitened solve on the shared buffer.
+        let post_o = gp_pair.0.posterior(&pts[..grid.len()]);
         let post_c = gp_pair.1.posterior(&pts);
-        let eval_pts: Vec<Vec<f64>> = xs.iter().map(|&s| vec![s]).collect();
-        let post_c_eval = gp_pair.1.posterior(&eval_pts);
+        let (c_grid_mean, c_eval_mean) = post_c.mean.split_at(grid.len());
+        let c_eval_var = &post_c.var[grid.len()..];
         let mut best: Option<(f64, f64)> = None; // (setpoint, observed objective)
         for i in 0..xs.len() {
-            let sigma = post_c_eval.var[i].sqrt().max(1e-9);
-            let p_feasible = normal_cdf(-post_c_eval.mean[i] / sigma);
+            let sigma = c_eval_var[i].sqrt().max(1e-9);
+            let p_feasible = normal_cdf(-c_eval_mean[i] / sigma);
             if p_feasible >= self.config.feasibility_threshold
                 && best.is_none_or(|(_, b)| ys_obj[i] > b)
             {
@@ -241,39 +333,38 @@ impl BayesianOptimizer {
             evaluated,
             grid,
             objective_mean: post_o.mean,
-            constraint_mean: post_c.mean,
+            constraint_mean: c_grid_mean.to_vec(),
         })
     }
+}
 
-    fn fit_gps(
-        &self,
-        xs: &[f64],
-        ys_obj: &[f64],
-        ys_con: &[f64],
-        noise_var: (f64, f64),
-    ) -> Result<(FixedNoiseGp<Matern52>, FixedNoiseGp<Matern52>), BoError> {
-        let pts: Vec<Vec<f64>> = xs.iter().map(|&s| vec![s]).collect();
-        let scale = |ys: &[f64]| -> Vec<f64> {
-            // Output-scale grid tied to the data spread.
-            let var = tesla_linalg::stats::variance(ys).max(1e-6);
-            vec![var * 0.3, var, var * 3.0]
-        };
-        let gp_o = fit_matern_hypers(
-            &pts,
-            ys_obj,
-            &vec![noise_var.0.max(1e-9); xs.len()],
-            &self.config.lengthscales,
-            &scale(ys_obj),
-        )?;
-        let gp_c = fit_matern_hypers(
-            &pts,
-            ys_con,
-            &vec![noise_var.1.max(1e-9); xs.len()],
-            &self.config.lengthscales,
-            &scale(ys_con),
-        )?;
-        Ok((gp_o, gp_c))
+/// Evaluates `f` over `xs` with up to `n_workers` scoped threads, writing
+/// each result into its input's slot so the output order — and therefore
+/// every downstream optimizer decision — is identical to evaluating the
+/// batch serially. With `n_workers <= 1` (or a single-point batch) no
+/// threads are spawned at all.
+pub fn parallel_eval<F>(xs: &[f64], n_workers: usize, f: F) -> Vec<(f64, f64)>
+where
+    F: Fn(f64) -> (f64, f64) + Sync,
+{
+    let n = xs.len();
+    let workers = n_workers.clamp(1, n.max(1));
+    if workers <= 1 || n <= 1 {
+        return xs.iter().map(|&s| f(s)).collect();
     }
+    let mut out = vec![(0.0, 0.0); n];
+    let chunk = n.div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (xs_chunk, out_chunk) in xs.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (slot, &s) in out_chunk.iter_mut().zip(xs_chunk) {
+                    *slot = f(s);
+                }
+            });
+        }
+    });
+    out
 }
 
 #[cfg(test)]
@@ -384,5 +475,71 @@ mod tests {
                 .setpoint
         };
         assert_eq!(run(7), run(7));
+    }
+
+    fn objective(s: f64) -> (f64, f64) {
+        ((s - 23.0).sin() - 0.02 * (s - 26.0) * (s - 26.0), s - 29.5)
+    }
+
+    #[test]
+    fn batched_path_is_bit_identical_to_serial() {
+        let opt = optimizer();
+        for seed in [0u64, 7, 41, 1234] {
+            let serial = opt
+                .optimize_with_hints(objective, (0.02, 0.01), seed, &[24.5, 26.0])
+                .unwrap();
+            let batched = opt
+                .optimize_batched(
+                    |batch: &[f64]| batch.iter().map(|&s| objective(s)).collect(),
+                    (0.02, 0.01),
+                    seed,
+                    &[24.5, 26.0],
+                )
+                .unwrap();
+            assert_eq!(serial.setpoint, batched.setpoint, "seed {seed}");
+            assert_eq!(serial.fallback, batched.fallback);
+            assert_eq!(serial.evaluated, batched.evaluated);
+            assert_eq!(serial.objective_mean, batched.objective_mean);
+            assert_eq!(serial.constraint_mean, batched.constraint_mean);
+        }
+    }
+
+    #[test]
+    fn parallel_eval_is_bit_identical_to_serial() {
+        let opt = optimizer();
+        let serial = opt
+            .optimize_with_hints(objective, (0.02, 0.01), 99, &[25.0])
+            .unwrap();
+        let parallel = opt
+            .optimize_batched(
+                |batch: &[f64]| parallel_eval(batch, 4, objective),
+                (0.02, 0.01),
+                99,
+                &[25.0],
+            )
+            .unwrap();
+        assert_eq!(serial.setpoint, parallel.setpoint);
+        assert_eq!(serial.evaluated, parallel.evaluated);
+    }
+
+    #[test]
+    fn parallel_eval_preserves_order_and_values() {
+        let xs: Vec<f64> = (0..17).map(|i| i as f64 * 0.7 - 3.0).collect();
+        let f = |s: f64| (s * 2.0, s - 1.0);
+        for workers in [0usize, 1, 2, 3, 8, 64] {
+            assert_eq!(
+                parallel_eval(&xs, workers, f),
+                xs.iter().map(|&s| f(s)).collect::<Vec<_>>(),
+                "workers={workers}"
+            );
+        }
+        assert!(parallel_eval(&[], 4, f).is_empty());
+    }
+
+    #[test]
+    fn eval_batch_length_mismatch_is_an_error() {
+        let opt = optimizer();
+        let out = opt.optimize_batched(|_batch: &[f64]| vec![(0.0, 0.0)], (0.01, 0.01), 1, &[]);
+        assert!(out.is_err());
     }
 }

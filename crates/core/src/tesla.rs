@@ -50,6 +50,12 @@ pub struct TeslaConfig {
     pub retrain_every: Option<u64>,
     /// Minimum trailing-history length (samples) required to retrain.
     pub retrain_min_history: usize,
+    /// Worker threads for batched candidate evaluation (`std::thread::
+    /// scope` fan-out inside one decision). `0` or `1` evaluates serially
+    /// with no threads spawned. Results are written by batch position, so
+    /// every worker count picks bit-identical set-points for the same
+    /// seed — this only trades wall-clock for cores.
+    pub parallel_workers: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -71,6 +77,7 @@ impl Default for TeslaConfig {
             cold_start_setpoint: NOMINAL_SETPOINT,
             retrain_every: None,
             retrain_min_history: 6 * 60,
+            parallel_workers: 1,
             seed: 0,
         }
     }
@@ -319,20 +326,58 @@ impl Controller for TeslaController {
 
         // The optimizer probes the DC time-series model (Fig. 7): each
         // candidate set-point yields a predicted objective/constraint.
-        let model = &self.model;
+        // The window is fixed for the whole decision, so the model is
+        // prepared once (all lag-block dot products hoisted) and each
+        // candidate pays only for its exogenous terms; predictions are
+        // memoized so the chosen set-point's rollout is never recomputed.
         let cfg = &self.config;
         let d_eff = self.config.d_allowed - self.config.safety_margin;
-        let eval = |s: f64| -> (f64, f64) {
-            let s = Celsius::new(s);
-            match model.predict(&window, s) {
-                Ok(pred) => (
-                    objective(&pred, s, cfg.kappa, cfg.interruption_weight),
-                    constraint(&pred, &cfg.cold_sensors, d_eff),
-                ),
-                // A failed prediction is treated as badly infeasible so
-                // the optimizer avoids it.
-                Err(_) => (f64::MIN / 2.0, f64::MAX / 2.0),
-            }
+        let Ok(prepared) = self.model.prepare(&window) else {
+            return self.buffer.push(self.config.bo.bounds.0);
+        };
+        let prepared = &prepared;
+        let workers = self.config.parallel_workers.max(1);
+        let mut cache: std::collections::HashMap<u64, tesla_forecast::Prediction> =
+            std::collections::HashMap::new();
+        let eval_batch = |batch: &[f64]| -> Vec<(f64, f64)> {
+            let preds: Vec<Option<tesla_forecast::Prediction>> = if workers > 1 && batch.len() > 1 {
+                let mut out: Vec<Option<tesla_forecast::Prediction>> =
+                    (0..batch.len()).map(|_| None).collect();
+                let chunk = batch.len().div_ceil(workers.min(batch.len()));
+                std::thread::scope(|scope| {
+                    for (bs, os) in batch.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                        scope.spawn(move || {
+                            for (slot, &s) in os.iter_mut().zip(bs) {
+                                *slot = prepared.predict(Celsius::new(s)).ok();
+                            }
+                        });
+                    }
+                });
+                out
+            } else {
+                batch
+                    .iter()
+                    .map(|&s| prepared.predict(Celsius::new(s)).ok())
+                    .collect()
+            };
+            batch
+                .iter()
+                .zip(preds)
+                .map(|(&s, pred)| match pred {
+                    Some(pred) => {
+                        let s = Celsius::new(s);
+                        let pair = (
+                            objective(&pred, s, cfg.kappa, cfg.interruption_weight),
+                            constraint(&pred, &cfg.cold_sensors, d_eff),
+                        );
+                        cache.insert(s.value().to_bits(), pred);
+                        pair
+                    }
+                    // A failed prediction is treated as badly infeasible
+                    // so the optimizer avoids it.
+                    None => (f64::MIN / 2.0, f64::MAX / 2.0),
+                })
+                .collect()
         };
         // Warm-start candidates: the energy-optimal set-point sits near
         // the interruption kink at `inlet + κ` (§6.2: "TESLA saves
@@ -354,8 +399,8 @@ impl Controller for TeslaController {
             inlet_now + 4.0 * kappa,
             history.setpoint[now],
         ];
-        let outcome = match self.optimizer.optimize_with_hints(
-            eval,
+        let outcome = match self.optimizer.optimize_batched(
+            eval_batch,
             noise,
             self.config.seed ^ (self.step << 17),
             &hints,
@@ -368,8 +413,12 @@ impl Controller for TeslaController {
         };
 
         // File the prediction under the *computed* set-point for later
-        // error-monitor scoring.
-        if let Ok(pred) = self.model.predict(&window, Celsius::new(outcome.setpoint)) {
+        // error-monitor scoring. The optimizer only ever recommends an
+        // evaluated point, so this is a memo-cache hit, not a re-rollout.
+        let chosen = cache
+            .remove(&outcome.setpoint.to_bits())
+            .or_else(|| prepared.predict(Celsius::new(outcome.setpoint)).ok());
+        if let Some(pred) = chosen {
             self.pending.push_back(PendingPrediction {
                 made_at: now,
                 predicted_energy: pred.energy.value(),
@@ -644,6 +693,64 @@ mod tests {
         assert_eq!(ctrl.config().kappa, DegC::new(0.0));
         ctrl.set_kappa(DegC::new(0.75));
         assert_eq!(ctrl.config().kappa, DegC::new(0.75));
+    }
+
+    #[test]
+    fn parallel_workers_pick_identical_setpoint_sequence() {
+        // The tentpole determinism guarantee: the batched/parallel decide
+        // path must produce the same set-point sequence as the serial
+        // path for the same seed — worker count only changes wall-clock.
+        let dcfg = DatasetConfig {
+            days: 0.6,
+            seed: 11,
+            ..DatasetConfig::default()
+        };
+        let trace = generate_sweep_trace(&dcfg).unwrap();
+        let base = TeslaConfig {
+            model: ModelConfig {
+                horizon: 8,
+                ..ModelConfig::default()
+            },
+            bo: BoConfig {
+                n_init: 5,
+                n_iter: 2,
+                n_mc: 24,
+                n_grid: 16,
+                ..BoConfig::default()
+            },
+            n_bootstrap: 64,
+            ..TeslaConfig::default()
+        };
+        let run = |workers: usize| -> Vec<f64> {
+            let mut ctrl = TeslaController::new(
+                &trace,
+                TeslaConfig {
+                    parallel_workers: workers,
+                    ..base.clone()
+                },
+            )
+            .unwrap();
+            let full = trace.len();
+            ((full - 10)..full)
+                .map(|end| {
+                    let mut prefix = Trace::with_sensors(2, 35);
+                    for t in 0..=end {
+                        prefix.push(
+                            trace.avg_power[t],
+                            &trace.acu_inlet.iter().map(|c| c[t]).collect::<Vec<_>>(),
+                            &trace.dc_temps.iter().map(|c| c[t]).collect::<Vec<_>>(),
+                            trace.setpoint[t],
+                            trace.acu_energy[t],
+                            trace.acu_power[t],
+                        );
+                    }
+                    ctrl.decide(&prefix)
+                })
+                .collect()
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -26,6 +26,14 @@ pub struct AcuModel {
     n_sensors: usize,
 }
 
+/// Window-invariant part of the ACU regressions (`[step][sensor]` bias +
+/// lag-block dot products), built once per decision by
+/// [`AcuModel::prepare`].
+#[derive(Debug, Clone)]
+pub struct PreparedAcu {
+    base: Vec<Vec<f64>>,
+}
+
 impl AcuModel {
     /// Fits on a trace with horizon `l` and ridge strength `alpha`.
     pub fn fit(trace: &Trace, l: usize, alpha: f64) -> Result<Self, ForecastError> {
@@ -77,6 +85,80 @@ impl AcuModel {
     /// Number of inlet sensors `N_a`.
     pub fn n_sensors(&self) -> usize {
         self.n_sensors
+    }
+
+    /// Hoists the window-dependent part of every per-(step, sensor)
+    /// regression: the folded bias plus the `N_a·L` lag-block dot product,
+    /// accumulated in exactly the order [`AcuModel::predict`] uses so
+    /// prepared predictions are bit-identical to direct ones. Within one
+    /// optimizer decision the lag window is fixed, so this runs once and
+    /// [`AcuModel::predict_prepared`] only pays for the two exogenous
+    /// terms per model.
+    pub fn prepare(&self, window: &ModelWindow) -> Result<PreparedAcu, ForecastError> {
+        let l = self.horizon;
+        if window.inlet.len() != self.n_sensors || window.inlet.iter().any(|c| c.len() != l) {
+            return Err(ForecastError::BadWindow("inlet lag shape mismatch".into()));
+        }
+        let mut lag = Vec::with_capacity(self.n_sensors * l);
+        for col in &window.inlet {
+            lag.extend_from_slice(col);
+        }
+        let base = self
+            .models
+            .iter()
+            .map(|step_models| {
+                step_models
+                    .iter()
+                    .map(|m| {
+                        let w = m.folded_weights();
+                        let mut acc = m.bias();
+                        for (wi, xi) in w[..lag.len()].iter().zip(&lag) {
+                            acc += wi * xi;
+                        }
+                        acc
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(PreparedAcu { base })
+    }
+
+    /// Predicts inlet temperatures under a *constant* set-point from a
+    /// prepared lag base — bit-identical to [`AcuModel::predict`] with
+    /// `setpoints = [setpoint; L]` on the window `prep` was built from.
+    /// Returns `[sensor][step]`.
+    pub fn predict_prepared(
+        &self,
+        prep: &PreparedAcu,
+        setpoint: f64, // lint:allow(no-raw-f64-in-public-api): hot-path candidate value
+        power_pred: &[f64], // lint:allow(no-raw-f64-in-public-api): bulk prediction series
+    ) -> Result<Vec<Vec<f64>>, ForecastError> {
+        let l = self.horizon;
+        if power_pred.len() != l {
+            return Err(ForecastError::BadWindow(format!(
+                "ACU expects {l} power predictions, got {}",
+                power_pred.len()
+            )));
+        }
+        if prep.base.len() != l || prep.base.iter().any(|row| row.len() != self.n_sensors) {
+            return Err(ForecastError::BadWindow(
+                "prepared ACU base shape mismatch".into(),
+            ));
+        }
+        let sp_idx = self.n_sensors * l;
+        let mut out = vec![vec![0.0; l]; self.n_sensors];
+        for (step, step_models) in self.models.iter().enumerate() {
+            for (i, m) in step_models.iter().enumerate() {
+                let w = m.folded_weights();
+                // Same accumulation order as `predict`: lags (already in
+                // the base), then set-point, then power.
+                let mut acc = prep.base[step][i];
+                acc += w[sp_idx] * setpoint;
+                acc += w[sp_idx + 1] * power_pred[step];
+                out[i][step] = acc;
+            }
+        }
+        Ok(out)
     }
 
     /// Predicts inlet temperatures for the next `L` steps.

@@ -27,6 +27,17 @@ pub struct DcsModel {
     n_acu: usize,
 }
 
+/// Decision-invariant part of the DCS regressions (the `[step][sensor]`
+/// bias plus the `N_d·L` lag dot product and the power term), built once
+/// per decision by [`DcsModel::prepare`]. This is the single biggest
+/// hoist in the whole predict chain: with defaults it removes
+/// ~`N_d·L·(N_d·L+1)` multiplies per candidate, leaving only the `N_a`
+/// inlet terms.
+#[derive(Debug, Clone)]
+pub struct PreparedDcs {
+    base: Vec<Vec<f64>>,
+}
+
 impl DcsModel {
     /// Fits on a trace with horizon `l` and ridge strength `alpha`.
     pub fn fit(trace: &Trace, l: usize, alpha: f64) -> Result<Self, ForecastError> {
@@ -82,6 +93,88 @@ impl DcsModel {
     /// Number of rack sensors `N_d`.
     pub fn n_sensors(&self) -> usize {
         self.n_dc
+    }
+
+    /// Hoists everything that does not depend on the candidate set-point:
+    /// the folded bias, the `N_d·L` lag-block dot product, and the power
+    /// term (ASP output is fixed within a decision). Accumulation order
+    /// matches [`DcsModel::predict`] exactly — lags first, then power —
+    /// so prepared predictions are bit-identical to direct ones.
+    pub fn prepare(
+        &self,
+        window: &ModelWindow,
+        power_pred: &[f64], // lint:allow(no-raw-f64-in-public-api): bulk prediction series
+    ) -> Result<PreparedDcs, ForecastError> {
+        let l = self.horizon;
+        if power_pred.len() != l {
+            return Err(ForecastError::BadWindow(format!(
+                "DCS expects {l} power predictions, got {}",
+                power_pred.len()
+            )));
+        }
+        if window.dc.len() != self.n_dc || window.dc.iter().any(|c| c.len() != l) {
+            return Err(ForecastError::BadWindow("dc lag shape mismatch".into()));
+        }
+        let mut lag = Vec::with_capacity(self.n_dc * l);
+        for col in &window.dc {
+            lag.extend_from_slice(col);
+        }
+        let exo_base = self.n_dc * l;
+        let base = self
+            .models
+            .iter()
+            .enumerate()
+            .map(|(step, step_models)| {
+                step_models
+                    .iter()
+                    .map(|m| {
+                        let w = m.folded_weights();
+                        let mut acc = m.bias();
+                        for (wi, xi) in w[..lag.len()].iter().zip(&lag) {
+                            acc += wi * xi;
+                        }
+                        acc += w[exo_base] * power_pred[step];
+                        acc
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(PreparedDcs { base })
+    }
+
+    /// Predicts every rack sensor from a prepared base and candidate
+    /// inlet predictions — bit-identical to [`DcsModel::predict`] with
+    /// the window and power `prep` was built from. Returns
+    /// `[sensor][step]`.
+    pub fn predict_prepared(
+        &self,
+        prep: &PreparedDcs,
+        inlet_pred: &[Vec<f64>], // lint:allow(no-raw-f64-in-public-api): bulk prediction series
+    ) -> Result<Vec<Vec<f64>>, ForecastError> {
+        let l = self.horizon;
+        if inlet_pred.len() != self.n_acu || inlet_pred.iter().any(|c| c.len() != l) {
+            return Err(ForecastError::BadWindow(
+                "inlet prediction shape mismatch".into(),
+            ));
+        }
+        if prep.base.len() != l || prep.base.iter().any(|row| row.len() != self.n_dc) {
+            return Err(ForecastError::BadWindow(
+                "prepared DCS base shape mismatch".into(),
+            ));
+        }
+        let exo_base = self.n_dc * l;
+        let mut out = vec![vec![0.0; l]; self.n_dc];
+        for (step, step_models) in self.models.iter().enumerate() {
+            for (k, m) in step_models.iter().enumerate() {
+                let w = m.folded_weights();
+                let mut acc = prep.base[step][k];
+                for (i, col) in inlet_pred.iter().enumerate() {
+                    acc += w[exo_base + 1 + i] * col[step];
+                }
+                out[k][step] = acc;
+            }
+        }
+        Ok(out)
     }
 
     /// Predicts every rack sensor over the next `L` steps.

@@ -57,7 +57,7 @@ pub mod model;
 pub mod recursive;
 pub mod trace;
 
-pub use model::{DcTimeSeriesModel, ModelConfig, Prediction};
+pub use model::{DcTimeSeriesModel, ModelConfig, Prediction, PreparedDecision};
 pub use recursive::RecursiveAr;
 pub use trace::{ModelWindow, Trace};
 

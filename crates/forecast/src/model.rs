@@ -1,8 +1,8 @@
 //! The composed DC time-series model (Fig. 6).
 
-use crate::acu::AcuModel;
+use crate::acu::{AcuModel, PreparedAcu};
 use crate::asp::AspModel;
-use crate::dcs::DcsModel;
+use crate::dcs::{DcsModel, PreparedDcs};
 use crate::energy::EnergyModel;
 use crate::trace::{ModelWindow, Trace};
 use crate::ForecastError;
@@ -137,6 +137,32 @@ impl DcTimeSeriesModel {
         self.predict_with_setpoints(window, &vec![setpoint; self.config.horizon])
     }
 
+    /// Builds a per-decision prepared predictor for this window.
+    ///
+    /// Everything that depends only on the lag window — the full ASP
+    /// rollout plus the `sensors × steps × lags` dot products inside the
+    /// ACU and DCS sub-modules — is computed once here; each subsequent
+    /// [`PreparedDecision::predict`] call pays only for the candidate-
+    /// dependent exogenous terms. This is the forecast side of the ≥5×
+    /// decide-latency win (see `docs/PERFORMANCE.md`): the optimizer
+    /// probes ~20 candidate set-points per decision against the *same*
+    /// window.
+    pub fn prepare(&self, window: &ModelWindow) -> Result<PreparedDecision<'_>, ForecastError> {
+        let _prepare_timer =
+            tesla_obs::Timer::start(tesla_obs::histogram!("forecast_prepare_seconds"));
+        let l = self.config.horizon;
+        window.check_shape(l, self.n_acu, self.n_dc)?;
+        let power = self.asp.predict(&window.power)?;
+        let acu = self.acu.prepare(window)?;
+        let dcs = self.dcs.prepare(window, &power)?;
+        Ok(PreparedDecision {
+            model: self,
+            power,
+            acu,
+            dcs,
+        })
+    }
+
     /// Predicts the horizon under an arbitrary future set-point sequence.
     ///
     /// Chain per Fig. 6: ASP → ACU (uses ASP output) → DCS (uses both) and
@@ -163,6 +189,49 @@ impl DcTimeSeriesModel {
         let energy = self.energy.predict(setpoints, &inlet)?;
         Ok(Prediction {
             power,
+            inlet,
+            dc,
+            energy,
+        })
+    }
+}
+
+/// A predictor specialized to one lag window (one control decision).
+///
+/// Produced by [`DcTimeSeriesModel::prepare`]; each [`Self::predict`]
+/// call is bit-identical to [`DcTimeSeriesModel::predict`] on the same
+/// window — the hoisted dot products accumulate in the exact order the
+/// direct path uses, so batched/parallel callers make the same decisions
+/// as serial ones.
+#[derive(Debug)]
+pub struct PreparedDecision<'m> {
+    model: &'m DcTimeSeriesModel,
+    /// ASP rollout for the window (window-only, candidate-independent).
+    power: Vec<f64>,
+    acu: PreparedAcu,
+    dcs: PreparedDcs,
+}
+
+impl PreparedDecision<'_> {
+    /// The ASP power rollout shared by every candidate.
+    // lint:allow(no-raw-f64-in-public-api): bulk prediction series
+    pub fn power(&self) -> &[f64] {
+        &self.power
+    }
+
+    /// Predicts the horizon under a *constant* candidate set-point.
+    pub fn predict(&self, setpoint: Celsius) -> Result<Prediction, ForecastError> {
+        let _predict_timer =
+            tesla_obs::Timer::start(tesla_obs::histogram!("forecast_predict_seconds"));
+        let l = self.model.config.horizon;
+        let inlet = self
+            .model
+            .acu
+            .predict_prepared(&self.acu, setpoint.value(), &self.power)?;
+        let dc = self.model.dcs.predict_prepared(&self.dcs, &inlet)?;
+        let energy = self.model.energy.predict(&vec![setpoint; l], &inlet)?;
+        Ok(Prediction {
+            power: self.power.clone(),
             inlet,
             dc,
             energy,
@@ -279,6 +348,39 @@ pub(crate) mod tests {
         assert!(model
             .predict_with_setpoints(&good, &[Celsius::new(23.0); 4])
             .is_err());
+    }
+
+    #[test]
+    fn prepared_predictions_bit_identical_to_direct() {
+        let tr = coupled_trace(800, 11);
+        let cfg = ModelConfig {
+            horizon: 8,
+            ..ModelConfig::default()
+        };
+        let model = DcTimeSeriesModel::fit(&tr, cfg).unwrap();
+        let window = tr.window_at(400, 8).unwrap();
+        let prep = model.prepare(&window).unwrap();
+        assert_eq!(prep.power().len(), 8);
+        for sp in [20.5, 22.0, 23.75, 26.0, 29.1] {
+            let direct = model.predict(&window, Celsius::new(sp)).unwrap();
+            let fast = prep.predict(Celsius::new(sp)).unwrap();
+            assert_eq!(direct.power, fast.power, "sp {sp}");
+            assert_eq!(direct.inlet, fast.inlet, "sp {sp}");
+            assert_eq!(direct.dc, fast.dc, "sp {sp}");
+            assert_eq!(direct.energy.value(), fast.energy.value(), "sp {sp}");
+        }
+    }
+
+    #[test]
+    fn prepare_validates_window_shape() {
+        let tr = coupled_trace(400, 1);
+        let cfg = ModelConfig {
+            horizon: 6,
+            ..ModelConfig::default()
+        };
+        let model = DcTimeSeriesModel::fit(&tr, cfg).unwrap();
+        assert!(model.prepare(&tr.window_at(200, 5).unwrap()).is_err());
+        assert!(model.prepare(&tr.window_at(200, 6).unwrap()).is_ok());
     }
 
     #[test]

@@ -1,19 +1,33 @@
 //! Covariance kernels.
 
 /// A stationary covariance kernel on `R^d`.
+///
+/// Stationary kernels depend on the inputs only through their Euclidean
+/// distance, so the required method is [`Kernel::eval_dist`]; `eval`
+/// derives from it. This split is what lets the GP hyper-parameter
+/// search compute the pairwise-distance matrix *once* and re-evaluate
+/// the kernel over it for every lengthscale/outputscale candidate.
 pub trait Kernel: Send + Sync {
+    /// Covariance at unscaled Euclidean distance `r` (lengthscale applied
+    /// internally).
+    fn eval_dist(&self, r: f64) -> f64;
+
     /// Covariance between two points.
-    fn eval(&self, a: &[f64], b: &[f64]) -> f64;
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        self.eval_dist(euclidean_distance(a, b))
+    }
 
     /// Prior variance at a point (`eval(x, x)` for stationary kernels).
     fn diag(&self) -> f64;
 }
 
-fn scaled_distance(a: &[f64], b: &[f64], lengthscale: f64) -> f64 {
+/// Unscaled Euclidean distance between two points — the quantity the
+/// distance cache stores per pair.
+pub fn euclidean_distance(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
     let mut s = 0.0;
     for (x, y) in a.iter().zip(b) {
-        let d = (x - y) / lengthscale;
+        let d = x - y;
         s += d * d;
     }
     s.sqrt()
@@ -41,8 +55,8 @@ impl Matern52 {
 }
 
 impl Kernel for Matern52 {
-    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
-        let r = scaled_distance(a, b, self.lengthscale);
+    fn eval_dist(&self, dist: f64) -> f64 {
+        let r = dist / self.lengthscale;
         let sqrt5_r = 5.0_f64.sqrt() * r;
         self.outputscale * (1.0 + sqrt5_r + 5.0 * r * r / 3.0) * (-sqrt5_r).exp()
     }
@@ -73,8 +87,8 @@ impl Rbf {
 }
 
 impl Kernel for Rbf {
-    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
-        let r = scaled_distance(a, b, self.lengthscale);
+    fn eval_dist(&self, dist: f64) -> f64 {
+        let r = dist / self.lengthscale;
         self.outputscale * (-0.5 * r * r).exp()
     }
 
@@ -132,6 +146,17 @@ mod tests {
         let m = Matern52::new(1.0, 1.0);
         let r = Rbf::new(1.0, 1.0);
         assert!(m.eval(&[0.0], &[3.0]) > r.eval(&[0.0], &[3.0]));
+    }
+
+    #[test]
+    fn eval_dist_consistent_with_eval() {
+        let k = Matern52::new(0.8, 1.7);
+        let a = [1.0, -2.0];
+        let b = [0.5, 3.0];
+        let r = euclidean_distance(&a, &b);
+        assert_eq!(k.eval(&a, &b), k.eval_dist(r));
+        let rbf = Rbf::new(2.0, 0.5);
+        assert_eq!(rbf.eval(&a, &b), rbf.eval_dist(r));
     }
 
     #[test]

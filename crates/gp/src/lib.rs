@@ -37,8 +37,8 @@ pub mod gp;
 pub mod kernel;
 pub mod sobol;
 
-pub use gp::{fit_matern_hypers, FixedNoiseGp, Posterior};
-pub use kernel::{Kernel, Matern52, Rbf};
+pub use gp::{fit_matern_hypers, pairwise_distances, FixedNoiseGp, MaternHyperSearch, Posterior};
+pub use kernel::{euclidean_distance, Kernel, Matern52, Rbf};
 pub use sobol::{inverse_normal_cdf, normal_cdf, qmc_normal, qmc_normal_hybrid, SobolSequence};
 
 /// Errors from GP fitting and prediction.

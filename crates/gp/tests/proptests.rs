@@ -97,4 +97,25 @@ proptest! {
             }
         }
     }
+
+    /// The batched posterior (one multi-RHS whitened solve) agrees with
+    /// querying each point on its own.
+    #[test]
+    fn batched_posterior_matches_per_query(
+        xs in proptest::collection::vec(-5.0f64..5.0, 3..10),
+        qs in proptest::collection::vec(-8.0f64..8.0, 1..12),
+        noise in 1e-6f64..0.5,
+    ) {
+        let pts: Vec<Vec<f64>> = xs.iter().map(|&v| vec![v]).collect();
+        let ys: Vec<f64> = xs.iter().map(|v| v.cos()).collect();
+        let gp = FixedNoiseGp::fit(Matern52::new(0.8, 1.5), pts, &ys, &vec![noise; xs.len()])
+            .unwrap();
+        let queries: Vec<Vec<f64>> = qs.iter().map(|&q| vec![q]).collect();
+        let batched = gp.posterior(&queries);
+        for (i, q) in queries.iter().enumerate() {
+            let single = gp.posterior(std::slice::from_ref(q));
+            prop_assert_eq!(batched.mean[i], single.mean[0]);
+            prop_assert_eq!(batched.var[i], single.var[0]);
+        }
+    }
 }

@@ -116,17 +116,115 @@ impl Cholesky {
     /// Solves `L y = b` (forward substitution only). Needed by the GP for
     /// whitening residuals.
     pub fn forward_substitute(&self, b: &[f64]) -> Vec<f64> {
+        let mut y = b.to_vec();
+        self.forward_substitute_in_place(&mut y);
+        y
+    }
+
+    /// Forward substitution writing over `b` in place. All forward-solve
+    /// entry points funnel through this routine so the batched path is
+    /// bit-identical to the per-vector one.
+    fn forward_substitute_in_place(&self, b: &mut [f64]) {
         let n = self.dim();
         debug_assert_eq!(b.len(), n);
-        let mut y = vec![0.0; n];
         for i in 0..n {
+            let row = self.l.row(i);
             let mut sum = b[i];
-            for (k, &yk) in y.iter().enumerate().take(i) {
-                sum -= self.l[(i, k)] * yk;
+            for (k, &bk) in b.iter().enumerate().take(i) {
+                sum -= row[k] * bk;
             }
-            y[i] = sum / self.l[(i, i)];
+            b[i] = sum / row[i];
         }
-        y
+    }
+
+    /// Solves `L Y = B` for many right-hand sides at once.
+    ///
+    /// `rhs` holds `n_rhs` vectors of length `dim()` back to back
+    /// (vector-major, each contiguous); the result uses the same layout.
+    /// One call whitens an entire query grid — the GP posterior uses this
+    /// so a decision's grid costs one batched solve instead of a solve
+    /// (and an allocation) per query point.
+    pub fn forward_substitute_batch(&self, rhs: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if n == 0 || !rhs.len().is_multiple_of(n) {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky forward_substitute_batch",
+                lhs: (n, n),
+                rhs: (rhs.len(), 1),
+            });
+        }
+        let mut out = rhs.to_vec();
+        for chunk in out.chunks_mut(n) {
+            self.forward_substitute_in_place(chunk);
+        }
+        Ok(out)
+    }
+
+    /// Computes `L z` exploiting the lower-triangular structure (half the
+    /// multiplies of a dense matvec). Used by the GP posterior sampler.
+    pub fn lower_matvec(&self, z: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if z.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky lower_matvec",
+                lhs: (n, n),
+                rhs: (z.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; n];
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = self.l.row(i);
+            let mut sum = 0.0;
+            for (k, &zk) in z.iter().enumerate().take(i + 1) {
+                sum += row[k] * zk;
+            }
+            *o = sum;
+        }
+        Ok(out)
+    }
+
+    /// Extends the factorization of an `n x n` SPD matrix `A` to the
+    /// `(n+1) x (n+1)` matrix obtained by appending one symmetric
+    /// row/column: `col` is the new off-diagonal column (length `n`) and
+    /// `diag` the new diagonal entry.
+    ///
+    /// Only the new bottom row of `L` is computed — `O(n^2)` instead of
+    /// the `O(n^3)` full refactorization — and because the leading
+    /// `n x n` block of the factor of the extended matrix *is* the
+    /// existing factor, the result is bit-identical to
+    /// [`Cholesky::decompose`] of the extended matrix. The stored jitter
+    /// is applied to `diag` so the update stays consistent with a factor
+    /// produced by [`Cholesky::decompose_jittered`].
+    ///
+    /// Fails with [`LinalgError::NotPositiveDefinite`] when the appended
+    /// row would make the matrix (numerically) indefinite; the caller
+    /// should fall back to a full jittered refactorization.
+    pub fn append_row(&mut self, col: &[f64], diag: f64) -> Result<()> {
+        let n = self.dim();
+        if col.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky append_row",
+                lhs: (n, n),
+                rhs: (col.len(), 1),
+            });
+        }
+        let w = self.forward_substitute(col);
+        let mut d = diag + self.jitter;
+        for &wk in &w {
+            d -= wk * wk;
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite);
+        }
+        let mut grown = Matrix::zeros(n + 1, n + 1);
+        for i in 0..n {
+            grown.row_mut(i)[..n].copy_from_slice(self.l.row(i));
+        }
+        let last = grown.row_mut(n);
+        last[..n].copy_from_slice(&w);
+        last[n] = d.sqrt();
+        self.l = grown;
+        Ok(())
     }
 
     /// Solves `A X = B` column by column.
@@ -246,6 +344,73 @@ mod tests {
     fn non_square_rejected() {
         let a = Matrix::zeros(2, 3);
         assert!(Cholesky::decompose(&a).is_err());
+    }
+
+    #[test]
+    fn append_row_matches_full_decompose() {
+        // Factor the 2x2 leading block, append the third row/column of
+        // spd3, and compare against factoring spd3 directly.
+        let a = spd3();
+        let mut lead = Matrix::zeros(2, 2);
+        for i in 0..2 {
+            for j in 0..2 {
+                lead[(i, j)] = a[(i, j)];
+            }
+        }
+        let mut c = Cholesky::decompose(&lead).unwrap();
+        c.append_row(&[a[(2, 0)], a[(2, 1)]], a[(2, 2)]).unwrap();
+        let full = Cholesky::decompose(&a).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(c.factor()[(i, j)], full.factor()[(i, j)]);
+            }
+        }
+        assert_eq!(c.dim(), 3);
+    }
+
+    #[test]
+    fn append_row_rejects_indefinite_extension() {
+        let a = spd3();
+        let mut c = Cholesky::decompose(&a).unwrap();
+        // A huge off-diagonal column makes the Schur complement negative.
+        assert!(matches!(
+            c.append_row(&[100.0, 100.0, 100.0], 1.0),
+            Err(LinalgError::NotPositiveDefinite)
+        ));
+        // The factor is untouched by a failed append.
+        assert_eq!(c.dim(), 3);
+    }
+
+    #[test]
+    fn append_row_wrong_length_errors() {
+        let mut c = Cholesky::decompose(&spd3()).unwrap();
+        assert!(c.append_row(&[1.0], 5.0).is_err());
+    }
+
+    #[test]
+    fn forward_substitute_batch_matches_per_vector() {
+        let a = spd3();
+        let c = Cholesky::decompose(&a).unwrap();
+        let rhs = [1.0, 2.0, 3.0, -1.0, 0.5, 4.0];
+        let batch = c.forward_substitute_batch(&rhs).unwrap();
+        let one = c.forward_substitute(&rhs[0..3]);
+        let two = c.forward_substitute(&rhs[3..6]);
+        assert_eq!(&batch[0..3], one.as_slice());
+        assert_eq!(&batch[3..6], two.as_slice());
+        // Ragged batch length rejected.
+        assert!(c.forward_substitute_batch(&rhs[..4]).is_err());
+    }
+
+    #[test]
+    fn lower_matvec_matches_dense() {
+        let c = Cholesky::decompose(&spd3()).unwrap();
+        let z = [0.3, -1.2, 2.0];
+        let dense = c.factor().matvec(&z).unwrap();
+        let tri = c.lower_matvec(&z).unwrap();
+        for (d, t) in dense.iter().zip(&tri) {
+            assert!((d - t).abs() < 1e-15);
+        }
+        assert!(c.lower_matvec(&[1.0]).is_err());
     }
 
     #[test]

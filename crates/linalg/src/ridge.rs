@@ -16,13 +16,14 @@ use crate::{cholesky::Cholesky, matrix::Matrix, LinalgError, Result};
 /// A fitted ridge regression model `y ≈ w·x + b`.
 #[derive(Debug, Clone)]
 pub struct Ridge {
-    weights: Vec<f64>,
-    bias: f64,
     alpha: f64,
-    /// Per-feature means used for internal standardization.
-    feat_mean: Vec<f64>,
-    /// Per-feature standard deviations (1.0 for constant features).
-    feat_std: Vec<f64>,
+    /// Weights folded back into the original feature space
+    /// (`weights[i] / feat_std[i]`), cached at construction so `predict`
+    /// is a single dot product over the raw features.
+    folded_weights: Vec<f64>,
+    /// Intercept in the original feature space, cached alongside
+    /// `folded_weights`.
+    folded_bias: f64,
 }
 
 impl Ridge {
@@ -41,12 +42,15 @@ impl Ridge {
     ) -> Self {
         assert_eq!(weights.len(), feat_mean.len());
         assert_eq!(weights.len(), feat_std.len());
+        let folded_weights: Vec<f64> = weights.iter().zip(&feat_std).map(|(w, s)| w / s).collect();
+        let mut folded_bias = bias;
+        for ((w, m), s) in weights.iter().zip(&feat_mean).zip(&feat_std) {
+            folded_bias -= w * m / s;
+        }
         Ridge {
-            weights,
-            bias,
             alpha,
-            feat_mean,
-            feat_std,
+            folded_weights,
+            folded_bias,
         }
     }
 
@@ -58,43 +62,45 @@ impl Ridge {
     /// The learned weights, mapped back to the *original* (unstandardized)
     /// feature space.
     pub fn weights(&self) -> Vec<f64> {
-        self.weights
-            .iter()
-            .zip(&self.feat_std)
-            .map(|(w, s)| w / s)
-            .collect()
+        self.folded_weights.clone()
+    }
+
+    /// Borrow of the original-space weights — the coefficients `predict`
+    /// actually multiplies with. Callers that hoist window-invariant
+    /// partial dot products (the forecaster's prepared hot path) read
+    /// these directly instead of cloning.
+    pub fn folded_weights(&self) -> &[f64] {
+        &self.folded_weights
     }
 
     /// The learned intercept in the original feature space.
     pub fn bias(&self) -> f64 {
-        let mut b = self.bias;
-        for ((w, m), s) in self.weights.iter().zip(&self.feat_mean).zip(&self.feat_std) {
-            b -= w * m / s;
-        }
-        b
+        self.folded_bias
     }
 
     /// Number of input features.
     pub fn n_features(&self) -> usize {
-        self.weights.len()
+        self.folded_weights.len()
     }
 
-    /// Predicts a single example.
+    /// Predicts a single example: one dot product over the raw features
+    /// with the cached original-space weights (the standardization is
+    /// folded in at construction, halving the per-feature arithmetic).
     pub fn predict(&self, x: &[f64]) -> f64 {
-        debug_assert_eq!(x.len(), self.weights.len());
-        let mut acc = self.bias;
-        for (i, &xi) in x.iter().enumerate() {
-            acc += self.weights[i] * (xi - self.feat_mean[i]) / self.feat_std[i];
+        debug_assert_eq!(x.len(), self.folded_weights.len());
+        let mut acc = self.folded_bias;
+        for (w, xi) in self.folded_weights.iter().zip(x) {
+            acc += w * xi;
         }
         acc
     }
 
     /// Predicts a batch of examples (rows of `x`).
     pub fn predict_batch(&self, x: &Matrix) -> Result<Vec<f64>> {
-        if x.cols() != self.weights.len() {
+        if x.cols() != self.folded_weights.len() {
             return Err(LinalgError::DimensionMismatch {
                 op: "ridge predict",
-                lhs: (1, self.weights.len()),
+                lhs: (1, self.folded_weights.len()),
                 rhs: x.shape(),
             });
         }
@@ -166,13 +172,9 @@ pub fn fit_ridge(x: &Matrix, y: &[f64], alpha: f64) -> Result<Ridge> {
     let chol = Cholesky::decompose_jittered(&gram, 1e-10, 14)?;
     let weights = chol.solve(&xty)?;
 
-    Ok(Ridge {
-        weights,
-        bias: y_mean,
-        alpha,
-        feat_mean,
-        feat_std,
-    })
+    Ok(Ridge::from_parts(
+        weights, y_mean, alpha, feat_mean, feat_std,
+    ))
 }
 
 #[cfg(test)]

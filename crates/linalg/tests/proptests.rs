@@ -117,4 +117,53 @@ proptest! {
         prop_assert!(q1 <= q2 + 1e-12);
         prop_assert!(q2 <= q3 + 1e-12);
     }
+
+    /// Rank-1 `append_row` reproduces a from-scratch `decompose_jittered`
+    /// on random SPD matrices: factor the leading (n-1)-minor, append the
+    /// last row/column, and compare every factor entry to 1e-9.
+    #[test]
+    fn append_row_matches_decompose_jittered_on_random_spd(m in matrix_strategy(6, 6)) {
+        let mt = m.transpose();
+        let mut a = m.matmul(&mt).unwrap();
+        a.add_diagonal(6.0);
+        let n = 6;
+        let mut lead = Matrix::zeros(n - 1, n - 1);
+        for i in 0..n - 1 {
+            for j in 0..n - 1 {
+                lead[(i, j)] = a[(i, j)];
+            }
+        }
+        let mut grown = Cholesky::decompose_jittered(&lead, 1e-8, 12).unwrap();
+        let col: Vec<f64> = (0..n - 1).map(|j| a[(n - 1, j)]).collect();
+        grown.append_row(&col, a[(n - 1, n - 1)]).unwrap();
+        let full = Cholesky::decompose_jittered(&a, 1e-8, 12).unwrap();
+        prop_assert_eq!(grown.jitter(), full.jitter());
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!(
+                    (grown.factor()[(i, j)] - full.factor()[(i, j)]).abs() < 1e-9,
+                    "entry ({}, {}): {} vs {}",
+                    i, j, grown.factor()[(i, j)], full.factor()[(i, j)]
+                );
+            }
+        }
+    }
+
+    /// The multi-RHS forward substitution agrees with per-vector solves
+    /// on random SPD factors and random right-hand sides.
+    #[test]
+    fn forward_substitute_batch_matches_per_vector_on_random_spd(
+        m in matrix_strategy(5, 5),
+        rhs in proptest::collection::vec(-4.0f64..4.0, 15),
+    ) {
+        let mt = m.transpose();
+        let mut a = m.matmul(&mt).unwrap();
+        a.add_diagonal(5.0);
+        let c = Cholesky::decompose(&a).unwrap();
+        let batch = c.forward_substitute_batch(&rhs).unwrap();
+        for (k, chunk) in rhs.chunks(5).enumerate() {
+            let single = c.forward_substitute(chunk);
+            prop_assert_eq!(&batch[k * 5..(k + 1) * 5], single.as_slice());
+        }
+    }
 }

@@ -1,0 +1,114 @@
+//! `cargo xtask bench-diff` — the perf-regression gate.
+//!
+//! Compares the `tesla_decide_seconds` p50 between two `BENCH_*.json`
+//! artifacts (as written by the tesla-bench binaries) and fails when
+//! the new artifact regresses by more than the budget. Both sides are
+//! bucket-resolution histogram quantiles, so the comparison is
+//! like-for-like; the budget is generous enough (10%) that one bucket
+//! step at the current latency scale does not flap the gate.
+
+/// The latency metric the gate watches.
+pub const GATE_METRIC: &str = "tesla_decide_seconds";
+
+/// Maximum tolerated p50 regression, percent.
+pub const BUDGET_PERCENT: f64 = 10.0;
+
+/// Extracts `p50_seconds` for `metric` from a `BENCH_*.json` body's
+/// `latency_breakdown` array. Mirrors the hand-rolled writer in
+/// `tesla-bench::profile` (the workspace has no serde).
+pub fn breakdown_p50(json: &str, metric: &str) -> Option<f64> {
+    let entry = json.find(&format!("\"metric\":\"{metric}\""))?;
+    let rest = &json[entry..];
+    let end = rest.find('}')?;
+    let entry_body = &rest[..end];
+    let key = "\"p50_seconds\":";
+    let at = entry_body.find(key)? + key.len();
+    let tail = &entry_body[at..];
+    let stop = tail.find([',', '}']).unwrap_or(tail.len());
+    tail[..stop].trim().parse::<f64>().ok()
+}
+
+/// Outcome of comparing an old artifact against a new one.
+#[derive(Debug, PartialEq)]
+pub enum DiffVerdict {
+    /// Within budget; holds the regression in percent (negative =
+    /// improvement).
+    Ok(f64),
+    /// Over budget; holds the regression in percent.
+    Regression(f64),
+    /// A side is missing the metric or holds a non-positive p50.
+    Unreadable(&'static str),
+}
+
+/// Compares the gate metric's p50 between two artifact bodies.
+pub fn diff(old_json: &str, new_json: &str) -> DiffVerdict {
+    let Some(old_p50) = breakdown_p50(old_json, GATE_METRIC) else {
+        return DiffVerdict::Unreadable("old artifact lacks the gate metric");
+    };
+    let Some(new_p50) = breakdown_p50(new_json, GATE_METRIC) else {
+        return DiffVerdict::Unreadable("new artifact lacks the gate metric");
+    };
+    let old_positive = old_p50.is_finite() && old_p50 > 0.0;
+    if !old_positive || !new_p50.is_finite() {
+        return DiffVerdict::Unreadable("non-positive or non-finite p50");
+    }
+    let regression_pct = 100.0 * (new_p50 / old_p50 - 1.0);
+    if regression_pct > BUDGET_PERCENT {
+        DiffVerdict::Regression(regression_pct)
+    } else {
+        DiffVerdict::Ok(regression_pct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(p50: f64) -> String {
+        format!(
+            "{{\"latency_breakdown\":[{{\"metric\":\"tesla_decide_seconds\",\
+             \"label\":\"TESLA control step\",\"count\":10,\
+             \"total_seconds\":1.0,\"p50_seconds\":{p50},\
+             \"p90_seconds\":0.1,\"p99_seconds\":0.2}}]}}"
+        )
+    }
+
+    #[test]
+    fn improvement_and_small_regressions_pass() {
+        assert_eq!(
+            diff(&artifact(0.05), &artifact(0.006)),
+            DiffVerdict::Ok(-88.0)
+        );
+        match diff(&artifact(0.05), &artifact(0.054)) {
+            DiffVerdict::Ok(pct) => assert!((pct - 8.0).abs() < 1e-9),
+            other => panic!("expected Ok, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn over_budget_regression_fails() {
+        match diff(&artifact(0.006), &artifact(0.008)) {
+            DiffVerdict::Regression(pct) => assert!(pct > BUDGET_PERCENT),
+            other => panic!("expected Regression, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_metric_is_unreadable() {
+        assert!(matches!(
+            diff("{}", &artifact(0.006)),
+            DiffVerdict::Unreadable(_)
+        ));
+        assert!(matches!(
+            diff(&artifact(0.0), &artifact(0.006)),
+            DiffVerdict::Unreadable(_)
+        ));
+    }
+
+    #[test]
+    fn p50_parses_real_artifact_shape() {
+        let body = artifact(0.0425);
+        assert_eq!(breakdown_p50(&body, GATE_METRIC), Some(0.0425));
+        assert_eq!(breakdown_p50(&body, "other"), None);
+    }
+}

@@ -11,6 +11,7 @@
 
 #![forbid(unsafe_code)]
 
+mod bench;
 mod links;
 mod lints;
 
@@ -24,6 +25,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
         Some("check-links") => check_links(),
+        Some("bench-diff") => bench_diff(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             ExitCode::SUCCESS
@@ -43,8 +45,55 @@ fn print_usage() {
          lint [--deny] [--report <path>]   run the static-analysis pass\n    \
            --deny            exit nonzero on any non-allowlisted finding\n    \
            --report <path>   JSON report path (default target/lint-report.json)\n  \
-         check-links                       verify relative links in markdown docs"
+         check-links                       verify relative links in markdown docs\n  \
+         bench-diff <old.json> <new.json>  fail on >{}% tesla_decide_seconds p50 regression",
+        bench::BUDGET_PERCENT
     );
+}
+
+fn bench_diff(args: &[String]) -> ExitCode {
+    let [old_path, new_path] = args else {
+        eprintln!("usage: cargo xtask bench-diff <old.json> <new.json>");
+        return ExitCode::from(2);
+    };
+    let read = |p: &String| match fs::read_to_string(p) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("xtask bench-diff: cannot read {p}: {e}");
+            None
+        }
+    };
+    let (Some(old_json), Some(new_json)) = (read(old_path), read(new_path)) else {
+        return ExitCode::from(2);
+    };
+    let old_p50 = bench::breakdown_p50(&old_json, bench::GATE_METRIC);
+    let new_p50 = bench::breakdown_p50(&new_json, bench::GATE_METRIC);
+    println!(
+        "xtask bench-diff: {} p50 {} -> {} seconds",
+        bench::GATE_METRIC,
+        old_p50.map_or("?".into(), |v| format!("{v:.4}")),
+        new_p50.map_or("?".into(), |v| format!("{v:.4}")),
+    );
+    match bench::diff(&old_json, &new_json) {
+        bench::DiffVerdict::Ok(pct) => {
+            println!(
+                "xtask bench-diff: {pct:+.1}% within the {}% budget",
+                bench::BUDGET_PERCENT
+            );
+            ExitCode::SUCCESS
+        }
+        bench::DiffVerdict::Regression(pct) => {
+            eprintln!(
+                "xtask bench-diff: FAIL — {pct:+.1}% p50 regression exceeds the {}% budget",
+                bench::BUDGET_PERCENT
+            );
+            ExitCode::FAILURE
+        }
+        bench::DiffVerdict::Unreadable(why) => {
+            eprintln!("xtask bench-diff: cannot compare: {why}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 /// Crates scanned per rule (paths relative to the workspace root).

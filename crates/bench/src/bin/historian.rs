@@ -1,0 +1,350 @@
+//! Benchmark and smoke harness for the tesla-historian storage engine.
+//!
+//! Default mode runs the chaos-workload benchmark and writes
+//! `bench_results/BENCH_historian.json`:
+//!
+//! * **Ingest throughput** — multi-threaded batched appends of a
+//!   sensor-like workload (0.1 °C-quantized random walks over many
+//!   series) into a WAL-backed historian, reported as
+//!   `ingest_samples_per_second` (the `cargo xtask bench-diff` gate)
+//!   alongside the in-memory (WAL-less) rate.
+//! * **Compression** — every block sealed, then compressed
+//!   bytes/sample over the whole dataset (target ≤ 3 B/sample).
+//! * **Recovery** — the engine is dropped and reopened, timing the full
+//!   WAL replay (`recovery_seconds`).
+//!
+//! `--smoke` instead runs the CI crash-safety drill: record a supervised
+//! episode into a durable historian, tear the WAL tail mid-record (the
+//! "kill"), recover, and replay — exiting non-zero unless the replayed
+//! set-point sequence is bit-identical and recovery truncated the tear.
+//!
+//! Flags: `--series N` (default 64), `--samples-per-series N`
+//! (default 100000), `--threads N` (default 4), `--seed S` (default 7),
+//! `--dir PATH` (default a fresh temp dir, removed afterwards).
+
+use std::sync::Arc;
+use std::time::Instant;
+use tesla_bench::arg_f64;
+use tesla_core::{
+    record_episode, replay_supervised_episode, run_supervised_episode, EpisodeConfig,
+    FixedController, Supervisor, SupervisorConfig,
+};
+use tesla_historian::{FsyncPolicy, Historian, HistorianConfig, MetricStore};
+use tesla_units::Celsius;
+use tesla_workload::LoadSetting;
+
+/// Deterministic xorshift so the workload needs no rand dependency and
+/// reproduces across runs.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform in [-1, 1).
+    fn next_signed(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 52) as f64 * 2.0 - 1.0
+    }
+}
+
+/// One series of the chaos workload, sampled every 60 s in one of the
+/// three shapes real DC telemetry takes: slow 0.1 °C-resolution
+/// temperatures that hold their reading most minutes with occasional
+/// regime jumps, integer-watt server power that moves most minutes, and
+/// bursty integer utilization percentages that re-level now and then.
+fn chaos_series(seed: u64, n: usize) -> Vec<(f64, f64)> {
+    let mut rng = XorShift(seed | 1);
+    let kind = seed % 3;
+    let mut level = match kind {
+        0 => 20.0 + (seed % 13) as f64 * 0.5,
+        1 => 180.0 + (seed % 40) as f64,
+        _ => 40.0,
+    };
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let r = rng.next_u64();
+        match kind {
+            0 => {
+                if r.is_multiple_of(1024) {
+                    level += rng.next_signed() * 3.0; // cooling regime change
+                } else if r.is_multiple_of(4) {
+                    level += if r & 4 == 0 { 0.1 } else { -0.1 };
+                }
+                level = (level * 10.0).round() / 10.0;
+            }
+            1 => {
+                if !r.is_multiple_of(3) {
+                    level = (level + (rng.next_signed() * 25.0).round()).max(0.0);
+                }
+            }
+            _ => {
+                if r.is_multiple_of(8) {
+                    level = (rng.next_signed().abs() * 100.0).round();
+                }
+            }
+        }
+        out.push((i as f64 * 60.0, level));
+    }
+    out
+}
+
+/// Appends the whole workload through `store` from `threads` worker
+/// threads in `batch`-sample chunks, returning wall seconds.
+fn ingest(store: &Historian, workload: &[(String, Vec<(f64, f64)>)], threads: usize) -> f64 {
+    const BATCH: usize = 1024;
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for chunk in workload.chunks(workload.len().div_ceil(threads.max(1))) {
+            scope.spawn(move || {
+                for (name, samples) in chunk {
+                    for batch in samples.chunks(BATCH) {
+                        store.append_batch(name, batch);
+                    }
+                }
+            });
+        }
+    });
+    t0.elapsed().as_secs_f64()
+}
+
+fn bench_dir(flag: &str) -> (std::path::PathBuf, bool) {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len().saturating_sub(1) {
+        if args[i] == format!("--{flag}") {
+            return (std::path::PathBuf::from(&args[i + 1]), false);
+        }
+    }
+    let dir = std::env::temp_dir().join(format!("tesla-historian-bench-{}", std::process::id()));
+    (dir, true)
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+
+    let n_series = arg_f64("series", 64.0) as usize;
+    let per_series = arg_f64("samples-per-series", 100_000.0) as usize;
+    let threads = arg_f64("threads", 4.0) as usize;
+    let seed = arg_f64("seed", 7.0) as u64;
+    let (dir, cleanup) = bench_dir("dir");
+    let total = (n_series * per_series) as f64;
+
+    eprintln!("generating chaos workload: {n_series} series x {per_series} samples …");
+    let workload: Vec<(String, Vec<(f64, f64)>)> = (0..n_series)
+        .map(|i| {
+            (
+                format!("chaos.sensor.{i:03}"),
+                chaos_series(
+                    seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9),
+                    per_series,
+                ),
+            )
+        })
+        .collect();
+
+    // In-memory ingest: the pure sharded-append ceiling, no WAL.
+    tesla_obs::set_enabled(false);
+    let mem = Historian::in_memory(HistorianConfig::default());
+    let mem_secs = ingest(&mem, &workload, threads);
+    let mem_rate = total / mem_secs;
+    eprintln!("in-memory ingest: {:.2}M samples/s", mem_rate / 1e6);
+
+    // Durable ingest: WAL-backed, batched fsync.
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = HistorianConfig {
+        fsync: FsyncPolicy::EveryN(4096),
+        ..HistorianConfig::default()
+    };
+    let (durable, _) = Historian::open(&dir, cfg.clone()).expect("open historian");
+    let wal_secs = ingest(&durable, &workload, threads);
+    let wal_rate = total / wal_secs;
+    eprintln!("durable ingest:   {:.2}M samples/s", wal_rate / 1e6);
+
+    durable.seal_all();
+    let stats = durable.storage_stats();
+    let bytes_per_sample = stats.bytes_per_sample().unwrap_or(f64::NAN);
+    eprintln!(
+        "compression: {} samples sealed into {} bytes = {:.3} B/sample",
+        stats.sealed_samples, stats.sealed_bytes, bytes_per_sample
+    );
+    durable.flush().expect("flush WAL");
+    drop(durable);
+
+    // Recovery: reopen and replay the full WAL.
+    let t0 = Instant::now();
+    let (recovered, rstats) = Historian::open(&dir, cfg).expect("recover historian");
+    let recovery_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        rstats.samples, total as u64,
+        "recovery must replay every ingested sample"
+    );
+    let probe = recovered
+        .series_samples("chaos.sensor.000")
+        .expect("recovered series");
+    assert_eq!(probe.0.len(), per_series);
+    drop(recovered);
+    if cleanup {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    eprintln!(
+        "recovery: {} records / {} samples in {recovery_secs:.2}s",
+        rstats.records, rstats.samples
+    );
+
+    tesla_bench::print_table(
+        &format!("Historian: chaos workload ({n_series} series x {per_series})"),
+        &["metric", "value"],
+        &[
+            vec![
+                "in-memory ingest (M samples/s)".into(),
+                format!("{:.2}", mem_rate / 1e6),
+            ],
+            vec![
+                "durable ingest (M samples/s)".into(),
+                format!("{:.2}", wal_rate / 1e6),
+            ],
+            vec![
+                "compressed bytes/sample".into(),
+                format!("{bytes_per_sample:.3}"),
+            ],
+            vec!["recovery (s)".into(), format!("{recovery_secs:.2}")],
+            vec![
+                "recovery rate (M samples/s)".into(),
+                format!("{:.2}", total / recovery_secs / 1e6),
+            ],
+        ],
+    );
+
+    let mut failures = Vec::new();
+    if wal_rate < 1e6 {
+        failures.push(format!(
+            "durable ingest {:.2}M samples/s is below the 1M floor",
+            wal_rate / 1e6
+        ));
+    }
+    if bytes_per_sample.is_nan() || bytes_per_sample > 3.0 {
+        failures.push(format!(
+            "compression {bytes_per_sample:.3} B/sample exceeds the 3-byte budget"
+        ));
+    }
+
+    let path = tesla_bench::profile::write_bench_json(
+        "historian",
+        &[
+            ("series", format!("{n_series}")),
+            ("samples_per_series", format!("{per_series}")),
+            ("threads", format!("{threads}")),
+            ("ingest_samples_per_second", format!("{wal_rate:.1}")),
+            ("ingest_mem_samples_per_second", format!("{mem_rate:.1}")),
+            (
+                "compressed_bytes_per_sample",
+                format!("{bytes_per_sample:.4}"),
+            ),
+            ("recovery_seconds", format!("{recovery_secs:.4}")),
+            ("recovered_records", format!("{}", rstats.records)),
+            ("recovered_samples", format!("{}", rstats.samples)),
+        ],
+    );
+    println!("report written to {}", path.display());
+
+    for f in &failures {
+        eprintln!("FAIL: {f}");
+    }
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+/// CI crash-safety drill: record → tear the WAL tail → recover → replay.
+fn smoke() {
+    tesla_obs::set_enabled(false);
+    let (dir, cleanup) = bench_dir("dir");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cfg = EpisodeConfig {
+        setting: LoadSetting::Medium,
+        minutes: 30,
+        warmup_minutes: 15,
+        seed: 42,
+        ..EpisodeConfig::default()
+    };
+    let mut ctrl = FixedController::new(Celsius::new(23.4));
+    let mut sup = Supervisor::new(SupervisorConfig::default());
+    let original = run_supervised_episode(&mut ctrl, &mut sup, &cfg).expect("episode");
+
+    // Record, then append one sacrificial unsynced record and tear it:
+    // recovery must drop exactly that tail and keep the episode intact.
+    {
+        let (store, _) = Historian::open(&dir, HistorianConfig::default()).expect("open");
+        record_episode(&store, "smoke", &original);
+        store.flush().expect("flush");
+        store.append_batch("smoke.sacrificial", &[(0.0, 1.0), (60.0, 2.0)]);
+    }
+    let torn = tear_segment_containing(&dir, b"smoke.sacrificial");
+    eprintln!("tore {torn} bytes off the sacrificial record's WAL segment");
+
+    let t0 = Instant::now();
+    let (store, rstats) = Historian::open(&dir, HistorianConfig::default()).expect("recover");
+    let recovery_secs = t0.elapsed().as_secs_f64();
+    assert!(
+        rstats.truncated_bytes > 0,
+        "the torn tail must have been truncated (stats: {rstats:?})"
+    );
+
+    let store: Arc<dyn MetricStore> = Arc::new(store);
+    let mut sup2 = Supervisor::new(SupervisorConfig::default());
+    let replayed =
+        replay_supervised_episode(store.as_ref(), "smoke", &mut sup2, &cfg).expect("replay");
+    assert_eq!(
+        original.setpoints, replayed.setpoints,
+        "replayed set-points must be bit-identical"
+    );
+    assert_eq!(original.cold_aisle_max, replayed.cold_aisle_max);
+
+    if cleanup {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    println!(
+        "historian smoke PASS: {} records recovered in {recovery_secs:.2}s, \
+         {} bytes truncated, replay bit-identical over {} minutes",
+        rstats.records,
+        rstats.truncated_bytes,
+        original.setpoints.len()
+    );
+}
+
+/// Chops the last 5 bytes off the WAL segment whose bytes contain
+/// `needle` — a mid-record torn write on that record, as a crash or
+/// power loss would leave it. WAL frames carry the series name in the
+/// clear, so a byte scan finds the right shard and segment.
+fn tear_segment_containing(dir: &std::path::Path, needle: &[u8]) -> u64 {
+    for shard in std::fs::read_dir(dir).expect("historian dir") {
+        let shard = shard.expect("shard entry").path();
+        if !shard.is_dir() {
+            continue;
+        }
+        for seg in std::fs::read_dir(&shard).expect("shard dir") {
+            let seg = seg.expect("segment entry").path();
+            let bytes = std::fs::read(&seg).expect("read segment");
+            if !bytes.windows(needle.len()).any(|w| w == needle) {
+                continue;
+            }
+            let torn = 5.min(bytes.len() as u64);
+            let file = std::fs::OpenOptions::new()
+                .write(true)
+                .open(&seg)
+                .expect("open segment");
+            file.set_len(bytes.len() as u64 - torn).expect("truncate");
+            return torn;
+        }
+    }
+    panic!("no WAL segment contains the sacrificial record");
+}

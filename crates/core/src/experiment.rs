@@ -37,6 +37,12 @@ pub struct EpisodeConfig {
     /// Fault-injection plan installed on the testbed (default: none).
     /// Windows are in testbed simulation minutes, i.e. warm-up included.
     pub faults: FaultPlan,
+    /// Telemetry retention for long episodes (default: keep everything).
+    /// When set, the supervised runner bounds the in-process [`Trace`] to
+    /// the policy's raw horizon (`raw_horizon_s` of 1-minute samples), so
+    /// a week-long episode holds days — not weeks — of history in memory.
+    /// The same policy type drives the historian's on-disk ageing.
+    pub retention: Option<tesla_historian::RetentionPolicy>,
 }
 
 impl Default for EpisodeConfig {
@@ -50,6 +56,7 @@ impl Default for EpisodeConfig {
             placement: Placement::Spread,
             seed: 0,
             faults: FaultPlan::none(),
+            retention: None,
         }
     }
 }

@@ -23,6 +23,10 @@
 //! * [`experiment`] — closed-loop episode runner computing the Table 5
 //!   metrics (cooling energy, thermal-safety violation, cooling
 //!   interruption).
+//! * [`replay`] — episode snapshot/replay: records the executed
+//!   set-point sequence into a [`tesla_historian::MetricStore`] and
+//!   re-executes it later (across restarts, through WAL recovery) for a
+//!   bit-identical reproduction of the original episode.
 //! * [`runtime`] — the §4-faithful threaded producer/consumer deployment
 //!   over a message queue, with safe-mode fallback when the consumer dies.
 //! * [`supervisor`] — the robustness layer: decision watchdog, retrying
@@ -52,6 +56,7 @@ pub mod experiment;
 pub mod fixed;
 pub mod lazic;
 pub mod objective;
+pub mod replay;
 pub mod runtime;
 pub mod smoothing;
 pub mod supervisor;
@@ -62,6 +67,7 @@ pub use controller::Controller;
 pub use experiment::{run_episode, EpisodeConfig, EvalResult};
 pub use fixed::FixedController;
 pub use lazic::LazicController;
+pub use replay::{record_episode, replay_supervised_episode, ReplayController};
 pub use runtime::run_episode_threaded;
 pub use smoothing::SmoothingBuffer;
 pub use supervisor::{

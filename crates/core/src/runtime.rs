@@ -9,7 +9,8 @@
 //! ACU's PID controller."
 //!
 //! Here the producer thread owns the testbed (stepping physics and
-//! collecting observations into the shared [`TsdbStore`]) and the
+//! collecting observations into the shared [`MetricStore`] — the in-RAM
+//! `TsdbStore` or the durable `tesla_historian::Historian`) and the
 //! consumer thread owns the controller; set-points travel back on a
 //! second channel and are applied before the next sampling period.
 //!
@@ -32,7 +33,7 @@ use std::sync::Arc;
 use std::time::Duration;
 use tesla_forecast::Trace;
 use tesla_sim::Testbed;
-use tesla_telemetry::{Collector, TelemetryQueue, TsdbStore};
+use tesla_telemetry::{Collector, MetricStore, TelemetryQueue};
 use tesla_units::{Celsius, NOMINAL_SETPOINT};
 use tesla_workload::{DiurnalProfile, Orchestrator};
 
@@ -52,7 +53,7 @@ const DECISION_WAIT: Duration = Duration::from_secs(60);
 pub fn run_episode_threaded(
     mut controller: Box<dyn Controller>,
     config: &EpisodeConfig,
-    store: Arc<TsdbStore>,
+    store: Arc<dyn MetricStore>,
 ) -> Result<EvalResult, CoreError> {
     let mut testbed = Testbed::new(config.sim.clone(), config.seed)?;
     testbed.set_fault_plan(config.faults.clone());
@@ -92,7 +93,7 @@ pub fn run_episode_threaded(
         &mut profile,
         &mut rng,
         config,
-        &store,
+        store.as_ref(),
         &obs_q,
         &sp_q,
         &mut supervisor,
@@ -113,7 +114,7 @@ fn producer_loop(
     profile: &mut DiurnalProfile,
     rng: &mut StdRng,
     config: &EpisodeConfig,
-    store: &TsdbStore,
+    store: &dyn MetricStore,
     obs_q: &TelemetryQueue<Trace>,
     sp_q: &TelemetryQueue<f64>,
     supervisor: &mut Supervisor,
@@ -232,12 +233,13 @@ fn producer_loop(
 mod tests {
     use super::*;
     use crate::fixed::FixedController;
-    use tesla_telemetry::metric;
+    use tesla_telemetry::{metric, TsdbStore};
     use tesla_workload::LoadSetting;
 
     #[test]
     fn threaded_loop_matches_metrics_shape() {
         let store = Arc::new(TsdbStore::new());
+        let dyn_store: Arc<dyn MetricStore> = Arc::clone(&store) as _;
         let cfg = EpisodeConfig {
             setting: LoadSetting::Medium,
             minutes: 40,
@@ -248,7 +250,7 @@ mod tests {
         let result = run_episode_threaded(
             Box::new(FixedController::new(Celsius::new(23.0))),
             &cfg,
-            Arc::clone(&store),
+            dyn_store,
         )
         .unwrap();
         assert_eq!(result.setpoints.len(), 40);

@@ -593,6 +593,24 @@ pub fn run_supervised_episode(
     supervisor.reset();
     testbed.write_setpoint(NOMINAL_SETPOINT);
 
+    // Bounded-memory trace retention, mirroring the historian's raw
+    // horizon at the runner's 1-minute cadence. Drops are chunked (only
+    // once the trace overshoots the horizon by 25%) so the O(len) front
+    // drain amortizes instead of running every minute.
+    let trace_keep = config
+        .retention
+        .map(|p| ((p.raw_horizon_s / 60.0).ceil() as usize).max(1));
+    let mut dropped_total = 0usize;
+    let prune = |trace: &mut Trace, dropped_total: &mut usize| {
+        if let Some(keep) = trace_keep {
+            if trace.len() > keep + keep / 4 {
+                let drop = trace.len() - keep;
+                trace.drop_front(drop);
+                *dropped_total += drop;
+            }
+        }
+    };
+
     for _ in 0..config.warmup_minutes {
         let target = profile.sample(0.0, &mut rng);
         let utils = orch.tick(config.sim.sample_period_s, target, &mut rng);
@@ -602,8 +620,10 @@ pub fn run_supervised_episode(
         rest_health.sanitize(rest);
         inlet_health.sanitize(&mut obs.acu_inlet_temps);
         push_observation(&mut trace, &obs);
+        prune(&mut trace, &mut dropped_total);
     }
     let metered_from = trace.len();
+    let dropped_at_metering = dropped_total;
 
     let mut cooling_energy_kwh = 0.0;
     let mut violations = 0usize;
@@ -656,6 +676,7 @@ pub fn run_supervised_episode(
         server_energy_kwh +=
             obs.server_powers_kw.iter().sum::<f64>() * config.sim.sample_period_s / 3600.0;
         push_observation(&mut trace, &obs);
+        prune(&mut trace, &mut dropped_total);
 
         // The cold monitor only sees indices 0..n_cold, so its report
         // needs no index filtering.
@@ -686,7 +707,10 @@ pub fn run_supervised_episode(
         avg_server_power,
         server_energy_kwh,
         trace,
-        metered_from,
+        // Retention may have dropped samples from before (and after) the
+        // metering mark; shift the index by the post-mark drops so it
+        // still points at the first metered sample that remains.
+        metered_from: metered_from.saturating_sub(dropped_total - dropped_at_metering),
         safe_mode_minutes: supervisor.safe_mode_minutes(),
     })
 }
@@ -897,6 +921,42 @@ mod tests {
         };
         let r = run_supervised_episode(&mut ctrl, &mut sup, &cfg).unwrap();
         (r, sup)
+    }
+
+    #[test]
+    fn long_episode_with_retention_holds_bounded_memory() {
+        // A 7-day supervised episode keeping a 1-day raw horizon: the
+        // in-process trace must stay bounded at keep + 25% slack instead
+        // of growing to 10k+ rows.
+        let mut ctrl = FixedController::new(c(23.0));
+        let mut sup = Supervisor::new(SupervisorConfig::default());
+        let minutes = 7 * 24 * 60;
+        let cfg = EpisodeConfig {
+            setting: LoadSetting::Medium,
+            minutes,
+            warmup_minutes: 60,
+            seed: 5,
+            retention: Some(tesla_historian::RetentionPolicy::new(
+                86_400.0,
+                7.0 * 86_400.0,
+            )),
+            ..EpisodeConfig::default()
+        };
+        let r = run_supervised_episode(&mut ctrl, &mut sup, &cfg).unwrap();
+        let keep = 1440; // 86 400 s of 1-minute samples
+        assert!(
+            r.trace.len() <= keep + keep / 4,
+            "trace holds {} rows, bound is {}",
+            r.trace.len(),
+            keep + keep / 4
+        );
+        assert!(r.trace.len() >= keep, "must still retain the full horizon");
+        // The metered series themselves are untouched by retention.
+        assert_eq!(r.setpoints.len(), minutes);
+        assert_eq!(r.cold_aisle_max.len(), minutes);
+        // The metering mark slid off the retained window entirely.
+        assert_eq!(r.metered_from, 0);
+        assert_eq!(r.safe_mode_minutes, 0, "retention must not fake stress");
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub mod trace;
 
 pub use model::{DcTimeSeriesModel, ModelConfig, Prediction, PreparedDecision};
 pub use recursive::RecursiveAr;
-pub use trace::{ModelWindow, Trace};
+pub use trace::{window_from_store, ModelWindow, Trace};
 
 /// Errors produced while building datasets or fitting models.
 #[derive(Debug, Clone, PartialEq)]

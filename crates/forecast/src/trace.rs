@@ -1,6 +1,7 @@
 //! Trace and window containers shared by all sub-modules.
 
 use crate::ForecastError;
+use tesla_historian::MetricStore;
 
 /// A contiguous, per-minute telemetry trace used for training and
 /// evaluation. Columns are stored signal-major (`[sensor][time]`) because
@@ -119,6 +120,27 @@ impl Trace {
         Ok(())
     }
 
+    /// Drops the oldest `n` samples from every column — the retention
+    /// hook long-running episodes use to keep a rolling window instead
+    /// of unbounded history. Dropping more than the length clears the
+    /// trace.
+    pub fn drop_front(&mut self, n: usize) {
+        let n = n.min(self.len());
+        if n == 0 {
+            return;
+        }
+        self.avg_power.drain(..n);
+        for col in &mut self.acu_inlet {
+            col.drain(..n.min(col.len()));
+        }
+        for col in &mut self.dc_temps {
+            col.drain(..n.min(col.len()));
+        }
+        self.setpoint.drain(..n.min(self.setpoint.len()));
+        self.acu_energy.drain(..n.min(self.acu_energy.len()));
+        self.acu_power.drain(..n.min(self.acu_power.len()));
+    }
+
     /// Extracts the model input window ending at (and including) time
     /// index `t`: the past `l` samples of each signal.
     pub fn window_at(&self, t: usize, l: usize) -> Result<ModelWindow, ForecastError> {
@@ -177,6 +199,37 @@ impl ModelWindow {
         }
         Ok(())
     }
+}
+
+/// Builds the model input window directly from a [`MetricStore`] — the
+/// paper's deployment shape, where the producer pulls lag windows from
+/// InfluxDB rather than carrying an in-process trace. One aligned
+/// `last_n_many` fetch covers power, inlet, and rack series; every
+/// series must hold at least `l` samples or the window is rejected.
+pub fn window_from_store(
+    store: &dyn MetricStore,
+    power_metric: &str,
+    inlet_metrics: &[String],
+    dc_metrics: &[String],
+    l: usize,
+) -> Result<ModelWindow, ForecastError> {
+    let mut names: Vec<&str> = Vec::with_capacity(1 + inlet_metrics.len() + dc_metrics.len());
+    names.push(power_metric);
+    names.extend(inlet_metrics.iter().map(String::as_str));
+    names.extend(dc_metrics.iter().map(String::as_str));
+    let mut columns = store.last_n_many(&names, l);
+    for (name, col) in names.iter().zip(&columns) {
+        if col.len() != l {
+            return Err(ForecastError::BadWindow(format!(
+                "store series {name} holds {} samples, window needs {l}",
+                col.len()
+            )));
+        }
+    }
+    let dc = columns.split_off(1 + inlet_metrics.len());
+    let inlet = columns.split_off(1);
+    let power = columns.pop().unwrap_or_default();
+    Ok(ModelWindow { power, inlet, dc })
 }
 
 #[cfg(test)]
@@ -251,5 +304,54 @@ mod tests {
         assert!(w.check_shape(5, 2, 3).is_err());
         assert!(w.check_shape(4, 1, 3).is_err());
         assert!(w.check_shape(4, 2, 2).is_err());
+    }
+
+    #[test]
+    fn drop_front_keeps_alignment_and_bounds_length() {
+        let mut tr = trace(10);
+        tr.drop_front(4);
+        assert_eq!(tr.len(), 6);
+        tr.validate(6).unwrap();
+        // Columns shifted together: old index 4 is the new index 0.
+        assert_eq!(tr.avg_power[0], 4.0);
+        assert_eq!(tr.acu_inlet[0][0], 14.0);
+        assert_eq!(tr.dc_temps[2][0], 7.0);
+        // Windows relative to the end are unchanged by the drop.
+        let w = tr.window_at(tr.len() - 1, 3).unwrap();
+        assert_eq!(w.power, vec![7.0, 8.0, 9.0]);
+        // Over-dropping clears, never panics.
+        tr.drop_front(100);
+        assert_eq!(tr.len(), 0);
+        tr.drop_front(1);
+        assert!(tr.is_empty());
+    }
+
+    #[test]
+    fn window_from_store_matches_window_at() {
+        use tesla_historian::{Historian, HistorianConfig};
+        let tr = trace(10);
+        let h = Historian::in_memory(HistorianConfig {
+            block_len: 4, // exercise sealed blocks inside the window
+            ..HistorianConfig::default()
+        });
+        let inlets = vec!["inlet.0".to_string(), "inlet.1".to_string()];
+        let dcs = vec!["dc.0".to_string(), "dc.1".to_string(), "dc.2".to_string()];
+        for i in 0..tr.len() {
+            let t = i as f64 * 60.0;
+            h.insert("power", t, tr.avg_power[i]);
+            for (k, name) in inlets.iter().enumerate() {
+                h.insert(name, t, tr.acu_inlet[k][i]);
+            }
+            for (k, name) in dcs.iter().enumerate() {
+                h.insert(name, t, tr.dc_temps[k][i]);
+            }
+        }
+        let want = tr.window_at(9, 4).unwrap();
+        let got = window_from_store(&h, "power", &inlets, &dcs, 4).unwrap();
+        assert_eq!(got, want);
+        got.check_shape(4, 2, 3).unwrap();
+        // A short series rejects the window instead of padding it.
+        assert!(window_from_store(&h, "power", &inlets, &dcs, 11).is_err());
+        assert!(window_from_store(&h, "missing", &inlets, &dcs, 4).is_err());
     }
 }

@@ -1,7 +1,7 @@
 //! The Telegraf stand-in: fans a simulator observation out into the store
 //! under stable metric names.
 
-use crate::store::TsdbStore;
+use tesla_historian::MetricStore;
 use tesla_sim::Observation;
 
 /// Metric-name helpers. Names are stable across the workspace: the
@@ -50,14 +50,15 @@ pub mod metric {
     }
 }
 
-/// Collects observations into a [`TsdbStore`].
+/// Collects observations into any [`MetricStore`] backend — the in-RAM
+/// [`crate::TsdbStore`] or the durable `tesla_historian::Historian`.
 #[derive(Debug, Default)]
 pub struct Collector;
 
 impl Collector {
     /// Writes every signal of `obs` into `store`, timestamped with the
     /// observation's simulation time.
-    pub fn collect(store: &TsdbStore, obs: &Observation) {
+    pub fn collect(store: &dyn MetricStore, obs: &Observation) {
         let t = obs.time_s;
         store.insert(metric::ACU_POWER, t, obs.acu_power_kw);
         store.insert(metric::ACU_ENERGY, t, obs.acu_energy_kwh);
@@ -88,6 +89,7 @@ impl Collector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::TsdbStore;
     use tesla_sim::{SimConfig, Testbed};
 
     #[test]

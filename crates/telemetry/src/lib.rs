@@ -13,7 +13,10 @@
 //! * [`series::TimeSeries`] — an append-only (time, value) column pair
 //!   with window queries.
 //! * [`store::TsdbStore`] — a thread-safe metric-name → series map
-//!   ([`parking_lot::RwLock`] inside, shareable via `Arc`).
+//!   ([`parking_lot::RwLock`] inside, shareable via `Arc`). It implements
+//!   [`tesla_historian::MetricStore`], the storage trait shared with the
+//!   durable `tesla-historian` engine, so either backend can sit behind
+//!   the collector and runtime.
 //! * [`collector::Collector`] — fans one simulator [`tesla_sim::Observation`]
 //!   out into the store under stable metric names.
 //! * [`queue::TelemetryQueue`] — a bounded crossbeam channel pairing the
@@ -51,3 +54,4 @@ pub use normalize::MinMaxNormalizer;
 pub use queue::TelemetryQueue;
 pub use series::TimeSeries;
 pub use store::TsdbStore;
+pub use tesla_historian::MetricStore;

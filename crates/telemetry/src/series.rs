@@ -59,7 +59,15 @@ impl TimeSeries {
     }
 
     /// Values with `t0 <= time < t1` (binary search on the time column).
+    ///
+    /// The window is empty — never a panic — for a NaN bound or an
+    /// empty/reversed interval. Without the guard, `t1 = NaN` makes
+    /// every `t < t1` comparison false, so `hi = 0` while `lo` can be
+    /// positive, and `&values[lo..hi]` is a backwards slice.
     pub fn range(&self, t0: f64, t1: f64) -> &[f64] {
+        if t0.is_nan() || t1.is_nan() || t0 >= t1 {
+            return &[];
+        }
         let lo = self.times.partition_point(|&t| t < t0);
         let hi = self.times.partition_point(|&t| t < t1);
         &self.values[lo..hi]
@@ -129,6 +137,28 @@ mod tests {
         assert_eq!(s.range(60.0, 180.0), &[20.0, 30.0]);
         assert_eq!(s.range(0.0, 1e9), &[10.0, 20.0, 30.0, 40.0]);
         assert_eq!(s.range(200.0, 300.0), &[] as &[f64]);
+    }
+
+    #[test]
+    fn range_exact_boundaries_include_start_exclude_end() {
+        let s = series(&[10.0, 20.0, 30.0, 40.0]); // times 0, 60, 120, 180
+                                                   // A sample exactly at t0 is included; exactly at t1 is not.
+        assert_eq!(s.range(0.0, 60.0), &[10.0]);
+        assert_eq!(s.range(180.0, 181.0), &[40.0]);
+        assert_eq!(s.range(180.0, 180.5), &[40.0]);
+        // Degenerate window [t, t) is empty even on a sample time.
+        assert_eq!(s.range(60.0, 60.0), &[] as &[f64]);
+    }
+
+    #[test]
+    fn range_nan_and_reversed_bounds_are_empty_not_panic() {
+        let s = series(&[10.0, 20.0, 30.0, 40.0]);
+        // Regression: NaN t1 used to produce hi=0 with lo>0 and panic
+        // on the backwards slice.
+        assert_eq!(s.range(60.0, f64::NAN), &[] as &[f64]);
+        assert_eq!(s.range(f64::NAN, 60.0), &[] as &[f64]);
+        assert_eq!(s.range(f64::NAN, f64::NAN), &[] as &[f64]);
+        assert_eq!(s.range(120.0, 60.0), &[] as &[f64]);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::series::TimeSeries;
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use tesla_historian::MetricStore;
 
 /// A concurrent metric-name → [`TimeSeries`] map.
 ///
@@ -136,6 +137,74 @@ impl TsdbStore {
     }
 }
 
+/// [`MetricStore`] is the interface the collector, runtime, and forecast
+/// window builders consume, so `Arc<TsdbStore>` and
+/// `Arc<tesla_historian::Historian>` are drop-in replacements for each
+/// other. Delegates to the inherent methods; `insert_batch` is
+/// specialized to amortize the write lock.
+impl MetricStore for TsdbStore {
+    fn insert(&self, metric: &str, time_s: f64, value: f64) {
+        TsdbStore::insert(self, metric, time_s, value);
+    }
+
+    fn insert_batch(&self, metric: &str, samples: &[(f64, f64)]) {
+        let mut map = self.inner.write();
+        let series = map.entry(metric.to_owned()).or_default();
+        for &(t, v) in samples {
+            series.push(t, v);
+        }
+    }
+
+    fn last_n(&self, metric: &str, n: usize) -> Vec<f64> {
+        TsdbStore::last_n(self, metric, n)
+    }
+
+    fn last(&self, metric: &str) -> Option<f64> {
+        TsdbStore::last(self, metric)
+    }
+
+    fn range(&self, metric: &str, t0: f64, t1: f64) -> Vec<f64> {
+        TsdbStore::range(self, metric, t0, t1)
+    }
+
+    fn values(&self, metric: &str) -> Vec<f64> {
+        TsdbStore::values(self, metric)
+    }
+
+    fn len(&self, metric: &str) -> usize {
+        TsdbStore::len(self, metric)
+    }
+
+    fn metric_names(&self) -> Vec<String> {
+        TsdbStore::metric_names(self)
+    }
+
+    fn is_empty(&self) -> bool {
+        TsdbStore::is_empty(self)
+    }
+
+    fn mean_last_n(&self, metric: &str, n: usize) -> Option<f64> {
+        TsdbStore::mean_last_n(self, metric, n)
+    }
+
+    fn aggregate_range(&self, metric: &str, t0: f64, t1: f64) -> Option<(f64, f64, f64)> {
+        TsdbStore::aggregate_range(self, metric, t0, t1)
+    }
+
+    fn last_n_many(&self, metrics: &[&str], n: usize) -> Vec<Vec<f64>> {
+        // One read-lock acquisition for the whole aligned fetch.
+        let map = self.inner.read();
+        metrics
+            .iter()
+            .map(|m| {
+                map.get(*m)
+                    .map(|s| s.last_n(n).to_vec())
+                    .unwrap_or_default()
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,5 +308,60 @@ mod tests {
             store.insert("x", i as f64 * 60.0, i as f64);
         }
         assert_eq!(store.range("x", 120.0, 300.0), vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn range_nan_bounds_are_empty_not_panic() {
+        let store = TsdbStore::new();
+        for i in 0..10 {
+            store.insert("x", i as f64 * 60.0, i as f64);
+        }
+        assert!(store.range("x", f64::NAN, 300.0).is_empty());
+        assert!(store.range("x", 120.0, f64::NAN).is_empty());
+        assert!(store.range("x", 300.0, 120.0).is_empty());
+    }
+
+    #[test]
+    fn range_semantics_match_historian_backend() {
+        use tesla_historian::{Historian, HistorianConfig};
+        let tsdb = TsdbStore::new();
+        let hist = Historian::in_memory(HistorianConfig {
+            block_len: 4, // force sealed-block boundaries into the window
+            ..HistorianConfig::default()
+        });
+        for i in 0..10 {
+            let (t, v) = (i as f64 * 60.0, i as f64);
+            tsdb.insert("x", t, v);
+            MetricStore::insert(&hist, "x", t, v);
+        }
+        for (t0, t1) in [
+            (120.0, 300.0),
+            (0.0, 60.0),       // exact boundaries
+            (540.0, 541.0),    // last sample only
+            (60.0, 60.0),      // degenerate
+            (300.0, 120.0),    // reversed
+            (f64::NAN, 300.0), // NaN start
+            (120.0, f64::NAN), // NaN end
+            (-1e9, 1e9),       // everything
+        ] {
+            assert_eq!(
+                MetricStore::range(&tsdb, "x", t0, t1),
+                MetricStore::range(&hist, "x", t0, t1),
+                "backends disagree on range({t0}, {t1})"
+            );
+        }
+    }
+
+    #[test]
+    fn trait_insert_batch_matches_repeated_insert() {
+        let a = TsdbStore::new();
+        let b = TsdbStore::new();
+        let samples: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, i as f64 * 0.5)).collect();
+        MetricStore::insert_batch(&a, "m", &samples);
+        for &(t, v) in &samples {
+            b.insert("m", t, v);
+        }
+        assert_eq!(a.values("m"), b.values("m"));
+        assert_eq!(a.last_n_many(&["m"], 5), vec![b.last_n("m", 5)]);
     }
 }

@@ -10,7 +10,7 @@ use std::sync::Arc;
 use tesla_core::dataset::{generate_sweep_trace, DatasetConfig};
 use tesla_core::runtime::run_episode_threaded;
 use tesla_core::{EpisodeConfig, TeslaConfig, TeslaController};
-use tesla_telemetry::{metric, TsdbStore};
+use tesla_telemetry::{metric, MetricStore, TsdbStore};
 use tesla_workload::LoadSetting;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -32,7 +32,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..EpisodeConfig::default()
     };
     println!("running 90 minutes with producer/consumer threads …");
-    let result = run_episode_threaded(Box::new(tesla), &episode, Arc::clone(&store))?;
+    let dyn_store: Arc<dyn MetricStore> = Arc::clone(&store) as _;
+    let result = run_episode_threaded(Box::new(tesla), &episode, dyn_store)?;
 
     println!("\nepisode metrics:");
     println!("  cooling energy: {:.2} kWh", result.cooling_energy_kwh);

@@ -10,6 +10,10 @@
 //! * [`workload`] — load generation (diurnal profiles, Kubernetes-like
 //!   jobs).
 //! * [`telemetry`] — in-memory time-series store, collector, queue.
+//! * [`historian`] — embedded durable time-series engine behind the
+//!   `MetricStore` trait: sharded ingest, Gorilla compression,
+//!   CRC-framed WAL with crash recovery, retention/downsampling, and
+//!   deterministic episode replay (see docs/HISTORIAN.md).
 //! * [`linalg`] — dense linear algebra, ridge regression, statistics.
 //! * [`forecast`] — TESLA's DC time-series model (ASP/ACU/DCS/energy
 //!   sub-modules) and the recursive AR baseline.
@@ -49,6 +53,7 @@ pub use tesla_bo as bo;
 pub use tesla_core as core;
 pub use tesla_forecast as forecast;
 pub use tesla_gp as gp;
+pub use tesla_historian as historian;
 pub use tesla_linalg as linalg;
 pub use tesla_ml as ml;
 pub use tesla_obs as obs;

@@ -1,0 +1,17 @@
+//! True-positive fixture for `no-unchecked-wal-read`: raw byte
+//! deserialization with no CRC framing, exactly what the rule exists to
+//! catch. Never compiled — included as text by the lint tests.
+
+fn parse_header_naked(buf: &[u8]) -> u32 {
+    u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"))
+}
+
+fn slurp_segment(file: &mut std::fs::File, buf: &mut [u8]) {
+    use std::io::Read;
+    file.read_exact(buf).expect("short read");
+}
+
+fn drain_tail(file: &mut std::fs::File, buf: &mut [u8]) -> usize {
+    use std::io::Read;
+    file.read(&mut buf[..]).expect("read failed")
+}

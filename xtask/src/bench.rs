@@ -1,16 +1,27 @@
 //! `cargo xtask bench-diff` — the perf-regression gate.
 //!
-//! Compares the `tesla_decide_seconds` p50 between two `BENCH_*.json`
-//! artifacts (as written by the tesla-bench binaries) and fails when
-//! the new artifact regresses by more than the budget. Both sides are
-//! bucket-resolution histogram quantiles, so the comparison is
-//! like-for-like; the budget is generous enough (10%) that one bucket
-//! step at the current latency scale does not flap the gate.
+//! Compares every gate metric the two `BENCH_*.json` artifacts share
+//! (as written by the tesla-bench binaries) and fails when the new
+//! artifact regresses any of them by more than the budget:
+//!
+//! * `tesla_decide_seconds` p50 (lower is better) from the
+//!   `latency_breakdown` array — the BO decision-path gate.
+//! * `ingest_samples_per_second` (higher is better) from the top level —
+//!   the historian ingest-throughput gate.
+//!
+//! Comparing artifacts that share no gate metric is an error (exit 2),
+//! but a `BENCH_perf.json` pair and a `BENCH_historian.json` pair each
+//! compare on their own gate. The 10% budget is generous enough that
+//! one histogram-bucket step or ingest-rate jitter does not flap the
+//! gate.
 
-/// The latency metric the gate watches.
+/// The latency metric the gate watches (lower is better).
 pub const GATE_METRIC: &str = "tesla_decide_seconds";
 
-/// Maximum tolerated p50 regression, percent.
+/// The throughput metric the gate watches (higher is better).
+pub const INGEST_METRIC: &str = "ingest_samples_per_second";
+
+/// Maximum tolerated regression on any gate, percent.
 pub const BUDGET_PERCENT: f64 = 10.0;
 
 /// Extracts `p50_seconds` for `metric` from a `BENCH_*.json` body's
@@ -28,36 +39,70 @@ pub fn breakdown_p50(json: &str, metric: &str) -> Option<f64> {
     tail[..stop].trim().parse::<f64>().ok()
 }
 
-/// Outcome of comparing an old artifact against a new one.
-#[derive(Debug, PartialEq)]
-pub enum DiffVerdict {
-    /// Within budget; holds the regression in percent (negative =
-    /// improvement).
-    Ok(f64),
-    /// Over budget; holds the regression in percent.
-    Regression(f64),
-    /// A side is missing the metric or holds a non-positive p50.
-    Unreadable(&'static str),
+/// Extracts a top-level `"key":<number>` field from an artifact body.
+/// The tesla-bench writer emits unique keys, so a plain find suffices.
+pub fn top_level_number(json: &str, key: &str) -> Option<f64> {
+    let k = format!("\"{key}\":");
+    let at = json.find(&k)? + k.len();
+    let tail = &json[at..];
+    let stop = tail.find([',', '}']).unwrap_or(tail.len());
+    tail[..stop].trim().parse::<f64>().ok()
 }
 
-/// Compares the gate metric's p50 between two artifact bodies.
-pub fn diff(old_json: &str, new_json: &str) -> DiffVerdict {
-    let Some(old_p50) = breakdown_p50(old_json, GATE_METRIC) else {
-        return DiffVerdict::Unreadable("old artifact lacks the gate metric");
-    };
-    let Some(new_p50) = breakdown_p50(new_json, GATE_METRIC) else {
-        return DiffVerdict::Unreadable("new artifact lacks the gate metric");
-    };
-    let old_positive = old_p50.is_finite() && old_p50 > 0.0;
-    if !old_positive || !new_p50.is_finite() {
-        return DiffVerdict::Unreadable("non-positive or non-finite p50");
+/// One gate metric's comparison between two artifacts.
+#[derive(Debug, PartialEq)]
+pub struct GateResult {
+    /// Which gate metric was compared.
+    pub metric: &'static str,
+    /// Old artifact's value.
+    pub old: f64,
+    /// New artifact's value.
+    pub new: f64,
+    /// Regression in percent — positive means the new artifact is worse,
+    /// whichever direction "worse" is for this metric.
+    pub regression_pct: f64,
+}
+
+impl GateResult {
+    /// True when this gate exceeds the budget.
+    pub fn over_budget(&self) -> bool {
+        self.regression_pct > BUDGET_PERCENT
     }
-    let regression_pct = 100.0 * (new_p50 / old_p50 - 1.0);
-    if regression_pct > BUDGET_PERCENT {
-        DiffVerdict::Regression(regression_pct)
-    } else {
-        DiffVerdict::Ok(regression_pct)
+}
+
+/// Compares every gate metric both artifacts carry. An empty result
+/// means the artifacts share no gate — the caller should treat that as
+/// unreadable rather than as a pass.
+pub fn gate_results(old_json: &str, new_json: &str) -> Vec<GateResult> {
+    let mut out = Vec::new();
+    let usable = |v: f64| v.is_finite() && v > 0.0;
+    if let (Some(old), Some(new)) = (
+        breakdown_p50(old_json, GATE_METRIC),
+        breakdown_p50(new_json, GATE_METRIC),
+    ) {
+        if usable(old) && new.is_finite() {
+            out.push(GateResult {
+                metric: GATE_METRIC,
+                old,
+                new,
+                regression_pct: 100.0 * (new / old - 1.0),
+            });
+        }
     }
+    if let (Some(old), Some(new)) = (
+        top_level_number(old_json, INGEST_METRIC),
+        top_level_number(new_json, INGEST_METRIC),
+    ) {
+        if usable(old) && usable(new) {
+            out.push(GateResult {
+                metric: INGEST_METRIC,
+                old,
+                new,
+                regression_pct: 100.0 * (1.0 - new / old),
+            });
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -75,34 +120,27 @@ mod tests {
 
     #[test]
     fn improvement_and_small_regressions_pass() {
-        assert_eq!(
-            diff(&artifact(0.05), &artifact(0.006)),
-            DiffVerdict::Ok(-88.0)
-        );
-        match diff(&artifact(0.05), &artifact(0.054)) {
-            DiffVerdict::Ok(pct) => assert!((pct - 8.0).abs() < 1e-9),
-            other => panic!("expected Ok, got {other:?}"),
-        }
+        let results = gate_results(&artifact(0.05), &artifact(0.006));
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].regression_pct, -88.0);
+        assert!(!results[0].over_budget());
+        let results = gate_results(&artifact(0.05), &artifact(0.054));
+        assert!((results[0].regression_pct - 8.0).abs() < 1e-9);
+        assert!(!results[0].over_budget());
     }
 
     #[test]
     fn over_budget_regression_fails() {
-        match diff(&artifact(0.006), &artifact(0.008)) {
-            DiffVerdict::Regression(pct) => assert!(pct > BUDGET_PERCENT),
-            other => panic!("expected Regression, got {other:?}"),
-        }
+        let results = gate_results(&artifact(0.006), &artifact(0.008));
+        assert_eq!(results.len(), 1);
+        assert!(results[0].regression_pct > BUDGET_PERCENT);
+        assert!(results[0].over_budget());
     }
 
     #[test]
-    fn missing_metric_is_unreadable() {
-        assert!(matches!(
-            diff("{}", &artifact(0.006)),
-            DiffVerdict::Unreadable(_)
-        ));
-        assert!(matches!(
-            diff(&artifact(0.0), &artifact(0.006)),
-            DiffVerdict::Unreadable(_)
-        ));
+    fn missing_or_degenerate_metric_yields_no_gate() {
+        assert!(gate_results("{}", &artifact(0.006)).is_empty());
+        assert!(gate_results(&artifact(0.0), &artifact(0.006)).is_empty());
     }
 
     #[test]
@@ -110,5 +148,58 @@ mod tests {
         let body = artifact(0.0425);
         assert_eq!(breakdown_p50(&body, GATE_METRIC), Some(0.0425));
         assert_eq!(breakdown_p50(&body, "other"), None);
+    }
+
+    fn historian_artifact(rate: f64) -> String {
+        format!(
+            "{{\"series\":64,\"ingest_samples_per_second\":{rate},\
+             \"compressed_bytes_per_sample\":1.82,\"recovery_seconds\":0.8,\
+             \"latency_breakdown\":[]}}"
+        )
+    }
+
+    #[test]
+    fn ingest_gate_passes_improvements_and_small_drops() {
+        let results = gate_results(&historian_artifact(2.0e6), &historian_artifact(2.5e6));
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].metric, INGEST_METRIC);
+        assert!(
+            results[0].regression_pct < 0.0,
+            "faster must read as negative"
+        );
+        assert!(!results[0].over_budget());
+
+        let results = gate_results(&historian_artifact(2.0e6), &historian_artifact(1.9e6));
+        assert!(!results[0].over_budget(), "-5% throughput is within budget");
+    }
+
+    #[test]
+    fn ingest_gate_fails_large_throughput_drop() {
+        let results = gate_results(&historian_artifact(2.0e6), &historian_artifact(1.5e6));
+        assert_eq!(results.len(), 1);
+        assert!((results[0].regression_pct - 25.0).abs() < 1e-9);
+        assert!(results[0].over_budget(), "-25% throughput must fail");
+    }
+
+    #[test]
+    fn disjoint_artifacts_share_no_gate() {
+        assert!(gate_results(&artifact(0.01), &historian_artifact(2.0e6)).is_empty());
+        assert!(gate_results("{}", "{}").is_empty());
+    }
+
+    #[test]
+    fn latency_gate_still_flows_through_gate_results() {
+        let results = gate_results(&artifact(0.006), &artifact(0.008));
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].metric, GATE_METRIC);
+        assert!(results[0].over_budget());
+    }
+
+    #[test]
+    fn top_level_number_parses_and_rejects() {
+        let body = historian_artifact(4266000.5);
+        assert_eq!(top_level_number(&body, INGEST_METRIC), Some(4266000.5));
+        assert_eq!(top_level_number(&body, "missing_key"), None);
+        assert_eq!(top_level_number("{\"k\":\"str\"}", "k"), None);
     }
 }

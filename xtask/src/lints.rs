@@ -31,13 +31,15 @@ pub const RULE_UNWRAP: &str = "no-unwrap-in-control-path";
 pub const RULE_RUNG: &str = "supervisor-transition-exhaustive";
 pub const RULE_SETPOINT: &str = "bounded-setpoint-literal";
 pub const RULE_METRIC: &str = "metric-name-format";
+pub const RULE_WAL: &str = "no-unchecked-wal-read";
 
-pub const ALL_RULES: [&str; 5] = [
+pub const ALL_RULES: [&str; 6] = [
     RULE_RAW_F64,
     RULE_UNWRAP,
     RULE_RUNG,
     RULE_SETPOINT,
     RULE_METRIC,
+    RULE_WAL,
 ];
 
 /// Identifier words that mark an item as temperature/power-bearing for
@@ -473,6 +475,49 @@ fn metric_name_problem(name: &str, kind: &str) -> Option<String> {
     }
 }
 
+/// Byte-level deserialization spellings that must not appear in the
+/// historian outside the CRC-checked WAL frame reader. `.read(&` (a
+/// buffer read) deliberately excludes `OpenOptions::read(true)`.
+const WAL_READ_PATTERNS: [&str; 5] = [
+    "from_le_bytes(",
+    "from_be_bytes(",
+    ".read_exact(",
+    ".read_to_end(",
+    ".read(&",
+];
+
+/// Rule `no-unchecked-wal-read`: every WAL byte deserialized in the
+/// historian must flow through the CRC-checked frame reader
+/// (`wal::read_frame`), so a torn or bit-flipped record can never be
+/// half-applied. The reader itself (and the decoder it calls) carries
+/// allowlist comments; anything else parsing raw bytes is a finding.
+pub fn check_wal_reads(file: &str, lines: &[&str], mask: &[bool]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (i, raw) in lines.iter().enumerate() {
+        if mask[i] || is_comment_line(raw) {
+            continue;
+        }
+        let code = strip_line_comment(raw);
+        for p in WAL_READ_PATTERNS {
+            if code.contains(p) {
+                let spelled: String = p.chars().filter(|c| !".(&".contains(*c)).collect();
+                findings.push(Finding {
+                    rule: RULE_WAL,
+                    file: file.to_string(),
+                    line: i + 1,
+                    message: format!(
+                        "`{spelled}` deserializes bytes outside the CRC-checked WAL \
+                         frame reader; route through `wal::read_frame`"
+                    ),
+                    allowed: is_allowed(lines, i, RULE_WAL),
+                });
+                break; // one finding per line is enough
+            }
+        }
+    }
+    findings
+}
+
 /// Extracts the variant names of `pub enum Rung` from supervisor source.
 pub fn rung_variants(supervisor_src: &str) -> Vec<String> {
     let lines: Vec<&str> = supervisor_src.lines().collect();
@@ -528,6 +573,8 @@ mod tests {
     const SETPOINT_TN: &str = include_str!("../fixtures/setpoint_literal_tn.rs");
     const METRIC_TP: &str = include_str!("../fixtures/metric_name_tp.rs");
     const METRIC_TN: &str = include_str!("../fixtures/metric_name_tn.rs");
+    const WAL_TP: &str = include_str!("../fixtures/wal_read_tp.rs");
+    const WAL_TN: &str = include_str!("../fixtures/wal_read_tn.rs");
 
     fn rung_fixture(src: &str) -> Vec<Finding> {
         let variants = vec![
@@ -624,6 +671,25 @@ mod tests {
         let active: Vec<_> = findings.iter().filter(|f| !f.allowed).collect();
         assert!(active.is_empty(), "unexpected findings: {active:?}");
         // The allowlisted legacy series is still reported, as allowed.
+        assert!(findings.iter().any(|f| f.allowed));
+    }
+
+    #[test]
+    fn wal_read_true_positive() {
+        let findings = run(WAL_TP, check_wal_reads);
+        let active: Vec<_> = findings.iter().filter(|f| !f.allowed).collect();
+        assert_eq!(active.len(), 3, "expected 3 violations, got {active:?}");
+        assert!(active.iter().any(|f| f.message.contains("from_le_bytes")));
+        assert!(active.iter().any(|f| f.message.contains("read_exact")));
+        assert!(active.iter().any(|f| f.message.contains("`read`")));
+    }
+
+    #[test]
+    fn wal_read_true_negative() {
+        let findings = run(WAL_TN, check_wal_reads);
+        let active: Vec<_> = findings.iter().filter(|f| !f.allowed).collect();
+        assert!(active.is_empty(), "unexpected findings: {active:?}");
+        // The frame-decoder line is still reported, as allowed.
         assert!(findings.iter().any(|f| f.allowed));
     }
 

@@ -66,33 +66,41 @@ fn bench_diff(args: &[String]) -> ExitCode {
     let (Some(old_json), Some(new_json)) = (read(old_path), read(new_path)) else {
         return ExitCode::from(2);
     };
-    let old_p50 = bench::breakdown_p50(&old_json, bench::GATE_METRIC);
-    let new_p50 = bench::breakdown_p50(&new_json, bench::GATE_METRIC);
-    println!(
-        "xtask bench-diff: {} p50 {} -> {} seconds",
-        bench::GATE_METRIC,
-        old_p50.map_or("?".into(), |v| format!("{v:.4}")),
-        new_p50.map_or("?".into(), |v| format!("{v:.4}")),
-    );
-    match bench::diff(&old_json, &new_json) {
-        bench::DiffVerdict::Ok(pct) => {
-            println!(
-                "xtask bench-diff: {pct:+.1}% within the {}% budget",
-                bench::BUDGET_PERCENT
-            );
-            ExitCode::SUCCESS
-        }
-        bench::DiffVerdict::Regression(pct) => {
+    let results = bench::gate_results(&old_json, &new_json);
+    if results.is_empty() {
+        eprintln!(
+            "xtask bench-diff: cannot compare: the artifacts share no gate metric \
+             ({} or {})",
+            bench::GATE_METRIC,
+            bench::INGEST_METRIC
+        );
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for r in &results {
+        println!(
+            "xtask bench-diff: {} {:.4} -> {:.4} ({:+.1}%)",
+            r.metric, r.old, r.new, r.regression_pct
+        );
+        if r.over_budget() {
             eprintln!(
-                "xtask bench-diff: FAIL — {pct:+.1}% p50 regression exceeds the {}% budget",
+                "xtask bench-diff: FAIL — {} regressed {:+.1}%, budget is {}%",
+                r.metric,
+                r.regression_pct,
                 bench::BUDGET_PERCENT
             );
-            ExitCode::FAILURE
+            failed = true;
         }
-        bench::DiffVerdict::Unreadable(why) => {
-            eprintln!("xtask bench-diff: cannot compare: {why}");
-            ExitCode::from(2)
-        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "xtask bench-diff: {} gate(s) within the {}% budget",
+            results.len(),
+            bench::BUDGET_PERCENT
+        );
+        ExitCode::SUCCESS
     }
 }
 
@@ -100,14 +108,18 @@ fn bench_diff(args: &[String]) -> ExitCode {
 const CONTROL_CRATES: [&str; 3] = ["crates/core/src", "crates/sim/src", "crates/forecast/src"];
 const UNWRAP_CRATES: [&str; 2] = ["crates/core/src", "crates/sim/src"];
 const RUNG_CRATES: [&str; 1] = ["crates/core/src"];
+/// The historian owns the WAL; its sources are the scope of
+/// `no-unchecked-wal-read`.
+const WAL_CRATES: [&str; 1] = ["crates/historian/src"];
 /// Every crate that emits metrics through tesla-obs.
-const METRIC_CRATES: [&str; 6] = [
+const METRIC_CRATES: [&str; 7] = [
     "crates/core/src",
     "crates/sim/src",
     "crates/forecast/src",
     "crates/bo/src",
     "crates/bench/src",
     "crates/obs/src",
+    "crates/historian/src",
 ];
 const SUPERVISOR_PATH: &str = "crates/core/src/supervisor.rs";
 
@@ -153,6 +165,7 @@ fn lint(args: &[String]) -> ExitCode {
         (&RUNG_CRATES[..], lints::RULE_RUNG),
         (&CONTROL_CRATES[..], lints::RULE_SETPOINT),
         (&METRIC_CRATES[..], lints::RULE_METRIC),
+        (&WAL_CRATES[..], lints::RULE_WAL),
     ] {
         for dir in scope {
             for file in rust_files(&root.join(dir)) {
@@ -175,6 +188,7 @@ fn lint(args: &[String]) -> ExitCode {
                     lints::RULE_UNWRAP => lints::check_unwrap(&rel, &lines, &mask),
                     lints::RULE_RUNG => lints::check_rung_matches(&rel, &lines, &mask, &variants),
                     lints::RULE_METRIC => lints::check_metric_names(&rel, &lines, &mask),
+                    lints::RULE_WAL => lints::check_wal_reads(&rel, &lines, &mask),
                     _ => lints::check_setpoint_literal(&rel, &lines, &mask),
                 };
                 findings.extend(batch);

@@ -1,0 +1,279 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! Unified jittered-exponential-backoff policy.
+//!
+//! Three subsystems retry transient failures — the supervisor's Modbus
+//! register writes, the historian's WAL fsyncs, and the checkpoint
+//! writer — and before this crate each had its own ad-hoc loop with its
+//! own cap and its own notion of "exponential". One policy now covers
+//! all of them:
+//!
+//! * delay before retry `a` is `base · factor^(a−1)`, capped at
+//!   `max_delay_ms`;
+//! * an optional *jitter fraction* subtracts up to that fraction of the
+//!   delay, drawn **deterministically** from a hash of `(seed, attempt)`
+//!   so retry schedules are reproducible and regression-testable while
+//!   still decorrelating concurrent retriers with different seeds;
+//! * `max_attempts` bounds the total number of tries (first attempt
+//!   included), mirroring the supervisor's long-standing
+//!   "4 attempts = 3 retries" accounting.
+//!
+//! The crate is dependency-free so leaf crates (`tesla-obs`,
+//! `tesla-historian`) can use it without cycles; `tesla-core` re-exports
+//! it as `tesla_core::backoff`.
+
+use std::time::Duration;
+
+/// A jittered exponential backoff schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffPolicy {
+    /// Base delay before the first retry, milliseconds.
+    pub base_ms: u64,
+    /// Multiplier applied per additional retry (2 = doubling).
+    pub factor: u32,
+    /// Ceiling on any single delay, milliseconds.
+    pub max_delay_ms: u64,
+    /// Total attempts allowed (first attempt included); min 1.
+    pub max_attempts: u32,
+    /// Fraction of each delay randomized away, `0.0..=1.0`. The jittered
+    /// delay lies in `[nominal·(1−jitter), nominal]`, so it never
+    /// exceeds the deterministic schedule.
+    pub jitter: f64,
+    /// Seed for the deterministic jitter hash.
+    pub seed: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            base_ms: 1,
+            factor: 2,
+            max_delay_ms: 1_024,
+            max_attempts: 4,
+            jitter: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixed 64-bit hash.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl BackoffPolicy {
+    /// The delay to sleep before retry `attempt` (1-based: `1` is the
+    /// delay between the first failure and the second try), with the
+    /// deterministic jitter applied. Attempt 0 returns 0.
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        if attempt == 0 || self.base_ms == 0 {
+            return 0;
+        }
+        // Cap the exponent so the shift/multiply cannot overflow; the
+        // max_delay clamp makes larger exponents indistinguishable anyway.
+        let exp = (attempt - 1).min(32);
+        let factor = u64::from(self.factor.max(1));
+        let mut nominal = self.base_ms;
+        for _ in 0..exp {
+            nominal = nominal.saturating_mul(factor);
+            if nominal >= self.max_delay_ms {
+                break;
+            }
+        }
+        let nominal = nominal.min(self.max_delay_ms.max(self.base_ms));
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        if jitter == 0.0 {
+            return nominal;
+        }
+        // Uniform in [0, 1) from the (seed, attempt) hash.
+        let u = (splitmix64(self.seed ^ u64::from(attempt)) >> 11) as f64 / (1u64 << 53) as f64;
+        let shaved = (nominal as f64 * jitter * u).floor() as u64;
+        nominal - shaved
+    }
+
+    /// The full retry schedule: delays before retries `1..max_attempts`
+    /// (an empty vector when only one attempt is allowed).
+    pub fn schedule(&self) -> Vec<u64> {
+        (1..self.max_attempts.max(1))
+            .map(|a| self.delay_ms(a))
+            .collect()
+    }
+
+    /// Runs `op` under the policy: `op(attempt)` is called with the
+    /// 1-based attempt number until it succeeds, a non-transient error
+    /// occurs (per `is_transient`), or `max_attempts` is exhausted.
+    /// Sleeps the jittered delay between attempts; `on_retry` observes
+    /// each retry (for counters) before the sleep.
+    pub fn run<T, E>(
+        &self,
+        mut op: impl FnMut(u32) -> Result<T, E>,
+        is_transient: impl Fn(&E) -> bool,
+        mut on_retry: impl FnMut(u32),
+    ) -> Result<T, E> {
+        let max = self.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match op(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) if attempt < max && is_transient(&e) => {
+                    on_retry(attempt);
+                    let d = self.delay_ms(attempt);
+                    if d > 0 {
+                        std::thread::sleep(Duration::from_millis(d));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unjittered_schedule_is_the_classic_doubling() {
+        let p = BackoffPolicy {
+            base_ms: 10,
+            factor: 2,
+            max_delay_ms: 100,
+            max_attempts: 6,
+            jitter: 0.0,
+            seed: 0,
+        };
+        assert_eq!(p.schedule(), vec![10, 20, 40, 80, 100]);
+    }
+
+    #[test]
+    fn supervisor_legacy_schedule_is_reproduced() {
+        // The supervisor's historical delays were base << (attempt-1),
+        // exponent capped at 10. The policy must reproduce them exactly
+        // so swapping it in changes no timing behaviour.
+        let p = BackoffPolicy {
+            base_ms: 1,
+            factor: 2,
+            max_delay_ms: 1 << 10,
+            max_attempts: 12,
+            jitter: 0.0,
+            seed: 0,
+        };
+        for attempt in 1u32..12 {
+            assert_eq!(p.delay_ms(attempt), 1u64 << (attempt - 1).min(10));
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = BackoffPolicy {
+            base_ms: 100,
+            factor: 2,
+            max_delay_ms: 10_000,
+            max_attempts: 8,
+            jitter: 0.5,
+            seed: 42,
+        };
+        let s1 = p.schedule();
+        let s2 = p.schedule();
+        assert_eq!(s1, s2, "same seed, same schedule");
+        for (i, &d) in s1.iter().enumerate() {
+            let nominal = 100u64 << i;
+            assert!(d <= nominal, "jitter never exceeds the nominal delay");
+            assert!(
+                d >= nominal / 2,
+                "0.5 jitter shaves at most half: {d} vs {nominal}"
+            );
+        }
+        let other = BackoffPolicy { seed: 43, ..p };
+        assert_ne!(s1, other.schedule(), "different seeds decorrelate");
+    }
+
+    #[test]
+    fn zero_attempt_and_zero_base_are_zero_delay() {
+        let p = BackoffPolicy::default();
+        assert_eq!(p.delay_ms(0), 0);
+        let silent = BackoffPolicy { base_ms: 0, ..p };
+        assert_eq!(silent.delay_ms(5), 0);
+    }
+
+    #[test]
+    fn delay_saturates_at_the_cap_without_overflow() {
+        let p = BackoffPolicy {
+            base_ms: u64::MAX / 2,
+            factor: u32::MAX,
+            max_delay_ms: u64::MAX,
+            max_attempts: 64,
+            jitter: 0.0,
+            seed: 0,
+        };
+        // Must not panic; saturates.
+        assert!(p.delay_ms(63) > 0);
+    }
+
+    #[test]
+    fn run_retries_transient_errors_up_to_the_cap() {
+        let p = BackoffPolicy {
+            base_ms: 0,
+            max_attempts: 4,
+            ..BackoffPolicy::default()
+        };
+        let mut tries = 0u32;
+        let mut retries = Vec::new();
+        let r: Result<(), &str> = p.run(
+            |_| {
+                tries += 1;
+                Err("transient")
+            },
+            |_| true,
+            |a| retries.push(a),
+        );
+        assert!(r.is_err());
+        assert_eq!(tries, 4, "4 attempts");
+        assert_eq!(retries, vec![1, 2, 3], "= 3 retries");
+    }
+
+    #[test]
+    fn run_stops_on_non_transient_errors() {
+        let p = BackoffPolicy {
+            base_ms: 0,
+            max_attempts: 5,
+            ..BackoffPolicy::default()
+        };
+        let mut tries = 0u32;
+        let r: Result<(), &str> = p.run(
+            |_| {
+                tries += 1;
+                Err("fatal")
+            },
+            |_| false,
+            |_| {},
+        );
+        assert!(r.is_err());
+        assert_eq!(tries, 1);
+    }
+
+    #[test]
+    fn run_succeeds_mid_schedule() {
+        let p = BackoffPolicy {
+            base_ms: 0,
+            max_attempts: 5,
+            ..BackoffPolicy::default()
+        };
+        let r: Result<u32, &str> = p.run(
+            |attempt| {
+                if attempt >= 3 {
+                    Ok(attempt)
+                } else {
+                    Err("transient")
+                }
+            },
+            |_| true,
+            |_| {},
+        );
+        assert_eq!(r, Ok(3));
+    }
+}

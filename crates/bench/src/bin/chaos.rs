@@ -23,13 +23,27 @@
 //! overhead figures, and a per-phase latency breakdown from the
 //! instrumented crates.
 //!
+//! `--restarts` adds the **restart chaos sweep**: for every fault
+//! scenario the controller process is torn down at ≥3 random control
+//! steps (fresh re-trained controller + fresh supervisor each time,
+//! exactly as a real restart would) and resumed from its checkpoints.
+//! Gates: the completed run's set-point sequence is bit-identical to
+//! the uninterrupted one, CE/TSV stay within 2 pp, and no *new*
+//! ground-truth thermal violations appear inside any post-restart
+//! recovery window. Recovery latency lands in the JSON report.
+//!
 //! Flags: `--minutes N` (default 240), `--train-days D` (default 1.5),
-//! `--seed S` (default 7), `--warmup N` (default 60).
+//! `--seed S` (default 7), `--warmup N` (default 60), `--restarts`,
+//! `--restarts-per-episode N` (default 3), `--smoke` (shrinks episodes
+//! to CI scale and, with `--restarts`, skips the classic sweep).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tesla_bench::{arg_f64, print_table, train_test_traces};
-use tesla_core::{run_supervised_episode, EpisodeConfig, EvalResult, Supervisor, SupervisorConfig};
+use tesla_bench::{arg_f64, arg_flag, print_table, train_test_traces};
+use tesla_core::{
+    resume_supervised_episode, run_checkpointed_episode, run_supervised_episode, CheckpointPolicy,
+    CheckpointStore, EpisodeConfig, EvalResult, Supervisor, SupervisorConfig,
+};
 use tesla_sim::{
     ActuatorFault, ActuatorFaultKind, FaultPlan, FaultWindow, PlantFault, PlantFaultKind,
     SensorFault, SensorFaultKind, SensorTarget,
@@ -164,11 +178,196 @@ fn scenarios(rng: &mut StdRng, warmup: usize, minutes: usize, n_cold: usize) -> 
     ]
 }
 
+/// Aggregate outcome of the restart chaos sweep.
+struct RestartSweep {
+    rows: Vec<Vec<String>>,
+    json_rows: Vec<String>,
+    failures: usize,
+    recovery_seconds: Vec<f64>,
+}
+
+/// Minutes after each tear point inside which a *new* ground-truth
+/// violation (absent at the same minute of the uninterrupted run) counts
+/// against the recovery gate.
+const RECOVERY_WINDOW_MIN: usize = 15;
+
+/// Tears the controller down at `n_restarts` random control steps per
+/// scenario and resumes from checkpoints, gating the completed run
+/// against the uninterrupted one.
+fn restart_sweep(
+    train: &tesla_forecast::Trace,
+    base_cfg: &EpisodeConfig,
+    warmup: usize,
+    minutes: usize,
+    n_cold: usize,
+    n_restarts: usize,
+    seed: u64,
+) -> RestartSweep {
+    let policy = CheckpointPolicy {
+        every_k: 5,
+        on_rung_change: true,
+    };
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x2E57A27);
+    let mut sweep = RestartSweep {
+        rows: Vec::new(),
+        json_rows: Vec::new(),
+        failures: 0,
+        recovery_seconds: Vec::new(),
+    };
+    for (idx, sc) in scenarios(&mut rng, warmup, minutes, n_cold)
+        .into_iter()
+        .enumerate()
+    {
+        eprintln!("== restart chaos: {} …", sc.name);
+        let cfg = EpisodeConfig {
+            faults: sc.plan,
+            ..base_cfg.clone()
+        };
+
+        // Uninterrupted reference with a freshly trained controller (the
+        // restart path re-trains from the same sweep, deterministically,
+        // so both sides hold identical models at minute 0).
+        let mut ctrl = tesla_bench::trained_tesla(train, 1);
+        let mut sup = Supervisor::new(SupervisorConfig::default());
+        let base = tesla_bench::profile::time_episode(|| {
+            run_supervised_episode(&mut ctrl, &mut sup, &cfg).expect("uninterrupted episode")
+        });
+
+        // ≥ n_restarts distinct random tear points, late enough that the
+        // first checkpoint cadence has fired before the earliest kill.
+        let kills: Vec<usize> = {
+            let mut set = std::collections::BTreeSet::new();
+            let lo = policy.every_k + 1;
+            let hi = minutes.saturating_sub(1).max(lo + 1);
+            while set.len() < n_restarts {
+                set.insert(rng.random_range(lo..hi));
+            }
+            set.into_iter().collect()
+        };
+
+        let dir =
+            std::env::temp_dir().join(format!("tesla-chaos-restart-{}-{idx}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CheckpointStore::open(&dir, 3).expect("checkpoint dir");
+
+        // First life of the process: checkpointing until the first kill.
+        let mut ctrl = tesla_bench::trained_tesla(train, 1);
+        let mut sup = Supervisor::new(SupervisorConfig::default());
+        run_checkpointed_episode(&mut ctrl, &mut sup, &cfg, &store, &policy, Some(kills[0]))
+            .expect("first segment");
+
+        // Each subsequent life: fresh controller (re-trained), fresh
+        // supervisor, resume from the newest valid checkpoint, die at
+        // the next kill point — the last life runs to completion.
+        let mut recoveries = Vec::with_capacity(kills.len());
+        let mut final_result: Option<EvalResult> = None;
+        let mut hold_fallbacks = 0usize;
+        for i in 0..kills.len() {
+            let abort = kills.get(i + 1).copied();
+            let mut ctrl = tesla_bench::trained_tesla(train, 1);
+            let mut sup = Supervisor::new(SupervisorConfig::default());
+            let (r, report) =
+                resume_supervised_episode(&mut ctrl, &mut sup, &cfg, &store, &policy, abort)
+                    .expect("resume");
+            recoveries.push(report.recovery_seconds);
+            if report.fell_back_to_hold {
+                hold_fallbacks += 1;
+            }
+            if abort.is_none() {
+                final_result = Some(r);
+            }
+        }
+        let r = final_result.expect("final resume runs to completion");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let complete = r.setpoints.len() == minutes;
+        let bit_identical = complete && r.setpoints == base.setpoints;
+        let ce_delta_pct = 100.0 * (r.cooling_energy_kwh / base.cooling_energy_kwh - 1.0);
+        let tsv_delta_pp = r.tsv_percent - base.tsv_percent;
+        // New ground-truth violations inside any post-restart recovery
+        // window (violations the uninterrupted run also has at the same
+        // minute are the fault's doing, not the restart's).
+        let d = cfg.d_allowed.value();
+        let mut recovery_violations = 0usize;
+        for &k in &kills {
+            for m in k..(k + RECOVERY_WINDOW_MIN).min(minutes) {
+                let resumed_hot = r.cold_aisle_max.get(m).is_some_and(|&v| v > d);
+                let base_hot = base.cold_aisle_max.get(m).is_some_and(|&v| v > d);
+                if resumed_hot && !base_hot {
+                    recovery_violations += 1;
+                }
+            }
+        }
+        let finite = r.cooling_energy_kwh.is_finite()
+            && r.tsv_percent.is_finite()
+            && r.ci_percent.is_finite();
+        let ok = finite
+            && complete
+            && hold_fallbacks == 0
+            && ce_delta_pct.abs() <= 2.0
+            && tsv_delta_pp.abs() <= 2.0
+            && recovery_violations == 0;
+        if !ok {
+            sweep.failures += 1;
+            eprintln!(
+                "   FAIL: complete={complete} bit_identical={bit_identical} \
+                 dCE={ce_delta_pct:+.3}% dTSV={tsv_delta_pp:+.3}pp \
+                 recovery_violations={recovery_violations} hold_fallbacks={hold_fallbacks}"
+            );
+        }
+        let mean_recovery = recoveries.iter().sum::<f64>() / recoveries.len().max(1) as f64;
+        sweep.recovery_seconds.extend(recoveries.iter().copied());
+
+        sweep.rows.push(vec![
+            sc.name.to_string(),
+            kills
+                .iter()
+                .map(|k| k.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            format!("{ce_delta_pct:+.2}%"),
+            format!("{tsv_delta_pp:+.2}"),
+            format!("{recovery_violations}"),
+            format!("{:.0}ms", mean_recovery * 1e3),
+            if bit_identical {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+            if ok { "ok".into() } else { "FAIL".into() },
+        ]);
+        sweep.json_rows.push(format!(
+            "{{\"fault\":\"{}\",\"kill_minutes\":[{}],\"restarts\":{},\
+             \"bit_identical\":{bit_identical},\"ce_delta_percent\":{ce_delta_pct:.4},\
+             \"tsv_delta_pp\":{tsv_delta_pp:.4},\"recovery_violations\":{recovery_violations},\
+             \"recovery_seconds_mean\":{mean_recovery:.6},\"ok\":{ok}}}",
+            sc.name,
+            kills
+                .iter()
+                .map(|k| k.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            kills.len(),
+        ));
+    }
+    sweep
+}
+
 fn main() {
-    let minutes = arg_f64("minutes", 240.0) as usize;
-    let warmup = arg_f64("warmup", 60.0) as usize;
-    let train_days = arg_f64("train-days", 1.5);
+    let restarts_mode = arg_flag("restarts");
+    let smoke = arg_flag("smoke");
+    let (def_minutes, def_warmup, def_train_days) = if smoke {
+        (60.0, 20.0, 0.3)
+    } else {
+        (240.0, 60.0, 1.5)
+    };
+    let minutes = arg_f64("minutes", def_minutes) as usize;
+    let warmup = arg_f64("warmup", def_warmup) as usize;
+    let train_days = arg_f64("train-days", def_train_days);
     let seed = arg_f64("seed", 7.0) as u64;
+    let n_restarts = (arg_f64("restarts-per-episode", 3.0) as usize).max(3);
+    // Smoke + restarts is the CI job: only the restart sweep, CI-scale.
+    let run_classic = !(restarts_mode && smoke);
 
     eprintln!("generating {train_days}-day training sweep …");
     let (train, _) = train_test_traces(train_days, 0.1, 99);
@@ -184,8 +383,16 @@ fn main() {
     };
     let n_cold = base_cfg.sim.n_cold_aisle_sensors;
 
-    let run =
-        |tesla: &mut tesla_core::TeslaController, plan: FaultPlan| -> (EvalResult, Supervisor) {
+    let mut fields: Vec<(&str, String)> = vec![
+        ("minutes", format!("{minutes}")),
+        ("seed", format!("{seed}")),
+    ];
+    let mut failures = 0usize;
+
+    if run_classic {
+        let run = |tesla: &mut tesla_core::TeslaController,
+                   plan: FaultPlan|
+         -> (EvalResult, Supervisor) {
             let mut sup = Supervisor::new(SupervisorConfig::default());
             let cfg = EpisodeConfig {
                 faults: plan,
@@ -197,167 +404,162 @@ fn main() {
             (r, sup)
         };
 
-    // Observability overhead: a single disabled/enabled pair is at the
-    // mercy of scheduler noise (one seed measured a nonsensical -4%).
-    // Run one uncounted warm-up episode, then interleave disabled and
-    // enabled episodes so slow drift hits both sides, and report the
-    // median per-pair overhead so one outlier run cannot flip the sign.
-    const OVERHEAD_PAIRS: usize = 3;
-    eprintln!("== warm-up episode, uncounted ({minutes} min, medium load, seed {seed}) …");
-    tesla_obs::set_enabled(false);
-    let _ = run(&mut tesla, FaultPlan::none());
+        // Observability overhead: a single disabled/enabled pair is at the
+        // mercy of scheduler noise (one seed measured a nonsensical -4%).
+        // Run one uncounted warm-up episode, then interleave disabled and
+        // enabled episodes so slow drift hits both sides, and report the
+        // median per-pair overhead so one outlier run cannot flip the sign.
+        const OVERHEAD_PAIRS: usize = 3;
+        eprintln!("== warm-up episode, uncounted ({minutes} min, medium load, seed {seed}) …");
+        tesla_obs::set_enabled(false);
+        let _ = run(&mut tesla, FaultPlan::none());
 
-    let mut disabled_runs = Vec::with_capacity(OVERHEAD_PAIRS);
-    let mut enabled_runs = Vec::with_capacity(OVERHEAD_PAIRS);
-    let mut pair_overheads = Vec::with_capacity(OVERHEAD_PAIRS);
-    let mut last_base = None;
-    let timed = |tesla: &mut tesla_core::TeslaController, enabled: bool| {
-        tesla_obs::set_enabled(enabled);
-        let t = std::time::Instant::now();
-        let (r, _) = run(tesla, FaultPlan::none());
-        (t.elapsed().as_secs_f64(), r)
-    };
-    for pair in 1..=OVERHEAD_PAIRS {
-        // Alternate which side runs first so any episode-to-episode
-        // drift (cache state, controller history) hits both sides.
-        let disabled_first = pair % 2 == 1;
-        eprintln!(
-            "== fault-free baseline pair {pair}/{OVERHEAD_PAIRS} \
-             ({} first) …",
-            if disabled_first {
-                "disabled"
-            } else {
-                "enabled"
-            }
-        );
-        let (disabled, enabled, b) = if disabled_first {
-            let (d, _) = timed(&mut tesla, false);
-            let (e, b) = timed(&mut tesla, true);
-            (d, e, b)
-        } else {
-            let (e, b) = timed(&mut tesla, true);
-            let (d, _) = timed(&mut tesla, false);
-            (d, e, b)
+        let mut disabled_runs = Vec::with_capacity(OVERHEAD_PAIRS);
+        let mut enabled_runs = Vec::with_capacity(OVERHEAD_PAIRS);
+        let mut pair_overheads = Vec::with_capacity(OVERHEAD_PAIRS);
+        let mut last_base = None;
+        let timed = |tesla: &mut tesla_core::TeslaController, enabled: bool| {
+            tesla_obs::set_enabled(enabled);
+            let t = std::time::Instant::now();
+            let (r, _) = run(tesla, FaultPlan::none());
+            (t.elapsed().as_secs_f64(), r)
         };
+        for pair in 1..=OVERHEAD_PAIRS {
+            // Alternate which side runs first so any episode-to-episode
+            // drift (cache state, controller history) hits both sides.
+            let disabled_first = pair % 2 == 1;
+            eprintln!(
+                "== fault-free baseline pair {pair}/{OVERHEAD_PAIRS} \
+                 ({} first) …",
+                if disabled_first {
+                    "disabled"
+                } else {
+                    "enabled"
+                }
+            );
+            let (disabled, enabled, b) = if disabled_first {
+                let (d, _) = timed(&mut tesla, false);
+                let (e, b) = timed(&mut tesla, true);
+                (d, e, b)
+            } else {
+                let (e, b) = timed(&mut tesla, true);
+                let (d, _) = timed(&mut tesla, false);
+                (d, e, b)
+            };
+            eprintln!(
+                "   pair {pair}: enabled {enabled:.2}s vs disabled {disabled:.2}s \
+                 ({:+.2}%)",
+                100.0 * (enabled / disabled - 1.0)
+            );
+            disabled_runs.push(disabled);
+            enabled_runs.push(enabled);
+            pair_overheads.push(100.0 * (enabled / disabled - 1.0));
+            last_base = Some(b);
+        }
+        let median = |xs: &[f64]| {
+            let mut s = xs.to_vec();
+            s.sort_by(f64::total_cmp);
+            s[s.len() / 2]
+        };
+        let base = last_base.expect("at least one baseline pair");
+        let disabled_secs = median(&disabled_runs);
+        let enabled_secs = median(&enabled_runs);
+        let overhead_pct = median(&pair_overheads);
         eprintln!(
-            "   pair {pair}: enabled {enabled:.2}s vs disabled {disabled:.2}s \
-             ({:+.2}%)",
-            100.0 * (enabled / disabled - 1.0)
+            "   CE {:.1} kWh  TSV {:.2}%  CI {:.2}%  metrics overhead {overhead_pct:+.2}% median \
+             (median enabled {enabled_secs:.2}s vs median disabled {disabled_secs:.2}s)",
+            base.cooling_energy_kwh, base.tsv_percent, base.ci_percent
         );
-        disabled_runs.push(disabled);
-        enabled_runs.push(enabled);
-        pair_overheads.push(100.0 * (enabled / disabled - 1.0));
-        last_base = Some(b);
-    }
-    let median = |xs: &[f64]| {
-        let mut s = xs.to_vec();
-        s.sort_by(f64::total_cmp);
-        s[s.len() / 2]
-    };
-    let base = last_base.expect("at least one baseline pair");
-    let disabled_secs = median(&disabled_runs);
-    let enabled_secs = median(&enabled_runs);
-    let overhead_pct = median(&pair_overheads);
-    eprintln!(
-        "   CE {:.1} kWh  TSV {:.2}%  CI {:.2}%  metrics overhead {overhead_pct:+.2}% median \
-         (median enabled {enabled_secs:.2}s vs median disabled {disabled_secs:.2}s)",
-        base.cooling_energy_kwh, base.tsv_percent, base.ci_percent
-    );
 
-    // The scenario sweep always runs instrumented, whatever side of the
-    // overhead pair ran last.
-    tesla_obs::set_enabled(true);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A0);
-    let mut rows: Vec<Vec<String>> = Vec::new();
-    let mut json_rows: Vec<String> = Vec::new();
-    let mut failures = 0usize;
-    for sc in scenarios(&mut rng, warmup, minutes, n_cold) {
-        eprintln!("== {} …", sc.name);
-        let (r, sup) = run(&mut tesla, sc.plan);
+        // The scenario sweep always runs instrumented, whatever side of the
+        // overhead pair ran last.
+        tesla_obs::set_enabled(true);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A0);
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        let mut json_rows: Vec<String> = Vec::new();
+        for sc in scenarios(&mut rng, warmup, minutes, n_cold) {
+            eprintln!("== {} …", sc.name);
+            let (r, sup) = run(&mut tesla, sc.plan);
 
-        let finite = r.cooling_energy_kwh.is_finite()
-            && r.tsv_percent.is_finite()
-            && r.ci_percent.is_finite()
-            && r.cold_aisle_max.iter().all(|v| v.is_finite());
-        let tsv_delta = r.tsv_percent - base.tsv_percent;
-        // Severe (plant) faults legitimately raise TSV — the ±2 pp bound
-        // applies to the sensor/actuator classes, where robust control
-        // can and must absorb the fault.
-        let tsv_ok = sc.severe || tsv_delta.abs() <= 2.0;
-        let events_ok = !sc.severe || !sup.events().is_empty();
-        let ok = finite && tsv_ok && events_ok && r.setpoints.len() == minutes;
-        if !ok {
-            failures += 1;
-            // Diagnostic dump for the failing scenario: the ladder's event
-            // log plus a coarse set-point / ground-truth trajectory.
-            for ev in sup.events() {
-                eprintln!(
-                    "   event m{:>3}  {:?} -> {:?}  ({:?})",
-                    ev.minute, ev.from, ev.to, ev.reason
-                );
-            }
-            for (m, (sp, max)) in r.setpoints.iter().zip(&r.cold_aisle_max).enumerate() {
-                if m % 10 == 0 {
-                    eprintln!("   m{m:>3}  sp {sp:5.1}  cold max {max:5.2}");
+            let finite = r.cooling_energy_kwh.is_finite()
+                && r.tsv_percent.is_finite()
+                && r.ci_percent.is_finite()
+                && r.cold_aisle_max.iter().all(|v| v.is_finite());
+            let tsv_delta = r.tsv_percent - base.tsv_percent;
+            // Severe (plant) faults legitimately raise TSV — the ±2 pp bound
+            // applies to the sensor/actuator classes, where robust control
+            // can and must absorb the fault.
+            let tsv_ok = sc.severe || tsv_delta.abs() <= 2.0;
+            let events_ok = !sc.severe || !sup.events().is_empty();
+            let ok = finite && tsv_ok && events_ok && r.setpoints.len() == minutes;
+            if !ok {
+                failures += 1;
+                // Diagnostic dump for the failing scenario: the ladder's event
+                // log plus a coarse set-point / ground-truth trajectory.
+                for ev in sup.events() {
+                    eprintln!(
+                        "   event m{:>3}  {:?} -> {:?}  ({:?})",
+                        ev.minute, ev.from, ev.to, ev.reason
+                    );
+                }
+                for (m, (sp, max)) in r.setpoints.iter().zip(&r.cold_aisle_max).enumerate() {
+                    if m % 10 == 0 {
+                        eprintln!("   m{m:>3}  sp {sp:5.1}  cold max {max:5.2}");
+                    }
                 }
             }
+
+            rows.push(vec![
+                sc.name.to_string(),
+                format!("{:.1}", r.cooling_energy_kwh),
+                format!(
+                    "{:+.1}%",
+                    100.0 * (r.cooling_energy_kwh / base.cooling_energy_kwh - 1.0)
+                ),
+                format!("{:.2}", r.tsv_percent),
+                format!("{tsv_delta:+.2}"),
+                format!("{:.2}", r.ci_percent),
+                format!("{}", r.safe_mode_minutes),
+                format!("{}", sup.hold_minutes()),
+                format!("{}", sup.events().len()),
+                if ok { "ok".into() } else { "FAIL".into() },
+            ]);
+            json_rows.push(format!(
+                "{{\"fault\":\"{}\",\"ce_kwh\":{:.3},\"tsv_percent\":{:.4},\
+                 \"ci_percent\":{:.4},\"safe_mode_minutes\":{},\"hold_minutes\":{},\
+                 \"ladder_events\":{},\"ok\":{}}}",
+                sc.name,
+                r.cooling_energy_kwh,
+                r.tsv_percent,
+                r.ci_percent,
+                r.safe_mode_minutes,
+                sup.hold_minutes(),
+                sup.events().len(),
+                ok
+            ));
         }
 
-        rows.push(vec![
-            sc.name.to_string(),
-            format!("{:.1}", r.cooling_energy_kwh),
-            format!(
-                "{:+.1}%",
-                100.0 * (r.cooling_energy_kwh / base.cooling_energy_kwh - 1.0)
-            ),
-            format!("{:.2}", r.tsv_percent),
-            format!("{tsv_delta:+.2}"),
-            format!("{:.2}", r.ci_percent),
-            format!("{}", r.safe_mode_minutes),
-            format!("{}", sup.hold_minutes()),
-            format!("{}", sup.events().len()),
-            if ok { "ok".into() } else { "FAIL".into() },
-        ]);
-        json_rows.push(format!(
-            "{{\"fault\":\"{}\",\"ce_kwh\":{:.3},\"tsv_percent\":{:.4},\
-             \"ci_percent\":{:.4},\"safe_mode_minutes\":{},\"hold_minutes\":{},\
-             \"ladder_events\":{},\"ok\":{}}}",
-            sc.name,
-            r.cooling_energy_kwh,
-            r.tsv_percent,
-            r.ci_percent,
-            r.safe_mode_minutes,
-            sup.hold_minutes(),
-            sup.events().len(),
-            ok
-        ));
-    }
-
-    print_table(
-        &format!("Chaos: supervised TESLA under fault injection ({minutes}-min episodes)"),
-        &[
-            "fault", "CE kWh", "dCE", "TSV %", "dTSV pp", "CI %", "safe min", "hold min", "events",
-            "verdict",
-        ],
-        &rows,
-    );
-    println!(
-        "baseline: CE {:.1} kWh  TSV {:.2}%  CI {:.2}%",
-        base.cooling_energy_kwh, base.tsv_percent, base.ci_percent
-    );
-    println!(
-        "metrics overhead: {overhead_pct:+.2}% wall-clock, median of {OVERHEAD_PAIRS} \
-         interleaved pairs (budget <3%; median enabled {enabled_secs:.2}s, \
-         median disabled {disabled_secs:.2}s)"
-    );
-    if overhead_pct >= 3.0 {
-        eprintln!("warning: observability overhead exceeds the 3% budget");
-    }
-    let path = tesla_bench::profile::write_bench_json(
-        "chaos",
-        &[
-            ("minutes", format!("{minutes}")),
-            ("seed", format!("{seed}")),
+        print_table(
+            &format!("Chaos: supervised TESLA under fault injection ({minutes}-min episodes)"),
+            &[
+                "fault", "CE kWh", "dCE", "TSV %", "dTSV pp", "CI %", "safe min", "hold min",
+                "events", "verdict",
+            ],
+            &rows,
+        );
+        println!(
+            "baseline: CE {:.1} kWh  TSV {:.2}%  CI {:.2}%",
+            base.cooling_energy_kwh, base.tsv_percent, base.ci_percent
+        );
+        println!(
+            "metrics overhead: {overhead_pct:+.2}% wall-clock, median of {OVERHEAD_PAIRS} \
+             interleaved pairs (budget <3%; median enabled {enabled_secs:.2}s, \
+             median disabled {disabled_secs:.2}s)"
+        );
+        if overhead_pct >= 3.0 {
+            eprintln!("warning: observability overhead exceeds the 3% budget");
+        }
+        fields.extend([
             ("baseline_ce_kwh", format!("{:.3}", base.cooling_energy_kwh)),
             ("baseline_tsv_percent", format!("{:.4}", base.tsv_percent)),
             ("baseline_ci_percent", format!("{:.4}", base.ci_percent)),
@@ -376,8 +578,56 @@ fn main() {
                 ),
             ),
             ("scenarios", format!("[{}]", json_rows.join(","))),
-        ],
-    );
+        ]);
+    }
+
+    if restarts_mode {
+        tesla_obs::set_enabled(true);
+        let sweep = restart_sweep(&train, &base_cfg, warmup, minutes, n_cold, n_restarts, seed);
+        print_table(
+            &format!(
+                "Restart chaos: {n_restarts} teardowns per {minutes}-min episode, \
+                 checkpoint resume"
+            ),
+            &[
+                "fault",
+                "kill minutes",
+                "dCE",
+                "dTSV pp",
+                "new viol",
+                "recovery",
+                "bit-identical",
+                "verdict",
+            ],
+            &sweep.rows,
+        );
+        let mean =
+            sweep.recovery_seconds.iter().sum::<f64>() / sweep.recovery_seconds.len().max(1) as f64;
+        let max = sweep
+            .recovery_seconds
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max);
+        println!(
+            "restart recovery: mean {:.0} ms, max {:.0} ms over {} restarts",
+            mean * 1e3,
+            max * 1e3,
+            sweep.recovery_seconds.len()
+        );
+        fields.extend([
+            ("restarts_per_episode", format!("{n_restarts}")),
+            (
+                "restart_scenarios",
+                format!("[{}]", sweep.json_rows.join(",")),
+            ),
+            ("restart_recovery_seconds_mean", format!("{mean:.6}")),
+            ("restart_recovery_seconds_max", format!("{max:.6}")),
+            ("restart_failures", format!("{}", sweep.failures)),
+        ]);
+        failures += sweep.failures;
+    }
+
+    let path = tesla_bench::profile::write_bench_json("chaos", &fields);
     println!("report written to {}", path.display());
     if failures > 0 {
         eprintln!("{failures} scenario(s) violated the robustness acceptance bounds");

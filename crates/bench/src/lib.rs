@@ -84,6 +84,12 @@ fn cached_sweep(days: f64, seed: u64) -> Trace {
     trace
 }
 
+/// True when the bare flag `--name` appears on the command line.
+pub fn arg_flag(name: &str) -> bool {
+    let flag = format!("--{name}");
+    std::env::args().any(|a| a == flag)
+}
+
 /// Reads an `ENV`-style override from the command line (`--days 3`), with
 /// a default. Keeps the binaries dependency-free.
 pub fn arg_f64(name: &str, default: f64) -> f64 {

@@ -17,6 +17,9 @@ const PHASE_HISTOGRAMS: &[(&str, &str)] = &[
     ("forecast_fit_seconds", "forecast model fit"),
     ("forecast_prepare_seconds", "forecast prepare"),
     ("forecast_predict_seconds", "forecast predict"),
+    ("checkpoint_write_seconds", "checkpoint write"),
+    ("checkpoint_restore_seconds", "checkpoint restore"),
+    ("restart_recovery_seconds", "restart recovery"),
 ];
 
 /// Runs `f` with the episode wall-clock histogram observing its duration.

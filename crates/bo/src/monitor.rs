@@ -87,6 +87,37 @@ impl PredictionErrorMonitor {
         (var_of_draws(&obj, &mut rng), var_of_draws(&con, &mut rng))
     }
 
+    /// Snapshot of the stored `(objective, constraint)` error pairs, in
+    /// arrival order (for checkpointing).
+    pub fn error_pairs(&self) -> Vec<(f64, f64)> {
+        self.obj_errors
+            .iter()
+            .copied()
+            .zip(self.con_errors.iter().copied())
+            .collect()
+    }
+
+    /// Restores a snapshot taken by
+    /// [`PredictionErrorMonitor::error_pairs`], replacing the current
+    /// contents. Unlike [`PredictionErrorMonitor::record`] this emits no
+    /// gauges (the original process already did) but keeps the same
+    /// finite-only and capacity invariants.
+    pub fn restore_error_pairs(&mut self, pairs: &[(f64, f64)]) {
+        self.obj_errors.clear();
+        self.con_errors.clear();
+        for &(o, c) in pairs {
+            if !o.is_finite() || !c.is_finite() {
+                continue;
+            }
+            if self.obj_errors.len() == self.capacity {
+                self.obj_errors.pop_front();
+                self.con_errors.pop_front();
+            }
+            self.obj_errors.push_back(o);
+            self.con_errors.push_back(c);
+        }
+    }
+
     /// Mean errors (bias diagnostics).
     pub fn mean_errors(&self) -> (f64, f64) {
         if self.is_empty() {

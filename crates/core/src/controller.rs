@@ -21,6 +21,34 @@ pub trait Controller: Send {
 
     /// Resets internal state between episodes.
     fn reset(&mut self) {}
+
+    /// Serializes the controller's resumable decision state for a
+    /// checkpoint. `None` (the default) means the controller is
+    /// stateless across decisions — a resume then needs nothing beyond
+    /// the prefix replay to be bit-identical.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state produced by [`Controller::save_state`]. Returns
+    /// `false` (the default) when the controller carries no such state or
+    /// the bytes don't parse; the resume path treats that as "nothing to
+    /// install" and relies on the replay hook alone.
+    fn load_state(&mut self, state: &[u8]) -> bool {
+        let _ = state;
+        false
+    }
+
+    /// Called once per replayed minute during a resume's prefix replay,
+    /// *instead of* [`Controller::decide`], with the history the original
+    /// decision saw. Implementations re-run whatever deterministic,
+    /// history-derived state evolution the skipped decision would have
+    /// performed (e.g. TESLA's online model retrains); per-decision state
+    /// that wall-clock or sampling noise could perturb belongs in
+    /// [`Controller::save_state`] instead.
+    fn replay_minute(&mut self, minute: usize, history: &Trace) {
+        let _ = (minute, history);
+    }
 }
 
 #[cfg(test)]

@@ -27,6 +27,12 @@
 //!   set-point sequence into a [`tesla_historian::MetricStore`] and
 //!   re-executes it later (across restarts, through WAL recovery) for a
 //!   bit-identical reproduction of the original episode.
+//! * [`checkpoint`] — versioned, CRC-framed control-plane checkpoints
+//!   with atomic writes, keep-N retention, and torn-write detection.
+//! * [`resume`] — crash-resilient supervised episodes: periodic
+//!   checkpointing, and resume that is bit-identical from the restored
+//!   cursor (falling back to the `HoldLastSafe` posture when no valid
+//!   checkpoint survives).
 //! * [`runtime`] — the §4-faithful threaded producer/consumer deployment
 //!   over a message queue, with safe-mode fallback when the consumer dies.
 //! * [`supervisor`] — the robustness layer: decision watchdog, retrying
@@ -50,6 +56,7 @@
 //! # Ok::<(), tesla_core::CoreError>(())
 //! ```
 
+pub mod checkpoint;
 pub mod controller;
 pub mod dataset;
 pub mod experiment;
@@ -57,24 +64,34 @@ pub mod fixed;
 pub mod lazic;
 pub mod objective;
 pub mod replay;
+pub mod resume;
 pub mod runtime;
 pub mod smoothing;
 pub mod supervisor;
 pub mod tesla;
 pub mod tsrl;
 
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointStore, CHECKPOINT_VERSION};
 pub use controller::Controller;
 pub use experiment::{run_episode, EpisodeConfig, EvalResult};
 pub use fixed::FixedController;
 pub use lazic::LazicController;
 pub use replay::{record_episode, replay_supervised_episode, ReplayController};
+pub use resume::{
+    resume_supervised_episode, run_checkpointed_episode, CheckpointPolicy, ResumeReport,
+};
 pub use runtime::run_episode_threaded;
 pub use smoothing::SmoothingBuffer;
 pub use supervisor::{
-    run_supervised_episode, Rung, StressReason, Supervisor, SupervisorConfig, SupervisorEvent,
+    run_supervised_episode, ResumeState, Rung, StressReason, Supervisor, SupervisorConfig,
+    SupervisorEvent, SupervisorState,
 };
 pub use tesla::{TeslaConfig, TeslaController};
 pub use tsrl::{TsrlConfig, TsrlController};
+
+/// The unified jittered-exponential-backoff policy (re-exported so
+/// control-plane callers don't need a separate dependency line).
+pub use tesla_backoff as backoff;
 
 /// Errors from the control layer.
 #[derive(Debug)]

@@ -1,0 +1,477 @@
+//! Crash-resilient supervised episodes: periodic checkpointing and
+//! bit-identical resume.
+//!
+//! [`run_checkpointed_episode`] runs the supervised closed loop while
+//! persisting a [`Checkpoint`] every `every_k` metered minutes and on
+//! every ladder transition. After a crash, [`resume_supervised_episode`]
+//! restores the newest valid checkpoint and continues the episode so
+//! that, from the restored cursor on, the executed set-point sequence is
+//! **bit-identical** to an uninterrupted run.
+//!
+//! The trick is that a checkpoint does *not* try to serialize the plant
+//! (testbed, workload, RNG, health monitors): all of those are seeded,
+//! so re-running the episode loop while forcing the recorded executed
+//! set-points rebuilds them exactly (the same property the episode
+//! replay module proves). The checkpoint carries only what the replay
+//! cannot reproduce — the supervisor's ladder state (wall-clock stress
+//! such as watchdog trips is not reproducible offline) and the
+//! controller's per-decision state — and installs it wholesale at the
+//! cursor.
+//!
+//! When no valid checkpoint exists (all torn, corrupt, future-versioned,
+//! or missing), the resume falls back to restarting the episode in the
+//! `HoldLastSafe` posture: safe, but not bit-identical. The report says
+//! which path was taken.
+
+use crate::checkpoint::{Checkpoint, CheckpointStore};
+use crate::controller::Controller;
+use crate::experiment::{EpisodeConfig, EvalResult};
+use crate::supervisor::{
+    run_supervised_episode_with, EngineHooks, EngineMinute, ResumeState, StressReason, Supervisor,
+};
+use crate::CoreError;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// When the checkpointed episode runner persists snapshots.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Write a checkpoint every `every_k` metered minutes (`0` disables
+    /// the cadence; rung-transition checkpoints may still fire).
+    pub every_k: usize,
+    /// Also checkpoint whenever the degradation ladder moves, so the
+    /// post-restart posture reflects the freshest stress evidence.
+    pub on_rung_change: bool,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy {
+            every_k: 10,
+            on_rung_change: true,
+        }
+    }
+}
+
+/// How a [`resume_supervised_episode`] call recovered.
+#[derive(Debug, Clone)]
+pub struct ResumeReport {
+    /// Metered-minute cursor of the checkpoint resumed from; `None` when
+    /// no usable checkpoint existed.
+    pub resumed_from: Option<usize>,
+    /// Path of the checkpoint file used.
+    pub checkpoint_path: Option<PathBuf>,
+    /// True when the episode restarted from scratch in the
+    /// `HoldLastSafe` posture because no usable checkpoint existed.
+    pub fell_back_to_hold: bool,
+    /// Wall-clock seconds from the resume call until the control loop
+    /// was live again (prefix replay + state install complete).
+    pub recovery_seconds: f64, // lint:allow(no-raw-f64-in-public-api): wall-clock diagnostic
+}
+
+/// Builds the checkpoint a live engine minute describes.
+fn checkpoint_at(config: &EpisodeConfig, mm: &EngineMinute<'_>) -> Checkpoint {
+    let done = mm.minute + 1;
+    Checkpoint {
+        seed: config.seed,
+        minutes: config.minutes as u64,
+        warmup_minutes: config.warmup_minutes as u64,
+        controller: mm.controller.name().to_string(),
+        cursor: done as u64,
+        setpoints: mm.setpoints.to_vec(),
+        supervisor: mm.supervisor.state(),
+        controller_state: mm.controller.save_state(),
+    }
+}
+
+/// Writes a checkpoint if this minute is due one. Failures are counted
+/// and logged, never propagated: losing a snapshot must not take down
+/// the control loop whose resilience it exists to provide.
+fn write_if_due(
+    config: &EpisodeConfig,
+    store: &CheckpointStore,
+    policy: &CheckpointPolicy,
+    mm: &EngineMinute<'_>,
+) {
+    let done = mm.minute + 1;
+    let cadence_due = policy.every_k > 0 && done.is_multiple_of(policy.every_k);
+    let rung_due = policy.on_rung_change && mm.rung_changed;
+    if !cadence_due && !rung_due {
+        return;
+    }
+    if store.write(&checkpoint_at(config, mm)).is_err() {
+        tesla_obs::counter!("checkpoint_write_failures_total").inc();
+        tesla_obs::event("checkpoint_write_failed", &[("minute", mm.minute as f64)]);
+    }
+}
+
+/// Runs one supervised episode with periodic checkpointing.
+///
+/// `abort_after: Some(m)` simulates a crash: the loop stops before
+/// metered minute `m` runs, exactly as if the process died there. The
+/// chaos harness and the kill-point tests use this; production callers
+/// pass `None`.
+pub fn run_checkpointed_episode(
+    controller: &mut dyn Controller,
+    supervisor: &mut Supervisor,
+    config: &EpisodeConfig,
+    store: &CheckpointStore,
+    policy: &CheckpointPolicy,
+    abort_after: Option<usize>,
+) -> Result<EvalResult, CoreError> {
+    let mut observer = |mm: EngineMinute<'_>| write_if_due(config, store, policy, &mm);
+    run_supervised_episode_with(
+        controller,
+        supervisor,
+        config,
+        EngineHooks {
+            abort_after,
+            observer: Some(&mut observer),
+            ..EngineHooks::default()
+        },
+    )
+}
+
+/// Resumes a supervised episode from the newest valid checkpoint in
+/// `store`, continuing to checkpoint on the same policy (so repeated
+/// crashes keep resuming from fresher and fresher snapshots).
+///
+/// From the restored cursor the executed set-point sequence is
+/// bit-identical to an uninterrupted run. A checkpoint whose fingerprint
+/// (seed, episode length, warm-up, controller name) does not match
+/// `config` is treated as absent. With no usable checkpoint the episode
+/// restarts from minute 0 in the `HoldLastSafe` posture — thermally
+/// safe, but flagged in the report because bit-identity is lost.
+///
+/// `abort_after` simulates a crash mid-resume, as in
+/// [`run_checkpointed_episode`].
+pub fn resume_supervised_episode(
+    controller: &mut dyn Controller,
+    supervisor: &mut Supervisor,
+    config: &EpisodeConfig,
+    store: &CheckpointStore,
+    policy: &CheckpointPolicy,
+    abort_after: Option<usize>,
+) -> Result<(EvalResult, ResumeReport), CoreError> {
+    let start = Instant::now();
+    let found = store
+        .latest_valid()
+        .map_err(|e| CoreError::Config(format!("checkpoint store: {e}")))?;
+    let usable = found.filter(|(ckpt, _)| {
+        let fits = ckpt.matches(
+            config.seed,
+            config.minutes as u64,
+            config.warmup_minutes as u64,
+            controller.name(),
+        ) && ckpt.cursor as usize <= config.minutes;
+        if !fits {
+            tesla_obs::event("checkpoint_fingerprint_mismatch", &[]);
+        }
+        fits
+    });
+
+    // Recovery ends when the first live (post-cursor) minute completes;
+    // the engine's observer fires exactly then.
+    let mut recovery_seconds = None::<f64>;
+    let record_recovery = |recovery_seconds: &mut Option<f64>| {
+        if recovery_seconds.is_none() {
+            let secs = start.elapsed().as_secs_f64();
+            tesla_obs::histogram!("restart_recovery_seconds").observe(secs);
+            *recovery_seconds = Some(secs);
+        }
+    };
+
+    let (result, resumed_from, checkpoint_path, fell_back) = match usable {
+        Some((ckpt, path)) => {
+            let resume_state = ResumeState {
+                supervisor: ckpt.supervisor.clone(),
+                controller: ckpt.controller_state.clone(),
+            };
+            let mut observer = |mm: EngineMinute<'_>| {
+                record_recovery(&mut recovery_seconds);
+                write_if_due(config, store, policy, &mm);
+            };
+            let result = run_supervised_episode_with(
+                controller,
+                supervisor,
+                config,
+                EngineHooks {
+                    prefix: &ckpt.setpoints,
+                    resume: Some(&resume_state),
+                    abort_after,
+                    observer: Some(&mut observer),
+                    ..EngineHooks::default()
+                },
+            )?;
+            (result, Some(ckpt.cursor as usize), Some(path), false)
+        }
+        None => {
+            tesla_obs::counter!("restart_hold_fallbacks_total").inc();
+            let mut observer = |mm: EngineMinute<'_>| {
+                record_recovery(&mut recovery_seconds);
+                write_if_due(config, store, policy, &mm);
+            };
+            let result = run_supervised_episode_with(
+                controller,
+                supervisor,
+                config,
+                EngineHooks {
+                    start_elevated: Some(StressReason::ConsumerLost),
+                    abort_after,
+                    observer: Some(&mut observer),
+                    ..EngineHooks::default()
+                },
+            )?;
+            (result, None, None, true)
+        }
+    };
+
+    let report = ResumeReport {
+        resumed_from,
+        checkpoint_path,
+        fell_back_to_hold: fell_back,
+        recovery_seconds: recovery_seconds.unwrap_or_else(|| start.elapsed().as_secs_f64()),
+    };
+    Ok((result, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::FixedController;
+    use crate::supervisor::{run_supervised_episode, Rung, SupervisorConfig};
+    use crate::tesla::{TeslaConfig, TeslaController};
+    use tesla_bo::BoConfig;
+    use tesla_forecast::ModelConfig;
+    use tesla_sim::{ActuatorFault, ActuatorFaultKind, FaultPlan, FaultWindow};
+    use tesla_units::Celsius;
+    use tesla_workload::LoadSetting;
+
+    fn temp_store(tag: &str) -> (CheckpointStore, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "tesla-resume-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        (CheckpointStore::open(&dir, 3).unwrap(), dir)
+    }
+
+    fn episode_config(minutes: usize) -> EpisodeConfig {
+        EpisodeConfig {
+            setting: LoadSetting::Medium,
+            minutes,
+            warmup_minutes: 20,
+            seed: 42,
+            ..EpisodeConfig::default()
+        }
+    }
+
+    fn quick_supervisor() -> Supervisor {
+        Supervisor::new(SupervisorConfig::default())
+    }
+
+    #[test]
+    fn resume_is_bit_identical_at_kill_points() {
+        let cfg = episode_config(40);
+        let mut baseline_ctrl = FixedController::new(Celsius::new(23.4));
+        let mut baseline_sup = quick_supervisor();
+        let baseline = run_supervised_episode(&mut baseline_ctrl, &mut baseline_sup, &cfg).unwrap();
+
+        let policy = CheckpointPolicy {
+            every_k: 2,
+            on_rung_change: true,
+        };
+        for kill in [3usize, 14, 29, 39] {
+            let (store, dir) = temp_store(&format!("kill{kill}"));
+            let mut ctrl = FixedController::new(Celsius::new(23.4));
+            let mut sup = quick_supervisor();
+            run_checkpointed_episode(&mut ctrl, &mut sup, &cfg, &store, &policy, Some(kill))
+                .unwrap();
+
+            // "Process restart": fresh controller, fresh supervisor.
+            let mut ctrl2 = FixedController::new(Celsius::new(23.4));
+            let mut sup2 = quick_supervisor();
+            let (resumed, report) =
+                resume_supervised_episode(&mut ctrl2, &mut sup2, &cfg, &store, &policy, None)
+                    .unwrap();
+            assert!(!report.fell_back_to_hold, "kill at {kill} had checkpoints");
+            assert_eq!(
+                baseline.setpoints, resumed.setpoints,
+                "kill at {kill}: set-points must be bit-identical"
+            );
+            assert_eq!(baseline.cold_aisle_max, resumed.cold_aisle_max);
+            assert_eq!(baseline.cooling_energy_kwh, resumed.cooling_energy_kwh);
+            assert_eq!(baseline.tsv_percent, resumed.tsv_percent);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn resume_is_bit_identical_under_faults() {
+        // Register rejections drive ladder transitions (and transition
+        // checkpoints); the resumed run must still match bit for bit.
+        let mut cfg = episode_config(45);
+        // Windows are in sim minutes (warm-up included): metered minutes
+        // 25..35 with a 20-minute warm-up.
+        cfg.faults = FaultPlan {
+            actuators: vec![ActuatorFault {
+                kind: ActuatorFaultKind::RejectedRegister,
+                window: FaultWindow::new(45.0, 55.0),
+            }],
+            ..FaultPlan::none()
+        };
+        let mut baseline_ctrl = FixedController::new(Celsius::new(24.0));
+        let mut baseline_sup = quick_supervisor();
+        let baseline = run_supervised_episode(&mut baseline_ctrl, &mut baseline_sup, &cfg).unwrap();
+
+        let policy = CheckpointPolicy::default();
+        let (store, dir) = temp_store("faults");
+        let mut ctrl = FixedController::new(Celsius::new(24.0));
+        let mut sup = quick_supervisor();
+        run_checkpointed_episode(&mut ctrl, &mut sup, &cfg, &store, &policy, Some(32)).unwrap();
+
+        let mut ctrl2 = FixedController::new(Celsius::new(24.0));
+        let mut sup2 = quick_supervisor();
+        let (resumed, report) =
+            resume_supervised_episode(&mut ctrl2, &mut sup2, &cfg, &store, &policy, None).unwrap();
+        assert!(report.resumed_from.is_some());
+        assert_eq!(baseline.setpoints, resumed.setpoints);
+        assert_eq!(baseline.safe_mode_minutes, resumed.safe_mode_minutes);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_is_bit_identical_with_tesla_controller() {
+        // The stateful controller: pending predictions, the error
+        // monitor, the smoothing buffer, and online retrains all cross
+        // the crash. Small model/optimizer so the test stays quick.
+        let cfg = EpisodeConfig {
+            warmup_minutes: 12,
+            ..episode_config(24)
+        };
+        let tesla_cfg = TeslaConfig {
+            model: ModelConfig {
+                horizon: 6,
+                ..ModelConfig::default()
+            },
+            bo: BoConfig {
+                n_init: 4,
+                n_iter: 1,
+                n_mc: 16,
+                n_grid: 11,
+                ..BoConfig::default()
+            },
+            n_bootstrap: 32,
+            retrain_every: Some(5),
+            retrain_min_history: 15,
+            seed: 7,
+            ..TeslaConfig::default()
+        };
+        let train = crate::dataset::generate_sweep_trace(&crate::dataset::DatasetConfig {
+            days: 0.4,
+            seed: 3,
+            ..crate::dataset::DatasetConfig::default()
+        })
+        .unwrap();
+
+        let mut baseline_ctrl = TeslaController::new(&train, tesla_cfg.clone()).unwrap();
+        let mut baseline_sup = quick_supervisor();
+        let baseline = run_supervised_episode(&mut baseline_ctrl, &mut baseline_sup, &cfg).unwrap();
+
+        let policy = CheckpointPolicy {
+            every_k: 4,
+            on_rung_change: true,
+        };
+        let (store, dir) = temp_store("tesla");
+        let mut ctrl = TeslaController::new(&train, tesla_cfg.clone()).unwrap();
+        let mut sup = quick_supervisor();
+        run_checkpointed_episode(&mut ctrl, &mut sup, &cfg, &store, &policy, Some(17)).unwrap();
+
+        // Restart: the controller is re-fit from the same offline sweep
+        // (deterministic), then checkpointed state is installed on top.
+        let mut ctrl2 = TeslaController::new(&train, tesla_cfg).unwrap();
+        let mut sup2 = quick_supervisor();
+        let (resumed, report) =
+            resume_supervised_episode(&mut ctrl2, &mut sup2, &cfg, &store, &policy, None).unwrap();
+        assert_eq!(report.resumed_from, Some(16));
+        assert_eq!(
+            baseline.setpoints, resumed.setpoints,
+            "TESLA resume must be bit-identical"
+        );
+        assert_eq!(baseline.cooling_energy_kwh, resumed.cooling_energy_kwh);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_newest_checkpoint_falls_back_to_older_and_stays_identical() {
+        let cfg = episode_config(40);
+        let mut baseline_ctrl = FixedController::new(Celsius::new(23.4));
+        let mut baseline_sup = quick_supervisor();
+        let baseline = run_supervised_episode(&mut baseline_ctrl, &mut baseline_sup, &cfg).unwrap();
+
+        let policy = CheckpointPolicy {
+            every_k: 5,
+            on_rung_change: true,
+        };
+        let (store, dir) = temp_store("torn");
+        let mut ctrl = FixedController::new(Celsius::new(23.4));
+        let mut sup = quick_supervisor();
+        run_checkpointed_episode(&mut ctrl, &mut sup, &cfg, &store, &policy, Some(23)).unwrap();
+
+        // Tear the newest file mid-frame.
+        let files = store.list().unwrap();
+        assert!(files.len() >= 2, "need at least two checkpoints");
+        let newest = files.last().unwrap();
+        let bytes = std::fs::read(newest).unwrap();
+        std::fs::write(newest, &bytes[..bytes.len() / 2]).unwrap();
+
+        let mut ctrl2 = FixedController::new(Celsius::new(23.4));
+        let mut sup2 = quick_supervisor();
+        let (resumed, report) =
+            resume_supervised_episode(&mut ctrl2, &mut sup2, &cfg, &store, &policy, None).unwrap();
+        assert_eq!(report.resumed_from, Some(15), "must use the older snapshot");
+        assert_eq!(baseline.setpoints, resumed.setpoints);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_checkpoint_falls_back_to_hold_posture() {
+        let cfg = episode_config(30);
+        let (store, dir) = temp_store("empty");
+        let policy = CheckpointPolicy::default();
+        let mut ctrl = FixedController::new(Celsius::new(23.4));
+        let mut sup = quick_supervisor();
+        let (result, report) =
+            resume_supervised_episode(&mut ctrl, &mut sup, &cfg, &store, &policy, None).unwrap();
+        assert!(report.fell_back_to_hold);
+        assert_eq!(report.resumed_from, None);
+        assert_eq!(result.setpoints.len(), 30);
+        // The episode must have started on the hold rung, visible in the
+        // transition log's first event.
+        let first = sup.events().first().expect("start_elevated logs an event");
+        assert_eq!(first.to, Rung::HoldLastSafe);
+        assert_eq!(first.minute, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_treated_as_no_checkpoint() {
+        let cfg = episode_config(25);
+        let policy = CheckpointPolicy::default();
+        let (store, dir) = temp_store("fp");
+        let mut ctrl = FixedController::new(Celsius::new(23.4));
+        let mut sup = quick_supervisor();
+        run_checkpointed_episode(&mut ctrl, &mut sup, &cfg, &store, &policy, Some(15)).unwrap();
+
+        // Resume under a different seed: the checkpoint must be refused.
+        let other = EpisodeConfig { seed: 43, ..cfg };
+        let mut ctrl2 = FixedController::new(Celsius::new(23.4));
+        let mut sup2 = quick_supervisor();
+        let (_, report) =
+            resume_supervised_episode(&mut ctrl2, &mut sup2, &other, &store, &policy, None)
+                .unwrap();
+        assert!(report.fell_back_to_hold);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

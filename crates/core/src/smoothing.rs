@@ -62,6 +62,23 @@ impl SmoothingBuffer {
     pub fn clear(&mut self) {
         self.values.clear();
     }
+
+    /// Snapshot of the stored set-points, oldest first (checkpointing).
+    pub fn snapshot(&self) -> Vec<f64> // lint:allow(no-raw-f64-in-public-api): raw decision stream snapshot
+    {
+        self.values.iter().copied().collect()
+    }
+
+    /// Replaces the contents with a snapshot taken by
+    /// [`SmoothingBuffer::snapshot`], keeping only the newest `capacity`
+    /// values.
+    pub fn restore(&mut self, values: &[f64])
+    // lint:allow(no-raw-f64-in-public-api): raw decision stream snapshot
+    {
+        self.values.clear();
+        let skip = values.len().saturating_sub(self.capacity);
+        self.values.extend(values.iter().skip(skip).copied());
+    }
 }
 
 #[cfg(test)]

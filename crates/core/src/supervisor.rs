@@ -97,6 +97,16 @@ impl Rung {
             Rung::HoldLastSafe | Rung::Normal => Rung::Normal,
         }
     }
+
+    /// Inverse of [`Rung::index`] (for the checkpoint codec).
+    pub fn from_index(index: u8) -> Option<Rung> {
+        match index {
+            0 => Some(Rung::Normal),
+            1 => Some(Rung::HoldLastSafe),
+            2 => Some(Rung::SafeMode),
+            _ => None,
+        }
+    }
 }
 
 /// Why the supervisor considered a minute stressed.
@@ -112,6 +122,8 @@ pub enum StressReason {
     ThermalViolation,
     /// The decision process died entirely (threaded runtime).
     ConsumerLost,
+    /// The decision overran the hard step deadline and was discarded.
+    DecisionTimeout,
 }
 
 impl StressReason {
@@ -123,6 +135,32 @@ impl StressReason {
             StressReason::Telemetry => "Telemetry",
             StressReason::ThermalViolation => "ThermalViolation",
             StressReason::ConsumerLost => "ConsumerLost",
+            StressReason::DecisionTimeout => "DecisionTimeout",
+        }
+    }
+
+    /// Stable wire code for the checkpoint codec.
+    pub fn code(self) -> u8 {
+        match self {
+            StressReason::Watchdog => 0,
+            StressReason::WriteFailed => 1,
+            StressReason::Telemetry => 2,
+            StressReason::ThermalViolation => 3,
+            StressReason::ConsumerLost => 4,
+            StressReason::DecisionTimeout => 5,
+        }
+    }
+
+    /// Inverse of [`StressReason::code`].
+    pub fn from_code(code: u8) -> Option<StressReason> {
+        match code {
+            0 => Some(StressReason::Watchdog),
+            1 => Some(StressReason::WriteFailed),
+            2 => Some(StressReason::Telemetry),
+            3 => Some(StressReason::ThermalViolation),
+            4 => Some(StressReason::ConsumerLost),
+            5 => Some(StressReason::DecisionTimeout),
+            _ => None,
         }
     }
 }
@@ -167,13 +205,27 @@ pub struct SupervisorEvent {
 /// Supervisor thresholds and budgets.
 #[derive(Debug, Clone)]
 pub struct SupervisorConfig {
-    /// Wall-clock budget per decision, milliseconds.
+    /// Wall-clock budget per decision, milliseconds. A decision over the
+    /// budget is *used* but counts as stress (the soft watchdog).
     pub decision_budget_ms: u64,
+    /// Hard per-step deadline, milliseconds. A decision over the deadline
+    /// is *discarded*: the supervisor logs a `DecisionTimeout`, falls back
+    /// to the previous safe set-point (one rung of the ladder), and lets
+    /// the stress streak escalate from there. `None` disables.
+    pub step_deadline_ms: Option<u64>,
     /// Set-point write attempts per minute before declaring failure.
     pub max_write_attempts: u32,
     /// Base backoff between write retries, milliseconds (doubles per
     /// attempt).
     pub retry_backoff_ms: u64,
+    /// Fraction of each retry delay shaved off by the deterministic
+    /// jitter (see [`tesla_backoff::BackoffPolicy::jitter`]).
+    pub retry_jitter: f64,
+    /// Transition-log capacity: beyond this many events the oldest are
+    /// dropped (and `supervisor_events_dropped_total` counts them), so a
+    /// week-long episode with flapping faults cannot grow memory
+    /// unboundedly.
+    pub max_events: usize,
     /// Consecutive stressed minutes before climbing one rung.
     pub escalate_after: u32,
     /// Consecutive clean minutes before descending one rung.
@@ -206,8 +258,11 @@ impl Default for SupervisorConfig {
     fn default() -> Self {
         SupervisorConfig {
             decision_budget_ms: 5_000,
+            step_deadline_ms: Some(30_000),
             max_write_attempts: 4,
             retry_backoff_ms: 1,
+            retry_jitter: 0.25,
+            max_events: 1_024,
             escalate_after: 3,
             recover_after: 10,
             quarantine_stress_frac: 0.25,
@@ -236,11 +291,52 @@ pub struct Supervisor {
     /// Set-point actually executed last minute (ramp base for recovery).
     last_executed: Option<Celsius>,
     events: Vec<SupervisorEvent>,
+    events_dropped: u64,
     safe_mode_minutes: u64,
     hold_minutes: u64,
     watchdog_trips: u64,
     write_failures: u64,
     write_retries: u64,
+    decision_timeouts: u64,
+}
+
+/// A full snapshot of a [`Supervisor`]'s mutable state, as captured into
+/// (and restored from) a [`crate::checkpoint::Checkpoint`]. The ladder's
+/// wall-clock-dependent history (watchdog trips, retry counts) cannot be
+/// reproduced by replaying an episode prefix, so a resume *installs* this
+/// snapshot at the cursor instead of re-deriving it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisorState {
+    /// Current rung.
+    pub rung: Rung,
+    /// Consecutive stressed minutes so far.
+    pub stress_streak: u32,
+    /// Consecutive clean minutes so far.
+    pub clean_streak: u32,
+    /// Stress reason pending attribution for the next escalation.
+    pub pending_reason: Option<StressReason>,
+    /// Reason behind the current elevated rung.
+    pub elevated_reason: Option<StressReason>,
+    /// The hold rung's target.
+    pub last_safe_setpoint: Celsius,
+    /// Set-point executed last minute.
+    pub last_executed: Option<Celsius>,
+    /// The transition log (bounded by `max_events`).
+    pub events: Vec<SupervisorEvent>,
+    /// Events dropped from the log by the ring cap.
+    pub events_dropped: u64,
+    /// Minutes spent at `SafeMode`.
+    pub safe_mode_minutes: u64,
+    /// Minutes spent at `HoldLastSafe`.
+    pub hold_minutes: u64,
+    /// Soft-watchdog trips.
+    pub watchdog_trips: u64,
+    /// Writes failed after all retries.
+    pub write_failures: u64,
+    /// Individual write retries.
+    pub write_retries: u64,
+    /// Hard-deadline overruns.
+    pub decision_timeouts: u64,
 }
 
 impl Supervisor {
@@ -257,11 +353,13 @@ impl Supervisor {
             last_safe_setpoint,
             last_executed: None,
             events: Vec::new(),
+            events_dropped: 0,
             safe_mode_minutes: 0,
             hold_minutes: 0,
             watchdog_trips: 0,
             write_failures: 0,
             write_retries: 0,
+            decision_timeouts: 0,
         }
     }
 
@@ -305,6 +403,97 @@ impl Supervisor {
         self.write_retries
     }
 
+    /// Decisions discarded for overrunning the hard step deadline.
+    pub fn decision_timeouts(&self) -> u64 {
+        self.decision_timeouts
+    }
+
+    /// Transition-log entries dropped by the ring cap.
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped
+    }
+
+    /// Appends to the transition log, dropping the oldest entry once the
+    /// configured cap is reached (drop-oldest, like the obs trace ring).
+    fn push_event(&mut self, event: SupervisorEvent) {
+        if self.cfg.max_events == 0 {
+            self.events_dropped += 1;
+            tesla_obs::counter!("supervisor_events_dropped_total").inc();
+            return;
+        }
+        if self.events.len() >= self.cfg.max_events {
+            self.events.remove(0);
+            self.events_dropped += 1;
+            tesla_obs::counter!("supervisor_events_dropped_total").inc();
+        }
+        self.events.push(event);
+    }
+
+    /// Snapshots the full mutable state (for checkpointing).
+    pub fn state(&self) -> SupervisorState {
+        SupervisorState {
+            rung: self.rung,
+            stress_streak: self.stress_streak,
+            clean_streak: self.clean_streak,
+            pending_reason: self.pending_reason,
+            elevated_reason: self.elevated_reason,
+            last_safe_setpoint: self.last_safe_setpoint,
+            last_executed: self.last_executed,
+            events: self.events.clone(),
+            events_dropped: self.events_dropped,
+            safe_mode_minutes: self.safe_mode_minutes,
+            hold_minutes: self.hold_minutes,
+            watchdog_trips: self.watchdog_trips,
+            write_failures: self.write_failures,
+            write_retries: self.write_retries,
+            decision_timeouts: self.decision_timeouts,
+        }
+    }
+
+    /// Installs a snapshot taken by [`Supervisor::state`], overriding the
+    /// current ladder state. Used by the resume path at the checkpoint
+    /// cursor; no transition metrics are emitted (the original process
+    /// already accounted for them).
+    pub fn restore_state(&mut self, state: SupervisorState) {
+        self.rung = state.rung;
+        self.stress_streak = state.stress_streak;
+        self.clean_streak = state.clean_streak;
+        self.pending_reason = state.pending_reason;
+        self.elevated_reason = state.elevated_reason;
+        self.last_safe_setpoint = state.last_safe_setpoint;
+        self.last_executed = state.last_executed;
+        self.events = state.events;
+        self.events_dropped = state.events_dropped;
+        self.safe_mode_minutes = state.safe_mode_minutes;
+        self.hold_minutes = state.hold_minutes;
+        self.watchdog_trips = state.watchdog_trips;
+        self.write_failures = state.write_failures;
+        self.write_retries = state.write_retries;
+        self.decision_timeouts = state.decision_timeouts;
+    }
+
+    /// Starts the ladder at `HoldLastSafe` with `reason` — the posture a
+    /// restarted control plane takes when no valid checkpoint survived:
+    /// hold the (nominal) safe set-point until `recover_after` clean
+    /// minutes prove the plant healthy, instead of trusting a fresh
+    /// controller immediately.
+    pub fn start_elevated(&mut self, reason: StressReason) {
+        if self.rung == Rung::Normal {
+            self.rung = Rung::HoldLastSafe;
+            self.elevated_reason = Some(reason);
+            self.clean_streak = 0;
+            self.stress_streak = 0;
+            let event = SupervisorEvent {
+                minute: 0,
+                from: Rung::Normal,
+                to: Rung::HoldLastSafe,
+                reason,
+            };
+            record_transition(&event);
+            self.push_event(event);
+        }
+    }
+
     /// The hold-rung target: `last_safe`, approached from the last
     /// executed set-point at no more than the recovery slew rate when
     /// moving *up* (reducing cooling). Downward moves are immediate.
@@ -335,7 +524,28 @@ impl Supervisor {
     pub fn decide(&mut self, controller: &mut dyn Controller, history: &Trace) -> Celsius {
         let t0 = Instant::now();
         let proposed = Celsius::new(controller.decide(history));
-        let over_budget = t0.elapsed() > Duration::from_millis(self.cfg.decision_budget_ms);
+        let elapsed = t0.elapsed();
+        // Hard deadline first: an overrun past it means the decision is
+        // too stale to trust at all — discard it, log the timeout, and
+        // fall back one rung (hold the previous safe set-point).
+        if self
+            .cfg
+            .step_deadline_ms
+            .is_some_and(|d| elapsed > Duration::from_millis(d))
+        {
+            self.decision_timeouts += 1;
+            tesla_obs::counter!("supervisor_decision_timeouts_total").inc();
+            tesla_obs::event(
+                "decision_timeout",
+                &[("elapsed_ms", elapsed.as_millis() as f64)],
+            );
+            self.note_stress(StressReason::DecisionTimeout);
+            return match self.rung {
+                Rung::SafeMode => self.cfg.safe_setpoint,
+                Rung::Normal | Rung::HoldLastSafe => self.hold_target(),
+            };
+        }
+        let over_budget = elapsed > Duration::from_millis(self.cfg.decision_budget_ms);
         if over_budget {
             self.watchdog_trips += 1;
             tesla_obs::counter!("supervisor_watchdog_trips_total").inc();
@@ -350,44 +560,49 @@ impl Supervisor {
         self.resolve_setpoint(proposed)
     }
 
+    /// The retry policy for register writes, derived from the config:
+    /// the classic doubling schedule the supervisor always used, now
+    /// expressed through the shared [`tesla_backoff::BackoffPolicy`]
+    /// (with its deterministic jitter).
+    fn write_backoff(&self) -> tesla_backoff::BackoffPolicy {
+        tesla_backoff::BackoffPolicy {
+            base_ms: self.cfg.retry_backoff_ms,
+            factor: 2,
+            max_delay_ms: self.cfg.retry_backoff_ms.saturating_mul(1 << 10),
+            max_attempts: self.cfg.max_write_attempts.max(1),
+            jitter: self.cfg.retry_jitter,
+            // Salted by the retry history so consecutive failure bursts
+            // draw different (but still reproducible) jitter.
+            seed: 0xB0FF ^ self.write_retries,
+        }
+    }
+
     /// Writes `sp` to the testbed, retrying transient Modbus failures
-    /// (timeouts, device rejections) with exponential backoff. Validation
-    /// errors (out-of-spec set-points) are not retried — retrying cannot
-    /// fix them. Returns the quantized set-point latched, or the error
-    /// from the final attempt.
+    /// (timeouts, device rejections) with the shared jittered-exponential
+    /// backoff policy. Validation errors (out-of-spec set-points) are not
+    /// retried — retrying cannot fix them. Returns the quantized
+    /// set-point latched, or the error from the final attempt.
     pub fn write_with_retry(
         &mut self,
         testbed: &mut Testbed,
         sp: Celsius,
     ) -> Result<Celsius, SimError> {
-        let mut attempt = 0u32;
-        loop {
-            match testbed.try_write_setpoint(sp) {
-                Ok(q) => return Ok(q),
-                Err(e @ (SimError::WriteTimeout | SimError::RegisterRejected(_))) => {
-                    attempt += 1;
-                    if attempt >= self.cfg.max_write_attempts {
-                        self.write_failures += 1;
-                        tesla_obs::counter!("supervisor_write_failures_total").inc();
-                        self.note_stress(StressReason::WriteFailed);
-                        return Err(e);
-                    }
-                    self.write_retries += 1;
-                    tesla_obs::counter!("supervisor_write_retries_total").inc();
-                    if self.cfg.retry_backoff_ms > 0 {
-                        std::thread::sleep(Duration::from_millis(
-                            self.cfg.retry_backoff_ms << (attempt - 1).min(10),
-                        ));
-                    }
-                }
-                Err(e) => {
-                    self.write_failures += 1;
-                    tesla_obs::counter!("supervisor_write_failures_total").inc();
-                    self.note_stress(StressReason::WriteFailed);
-                    return Err(e);
-                }
-            }
+        let policy = self.write_backoff();
+        let retries = &mut self.write_retries;
+        let result = policy.run(
+            |_| testbed.try_write_setpoint(sp),
+            |e| matches!(e, SimError::WriteTimeout | SimError::RegisterRejected(_)),
+            |_| {
+                *retries += 1;
+                tesla_obs::counter!("supervisor_write_retries_total").inc();
+            },
+        );
+        if result.is_err() {
+            self.write_failures += 1;
+            tesla_obs::counter!("supervisor_write_failures_total").inc();
+            self.note_stress(StressReason::WriteFailed);
         }
+        result
     }
 
     /// Marks the current minute as stressed for `reason`. The first
@@ -465,7 +680,7 @@ impl Supervisor {
                     reason,
                 };
                 record_transition(&event);
-                self.events.push(event);
+                self.push_event(event);
                 self.stress_streak = 0;
             }
         } else {
@@ -489,7 +704,7 @@ impl Supervisor {
                     reason,
                 };
                 record_transition(&event);
-                self.events.push(event);
+                self.push_event(event);
                 if self.rung == Rung::Normal {
                     self.elevated_reason = None;
                 }
@@ -518,7 +733,7 @@ impl Supervisor {
                 reason,
             };
             record_transition(&event);
-            self.events.push(event);
+            self.push_event(event);
         }
     }
 
@@ -532,12 +747,63 @@ impl Supervisor {
         self.last_safe_setpoint = NOMINAL_SETPOINT.max(self.cfg.safe_setpoint);
         self.last_executed = None;
         self.events.clear();
+        self.events_dropped = 0;
         self.safe_mode_minutes = 0;
         self.hold_minutes = 0;
         self.watchdog_trips = 0;
         self.write_failures = 0;
         self.write_retries = 0;
+        self.decision_timeouts = 0;
     }
+}
+
+/// State installed into the control plane at the resume cursor (see
+/// [`crate::resume`]).
+#[derive(Debug, Clone)]
+pub struct ResumeState {
+    /// The supervisor snapshot from the checkpoint.
+    pub supervisor: SupervisorState,
+    /// Opaque controller state bytes ([`Controller::save_state`]).
+    pub controller: Option<Vec<u8>>,
+}
+
+/// One live (post-cursor) minute as seen by an engine observer.
+pub(crate) struct EngineMinute<'a> {
+    /// Metered minute just completed.
+    pub minute: usize,
+    /// Executed set-points so far (length `minute + 1`).
+    // lint:allow(no-raw-f64-in-public-api): crate-internal engine view mirroring EvalResult's raw trace
+    pub setpoints: &'a [f64],
+    /// The supervisor, after `end_of_minute`.
+    pub supervisor: &'a Supervisor,
+    /// The controller, after its decision.
+    pub controller: &'a dyn Controller,
+    /// Whether the ladder moved this minute.
+    pub rung_changed: bool,
+}
+
+/// Hooks that turn the supervised episode runner into a resumable,
+/// checkpointable engine. The default (`EngineHooks::default()`) is a
+/// plain uninterrupted episode.
+#[derive(Default)]
+pub(crate) struct EngineHooks<'a> {
+    /// Executed set-points forced for minutes `0..prefix.len()` (the
+    /// bit-identical replay of the pre-crash prefix). While replaying,
+    /// the controller's decision path is skipped ([`Controller::
+    /// replay_minute`] runs instead) and the supervisor's ladder is not
+    /// advanced — its state is installed wholesale at the cursor.
+    pub prefix: &'a [f64],
+    /// State installed when the metered loop reaches `prefix.len()`.
+    pub resume: Option<&'a ResumeState>,
+    /// Ladder posture applied right after reset: the no-valid-checkpoint
+    /// fallback starts at `HoldLastSafe` instead of trusting a cold
+    /// controller immediately.
+    pub start_elevated: Option<StressReason>,
+    /// Simulated crash: stop after this many metered minutes.
+    pub abort_after: Option<usize>,
+    /// Called after each live (non-replayed) minute — the checkpoint
+    /// writer hangs off this.
+    pub observer: Option<&'a mut dyn FnMut(EngineMinute<'_>)>,
 }
 
 /// Runs one supervised closed-loop episode: telemetry is sanitized by
@@ -550,6 +816,21 @@ pub fn run_supervised_episode(
     controller: &mut dyn Controller,
     supervisor: &mut Supervisor,
     config: &EpisodeConfig,
+) -> Result<EvalResult, CoreError> {
+    run_supervised_episode_with(controller, supervisor, config, EngineHooks::default())
+}
+
+/// The engine behind [`run_supervised_episode`]: the same loop, plus the
+/// replay/resume/checkpoint hooks used by [`crate::resume`]. Everything
+/// that feeds the physics (set-point writes, workload sampling, sensor
+/// sanitization, trace pruning) is identical in replayed and live
+/// minutes, which is what makes a resumed episode bit-identical to an
+/// uninterrupted one from the cursor on.
+pub(crate) fn run_supervised_episode_with(
+    controller: &mut dyn Controller,
+    supervisor: &mut Supervisor,
+    config: &EpisodeConfig,
+    mut hooks: EngineHooks<'_>,
 ) -> Result<EvalResult, CoreError> {
     let mut testbed = Testbed::new(config.sim.clone(), config.seed)?;
     testbed.set_fault_plan(config.faults.clone());
@@ -591,6 +872,9 @@ pub fn run_supervised_episode(
 
     controller.reset();
     supervisor.reset();
+    if let Some(reason) = hooks.start_elevated {
+        supervisor.start_elevated(reason);
+    }
     testbed.write_setpoint(NOMINAL_SETPOINT);
 
     // Bounded-memory trace retention, mirroring the historian's raw
@@ -636,8 +920,39 @@ pub fn run_supervised_episode(
     let mut server_energy_kwh = 0.0;
 
     for m in 0..config.minutes {
+        if hooks.abort_after == Some(m) {
+            // Simulated crash: the process dies before minute m runs.
+            // Return what was metered so far; the caller resumes from the
+            // last checkpoint.
+            break;
+        }
+        let replaying = m < hooks.prefix.len();
+        if m == hooks.prefix.len() {
+            if let Some(state) = hooks.resume {
+                // The cursor: the prefix replay rebuilt the plant
+                // (testbed, workload, RNG, health monitors, trace) —
+                // install the control-plane state the checkpoint carried,
+                // overriding anything the replay derived, because
+                // wall-clock stress (watchdog trips, retry counts) is not
+                // reproducible offline.
+                supervisor.restore_state(state.supervisor.clone());
+                if let Some(bytes) = &state.controller {
+                    controller.load_state(bytes);
+                }
+            }
+        }
         let _minute_span = tesla_obs::span!("supervised_minute", minute = m);
-        let sp = supervisor.decide(controller, &trace);
+        let rung_before = supervisor.rung();
+        let sp = if replaying {
+            // Replay: force the recorded executed set-point. The
+            // controller only re-runs its deterministic replay hook (e.g.
+            // online retrains); its full decision state is installed at
+            // the cursor.
+            controller.replay_minute(m, &trace);
+            Celsius::new(hooks.prefix[m])
+        } else {
+            supervisor.decide(controller, &trace)
+        };
         // A failed write leaves the previous set-point in force; the
         // ladder sees the failure through the stress signal.
         let _ = supervisor.write_with_retry(&mut testbed, sp);
@@ -686,12 +1001,23 @@ pub fn run_supervised_episode(
             .chain(cold_report.newly_quarantined.iter())
             .collect::<std::collections::BTreeSet<_>>()
             .len();
-        supervisor.end_of_minute(
-            m,
-            quarantined_cold as f64 / n_cold.max(1) as f64,
-            Celsius::new(obs.cold_aisle_max),
-            testbed.setpoint(),
-        );
+        if !replaying {
+            supervisor.end_of_minute(
+                m,
+                quarantined_cold as f64 / n_cold.max(1) as f64,
+                Celsius::new(obs.cold_aisle_max),
+                testbed.setpoint(),
+            );
+            if let Some(observer) = hooks.observer.as_mut() {
+                observer(EngineMinute {
+                    minute: m,
+                    setpoints: &setpoints,
+                    supervisor,
+                    controller: &*controller,
+                    rung_changed: supervisor.rung() != rung_before,
+                });
+            }
+        }
     }
 
     Ok(EvalResult {
@@ -1019,5 +1345,78 @@ mod tests {
         // Metrics stay finite under the fault.
         assert!(r.cooling_energy_kwh.is_finite());
         assert!(r.tsv_percent.is_finite());
+    }
+
+    /// Sleeps past the hard deadline, then proposes a warm set-point the
+    /// supervisor must never execute.
+    struct GlacialController;
+    impl Controller for GlacialController {
+        fn name(&self) -> &str {
+            "glacial"
+        }
+        fn decide(&mut self, _history: &Trace) -> f64 {
+            std::thread::sleep(Duration::from_millis(20));
+            25.0
+        }
+    }
+
+    #[test]
+    fn hard_deadline_discards_the_decision_and_holds() {
+        let mut sup = Supervisor::new(SupervisorConfig {
+            step_deadline_ms: Some(5),
+            // Soft watchdog far above the deadline: the hard path, not
+            // the stress-only path, must be the one that fires.
+            decision_budget_ms: 60_000,
+            escalate_after: 2,
+            ..SupervisorConfig::default()
+        });
+        let mut ctrl = GlacialController;
+        let history = Trace::with_sensors(2, 35);
+        let sp = sup.decide(&mut ctrl, &history);
+        assert_ne!(sp, c(25.0), "an overrun decision must be discarded");
+        assert_eq!(sup.decision_timeouts(), 1);
+        // The overrun counts as sustained stress: two timed-out minutes
+        // climb the ladder with DecisionTimeout as the reason.
+        sup.end_of_minute(0, 0.0, c(21.0), c(23.0));
+        let _ = sup.decide(&mut ctrl, &history);
+        sup.end_of_minute(1, 0.0, c(21.0), c(23.0));
+        assert_eq!(sup.rung(), Rung::HoldLastSafe);
+        assert_eq!(sup.events()[0].reason, StressReason::DecisionTimeout);
+    }
+
+    #[test]
+    fn deadline_disabled_uses_slow_decisions() {
+        let mut sup = Supervisor::new(SupervisorConfig {
+            step_deadline_ms: None,
+            decision_budget_ms: 60_000,
+            ..SupervisorConfig::default()
+        });
+        let mut ctrl = GlacialController;
+        let sp = sup.decide(&mut ctrl, &Trace::with_sensors(2, 35));
+        assert_eq!(sp, c(25.0));
+        assert_eq!(sup.decision_timeouts(), 0);
+    }
+
+    #[test]
+    fn event_ring_drops_oldest_beyond_the_cap() {
+        let mut sup = Supervisor::new(SupervisorConfig {
+            escalate_after: 1,
+            recover_after: 1,
+            max_events: 3,
+            ..SupervisorConfig::default()
+        });
+        // Flap stress on and off: every flip logs a transition.
+        for m in 0..10u64 {
+            let stressed = if m % 2 == 0 { 1.0 } else { 0.0 };
+            sup.end_of_minute(m as usize, stressed, c(21.0), c(23.0));
+        }
+        assert_eq!(sup.events().len(), 3, "ring must cap at max_events");
+        assert!(sup.events_dropped() > 0);
+        // The survivors are the newest transitions, in order.
+        let minutes: Vec<usize> = sup.events().iter().map(|e| e.minute).collect();
+        let mut sorted = minutes.clone();
+        sorted.sort_unstable();
+        assert_eq!(minutes, sorted);
+        assert!(minutes[0] >= 4, "oldest entries must have been evicted");
     }
 }

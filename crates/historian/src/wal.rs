@@ -386,9 +386,37 @@ impl WalWriter {
     }
 
     /// Flushes buffers and fsyncs the current segment.
+    ///
+    /// Transient I/O errors (interrupted syscalls, momentary resource
+    /// exhaustion) are retried on the unified jittered-backoff policy;
+    /// persistent failures still surface after the attempts run out.
     pub fn sync(&mut self) -> Result<(), HistorianError> {
-        self.out.flush().map_err(HistorianError::Io)?;
-        self.out.get_ref().sync_data().map_err(HistorianError::Io)?;
+        let policy = tesla_backoff::BackoffPolicy {
+            base_ms: 1,
+            factor: 2,
+            max_delay_ms: 64,
+            max_attempts: 3,
+            jitter: 0.25,
+            seed: 0x5A7C ^ self.seq,
+        };
+        let out = &mut self.out;
+        policy
+            .run(
+                |_| {
+                    out.flush()?;
+                    out.get_ref().sync_data()
+                },
+                |e| {
+                    matches!(
+                        e.kind(),
+                        std::io::ErrorKind::Interrupted
+                            | std::io::ErrorKind::WouldBlock
+                            | std::io::ErrorKind::TimedOut
+                    )
+                },
+                |_| tesla_obs::counter!("historian_wal_sync_retries_total").inc(),
+            )
+            .map_err(HistorianError::Io)?;
         self.records_since_sync = 0;
         Ok(())
     }

@@ -37,15 +37,38 @@ impl MetricsServer {
         let handle = std::thread::Builder::new()
             .name("tesla-obs-http".to_string())
             .spawn(move || {
+                // Hard accept errors (EMFILE, ECONNABORTED bursts, …) are
+                // retried on the unified jittered-backoff policy instead
+                // of silently killing the scrape endpoint; only a full
+                // run of consecutive failures stops the thread.
+                let policy = tesla_backoff::BackoffPolicy {
+                    base_ms: 50,
+                    factor: 2,
+                    max_delay_ms: 2_000,
+                    max_attempts: 5,
+                    jitter: 0.25,
+                    seed: 0x0B5,
+                };
+                let mut consecutive_errors: u32 = 0;
                 while !stop_thread.load(Ordering::Relaxed) {
                     match listener.accept() {
                         Ok((stream, _)) => {
+                            consecutive_errors = 0;
                             let _ = serve_one(stream);
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(20));
                         }
-                        Err(_) => break,
+                        Err(_) => {
+                            consecutive_errors += 1;
+                            if consecutive_errors >= policy.max_attempts {
+                                break;
+                            }
+                            crate::counter!("obs_accept_retries_total").inc();
+                            std::thread::sleep(Duration::from_millis(
+                                policy.delay_ms(consecutive_errors),
+                            ));
+                        }
                     }
                 }
             })?;

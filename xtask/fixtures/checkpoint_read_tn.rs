@@ -1,0 +1,29 @@
+//! True-negative fixture for `no-unframed-checkpoint-read`: encoding,
+//! allowlisted reader internals, option setters, and test code are all
+//! fine. Never compiled — included as text by the lint tests.
+
+fn open_checkpoint(path: &std::path::Path) -> std::fs::File {
+    std::fs::OpenOptions::new()
+        .read(true)
+        .open(path)
+        .expect("open checkpoint")
+}
+
+fn encode_state(cursor: u64, setpoint: f64) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&cursor.to_le_bytes());
+    out.extend_from_slice(&setpoint.to_le_bytes());
+    out
+}
+
+fn decode_inside_checked_reader(payload: &[u8]) -> u32 {
+    // lint:allow(no-unframed-checkpoint-read): the CRC-checked reader itself
+    u32::from_le_bytes(payload[0..4].try_into().expect("4 bytes"))
+}
+
+#[cfg(test)]
+mod tests {
+    fn raw_is_fine_in_tests(buf: &[u8]) -> u64 {
+        u64::from_le_bytes(buf[0..8].try_into().unwrap())
+    }
+}

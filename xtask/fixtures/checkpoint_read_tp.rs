@@ -1,0 +1,18 @@
+//! True-positive fixture for `no-unframed-checkpoint-read`: raw byte
+//! deserialization of checkpoint state with no CRC framing, exactly
+//! what the rule exists to catch. Never compiled — included as text by
+//! the lint tests.
+
+fn parse_cursor_naked(buf: &[u8]) -> u64 {
+    u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes"))
+}
+
+fn slurp_checkpoint(file: &mut std::fs::File, buf: &mut Vec<u8>) {
+    use std::io::Read;
+    file.read_to_end(buf).expect("read checkpoint");
+}
+
+fn drain_partial(file: &mut std::fs::File, buf: &mut [u8]) -> usize {
+    use std::io::Read;
+    file.read(&mut buf[..]).expect("read failed")
+}

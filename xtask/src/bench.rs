@@ -8,6 +8,8 @@
 //!   `latency_breakdown` array — the BO decision-path gate.
 //! * `ingest_samples_per_second` (higher is better) from the top level —
 //!   the historian ingest-throughput gate.
+//! * `restart_recovery_seconds` p50 (lower is better) from the
+//!   `latency_breakdown` array — the restart-chaos recovery-time gate.
 //!
 //! Comparing artifacts that share no gate metric is an error (exit 2),
 //! but a `BENCH_perf.json` pair and a `BENCH_historian.json` pair each
@@ -20,6 +22,10 @@ pub const GATE_METRIC: &str = "tesla_decide_seconds";
 
 /// The throughput metric the gate watches (higher is better).
 pub const INGEST_METRIC: &str = "ingest_samples_per_second";
+
+/// The restart-recovery latency metric the gate watches (lower is
+/// better). Written by `chaos --restarts` into `BENCH_chaos.json`.
+pub const RECOVERY_METRIC: &str = "restart_recovery_seconds";
 
 /// Maximum tolerated regression on any gate, percent.
 pub const BUDGET_PERCENT: f64 = 10.0;
@@ -99,6 +105,19 @@ pub fn gate_results(old_json: &str, new_json: &str) -> Vec<GateResult> {
                 old,
                 new,
                 regression_pct: 100.0 * (1.0 - new / old),
+            });
+        }
+    }
+    if let (Some(old), Some(new)) = (
+        breakdown_p50(old_json, RECOVERY_METRIC),
+        breakdown_p50(new_json, RECOVERY_METRIC),
+    ) {
+        if usable(old) && new.is_finite() {
+            out.push(GateResult {
+                metric: RECOVERY_METRIC,
+                old,
+                new,
+                regression_pct: 100.0 * (new / old - 1.0),
             });
         }
     }
@@ -193,6 +212,32 @@ mod tests {
         assert_eq!(results.len(), 1);
         assert_eq!(results[0].metric, GATE_METRIC);
         assert!(results[0].over_budget());
+    }
+
+    fn chaos_artifact(recovery_p50: f64) -> String {
+        format!(
+            "{{\"restart_failures\":0,\"latency_breakdown\":[\
+             {{\"metric\":\"restart_recovery_seconds\",\"label\":\"restart recovery\",\
+             \"count\":24,\"total_seconds\":0.8,\"p50_seconds\":{recovery_p50},\
+             \"p90_seconds\":0.2,\"p99_seconds\":0.3}}]}}"
+        )
+    }
+
+    #[test]
+    fn recovery_gate_passes_and_fails_on_p50() {
+        let results = gate_results(&chaos_artifact(0.03), &chaos_artifact(0.031));
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].metric, RECOVERY_METRIC);
+        assert!(!results[0].over_budget(), "+3.3% recovery is within budget");
+
+        let results = gate_results(&chaos_artifact(0.03), &chaos_artifact(0.05));
+        assert!(results[0].over_budget(), "+67% recovery must fail");
+    }
+
+    #[test]
+    fn recovery_gate_skipped_when_either_side_lacks_it() {
+        assert!(gate_results(&artifact(0.01), &chaos_artifact(0.03)).is_empty());
+        assert!(gate_results(&chaos_artifact(0.03), "{}").is_empty());
     }
 
     #[test]

@@ -32,14 +32,16 @@ pub const RULE_RUNG: &str = "supervisor-transition-exhaustive";
 pub const RULE_SETPOINT: &str = "bounded-setpoint-literal";
 pub const RULE_METRIC: &str = "metric-name-format";
 pub const RULE_WAL: &str = "no-unchecked-wal-read";
+pub const RULE_CHECKPOINT: &str = "no-unframed-checkpoint-read";
 
-pub const ALL_RULES: [&str; 6] = [
+pub const ALL_RULES: [&str; 7] = [
     RULE_RAW_F64,
     RULE_UNWRAP,
     RULE_RUNG,
     RULE_SETPOINT,
     RULE_METRIC,
     RULE_WAL,
+    RULE_CHECKPOINT,
 ];
 
 /// Identifier words that mark an item as temperature/power-bearing for
@@ -518,6 +520,51 @@ pub fn check_wal_reads(file: &str, lines: &[&str], mask: &[bool]) -> Vec<Finding
     findings
 }
 
+/// Byte-level deserialization spellings that must not appear in the
+/// control-plane crate outside the checkpoint codec's CRC-checked
+/// reader. Same pattern set as the WAL rule: checkpoints use the same
+/// magic + version + length + CRC framing.
+const CHECKPOINT_READ_PATTERNS: [&str; 5] = [
+    "from_le_bytes(",
+    "from_be_bytes(",
+    ".read_exact(",
+    ".read_to_end(",
+    ".read(&",
+];
+
+/// Rule `no-unframed-checkpoint-read`: every checkpoint byte
+/// deserialized in the control-plane crate must flow through the
+/// CRC-checked `Checkpoint::decode` reader, so a torn or bit-flipped
+/// checkpoint can never be half-restored into a live supervisor. The
+/// reader itself carries allowlist comments; any other raw byte parse
+/// in the crate is a finding.
+pub fn check_checkpoint_reads(file: &str, lines: &[&str], mask: &[bool]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (i, raw) in lines.iter().enumerate() {
+        if mask[i] || is_comment_line(raw) {
+            continue;
+        }
+        let code = strip_line_comment(raw);
+        for p in CHECKPOINT_READ_PATTERNS {
+            if code.contains(p) {
+                let spelled: String = p.chars().filter(|c| !".(&".contains(*c)).collect();
+                findings.push(Finding {
+                    rule: RULE_CHECKPOINT,
+                    file: file.to_string(),
+                    line: i + 1,
+                    message: format!(
+                        "`{spelled}` deserializes bytes outside the CRC-checked checkpoint \
+                         reader; route through `Checkpoint::decode`"
+                    ),
+                    allowed: is_allowed(lines, i, RULE_CHECKPOINT),
+                });
+                break; // one finding per line is enough
+            }
+        }
+    }
+    findings
+}
+
 /// Extracts the variant names of `pub enum Rung` from supervisor source.
 pub fn rung_variants(supervisor_src: &str) -> Vec<String> {
     let lines: Vec<&str> = supervisor_src.lines().collect();
@@ -575,6 +622,8 @@ mod tests {
     const METRIC_TN: &str = include_str!("../fixtures/metric_name_tn.rs");
     const WAL_TP: &str = include_str!("../fixtures/wal_read_tp.rs");
     const WAL_TN: &str = include_str!("../fixtures/wal_read_tn.rs");
+    const CHECKPOINT_TP: &str = include_str!("../fixtures/checkpoint_read_tp.rs");
+    const CHECKPOINT_TN: &str = include_str!("../fixtures/checkpoint_read_tn.rs");
 
     fn rung_fixture(src: &str) -> Vec<Finding> {
         let variants = vec![
@@ -690,6 +739,25 @@ mod tests {
         let active: Vec<_> = findings.iter().filter(|f| !f.allowed).collect();
         assert!(active.is_empty(), "unexpected findings: {active:?}");
         // The frame-decoder line is still reported, as allowed.
+        assert!(findings.iter().any(|f| f.allowed));
+    }
+
+    #[test]
+    fn checkpoint_read_true_positive() {
+        let findings = run(CHECKPOINT_TP, check_checkpoint_reads);
+        let active: Vec<_> = findings.iter().filter(|f| !f.allowed).collect();
+        assert_eq!(active.len(), 3, "expected 3 violations, got {active:?}");
+        assert!(active.iter().any(|f| f.message.contains("from_le_bytes")));
+        assert!(active.iter().any(|f| f.message.contains("read_to_end")));
+        assert!(active.iter().any(|f| f.message.contains("`read`")));
+    }
+
+    #[test]
+    fn checkpoint_read_true_negative() {
+        let findings = run(CHECKPOINT_TN, check_checkpoint_reads);
+        let active: Vec<_> = findings.iter().filter(|f| !f.allowed).collect();
+        assert!(active.is_empty(), "unexpected findings: {active:?}");
+        // The checked-reader line is still reported, as allowed.
         assert!(findings.iter().any(|f| f.allowed));
     }
 

@@ -70,9 +70,10 @@ fn bench_diff(args: &[String]) -> ExitCode {
     if results.is_empty() {
         eprintln!(
             "xtask bench-diff: cannot compare: the artifacts share no gate metric \
-             ({} or {})",
+             ({}, {}, or {})",
             bench::GATE_METRIC,
-            bench::INGEST_METRIC
+            bench::INGEST_METRIC,
+            bench::RECOVERY_METRIC
         );
         return ExitCode::from(2);
     }
@@ -111,6 +112,9 @@ const RUNG_CRATES: [&str; 1] = ["crates/core/src"];
 /// The historian owns the WAL; its sources are the scope of
 /// `no-unchecked-wal-read`.
 const WAL_CRATES: [&str; 1] = ["crates/historian/src"];
+/// The control-plane crate owns the checkpoint codec; its sources are
+/// the scope of `no-unframed-checkpoint-read`.
+const CHECKPOINT_CRATES: [&str; 1] = ["crates/core/src"];
 /// Every crate that emits metrics through tesla-obs.
 const METRIC_CRATES: [&str; 7] = [
     "crates/core/src",
@@ -166,6 +170,7 @@ fn lint(args: &[String]) -> ExitCode {
         (&CONTROL_CRATES[..], lints::RULE_SETPOINT),
         (&METRIC_CRATES[..], lints::RULE_METRIC),
         (&WAL_CRATES[..], lints::RULE_WAL),
+        (&CHECKPOINT_CRATES[..], lints::RULE_CHECKPOINT),
     ] {
         for dir in scope {
             for file in rust_files(&root.join(dir)) {
@@ -189,6 +194,7 @@ fn lint(args: &[String]) -> ExitCode {
                     lints::RULE_RUNG => lints::check_rung_matches(&rel, &lines, &mask, &variants),
                     lints::RULE_METRIC => lints::check_metric_names(&rel, &lines, &mask),
                     lints::RULE_WAL => lints::check_wal_reads(&rel, &lines, &mask),
+                    lints::RULE_CHECKPOINT => lints::check_checkpoint_reads(&rel, &lines, &mask),
                     _ => lints::check_setpoint_literal(&rel, &lines, &mask),
                 };
                 findings.extend(batch);

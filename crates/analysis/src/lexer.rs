@@ -1,0 +1,451 @@
+//! A minimal Rust lexer: enough fidelity to find items, calls, and
+//! panic/alloc/blocking sites, with zero dependencies.
+//!
+//! The token stream is *lossless modulo whitespace*: concatenating the
+//! `text` of every token (comments included) reproduces the input with
+//! only whitespace removed. A property test in this crate holds the
+//! round-trip invariant over generated token soup.
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// Lifetime such as `'a` (without a closing quote).
+    Lifetime,
+    /// Numeric literal, including suffix (`1_000u64`, `0x1f`, `1.5e-3`).
+    Number,
+    /// String literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"` variants.
+    Str,
+    /// Character or byte literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// Single punctuation character (`::` is two `:` tokens).
+    Punct,
+    /// Line or block comment, kept so annotations stay visible.
+    Comment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Exact source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when this token is the single punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+
+    /// True when this token is the identifier/keyword `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+}
+
+/// Lexes `src` into tokens. Unexpected bytes become one-char `Punct`
+/// tokens — the lexer never fails, so a half-written file still yields a
+/// usable (if partial) token stream.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.char_indices().collect(),
+        src,
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<(usize, char)>,
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    fn byte_at(&self, idx: usize) -> usize {
+        self.chars
+            .get(idx)
+            .map(|&(b, _)| b)
+            .unwrap_or(self.src.len())
+    }
+
+    /// Consumes chars `[start, end)` (char indices) as one token.
+    fn push(&mut self, kind: TokenKind, start: usize, end: usize) {
+        let text = self.src[self.byte_at(start)..self.byte_at(end)].to_string();
+        let line = self.line;
+        self.line += text.matches('\n').count() as u32;
+        self.out.push(Token { kind, text, line });
+        self.pos = end;
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let start = self.pos;
+            match c {
+                ' ' | '\t' | '\r' => self.pos += 1,
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                '/' if self.peek(1) == Some('/') => {
+                    let mut end = start;
+                    while self.peek(end - start).is_some_and(|c| c != '\n') {
+                        end += 1;
+                    }
+                    self.push(TokenKind::Comment, start, end);
+                }
+                '/' if self.peek(1) == Some('*') => {
+                    let mut depth = 0usize;
+                    let mut end = start;
+                    loop {
+                        match (self.peek(end - start), self.peek(end - start + 1)) {
+                            (Some('/'), Some('*')) => {
+                                depth += 1;
+                                end += 2;
+                            }
+                            (Some('*'), Some('/')) => {
+                                depth -= 1;
+                                end += 2;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            (Some(_), _) => end += 1,
+                            (None, _) => break,
+                        }
+                    }
+                    self.push(TokenKind::Comment, start, end);
+                }
+                '"' => self.lex_string(start),
+                'r' | 'b' if self.is_raw_or_byte_literal() => self.lex_prefixed_literal(start),
+                '\'' => self.lex_quote(start),
+                c if c.is_ascii_digit() => self.lex_number(start),
+                c if c.is_alphabetic() || c == '_' => {
+                    let mut end = start;
+                    while self
+                        .peek(end - start)
+                        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                    {
+                        end += 1;
+                    }
+                    self.push(TokenKind::Ident, start, end);
+                }
+                _ => self.push(TokenKind::Punct, start, start + 1),
+            }
+        }
+        self.out
+    }
+
+    /// True at an `r`/`b` that starts a raw string, byte string, raw
+    /// identifier, or byte char — anything other than a plain identifier.
+    fn is_raw_or_byte_literal(&self) -> bool {
+        match (self.peek(0), self.peek(1)) {
+            (Some('r'), Some('"')) | (Some('b'), Some('"')) | (Some('b'), Some('\'')) => true,
+            (Some('r'), Some('#')) => {
+                // `r#"…"#` raw string or `r#ident` raw identifier.
+                true
+            }
+            (Some('b'), Some('r')) => matches!(self.peek(2), Some('"') | Some('#')),
+            _ => false,
+        }
+    }
+
+    /// Lexes `r"…"`, `r#…#`, `b"…"`, `br#"…"#`, `b'…'`, `r#ident`.
+    fn lex_prefixed_literal(&mut self, start: usize) {
+        let mut i = start;
+        if self.peek(i - start) == Some('b') {
+            i += 1;
+        }
+        if self.peek(i - start) == Some('\'') {
+            // Byte char `b'x'`.
+            self.lex_quote_at(start, i);
+            return;
+        }
+        let mut raw = false;
+        if self.peek(i - start) == Some('r') {
+            raw = true;
+            i += 1;
+        }
+        let mut hashes = 0usize;
+        while self.peek(i - start) == Some('#') {
+            hashes += 1;
+            i += 1;
+        }
+        if raw && hashes > 0 && self.peek(i - start) != Some('"') {
+            // Raw identifier `r#type`.
+            let mut end = i;
+            while self
+                .peek(end - start)
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            {
+                end += 1;
+            }
+            self.push(TokenKind::Ident, start, end);
+            return;
+        }
+        // String body: for raw strings scan to `"` + hashes, otherwise
+        // handle escapes.
+        debug_assert_eq!(self.peek(i - start), Some('"'));
+        i += 1; // past the opening quote
+        loop {
+            match self.peek(i - start) {
+                None => break,
+                Some('\\') if !raw => i += 2,
+                Some('"') => {
+                    let mut h = 0;
+                    while h < hashes && self.peek(i - start + 1 + h) == Some('#') {
+                        h += 1;
+                    }
+                    if h == hashes {
+                        i += 1 + hashes;
+                        break;
+                    }
+                    i += 1;
+                }
+                Some(_) => i += 1,
+            }
+        }
+        self.push(TokenKind::Str, start, i);
+    }
+
+    /// Lexes a plain `"…"` string starting at char index `start`.
+    fn lex_string(&mut self, start: usize) {
+        let mut i = start + 1;
+        loop {
+            match self.peek(i - start) {
+                None => break,
+                Some('\\') => i += 2,
+                Some('"') => {
+                    i += 1;
+                    break;
+                }
+                Some(_) => i += 1,
+            }
+        }
+        self.push(TokenKind::Str, start, i);
+    }
+
+    /// Disambiguates `'a` (lifetime) from `'a'` / `'\n'` (char literal).
+    fn lex_quote(&mut self, start: usize) {
+        self.lex_quote_at(start, start);
+    }
+
+    /// `quote` is the char index of the `'`; `start` may precede it for
+    /// byte chars (`b'x'`).
+    fn lex_quote_at(&mut self, start: usize, quote: usize) {
+        let after = quote + 1 - start;
+        match self.peek(after) {
+            Some('\\') => {
+                // Escaped char literal: skip quote + backslash + escaped
+                // char, then scan to the closing quote (handles `'\u{1F}'`
+                // and `'\''`).
+                let mut i = quote + 3;
+                while self.peek(i - start).is_some_and(|c| c != '\'') {
+                    i += 1;
+                }
+                let end = if self.peek(i - start).is_some() {
+                    i + 1
+                } else {
+                    i
+                };
+                self.push(TokenKind::Char, start, end);
+            }
+            Some(c) if c.is_alphanumeric() || c == '_' => {
+                if self.peek(after + 1) == Some('\'') {
+                    // 'x'
+                    self.push(TokenKind::Char, start, quote + 3);
+                } else {
+                    // Lifetime 'ident
+                    let mut i = quote + 1;
+                    while self
+                        .peek(i - start)
+                        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                    {
+                        i += 1;
+                    }
+                    self.push(TokenKind::Lifetime, start, i);
+                }
+            }
+            Some(_) if self.peek(after + 1) == Some('\'') => {
+                // Punctuation char like '{'.
+                self.push(TokenKind::Char, start, quote + 3);
+            }
+            _ => self.push(TokenKind::Punct, start, quote + 1),
+        }
+    }
+
+    /// Numbers: decimal, hex/oct/bin, floats with exponent, suffixes.
+    fn lex_number(&mut self, start: usize) {
+        let mut i = start;
+        let radix_prefix = matches!(
+            (self.peek(0), self.peek(1)),
+            (Some('0'), Some('x')) | (Some('0'), Some('o')) | (Some('0'), Some('b'))
+        );
+        if radix_prefix {
+            i += 2;
+            while self
+                .peek(i - start)
+                .is_some_and(|c| c.is_ascii_hexdigit() || c == '_')
+            {
+                i += 1;
+            }
+        } else {
+            while self
+                .peek(i - start)
+                .is_some_and(|c| c.is_ascii_digit() || c == '_')
+            {
+                i += 1;
+            }
+            // Fractional part: `.` followed by a digit (so `0..10` stays
+            // three tokens).
+            if self.peek(i - start) == Some('.')
+                && self.peek(i - start + 1).is_some_and(|c| c.is_ascii_digit())
+            {
+                i += 1;
+                while self
+                    .peek(i - start)
+                    .is_some_and(|c| c.is_ascii_digit() || c == '_')
+                {
+                    i += 1;
+                }
+            }
+            // Exponent: e[+-]?digits.
+            if matches!(self.peek(i - start), Some('e') | Some('E'))
+                && (self.peek(i - start + 1).is_some_and(|c| c.is_ascii_digit())
+                    || (matches!(self.peek(i - start + 1), Some('+') | Some('-'))
+                        && self.peek(i - start + 2).is_some_and(|c| c.is_ascii_digit())))
+            {
+                i += 2;
+                while self
+                    .peek(i - start)
+                    .is_some_and(|c| c.is_ascii_digit() || c == '_')
+                {
+                    i += 1;
+                }
+            }
+        }
+        // Type suffix (`u64`, `f32`, `usize`).
+        while self
+            .peek(i - start)
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        {
+            i += 1;
+        }
+        self.push(TokenKind::Number, start, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        assert_eq!(
+            texts("fn foo(x: u64) -> f64 { x as f64 * 1.5e-3 }"),
+            vec![
+                "fn", "foo", "(", "x", ":", "u64", ")", "-", ">", "f64", "{", "x", "as", "f64",
+                "*", "1.5e-3", "}"
+            ]
+        );
+    }
+
+    #[test]
+    fn range_is_not_a_float() {
+        assert_eq!(texts("0..10"), vec!["0", ".", ".", "10"]);
+        assert_eq!(texts("1.5..2.5"), vec!["1.5", ".", ".", "2.5"]);
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        assert_eq!(
+            texts("'a: 'b, 'x', '\\n'"),
+            vec!["'a", ":", "'b", ",", "'x'", ",", "'\\n'"]
+        );
+        assert_eq!(lex("'a")[0].kind, TokenKind::Lifetime);
+        assert_eq!(lex("'a'")[0].kind, TokenKind::Char);
+        assert_eq!(lex("'{'")[0].kind, TokenKind::Char);
+    }
+
+    #[test]
+    fn strings_and_raw_strings() {
+        assert_eq!(texts(r#""a { b" + x"#), vec![r#""a { b""#, "+", "x"]);
+        assert_eq!(
+            texts(r##"r#"raw " str"# y"##),
+            vec![r##"r#"raw " str"#"##, "y"]
+        );
+        assert_eq!(texts(r#"b"bytes" z"#), vec![r#"b"bytes""#, "z"]);
+        assert_eq!(lex(r#""esc \" ape""#).len(), 1);
+    }
+
+    #[test]
+    fn comments_are_tokens() {
+        let toks = lex("x // trailing { brace\ny");
+        assert_eq!(toks[1].kind, TokenKind::Comment);
+        assert_eq!(toks[2].text, "y");
+        assert_eq!(toks[2].line, 2);
+        let toks = lex("a /* block\n comment */ b");
+        assert_eq!(toks[1].kind, TokenKind::Comment);
+        assert_eq!(toks[2].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let toks = lex("a /* outer /* inner */ still */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[2].text, "b");
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n  c");
+        assert_eq!(toks.iter().map(|t| t.line).collect::<Vec<_>>(), [1, 2, 3]);
+    }
+
+    #[test]
+    fn hex_and_suffixes() {
+        assert_eq!(
+            texts("0xFF_u32 1_000u64 2usize"),
+            vec!["0xFF_u32", "1_000u64", "2usize"]
+        );
+    }
+
+    #[test]
+    fn raw_identifier() {
+        assert_eq!(texts("r#type x"), vec!["r#type", "x"]);
+        assert_eq!(lex("r#type")[0].kind, TokenKind::Ident);
+    }
+
+    #[test]
+    fn roundtrip_modulo_whitespace() {
+        let src = r#"
+        impl Foo<'a> {
+            /// doc comment { with brace
+            pub fn bar(&self, xs: &[f64]) -> Vec<f64> {
+                let s = "lit ] with ) stuff";
+                xs.iter().map(|x| x * 2.0).collect() // note
+            }
+        }
+        "#;
+        let strip = |s: &str| s.chars().filter(|c| !c.is_whitespace()).collect::<String>();
+        let joined: String = lex(src).iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(strip(&joined), strip(src));
+    }
+}

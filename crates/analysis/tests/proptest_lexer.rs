@@ -1,0 +1,108 @@
+//! Property tests for the analysis lexer: concatenating the text of
+//! every lexed token must reproduce the input modulo whitespace —
+//! comments and string bodies are carried verbatim inside their tokens,
+//! so nothing the parser or the allow-annotation scanner relies on can
+//! be silently dropped.
+
+use proptest::prelude::*;
+use tesla_analysis::lexer::lex;
+
+/// Derives one plausible Rust source atom from a raw generator word.
+/// Atoms are later joined with arbitrary (possibly empty) separators,
+/// so adjacent atoms may merge into different tokens than the ones
+/// listed here — the round-trip property must hold anyway.
+fn atom_from(w: u64) -> String {
+    const PUNCTS: [&str; 25] = [
+        "::", "->", "=>", "..", "{", "}", "(", ")", "[", "]", ";", ",", ".", "&", "*", "+", "-",
+        "<", ">", "=", "#", "!", "?", "|", "@",
+    ];
+    const WORDS: [&str; 8] = ["fn", "let", "impl", "decide", "shard", "x", "wal_sync", "r"];
+    match w % 16 {
+        0 => WORDS[(w >> 8) as usize % WORDS.len()].to_string(),
+        1 => format!("{}", (w >> 8) % 1_000_000),
+        2 => "0x1F".to_string(),
+        3 => "1_000u64".to_string(),
+        4 => "1.5e-3".to_string(),
+        5 => format!("\"s{} b\"", (w >> 8) % 100),
+        6 => "\"a\\\"b\"".to_string(),
+        7 => "r#\"raw \"str\" body\"#".to_string(),
+        8 => ["'x'", "'\\n'", "'\\''"][(w >> 8) as usize % 3].to_string(),
+        9 => "'static".to_string(),
+        10 => format!("'l{}", (w >> 8) % 10),
+        11 | 12 => PUNCTS[(w >> 8) as usize % PUNCTS.len()].to_string(),
+        13 => format!("// note {}\n", (w >> 8) % 100),
+        14 => format!("/* blk {} */", (w >> 8) % 100),
+        _ => "/* outer /* inner */ tail */".to_string(),
+    }
+}
+
+/// Derives a separator (possibly empty) from a raw generator word.
+fn sep_from(w: u64) -> &'static str {
+    ["", " ", "\n", "\t", "  ", " \n "][(w >> 4) as usize % 6]
+}
+
+fn strip_ws(s: &str) -> String {
+    s.chars().filter(|c| !c.is_whitespace()).collect()
+}
+
+fn soup(words: &[u64]) -> String {
+    let mut src = String::new();
+    for &w in words {
+        src.push_str(&atom_from(w));
+        src.push_str(sep_from(w));
+    }
+    src
+}
+
+/// Derives arbitrary (non-atom-shaped) text, including lone quotes and
+/// unterminated comment openers, from raw words.
+fn junk_from(words: &[u64]) -> String {
+    const BYTES: [char; 20] = [
+        'a', 'Z', '0', '9', '_', '"', '\'', '/', '*', '\\', '#', '{', '(', '$', '~', '`', '\u{e9}',
+        '\u{4e2d}', ' ', '\n',
+    ];
+    words
+        .iter()
+        .map(|&w| BYTES[w as usize % BYTES.len()])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Token-soup round trip: for any sequence of plausible source
+    /// atoms under arbitrary spacing, the concatenated token texts
+    /// equal the input modulo whitespace.
+    #[test]
+    fn token_soup_round_trips(words in proptest::collection::vec(0u64..u64::MAX, 0..40)) {
+        let src = soup(&words);
+        let tokens = lex(&src);
+        let joined: String = tokens.iter().map(|t| t.text.as_str()).collect();
+        prop_assert_eq!(strip_ws(&joined), strip_ws(&src));
+    }
+
+    /// Total robustness: the lexer never panics and still round-trips
+    /// on arbitrary byte soup (unterminated strings and comments are
+    /// carried to end-of-input inside a single token).
+    #[test]
+    fn arbitrary_input_round_trips(words in proptest::collection::vec(0u64..u64::MAX, 0..200)) {
+        let src = junk_from(&words);
+        let tokens = lex(&src);
+        let joined: String = tokens.iter().map(|t| t.text.as_str()).collect();
+        prop_assert_eq!(strip_ws(&joined), strip_ws(&src));
+    }
+
+    /// Line numbers are monotonically non-decreasing and within range.
+    #[test]
+    fn line_numbers_are_monotone(words in proptest::collection::vec(0u64..u64::MAX, 0..30)) {
+        let src = soup(&words);
+        let total_lines = src.lines().count().max(1) as u32;
+        let tokens = lex(&src);
+        let mut prev = 1u32;
+        for t in &tokens {
+            prop_assert!(t.line >= prev, "line went backwards at {:?}", t);
+            prop_assert!(t.line <= total_lines, "line out of range at {:?}", t);
+            prev = t.line;
+        }
+    }
+}

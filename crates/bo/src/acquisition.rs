@@ -9,6 +9,11 @@
 //! point, determines the feasible incumbent under that realization, and
 //! scores the candidate's improvement; the NEI value is the QMC average.
 
+// analysis:allow-file(panic-free-control-path): MC scoring indexes
+// draws shaped (n_mc, len(points)) by construction.
+// analysis:allow-file(no-alloc-in-decide-steady-state): QMC normal
+// blocks and posterior draws are per-scoring-call buffers bounded by
+// n_mc * points; reuse across iterations is ROADMAP work.
 use crate::BoError;
 use tesla_gp::{qmc_normal_hybrid, FixedNoiseGp, Matern52};
 

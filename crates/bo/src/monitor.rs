@@ -6,6 +6,10 @@
 //! and falls. The uncertainty estimates are obtained from the monitor
 //! using bootstrapping."
 
+// analysis:allow-file(panic-free-control-path): residual window
+// indices are bounded by the window length checked above them.
+// analysis:allow-file(no-alloc-in-decide-steady-state): bootstrap
+// resampling builds per-call sample vectors bounded by window size.
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::VecDeque;

@@ -31,6 +31,9 @@
 //! lint (`cargo xtask lint`) enforces that nothing else in `tesla-core`
 //! parses checkpoint bytes ad hoc.
 
+// analysis:allow-file(panic-free-control-path): encode/decode
+// fail-fast on violated framing invariants is deliberate — a torn
+// checkpoint must never be silently applied.
 use crate::supervisor::{Rung, StressReason, SupervisorEvent, SupervisorState};
 use std::fmt;
 use std::fs;

@@ -12,6 +12,8 @@
 //! weight `w` (kWh per °C·step) so the trade-off is visible and
 //! ablatable.
 
+// analysis:allow-file(panic-free-control-path): penalty terms index
+// prediction vectors whose horizon length the model guarantees.
 use tesla_forecast::Prediction;
 use tesla_units::{Celsius, DegC};
 

@@ -9,6 +9,9 @@
 //! paper analyzes (energy-greedy boundary riding with no interruption
 //! awareness, §6.3) comes from the reward design, not the function class.
 
+// analysis:allow-file(panic-free-control-path): feature extraction
+// indexes history columns validated rectangular at entry; action
+// index comes from argmax over a non-empty const table.
 use crate::controller::Controller;
 use crate::CoreError;
 use tesla_forecast::Trace;

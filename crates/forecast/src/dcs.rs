@@ -13,6 +13,13 @@
 //! interdependence. `α_θ = 1` ridge (Table 2): at inference the exogenous
 //! values are predictions, so the weights must not amplify their errors.
 
+// analysis:allow-file(panic-free-control-path): dense numeric kernel;
+// every index is loop-bounded by lengths validated at the call
+// boundary, and debug_asserts guard the shape contracts.
+// analysis:allow-file(no-alloc-in-decide-steady-state): work buffers
+// are sized by model dimensions fixed at fit time; a fresh surrogate
+// per decision is the paper's design, and zero-alloc steady-state
+// scoring is tracked as ROADMAP work.
 use crate::design::SharedDesign;
 use crate::trace::{ModelWindow, Trace};
 use crate::ForecastError;

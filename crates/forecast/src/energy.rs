@@ -14,6 +14,13 @@
 //! integrated energy of the observed instantaneous power trace, in kWh.
 //! `α_φ = 1` ridge: inference feeds it *predicted* inlet temperatures.
 
+// analysis:allow-file(panic-free-control-path): dense numeric kernel;
+// every index is loop-bounded by lengths validated at the call
+// boundary, and debug_asserts guard the shape contracts.
+// analysis:allow-file(no-alloc-in-decide-steady-state): work buffers
+// are sized by model dimensions fixed at fit time; a fresh surrogate
+// per decision is the paper's design, and zero-alloc steady-state
+// scoring is tracked as ROADMAP work.
 use crate::trace::Trace;
 use crate::ForecastError;
 use tesla_linalg::{fit_ridge, Matrix, Ridge};

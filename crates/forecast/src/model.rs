@@ -1,5 +1,9 @@
 //! The composed DC time-series model (Fig. 6).
 
+// analysis:allow-file(no-alloc-in-decide-steady-state): work buffers
+// are sized by model dimensions fixed at fit time; a fresh surrogate
+// per decision is the paper's design, and zero-alloc steady-state
+// scoring is tracked as ROADMAP work.
 use crate::acu::{AcuModel, PreparedAcu};
 use crate::asp::AspModel;
 use crate::dcs::{DcsModel, PreparedDcs};
@@ -83,6 +87,9 @@ impl DcTimeSeriesModel {
     /// The sub-modules are independent given the trace (§3.2 trains them
     /// "separately" on true values), so the two expensive ones are fitted
     /// on parallel rayon branches.
+    // analysis:setup: model (re)training is the periodic fit phase, sized
+    // by history length; the steady-state decide loop only *reads* the
+    // fitted model through prepare()/predict().
     pub fn fit(trace: &Trace, config: ModelConfig) -> Result<Self, ForecastError> {
         let _fit_timer = tesla_obs::Timer::start(tesla_obs::histogram!("forecast_fit_seconds"));
         let l = config.horizon;

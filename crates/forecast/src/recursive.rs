@@ -8,6 +8,9 @@
 //! outputs back — which is exactly why it loses to TESLA's direct
 //! strategy: one-step errors compound over the horizon (§5.2).
 
+// analysis:allow-file(panic-free-control-path): dense numeric kernel;
+// every index is loop-bounded by lengths validated at the call
+// boundary, and debug_asserts guard the shape contracts.
 use crate::design::SharedDesign;
 use crate::trace::{ModelWindow, Trace};
 use crate::ForecastError;

@@ -1,5 +1,12 @@
 //! Trace and window containers shared by all sub-modules.
 
+// analysis:allow-file(panic-free-control-path): dense numeric kernel;
+// every index is loop-bounded by lengths validated at the call
+// boundary, and debug_asserts guard the shape contracts.
+// analysis:allow-file(no-alloc-in-decide-steady-state): work buffers
+// are sized by model dimensions fixed at fit time; a fresh surrogate
+// per decision is the paper's design, and zero-alloc steady-state
+// scoring is tracked as ROADMAP work.
 use crate::ForecastError;
 use tesla_historian::MetricStore;
 

@@ -10,6 +10,11 @@
 //! search space is one-dimensional; the QMC sample dimension is the
 //! number of joint posterior points, capped by blocking).
 
+// analysis:allow-file(panic-free-control-path): direction-number
+// tables are indexed by construction (dimension and bit counts are
+// compile-time constants).
+// analysis:allow-file(no-alloc-in-decide-steady-state): each decision
+// draws a fresh bounded Sobol block (n_init points).
 const MAX_DIMS: usize = 8;
 const BITS: usize = 31;
 

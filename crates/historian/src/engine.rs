@@ -15,6 +15,10 @@
 //! into `bucket_s`-wide averages; downsampled points older than
 //! `downsample_horizon_s` are dropped entirely.
 
+// analysis:allow-file(panic-free-control-path): poisoned-shard
+// expects are deliberate fail-fast (a poisoned shard means a writer
+// died mid-update); sealed-block indices are guarded by the
+// non-empty checks above them.
 use crate::gorilla;
 use crate::wal::{self, FsyncPolicy, RecoveryStats, WalConfig, WalRecord, WalWriter};
 use crate::{HistorianError, MetricStore};
@@ -305,6 +309,9 @@ impl Historian {
     /// Non-finite times/values are dropped (the Gorilla writer excludes
     /// NaN/±inf by contract) and out-of-order times are dropped to keep
     /// the time column sorted for binary search.
+    // lint:allow(lock-order): the WAL write happens under the shard
+    // lock on purpose — it is what serializes WAL order with in-memory
+    // apply order, the invariant replay correctness depends on.
     pub fn append_batch(&self, metric: &str, samples: &[(f64, f64)]) {
         let mut shard = self.lock_shard(metric);
         if let Some(wal) = shard.wal.as_mut() {
@@ -417,6 +424,10 @@ impl Historian {
     }
 
     /// Flushes and fsyncs every shard's WAL (no-op in memory).
+    // lint:allow(lock-order): fsync under the shard lock is deliberate;
+    // releasing it mid-flush would let appends interleave and break the
+    // durability point the caller is promised. Only the explicit flush
+    // path (checkpoint/shutdown) pays this, never the ingest fast path.
     pub fn flush(&self) -> Result<(), HistorianError> {
         let timer = tesla_obs::Timer::start(tesla_obs::histogram!("historian_flush_seconds"));
         for shard in &self.shards {
@@ -492,6 +503,7 @@ impl MetricStore for Historian {
         shard
             .series
             .get(metric)
+            // analysis:resolve(Series::last_n)
             .map(|s| s.last_n(n))
             .unwrap_or_default()
     }

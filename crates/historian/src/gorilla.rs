@@ -18,6 +18,8 @@
 //! round-trip exactly; the *writer* (see `engine`) refuses NaN/±inf so a
 //! stored stream is always finite.
 
+// analysis:allow-file(panic-free-control-path): bit-packing indices
+// are bounded by the buffer lengths the encoder itself maintains.
 use crate::HistorianError;
 
 /// Append-only bit buffer.

@@ -28,6 +28,9 @@
 //! `read_frame` path — the `no-unchecked-wal-read` xtask lint keeps it
 //! that way.
 
+// analysis:allow-file(panic-free-control-path): poisoned-lock and
+// framing-invariant expects are deliberate fail-fast; crashing beats
+// appending corrupt frames the next recovery would replay.
 use crate::HistorianError;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};

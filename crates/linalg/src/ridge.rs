@@ -11,6 +11,9 @@
 //! (temperatures in °C, powers in kW); the paper obtains the same effect
 //! through its global min-max preprocessing.
 
+// analysis:allow-file(panic-free-control-path): dense numeric kernel;
+// every index is loop-bounded by lengths validated at the call
+// boundary, and debug_asserts guard the shape contracts.
 use crate::{cholesky::Cholesky, matrix::Matrix, LinalgError, Result};
 
 /// A fitted ridge regression model `y ≈ w·x + b`.

@@ -1,6 +1,9 @@
 //! Free functions on `&[f64]` slices: dot products, norms, and the small
 //! BLAS-1 style helpers shared by the regression and GP code.
 
+// analysis:allow-file(panic-free-control-path): dense numeric kernel;
+// every index is loop-bounded by lengths validated at the call
+// boundary, and debug_asserts guard the shape contracts.
 /// Dot product of two equal-length slices.
 ///
 /// Uses four partial accumulators so LLVM can vectorize without needing

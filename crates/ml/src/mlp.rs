@@ -4,6 +4,13 @@
 //! predicts a whole vector (used by the recursive temperature baseline,
 //! which predicts all sensors at once).
 
+// analysis:allow-file(panic-free-control-path): dense numeric kernel;
+// every index is loop-bounded by lengths validated at the call
+// boundary, and debug_asserts guard the shape contracts.
+// analysis:allow-file(no-alloc-in-decide-steady-state): work buffers
+// are sized by model dimensions fixed at fit time; a fresh surrogate
+// per decision is the paper's design, and zero-alloc steady-state
+// scoring is tracked as ROADMAP work.
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 

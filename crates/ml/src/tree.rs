@@ -2,6 +2,9 @@
 //!
 //! The base learner shared by [`crate::gbt`] and [`crate::forest`].
 
+// analysis:allow-file(panic-free-control-path): dense numeric kernel;
+// every index is loop-bounded by lengths validated at the call
+// boundary, and debug_asserts guard the shape contracts.
 use crate::{Dataset, MlError};
 use rand::rngs::StdRng;
 use rand::RngExt;

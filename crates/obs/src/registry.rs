@@ -9,6 +9,12 @@
 //! count bounds contention for call sites that *do* re-look-up by name
 //! every time (dynamic label values like a degradation-ladder rung).
 
+// analysis:allow-file(panic-free-control-path): registry falls back
+// to detached instruments instead of panicking; the remaining sites
+// are shard-index arithmetic masked to the shard count.
+// analysis:allow-file(no-alloc-in-decide-steady-state): metric-key
+// interning allocates on first registration only; steady-state
+// lookups hit the existing shard map entry.
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -6,6 +6,9 @@
 //! ring buffer (drop-oldest), so tracing never grows without bound and a
 //! post-mortem can always dump the most recent window as JSONL.
 
+// analysis:allow-file(no-alloc-in-decide-steady-state): span fields
+// are formatted into a bounded ring buffer; tracing cost is part of
+// the observability budget, not the decision path proper.
 use std::collections::VecDeque;
 use std::io::{self, Write};
 use std::sync::{Mutex, OnceLock};

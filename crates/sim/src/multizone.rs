@@ -14,6 +14,8 @@
 //! controller per zone closes the loop; see
 //! `examples/multizone_control.rs`.
 
+// analysis:allow-file(panic-free-control-path): zone indices are
+// bounded by the validate() length checks this module performs.
 use crate::acu::Acu;
 use crate::config::SimConfig;
 use crate::sensors::SensorArray;

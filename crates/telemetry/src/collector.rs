@@ -1,6 +1,9 @@
 //! The Telegraf stand-in: fans a simulator observation out into the store
 //! under stable metric names.
 
+// analysis:allow-file(no-alloc-in-decide-steady-state): snapshot
+// assembly builds the per-minute observation batch (one Vec per
+// sensor column, bounded by zone/ACU counts).
 use tesla_historian::MetricStore;
 use tesla_sim::Observation;
 

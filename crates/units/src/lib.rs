@@ -50,6 +50,8 @@
 //! `Display`/`FromStr` — every type round-trips exactly through its
 //! string form (property-tested in `tests/proptests.rs`).
 
+// analysis:allow-file(no-alloc-in-decide-steady-state): typed-vector
+// unwrapping copies one horizon-length Vec at the model boundary.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

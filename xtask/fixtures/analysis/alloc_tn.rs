@@ -1,0 +1,25 @@
+//! TN fixture for `no-alloc-in-decide-steady-state`: steady-state work
+//! reuses a caller-owned buffer; the one-time warmup that does allocate
+//! is annotated as setup and pruned from the traversal.
+
+pub struct Scratch {
+    grid: [f64; 8],
+}
+
+pub fn decide(scratch: &mut Scratch) -> f64 {
+    fill_grid(&mut scratch.grid);
+    scratch.grid.iter().sum()
+}
+
+fn fill_grid(grid: &mut [f64; 8]) {
+    for (i, slot) in grid.iter_mut().enumerate() {
+        *slot = i as f64;
+    }
+}
+
+// analysis:setup: one-time warmup before the control loop starts
+pub fn warmup(n: usize) -> Vec<f64> {
+    let mut grid = Vec::with_capacity(n);
+    grid.extend((0..n).map(|i| i as f64));
+    grid
+}

@@ -1,0 +1,16 @@
+//! TP fixture for `no-alloc-in-decide-steady-state`: the decide path
+//! heap-allocates on every call, directly and transitively.
+
+pub fn decide(n: usize) -> f64 {
+    let grid = build_grid(n);
+    grid.iter().sum()
+}
+
+fn build_grid(n: usize) -> Vec<f64> {
+    // Fresh per-decision allocation: flagged.
+    let mut grid = Vec::with_capacity(n);
+    for i in 0..n {
+        grid.push(i as f64);
+    }
+    grid
+}

@@ -1,0 +1,23 @@
+//! TN fixture for `no-blocking-in-deadline-path`: the deadline path
+//! uses bounded receives only; blocking work exists but is unreachable
+//! from the `step` root.
+
+pub fn step(rx: &Receiver) -> f64 {
+    match rx.recv_timeout(budget()) {
+        Ok(v) => v,
+        Err(_) => fallback(),
+    }
+}
+
+fn budget() -> std::time::Duration {
+    std::time::Duration::from_millis(50)
+}
+
+fn fallback() -> f64 {
+    0.0
+}
+
+/// Background persistence: blocking is fine here, off the deadline path.
+pub fn background_flush() {
+    std::fs::write("/tmp/snapshot.bin", b"state").ok();
+}

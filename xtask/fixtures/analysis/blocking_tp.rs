@@ -1,0 +1,20 @@
+//! TP fixture for `no-blocking-in-deadline-path`: the deadline-bounded
+//! `step` root reaches filesystem I/O, an unbounded receive, and a
+//! sleep.
+
+pub fn step(rx: &Receiver) -> f64 {
+    persist_snapshot();
+    poll(rx)
+}
+
+fn persist_snapshot() {
+    // Filesystem write inside the deadline path.
+    std::fs::write("/tmp/snapshot.bin", b"state").ok();
+}
+
+fn poll(rx: &Receiver) -> f64 {
+    // Unbounded blocking receive, then an unconditional stall.
+    let v = rx.recv();
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    v
+}

@@ -1,0 +1,24 @@
+//! TN fixture for `lock-order`: acquisitions follow the declared order,
+//! guards are dropped before I/O, and block scoping bounds extents.
+
+pub fn ordered(registry: &Registry, store: &Store) {
+    let shard_guard = store.shard.lock();
+    // Declared order: historian.shard before obs.registry.shard.
+    let metrics_guard = registry.metrics.read();
+    let _ = (&shard_guard, &metrics_guard);
+}
+
+pub fn drop_before_io(store: &Store) {
+    let shard_guard = store.shard.lock();
+    let _ = &shard_guard;
+    drop(shard_guard);
+    store.file.sync_all();
+}
+
+pub fn scoped_then_io(store: &Store) {
+    {
+        let shard_guard = store.shard.lock();
+        let _ = &shard_guard;
+    }
+    store.file.sync_all();
+}

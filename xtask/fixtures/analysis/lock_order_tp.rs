@@ -1,0 +1,17 @@
+//! TP fixture for `lock-order`: an order inversion (registry shard
+//! acquired before a historian shard) and a lock held across I/O.
+
+pub fn inverted(registry: &Registry, store: &Store) {
+    let metrics_guard = registry.metrics.read();
+    // Inversion: historian.shard must be acquired before
+    // obs.registry.shard per the declared order.
+    let shard_guard = store.shard.lock();
+    let _ = (&metrics_guard, &shard_guard);
+}
+
+pub fn flush_under_lock(store: &Store) {
+    let shard_guard = store.shard.lock();
+    // Blocking I/O while the shard guard is held.
+    store.file.sync_all();
+    let _ = &shard_guard;
+}

@@ -1,0 +1,24 @@
+//! TN fixture for `panic-free-control-path`: the decide path handles
+//! every failure explicitly; panicky code exists but is unreachable
+//! from the root, or carries an allow with a written invariant.
+
+pub fn decide(history: &[f64]) -> f64 {
+    let hint = match history.last() {
+        Some(v) => *v,
+        None => 0.0,
+    };
+    refine(hint).unwrap_or(0.0)
+}
+
+fn refine(hint: f64) -> Option<f64> {
+    if hint.is_finite() {
+        Some(hint * 0.5)
+    } else {
+        None
+    }
+}
+
+/// Not reachable from `decide`; reachability is what the rule proves.
+pub fn dead_debug_helper(v: Option<f64>) -> f64 {
+    v.unwrap()
+}

@@ -1,0 +1,18 @@
+//! TP fixture for `panic-free-control-path`: a transitive unwrap and an
+//! unchecked index, both reachable from the `decide` root.
+
+pub fn decide(history: &[f64]) -> f64 {
+    let hint = latest(history);
+    refine(hint)
+}
+
+fn latest(history: &[f64]) -> f64 {
+    // Unchecked index reachable from decide.
+    history[history.len() - 1]
+}
+
+fn refine(hint: f64) -> f64 {
+    let candidate: Option<f64> = Some(hint);
+    // Transitive unwrap reachable from decide via latest/refine.
+    candidate.unwrap()
+}

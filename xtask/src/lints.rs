@@ -58,26 +58,45 @@ pub fn test_line_mask(lines: &[&str]) -> Vec<bool> {
     let mut mask = vec![false; lines.len()];
     let mut i = 0;
     while i < lines.len() {
-        if lines[i].trim_start().starts_with("#[cfg(test)]") {
-            // Skip attribute lines, then consume the following block.
-            let mut j = i;
-            while j < lines.len() && !lines[j].contains('{') {
-                mask[j] = true;
-                j += 1;
-            }
-            let mut depth = 0i32;
-            while j < lines.len() {
-                mask[j] = true;
-                depth += brace_delta(lines[j]);
-                if depth <= 0 {
-                    break;
-                }
-                j += 1;
-            }
-            i = j + 1;
-        } else {
+        if !lines[i].trim_start().starts_with("#[cfg(test)]") {
             i += 1;
+            continue;
         }
+        // Walk the item header (further attributes, doc comments, the
+        // item line itself) up to its opening `{` — judged on
+        // comment-stripped code, so a brace inside a comment cannot
+        // derail the scan — or up to a `;` for bodyless items like
+        // `#[cfg(test)] use …;`, where only the item itself is masked.
+        let mut j = i;
+        let mut opened = false;
+        while j < lines.len() {
+            mask[j] = true;
+            let code = strip_line_comment(lines[j]);
+            if code.contains('{') {
+                opened = true;
+                break;
+            }
+            if code.trim_end().ends_with(';') {
+                break;
+            }
+            j += 1;
+        }
+        if !opened {
+            i = j + 1;
+            continue;
+        }
+        // Consume the block body by brace counting (the `{` line may
+        // also share the attribute, e.g. `#[cfg(test)] mod tests {`).
+        let mut depth = 0i32;
+        while j < lines.len() {
+            mask[j] = true;
+            depth += brace_delta(lines[j]);
+            if depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
     }
     mask
 }
@@ -477,10 +496,12 @@ fn metric_name_problem(name: &str, kind: &str) -> Option<String> {
     }
 }
 
-/// Byte-level deserialization spellings that must not appear in the
-/// historian outside the CRC-checked WAL frame reader. `.read(&` (a
-/// buffer read) deliberately excludes `OpenOptions::read(true)`.
-const WAL_READ_PATTERNS: [&str; 5] = [
+/// Byte-level deserialization spellings that must not appear outside a
+/// CRC-checked framed reader. `.read(&` (a buffer read) deliberately
+/// excludes `OpenOptions::read(true)`. Shared by both framed-read
+/// rules: WAL records and checkpoints use the same magic + version +
+/// length + CRC framing.
+const FRAMED_READ_PATTERNS: [&str; 5] = [
     "from_le_bytes(",
     "from_be_bytes(",
     ".read_exact(",
@@ -488,30 +509,64 @@ const WAL_READ_PATTERNS: [&str; 5] = [
     ".read(&",
 ];
 
-/// Rule `no-unchecked-wal-read`: every WAL byte deserialized in the
-/// historian must flow through the CRC-checked frame reader
-/// (`wal::read_frame`), so a torn or bit-flipped record can never be
-/// half-applied. The reader itself (and the decoder it calls) carries
-/// allowlist comments; anything else parsing raw bytes is a finding.
-pub fn check_wal_reads(file: &str, lines: &[&str], mask: &[bool]) -> Vec<Finding> {
+/// One framed-read rule instance: which rule name it reports under,
+/// what artifact it protects, and the blessed reader to route through.
+pub struct FramedReadSpec {
+    /// Rule identifier reported in findings and matched by allowlists.
+    pub rule: &'static str,
+    /// Artifact description used in the message ("WAL frame" etc.).
+    pub subject: &'static str,
+    /// The CRC-checked reader every byte must flow through.
+    pub reader: &'static str,
+}
+
+/// `no-unchecked-wal-read`: every WAL byte deserialized in the
+/// historian must flow through the CRC-checked frame reader, so a torn
+/// or bit-flipped record can never be half-applied.
+pub const WAL_READ_SPEC: FramedReadSpec = FramedReadSpec {
+    rule: RULE_WAL,
+    subject: "WAL frame",
+    reader: "wal::read_frame",
+};
+
+/// `no-unframed-checkpoint-read`: every checkpoint byte deserialized in
+/// the control-plane crate must flow through the CRC-checked reader, so
+/// a torn checkpoint can never be half-restored into a live supervisor.
+pub const CHECKPOINT_READ_SPEC: FramedReadSpec = FramedReadSpec {
+    rule: RULE_CHECKPOINT,
+    subject: "checkpoint",
+    reader: "Checkpoint::decode",
+};
+
+/// Table-driven framed-read rule: flags raw byte deserialization
+/// outside the blessed CRC-checked reader named by `spec`. The reader
+/// itself (and the decoder it calls) carries allowlist comments; any
+/// other raw byte parse in scope is a finding.
+pub fn check_framed_reads(
+    file: &str,
+    lines: &[&str],
+    mask: &[bool],
+    spec: &FramedReadSpec,
+) -> Vec<Finding> {
     let mut findings = Vec::new();
     for (i, raw) in lines.iter().enumerate() {
         if mask[i] || is_comment_line(raw) {
             continue;
         }
         let code = strip_line_comment(raw);
-        for p in WAL_READ_PATTERNS {
+        for p in FRAMED_READ_PATTERNS {
             if code.contains(p) {
                 let spelled: String = p.chars().filter(|c| !".(&".contains(*c)).collect();
                 findings.push(Finding {
-                    rule: RULE_WAL,
+                    rule: spec.rule,
                     file: file.to_string(),
                     line: i + 1,
                     message: format!(
-                        "`{spelled}` deserializes bytes outside the CRC-checked WAL \
-                         frame reader; route through `wal::read_frame`"
+                        "`{spelled}` deserializes bytes outside the CRC-checked {} \
+                         reader; route through `{}`",
+                        spec.subject, spec.reader
                     ),
-                    allowed: is_allowed(lines, i, RULE_WAL),
+                    allowed: is_allowed(lines, i, spec.rule),
                 });
                 break; // one finding per line is enough
             }
@@ -520,49 +575,14 @@ pub fn check_wal_reads(file: &str, lines: &[&str], mask: &[bool]) -> Vec<Finding
     findings
 }
 
-/// Byte-level deserialization spellings that must not appear in the
-/// control-plane crate outside the checkpoint codec's CRC-checked
-/// reader. Same pattern set as the WAL rule: checkpoints use the same
-/// magic + version + length + CRC framing.
-const CHECKPOINT_READ_PATTERNS: [&str; 5] = [
-    "from_le_bytes(",
-    "from_be_bytes(",
-    ".read_exact(",
-    ".read_to_end(",
-    ".read(&",
-];
+/// Rule `no-unchecked-wal-read` over [`WAL_READ_SPEC`].
+pub fn check_wal_reads(file: &str, lines: &[&str], mask: &[bool]) -> Vec<Finding> {
+    check_framed_reads(file, lines, mask, &WAL_READ_SPEC)
+}
 
-/// Rule `no-unframed-checkpoint-read`: every checkpoint byte
-/// deserialized in the control-plane crate must flow through the
-/// CRC-checked `Checkpoint::decode` reader, so a torn or bit-flipped
-/// checkpoint can never be half-restored into a live supervisor. The
-/// reader itself carries allowlist comments; any other raw byte parse
-/// in the crate is a finding.
+/// Rule `no-unframed-checkpoint-read` over [`CHECKPOINT_READ_SPEC`].
 pub fn check_checkpoint_reads(file: &str, lines: &[&str], mask: &[bool]) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    for (i, raw) in lines.iter().enumerate() {
-        if mask[i] || is_comment_line(raw) {
-            continue;
-        }
-        let code = strip_line_comment(raw);
-        for p in CHECKPOINT_READ_PATTERNS {
-            if code.contains(p) {
-                let spelled: String = p.chars().filter(|c| !".(&".contains(*c)).collect();
-                findings.push(Finding {
-                    rule: RULE_CHECKPOINT,
-                    file: file.to_string(),
-                    line: i + 1,
-                    message: format!(
-                        "`{spelled}` deserializes bytes outside the CRC-checked checkpoint \
-                         reader; route through `Checkpoint::decode`"
-                    ),
-                    allowed: is_allowed(lines, i, RULE_CHECKPOINT),
-                });
-                break; // one finding per line is enough
-            }
-        }
-    }
-    findings
+    check_framed_reads(file, lines, mask, &CHECKPOINT_READ_SPEC)
 }
 
 /// Extracts the variant names of `pub enum Rung` from supervisor source.
@@ -778,6 +798,42 @@ mod tests {
         let findings = run(src, check_unwrap);
         assert_eq!(findings.len(), 1);
         assert!(findings[0].allowed);
+    }
+
+    const TEST_MASK_REGRESSION: &str = include_str!("../fixtures/test_mask_regression.rs");
+
+    /// Regression: a comment containing `{` between the attribute and
+    /// the module header must not derail the mask (the raw-line brace
+    /// check used to stop there, leaving the whole module unmasked),
+    /// and `#[cfg(test)]` on a `;`-terminated item must not swallow the
+    /// live code that follows it.
+    #[test]
+    fn test_mask_regression_fixture() {
+        let lines = lines_of(TEST_MASK_REGRESSION);
+        let mask = test_line_mask(&lines);
+        for (i, l) in lines.iter().enumerate() {
+            if l.contains("MASKED") {
+                assert!(mask[i], "line {} should be masked: {l}", i + 1);
+            }
+            if l.contains("LIVE") {
+                assert!(!mask[i], "line {} should be live: {l}", i + 1);
+            }
+        }
+        // The unwrap in live code must be caught once the mask is right.
+        let findings = check_unwrap("fixture.rs", &lines, &mask);
+        assert_eq!(
+            findings.iter().filter(|f| !f.allowed).count(),
+            1,
+            "exactly the live-path unwrap must be flagged: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn test_mask_attr_sharing_brace_line() {
+        let src = "fn a() {}\n#[cfg(test)] mod tests {\n    fn b() { x.unwrap(); }\n}\nfn c() {}\n";
+        let lines = lines_of(src);
+        let mask = test_line_mask(&lines);
+        assert_eq!(mask, vec![false, true, true, true, false]);
     }
 
     #[test]

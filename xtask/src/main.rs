@@ -11,6 +11,7 @@
 
 #![forbid(unsafe_code)]
 
+mod analyze;
 mod bench;
 mod links;
 mod lints;
@@ -19,11 +20,14 @@ use lints::Finding;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("analyze") => analyze::run(&args[1..]),
+        Some("check-fixtures") => check_fixtures(),
         Some("check-links") => check_links(),
         Some("bench-diff") => bench_diff(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
@@ -45,6 +49,12 @@ fn print_usage() {
          lint [--deny] [--report <path>]   run the static-analysis pass\n    \
            --deny            exit nonzero on any non-allowlisted finding\n    \
            --report <path>   JSON report path (default target/lint-report.json)\n  \
+         analyze [--deny] [--report <path>] [--baseline <path>] [--write-baseline]\n    \
+                                           call-graph analysis: panic-freedom, hot-path\n    \
+                                           allocation, lock-order, deadline-blocking\n    \
+           --deny            exit nonzero when a rule exceeds its baseline count\n    \
+           --write-baseline  record current active counts as the new ratchet\n  \
+         check-fixtures                    every rule must have TP and TN fixtures\n  \
          check-links                       verify relative links in markdown docs\n  \
          bench-diff <old.json> <new.json>  fail on >{}% tesla_decide_seconds p50 regression",
         bench::BUDGET_PERCENT
@@ -148,6 +158,7 @@ fn lint(args: &[String]) -> ExitCode {
         }
     }
 
+    let started = Instant::now();
     let root = workspace_root();
     let supervisor_src = match fs::read_to_string(root.join(SUPERVISOR_PATH)) {
         Ok(s) => s,
@@ -162,7 +173,9 @@ fn lint(args: &[String]) -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let mut findings: Vec<Finding> = Vec::new();
+    // One job per (rule, file); the file pass fans out across threads
+    // and each worker reads, masks, and checks independently.
+    let mut jobs: Vec<(&'static str, PathBuf, String)> = Vec::new();
     for (scope, rule) in [
         (&CONTROL_CRATES[..], lints::RULE_RAW_F64),
         (&UNWRAP_CRATES[..], lints::RULE_UNWRAP),
@@ -179,27 +192,59 @@ fn lint(args: &[String]) -> ExitCode {
                     .unwrap_or(&file)
                     .to_string_lossy()
                     .replace('\\', "/");
-                let src = match fs::read_to_string(&file) {
-                    Ok(s) => s,
-                    Err(e) => {
-                        eprintln!("xtask lint: cannot read {rel}: {e}");
-                        return ExitCode::from(2);
-                    }
-                };
-                let lines: Vec<&str> = src.lines().collect();
-                let mask = lints::test_line_mask(&lines);
-                let batch = match rule {
-                    lints::RULE_RAW_F64 => lints::check_raw_f64(&rel, &lines, &mask),
-                    lints::RULE_UNWRAP => lints::check_unwrap(&rel, &lines, &mask),
-                    lints::RULE_RUNG => lints::check_rung_matches(&rel, &lines, &mask, &variants),
-                    lints::RULE_METRIC => lints::check_metric_names(&rel, &lines, &mask),
-                    lints::RULE_WAL => lints::check_wal_reads(&rel, &lines, &mask),
-                    lints::RULE_CHECKPOINT => lints::check_checkpoint_reads(&rel, &lines, &mask),
-                    _ => lints::check_setpoint_literal(&rel, &lines, &mask),
-                };
-                findings.extend(batch);
+                jobs.push((rule, file, rel));
             }
         }
+    }
+    let nthreads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(jobs.len().max(1));
+    let chunk = jobs.len().div_ceil(nthreads.max(1)).max(1);
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut errors: Vec<String> = Vec::new();
+    std::thread::scope(|scope| {
+        let variants = &variants;
+        let mut handles = Vec::new();
+        for slice in jobs.chunks(chunk) {
+            handles.push(scope.spawn(move || {
+                let mut out: Vec<Finding> = Vec::new();
+                let mut errs: Vec<String> = Vec::new();
+                for (rule, file, rel) in slice {
+                    let src = match fs::read_to_string(file) {
+                        Ok(s) => s,
+                        Err(e) => {
+                            errs.push(format!("cannot read {rel}: {e}"));
+                            continue;
+                        }
+                    };
+                    let lines: Vec<&str> = src.lines().collect();
+                    let mask = lints::test_line_mask(&lines);
+                    let batch = match *rule {
+                        lints::RULE_RAW_F64 => lints::check_raw_f64(rel, &lines, &mask),
+                        lints::RULE_UNWRAP => lints::check_unwrap(rel, &lines, &mask),
+                        lints::RULE_RUNG => lints::check_rung_matches(rel, &lines, &mask, variants),
+                        lints::RULE_METRIC => lints::check_metric_names(rel, &lines, &mask),
+                        lints::RULE_WAL => lints::check_wal_reads(rel, &lines, &mask),
+                        lints::RULE_CHECKPOINT => lints::check_checkpoint_reads(rel, &lines, &mask),
+                        _ => lints::check_setpoint_literal(rel, &lines, &mask),
+                    };
+                    out.extend(batch);
+                }
+                (out, errs)
+            }));
+        }
+        for h in handles {
+            let (out, errs) = h.join().expect("lint worker thread panicked");
+            findings.extend(out);
+            errors.extend(errs);
+        }
+    });
+    if !errors.is_empty() {
+        for e in &errors {
+            eprintln!("xtask lint: {e}");
+        }
+        return ExitCode::from(2);
     }
     findings
         .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
@@ -217,7 +262,7 @@ fn lint(args: &[String]) -> ExitCode {
         lints::ALL_RULES.join(", ")
     );
 
-    let report = render_report(&findings);
+    let report = render_report(&findings, started.elapsed().as_secs_f64());
     let report_abs = if report_path.is_absolute() {
         report_path.clone()
     } else {
@@ -239,6 +284,80 @@ fn lint(args: &[String]) -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// Every rule must keep one true-positive and one true-negative
+/// fixture, and each fixture must be exercised by a test
+/// (`include_str!` in xtask sources). Loses a fixture, fails CI.
+fn required_fixtures() -> Vec<(&'static str, String, String)> {
+    let lint_stems = [
+        (lints::RULE_RAW_F64, "raw_f64"),
+        (lints::RULE_UNWRAP, "unwrap"),
+        (lints::RULE_RUNG, "rung"),
+        (lints::RULE_SETPOINT, "setpoint_literal"),
+        (lints::RULE_METRIC, "metric_name"),
+        (lints::RULE_WAL, "wal_read"),
+        (lints::RULE_CHECKPOINT, "checkpoint_read"),
+    ];
+    let analysis_stems = [
+        (tesla_analysis::RULE_PANIC, "analysis/panic"),
+        (tesla_analysis::RULE_ALLOC, "analysis/alloc"),
+        (tesla_analysis::RULE_LOCK, "analysis/lock_order"),
+        (tesla_analysis::RULE_BLOCKING, "analysis/blocking"),
+    ];
+    lint_stems
+        .iter()
+        .chain(analysis_stems.iter())
+        .map(|(rule, stem)| {
+            (
+                *rule,
+                format!("xtask/fixtures/{stem}_tp.rs"),
+                format!("xtask/fixtures/{stem}_tn.rs"),
+            )
+        })
+        .collect()
+}
+
+fn check_fixtures() -> ExitCode {
+    let root = workspace_root();
+    // All xtask sources, concatenated, to verify each fixture is
+    // actually referenced by a test.
+    let mut test_src = String::new();
+    for file in rust_files(&root.join("xtask/src")) {
+        if let Ok(s) = fs::read_to_string(&file) {
+            test_src.push_str(&s);
+        }
+    }
+    let mut problems = Vec::new();
+    for (rule, tp, tn) in required_fixtures() {
+        for path in [&tp, &tn] {
+            if !root.join(path).is_file() {
+                problems.push(format!("rule `{rule}`: missing fixture {path}"));
+                continue;
+            }
+            let name = path.rsplit('/').next().unwrap_or(path);
+            // include_str! paths in xtask are relative to src/, so the
+            // file name is the stable thing to look for.
+            if !test_src.contains(name) {
+                problems.push(format!(
+                    "rule `{rule}`: fixture {path} is not referenced by any xtask test"
+                ));
+            }
+        }
+    }
+    for p in &problems {
+        eprintln!("xtask check-fixtures: {p}");
+    }
+    println!(
+        "xtask check-fixtures: {} rule(s) checked, {} problem(s)",
+        required_fixtures().len(),
+        problems.len()
+    );
+    if problems.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 
@@ -289,8 +408,8 @@ fn rust_files(dir: &Path) -> Vec<PathBuf> {
 }
 
 /// Hand-rolled JSON (the workspace has no serde): findings plus summary
-/// counts, stable key order.
-fn render_report(findings: &[Finding]) -> String {
+/// counts and wall time, stable key order.
+fn render_report(findings: &[Finding], wall_time_seconds: f64) -> String {
     let active = findings.iter().filter(|f| !f.allowed).count();
     let mut s = String::from("{\n  \"findings\": [\n");
     for (i, f) in findings.iter().enumerate() {
@@ -305,7 +424,8 @@ fn render_report(findings: &[Finding]) -> String {
         ));
     }
     s.push_str(&format!(
-        "  ],\n  \"counts\": {{\"active\": {}, \"allowed\": {}, \"total\": {}}}\n}}\n",
+        "  ],\n  \"counts\": {{\"active\": {}, \"allowed\": {}, \"total\": {}}},\n  \
+         \"wall_time_seconds\": {wall_time_seconds:.3}\n}}\n",
         active,
         findings.len() - active,
         findings.len()
@@ -341,10 +461,32 @@ mod tests {
             message: "unwrap() in control path".to_string(),
             allowed: false,
         }];
-        let json = render_report(&findings);
+        let json = render_report(&findings, 1.5);
         assert!(json.contains("\"rule\": \"no-unwrap-in-control-path\""));
         assert!(json.contains("\"line\": 3"));
         assert!(json.contains("\"counts\": {\"active\": 1, \"allowed\": 0, \"total\": 1}"));
+        assert!(json.contains("\"wall_time_seconds\": 1.500"));
+    }
+
+    /// Every required fixture exists and is referenced from a test —
+    /// the same invariant `cargo xtask check-fixtures` enforces in CI.
+    #[test]
+    fn required_fixtures_present_and_referenced() {
+        let root = workspace_root();
+        let mut test_src = String::new();
+        for file in rust_files(&root.join("xtask/src")) {
+            test_src.push_str(&fs::read_to_string(&file).unwrap_or_default());
+        }
+        for (rule, tp, tn) in required_fixtures() {
+            for path in [&tp, &tn] {
+                assert!(root.join(path).is_file(), "rule `{rule}`: missing {path}");
+                let name = path.rsplit('/').next().unwrap_or(path);
+                assert!(
+                    test_src.contains(name),
+                    "rule `{rule}`: fixture {path} not referenced by any test"
+                );
+            }
+        }
     }
 
     #[test]

@@ -20,6 +20,8 @@ const PHASE_HISTOGRAMS: &[(&str, &str)] = &[
     ("checkpoint_write_seconds", "checkpoint write"),
     ("checkpoint_restore_seconds", "checkpoint restore"),
     ("restart_recovery_seconds", "restart recovery"),
+    ("tesla_net_query_seconds", "TLP query round-trip"),
+    ("tesla_net_request_seconds", "TLP request dispatch"),
 ];
 
 /// Runs `f` with the episode wall-clock histogram observing its duration.

@@ -67,6 +67,7 @@ pub mod replay;
 pub mod resume;
 pub mod runtime;
 pub mod smoothing;
+pub mod status;
 pub mod supervisor;
 pub mod tesla;
 pub mod tsrl;
@@ -82,6 +83,7 @@ pub use resume::{
 };
 pub use runtime::run_episode_threaded;
 pub use smoothing::SmoothingBuffer;
+pub use status::{StatusBoard, StatusSnapshot};
 pub use supervisor::{
     run_supervised_episode, ResumeState, Rung, StressReason, Supervisor, SupervisorConfig,
     SupervisorEvent, SupervisorState,

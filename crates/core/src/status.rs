@@ -1,0 +1,190 @@
+//! Shared control-plane status surface for network serving.
+//!
+//! The supervisor runs on the control thread; the network service
+//! (`tesla-net`) answers `STATUS`/`SETPOINT` requests from reactor
+//! threads. The [`StatusBoard`] is the seam between them: the
+//! supervisor *publishes* a [`StatusSnapshot`] at each minute boundary
+//! (one small struct copy under a mutex), and any number of readers
+//! *snapshot* it without touching supervisor internals or blocking the
+//! control loop.
+//!
+//! The snapshot is deliberately a value type — a reader gets a
+//! consistent minute-aligned view, never a torn one, and holding it
+//! costs the control loop nothing. Until the first publish the board is
+//! empty and readers get `None` (the network layer maps that to
+//! `ERR 404 status-unavailable`).
+
+use std::sync::Mutex;
+
+use tesla_units::Celsius;
+
+use crate::supervisor::{Rung, Supervisor};
+
+/// A minute-aligned copy of the supervisor's externally useful state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatusSnapshot {
+    /// Episode minute the snapshot was taken at.
+    pub minute: u64,
+    /// Degradation-ladder rung at the end of that minute.
+    pub rung: Rung,
+    /// Set-point actually executed that minute.
+    pub setpoint: Celsius,
+    /// Hottest cold-aisle inlet observed that minute (may be
+    /// `-inf` when the minute carried no thermal observation).
+    pub cold_aisle_max: Celsius,
+    /// Minutes spent at `SafeMode` so far.
+    pub safe_mode_minutes: u64,
+    /// Minutes spent at `HoldLastSafe` so far.
+    pub hold_minutes: u64,
+    /// Soft-watchdog trips so far.
+    pub watchdog_trips: u64,
+    /// Register writes failed after all retries.
+    pub write_failures: u64,
+    /// Decisions discarded for overrunning the hard step deadline.
+    pub decision_timeouts: u64,
+    /// Transition-log entries dropped by the ring cap.
+    pub events_dropped: u64,
+}
+
+impl StatusSnapshot {
+    /// Captures the supervisor's current counters as of `minute`, with
+    /// the thermals/set-point the caller just fed to `end_of_minute`.
+    pub fn capture(
+        sup: &Supervisor,
+        minute: u64,
+        executed_setpoint: Celsius,
+        cold_aisle_max: Celsius,
+    ) -> Self {
+        StatusSnapshot {
+            minute,
+            rung: sup.rung(),
+            setpoint: executed_setpoint,
+            cold_aisle_max,
+            safe_mode_minutes: sup.safe_mode_minutes(),
+            hold_minutes: sup.hold_minutes(),
+            watchdog_trips: sup.watchdog_trips(),
+            write_failures: sup.write_failures(),
+            decision_timeouts: sup.decision_timeouts(),
+            events_dropped: sup.events_dropped(),
+        }
+    }
+
+    /// Renders the snapshot as a single-line JSON object (the `STATUS`
+    /// response body in `docs/SERVICE.md`). Non-finite temperatures
+    /// render as `null` — JSON has no infinities.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str(&format!(
+            "{{\"minute\":{},\"rung\":\"{}\",\"rung_index\":{}",
+            self.minute,
+            self.rung.label(),
+            self.rung.index()
+        ));
+        out.push_str(&format!(",\"setpoint_c\":{}", json_f64(self.setpoint)));
+        out.push_str(&format!(
+            ",\"cold_aisle_max_c\":{}",
+            json_f64(self.cold_aisle_max)
+        ));
+        out.push_str(&format!(
+            ",\"safe_mode_minutes\":{},\"hold_minutes\":{},\"watchdog_trips\":{},\
+             \"write_failures\":{},\"decision_timeouts\":{},\"events_dropped\":{}}}",
+            self.safe_mode_minutes,
+            self.hold_minutes,
+            self.watchdog_trips,
+            self.write_failures,
+            self.decision_timeouts,
+            self.events_dropped
+        ));
+        out
+    }
+}
+
+/// Renders a temperature as a JSON number, or `null` when non-finite.
+fn json_f64(t: Celsius) -> String {
+    if t.value().is_finite() {
+        format!("{}", t.value())
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Single-writer, many-reader mailbox for the latest [`StatusSnapshot`].
+#[derive(Debug, Default)]
+pub struct StatusBoard {
+    latest: Mutex<Option<StatusSnapshot>>,
+}
+
+impl StatusBoard {
+    /// An empty board (readers see `None` until the first publish).
+    pub fn new() -> Self {
+        StatusBoard::default()
+    }
+
+    /// Replaces the published snapshot.
+    pub fn publish(&self, snapshot: StatusSnapshot) {
+        let mut slot = match self.latest.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        *slot = Some(snapshot);
+    }
+
+    /// The most recently published snapshot, if any.
+    pub fn snapshot(&self) -> Option<StatusSnapshot> {
+        let slot = match self.latest.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        *slot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_board_reads_none() {
+        assert_eq!(StatusBoard::new().snapshot(), None);
+    }
+
+    #[test]
+    fn publish_then_snapshot_round_trips() {
+        let board = StatusBoard::new();
+        let snap = StatusSnapshot {
+            minute: 7,
+            rung: Rung::HoldLastSafe,
+            setpoint: Celsius::new(22.5),
+            cold_aisle_max: Celsius::new(26.25),
+            safe_mode_minutes: 1,
+            hold_minutes: 2,
+            watchdog_trips: 3,
+            write_failures: 4,
+            decision_timeouts: 5,
+            events_dropped: 6,
+        };
+        board.publish(snap);
+        assert_eq!(board.snapshot(), Some(snap));
+    }
+
+    #[test]
+    fn json_renders_counters_and_null_thermals() {
+        let snap = StatusSnapshot {
+            minute: 0,
+            rung: Rung::Normal,
+            setpoint: Celsius::new(23.0),
+            cold_aisle_max: Celsius::new(f64::NEG_INFINITY),
+            safe_mode_minutes: 0,
+            hold_minutes: 0,
+            watchdog_trips: 0,
+            write_failures: 0,
+            decision_timeouts: 0,
+            events_dropped: 0,
+        };
+        let json = snap.to_json();
+        assert!(json.contains("\"rung\":\"Normal\""), "{json}");
+        assert!(json.contains("\"setpoint_c\":23"), "{json}");
+        assert!(json.contains("\"cold_aisle_max_c\":null"), "{json}");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+}

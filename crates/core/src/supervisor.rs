@@ -298,6 +298,10 @@ pub struct Supervisor {
     write_failures: u64,
     write_retries: u64,
     decision_timeouts: u64,
+    /// Where minute-boundary status is published for network readers
+    /// (none by default; see [`crate::status::StatusBoard`]). Not part
+    /// of checkpointed state — a resumed process re-attaches its own.
+    status_board: Option<std::sync::Arc<crate::status::StatusBoard>>,
 }
 
 /// A full snapshot of a [`Supervisor`]'s mutable state, as captured into
@@ -360,7 +364,16 @@ impl Supervisor {
             write_failures: 0,
             write_retries: 0,
             decision_timeouts: 0,
+            status_board: None,
         }
+    }
+
+    /// Publishes a [`crate::status::StatusSnapshot`] to `board` at every
+    /// minute boundary from now on, making this supervisor's rung,
+    /// executed set-point, and health counters visible to the network
+    /// service's `STATUS`/`SETPOINT` endpoints.
+    pub fn attach_status_board(&mut self, board: std::sync::Arc<crate::status::StatusBoard>) {
+        self.status_board = Some(board);
     }
 
     /// The configuration.
@@ -713,6 +726,14 @@ impl Supervisor {
         }
         self.pending_reason = None;
         self.last_executed = Some(executed_setpoint);
+        if let Some(board) = &self.status_board {
+            board.publish(crate::status::StatusSnapshot::capture(
+                self,
+                minute as u64,
+                executed_setpoint,
+                observed_cold_aisle_max,
+            ));
+        }
     }
 
     /// Forces the ladder straight to `SafeMode` (the decision process is

@@ -327,6 +327,49 @@ impl Historian {
         Self::apply_batch(&mut shard, &self.cfg, metric, samples);
     }
 
+    /// Appends several `(metric, samples)` runs in one call — the
+    /// batch entry point the network ingest writers drain through.
+    /// Runs are grouped by shard so each touched shard is locked once
+    /// per call (instead of once per run), which is what keeps WAL
+    /// framing and lock traffic amortized when one network batch
+    /// carries many small per-metric runs.
+    // lint:allow(lock-order): same single-shard-lock discipline as
+    // `append_batch`; the WAL write stays under the shard lock so WAL
+    // order equals apply order.
+    pub fn append_runs(&self, runs: &[(String, Vec<(f64, f64)>)]) {
+        if runs.is_empty() {
+            return;
+        }
+        // (shard, run-index) sorted by shard: consecutive entries share
+        // a lock acquisition.
+        let mut order: Vec<(usize, usize)> = runs
+            .iter()
+            .enumerate()
+            .map(|(i, (metric, _))| (shard_index(metric, self.shards.len()), i))
+            .collect();
+        order.sort_unstable();
+        let mut i = 0;
+        while i < order.len() {
+            let s = order[i].0;
+            let mut shard = self.shards[s].lock().expect("historian shard poisoned");
+            while i < order.len() && order[i].0 == s {
+                let (metric, samples) = &runs[order[i].1];
+                if let Some(wal) = shard.wal.as_mut() {
+                    let record = WalRecord::Samples {
+                        series: metric.to_string(),
+                        samples: samples.to_vec(),
+                    };
+                    if let Err(e) = wal.append(&record) {
+                        tesla_obs::counter!("historian_wal_write_errors_total").inc();
+                        debug_assert!(false, "WAL append failed: {e}");
+                    }
+                }
+                Self::apply_batch(&mut shard, &self.cfg, metric, samples);
+                i += 1;
+            }
+        }
+    }
+
     /// Applies a batch to in-memory state (shared by ingest and WAL
     /// replay; the caller holds the shard lock).
     fn apply_batch(shard: &mut Shard, cfg: &HistorianConfig, metric: &str, samples: &[(f64, f64)]) {
@@ -496,6 +539,10 @@ impl MetricStore for Historian {
 
     fn insert_batch(&self, metric: &str, samples: &[(f64, f64)]) {
         self.append_batch(metric, samples);
+    }
+
+    fn insert_runs(&self, runs: &[(String, Vec<(f64, f64)>)]) {
+        self.append_runs(runs);
     }
 
     fn last_n(&self, metric: &str, n: usize) -> Vec<f64> {
@@ -753,6 +800,44 @@ mod tests {
         h.insert("a", 0.0, 1.0);
         assert_eq!(h.metric_names(), vec!["a".to_string(), "b".to_string()]);
         assert!(!MetricStore::is_empty(&h));
+    }
+
+    #[test]
+    fn append_runs_matches_per_run_appends_and_survives_replay() {
+        let dir = std::env::temp_dir().join(format!("tesla-hist-runs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (h, _) = Historian::open(&dir, small_cfg()).unwrap();
+            let runs: Vec<(String, Vec<(f64, f64)>)> = vec![
+                ("rack.inlet".into(), vec![(0.0, 21.0), (60.0, 21.5)]),
+                ("rack.outlet".into(), vec![(0.0, 30.0)]),
+                // Same metric appearing in two runs of one call must
+                // stay time-ordered.
+                ("rack.inlet".into(), vec![(120.0, 22.0)]),
+            ];
+            h.append_runs(&runs);
+            assert_eq!(h.last_n("rack.inlet", 3), vec![21.0, 21.5, 22.0]);
+            assert_eq!(h.last("rack.outlet"), Some(30.0));
+            h.flush().unwrap();
+        }
+        // WAL replay sees exactly what append_runs framed.
+        let (h, stats) = Historian::open(&dir, small_cfg()).unwrap();
+        assert!(stats.samples >= 4, "{stats:?}");
+        assert_eq!(h.last_n("rack.inlet", 3), vec![21.0, 21.5, 22.0]);
+        assert_eq!(h.last("rack.outlet"), Some(30.0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn insert_runs_default_impl_loops_insert_batch() {
+        let h = Historian::in_memory(small_cfg());
+        let store: &dyn MetricStore = &h;
+        store.insert_runs(&[
+            ("a".into(), vec![(0.0, 1.0), (1.0, 2.0)]),
+            ("b".into(), vec![(0.0, 9.0)]),
+        ]);
+        assert_eq!(store.last_n("a", 2), vec![1.0, 2.0]);
+        assert_eq!(store.last("b"), Some(9.0));
     }
 
     #[test]

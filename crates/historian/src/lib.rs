@@ -97,6 +97,18 @@ pub trait MetricStore: Send + Sync {
         }
     }
 
+    /// Appends several per-metric sample runs in one call — the entry
+    /// point the network ingest path drains batches through (see
+    /// `docs/SERVICE.md`). Each run is `(metric, time-ordered samples)`.
+    /// Implementations override this when they can amortize locking or
+    /// WAL framing across runs; the default just replays `insert_batch`
+    /// per run.
+    fn insert_runs(&self, runs: &[(String, Vec<(f64, f64)>)]) {
+        for (metric, samples) in runs {
+            self.insert_batch(metric, samples);
+        }
+    }
+
     /// The most recent `n` values of `metric`, oldest first. Empty when
     /// the metric does not exist.
     fn last_n(&self, metric: &str, n: usize) -> Vec<f64>;

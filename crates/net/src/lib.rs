@@ -1,0 +1,32 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! Network-facing control service for the TESLA reproduction.
+//!
+//! The paper's deployed TESLA is a networked service: Telegraf pushes
+//! rack telemetry into InfluxDB, and the controller plus dashboards
+//! attach over the network. This crate closes that gap for the
+//! reproduction with **TLP/1**, a dependency-free, newline-delimited
+//! text protocol served by the `tesla-reactor` event loop:
+//!
+//! * **Ingest** — `PUSH`/`PUSHC` batches stream into a WAL-backed
+//!   [`tesla_historian::MetricStore`] through a bounded, drop-oldest
+//!   [`ingest::IngestQueue`], so reactor threads never wait on the WAL
+//!   and overload sheds the *stale* backlog, not fresh readings.
+//! * **Query/control** — `QUERY LAST|LASTN|RANGE` read the historian,
+//!   `STATUS`/`SETPOINT` read the supervisor's
+//!   [`tesla_core::status::StatusBoard`], `METRICS` exposes the
+//!   server's own Prometheus text.
+//!
+//! The wire protocol is specified normatively in `docs/SERVICE.md`;
+//! the spec's conversation examples are replayed against a live
+//! server by `tests/service_doc.rs`, so the document cannot drift from
+//! the implementation. Operational metrics (`tesla_net_*`) are
+//! catalogued in `docs/OBSERVABILITY.md`.
+
+pub mod ingest;
+pub mod protocol;
+pub mod server;
+
+pub use ingest::{IngestPipeline, IngestQueue, PushOutcome};
+pub use protocol::{Batch, Event, Parser, ProtocolError, Query, PROTOCOL_VERSION};
+pub use server::{NetConfig, NetServer};

@@ -1,0 +1,154 @@
+//! Property tests for the TLP/1 parser: arbitrary bytes never panic or
+//! over-buffer, well-formed batches round-trip regardless of how the
+//! byte stream is torn into fragments, and oversized batches are
+//! rejected at the header with the right (fatal) error.
+
+use proptest::prelude::*;
+use tesla_net::protocol::{
+    valid_metric, Batch, Event, Parser, ProtocolError, MAX_LINE_BYTES, MAX_METRIC_BYTES,
+};
+
+/// Derives a finite sample value from one generator word: a mix of
+/// magnitudes (including zero and negatives) a telemetry wire carries.
+fn finite_from(bits: u64) -> f64 {
+    match bits % 4 {
+        0 => 0.0,
+        1 => ((bits >> 8) % 2_000_000) as f64 / 1_000.0 - 1_000.0,
+        2 => -1.5 * ((bits >> 16) % 97) as f64,
+        _ => ((bits >> 24) % 1_000) as f64 * 1e-3 + 21.0,
+    }
+}
+
+/// Feeds `wire` to a fresh parser in fragments at the given cut points,
+/// collecting events until an error or end of input. Returns the
+/// events, the first error (if any), and whatever stayed buffered.
+fn feed_fragmented(wire: &[u8], cuts: &[usize]) -> (Vec<Event>, Option<ProtocolError>, Vec<u8>) {
+    let mut parser = Parser::default();
+    let mut events = Vec::new();
+    let mut buffered = Vec::new();
+    let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (wire.len() + 1)).collect();
+    bounds.push(wire.len());
+    bounds.sort_unstable();
+    let mut start = 0;
+    for b in bounds {
+        buffered.extend_from_slice(&wire[start..b]);
+        start = b;
+        if let Err(e) = parser.feed(&mut buffered, &mut events) {
+            return (events, Some(e), buffered);
+        }
+    }
+    (events, None, buffered)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A well-formed PUSH batch parses to exactly its runs no matter
+    /// how the bytes are torn into fragments.
+    #[test]
+    fn push_round_trips_across_arbitrary_tears(
+        words in proptest::collection::vec(0u64..=u64::MAX, 1..60),
+        cuts in proptest::collection::vec(0usize..4096, 0..8),
+    ) {
+        let mut wire = format!("PUSH {}\n", words.len());
+        let mut want_runs: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+        for (i, &w) in words.iter().enumerate() {
+            let metric = format!("m{}", w % 5);
+            let (t, v) = (i as f64 * 0.5, finite_from(w >> 3));
+            wire.push_str(&format!("{metric} {t} {v}\n"));
+            match want_runs.last_mut() {
+                Some((name, run)) if *name == metric => run.push((t, v)),
+                _ => want_runs.push((metric, vec![(t, v)])),
+            }
+        }
+        let (events, err, leftover) = feed_fragmented(wire.as_bytes(), &cuts);
+        prop_assert_eq!(err, None);
+        prop_assert!(leftover.is_empty());
+        prop_assert_eq!(events.len(), 1);
+        let Event::Push(Batch { runs, samples: n }) = &events[0] else {
+            panic!("expected a push event, got {events:?}");
+        };
+        prop_assert_eq!(*n, words.len());
+        prop_assert_eq!(runs, &want_runs);
+    }
+
+    /// PUSHC round-trips with times reconstructed from (t0, dt),
+    /// independent of how many values share a line and of tearing.
+    #[test]
+    fn pushc_round_trips_across_arbitrary_tears(
+        words in proptest::collection::vec(0u64..=u64::MAX, 1..80),
+        t0 in -1e6f64..1e6,
+        dt_tenths in 0u32..1000,
+        per_line in 1usize..9,
+        cuts in proptest::collection::vec(0usize..4096, 0..8),
+    ) {
+        let values: Vec<f64> = words.iter().map(|&w| finite_from(w)).collect();
+        let dt = dt_tenths as f64 / 10.0;
+        let mut wire = format!("PUSHC {} m.x {t0} {dt}\n", values.len());
+        for chunk in values.chunks(per_line) {
+            let line: Vec<String> = chunk.iter().map(|v| format!("{v}")).collect();
+            wire.push_str(&line.join(" "));
+            wire.push('\n');
+        }
+        let (events, err, leftover) = feed_fragmented(wire.as_bytes(), &cuts);
+        prop_assert_eq!(err, None);
+        prop_assert!(leftover.is_empty());
+        prop_assert_eq!(events.len(), 1);
+        let Event::Push(batch) = &events[0] else { panic!("expected push") };
+        prop_assert_eq!(batch.runs.len(), 1);
+        let got = &batch.runs[0].1;
+        prop_assert_eq!(got.len(), values.len());
+        for (i, (t, v)) in got.iter().enumerate() {
+            prop_assert_eq!(*v, values[i]);
+            let want_t = t0 + i as f64 * dt;
+            prop_assert!((t - want_t).abs() <= 1e-9 * want_t.abs().max(1.0));
+        }
+    }
+
+    /// Arbitrary byte soup never panics and never buffers more than
+    /// one maximum-length line beyond what it consumed.
+    #[test]
+    fn malformed_input_never_panics_or_overbuffers(
+        bytes in proptest::collection::vec(0u8..=255, 0..2000),
+        cuts in proptest::collection::vec(0usize..2048, 0..6),
+    ) {
+        let (_events, err, leftover) = feed_fragmented(&bytes, &cuts);
+        if err.is_none() {
+            prop_assert!(leftover.len() <= MAX_LINE_BYTES + 1);
+        }
+    }
+
+    /// Oversized batches are rejected at the header with the fatal
+    /// batch-too-large error — the body is never buffered.
+    #[test]
+    fn oversized_batch_headers_reject(
+        n in 4097usize..1_000_000,
+        columnar in proptest::bool::ANY,
+    ) {
+        let wire = if columnar {
+            format!("PUSHC {n} m 0 1\n")
+        } else {
+            format!("PUSH {n}\n")
+        };
+        let mut parser = Parser::default();
+        let mut input = wire.into_bytes();
+        let mut events = Vec::new();
+        let err = parser.feed(&mut input, &mut events).unwrap_err();
+        prop_assert_eq!(err, ProtocolError::BatchTooLarge);
+        prop_assert!(err.fatal());
+        prop_assert!(events.is_empty());
+    }
+
+    /// Metric-name validation matches its documented alphabet exactly.
+    #[test]
+    fn metric_alphabet_is_exact(
+        chars in proptest::collection::vec(32u8..127, 0..140),
+    ) {
+        let name = String::from_utf8(chars).unwrap();
+        let want = !name.is_empty()
+            && name.len() <= MAX_METRIC_BYTES
+            && name.bytes().all(|b| b.is_ascii_alphanumeric()
+                || matches!(b, b'_' | b'.' | b':' | b'-'));
+        prop_assert_eq!(valid_metric(&name), want);
+    }
+}

@@ -1,0 +1,217 @@
+//! Replays every ` ```tlp ` conversation block in `docs/SERVICE.md`
+//! against a live server, so the protocol spec cannot drift from the
+//! implementation.
+//!
+//! Block grammar (see SERVICE.md's intro):
+//! * `C: <line>`  — sent to the server verbatim (plus `\n`).
+//! * `S: <line>`  — asserted against the next response line;
+//!   `<angle-bracket>` tokens are wildcards for values that
+//!   legitimately vary (queue depths, byte counts).
+//! * `S: …`       — a byte-counted body follows: its length is the
+//!   wildcard in the previous `OK <nbytes>` line; the harness reads
+//!   exactly that many bytes.
+//! * `S: (the server closes the connection)` — asserts EOF.
+//! * `# …`        — commentary, ignored.
+//!
+//! Blocks run in document order against one shared server+store (the
+//! query examples read what the push examples wrote); each block gets
+//! a fresh connection, and the harness waits for acked batches to
+//! drain into the store between blocks.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use tesla_core::status::{StatusBoard, StatusSnapshot};
+use tesla_core::supervisor::Rung;
+use tesla_historian::{Historian, HistorianConfig, MetricStore};
+use tesla_net::{NetConfig, NetServer};
+use tesla_units::Celsius;
+
+const DOC: &str = include_str!("../../../docs/SERVICE.md");
+
+const CLOSES: &str = "(the server closes the connection)";
+
+/// Extracts the contents of every ```tlp fenced block, in order.
+fn tlp_blocks(doc: &str) -> Vec<Vec<String>> {
+    let mut blocks = Vec::new();
+    let mut current: Option<Vec<String>> = None;
+    for line in doc.lines() {
+        let trimmed = line.trim();
+        match &mut current {
+            None if trimmed == "```tlp" => current = Some(Vec::new()),
+            None => {}
+            Some(lines) => {
+                if trimmed == "```" {
+                    blocks.push(current.take().unwrap());
+                } else {
+                    lines.push(line.to_string());
+                }
+            }
+        }
+    }
+    assert!(current.is_none(), "unterminated ```tlp block in SERVICE.md");
+    blocks
+}
+
+/// Token-wise match of `actual` against `expected`, where any
+/// `<name>` span inside an expected token is a wildcard. `q=<depth>`
+/// matches `q=512`; `<nbytes>` matches `1847`.
+fn line_matches(expected: &str, actual: &str) -> bool {
+    let exp: Vec<&str> = expected.split_ascii_whitespace().collect();
+    let act: Vec<&str> = actual.split_ascii_whitespace().collect();
+    if exp.len() != act.len() {
+        return false;
+    }
+    exp.iter().zip(&act).all(|(e, a)| token_matches(e, a))
+}
+
+fn token_matches(expected: &str, actual: &str) -> bool {
+    match (expected.find('<'), expected.rfind('>')) {
+        (Some(open), Some(close)) if open < close => {
+            let (prefix, suffix) = (&expected[..open], &expected[close + 1..]);
+            actual.len() > prefix.len() + suffix.len()
+                && actual.starts_with(prefix)
+                && actual.ends_with(suffix)
+        }
+        _ => expected == actual,
+    }
+}
+
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(server: &NetServer) -> Client {
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Client { stream, reader }
+    }
+
+    fn recv_line(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).unwrap();
+        line.trim_end_matches(['\n', '\r']).to_string()
+    }
+}
+
+/// Replays one block; returns the samples acked by its pushes.
+fn replay_block(server: &NetServer, block: &[String]) -> u64 {
+    let mut c = Client::connect(server);
+    let mut acked: u64 = 0;
+    let mut last_ok_count: usize = 0;
+    for (i, raw) in block.iter().enumerate() {
+        let line = raw.trim_start();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(send) = line.strip_prefix("C: ") {
+            c.stream.write_all(send.as_bytes()).unwrap();
+            c.stream.write_all(b"\n").unwrap();
+        } else if let Some(expect) = line.strip_prefix("S: ") {
+            if expect == CLOSES {
+                let mut rest = String::new();
+                c.reader.read_to_string(&mut rest).unwrap();
+                assert!(
+                    rest.is_empty(),
+                    "SERVICE.md block line {i}: expected EOF, got {rest:?}"
+                );
+            } else if expect == "…" {
+                // Byte-counted body: length came off the wire in the
+                // previous `OK <nbytes>` line.
+                let mut body = vec![0u8; last_ok_count];
+                c.reader.read_exact(&mut body).unwrap();
+                assert!(
+                    !body.is_empty() && body.ends_with(b"\n"),
+                    "byte-counted body should be newline-terminated text"
+                );
+            } else {
+                let got = c.recv_line();
+                assert!(
+                    line_matches(expect, &got),
+                    "SERVICE.md block line {i}: expected {expect:?}, got {got:?}"
+                );
+                if let Some(count) = got
+                    .strip_prefix("OK ")
+                    .and_then(|r| r.split_ascii_whitespace().next())
+                    .and_then(|n| n.parse::<usize>().ok())
+                {
+                    last_ok_count = count;
+                    if got.contains(" q=") {
+                        acked += count as u64;
+                    }
+                }
+            }
+        } else {
+            panic!("SERVICE.md tlp block line {i} is neither C:/S:/#: {raw:?}");
+        }
+    }
+    acked
+}
+
+#[test]
+fn service_md_examples_replay_against_a_live_server() {
+    let blocks = tlp_blocks(DOC);
+    assert!(
+        blocks.len() >= 6,
+        "SERVICE.md should hold the documented conversation blocks, found {}",
+        blocks.len()
+    );
+
+    let store = Arc::new(Historian::in_memory(HistorianConfig::default()));
+    let board = Arc::new(StatusBoard::new());
+    // The STATUS/SETPOINT examples document this exact snapshot.
+    board.publish(StatusSnapshot {
+        minute: 41,
+        rung: Rung::Normal,
+        setpoint: Celsius::new(23.25),
+        cold_aisle_max: Celsius::new(25.5),
+        safe_mode_minutes: 0,
+        hold_minutes: 0,
+        watchdog_trips: 0,
+        write_failures: 0,
+        decision_timeouts: 0,
+        events_dropped: 0,
+    });
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        NetConfig::default(),
+        Arc::clone(&store) as Arc<dyn MetricStore>,
+        board,
+    )
+    .unwrap();
+
+    let mut expected_written = 0u64;
+    for block in &blocks {
+        expected_written += replay_block(&server, block);
+        // Acked batches drain asynchronously; later blocks query what
+        // earlier blocks pushed, so wait for the writers to catch up.
+        for _ in 0..1000 {
+            if server.written_samples() >= expected_written {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(
+            server.written_samples() >= expected_written,
+            "ingest queue failed to drain between SERVICE.md blocks"
+        );
+    }
+    server.stop();
+}
+
+#[test]
+fn wildcard_matcher_is_strict_where_it_should_be() {
+    assert!(line_matches("OK 3 q=<depth>", "OK 3 q=512"));
+    assert!(!line_matches("OK 3 q=<depth>", "OK 2 q=512"));
+    assert!(!line_matches("OK 3 q=<depth>", "OK 3 q="));
+    assert!(!line_matches("OK 3 q=<depth>", "OK 3"));
+    assert!(line_matches("OK <nbytes>", "OK 1847"));
+    assert!(!line_matches("PONG", "ERR 400 unknown-command"));
+}

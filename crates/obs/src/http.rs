@@ -1,112 +1,140 @@
-//! Tiny blocking HTTP endpoint serving the global registry and trace.
+//! HTTP scrape endpoint serving the global registry and trace, hosted
+//! on the shared `tesla-reactor` event loop.
 //!
-//! Feature-gated (`http`) because it spawns a listener thread; the rest
-//! of the crate stays passive. One thread, one connection at a time,
-//! GET-only — this is a debug/scrape endpoint, not a web server.
+//! Feature-gated (`http`) because it spawns reactor threads; the rest
+//! of the crate stays passive. Earlier revisions ran a blocking accept
+//! loop that served one connection at a time — a slow (or stalled)
+//! scraper blocked every other scraper head-of-line. Serving from the
+//! non-blocking reactor removes that failure mode: connections are
+//! swept concurrently, a stalled peer only parks its own connection,
+//! and transient accept errors retry on the same
+//! [`tesla_backoff::BackoffPolicy`] schedule as before
+//! (`obs_accept_retries_total` still counts them).
 //!
-//! Routes:
+//! Routes (GET-only; anything else is 404):
 //! - `GET /metrics` — Prometheus text rendering of [`crate::global`]
 //! - `GET /trace`   — JSONL dump of [`crate::global_trace`]
+//!
+//! Responses always carry `Connection: close` — scrapers open a fresh
+//! connection per scrape, which keeps the handler stateless.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::SocketAddr;
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::Duration;
 
-/// Handle to a running metrics endpoint; dropping it leaves the thread
-/// running (call [`MetricsServer::stop`] for an orderly shutdown).
+use tesla_reactor::{Action, Handler, Hooks, Reactor, ReactorConfig};
+
+/// Handle to a running metrics endpoint.
 #[derive(Debug)]
 pub struct MetricsServer {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
+    reactor: Option<Reactor>,
+}
+
+/// Reactor taps: keep the historical accept-retry counter alive.
+struct ObsHooks;
+
+impl Hooks for ObsHooks {
+    fn on_accept_retry(&self) {
+        crate::counter!("obs_accept_retries_total").inc();
+    }
 }
 
 impl MetricsServer {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
     /// serves until [`stop`](MetricsServer::stop).
     pub fn bind(addr: &str) -> std::io::Result<MetricsServer> {
-        let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
-        // Poll the stop flag between accepts instead of blocking forever.
-        listener.set_nonblocking(true)?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop_thread = stop.clone();
-        let handle = std::thread::Builder::new()
-            .name("tesla-obs-http".to_string())
-            .spawn(move || {
-                // Hard accept errors (EMFILE, ECONNABORTED bursts, …) are
-                // retried on the unified jittered-backoff policy instead
-                // of silently killing the scrape endpoint; only a full
-                // run of consecutive failures stops the thread.
-                let policy = tesla_backoff::BackoffPolicy {
-                    base_ms: 50,
-                    factor: 2,
-                    max_delay_ms: 2_000,
-                    max_attempts: 5,
-                    jitter: 0.25,
-                    seed: 0x0B5,
-                };
-                let mut consecutive_errors: u32 = 0;
-                while !stop_thread.load(Ordering::Relaxed) {
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            consecutive_errors = 0;
-                            let _ = serve_one(stream);
-                        }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(20));
-                        }
-                        Err(_) => {
-                            consecutive_errors += 1;
-                            if consecutive_errors >= policy.max_attempts {
-                                break;
-                            }
-                            crate::counter!("obs_accept_retries_total").inc();
-                            std::thread::sleep(Duration::from_millis(
-                                policy.delay_ms(consecutive_errors),
-                            ));
-                        }
-                    }
-                }
-            })?;
+        let cfg = ReactorConfig {
+            shards: 1,
+            // A scrape endpoint, not an ingest plane: a small cap
+            // protects the process FD budget.
+            max_connections: 256,
+            accept_backoff: tesla_backoff::BackoffPolicy {
+                base_ms: 50,
+                factor: 2,
+                max_delay_ms: 2_000,
+                max_attempts: 5,
+                jitter: 0.25,
+                seed: 0x0B5,
+            },
+            ..ReactorConfig::default()
+        };
+        let reactor = Reactor::bind(
+            addr,
+            cfg,
+            Arc::new(|| Box::new(HttpHandler::default()) as Box<dyn Handler>),
+            Arc::new(ObsHooks),
+        )?;
         Ok(MetricsServer {
-            addr: local,
-            stop,
-            handle: Some(handle),
+            reactor: Some(reactor),
         })
     }
 
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
-        self.addr
+        self.reactor
+            .as_ref()
+            .expect("reactor runs until stop()")
+            .local_addr()
     }
 
-    /// Signals the listener thread to exit and joins it.
+    /// Stops the reactor threads and joins them.
     pub fn stop(mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
+        if let Some(reactor) = self.reactor.take() {
+            reactor.stop();
         }
     }
 }
 
-fn serve_one(mut stream: TcpStream) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
-    // Drain headers; we only route on the request line.
-    loop {
-        let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 || line.trim().is_empty() {
-            break;
+/// Minimal incremental HTTP/1.1 request handler: buffer until the
+/// header terminator, route on the request line, answer, close.
+#[derive(Default)]
+struct HttpHandler {
+    responded: bool,
+}
+
+impl Handler for HttpHandler {
+    fn on_bytes(&mut self, input: &mut Vec<u8>, output: &mut Vec<u8>) -> Action {
+        if self.responded {
+            // Request already answered; ignore trailing bytes while
+            // the close-after-flush drains.
+            input.clear();
+            return Action::Close;
         }
+        // Wait for the end of the header block (torn frames keep
+        // accumulating; the reactor's buffer cap bounds abuse).
+        let Some(end) = find_header_end(input) else {
+            return Action::Continue;
+        };
+        let head = String::from_utf8_lossy(&input[..end]).into_owned();
+        input.drain(..);
+        let request_line = head.lines().next().unwrap_or_default();
+        let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+        let (status, content_type, body) = route(path);
+        output.extend_from_slice(
+            format!(
+                "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+                 Content-Length: {}\r\nConnection: close\r\n\r\n",
+                body.len()
+            )
+            .as_bytes(),
+        );
+        output.extend_from_slice(body.as_bytes());
+        self.responded = true;
+        Action::Close
     }
-    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
-    let (status, content_type, body) = match path {
+}
+
+/// Position just past the `\r\n\r\n` (or bare `\n\n`) header
+/// terminator, if present.
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| p + 4)
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|p| p + 2))
+}
+
+/// Maps a path to `(status, content-type, body)`.
+fn route(path: &str) -> (&'static str, &'static str, String) {
+    match path {
         "/metrics" => (
             "200 OK",
             "text/plain; version=0.0.4",
@@ -126,18 +154,14 @@ fn serve_one(mut stream: TcpStream) -> std::io::Result<()> {
             "text/plain",
             "not found: try /metrics or /trace\n".to_string(),
         ),
-    };
-    write!(
-        stream,
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    )
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::Read;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
 
     fn get(addr: SocketAddr, path: &str) -> String {
         let mut stream = TcpStream::connect(addr).expect("connect");
@@ -165,6 +189,36 @@ mod tests {
         let missing = get(addr, "/nope");
         assert!(missing.starts_with("HTTP/1.1 404"));
 
+        server.stop();
+    }
+
+    #[test]
+    fn stalled_scraper_no_longer_blocks_others() {
+        crate::set_enabled(true);
+        crate::global().counter("http_holb_total", &[]).inc();
+        let server = MetricsServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+        // A connection that never sends a request — under the old
+        // one-at-a-time accept loop this held the listener hostage for
+        // its whole read timeout.
+        let stalled = TcpStream::connect(addr).expect("connect stalled");
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.contains("http_holb_total"), "{metrics}");
+        drop(stalled);
+        server.stop();
+    }
+
+    #[test]
+    fn torn_request_headers_are_reassembled() {
+        crate::set_enabled(true);
+        let server = MetricsServer::bind("127.0.0.1:0").expect("bind");
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(b"GET /metrics HT").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        stream.write_all(b"TP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 200 OK"), "{out}");
         server.stop();
     }
 }

@@ -28,6 +28,12 @@
 //! * [`obs`] — metrics registry, span tracing, Prometheus/JSONL
 //!   exporters (see docs/OBSERVABILITY.md; off until
 //!   [`obs::set_enabled`] is called).
+//! * [`reactor`] — dependency-free non-blocking TCP event loop
+//!   (sharded sweep threads, idle-connection poll backoff) that hosts
+//!   the network servers.
+//! * [`net`] — the TLP/1 network service: batched telemetry ingest
+//!   into the historian behind a bounded drop-oldest queue, plus the
+//!   query/status/set-point API (wire protocol spec: docs/SERVICE.md).
 //!
 //! Start with `examples/quickstart.rs`, DESIGN.md (system inventory) and
 //! EXPERIMENTS.md (paper-vs-measured for every table and figure).
@@ -56,7 +62,9 @@ pub use tesla_gp as gp;
 pub use tesla_historian as historian;
 pub use tesla_linalg as linalg;
 pub use tesla_ml as ml;
+pub use tesla_net as net;
 pub use tesla_obs as obs;
+pub use tesla_reactor as reactor;
 pub use tesla_sim as sim;
 pub use tesla_telemetry as telemetry;
 pub use tesla_units as units;

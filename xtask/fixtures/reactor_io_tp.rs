@@ -1,0 +1,31 @@
+//! True-positive fixture for `no-blocking-io-in-reactor`: every
+//! blocking spelling below must be flagged when it appears, bare, in
+//! event-loop code.
+
+impl Handler for BadHandler {
+    fn on_bytes(&mut self, input: &mut Vec<u8>, output: &mut Vec<u8>) -> Action {
+        // An exact read loops until the peer supplies the bytes — on a
+        // non-blocking socket it spins, on a blocking one it parks the
+        // whole shard.
+        self.stream.read_exact(&mut self.header).ok();
+        let mut line = String::new();
+        self.reader.read_line(&mut line).ok();
+        // write_all retries until the kernel buffer drains: a slow
+        // consumer stalls every other connection on the shard.
+        self.stream.write_all(output).ok();
+        self.stream.flush().ok();
+        Action::Continue
+    }
+}
+
+fn sweep_helpers(shard: &mut Shard) {
+    // Parking the sweep thread freezes every parked connection.
+    thread::sleep(Duration::from_millis(5));
+    let batch = shard.queue_rx.recv();
+    let _ = shard.cond.wait(guard);
+    let _ = shard.writer_handle.join();
+    // Flipping a socket back to blocking undoes the whole design.
+    shard.stream.set_nonblocking(false).ok();
+    // Filesystem access has unbounded latency under fsync pressure.
+    let config = std::fs::read_to_string("reactor.toml");
+}

@@ -52,7 +52,13 @@ pub fn workspace_rule_config() -> RuleConfig {
         .map(|s| s.to_string())
         .collect(),
         alloc_roots: vec!["TeslaController::decide".to_string()],
-        blocking_roots: vec!["Supervisor::decide".to_string()],
+        blocking_roots: vec![
+            "Supervisor::decide".to_string(),
+            // One reactor sweep: everything a shard thread runs per
+            // connection per tick. Anything blocking reachable from here
+            // stalls every other connection on the shard.
+            "ReactorShard::poll_once".to_string(),
+        ],
         lock: LockOrderConfig {
             classes: vec![
                 LockClass {

@@ -33,8 +33,9 @@ pub const RULE_SETPOINT: &str = "bounded-setpoint-literal";
 pub const RULE_METRIC: &str = "metric-name-format";
 pub const RULE_WAL: &str = "no-unchecked-wal-read";
 pub const RULE_CHECKPOINT: &str = "no-unframed-checkpoint-read";
+pub const RULE_REACTOR: &str = "no-blocking-io-in-reactor";
 
-pub const ALL_RULES: [&str; 7] = [
+pub const ALL_RULES: [&str; 8] = [
     RULE_RAW_F64,
     RULE_UNWRAP,
     RULE_RUNG,
@@ -42,6 +43,7 @@ pub const ALL_RULES: [&str; 7] = [
     RULE_METRIC,
     RULE_WAL,
     RULE_CHECKPOINT,
+    RULE_REACTOR,
 ];
 
 /// Identifier words that mark an item as temperature/power-bearing for
@@ -411,7 +413,7 @@ fn has_numeric_celsius_literal(code: &str) -> bool {
 /// Unit suffixes accepted as the final word of gauge/histogram names.
 /// Mirrors the `tesla-units` quantities plus the dimensionless ones the
 /// exporters document (see docs/OBSERVABILITY.md "Naming convention").
-const UNIT_SUFFIXES: [&str; 8] = [
+const UNIT_SUFFIXES: [&str; 10] = [
     "seconds",
     "celsius",
     "kwh",
@@ -420,6 +422,8 @@ const UNIT_SUFFIXES: [&str; 8] = [
     "index",
     "ratio",
     "bytes",
+    "connections",
+    "samples",
 ];
 
 /// The tesla-obs constructor spellings that take a metric-name string
@@ -556,7 +560,7 @@ pub fn check_framed_reads(
         let code = strip_line_comment(raw);
         for p in FRAMED_READ_PATTERNS {
             if code.contains(p) {
-                let spelled: String = p.chars().filter(|c| !".(&".contains(*c)).collect();
+                let spelled: String = p.chars().filter(|c| !".()&".contains(*c)).collect();
                 findings.push(Finding {
                     rule: spec.rule,
                     file: file.to_string(),
@@ -583,6 +587,67 @@ pub fn check_wal_reads(file: &str, lines: &[&str], mask: &[bool]) -> Vec<Finding
 /// Rule `no-unframed-checkpoint-read` over [`CHECKPOINT_READ_SPEC`].
 pub fn check_checkpoint_reads(file: &str, lines: &[&str], mask: &[bool]) -> Vec<Finding> {
     check_framed_reads(file, lines, mask, &CHECKPOINT_READ_SPEC)
+}
+
+/// Call spellings that block the calling thread: buffered/exact reads
+/// and writes that loop until completion, fsync, synchronization
+/// primitives, filesystem access, and switching a socket back to
+/// blocking mode. `.join()` is matched with its empty argument list so
+/// slice/iterator `join(sep)` stays out of scope.
+const BLOCKING_CALL_PATTERNS: [&str; 16] = [
+    ".read_exact(",
+    ".read_to_end(",
+    ".read_to_string(",
+    ".read_line(",
+    ".write_all(",
+    ".flush(",
+    ".sync_all(",
+    ".sync_data(",
+    ".wait(",
+    ".wait_timeout(",
+    ".recv(",
+    ".recv_timeout(",
+    ".join()",
+    "thread::sleep(",
+    "set_nonblocking(false",
+    "std::fs::",
+];
+
+/// Rule `no-blocking-io-in-reactor`: the event-loop crates
+/// (`crates/reactor`, `crates/net`) must never block a reactor thread —
+/// one stalled syscall freezes every connection parked on that shard.
+/// Socket I/O must stay non-blocking (`.read(`/`.write(` with
+/// `WouldBlock` handling); anything that can park the thread — exact
+/// reads, flushes, fsync, condvars, joins, sleeps, filesystem calls —
+/// is flagged. Deliberate blocking off the reactor threads (ingest
+/// writer threads, shutdown joins, idle pacing between sweeps) carries
+/// an allowlist comment stating which thread it runs on.
+pub fn check_reactor_blocking(file: &str, lines: &[&str], mask: &[bool]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (i, raw) in lines.iter().enumerate() {
+        if mask[i] || is_comment_line(raw) {
+            continue;
+        }
+        let code = strip_line_comment(raw);
+        for p in BLOCKING_CALL_PATTERNS {
+            if code.contains(p) {
+                let spelled: String = p.chars().filter(|c| !".()&".contains(*c)).collect();
+                findings.push(Finding {
+                    rule: RULE_REACTOR,
+                    file: file.to_string(),
+                    line: i + 1,
+                    message: format!(
+                        "`{spelled}` can block a reactor thread; use non-blocking \
+                         I/O, or move the work to a dedicated thread and allowlist \
+                         it with the thread named"
+                    ),
+                    allowed: is_allowed(lines, i, RULE_REACTOR),
+                });
+                break; // one finding per line is enough
+            }
+        }
+    }
+    findings
 }
 
 /// Extracts the variant names of `pub enum Rung` from supervisor source.
@@ -644,6 +709,8 @@ mod tests {
     const WAL_TN: &str = include_str!("../fixtures/wal_read_tn.rs");
     const CHECKPOINT_TP: &str = include_str!("../fixtures/checkpoint_read_tp.rs");
     const CHECKPOINT_TN: &str = include_str!("../fixtures/checkpoint_read_tn.rs");
+    const REACTOR_TP: &str = include_str!("../fixtures/reactor_io_tp.rs");
+    const REACTOR_TN: &str = include_str!("../fixtures/reactor_io_tn.rs");
 
     fn rung_fixture(src: &str) -> Vec<Finding> {
         let variants = vec![
@@ -778,6 +845,39 @@ mod tests {
         let active: Vec<_> = findings.iter().filter(|f| !f.allowed).collect();
         assert!(active.is_empty(), "unexpected findings: {active:?}");
         // The checked-reader line is still reported, as allowed.
+        assert!(findings.iter().any(|f| f.allowed));
+    }
+
+    #[test]
+    fn reactor_blocking_true_positive() {
+        let findings = run(REACTOR_TP, check_reactor_blocking);
+        let active: Vec<_> = findings.iter().filter(|f| !f.allowed).collect();
+        assert_eq!(active.len(), 10, "expected 10 violations, got {active:?}");
+        for spelled in [
+            "read_exact",
+            "read_line",
+            "write_all",
+            "flush",
+            "thread::sleep",
+            "recv",
+            "wait",
+            "join",
+            "set_nonblocking",
+            "fs::",
+        ] {
+            assert!(
+                active.iter().any(|f| f.message.contains(spelled)),
+                "`{spelled}` must be flagged: {active:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reactor_blocking_true_negative() {
+        let findings = run(REACTOR_TN, check_reactor_blocking);
+        let active: Vec<_> = findings.iter().filter(|f| !f.allowed).collect();
+        assert!(active.is_empty(), "unexpected findings: {active:?}");
+        // The writer-thread condvar wait is still reported, as allowed.
         assert!(findings.iter().any(|f| f.allowed));
     }
 

@@ -12,7 +12,7 @@ use tesla_units::Celsius;
 fn main() {
     let mut fixed = FixedController::new(Celsius::new(23.0));
     run_trace_figure(
-        "Figure 10",
+        "Fig10",
         &mut fixed,
         "a persistent residual between the fixed 23 C set-point and the warmer inlet\n\
          keeps the compressor working hard (paper: ~2.5 kW through the high-load hours\n\

@@ -15,7 +15,7 @@ fn main() {
     let (train, _) = train_test_traces(train_days, 0.1, 99);
     let mut lazic = trained_lazic(&train);
     run_trace_figure(
-        "Figure 11",
+        "Fig11",
         &mut lazic,
         "set-point oscillates between high boundary-riding values and the S_min = 20 C\n\
          backup; the max cold-aisle temperature repeatedly overshoots the 22 C limit\n\

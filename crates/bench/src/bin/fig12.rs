@@ -12,7 +12,7 @@ fn main() {
     let (train, _) = train_test_traces(train_days, 0.1, 99);
     let mut tsrl = trained_tsrl(&train);
     run_trace_figure(
-        "Figure 12",
+        "Fig12",
         &mut tsrl,
         "the max cold-aisle temperature rides at the 22 C limit and overshoots it\n\
          repeatedly (paper: 23.2% TSV at medium load).",

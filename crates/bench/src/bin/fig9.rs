@@ -13,7 +13,7 @@ fn main() {
     let (train, _) = train_test_traces(train_days, 0.1, 99);
     let mut tesla = trained_tesla(&train, 1);
     run_trace_figure(
-        "Figure 9",
+        "Fig9",
         &mut tesla,
         "the set-point hugs the actual inlet temperature (small residual), ACU power\n\
          stays around ~2 kW instead of the fixed policy's ~2.5 kW, and there is barely\n\

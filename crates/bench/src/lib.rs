@@ -308,6 +308,22 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// Flattens a display name into a shell-safe CSV stem: ASCII
+/// alphanumerics are lowercased, everything else (spaces, dashes, °)
+/// becomes `_`. `"Fig10_fixed-23C"` → `"fig10_fixed_23c"`, so the
+/// artifacts under `bench_results/` never need quoting in the runbooks.
+pub fn csv_slug(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
 /// Writes aligned series as CSV under `bench_results/` for plotting.
 pub fn export_csv(name: &str, headers: &[&str], columns: &[&[f64]]) -> PathBuf {
     let dir = PathBuf::from("bench_results");
@@ -433,7 +449,7 @@ pub fn run_trace_figure(
         plot::ascii_chart_titled("ACU power (kW)", &result.acu_power, 100, 7)
     );
     let path = export_csv(
-        &format!("{}_{}", figure.to_lowercase(), result.controller),
+        &csv_slug(&format!("{}_{}", figure, result.controller)),
         &[
             "hour",
             "setpoint_c",
@@ -560,6 +576,16 @@ mod tests {
     #[test]
     fn arg_parsing_default() {
         assert_eq!(arg_f64("nonexistent-flag", 2.5), 2.5);
+    }
+
+    #[test]
+    fn csv_slug_is_shell_safe() {
+        assert_eq!(csv_slug("Fig10_fixed-23C"), "fig10_fixed_23c");
+        assert_eq!(csv_slug("Fig9_tesla"), "fig9_tesla");
+        assert_eq!(csv_slug("Figure 11"), "figure_11");
+        assert!(csv_slug("Fig12_tsrl")
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
     }
 
     #[test]

@@ -22,6 +22,14 @@ const PHASE_HISTOGRAMS: &[(&str, &str)] = &[
     ("restart_recovery_seconds", "restart recovery"),
     ("tesla_net_query_seconds", "TLP query round-trip"),
     ("tesla_net_request_seconds", "TLP request dispatch"),
+    ("tesla_fleet_zone_decide_seconds", "fleet zone decide"),
+    ("tesla_fleet_zone_advance_seconds", "fleet zone advance"),
+    (
+        "tesla_fleet_coordinator_seconds",
+        "fleet budget arbitration",
+    ),
+    ("tesla_fleet_minute_seconds", "fleet control minute"),
+    ("tesla_fleet_snapshot_seconds", "fleet snapshot write"),
 ];
 
 /// Runs `f` with the episode wall-clock histogram observing its duration.

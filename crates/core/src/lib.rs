@@ -59,6 +59,7 @@
 pub mod checkpoint;
 pub mod controller;
 pub mod dataset;
+pub mod engine;
 pub mod experiment;
 pub mod fixed;
 pub mod lazic;
@@ -74,6 +75,7 @@ pub mod tsrl;
 
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointStore, CHECKPOINT_VERSION};
 pub use controller::Controller;
+pub use engine::{MinuteOutcome, ZoneEpisode};
 pub use experiment::{run_episode, EpisodeConfig, EvalResult};
 pub use fixed::FixedController;
 pub use lazic::LazicController;
@@ -83,7 +85,7 @@ pub use resume::{
 };
 pub use runtime::run_episode_threaded;
 pub use smoothing::SmoothingBuffer;
-pub use status::{StatusBoard, StatusSnapshot};
+pub use status::{StatusBoard, StatusSnapshot, ZoneStatusRegistry};
 pub use supervisor::{
     run_supervised_episode, ResumeState, Rung, StressReason, Supervisor, SupervisorConfig,
     SupervisorEvent, SupervisorState,

@@ -14,9 +14,10 @@
 //! empty and readers get `None` (the network layer maps that to
 //! `ERR 404 status-unavailable`).
 
-use std::sync::Mutex;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, RwLock};
 
-use tesla_units::Celsius;
+use tesla_units::{Celsius, ZoneId};
 
 use crate::supervisor::{Rung, Supervisor};
 
@@ -139,6 +140,74 @@ impl StatusBoard {
     }
 }
 
+/// Zone-addressable status surface for fleet serving.
+///
+/// A fleet runs one [`StatusBoard`] per zone; the network service needs
+/// to resolve `STATUS z7` to zone 7's board without knowing anything
+/// about the fleet. The registry is that lookup: zone boards register
+/// under their [`ZoneId`], and one distinguished *site* board answers
+/// the zone-less `STATUS` exactly like the single-zone deployment did —
+/// a single-zone service is just a registry with nothing registered.
+#[derive(Debug, Default)]
+pub struct ZoneStatusRegistry {
+    site: Arc<StatusBoard>,
+    zones: RwLock<BTreeMap<ZoneId, Arc<StatusBoard>>>,
+}
+
+impl ZoneStatusRegistry {
+    /// An empty registry with a fresh site board.
+    pub fn new() -> Self {
+        ZoneStatusRegistry::default()
+    }
+
+    /// A registry fronting an existing board as the site board (the
+    /// single-zone compatibility path).
+    pub fn with_site(site: Arc<StatusBoard>) -> Self {
+        ZoneStatusRegistry {
+            site,
+            zones: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// The site-level board (the zone-less `STATUS`/`SETPOINT` target).
+    pub fn site(&self) -> Arc<StatusBoard> {
+        Arc::clone(&self.site)
+    }
+
+    /// Registers (or replaces) `zone`'s board.
+    pub fn register(&self, zone: ZoneId, board: Arc<StatusBoard>) {
+        let mut zones = match self.zones.write() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        zones.insert(zone, board);
+    }
+
+    /// Resolves a board: `None` addresses the site board, `Some(zone)`
+    /// that zone's board (absent when the zone never registered).
+    pub fn resolve(&self, zone: Option<ZoneId>) -> Option<Arc<StatusBoard>> {
+        match zone {
+            None => Some(self.site()),
+            Some(z) => {
+                let zones = match self.zones.read() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+                zones.get(&z).cloned()
+            }
+        }
+    }
+
+    /// The registered zones, ascending.
+    pub fn zones(&self) -> Vec<ZoneId> {
+        let zones = match self.zones.read() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        zones.keys().copied().collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +215,35 @@ mod tests {
     #[test]
     fn empty_board_reads_none() {
         assert_eq!(StatusBoard::new().snapshot(), None);
+    }
+
+    #[test]
+    fn registry_resolves_site_and_zones() {
+        let registry = ZoneStatusRegistry::new();
+        assert!(registry.resolve(None).is_some(), "site board always exists");
+        assert!(registry.resolve(Some(ZoneId::new(3))).is_none());
+
+        let z3 = Arc::new(StatusBoard::new());
+        registry.register(ZoneId::new(3), Arc::clone(&z3));
+        let snap = StatusSnapshot {
+            minute: 1,
+            rung: Rung::Normal,
+            setpoint: Celsius::new(24.0),
+            cold_aisle_max: Celsius::new(20.0),
+            safe_mode_minutes: 0,
+            hold_minutes: 0,
+            watchdog_trips: 0,
+            write_failures: 0,
+            decision_timeouts: 0,
+            events_dropped: 0,
+        };
+        z3.publish(snap);
+        let resolved = registry.resolve(Some(ZoneId::new(3))).unwrap();
+        assert_eq!(resolved.snapshot(), Some(snap));
+        assert_eq!(registry.zones(), vec![ZoneId::new(3)]);
+
+        // The site board is independent of every zone board.
+        assert_eq!(registry.resolve(None).unwrap().snapshot(), None);
     }
 
     #[test]

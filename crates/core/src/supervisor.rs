@@ -40,17 +40,13 @@
 //! the log is queryable after the episode.
 
 use crate::controller::Controller;
-use crate::dataset::push_observation;
+use crate::engine::ZoneEpisode;
 use crate::experiment::{EpisodeConfig, EvalResult};
 use crate::CoreError;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::time::{Duration, Instant};
 use tesla_forecast::Trace;
-use tesla_sim::{SimError, Testbed};
-use tesla_telemetry::{HealthConfig, HealthMonitor};
+use tesla_sim::{CoolingPlant, SimError, Testbed};
 use tesla_units::{Celsius, DegC, NOMINAL_SETPOINT, SETPOINT_RANGE};
-use tesla_workload::{DiurnalProfile, Orchestrator};
 
 /// The degradation ladder's rungs, mildest first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -590,20 +586,21 @@ impl Supervisor {
         }
     }
 
-    /// Writes `sp` to the testbed, retrying transient Modbus failures
-    /// (timeouts, device rejections) with the shared jittered-exponential
-    /// backoff policy. Validation errors (out-of-spec set-points) are not
+    /// Writes `sp` to the plant (a [`Testbed`] or any other
+    /// [`CoolingPlant`]), retrying transient Modbus failures (timeouts,
+    /// device rejections) with the shared jittered-exponential backoff
+    /// policy. Validation errors (out-of-spec set-points) are not
     /// retried — retrying cannot fix them. Returns the quantized
     /// set-point latched, or the error from the final attempt.
     pub fn write_with_retry(
         &mut self,
-        testbed: &mut Testbed,
+        plant: &mut dyn CoolingPlant,
         sp: Celsius,
     ) -> Result<Celsius, SimError> {
         let policy = self.write_backoff();
         let retries = &mut self.write_retries;
         let result = policy.run(
-            |_| testbed.try_write_setpoint(sp),
+            |_| plant.try_write_setpoint(sp),
             |e| matches!(e, SimError::WriteTimeout | SimError::RegisterRejected(_)),
             |_| {
                 *retries += 1;
@@ -855,90 +852,13 @@ pub(crate) fn run_supervised_episode_with(
 ) -> Result<EvalResult, CoreError> {
     let mut testbed = Testbed::new(config.sim.clone(), config.seed)?;
     testbed.set_fault_plan(config.faults.clone());
-    let mut orch = Orchestrator::with_placement(config.sim.n_servers, config.placement);
-    let mut profile = DiurnalProfile::new(config.setting, config.minutes as f64 * 60.0);
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xEE);
-    let mut trace = Trace::with_sensors(config.sim.n_acu_sensors, config.sim.n_dc_sensors);
-
-    // Separate monitors per signal family so imputation draws on
-    // same-class peers: a quarantined cold-aisle sensor imputed from a
-    // median that includes hot-aisle sensors would read several °C high
-    // and fake a thermal violation. Cold-aisle sensors physically cluster,
-    // so they also get the peer-deviation check, which catches in-band
-    // lies (slow drift, stuck at a plausible value) the range check is
-    // blind to. Hot-aisle/exhaust and ACU-inlet sensors run warmer and
-    // spread wider, so they keep wider bands and no peer check.
-    let n_cold = config.sim.n_cold_aisle_sensors;
-    let mut cold_health = HealthMonitor::new(
-        n_cold,
-        HealthConfig {
-            peer_deviation: 4.0,
-            ..HealthConfig::default()
-        },
-    );
-    let mut rest_health = HealthMonitor::new(
-        config.sim.n_dc_sensors - n_cold,
-        HealthConfig {
-            max_value: 60.0,
-            ..HealthConfig::default()
-        },
-    );
-    let mut inlet_health = HealthMonitor::new(
-        config.sim.n_acu_sensors,
-        HealthConfig {
-            max_value: 50.0,
-            ..HealthConfig::default()
-        },
-    );
-
     controller.reset();
     supervisor.reset();
     if let Some(reason) = hooks.start_elevated {
         supervisor.start_elevated(reason);
     }
-    testbed.write_setpoint(NOMINAL_SETPOINT);
-
-    // Bounded-memory trace retention, mirroring the historian's raw
-    // horizon at the runner's 1-minute cadence. Drops are chunked (only
-    // once the trace overshoots the horizon by 25%) so the O(len) front
-    // drain amortizes instead of running every minute.
-    let trace_keep = config
-        .retention
-        .map(|p| ((p.raw_horizon_s / 60.0).ceil() as usize).max(1));
-    let mut dropped_total = 0usize;
-    let prune = |trace: &mut Trace, dropped_total: &mut usize| {
-        if let Some(keep) = trace_keep {
-            if trace.len() > keep + keep / 4 {
-                let drop = trace.len() - keep;
-                trace.drop_front(drop);
-                *dropped_total += drop;
-            }
-        }
-    };
-
-    for _ in 0..config.warmup_minutes {
-        let target = profile.sample(0.0, &mut rng);
-        let utils = orch.tick(config.sim.sample_period_s, target, &mut rng);
-        let mut obs = testbed.step_sample(&utils)?;
-        let (cold, rest) = obs.dc_temps.split_at_mut(n_cold);
-        cold_health.sanitize(cold);
-        rest_health.sanitize(rest);
-        inlet_health.sanitize(&mut obs.acu_inlet_temps);
-        push_observation(&mut trace, &obs);
-        prune(&mut trace, &mut dropped_total);
-    }
-    let metered_from = trace.len();
-    let dropped_at_metering = dropped_total;
-
-    let mut cooling_energy_kwh = 0.0;
-    let mut violations = 0usize;
-    let mut interrupted = 0.0;
-    let mut setpoints = Vec::with_capacity(config.minutes);
-    let mut inlet_avg = Vec::with_capacity(config.minutes);
-    let mut cold_aisle_max = Vec::with_capacity(config.minutes);
-    let mut acu_power = Vec::with_capacity(config.minutes);
-    let mut avg_server_power = Vec::with_capacity(config.minutes);
-    let mut server_energy_kwh = 0.0;
+    let mut episode = ZoneEpisode::new(testbed, config);
+    episode.warmup()?;
 
     for m in 0..config.minutes {
         if hooks.abort_after == Some(m) {
@@ -969,70 +889,16 @@ pub(crate) fn run_supervised_episode_with(
             // controller only re-runs its deterministic replay hook (e.g.
             // online retrains); its full decision state is installed at
             // the cursor.
-            controller.replay_minute(m, &trace);
-            Celsius::new(hooks.prefix[m])
+            episode.replay_decision(m, controller, hooks.prefix[m])
         } else {
-            supervisor.decide(controller, &trace)
+            episode.decide(supervisor, controller)
         };
-        // A failed write leaves the previous set-point in force; the
-        // ladder sees the failure through the stress signal.
-        let _ = supervisor.write_with_retry(&mut testbed, sp);
-
-        let target = profile.sample(m as f64 * 60.0, &mut rng);
-        let utils = orch.tick(config.sim.sample_period_s, target, &mut rng);
-        let mut obs = testbed.step_sample(&utils)?;
-
-        // Sanitize what the controller (and the trace) will see, then
-        // recompute the sensor-reported cold-aisle max from the sanitized
-        // readings so Eq. 9's signal is finite.
-        let (cold, rest) = obs.dc_temps.split_at_mut(n_cold);
-        let cold_report = cold_health.sanitize(cold);
-        rest_health.sanitize(rest);
-        inlet_health.sanitize(&mut obs.acu_inlet_temps);
-        obs.cold_aisle_max = obs.dc_temps[..n_cold]
-            .iter()
-            .copied()
-            .fold(f64::NEG_INFINITY, f64::max);
-
-        cooling_energy_kwh += obs.acu_energy_kwh;
-        // Score safety on ground truth: a stuck-at-45 °C sensor must not
-        // masquerade as a violation, and a stuck-at-15 °C one must not
-        // hide a real one.
-        if obs.cold_aisle_max_true > config.d_allowed.value() {
-            violations += 1;
-        }
-        interrupted += obs.interrupted_frac;
-        setpoints.push(testbed.setpoint().value());
-        inlet_avg.push(
-            obs.acu_inlet_temps.iter().sum::<f64>() / obs.acu_inlet_temps.len().max(1) as f64,
-        );
-        cold_aisle_max.push(obs.cold_aisle_max_true);
-        acu_power.push(obs.acu_power_kw);
-        avg_server_power.push(obs.avg_server_power_kw);
-        server_energy_kwh +=
-            obs.server_powers_kw.iter().sum::<f64>() * config.sim.sample_period_s / 3600.0;
-        push_observation(&mut trace, &obs);
-        prune(&mut trace, &mut dropped_total);
-
-        // The cold monitor only sees indices 0..n_cold, so its report
-        // needs no index filtering.
-        let quarantined_cold = cold_report
-            .imputed
-            .iter()
-            .chain(cold_report.newly_quarantined.iter())
-            .collect::<std::collections::BTreeSet<_>>()
-            .len();
+        episode.advance(m, sp, supervisor, replaying)?;
         if !replaying {
-            supervisor.end_of_minute(
-                m,
-                quarantined_cold as f64 / n_cold.max(1) as f64,
-                Celsius::new(obs.cold_aisle_max),
-                testbed.setpoint(),
-            );
             if let Some(observer) = hooks.observer.as_mut() {
                 observer(EngineMinute {
                     minute: m,
-                    setpoints: &setpoints,
+                    setpoints: episode.setpoints(),
                     supervisor,
                     controller: &*controller,
                     rung_changed: supervisor.rung() != rung_before,
@@ -1041,25 +907,7 @@ pub(crate) fn run_supervised_episode_with(
         }
     }
 
-    Ok(EvalResult {
-        controller: controller.name().to_string(),
-        setting: config.setting,
-        cooling_energy_kwh,
-        tsv_percent: 100.0 * violations as f64 / config.minutes.max(1) as f64,
-        ci_percent: 100.0 * interrupted / config.minutes.max(1) as f64,
-        setpoints,
-        inlet_avg,
-        cold_aisle_max,
-        acu_power,
-        avg_server_power,
-        server_energy_kwh,
-        trace,
-        // Retention may have dropped samples from before (and after) the
-        // metering mark; shift the index by the post-mark drops so it
-        // still points at the first metered sample that remains.
-        metered_from: metered_from.saturating_sub(dropped_total - dropped_at_metering),
-        safe_mode_minutes: supervisor.safe_mode_minutes(),
-    })
+    Ok(episode.finish(controller.name(), supervisor))
 }
 
 #[cfg(test)]

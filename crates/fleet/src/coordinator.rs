@@ -1,0 +1,371 @@
+//! The site power-budget coordinator.
+//!
+//! Each control minute, every zone's supervised controller proposes a
+//! set-point for its own pod; the coordinator then arbitrates the
+//! *site-level* electrical budget. When last minute's site draw (IT +
+//! cooling) exceeds the budget, it relaxes set-points — raises them,
+//! which cuts compressor duty — proportionally to the overshoot. The
+//! safety envelope always wins over the budget:
+//!
+//! * only zones on the [`Rung::Normal`] ladder rung are relaxed — a zone
+//!   holding its last safe set-point or pinned at `S_min` is already in
+//!   a thermal incident and is never pushed warmer for power reasons;
+//! * only zones whose observed cold-aisle max sits below
+//!   `d_allowed − safety_margin` are eligible — relaxation must not
+//!   convert a power overshoot into a thermal one. A zone's total
+//!   relaxation is further capped at its *observed headroom* below
+//!   that ceiling, clamped down immediately as the zone heats up (even
+//!   while the site is still over budget), so relaxation granted
+//!   during a cool stretch can never stay pinned into a violation;
+//! * the per-zone relaxation is rate-limited per minute and capped in
+//!   total, and every arbitrated set-point is clamped to the ACU spec
+//!   range before it reaches the register write.
+//!
+//! When the site is back under budget the relaxation decays toward zero,
+//! returning authority to the per-zone optimizers.
+
+use tesla_core::Rung;
+use tesla_units::{Celsius, DegC, Kilowatts, ZoneId, SETPOINT_RANGE};
+
+/// Arbitration-policy knobs.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Largest per-minute *increase* of a zone's relaxation (°C/min).
+    pub relax_step: DegC,
+    /// Cap on a zone's total relaxation above its proposed set-point
+    /// (further bounded, per minute, by the zone's observed cold-aisle
+    /// headroom below `d_allowed − safety_margin`).
+    pub max_relax: DegC,
+    /// Head-room below `d_allowed` a zone must have to be eligible.
+    pub safety_margin: DegC,
+    /// Per-minute decay of the relaxation while under budget (°C/min).
+    pub decay_step: DegC,
+    /// Overshoot (as a fraction of the budget) at which the full
+    /// `relax_step` is applied; smaller overshoots scale linearly.
+    // lint:allow(no-raw-f64-in-public-api): dimensionless fraction
+    pub full_step_overshoot_frac: f64,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            relax_step: DegC::new(0.5),
+            max_relax: DegC::new(3.0),
+            safety_margin: DegC::new(1.0),
+            decay_step: DegC::new(0.25),
+            full_step_overshoot_frac: 0.1,
+        }
+    }
+}
+
+/// One zone's input to the arbitration round.
+#[derive(Debug, Clone, Copy)]
+pub struct ZoneDecision {
+    /// The zone the decision belongs to.
+    pub zone: ZoneId,
+    /// The set-point the zone's supervised controller proposed.
+    pub proposed: Celsius,
+    /// The zone's degradation-ladder rung at decision time.
+    pub rung: Rung,
+    /// Last minute's observed (sanitized) cold-aisle max;
+    /// `-inf` before the first metered minute.
+    pub cold_aisle_max: Celsius,
+}
+
+/// The site coordinator: owns the budget and the per-zone relaxation
+/// state, and arbitrates once per control minute.
+#[derive(Debug, Clone)]
+pub struct FleetCoordinator {
+    config: CoordinatorConfig,
+    budget_kw: Kilowatts,
+    d_allowed: Celsius,
+    relax: Vec<f64>,
+    budget_exceeded_minutes: u64,
+    relaxations: u64,
+}
+
+impl FleetCoordinator {
+    /// Builds a coordinator for `n_zones` pods under `budget_kw`, with
+    /// eligibility judged against the episode's `d_allowed` limit.
+    pub fn new(
+        config: CoordinatorConfig,
+        n_zones: usize,
+        budget_kw: Kilowatts,
+        d_allowed: Celsius,
+    ) -> Self {
+        FleetCoordinator {
+            config,
+            budget_kw,
+            d_allowed,
+            relax: vec![0.0; n_zones],
+            budget_exceeded_minutes: 0,
+            relaxations: 0,
+        }
+    }
+
+    /// The configured site power budget.
+    pub fn budget_kw(&self) -> Kilowatts {
+        self.budget_kw
+    }
+
+    /// Minutes the site spent over budget so far.
+    pub fn budget_exceeded_minutes(&self) -> u64 {
+        self.budget_exceeded_minutes
+    }
+
+    /// Total zone-minutes of relaxation applied so far.
+    pub fn relaxations(&self) -> u64 {
+        self.relaxations
+    }
+
+    /// Current relaxation of `zone` above its proposed set-point.
+    pub fn relax_of(&self, zone: ZoneId) -> DegC {
+        DegC::new(self.relax.get(zone.index()).copied().unwrap_or(0.0))
+    }
+
+    /// One arbitration round: updates the relaxation state from last
+    /// minute's site draw, then returns the set-point each zone must
+    /// execute this minute (same order as `decisions`).
+    pub fn arbitrate(
+        &mut self,
+        last_site_power: Kilowatts,
+        decisions: &[ZoneDecision],
+    ) -> Vec<Celsius> {
+        let over_kw = last_site_power.value() - self.budget_kw.value();
+        if over_kw > 0.0 {
+            self.budget_exceeded_minutes += 1;
+            tesla_obs::counter!("tesla_fleet_budget_exceeded_total").inc();
+            // Proportional response: full step at (and beyond) the
+            // configured overshoot fraction, linearly less below it.
+            let frac = (over_kw
+                / self.budget_kw.value().max(1e-9)
+                / self.config.full_step_overshoot_frac.max(1e-9))
+            .min(1.0);
+            let step = self.config.relax_step.value() * frac;
+            let ceiling = self.d_allowed.value() - self.config.safety_margin.value();
+            for d in decisions {
+                let r = &mut self.relax[d.zone.index()];
+                // A zone's relaxation may never exceed the thermal
+                // headroom it has demonstrably shown: cold-aisle
+                // response to a raised set-point lags by minutes, so a
+                // relaxation granted during a cool stretch must shrink
+                // in lock-step as the workload heats the zone — not
+                // stay pinned until the zone violates. The cap clamps
+                // *down* immediately (the thermal envelope is never
+                // traded for the electrical one); growth stays
+                // rate-limited by `step`.
+                let headroom = (ceiling - d.cold_aisle_max.value()).max(0.0);
+                let cap = headroom.min(self.config.max_relax.value());
+                let eligible = d.rung == Rung::Normal && d.cold_aisle_max.value() < ceiling;
+                let was = *r;
+                *r = if eligible {
+                    (*r + step).min(cap)
+                } else {
+                    r.min(cap)
+                };
+                if *r > was {
+                    self.relaxations += 1;
+                    tesla_obs::counter!("tesla_fleet_relaxations_total").inc();
+                }
+            }
+        } else {
+            for r in &mut self.relax {
+                *r = (*r - self.config.decay_step.value()).max(0.0);
+            }
+        }
+        tesla_obs::gauge!("tesla_fleet_relaxed_celsius").set(self.relax.iter().sum::<f64>());
+
+        decisions
+            .iter()
+            .map(|d| {
+                // Non-normal rungs pass through untouched: the ladder's
+                // set-point (hold-last-safe or S_min) is a safety action
+                // the budget may not override.
+                if d.rung == Rung::Normal {
+                    SETPOINT_RANGE.clamp(Celsius::new(
+                        d.proposed.value() + self.relax[d.zone.index()],
+                    ))
+                } else {
+                    d.proposed
+                }
+            })
+            .collect()
+    }
+
+    /// Serializes the coordinator's mutable state (relaxations and
+    /// counters) for fleet checkpoints.
+    pub fn encode_state(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 * (3 + self.relax.len()));
+        out.extend_from_slice(&(self.relax.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.budget_exceeded_minutes.to_le_bytes());
+        out.extend_from_slice(&self.relaxations.to_le_bytes());
+        for r in &self.relax {
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        out
+    }
+
+    /// Restores state written by [`FleetCoordinator::encode_state`].
+    /// Fails (returns `false`, state untouched) on a short buffer or a
+    /// zone-count mismatch.
+    pub fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        let word = |i: usize| -> Option<[u8; 8]> {
+            bytes.get(i * 8..(i + 1) * 8).map(|s| {
+                let mut w = [0u8; 8];
+                w.copy_from_slice(s);
+                w
+            })
+        };
+        let Some(n) = word(0).map(u64::from_le_bytes) else {
+            return false;
+        };
+        if n as usize != self.relax.len() || bytes.len() != 8 * (3 + n as usize) {
+            return false;
+        }
+        let (Some(exceeded), Some(relaxations)) = (
+            word(1).map(u64::from_le_bytes),
+            word(2).map(u64::from_le_bytes),
+        ) else {
+            return false;
+        };
+        let mut relax = Vec::with_capacity(n as usize);
+        for i in 0..n as usize {
+            match word(3 + i).map(f64::from_le_bytes) {
+                Some(r) if r.is_finite() && r >= 0.0 => relax.push(r),
+                _ => return false,
+            }
+        }
+        self.budget_exceeded_minutes = exceeded;
+        self.relaxations = relaxations;
+        self.relax = relax;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decisions(rungs: &[Rung], cold: f64) -> Vec<ZoneDecision> {
+        rungs
+            .iter()
+            .enumerate()
+            .map(|(i, &rung)| ZoneDecision {
+                zone: ZoneId::new(i),
+                proposed: Celsius::new(24.0),
+                rung,
+                cold_aisle_max: Celsius::new(cold),
+            })
+            .collect()
+    }
+
+    fn coordinator(n: usize) -> FleetCoordinator {
+        FleetCoordinator::new(
+            CoordinatorConfig::default(),
+            n,
+            Kilowatts::new(100.0),
+            Celsius::new(22.0),
+        )
+    }
+
+    #[test]
+    fn under_budget_passes_proposals_through() {
+        let mut c = coordinator(2);
+        let out = c.arbitrate(Kilowatts::new(90.0), &decisions(&[Rung::Normal; 2], 19.0));
+        assert_eq!(out, vec![Celsius::new(24.0); 2]);
+        assert_eq!(c.budget_exceeded_minutes(), 0);
+    }
+
+    #[test]
+    fn overshoot_relaxes_only_safe_normal_zones() {
+        let mut c = coordinator(3);
+        let d = decisions(&[Rung::Normal, Rung::HoldLastSafe, Rung::Normal], 19.0);
+        let mut d = d;
+        // Zone 2 is thermally marginal: inside the safety margin.
+        d[2].cold_aisle_max = Celsius::new(21.5);
+        let out = c.arbitrate(Kilowatts::new(120.0), &d);
+        // 20% overshoot >= 10% full-step threshold -> the full 0.5 step.
+        assert_eq!(out[0], Celsius::new(24.5));
+        // Held zone and marginal zone are untouched.
+        assert_eq!(out[1], Celsius::new(24.0));
+        assert_eq!(out[2], Celsius::new(24.0));
+        assert_eq!(c.budget_exceeded_minutes(), 1);
+        assert_eq!(c.relaxations(), 1);
+    }
+
+    #[test]
+    fn relaxation_is_rate_limited_capped_and_decays() {
+        let mut c = coordinator(1);
+        // Cold enough (headroom 6.0) that max_relax is the binding cap.
+        let d = decisions(&[Rung::Normal], 15.0);
+        for _ in 0..20 {
+            c.arbitrate(Kilowatts::new(150.0), &d);
+        }
+        // Capped at max_relax = 3.0 despite 20 over-budget minutes.
+        assert!((c.relax_of(ZoneId::new(0)).value() - 3.0).abs() < 1e-12);
+        let out = c.arbitrate(Kilowatts::new(150.0), &d);
+        assert_eq!(out[0], Celsius::new(27.0));
+        // Two under-budget minutes decay 2 * 0.25.
+        c.arbitrate(Kilowatts::new(50.0), &d);
+        c.arbitrate(Kilowatts::new(50.0), &d);
+        assert!((c.relax_of(ZoneId::new(0)).value() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn headroom_caps_and_rescinds_relaxation_while_over_budget() {
+        let mut c = coordinator(1);
+        // Headroom 1.2 below the 21.0 ceiling binds before max_relax.
+        let mut d = decisions(&[Rung::Normal], 19.8);
+        for _ in 0..10 {
+            c.arbitrate(Kilowatts::new(150.0), &d);
+        }
+        assert!((c.relax_of(ZoneId::new(0)).value() - 1.2).abs() < 1e-12);
+        // The zone heats up while the site is still over budget: the
+        // relaxation clamps down to the remaining headroom at once.
+        d[0].cold_aisle_max = Celsius::new(20.6);
+        c.arbitrate(Kilowatts::new(150.0), &d);
+        assert!((c.relax_of(ZoneId::new(0)).value() - 0.4).abs() < 1e-12);
+        // Past the ceiling (margin band / violation): shed entirely.
+        d[0].cold_aisle_max = Celsius::new(21.5);
+        let out = c.arbitrate(Kilowatts::new(150.0), &d);
+        assert_eq!(c.relax_of(ZoneId::new(0)).value(), 0.0);
+        assert_eq!(out[0], Celsius::new(24.0));
+    }
+
+    #[test]
+    fn small_overshoot_scales_the_step_linearly() {
+        let mut c = coordinator(1);
+        let d = decisions(&[Rung::Normal], 19.0);
+        // 5% overshoot -> half of the 0.5 step.
+        c.arbitrate(Kilowatts::new(105.0), &d);
+        assert!((c.relax_of(ZoneId::new(0)).value() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arbitrated_setpoints_stay_inside_the_spec_range() {
+        let mut c = coordinator(1);
+        let mut d = decisions(&[Rung::Normal], 19.0);
+        d[0].proposed = Celsius::new(34.5);
+        for _ in 0..10 {
+            let out = c.arbitrate(Kilowatts::new(200.0), &d);
+            assert!(SETPOINT_RANGE.contains(out[0]));
+        }
+    }
+
+    #[test]
+    fn state_round_trips_and_rejects_garbage() {
+        let mut c = coordinator(3);
+        let d = decisions(&[Rung::Normal; 3], 19.0);
+        c.arbitrate(Kilowatts::new(150.0), &d);
+        c.arbitrate(Kilowatts::new(150.0), &d);
+        let bytes = c.encode_state();
+        let mut fresh = coordinator(3);
+        assert!(fresh.restore_state(&bytes));
+        assert_eq!(fresh.budget_exceeded_minutes(), 2);
+        assert_eq!(fresh.relax_of(ZoneId::new(1)), c.relax_of(ZoneId::new(1)));
+        let mut wrong_size = coordinator(2);
+        assert!(!wrong_size.restore_state(&bytes));
+        assert!(!fresh.restore_state(&bytes[..bytes.len() - 1]));
+        assert!(!fresh.restore_state(&[]));
+    }
+}

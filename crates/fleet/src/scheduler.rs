@@ -1,0 +1,132 @@
+//! A fixed-size work-stealing scheduler for per-zone stepping.
+//!
+//! The fleet runner fans each phase of the control minute (decide,
+//! advance) across a fixed worker pool. The work items are zone indices;
+//! zone state lives in `Mutex`-wrapped actors owned by the caller, so the
+//! scheduler only moves *indices*. Zones are dealt round-robin into one
+//! sharded run queue per worker; a worker drains its own shard from the
+//! front and, when empty, steals from the other shards' backs. No new
+//! work is produced mid-phase, so "every shard empty" is the termination
+//! condition — no condition variables, no unsafe, no external crates.
+//!
+//! Determinism: every zone's task is independent (its own plant, RNG,
+//! controller) and its result is written to its own slot, so the schedule
+//! — which worker runs which zone, in what order — cannot change any
+//! result. One worker and sixteen workers produce bit-identical per-zone
+//! outputs; the scheduler only trades wall-clock for cores.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Runs `task` once per item index in `0..n` across `workers` threads,
+/// returning the results in index order. `workers <= 1` runs serially on
+/// the caller's thread (the determinism baseline).
+///
+/// Panics in `task` propagate: the scoped-thread join unwinds the caller.
+pub fn run_sharded<R, F>(workers: usize, n: usize, task: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(task).collect();
+    }
+    let workers = workers.min(n);
+    let shards: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| {
+            // Round-robin deal: shard w owns zones w, w+workers, ...
+            Mutex::new((w..n).step_by(workers).collect())
+        })
+        .collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let shards = &shards;
+            let slots = &slots;
+            let task = &task;
+            scope.spawn(move || {
+                let mut steals = 0u64;
+                loop {
+                    // Own shard first (front: cache-friendly dealt order),
+                    // then sweep the others stealing from the back.
+                    let mut next = shards[w].lock().expect("shard lock").pop_front();
+                    if next.is_none() {
+                        for v in 1..workers {
+                            let victim = (w + v) % workers;
+                            if let Some(stolen) =
+                                shards[victim].lock().expect("shard lock").pop_back()
+                            {
+                                steals += 1;
+                                next = Some(stolen);
+                                break;
+                            }
+                        }
+                    }
+                    let Some(idx) = next else { break };
+                    *slots[idx].lock().expect("slot lock") = Some(task(idx));
+                }
+                if steals > 0 {
+                    tesla_obs::counter!("tesla_fleet_steals_total").add(steals);
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("every zone index is dealt to exactly one shard")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for workers in [0, 1, 2, 7, 64] {
+            let out = run_sharded(workers, 100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let count = AtomicUsize::new(0);
+        let out = run_sharded(4, 37, |i| {
+            count.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 37);
+        assert_eq!(out.len(), 37);
+    }
+
+    #[test]
+    fn uneven_loads_are_stolen_not_serialized() {
+        // One slow zone must not pin the other 15 behind it on the same
+        // shard: with stealing, total wall time stays near the slow task.
+        let start = std::time::Instant::now();
+        run_sharded(4, 16, |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(80));
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        });
+        // Serial would be 80 + 15*5 = 155 ms; stolen-balanced stays
+        // close to the 80 ms straggler. Generous bound for slow CI.
+        assert!(start.elapsed() < std::time::Duration::from_millis(150));
+    }
+
+    #[test]
+    fn empty_and_single_item_sets_work() {
+        assert_eq!(run_sharded(8, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(run_sharded(8, 1, |i| i + 1), vec![1]);
+    }
+}

@@ -15,6 +15,8 @@
 //! which the stream can no longer be trusted and must close — the
 //! distinction every framing decision in `docs/SERVICE.md` hangs off.
 
+use tesla_units::ZoneId;
+
 /// Protocol version this build speaks (the `HELLO tlp/<n>` token).
 pub const PROTOCOL_VERSION: u32 = 1;
 
@@ -65,10 +67,12 @@ pub enum Event {
     Push(Batch),
     /// A `QUERY …` read.
     Query(Query),
-    /// `STATUS` — supervisor snapshot as JSON.
-    Status,
-    /// `SETPOINT` — executed set-point readback.
-    Setpoint,
+    /// `STATUS [zone]` — supervisor snapshot as JSON; `None` is the
+    /// site-level board, `Some(z)` a fleet zone's board.
+    Status(Option<ZoneId>),
+    /// `SETPOINT [zone]` — executed set-point readback, zone-scoped
+    /// like [`Event::Status`].
+    Setpoint(Option<ZoneId>),
     /// `METRICS` — Prometheus exposition of the server's own metrics.
     Metrics,
 }
@@ -421,11 +425,11 @@ impl Parser {
                 Ok(())
             }
             "STATUS" => {
-                events.push(Event::Status);
+                events.push(Event::Status(parse_zone_arg(&mut it)?));
                 Ok(())
             }
             "SETPOINT" => {
-                events.push(Event::Setpoint);
+                events.push(Event::Setpoint(parse_zone_arg(&mut it)?));
                 Ok(())
             }
             "METRICS" => {
@@ -434,6 +438,22 @@ impl Parser {
             }
             _ => Err(ProtocolError::UnknownCommand),
         }
+    }
+}
+
+/// Parses the optional zone argument of `STATUS`/`SETPOINT`: absent
+/// means the site board; present it must be a `z<index>` zone id and
+/// the last token on the line.
+fn parse_zone_arg(
+    it: &mut std::str::SplitAsciiWhitespace<'_>,
+) -> Result<Option<ZoneId>, ProtocolError> {
+    match (it.next(), it.next()) {
+        (None, _) => Ok(None),
+        (Some(tok), None) => tok
+            .parse::<ZoneId>()
+            .map(Some)
+            .map_err(|_| ProtocolError::BadArgument),
+        (Some(_), Some(_)) => Err(ProtocolError::BadArgument),
     }
 }
 
@@ -512,9 +532,35 @@ mod tests {
                 Event::Hello,
                 Event::Ping,
                 Event::Query(Query::Last("rack.inlet".into())),
-                Event::Status,
+                Event::Status(None),
             ]
         );
+    }
+
+    #[test]
+    fn zone_scoped_status_and_setpoint() {
+        let mut p = Parser::default();
+        let events = feed_str(&mut p, "STATUS z7\nSETPOINT z0\nSTATUS\n").unwrap();
+        assert_eq!(
+            events,
+            vec![
+                Event::Status(Some(ZoneId::new(7))),
+                Event::Setpoint(Some(ZoneId::new(0))),
+                Event::Status(None),
+            ]
+        );
+        for bad in [
+            "STATUS 7\n",
+            "STATUS zx\n",
+            "STATUS z1 z2\n",
+            "SETPOINT -1\n",
+        ] {
+            assert_eq!(
+                feed_str(&mut Parser::default(), bad).unwrap_err(),
+                ProtocolError::BadArgument,
+                "wire {bad:?}"
+            );
+        }
     }
 
     #[test]

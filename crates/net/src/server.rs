@@ -23,7 +23,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use tesla_core::status::StatusBoard;
+use tesla_core::status::{StatusBoard, ZoneStatusRegistry};
 use tesla_historian::MetricStore;
 use tesla_obs::{counter, gauge, histogram};
 use tesla_reactor::{Action, Handler, Hooks, Reactor, ReactorConfig};
@@ -107,7 +107,7 @@ struct TlpHandler {
     parser: Parser,
     queue: Arc<IngestQueue>,
     store: Arc<dyn MetricStore>,
-    status: Arc<StatusBoard>,
+    registry: Arc<ZoneStatusRegistry>,
     max_query_samples: usize,
     events: Vec<Event>,
 }
@@ -149,15 +149,21 @@ impl TlpHandler {
                     }
                 }
             },
-            Event::Status => match self.status.snapshot() {
-                Some(snap) => encode_single_line(output, &snap.to_json()),
-                None => encode_err_parts(output, 404, "status-unavailable"),
+            Event::Status(zone) => match self.registry.resolve(zone) {
+                None => encode_err_parts(output, 404, "unknown-zone"),
+                Some(board) => match board.snapshot() {
+                    Some(snap) => encode_single_line(output, &snap.to_json()),
+                    None => encode_err_parts(output, 404, "status-unavailable"),
+                },
             },
-            Event::Setpoint => match self.status.snapshot() {
-                Some(snap) => {
-                    encode_single_line(output, &format!("{}", snap.setpoint.value()));
-                }
-                None => encode_err_parts(output, 404, "status-unavailable"),
+            Event::Setpoint(zone) => match self.registry.resolve(zone) {
+                None => encode_err_parts(output, 404, "unknown-zone"),
+                Some(board) => match board.snapshot() {
+                    Some(snap) => {
+                        encode_single_line(output, &format!("{}", snap.setpoint.value()));
+                    }
+                    None => encode_err_parts(output, 404, "status-unavailable"),
+                },
             },
             Event::Metrics => {
                 let body = tesla_obs::export::render_prometheus(tesla_obs::global());
@@ -203,12 +209,31 @@ pub struct NetServer {
 
 impl NetServer {
     /// Binds `addr` and serves TLP/1 with `store` behind the ingest
-    /// queue and `status` behind `STATUS`/`SETPOINT`.
+    /// queue and `status` behind `STATUS`/`SETPOINT` (the single-zone
+    /// deployment: zone-scoped requests all answer `unknown-zone`).
     pub fn bind(
         addr: &str,
         cfg: NetConfig,
         store: Arc<dyn MetricStore>,
         status: Arc<StatusBoard>,
+    ) -> io::Result<NetServer> {
+        NetServer::bind_with_zones(
+            addr,
+            cfg,
+            store,
+            Arc::new(ZoneStatusRegistry::with_site(status)),
+        )
+    }
+
+    /// Binds `addr` and serves TLP/1 with a zone-addressable status
+    /// surface: `STATUS`/`SETPOINT` hit the registry's site board,
+    /// `STATUS z<i>`/`SETPOINT z<i>` the registered zone boards (a
+    /// fleet registers one per [`tesla_units::ZoneId`]).
+    pub fn bind_with_zones(
+        addr: &str,
+        cfg: NetConfig,
+        store: Arc<dyn MetricStore>,
+        registry: Arc<ZoneStatusRegistry>,
     ) -> io::Result<NetServer> {
         let queue = Arc::new(IngestQueue::new(cfg.ingest_capacity_samples));
         let pipeline = IngestPipeline::spawn_writers(
@@ -227,7 +252,7 @@ impl NetServer {
                     parser: Parser::new(max_batch),
                     queue: Arc::clone(&factory_queue),
                     store: Arc::clone(&store),
-                    status: Arc::clone(&status),
+                    registry: Arc::clone(&registry),
                     max_query_samples: max_query,
                     events: Vec::new(),
                 }) as Box<dyn Handler>

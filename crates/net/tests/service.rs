@@ -6,11 +6,11 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
-use tesla_core::status::{StatusBoard, StatusSnapshot};
+use tesla_core::status::{StatusBoard, StatusSnapshot, ZoneStatusRegistry};
 use tesla_core::supervisor::Rung;
 use tesla_historian::{Historian, HistorianConfig, MetricStore};
 use tesla_net::{NetConfig, NetServer};
-use tesla_units::Celsius;
+use tesla_units::{Celsius, ZoneId};
 
 struct Client {
     stream: TcpStream,
@@ -149,6 +149,53 @@ fn status_and_setpoint_serve_supervisor_snapshots() {
     c.send("SETPOINT\n");
     assert_eq!(c.recv_line(), "OK 1");
     assert_eq!(c.recv_line(), "23.25");
+    server.stop();
+}
+
+#[test]
+fn zone_scoped_status_resolves_registered_boards() {
+    let store = Arc::new(Historian::in_memory(HistorianConfig::default()));
+    let registry = Arc::new(ZoneStatusRegistry::new());
+    let z3 = Arc::new(StatusBoard::new());
+    registry.register(ZoneId::new(3), Arc::clone(&z3));
+    let server = NetServer::bind_with_zones(
+        "127.0.0.1:0",
+        NetConfig::default(),
+        store as Arc<dyn MetricStore>,
+        Arc::clone(&registry),
+    )
+    .unwrap();
+    let mut c = Client::connect(&server);
+
+    // Registered but unpublished zone vs. never-registered zone.
+    assert_eq!(c.round_trip("STATUS z3\n"), "ERR 404 status-unavailable");
+    assert_eq!(c.round_trip("STATUS z9\n"), "ERR 404 unknown-zone");
+    assert_eq!(c.round_trip("SETPOINT z9\n"), "ERR 404 unknown-zone");
+    // A malformed zone token is a recoverable protocol error.
+    assert_eq!(c.round_trip("STATUS pod3\n"), "ERR 400 bad-argument");
+
+    z3.publish(StatusSnapshot {
+        minute: 12,
+        rung: Rung::Normal,
+        setpoint: Celsius::new(24.5),
+        cold_aisle_max: Celsius::new(22.0),
+        safe_mode_minutes: 0,
+        hold_minutes: 0,
+        watchdog_trips: 0,
+        write_failures: 0,
+        decision_timeouts: 0,
+        events_dropped: 0,
+    });
+    c.send("STATUS z3\n");
+    assert_eq!(c.recv_line(), "OK 1");
+    let body = c.recv_line();
+    assert!(body.contains("\"minute\":12"), "{body}");
+    c.send("SETPOINT z3\n");
+    assert_eq!(c.recv_line(), "OK 1");
+    assert_eq!(c.recv_line(), "24.5");
+
+    // The zone-less form still answers from the (empty) site board.
+    assert_eq!(c.round_trip("STATUS\n"), "ERR 404 status-unavailable");
     server.stop();
 }
 

@@ -23,11 +23,11 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
-use tesla_core::status::{StatusBoard, StatusSnapshot};
+use tesla_core::status::{StatusBoard, StatusSnapshot, ZoneStatusRegistry};
 use tesla_core::supervisor::Rung;
 use tesla_historian::{Historian, HistorianConfig, MetricStore};
 use tesla_net::{NetConfig, NetServer};
-use tesla_units::Celsius;
+use tesla_units::{Celsius, ZoneId};
 
 const DOC: &str = include_str!("../../../docs/SERVICE.md");
 
@@ -179,11 +179,28 @@ fn service_md_examples_replay_against_a_live_server() {
         decision_timeouts: 0,
         events_dropped: 0,
     });
-    let server = NetServer::bind(
+    // The zone-scoped examples address z3 of a fleet registry (and z9,
+    // deliberately never registered).
+    let registry = Arc::new(ZoneStatusRegistry::with_site(board));
+    let z3 = Arc::new(StatusBoard::new());
+    z3.publish(StatusSnapshot {
+        minute: 12,
+        rung: Rung::Normal,
+        setpoint: Celsius::new(24.5),
+        cold_aisle_max: Celsius::new(22.0),
+        safe_mode_minutes: 0,
+        hold_minutes: 0,
+        watchdog_trips: 0,
+        write_failures: 0,
+        decision_timeouts: 0,
+        events_dropped: 0,
+    });
+    registry.register(ZoneId::new(3), z3);
+    let server = NetServer::bind_with_zones(
         "127.0.0.1:0",
         NetConfig::default(),
         Arc::clone(&store) as Arc<dyn MetricStore>,
-        board,
+        registry,
     )
     .unwrap();
 

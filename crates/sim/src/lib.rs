@@ -64,6 +64,7 @@ pub mod faults;
 pub mod modbus;
 pub mod multizone;
 pub mod pid;
+pub mod plant;
 pub mod sensors;
 pub mod server;
 pub mod testbed;
@@ -75,6 +76,7 @@ pub use faults::{
     SensorFault, SensorFaultKind, SensorTarget,
 };
 pub use multizone::{MultiZoneConfig, MultiZoneTestbed};
+pub use plant::CoolingPlant;
 pub use testbed::{Observation, Testbed};
 
 use tesla_units::{Celsius, UnitError};

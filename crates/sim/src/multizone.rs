@@ -86,23 +86,41 @@ pub struct MultiZoneTestbed {
 }
 
 impl MultiZoneTestbed {
-    /// Builds the room; each zone gets an independent RNG stream.
+    /// Builds the room; each zone gets an independent RNG stream derived
+    /// from `seed` by golden-ratio mixing.
     pub fn new(config: MultiZoneConfig, seed: u64) -> Result<Self, SimError> {
+        let seeds: Vec<u64> = (0..config.zones.len())
+            .map(|i| seed ^ (i as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
+        Self::with_zone_seeds(config, &seeds)
+    }
+
+    /// Builds the room with an *explicit* RNG seed per zone. A one-zone
+    /// room seeded `&[s]` draws randomness in exactly the same order as
+    /// `Testbed::new(cfg, s)` (no faults), so its trajectory is
+    /// bit-identical to the single-zone testbed — the property the fleet
+    /// crate's zero-coupling equivalence test pins down.
+    pub fn with_zone_seeds(config: MultiZoneConfig, seeds: &[u64]) -> Result<Self, SimError> {
         config.validate()?;
+        if seeds.len() != config.zones.len() {
+            return Err(SimError::InvalidConfig(format!(
+                "need {} zone seeds, got {}",
+                config.zones.len(),
+                seeds.len()
+            )));
+        }
         let zones = config
             .zones
             .into_iter()
-            .enumerate()
-            .map(|(i, cfg)| {
+            .zip(seeds)
+            .map(|(cfg, &zone_seed)| {
                 let initial_sp = cfg.setpoint_range().clamp(NOMINAL_SETPOINT);
                 Zone {
                     servers: ServerBank::new(cfg.n_servers, cfg.server.clone()),
                     thermal: ThermalNetwork::new(cfg.thermal.clone()),
                     acu: Acu::new(cfg.acu.clone(), initial_sp),
                     sensors: SensorArray::new(&cfg),
-                    rng: StdRng::seed_from_u64(
-                        seed ^ (i as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15),
-                    ),
+                    rng: StdRng::seed_from_u64(zone_seed),
                     cfg,
                 }
             })
@@ -119,6 +137,50 @@ impl MultiZoneTestbed {
         self.zones.len()
     }
 
+    /// Total servers across all zones (the orchestrator's view).
+    pub fn n_servers_total(&self) -> usize {
+        self.zones.iter().map(|z| z.cfg.n_servers).sum()
+    }
+
+    /// Current simulation time, seconds.
+    pub fn time_s(&self) -> f64 {
+        self.time_s
+    }
+
+    /// A zone's current hot-aisle bulk temperature — the boundary state
+    /// that inter-pod thermal bleed acts on.
+    pub fn hot_aisle_temp(&self, zone: usize) -> Option<Celsius> {
+        self.zones
+            .get(zone)
+            .map(|z| Celsius::new(z.thermal.state().hot_aisle))
+    }
+
+    /// A zone's hot-aisle thermal capacity, kJ/K (the denominator that
+    /// converts a bleed energy transfer into a temperature change).
+    // lint:allow(no-raw-f64-in-public-api): thermal capacity kJ/K, no newtype
+    pub fn hot_aisle_capacity_kj_per_k(&self, zone: usize) -> Option<f64> {
+        self.zones.get(zone).map(|z| z.cfg.thermal.c_hot_kj_per_k)
+    }
+
+    /// Deposits (positive) or extracts (negative) `energy_kj` into a
+    /// zone's hot aisle. The fleet layer uses equal-and-opposite calls on
+    /// neighbouring pods to realize site-level thermal bleed, which makes
+    /// the exchange energy-conserving by construction.
+    // lint:allow(no-raw-f64-in-public-api): bulk energy transfer kJ, no newtype
+    pub fn add_hot_aisle_energy_kj(&mut self, zone: usize, energy_kj: f64) -> Result<(), SimError> {
+        let z = self
+            .zones
+            .get_mut(zone)
+            .ok_or_else(|| SimError::InvalidConfig(format!("no zone {zone}")))?;
+        if !energy_kj.is_finite() {
+            return Err(SimError::NonFiniteWrite(Celsius::new(energy_kj)));
+        }
+        let mut state = z.thermal.state();
+        state.hot_aisle += energy_kj / z.cfg.thermal.c_hot_kj_per_k;
+        z.thermal.set_state(state);
+        Ok(())
+    }
+
     /// Commands a zone's set-point (clamped to that zone's ACU range).
     pub fn write_setpoint(&mut self, zone: usize, sp: Celsius) -> Result<(), SimError> {
         let z = self
@@ -130,6 +192,24 @@ impl MultiZoneTestbed {
         z.acu
             .set_setpoint(Celsius::new((clamped.value() * 10.0).round() / 10.0));
         Ok(())
+    }
+
+    /// Fallible per-zone set-point write: validates finiteness and the
+    /// zone's specification bounds (typed error instead of silent
+    /// clamping), then quantizes to 0.1 °C exactly like the single-zone
+    /// Modbus register facade. On success returns the value latched; on
+    /// failure the previous set-point stays in force.
+    pub fn try_write_setpoint(&mut self, zone: usize, sp: Celsius) -> Result<Celsius, SimError> {
+        let z = self
+            .zones
+            .get_mut(zone)
+            .ok_or_else(|| SimError::InvalidConfig(format!("no zone {zone}")))?;
+        let checked = z.cfg.setpoint_range().check(sp)?;
+        // Same tick arithmetic as RegisterMap::try_write_setpoint.
+        let ticks = (checked.value() * 10.0).round().clamp(0.0, u16::MAX as f64);
+        let quantized = Celsius::new(ticks / 10.0);
+        z.acu.set_setpoint(quantized);
+        Ok(quantized)
     }
 
     /// A zone's currently latched set-point.
@@ -353,6 +433,136 @@ mod tests {
         assert_eq!(room.setpoint(0), Some(Celsius::new(21.0)));
         assert_eq!(room.setpoint(1), Some(Celsius::new(27.0)));
         assert!(room.write_setpoint(9, Celsius::new(23.0)).is_err());
+    }
+
+    #[test]
+    fn single_zone_room_matches_testbed_bit_identically() {
+        // A one-zone room with an explicit seed must replay the
+        // single-zone testbed exactly: same RNG draw order, same
+        // quantization, same physics. This is the fleet crate's
+        // zero-coupling equivalence guarantee, pinned at the source.
+        use crate::testbed::Testbed;
+        let cfg = SimConfig::default();
+        let mut single = Testbed::new(cfg.clone(), 1234).unwrap();
+        let mut room = MultiZoneTestbed::with_zone_seeds(
+            MultiZoneConfig {
+                zones: vec![cfg.clone()],
+                coupling_kw_per_k: 0.0,
+            },
+            &[1234],
+        )
+        .unwrap();
+        let u = vec![0.35; cfg.n_servers];
+        for minute in 0..8 {
+            if minute == 3 {
+                let a = single.try_write_setpoint(Celsius::new(24.16)).unwrap();
+                let b = room.try_write_setpoint(0, Celsius::new(24.16)).unwrap();
+                assert_eq!(a, b);
+            }
+            let oa = single.step_sample(&u).unwrap();
+            let ob = room
+                .step_sample(std::slice::from_ref(&u))
+                .unwrap()
+                .remove(0);
+            assert_eq!(oa.dc_temps, ob.dc_temps);
+            assert_eq!(oa.acu_inlet_temps, ob.acu_inlet_temps);
+            assert_eq!(oa.server_powers_kw, ob.server_powers_kw);
+            assert_eq!(oa.acu_power_kw, ob.acu_power_kw);
+            assert_eq!(oa.acu_energy_kwh, ob.acu_energy_kwh);
+            assert_eq!(oa.setpoint, ob.setpoint);
+            assert_eq!(oa.cold_aisle_max_true, ob.cold_aisle_max_true);
+            assert_eq!(oa.time_s, ob.time_s);
+        }
+    }
+
+    #[test]
+    fn coupling_is_symmetric_under_zone_swap() {
+        // Swapping the two zones' seeds and loads must swap the
+        // observations exactly: the exchange term treats neighbours
+        // symmetrically (equal and opposite transfers).
+        let cfg = MultiZoneConfig::uniform(2, 0.2);
+        let mut fwd = MultiZoneTestbed::with_zone_seeds(cfg.clone(), &[11, 22]).unwrap();
+        let mut rev = MultiZoneTestbed::with_zone_seeds(cfg, &[22, 11]).unwrap();
+        let n = SimConfig::default().n_servers;
+        let (hot, idle) = (vec![0.8; n], vec![0.05; n]);
+        for _ in 0..6 {
+            let a = fwd.step_sample(&[hot.clone(), idle.clone()]).unwrap();
+            let b = rev.step_sample(&[idle.clone(), hot.clone()]).unwrap();
+            assert_eq!(a[0].dc_temps, b[1].dc_temps);
+            assert_eq!(a[1].dc_temps, b[0].dc_temps);
+            assert_eq!(a[0].acu_power_kw, b[1].acu_power_kw);
+            assert_eq!(a[1].acu_power_kw, b[0].acu_power_kw);
+        }
+    }
+
+    #[test]
+    fn coupling_between_identical_zones_is_a_no_op() {
+        // Equal temperatures on both sides mean zero net exchange: a
+        // coupled room of identically-seeded, identically-loaded zones
+        // must match the uncoupled room bit for bit (the exchange
+        // conserves energy, so equal states stay equal).
+        let mk = |coupling: f64| {
+            MultiZoneTestbed::with_zone_seeds(MultiZoneConfig::uniform(2, coupling), &[9, 9])
+                .unwrap()
+        };
+        let mut coupled = mk(0.5);
+        let mut isolated = mk(0.0);
+        for _ in 0..6 {
+            let a = coupled.step_sample(&utils(2, 0.4)).unwrap();
+            let b = isolated.step_sample(&utils(2, 0.4)).unwrap();
+            for (oa, ob) in a.iter().zip(&b) {
+                assert_eq!(oa.dc_temps, ob.dc_temps);
+                assert_eq!(oa.acu_energy_kwh, ob.acu_energy_kwh);
+            }
+        }
+    }
+
+    #[test]
+    fn hot_aisle_energy_injection_conserves_pairwise() {
+        // The fleet bleed operator: +E on one pod, −E on its neighbour.
+        // Temperatures move by E/C each way and total hot-aisle energy
+        // (Σ c_i·T_i) is unchanged to round-off.
+        let mut room = room(2, 0.0);
+        let t0 = room.hot_aisle_temp(0).unwrap().value();
+        let t1 = room.hot_aisle_temp(1).unwrap().value();
+        let c0 = room.hot_aisle_capacity_kj_per_k(0).unwrap();
+        let c1 = room.hot_aisle_capacity_kj_per_k(1).unwrap();
+        let e_kj = 50.0;
+        room.add_hot_aisle_energy_kj(0, e_kj).unwrap();
+        room.add_hot_aisle_energy_kj(1, -e_kj).unwrap();
+        let t0b = room.hot_aisle_temp(0).unwrap().value();
+        let t1b = room.hot_aisle_temp(1).unwrap().value();
+        assert!((t0b - (t0 + e_kj / c0)).abs() < 1e-12);
+        assert!((t1b - (t1 - e_kj / c1)).abs() < 1e-12);
+        let before = c0 * t0 + c1 * t1;
+        let after = c0 * t0b + c1 * t1b;
+        assert!((after - before).abs() < 1e-9, "{before} -> {after}");
+        assert!(room.add_hot_aisle_energy_kj(9, 1.0).is_err());
+        assert!(room.add_hot_aisle_energy_kj(0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn try_write_setpoint_validates_and_quantizes() {
+        let mut room = room(2, 0.0);
+        let latched = room.try_write_setpoint(0, Celsius::new(24.16)).unwrap();
+        assert!((latched.value() - 24.2).abs() < 1e-9);
+        assert_eq!(room.setpoint(0), Some(latched));
+        assert!(matches!(
+            room.try_write_setpoint(0, Celsius::new(50.0)),
+            Err(SimError::SetpointOutOfRange { .. })
+        ));
+        assert!(matches!(
+            room.try_write_setpoint(0, Celsius::new(f64::NAN)),
+            Err(SimError::NonFiniteWrite(_))
+        ));
+        assert!(room.try_write_setpoint(9, Celsius::new(23.0)).is_err());
+        // Rejected writes leave the latched value untouched.
+        assert_eq!(room.setpoint(0), Some(latched));
+    }
+
+    #[test]
+    fn zone_seed_count_must_match() {
+        assert!(MultiZoneTestbed::with_zone_seeds(MultiZoneConfig::uniform(2, 0.0), &[1]).is_err());
     }
 
     #[test]

@@ -503,6 +503,70 @@ impl Utilization {
 }
 
 // ---------------------------------------------------------------------------
+// Fleet zone identity
+// ---------------------------------------------------------------------------
+
+/// Identity of one cooling zone (pod) in a fleet.
+///
+/// Fleet-scale APIs thread this newtype instead of a raw `usize` so a
+/// zone identity can never be confused with a sensor index, a worker
+/// index, or a minute counter (`cargo xtask lint`'s
+/// `no-raw-zone-index-in-public-api` rule enforces this on the fleet
+/// crate's public surface). The `Display`/`FromStr` form (`z<index>`)
+/// doubles as the historian series prefix, so `z7.acu.power_kw` is
+/// derivable from the id in exactly one place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
+pub struct ZoneId(usize);
+
+impl ZoneId {
+    /// Wraps a raw zone index.
+    #[inline]
+    pub const fn new(index: usize) -> Self {
+        ZoneId(index)
+    }
+
+    /// The raw zone index (row into fleet-ordered storage).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// The historian series prefix for this zone, e.g. `"z7."`.
+    pub fn series_prefix(self) -> String {
+        format!("z{}.", self.0)
+    }
+
+    /// Prefixes a base metric name with this zone's namespace, e.g.
+    /// `ZoneId::new(7).series("acu.power_kw")` → `"z7.acu.power_kw"`.
+    pub fn series(self, metric: &str) -> String {
+        format!("z{}.{metric}", self.0)
+    }
+}
+
+impl fmt::Display for ZoneId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "z{}", self.0)
+    }
+}
+
+impl FromStr for ZoneId {
+    type Err = UnitError;
+
+    /// Parses the `Display` form `z<index>` (a bare index is rejected —
+    /// the prefix is what distinguishes a zone id on the wire).
+    fn from_str(s: &str) -> Result<Self, UnitError> {
+        let body = s.trim().strip_prefix('z').ok_or(UnitError::Parse)?;
+        if body.is_empty() || !body.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(UnitError::Parse);
+        }
+        body.parse::<usize>()
+            .map(ZoneId)
+            .map_err(|_| UnitError::Parse)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Ranges and the paper's operating envelope
 // ---------------------------------------------------------------------------
 
@@ -726,6 +790,22 @@ mod tests {
         let typed = Celsius::from_raw_slice(&raw);
         assert_eq!(typed[1], Celsius::new(22.5));
         assert_eq!(Celsius::to_raw_vec(&typed), raw.to_vec());
+    }
+
+    #[test]
+    fn zone_id_round_trip_and_series() {
+        let z = ZoneId::new(7);
+        assert_eq!(z.index(), 7);
+        assert_eq!(z.to_string(), "z7");
+        assert_eq!("z7".parse::<ZoneId>(), Ok(z));
+        assert_eq!(" z12 ".parse::<ZoneId>(), Ok(ZoneId::new(12)));
+        assert_eq!(z.series_prefix(), "z7.");
+        assert_eq!(z.series("acu.power_kw"), "z7.acu.power_kw");
+        assert!("7".parse::<ZoneId>().is_err());
+        assert!("z".parse::<ZoneId>().is_err());
+        assert!("z-1".parse::<ZoneId>().is_err());
+        assert!("zone7".parse::<ZoneId>().is_err());
+        assert!(ZoneId::new(1) < ZoneId::new(2));
     }
 
     #[test]

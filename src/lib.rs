@@ -57,6 +57,7 @@
 
 pub use tesla_bo as bo;
 pub use tesla_core as core;
+pub use tesla_fleet as fleet;
 pub use tesla_forecast as forecast;
 pub use tesla_gp as gp;
 pub use tesla_historian as historian;

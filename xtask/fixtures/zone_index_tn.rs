@@ -1,0 +1,36 @@
+// Fixture: true negatives for no-raw-zone-index-in-public-api.
+// Never compiled; scanned by xtask's unit tests.
+
+use tesla_units::ZoneId;
+
+pub struct Decision {
+    pub zone: ZoneId,
+    /// A fleet size is a quantity, not an address: plurals stay raw.
+    pub n_zones: usize,
+}
+
+impl Decision {
+    pub fn zone(&self) -> ZoneId {
+        self.zone
+    }
+
+    pub fn zones(&self) -> usize {
+        self.n_zones
+    }
+
+    // lint:allow(no-raw-zone-index-in-public-api): wire-format cursor word, not a zone address
+    pub fn zone_cursor_word(zone: usize) -> usize {
+        zone * 8
+    }
+
+    fn private_zone_slot(&self, zone: usize) -> usize {
+        zone % self.n_zones
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn test_only_zone_index() -> usize {
+        3
+    }
+}

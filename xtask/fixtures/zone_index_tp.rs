@@ -1,0 +1,20 @@
+// Fixture: true positives for no-raw-zone-index-in-public-api.
+// Never compiled; scanned by xtask's unit tests.
+
+pub struct RawDecision {
+    pub zone: usize,
+    pub minute: u64,
+}
+
+impl RawDecision {
+    pub fn zone_of(&self) -> usize {
+        self.zone
+    }
+
+    pub fn neighbors(
+        &self,
+        zone: usize,
+    ) -> Vec<usize> {
+        vec![zone.saturating_sub(1), zone + 1]
+    }
+}

@@ -14,6 +14,10 @@
 //!   level — the end-to-end network ingest gate (`BENCH_net.json`).
 //! * `tesla_net_query_seconds` p50 (lower is better) from the
 //!   `latency_breakdown` array — the TLP query round-trip gate.
+//! * `fleet_zone_minutes_per_second` (higher is better) from the top
+//!   level — the fleet zone-minute throughput gate (`BENCH_fleet.json`).
+//! * `tesla_fleet_zone_decide_seconds` p50 (lower is better) from the
+//!   `latency_breakdown` array — the per-zone decision-path gate.
 //!
 //! Comparing artifacts that share no gate metric is an error (exit 2),
 //! but a `BENCH_perf.json` pair and a `BENCH_historian.json` pair each
@@ -41,6 +45,18 @@ pub const NET_INGEST_METRIC: &str = "net_ingest_samples_per_second";
 /// one bucket step (plus slack) rather than the flat 10% — see
 /// [`one_bucket_up`].
 pub const NET_QUERY_METRIC: &str = "tesla_net_query_seconds";
+
+/// The fleet zone-minute throughput metric the gate watches (higher is
+/// better). Written by the `fleet` bench into `BENCH_fleet.json` from
+/// the 8-zone capped tier — the tier the full run and the CI `--smoke`
+/// run share, so the comparison is like for like.
+pub const FLEET_THROUGHPUT_METRIC: &str = "fleet_zone_minutes_per_second";
+
+/// The per-zone decision-path latency metric the gate watches (lower
+/// is better). Like [`NET_QUERY_METRIC`], the ~100µs-scale p50 is
+/// quantized onto the log-linear histogram grid, so its budget is one
+/// bucket step (plus slack) — see [`one_bucket_up`].
+pub const FLEET_DECIDE_METRIC: &str = "tesla_fleet_zone_decide_seconds";
 
 /// Maximum tolerated regression on any gate, percent.
 pub const BUDGET_PERCENT: f64 = 10.0;
@@ -120,17 +136,23 @@ pub fn gate_results(old_json: &str, new_json: &str) -> Vec<GateResult> {
     let mut out = Vec::new();
     let usable = |v: f64| v.is_finite() && v > 0.0;
     // Latency gates: breakdown p50, lower is better.
-    for metric in [GATE_METRIC, RECOVERY_METRIC, NET_QUERY_METRIC] {
+    for metric in [
+        GATE_METRIC,
+        RECOVERY_METRIC,
+        NET_QUERY_METRIC,
+        FLEET_DECIDE_METRIC,
+    ] {
         if let (Some(old), Some(new)) = (
             breakdown_p50(old_json, metric),
             breakdown_p50(new_json, metric),
         ) {
             if usable(old) && new.is_finite() {
-                // The query RTT gate tolerates one histogram bucket step
-                // (plus 5% slack): smoke runs on loaded runners wobble a
-                // quantized ~100µs p50 by one bucket, which is noise, while
-                // a real regression moves it two or more.
-                let budget_pct = if metric == NET_QUERY_METRIC {
+                // The query-RTT and fleet-decide gates tolerate one
+                // histogram bucket step (plus 5% slack): smoke runs on
+                // loaded runners wobble a quantized ~100µs p50 by one
+                // bucket, which is noise, while a real regression moves
+                // it two or more.
+                let budget_pct = if metric == NET_QUERY_METRIC || metric == FLEET_DECIDE_METRIC {
                     (100.0 * (one_bucket_up(old) * 1.05 / old - 1.0)).max(BUDGET_PERCENT)
                 } else {
                     BUDGET_PERCENT
@@ -146,7 +168,7 @@ pub fn gate_results(old_json: &str, new_json: &str) -> Vec<GateResult> {
         }
     }
     // Throughput gates: top-level rate, higher is better.
-    for metric in [INGEST_METRIC, NET_INGEST_METRIC] {
+    for metric in [INGEST_METRIC, NET_INGEST_METRIC, FLEET_THROUGHPUT_METRIC] {
         if let (Some(old), Some(new)) = (
             top_level_number(old_json, metric),
             top_level_number(new_json, metric),
@@ -325,6 +347,69 @@ mod tests {
             .expect("query gate present");
         assert!((query.regression_pct - 50.0).abs() < 1e-9);
         assert!(!query.over_budget(), "one bucket step must pass");
+    }
+
+    fn fleet_artifact(rate: f64, decide_p50: f64) -> String {
+        format!(
+            "{{\"workers\":1,\"zones_max\":1024,\
+             \"fleet_zone_minutes_per_second\":{rate},\"latency_breakdown\":[\
+             {{\"metric\":\"tesla_fleet_zone_decide_seconds\",\"label\":\"fleet zone decide\",\
+             \"count\":480,\"total_seconds\":0.05,\"p50_seconds\":{decide_p50},\
+             \"p90_seconds\":0.0002,\"p99_seconds\":0.0004}}]}}"
+        )
+    }
+
+    #[test]
+    fn fleet_gates_compare_throughput_and_decide_p50() {
+        let results = gate_results(
+            &fleet_artifact(14000.0, 1e-4),
+            &fleet_artifact(15000.0, 1e-4),
+        );
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].metric, FLEET_DECIDE_METRIC);
+        assert_eq!(results[1].metric, FLEET_THROUGHPUT_METRIC);
+        assert!(results.iter().all(|r| !r.over_budget()));
+
+        let results = gate_results(
+            &fleet_artifact(14000.0, 1e-4),
+            &fleet_artifact(10000.0, 1e-4),
+        );
+        let rate = results.iter().find(|r| r.metric == FLEET_THROUGHPUT_METRIC);
+        assert!(
+            rate.is_some_and(GateResult::over_budget),
+            "-29% zone-minute throughput must fail"
+        );
+
+        let results = gate_results(
+            &fleet_artifact(14000.0, 1e-4),
+            &fleet_artifact(14000.0, 3e-4),
+        );
+        let decide = results.iter().find(|r| r.metric == FLEET_DECIDE_METRIC);
+        assert!(
+            decide.is_some_and(GateResult::over_budget),
+            "a 1e-4 -> 3e-4 (two-bucket) decide p50 jump must fail"
+        );
+    }
+
+    #[test]
+    fn fleet_decide_gate_tolerates_one_bucket_step() {
+        // 100µs -> 200µs is one step on the log-linear grid: noise on a
+        // loaded runner, not a regression.
+        let results = gate_results(
+            &fleet_artifact(14000.0, 1e-4),
+            &fleet_artifact(14000.0, 2e-4),
+        );
+        let decide = results
+            .iter()
+            .find(|r| r.metric == FLEET_DECIDE_METRIC)
+            .expect("decide gate present");
+        assert!(!decide.over_budget(), "one bucket step must pass");
+    }
+
+    #[test]
+    fn fleet_gates_skipped_when_either_side_lacks_them() {
+        assert!(gate_results(&fleet_artifact(14000.0, 1e-4), &artifact(0.01)).is_empty());
+        assert!(gate_results("{}", &fleet_artifact(14000.0, 1e-4)).is_empty());
     }
 
     #[test]

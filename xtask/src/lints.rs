@@ -34,8 +34,9 @@ pub const RULE_METRIC: &str = "metric-name-format";
 pub const RULE_WAL: &str = "no-unchecked-wal-read";
 pub const RULE_CHECKPOINT: &str = "no-unframed-checkpoint-read";
 pub const RULE_REACTOR: &str = "no-blocking-io-in-reactor";
+pub const RULE_ZONE_INDEX: &str = "no-raw-zone-index-in-public-api";
 
-pub const ALL_RULES: [&str; 8] = [
+pub const ALL_RULES: [&str; 9] = [
     RULE_RAW_F64,
     RULE_UNWRAP,
     RULE_RUNG,
@@ -44,6 +45,7 @@ pub const ALL_RULES: [&str; 8] = [
     RULE_WAL,
     RULE_CHECKPOINT,
     RULE_REACTOR,
+    RULE_ZONE_INDEX,
 ];
 
 /// Identifier words that mark an item as temperature/power-bearing for
@@ -253,6 +255,113 @@ pub fn check_raw_f64(file: &str, lines: &[&str], mask: &[bool]) -> Vec<Finding> 
                             field_name.trim()
                         ),
                         allowed: is_allowed(lines, i, RULE_RAW_F64),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// True when an identifier word is exactly `zone` — the singular form
+/// used when addressing one zone. Plural counts (`zones`, `n_zones`)
+/// and the newtype's own name (`ZoneId` lowercases to "zoneid") stay
+/// out of scope: a fleet size is a quantity, not an address.
+fn names_zone(text: &str) -> bool {
+    identifier_words(text).iter().any(|w| w == "zone")
+}
+
+/// Rule `no-raw-zone-index-in-public-api`: `pub fn` signatures and
+/// `pub` struct fields in the fleet crate that address a zone must
+/// carry `tesla_units::ZoneId`, never a raw `usize` index — a raw
+/// index silently re-keys across topologies, while the newtype keeps
+/// zone addressing type-checked end to end (historian prefixes, TLP
+/// `STATUS z<i>`, coordinator decisions).
+pub fn check_zone_index(file: &str, lines: &[&str], mask: &[bool]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut in_sig = false;
+    let mut sig_named_zone = false;
+    let mut sig_allowed = false;
+    let mut paren_depth = 0i32;
+
+    for (i, raw) in lines.iter().enumerate() {
+        if mask[i] || is_comment_line(raw) {
+            continue;
+        }
+        let code = strip_line_comment(raw);
+        let trimmed = code.trim_start();
+
+        if !in_sig {
+            if let Some(rest) = trimmed.strip_prefix("pub fn ") {
+                in_sig = true;
+                paren_depth = 0;
+                let name: String = rest
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                sig_named_zone = names_zone(&name);
+                // An allow on the `pub fn` line (or directly above it)
+                // covers the whole multi-line signature.
+                sig_allowed = is_allowed(lines, i, RULE_ZONE_INDEX);
+            }
+        }
+
+        if in_sig {
+            if code.contains("usize") && (sig_named_zone || names_zone(code)) {
+                findings.push(Finding {
+                    rule: RULE_ZONE_INDEX,
+                    file: file.to_string(),
+                    line: i + 1,
+                    message: "raw usize zone index in public signature; \
+                              use tesla_units::ZoneId"
+                        .to_string(),
+                    allowed: sig_allowed || is_allowed(lines, i, RULE_ZONE_INDEX),
+                });
+            }
+            for c in code.chars() {
+                match c {
+                    '(' => paren_depth += 1,
+                    ')' => paren_depth -= 1,
+                    _ => {}
+                }
+            }
+            if paren_depth <= 0 && (code.contains('{') || code.trim_end().ends_with(';')) {
+                in_sig = false;
+            }
+            continue;
+        }
+
+        // `pub` struct/enum fields (skip other `pub` items).
+        if let Some(rest) = trimmed.strip_prefix("pub ") {
+            let keyword = rest.split_whitespace().next().unwrap_or("");
+            let is_item = matches!(
+                keyword,
+                "fn" | "struct"
+                    | "enum"
+                    | "mod"
+                    | "use"
+                    | "const"
+                    | "static"
+                    | "type"
+                    | "trait"
+                    | "impl"
+                    | "crate"
+                    | "unsafe"
+                    | "async"
+            );
+            if !is_item && rest.contains(':') && code.contains("usize") {
+                let field_name = rest.split(':').next().unwrap_or("");
+                if names_zone(field_name) {
+                    findings.push(Finding {
+                        rule: RULE_ZONE_INDEX,
+                        file: file.to_string(),
+                        line: i + 1,
+                        message: format!(
+                            "public field `{}` addresses a zone by raw usize index; \
+                             use tesla_units::ZoneId",
+                            field_name.trim()
+                        ),
+                        allowed: is_allowed(lines, i, RULE_ZONE_INDEX),
                     });
                 }
             }
@@ -711,6 +820,8 @@ mod tests {
     const CHECKPOINT_TN: &str = include_str!("../fixtures/checkpoint_read_tn.rs");
     const REACTOR_TP: &str = include_str!("../fixtures/reactor_io_tp.rs");
     const REACTOR_TN: &str = include_str!("../fixtures/reactor_io_tn.rs");
+    const ZONE_INDEX_TP: &str = include_str!("../fixtures/zone_index_tp.rs");
+    const ZONE_INDEX_TN: &str = include_str!("../fixtures/zone_index_tn.rs");
 
     fn rung_fixture(src: &str) -> Vec<Finding> {
         let variants = vec![
@@ -878,6 +989,27 @@ mod tests {
         let active: Vec<_> = findings.iter().filter(|f| !f.allowed).collect();
         assert!(active.is_empty(), "unexpected findings: {active:?}");
         // The writer-thread condvar wait is still reported, as allowed.
+        assert!(findings.iter().any(|f| f.allowed));
+    }
+
+    #[test]
+    fn zone_index_true_positive() {
+        let findings = run(ZONE_INDEX_TP, check_zone_index);
+        let active: Vec<_> = findings.iter().filter(|f| !f.allowed).collect();
+        assert!(
+            active.len() >= 2,
+            "expected signature + field findings, got {findings:?}"
+        );
+        assert!(active.iter().any(|f| f.message.contains("signature")));
+        assert!(active.iter().any(|f| f.message.contains("field")));
+    }
+
+    #[test]
+    fn zone_index_true_negative() {
+        let findings = run(ZONE_INDEX_TN, check_zone_index);
+        let active: Vec<_> = findings.iter().filter(|f| !f.allowed).collect();
+        assert!(active.is_empty(), "unexpected findings: {active:?}");
+        // The allowlisted wire-cursor line is still reported, as allowed.
         assert!(findings.iter().any(|f| f.allowed));
     }
 

@@ -80,12 +80,14 @@ fn bench_diff(args: &[String]) -> ExitCode {
     if results.is_empty() {
         eprintln!(
             "xtask bench-diff: cannot compare: the artifacts share no gate metric \
-             ({}, {}, {}, {}, or {})",
+             ({}, {}, {}, {}, {}, {}, or {})",
             bench::GATE_METRIC,
             bench::INGEST_METRIC,
             bench::RECOVERY_METRIC,
             bench::NET_INGEST_METRIC,
-            bench::NET_QUERY_METRIC
+            bench::NET_QUERY_METRIC,
+            bench::FLEET_THROUGHPUT_METRIC,
+            bench::FLEET_DECIDE_METRIC
         );
         return ExitCode::from(2);
     }
@@ -113,8 +115,11 @@ fn bench_diff(args: &[String]) -> ExitCode {
 
 /// Crates scanned per rule (paths relative to the workspace root).
 const CONTROL_CRATES: [&str; 3] = ["crates/core/src", "crates/sim/src", "crates/forecast/src"];
-const UNWRAP_CRATES: [&str; 2] = ["crates/core/src", "crates/sim/src"];
+const UNWRAP_CRATES: [&str; 3] = ["crates/core/src", "crates/sim/src", "crates/fleet/src"];
 const RUNG_CRATES: [&str; 1] = ["crates/core/src"];
+/// The fleet crate's public surface addresses zones; its sources are
+/// the scope of `no-raw-zone-index-in-public-api`.
+const FLEET_CRATES: [&str; 1] = ["crates/fleet/src"];
 /// The historian owns the WAL; its sources are the scope of
 /// `no-unchecked-wal-read`.
 const WAL_CRATES: [&str; 1] = ["crates/historian/src"];
@@ -122,7 +127,7 @@ const WAL_CRATES: [&str; 1] = ["crates/historian/src"];
 /// the scope of `no-unframed-checkpoint-read`.
 const CHECKPOINT_CRATES: [&str; 1] = ["crates/core/src"];
 /// Every crate that emits metrics through tesla-obs.
-const METRIC_CRATES: [&str; 8] = [
+const METRIC_CRATES: [&str; 9] = [
     "crates/core/src",
     "crates/sim/src",
     "crates/forecast/src",
@@ -131,6 +136,7 @@ const METRIC_CRATES: [&str; 8] = [
     "crates/obs/src",
     "crates/historian/src",
     "crates/net/src",
+    "crates/fleet/src",
 ];
 /// Crates whose code runs on (or is called from) reactor sweep
 /// threads; the scope of `no-blocking-io-in-reactor`.
@@ -185,6 +191,7 @@ fn lint(args: &[String]) -> ExitCode {
         (&WAL_CRATES[..], lints::RULE_WAL),
         (&CHECKPOINT_CRATES[..], lints::RULE_CHECKPOINT),
         (&REACTOR_CRATES[..], lints::RULE_REACTOR),
+        (&FLEET_CRATES[..], lints::RULE_ZONE_INDEX),
     ] {
         for dir in scope {
             for file in rust_files(&root.join(dir)) {
@@ -229,6 +236,7 @@ fn lint(args: &[String]) -> ExitCode {
                         lints::RULE_WAL => lints::check_wal_reads(rel, &lines, &mask),
                         lints::RULE_CHECKPOINT => lints::check_checkpoint_reads(rel, &lines, &mask),
                         lints::RULE_REACTOR => lints::check_reactor_blocking(rel, &lines, &mask),
+                        lints::RULE_ZONE_INDEX => lints::check_zone_index(rel, &lines, &mask),
                         _ => lints::check_setpoint_literal(rel, &lines, &mask),
                     };
                     out.extend(batch);
@@ -302,6 +310,7 @@ fn required_fixtures() -> Vec<(&'static str, String, String)> {
         (lints::RULE_WAL, "wal_read"),
         (lints::RULE_CHECKPOINT, "checkpoint_read"),
         (lints::RULE_REACTOR, "reactor_io"),
+        (lints::RULE_ZONE_INDEX, "zone_index"),
     ];
     let analysis_stems = [
         (tesla_analysis::RULE_PANIC, "analysis/panic"),
